@@ -1,0 +1,86 @@
+//! AJO validation errors.
+
+use crate::ids::ActionId;
+use core::fmt;
+
+/// Errors raised by AJO validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AjoError {
+    /// The job graph contains a cycle (it must be a DAG, §5.3).
+    CyclicGraph {
+        /// Offending job (group) name.
+        job: String,
+    },
+    /// Two nodes share an id within one job level.
+    DuplicateActionId {
+        /// Offending job name.
+        job: String,
+        /// The duplicated id.
+        id: ActionId,
+    },
+    /// A dependency references a node that does not exist.
+    UnknownActionId {
+        /// Offending job name.
+        job: String,
+        /// The missing id.
+        id: ActionId,
+    },
+    /// A dependency from a node to itself.
+    SelfDependency {
+        /// Offending job name.
+        job: String,
+        /// The node id.
+        id: ActionId,
+    },
+    /// A workstation import has no matching portfolio file.
+    MissingPortfolioFile {
+        /// Offending job name.
+        job: String,
+        /// The missing file.
+        file: String,
+    },
+    /// Two portfolio entries share a name.
+    DuplicatePortfolioEntry {
+        /// Offending job name.
+        job: String,
+    },
+    /// A sub-job carries its own portfolio (only the top job may).
+    NestedPortfolio {
+        /// Offending sub-job name.
+        job: String,
+    },
+}
+
+impl fmt::Display for AjoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AjoError::CyclicGraph { job } => write!(f, "job graph of '{job}' is cyclic"),
+            AjoError::DuplicateActionId { job, id } => {
+                write!(f, "duplicate action id {id} in job '{job}'")
+            }
+            AjoError::UnknownActionId { job, id } => {
+                write!(
+                    f,
+                    "dependency references unknown action {id} in job '{job}'"
+                )
+            }
+            AjoError::SelfDependency { job, id } => {
+                write!(f, "action {id} in job '{job}' depends on itself")
+            }
+            AjoError::MissingPortfolioFile { job, file } => {
+                write!(
+                    f,
+                    "job '{job}' imports '{file}' but it is not in the portfolio"
+                )
+            }
+            AjoError::DuplicatePortfolioEntry { job } => {
+                write!(f, "job '{job}' has duplicate portfolio entries")
+            }
+            AjoError::NestedPortfolio { job } => {
+                write!(f, "sub-job '{job}' must not carry its own portfolio")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AjoError {}

@@ -1,0 +1,151 @@
+//! Identifiers used throughout the AJO and the UNICORE protocol.
+
+use core::fmt;
+use unicore_codec::{CodecError, DerCodec, Fields, Value};
+
+/// Identifies one action (task, sub-job, or service) within an AJO tree.
+///
+/// Unique within the enclosing top-level AJO; assigned by the JPA builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActionId(pub u64);
+
+impl fmt::Display for ActionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// Globally identifies a consigned UNICORE job (assigned by the NJS that
+/// first accepts it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "J{:08}", self.0)
+    }
+}
+
+/// Addresses a virtual site: the Usite (computer centre) and the Vsite
+/// (systems sharing a data space) within it — paper §4.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VsiteAddress {
+    /// The UNICORE site (e.g. `"FZJ"`).
+    pub usite: String,
+    /// The virtual site within it (e.g. `"T3E"`).
+    pub vsite: String,
+}
+
+impl VsiteAddress {
+    /// Builds an address.
+    pub fn new(usite: impl Into<String>, vsite: impl Into<String>) -> Self {
+        VsiteAddress {
+            usite: usite.into(),
+            vsite: vsite.into(),
+        }
+    }
+}
+
+impl fmt::Display for VsiteAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.usite, self.vsite)
+    }
+}
+
+impl DerCodec for VsiteAddress {
+    fn to_value(&self) -> Value {
+        Value::Sequence(vec![Value::string(&self.usite), Value::string(&self.vsite)])
+    }
+
+    fn from_value(value: &Value) -> Result<Self, CodecError> {
+        let mut f = Fields::open(value, "VsiteAddress")?;
+        let usite = f.next_string()?;
+        let vsite = f.next_string()?;
+        f.finish()?;
+        Ok(VsiteAddress { usite, vsite })
+    }
+}
+
+/// The job's user attributes carried in the AJO: the certificate DN (the
+/// unique UNICORE identity), the account group to bill, and optional
+/// site-specific security data (smart card / DCE hooks, paper §4.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserAttributes {
+    /// Canonical distinguished-name string of the user certificate.
+    pub dn: String,
+    /// Account group at the destination site.
+    pub account_group: String,
+    /// Opaque site-specific authentication payload.
+    pub site_security: Option<Vec<u8>>,
+}
+
+impl UserAttributes {
+    /// Builds user attributes without site-specific data.
+    pub fn new(dn: impl Into<String>, account_group: impl Into<String>) -> Self {
+        UserAttributes {
+            dn: dn.into(),
+            account_group: account_group.into(),
+            site_security: None,
+        }
+    }
+}
+
+impl DerCodec for UserAttributes {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![Value::string(&self.dn), Value::string(&self.account_group)];
+        if let Some(sec) = &self.site_security {
+            fields.push(Value::tagged(0, Value::bytes(sec.clone())));
+        }
+        Value::Sequence(fields)
+    }
+
+    fn from_value(value: &Value) -> Result<Self, CodecError> {
+        let mut f = Fields::open(value, "UserAttributes")?;
+        let dn = f.next_string()?;
+        let account_group = f.next_string()?;
+        let site_security = match f.optional_tagged(0) {
+            Some(v) => Some(
+                v.as_bytes()
+                    .ok_or(CodecError::BadValue("site security"))?
+                    .to_vec(),
+            ),
+            None => None,
+        };
+        f.finish()?;
+        Ok(UserAttributes {
+            dn,
+            account_group,
+            site_security,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ActionId(3).to_string(), "a3");
+        assert_eq!(JobId(42).to_string(), "J00000042");
+        assert_eq!(VsiteAddress::new("FZJ", "T3E").to_string(), "FZJ/T3E");
+    }
+
+    #[test]
+    fn vsite_round_trip() {
+        let v = VsiteAddress::new("LRZ", "SP2");
+        assert_eq!(VsiteAddress::from_der(&v.to_der()).unwrap(), v);
+    }
+
+    #[test]
+    fn user_attributes_round_trip() {
+        let plain = UserAttributes::new("C=DE, O=FZJ, OU=ZAM, CN=alice", "proj42");
+        assert_eq!(UserAttributes::from_der(&plain.to_der()).unwrap(), plain);
+        let mut with_sec = plain.clone();
+        with_sec.site_security = Some(vec![1, 2, 3]);
+        assert_eq!(
+            UserAttributes::from_der(&with_sec.to_der()).unwrap(),
+            with_sec
+        );
+    }
+}

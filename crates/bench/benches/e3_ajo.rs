@@ -1,0 +1,233 @@
+//! E3 — Figure 3 reproduction: the AJO hierarchy on the wire.
+//!
+//! Prints the size of every AbstractAction subclass's DER encoding and how
+//! the AJO scales with job-graph size, then measures encode/decode
+//! throughput with Criterion.
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use unicore_ajo::*;
+use unicore_bench::{bench_user_attrs, chain_job, fan_job};
+use unicore_codec::DerCodec;
+
+fn every_task_kind() -> Vec<(&'static str, TaskKind)> {
+    vec![
+        (
+            "UserTask",
+            TaskKind::Execute(ExecuteKind::User {
+                executable: "model".into(),
+                arguments: vec!["--steps".into(), "100".into()],
+                environment: vec![("OMP_NUM_THREADS".into(), "8".into())],
+            }),
+        ),
+        (
+            "ExecuteScriptTask",
+            TaskKind::Execute(ExecuteKind::Script {
+                script: "#!/bin/sh\n./run_model --restart\n".into(),
+            }),
+        ),
+        (
+            "CompileTask",
+            TaskKind::Execute(ExecuteKind::Compile {
+                sources: vec!["main.f90".into(), "solver.f90".into()],
+                options: vec!["O3".into()],
+                output: "model.o".into(),
+            }),
+        ),
+        (
+            "LinkTask",
+            TaskKind::Execute(ExecuteKind::Link {
+                objects: vec!["model.o".into()],
+                libraries: vec!["blas".into(), "mpi".into()],
+                output: "model".into(),
+            }),
+        ),
+        (
+            "ImportTask",
+            TaskKind::File(FileKind::Import {
+                source: DataLocation::Xspace {
+                    vsite: VsiteAddress::new("FZJ", "T3E"),
+                    path: "/data/input.nc".into(),
+                },
+                uspace_name: "input.nc".into(),
+            }),
+        ),
+        (
+            "ExportTask",
+            TaskKind::File(FileKind::Export {
+                uspace_name: "result.nc".into(),
+                destination: DataLocation::Xspace {
+                    vsite: VsiteAddress::new("FZJ", "T3E"),
+                    path: "/archive/result.nc".into(),
+                },
+            }),
+        ),
+        (
+            "TransferTask",
+            TaskKind::File(FileKind::Transfer {
+                uspace_name: "fields.dat".into(),
+                to_vsite: VsiteAddress::new("DWD", "SX4"),
+                dest_name: "fields.dat".into(),
+            }),
+        ),
+    ]
+}
+
+fn every_service() -> Vec<(&'static str, AbstractService)> {
+    vec![
+        (
+            "ControlService",
+            AbstractService::Control {
+                job: JobId(7),
+                op: ControlOp::Abort,
+            },
+        ),
+        ("ListService", AbstractService::List),
+        (
+            "QueryService",
+            AbstractService::Query {
+                job: JobId(7),
+                detail: DetailLevel::Tasks,
+            },
+        ),
+    ]
+}
+
+fn print_tables() {
+    println!("\n=== E3: AJO object hierarchy (Figure 3) on the wire ===\n");
+    println!(
+        "{:<22} {:>12} {:>14}",
+        "AbstractAction subclass", "DER bytes", "round-trips"
+    );
+    for (name, kind) in every_task_kind() {
+        let task = AbstractTask {
+            name: "bench".into(),
+            resources: ResourceRequest::minimal(),
+            kind,
+        };
+        let der = task.to_der();
+        let ok = AbstractTask::from_der(&der)
+            .map(|t| t == task)
+            .unwrap_or(false);
+        println!(
+            "{:<22} {:>12} {:>14}",
+            name,
+            der.len(),
+            if ok { "yes" } else { "NO" }
+        );
+    }
+    for (name, svc) in every_service() {
+        let der = svc.to_der();
+        let ok = AbstractService::from_der(&der)
+            .map(|s| s == svc)
+            .unwrap_or(false);
+        println!(
+            "{:<22} {:>12} {:>14}",
+            name,
+            der.len(),
+            if ok { "yes" } else { "NO" }
+        );
+    }
+
+    println!("\nAJO size vs job-graph size (chain of script tasks):");
+    println!(
+        "{:>8} {:>12} {:>16}",
+        "tasks", "DER bytes", "bytes per task"
+    );
+    for n in [1usize, 10, 100, 1000] {
+        let job = chain_job("FZJ", "T3E", n, 10);
+        let der = job.to_der();
+        println!(
+            "{:>8} {:>12} {:>16.1}",
+            n,
+            der.len(),
+            der.len() as f64 / n as f64
+        );
+    }
+
+    println!("\nRecursive AJO (sub-jobs for other sites):");
+    let mut top = chain_job("FZJ", "T3E", 3, 10);
+    let mut sub = chain_job("RUS", "VPP", 3, 10);
+    sub.name = "group".into();
+    let mut subsub = chain_job("DWD", "SX4", 2, 10);
+    subsub.name = "inner group".into();
+    sub.nodes.push((ActionId(100), GraphNode::SubJob(subsub)));
+    top.nodes.push((ActionId(100), GraphNode::SubJob(sub)));
+    let der = top.to_der();
+    let back = AbstractJob::from_der(&der).unwrap();
+    println!(
+        "  depth {} tree, {} actions, {} DER bytes, round-trip ok: {}",
+        top.depth(),
+        top.action_count(),
+        der.len(),
+        back == top
+    );
+    println!();
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_ajo_encode");
+    for n in [10usize, 100, 1000] {
+        let job = chain_job("FZJ", "T3E", n, 10);
+        let der = job.to_der();
+        group.throughput(Throughput::Bytes(der.len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode", n), &job, |b, job| {
+            b.iter(|| black_box(job.to_der()))
+        });
+        group.bench_with_input(BenchmarkId::new("decode", n), &der, |b, der| {
+            b.iter(|| black_box(AbstractJob::from_der(der).unwrap()))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e3_ajo_ops");
+    let wide = fan_job("FZJ", "T3E", 500);
+    group.bench_function("validate_fan500", |b| {
+        b.iter(|| {
+            wide.validate().unwrap();
+            black_box(())
+        })
+    });
+    group.bench_function("topo_order_fan500", |b| {
+        b.iter(|| black_box(wide.topological_order().unwrap()))
+    });
+    // Ablation: DER round trip vs in-memory clone (DESIGN.md §5).
+    let job = chain_job("FZJ", "T3E", 100, 10);
+    group.bench_function("wire_roundtrip_100", |b| {
+        b.iter(|| black_box(AbstractJob::from_der(&job.to_der()).unwrap()))
+    });
+    group.bench_function("memory_clone_100", |b| b.iter(|| black_box(job.clone())));
+    group.finish();
+
+    // Outcome trees (the return path).
+    let mut outcome = JobOutcome::default();
+    for i in 0..100 {
+        outcome.children.push((
+            ActionId(i),
+            OutcomeNode::Task(TaskOutcome {
+                status: ActionStatus::Successful,
+                exit_code: Some(0),
+                stdout: vec![b'x'; 256],
+                ..Default::default()
+            }),
+        ));
+    }
+    let der = outcome.to_der();
+    let mut group = c.benchmark_group("e3_outcome");
+    group.throughput(Throughput::Bytes(der.len() as u64));
+    group.bench_function("encode_100_tasks", |b| {
+        b.iter(|| black_box(outcome.to_der()))
+    });
+    group.bench_function("decode_100_tasks", |b| {
+        b.iter(|| black_box(JobOutcome::from_der(&der).unwrap()))
+    });
+    group.finish();
+    let _ = bench_user_attrs();
+}
+
+fn main() {
+    print_tables();
+    let mut c = Criterion::default().configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

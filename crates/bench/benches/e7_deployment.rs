@@ -1,0 +1,223 @@
+//! E7 — §5.7: the six-site German deployment under load.
+//!
+//! Simulates the paper's production grid (FZJ, RUS, RUKA, LRZ, ZIB, DWD on
+//! T3E / VPP/700 / SP-2 / SX-4) with realistic background batch load and a
+//! population of UNICORE users, and reports utilisation, queue waits and
+//! UNICORE job success — the table EXPERIMENTS.md records.
+
+use criterion::Criterion;
+use std::hint::black_box;
+use unicore::{Federation, FederationConfig};
+use unicore_ajo::{ActionStatus, DetailLevel};
+use unicore_batch::{generate_background, WorkloadModel};
+use unicore_bench::chain_job;
+use unicore_crypto::CryptoRng;
+use unicore_sim::{format_time, HOUR, SEC};
+
+const SITES: [(&str, &str); 6] = [
+    ("FZJ", "T3E"),
+    ("RUS", "VPP"),
+    ("RUKA", "SP2"),
+    ("LRZ", "SP2"),
+    ("ZIB", "T3E"),
+    ("DWD", "SX4"),
+];
+
+struct DeploymentResult {
+    end: u64,
+    background: usize,
+    unicore_ok: usize,
+    unicore_total: usize,
+    rows: Vec<(String, String, u32, usize, f64, u64)>,
+    /// (mean twin-UNICORE wait, mean twin-local wait) in ticks — the §5.5
+    /// fairness claim, measured on matched twins: every 10th background job
+    /// is duplicated with a UNICORE-style owner and submitted adjacently,
+    /// so both populations have identical shape and arrival pattern.
+    fairness: (f64, f64),
+}
+
+fn run_deployment(seed: u64, n_users: usize, horizon: u64) -> DeploymentResult {
+    let mut fed = Federation::german_deployment(FederationConfig {
+        seed,
+        ..FederationConfig::default()
+    });
+    let users: Vec<String> = (0..n_users)
+        .map(|i| format!("C=DE, O=Grid, OU=U, CN=user{i:02}"))
+        .collect();
+    for (i, dn) in users.iter().enumerate() {
+        fed.register_user(dn, &format!("u{i:02}"));
+    }
+
+    // Background load.
+    let rng = CryptoRng::from_u64(seed);
+    let mut background = 0;
+    for (site, vsite) in SITES {
+        let (arch, nodes) = {
+            let v = fed.server(site).unwrap().njs().vsite(vsite).unwrap();
+            (v.batch.architecture(), v.batch.total_nodes())
+        };
+        let arrivals = generate_background(
+            &WorkloadModel::moderate(),
+            arch,
+            nodes,
+            horizon,
+            &mut rng.fork(site),
+        );
+        background += arrivals.len();
+        let batch = &mut fed
+            .server_mut(site)
+            .unwrap()
+            .njs_mut()
+            .vsite_mut(vsite)
+            .unwrap()
+            .batch;
+        for (i, a) in arrivals.iter().enumerate() {
+            // Matched-twin fairness probe: every 10th job is submitted
+            // twice — once as the local job, once under a UNICORE-style
+            // owner — alternating order to debias FIFO ties.
+            if i % 10 == 0 {
+                let mut twin = a.spec.clone();
+                twin.owner = format!("utwin_{}", twin.owner);
+                let mut local = a.spec.clone();
+                local.owner = format!("ltwin_{}", local.owner);
+                if (i / 10) % 2 == 0 {
+                    batch.submit(twin, a.at).unwrap();
+                    batch.submit(local, a.at).unwrap();
+                } else {
+                    batch.submit(local, a.at).unwrap();
+                    batch.submit(twin, a.at).unwrap();
+                }
+            }
+            batch.submit(a.spec.clone(), a.at).unwrap();
+        }
+    }
+
+    // UNICORE jobs.
+    let mut corrs = Vec::new();
+    for (i, dn) in users.iter().enumerate() {
+        let (home, vsite) = SITES[i % 6];
+        let mut job = chain_job(home, vsite, 3, 300);
+        job.user = unicore_ajo::UserAttributes::new(dn.clone(), "users");
+        corrs.push((fed.client_submit(home, job, dn), dn.clone(), home));
+    }
+    fed.run_until(horizon);
+    let mut jobs = Vec::new();
+    for (corr, dn, home) in corrs {
+        if let Some(unicore::Response::Consigned { job }) = fed.take_client_response(corr) {
+            jobs.push((job, dn, home));
+        }
+    }
+    let end = fed.run_until_idle(12 * HOUR);
+
+    let mut ok = 0;
+    for (job, dn, home) in &jobs {
+        let status = fed
+            .server(home)
+            .unwrap()
+            .query(*job, dn, DetailLevel::JobOnly)
+            .map(|o| o.status)
+            .unwrap_or(ActionStatus::Pending);
+        if status.is_success() {
+            ok += 1;
+        }
+    }
+
+    let mut rows = Vec::new();
+    let mut unicore_waits: Vec<u64> = Vec::new();
+    let mut local_waits: Vec<u64> = Vec::new();
+    for (site, vsite) in SITES {
+        let v = fed.server(site).unwrap().njs().vsite(vsite).unwrap();
+        let acc = v.batch.accounting();
+        let mut waits: Vec<u64> = acc.iter().map(|r| r.wait_time()).collect();
+        waits.sort_unstable();
+        for rec in acc {
+            if rec.owner.starts_with("utwin_") {
+                unicore_waits.push(rec.wait_time());
+            } else if rec.owner.starts_with("ltwin_") {
+                local_waits.push(rec.wait_time());
+            }
+        }
+        rows.push((
+            site.to_owned(),
+            v.batch.architecture().display_name().to_owned(),
+            v.batch.total_nodes(),
+            acc.len(),
+            v.batch.utilization(end),
+            waits.get(waits.len() / 2).copied().unwrap_or(0),
+        ));
+    }
+    let mean = |v: &[u64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<u64>() as f64 / v.len() as f64
+        }
+    };
+    DeploymentResult {
+        end,
+        background,
+        unicore_ok: ok,
+        unicore_total: jobs.len(),
+        rows,
+        fairness: (mean(&unicore_waits), mean(&local_waits)),
+    }
+}
+
+fn print_tables() {
+    println!("\n=== E7: the six-site German deployment (§5.7) ===\n");
+    let r = run_deployment(1999, 12, 2 * HOUR);
+    println!(
+        "2 h of arrivals: {} background batch jobs + {} UNICORE jobs; grid drained at {}",
+        r.background,
+        r.unicore_total,
+        format_time(r.end)
+    );
+    println!(
+        "UNICORE success rate: {}/{}\n",
+        r.unicore_ok, r.unicore_total
+    );
+    println!(
+        "{:<6} {:<16} {:>6} {:>10} {:>12} {:>14}",
+        "site", "machine", "nodes", "jobs run", "utilisation", "median wait"
+    );
+    for (site, machine, nodes, jobs, util, wait) in &r.rows {
+        println!(
+            "{:<6} {:<16} {:>6} {:>10} {:>11.1}% {:>14}",
+            site,
+            machine,
+            nodes,
+            jobs,
+            util * 100.0,
+            format_time(*wait)
+        );
+    }
+    println!("\nfairness (§5.5 'treated the same way any other batch job is treated'):");
+    println!(" matched twins — identical specs, adjacent submission, alternating order:");
+    println!(
+        "  mean wait, UNICORE-owned twins: {}",
+        format_time(r.fairness.0 as u64)
+    );
+    println!(
+        "  mean wait, local-owned twins:   {}",
+        format_time(r.fairness.1 as u64)
+    );
+    println!("\n(vector machines run hot with long queues; the big T3Es absorb");
+    println!(" load easily — UNICORE jobs wait like any local job, §5.5)\n");
+    let _ = SEC;
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_deployment_sim");
+    group.sample_size(10);
+    group.bench_function("six_sites_30min_horizon", |b| {
+        b.iter(|| black_box(run_deployment(7, 6, HOUR / 2).end))
+    });
+    group.finish();
+}
+
+fn main() {
+    print_tables();
+    let mut c = Criterion::default().configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

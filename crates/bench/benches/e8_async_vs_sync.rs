@@ -1,0 +1,91 @@
+//! E8 — §5.3: the asynchronous protocol's robustness, measured.
+//!
+//! "By minimizing the length of time that an interaction takes the
+//! asynchronous protocol protects against any unreliability of the
+//! underlying communication mechanism."
+//!
+//! We pit the real async consign/poll protocol (short interactions,
+//! retries, dedup) against a synchronous hold-the-connection strawman (one
+//! long interaction, no retry) across WAN loss rates, over many seeds, and
+//! report completion-observation rates — the ablation DESIGN.md calls out.
+
+use criterion::Criterion;
+use std::hint::black_box;
+use unicore::protocol::Response;
+use unicore::{Federation, FederationConfig};
+use unicore_ajo::ServiceOutcome;
+use unicore_bench::{chain_job, BENCH_DN};
+use unicore_sim::{HOUR, SEC};
+
+/// One trial; returns whether the client *observed* successful completion.
+fn trial(sync: bool, loss: f64, seed: u64) -> bool {
+    let mut fed = Federation::german_deployment(FederationConfig {
+        wan_loss: loss,
+        seed,
+        ..FederationConfig::default()
+    });
+    fed.register_user(BENCH_DN, "bench");
+    let job = chain_job("FZJ", "T3E", 2, 60);
+    if sync {
+        let corr = fed.client_submit_sync("FZJ", job, BENCH_DN);
+        fed.run_until(HOUR);
+        matches!(
+            fed.take_client_response(corr),
+            Some(Response::Service(ServiceOutcome::Query { outcome }))
+                if outcome.status.is_success()
+        )
+    } else {
+        fed.submit_and_wait("FZJ", job, BENCH_DN, 5 * SEC, HOUR)
+            .map(|(_, o, _)| o.status.is_success())
+            .unwrap_or(false)
+    }
+}
+
+fn rate(sync: bool, loss: f64, trials: u64) -> f64 {
+    let ok = (0..trials).filter(|&seed| trial(sync, loss, seed)).count();
+    ok as f64 / trials as f64
+}
+
+fn print_tables() {
+    println!("\n=== E8: asynchronous vs synchronous protocol under loss (§5.3) ===\n");
+    let trials = 20;
+    println!(
+        "{:>8} {:>16} {:>16}",
+        "loss", "async complete", "sync complete"
+    );
+    for loss in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5] {
+        let async_rate = rate(false, loss, trials);
+        let sync_rate = rate(true, loss, trials);
+        println!(
+            "{:>7.0}% {:>15.0}% {:>15.0}%",
+            loss * 100.0,
+            async_rate * 100.0,
+            sync_rate * 100.0
+        );
+    }
+    println!(
+        "\n({} seeds per cell; async = short retried interactions, sync =",
+        trials
+    );
+    println!(" one long interaction with no retry — the paper's robustness");
+    println!(" argument: async stays at 100% while sync decays with loss)\n");
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_protocol_sim");
+    group.sample_size(10);
+    group.bench_function("async_30pct_loss", |b| {
+        b.iter(|| black_box(trial(false, 0.3, 99)))
+    });
+    group.bench_function("sync_30pct_loss", |b| {
+        b.iter(|| black_box(trial(true, 0.3, 99)))
+    });
+    group.finish();
+}
+
+fn main() {
+    print_tables();
+    let mut c = Criterion::default().configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

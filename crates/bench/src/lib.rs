@@ -1,0 +1,128 @@
+#![forbid(unsafe_code)]
+//! # unicore-bench
+//!
+//! Shared fixtures for the experiment benchmarks (E1–E9 in DESIGN.md).
+//!
+//! Each bench target prints its experiment's *simulated* result table
+//! first (these are the numbers recorded in EXPERIMENTS.md — deterministic
+//! per seed) and then runs Criterion measurements of the *real* CPU cost
+//! of the components involved.
+
+use unicore_ajo::{
+    AbstractJob, AbstractTask, ActionId, Dependency, ExecuteKind, GraphNode, ResourceRequest,
+    TaskKind, UserAttributes, VsiteAddress,
+};
+use unicore_gateway::MappedUser;
+
+/// The DN used by all benchmark users.
+pub const BENCH_DN: &str = "C=DE, O=Bench, OU=Repro, CN=bench-user";
+
+/// Standard user attributes for benchmark jobs.
+pub fn bench_user_attrs() -> UserAttributes {
+    UserAttributes::new(BENCH_DN, "users")
+}
+
+/// Standard mapped user for direct-NJS benchmarks.
+pub fn bench_mapped_user() -> MappedUser {
+    MappedUser {
+        dn: BENCH_DN.into(),
+        login: "bench".into(),
+        account_group: "users".into(),
+    }
+}
+
+/// A linear chain job of `n` script tasks at `usite`/`vsite`.
+pub fn chain_job(usite: &str, vsite: &str, n: usize, sleep_secs: u64) -> AbstractJob {
+    let mut job = AbstractJob::new(
+        format!("chain{n}"),
+        VsiteAddress::new(usite, vsite),
+        bench_user_attrs(),
+    );
+    for i in 0..n {
+        job.nodes.push((
+            ActionId(i as u64 + 1),
+            GraphNode::Task(AbstractTask {
+                name: format!("t{i}"),
+                resources: ResourceRequest::minimal().with_run_time(3_600),
+                kind: TaskKind::Execute(ExecuteKind::Script {
+                    script: format!("sleep {sleep_secs}\n"),
+                }),
+            }),
+        ));
+        if i > 0 {
+            job.dependencies.push(Dependency {
+                from: ActionId(i as u64),
+                to: ActionId(i as u64 + 1),
+                files: vec![],
+            });
+        }
+    }
+    job
+}
+
+/// A wide fan job: one root task, `width` independent successors.
+pub fn fan_job(usite: &str, vsite: &str, width: usize) -> AbstractJob {
+    let mut job = AbstractJob::new(
+        format!("fan{width}"),
+        VsiteAddress::new(usite, vsite),
+        bench_user_attrs(),
+    );
+    job.nodes.push((
+        ActionId(1),
+        GraphNode::Task(AbstractTask {
+            name: "root".into(),
+            resources: ResourceRequest::minimal().with_run_time(600),
+            kind: TaskKind::Execute(ExecuteKind::Script {
+                script: "sleep 1\n".into(),
+            }),
+        }),
+    ));
+    for i in 0..width {
+        let id = ActionId(i as u64 + 2);
+        job.nodes.push((
+            id,
+            GraphNode::Task(AbstractTask {
+                name: format!("leaf{i}"),
+                resources: ResourceRequest::minimal().with_run_time(600),
+                kind: TaskKind::Execute(ExecuteKind::Script {
+                    script: "sleep 2\n".into(),
+                }),
+            }),
+        ));
+        job.dependencies.push(Dependency {
+            from: ActionId(1),
+            to: id,
+            files: vec![],
+        });
+    }
+    job
+}
+
+/// Formats a byte count for tables.
+pub fn fmt_bytes(n: u64) -> String {
+    if n >= 1 << 20 {
+        format!("{:.0} MiB", n as f64 / (1 << 20) as f64)
+    } else if n >= 1 << 10 {
+        format!("{:.0} KiB", n as f64 / (1 << 10) as f64)
+    } else {
+        format!("{n} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_validate() {
+        chain_job("FZJ", "T3E", 10, 5).validate().unwrap();
+        fan_job("FZJ", "T3E", 50).validate().unwrap();
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(4096), "4 KiB");
+        assert_eq!(fmt_bytes(16 << 20), "16 MiB");
+    }
+}

@@ -1,0 +1,312 @@
+//! Certificates: the to-be-signed body, key usage flags, and signature
+//! verification.
+
+use crate::dn::DistinguishedName;
+use crate::error::CertError;
+use unicore_codec::{CodecError, DerCodec, Fields, Value};
+use unicore_crypto::bignum::BigUint;
+use unicore_crypto::rsa::RsaPublicKey;
+
+/// What a certificate's key is allowed to do.
+///
+/// UNICORE distinguishes user certificates (client auth), server
+/// certificates (server auth), CA certificates (cert signing) and software
+/// signing certificates for the applets (paper §5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KeyUsage {
+    /// May sign other certificates and CRLs (CA certificates).
+    pub cert_sign: bool,
+    /// May authenticate as a server (gateway / NJS endpoints).
+    pub server_auth: bool,
+    /// May authenticate as a client (users, peer NJS in client role).
+    pub client_auth: bool,
+    /// May sign software bundles (applet signing).
+    pub code_sign: bool,
+}
+
+impl KeyUsage {
+    /// Usage profile for a CA.
+    pub fn ca() -> Self {
+        KeyUsage {
+            cert_sign: true,
+            ..Default::default()
+        }
+    }
+
+    /// Usage profile for a UNICORE user.
+    pub fn user() -> Self {
+        KeyUsage {
+            client_auth: true,
+            ..Default::default()
+        }
+    }
+
+    /// Usage profile for a UNICORE server (gateway; also acts as a client
+    /// towards peer sites, mirroring NJS's dual role in the protocol).
+    pub fn server() -> Self {
+        KeyUsage {
+            server_auth: true,
+            client_auth: true,
+            ..Default::default()
+        }
+    }
+
+    /// Usage profile for software (applet) signing.
+    pub fn software() -> Self {
+        KeyUsage {
+            code_sign: true,
+            ..Default::default()
+        }
+    }
+
+    fn bits(&self) -> u32 {
+        (self.cert_sign as u32)
+            | (self.server_auth as u32) << 1
+            | (self.client_auth as u32) << 2
+            | (self.code_sign as u32) << 3
+    }
+
+    fn from_bits(bits: u32) -> Self {
+        KeyUsage {
+            cert_sign: bits & 1 != 0,
+            server_auth: bits & 2 != 0,
+            client_auth: bits & 4 != 0,
+            code_sign: bits & 8 != 0,
+        }
+    }
+}
+
+/// Inclusive validity window in simulation seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Validity {
+    /// First instant (seconds) at which the certificate is valid.
+    pub not_before: u64,
+    /// Last instant (seconds) at which the certificate is valid.
+    pub not_after: u64,
+}
+
+impl Validity {
+    /// A window `[start, start + duration]`.
+    pub fn starting_at(start: u64, duration: u64) -> Self {
+        Validity {
+            not_before: start,
+            not_after: start.saturating_add(duration),
+        }
+    }
+
+    /// Whether `now` falls inside the window.
+    pub fn contains(&self, now: u64) -> bool {
+        self.not_before <= now && now <= self.not_after
+    }
+}
+
+/// The signed body of a certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TbsCertificate {
+    /// Serial number, unique per issuer.
+    pub serial: u64,
+    /// Issuer DN.
+    pub issuer: DistinguishedName,
+    /// Subject DN.
+    pub subject: DistinguishedName,
+    /// Validity window.
+    pub validity: Validity,
+    /// Subject's RSA public key.
+    pub public_key: RsaPublicKey,
+    /// Permitted key usages.
+    pub usage: KeyUsage,
+}
+
+/// A certificate: TBS body plus the issuer's RSA signature over the body's
+/// canonical DER encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// The signed body.
+    pub tbs: TbsCertificate,
+    /// Issuer's signature over `tbs.to_der()`.
+    pub signature: Vec<u8>,
+}
+
+impl Certificate {
+    /// Verifies the signature with the purported issuer's public key.
+    ///
+    /// This checks the signature only; chain building, validity windows,
+    /// usage and revocation live in [`crate::chain`].
+    pub fn verify_signature(&self, issuer_key: &RsaPublicKey) -> Result<(), CertError> {
+        issuer_key
+            .verify(&self.tbs.to_der(), &self.signature)
+            .map_err(|_| CertError::BadSignature {
+                subject: self.tbs.subject.to_string(),
+            })
+    }
+
+    /// True when this certificate is self-signed (issuer == subject) and the
+    /// signature verifies under its own key.
+    pub fn is_self_signed(&self) -> bool {
+        self.tbs.issuer == self.tbs.subject && self.verify_signature(&self.tbs.public_key).is_ok()
+    }
+
+    /// Stable short fingerprint (hex SHA-256 prefix of the DER encoding).
+    pub fn fingerprint(&self) -> String {
+        let digest = unicore_crypto::sha256(&self.to_der());
+        digest[..8].iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+impl DerCodec for TbsCertificate {
+    fn to_value(&self) -> Value {
+        Value::Sequence(vec![
+            Value::Integer(self.serial as i64),
+            self.issuer.to_value(),
+            self.subject.to_value(),
+            Value::Integer(self.validity.not_before as i64),
+            Value::Integer(self.validity.not_after as i64),
+            Value::bytes(self.public_key.n.to_bytes_be()),
+            Value::bytes(self.public_key.e.to_bytes_be()),
+            Value::Enumerated(self.usage.bits()),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<Self, CodecError> {
+        let mut f = Fields::open(value, "TbsCertificate")?;
+        let serial = f.next_u64()?;
+        let issuer = DistinguishedName::from_value(f.next_value()?)?;
+        let subject = DistinguishedName::from_value(f.next_value()?)?;
+        let not_before = f.next_u64()?;
+        let not_after = f.next_u64()?;
+        let n = BigUint::from_bytes_be(f.next_bytes()?);
+        let e = BigUint::from_bytes_be(f.next_bytes()?);
+        let usage = KeyUsage::from_bits(f.next_enum()?);
+        f.finish()?;
+        Ok(TbsCertificate {
+            serial,
+            issuer,
+            subject,
+            validity: Validity {
+                not_before,
+                not_after,
+            },
+            public_key: RsaPublicKey { n, e },
+            usage,
+        })
+    }
+}
+
+impl DerCodec for Certificate {
+    fn to_value(&self) -> Value {
+        Value::Sequence(vec![
+            self.tbs.to_value(),
+            Value::bytes(self.signature.clone()),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<Self, CodecError> {
+        let mut f = Fields::open(value, "Certificate")?;
+        let tbs = TbsCertificate::from_value(f.next_value()?)?;
+        let signature = f.next_bytes()?.to_vec();
+        f.finish()?;
+        Ok(Certificate { tbs, signature })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicore_crypto::rng::CryptoRng;
+    use unicore_crypto::rsa::RsaKeyPair;
+
+    fn dn(cn: &str) -> DistinguishedName {
+        DistinguishedName::new("DE", "FZJ", "ZAM", cn)
+    }
+
+    fn make_cert(signer: &RsaKeyPair, subject_key: &RsaPublicKey) -> Certificate {
+        let tbs = TbsCertificate {
+            serial: 7,
+            issuer: dn("UNICORE CA"),
+            subject: dn("user1"),
+            validity: Validity::starting_at(100, 1000),
+            public_key: subject_key.clone(),
+            usage: KeyUsage::user(),
+        };
+        let signature = signer.private.sign(&tbs.to_der()).unwrap();
+        Certificate { tbs, signature }
+    }
+
+    #[test]
+    fn key_usage_bits_round_trip() {
+        for usage in [
+            KeyUsage::ca(),
+            KeyUsage::user(),
+            KeyUsage::server(),
+            KeyUsage::software(),
+            KeyUsage::default(),
+        ] {
+            assert_eq!(KeyUsage::from_bits(usage.bits()), usage);
+        }
+    }
+
+    #[test]
+    fn validity_window() {
+        let v = Validity::starting_at(10, 5);
+        assert!(!v.contains(9));
+        assert!(v.contains(10));
+        assert!(v.contains(15));
+        assert!(!v.contains(16));
+    }
+
+    #[test]
+    fn signature_verifies_with_issuer_key() {
+        let mut rng = CryptoRng::from_u64(1);
+        let ca = RsaKeyPair::generate(512, &mut rng);
+        let user = RsaKeyPair::generate(512, &mut rng);
+        let cert = make_cert(&ca, &user.public);
+        cert.verify_signature(&ca.public).unwrap();
+    }
+
+    #[test]
+    fn signature_fails_with_wrong_key() {
+        let mut rng = CryptoRng::from_u64(2);
+        let ca = RsaKeyPair::generate(512, &mut rng);
+        let other = RsaKeyPair::generate(512, &mut rng);
+        let user = RsaKeyPair::generate(512, &mut rng);
+        let cert = make_cert(&ca, &user.public);
+        assert!(matches!(
+            cert.verify_signature(&other.public),
+            Err(CertError::BadSignature { .. })
+        ));
+    }
+
+    #[test]
+    fn tampered_body_fails() {
+        let mut rng = CryptoRng::from_u64(3);
+        let ca = RsaKeyPair::generate(512, &mut rng);
+        let user = RsaKeyPair::generate(512, &mut rng);
+        let mut cert = make_cert(&ca, &user.public);
+        cert.tbs.subject = dn("mallory");
+        assert!(cert.verify_signature(&ca.public).is_err());
+    }
+
+    #[test]
+    fn der_round_trip() {
+        let mut rng = CryptoRng::from_u64(4);
+        let ca = RsaKeyPair::generate(512, &mut rng);
+        let user = RsaKeyPair::generate(512, &mut rng);
+        let cert = make_cert(&ca, &user.public);
+        let back = Certificate::from_der(&cert.to_der()).unwrap();
+        assert_eq!(back, cert);
+        back.verify_signature(&ca.public).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_stable_and_distinct() {
+        let mut rng = CryptoRng::from_u64(5);
+        let ca = RsaKeyPair::generate(512, &mut rng);
+        let u1 = RsaKeyPair::generate(512, &mut rng);
+        let cert1 = make_cert(&ca, &u1.public);
+        let mut cert2 = cert1.clone();
+        cert2.tbs.serial = 8;
+        assert_eq!(cert1.fingerprint(), cert1.fingerprint());
+        assert_ne!(cert1.fingerprint(), cert2.fingerprint());
+        assert_eq!(cert1.fingerprint().len(), 16);
+    }
+}

@@ -1,0 +1,441 @@
+//! Certificate chain validation against a trust store.
+//!
+//! Validation checks, in order: chain links (issuer DN and signature),
+//! validity windows at the evaluation time, CA usage on intermediates, the
+//! required end-entity usage, and revocation against the freshest CRL known
+//! per issuer.
+
+use crate::cert::Certificate;
+use crate::crl::CertificateRevocationList;
+use crate::dn::DistinguishedName;
+use crate::error::CertError;
+use std::collections::HashMap;
+
+/// What the verifier requires the end-entity key to be allowed to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequiredUsage {
+    /// Client authentication (users connecting to a gateway).
+    ClientAuth,
+    /// Server authentication (gateway presenting itself).
+    ServerAuth,
+    /// Software signature verification (applets).
+    CodeSign,
+    /// No usage requirement.
+    Any,
+}
+
+/// A set of trust anchors plus CRLs, shared by gateways and clients.
+#[derive(Default)]
+pub struct TrustStore {
+    anchors: Vec<Certificate>,
+    crls: HashMap<String, CertificateRevocationList>,
+}
+
+impl TrustStore {
+    /// An empty store (trusts nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a trust anchor (typically a self-signed root).
+    ///
+    /// Anchors must carry the `cert_sign` usage; others are rejected.
+    pub fn add_anchor(&mut self, cert: Certificate) -> Result<(), CertError> {
+        if !cert.tbs.usage.cert_sign {
+            return Err(CertError::UsageViolation {
+                subject: cert.tbs.subject.to_string(),
+                needed: "cert_sign",
+            });
+        }
+        self.anchors.push(cert);
+        Ok(())
+    }
+
+    /// Installs (or replaces with a newer) CRL for its issuer.
+    ///
+    /// The CRL signature must verify under a known anchor or previously
+    /// validated intermediate; here we require an anchor with a matching
+    /// subject DN. Stale CRLs (sequence not newer) are ignored.
+    pub fn install_crl(&mut self, crl: CertificateRevocationList) -> Result<(), CertError> {
+        let anchor = self
+            .anchors
+            .iter()
+            .find(|a| a.tbs.subject == crl.issuer)
+            .ok_or_else(|| CertError::UnknownIssuer {
+                issuer: crl.issuer.to_string(),
+            })?;
+        crl.verify(&anchor.tbs.public_key)?;
+        let key = crl.issuer.to_string();
+        match self.crls.get(&key) {
+            Some(existing) if existing.sequence >= crl.sequence => Ok(()),
+            _ => {
+                self.crls.insert(key, crl);
+                Ok(())
+            }
+        }
+    }
+
+    /// Looks up the anchor with `subject`.
+    fn anchor_for(&self, subject: &DistinguishedName) -> Option<&Certificate> {
+        self.anchors.iter().find(|a| &a.tbs.subject == subject)
+    }
+
+    /// Validates `chain` (end entity first, then intermediates toward the
+    /// root) at time `now` for `usage`.
+    ///
+    /// The chain may omit the anchor itself; the last element's issuer must
+    /// match an installed anchor.
+    pub fn validate(
+        &self,
+        chain: &[Certificate],
+        now: u64,
+        usage: RequiredUsage,
+    ) -> Result<(), CertError> {
+        let end = chain.first().ok_or(CertError::EmptyChain)?;
+
+        // End-entity usage.
+        let usage_ok = match usage {
+            RequiredUsage::ClientAuth => end.tbs.usage.client_auth,
+            RequiredUsage::ServerAuth => end.tbs.usage.server_auth,
+            RequiredUsage::CodeSign => end.tbs.usage.code_sign,
+            RequiredUsage::Any => true,
+        };
+        if !usage_ok {
+            return Err(CertError::UsageViolation {
+                subject: end.tbs.subject.to_string(),
+                needed: match usage {
+                    RequiredUsage::ClientAuth => "client_auth",
+                    RequiredUsage::ServerAuth => "server_auth",
+                    RequiredUsage::CodeSign => "code_sign",
+                    RequiredUsage::Any => unreachable!(),
+                },
+            });
+        }
+
+        for (i, cert) in chain.iter().enumerate() {
+            // Validity window.
+            if !cert.tbs.validity.contains(now) {
+                return Err(CertError::Expired {
+                    subject: cert.tbs.subject.to_string(),
+                    at: now,
+                });
+            }
+            // Intermediates must be CAs.
+            if i > 0 && !cert.tbs.usage.cert_sign {
+                return Err(CertError::UsageViolation {
+                    subject: cert.tbs.subject.to_string(),
+                    needed: "cert_sign",
+                });
+            }
+            // Revocation: consult the issuer's CRL if installed.
+            if let Some(crl) = self.crls.get(&cert.tbs.issuer.to_string()) {
+                if crl.is_revoked(cert.tbs.serial) {
+                    return Err(CertError::Revoked {
+                        subject: cert.tbs.subject.to_string(),
+                        serial: cert.tbs.serial,
+                    });
+                }
+            }
+            // Signature link: next chain element, or an anchor.
+            let issuer_cert = match chain.get(i + 1) {
+                Some(next) => {
+                    if next.tbs.subject != cert.tbs.issuer {
+                        return Err(CertError::BrokenChain {
+                            subject: cert.tbs.subject.to_string(),
+                            expected_issuer: cert.tbs.issuer.to_string(),
+                        });
+                    }
+                    next
+                }
+                None => {
+                    self.anchor_for(&cert.tbs.issuer)
+                        .ok_or_else(|| CertError::UnknownIssuer {
+                            issuer: cert.tbs.issuer.to_string(),
+                        })?
+                }
+            };
+            cert.verify_signature(&issuer_cert.tbs.public_key)?;
+        }
+
+        // The anchor linking the top of the chain must itself be in window.
+        if let Some(top) = chain.last() {
+            if let Some(anchor) = self.anchor_for(&top.tbs.issuer) {
+                if !anchor.tbs.validity.contains(now) {
+                    return Err(CertError::Expired {
+                        subject: anchor.tbs.subject.to_string(),
+                        at: now,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ca::CertificateAuthority;
+    use crate::cert::{KeyUsage, Validity};
+    use unicore_crypto::rng::CryptoRng;
+
+    fn dn(cn: &str) -> DistinguishedName {
+        DistinguishedName::new("DE", "FZJ", "ZAM", cn)
+    }
+
+    struct Fixture {
+        store: TrustStore,
+        ca: CertificateAuthority,
+        rng: CryptoRng,
+    }
+
+    fn fixture(seed: u64) -> Fixture {
+        let mut rng = CryptoRng::from_u64(seed);
+        let ca = CertificateAuthority::new_root(
+            dn("UNICORE CA"),
+            Validity::starting_at(0, 10_000),
+            512,
+            &mut rng,
+        );
+        let mut store = TrustStore::new();
+        store.add_anchor(ca.certificate().clone()).unwrap();
+        Fixture { store, ca, rng }
+    }
+
+    #[test]
+    fn valid_user_chain() {
+        let mut fx = fixture(30);
+        let id = fx
+            .ca
+            .issue_identity(
+                dn("alice"),
+                KeyUsage::user(),
+                Validity::starting_at(0, 100),
+                &mut fx.rng,
+            )
+            .unwrap();
+        fx.store
+            .validate(&[id.cert], 50, RequiredUsage::ClientAuth)
+            .unwrap();
+    }
+
+    #[test]
+    fn expired_cert_rejected() {
+        let mut fx = fixture(31);
+        let id = fx
+            .ca
+            .issue_identity(
+                dn("alice"),
+                KeyUsage::user(),
+                Validity::starting_at(0, 100),
+                &mut fx.rng,
+            )
+            .unwrap();
+        assert!(matches!(
+            fx.store
+                .validate(&[id.cert], 101, RequiredUsage::ClientAuth),
+            Err(CertError::Expired { .. })
+        ));
+    }
+
+    #[test]
+    fn not_yet_valid_rejected() {
+        let mut fx = fixture(32);
+        let id = fx
+            .ca
+            .issue_identity(
+                dn("alice"),
+                KeyUsage::user(),
+                Validity::starting_at(10, 100),
+                &mut fx.rng,
+            )
+            .unwrap();
+        assert!(fx
+            .store
+            .validate(&[id.cert], 5, RequiredUsage::ClientAuth)
+            .is_err());
+    }
+
+    #[test]
+    fn usage_mismatch_rejected() {
+        let mut fx = fixture(33);
+        let id = fx
+            .ca
+            .issue_identity(
+                dn("host"),
+                KeyUsage::server(),
+                Validity::starting_at(0, 100),
+                &mut fx.rng,
+            )
+            .unwrap();
+        // Server cert presented where code signing is required.
+        assert!(matches!(
+            fx.store
+                .validate(std::slice::from_ref(&id.cert), 10, RequiredUsage::CodeSign),
+            Err(CertError::UsageViolation { .. })
+        ));
+        // Same cert is fine for server auth.
+        fx.store
+            .validate(&[id.cert], 10, RequiredUsage::ServerAuth)
+            .unwrap();
+    }
+
+    #[test]
+    fn unknown_issuer_rejected() {
+        let mut fx = fixture(34);
+        // A certificate from a different, untrusted CA.
+        let mut other_rng = CryptoRng::from_u64(99);
+        let mut other_ca = CertificateAuthority::new_root(
+            dn("Rogue CA"),
+            Validity::starting_at(0, 10_000),
+            512,
+            &mut other_rng,
+        );
+        let id = other_ca
+            .issue_identity(
+                dn("mallory"),
+                KeyUsage::user(),
+                Validity::starting_at(0, 100),
+                &mut other_rng,
+            )
+            .unwrap();
+        assert!(matches!(
+            fx.store.validate(&[id.cert], 10, RequiredUsage::ClientAuth),
+            Err(CertError::UnknownIssuer { .. })
+        ));
+        let _ = &mut fx; // fixture kept for symmetry
+    }
+
+    #[test]
+    fn intermediate_chain_validates() {
+        let mut fx = fixture(35);
+        let mut inter = fx
+            .ca
+            .issue_intermediate(
+                dn("Site CA"),
+                Validity::starting_at(0, 5_000),
+                512,
+                &mut fx.rng,
+            )
+            .unwrap();
+        let leaf = inter
+            .issue_identity(
+                dn("bob"),
+                KeyUsage::user(),
+                Validity::starting_at(0, 100),
+                &mut fx.rng,
+            )
+            .unwrap();
+        fx.store
+            .validate(
+                &[leaf.cert, inter.certificate().clone()],
+                50,
+                RequiredUsage::ClientAuth,
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn chain_with_wrong_order_rejected() {
+        let mut fx = fixture(36);
+        let mut inter = fx
+            .ca
+            .issue_intermediate(
+                dn("Site CA"),
+                Validity::starting_at(0, 5_000),
+                512,
+                &mut fx.rng,
+            )
+            .unwrap();
+        let leaf = inter
+            .issue_identity(
+                dn("bob"),
+                KeyUsage::user(),
+                Validity::starting_at(0, 100),
+                &mut fx.rng,
+            )
+            .unwrap();
+        // Swapped order: intermediate first.
+        assert!(fx
+            .store
+            .validate(
+                &[inter.certificate().clone(), leaf.cert],
+                50,
+                RequiredUsage::Any,
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn revoked_cert_rejected() {
+        let mut fx = fixture(37);
+        let id = fx
+            .ca
+            .issue_identity(
+                dn("alice"),
+                KeyUsage::user(),
+                Validity::starting_at(0, 100),
+                &mut fx.rng,
+            )
+            .unwrap();
+        let serial = id.cert.tbs.serial;
+        fx.ca.revoke(serial);
+        let crl = fx.ca.publish_crl(60);
+        fx.store.install_crl(crl).unwrap();
+        assert!(matches!(
+            fx.store.validate(&[id.cert], 70, RequiredUsage::ClientAuth),
+            Err(CertError::Revoked { .. })
+        ));
+    }
+
+    #[test]
+    fn stale_crl_does_not_replace_newer() {
+        let mut fx = fixture(38);
+        let id = fx
+            .ca
+            .issue_identity(
+                dn("alice"),
+                KeyUsage::user(),
+                Validity::starting_at(0, 100),
+                &mut fx.rng,
+            )
+            .unwrap();
+        fx.ca.revoke(id.cert.tbs.serial);
+        let newer = fx.ca.publish_crl(10); // sequence 1, contains the serial
+                                           // Manufacture an older-looking empty CRL with a lower sequence by
+                                           // publishing first and reusing; instead simply install newer, then
+                                           // try to install a fresh CA's sequence-1-equivalent: publish again
+                                           // gives sequence 2 — so test the ignore path via same-sequence.
+        fx.store.install_crl(newer.clone()).unwrap();
+        fx.store.install_crl(newer).unwrap(); // same sequence: ignored, no error
+        assert!(matches!(
+            fx.store.validate(&[id.cert], 20, RequiredUsage::ClientAuth),
+            Err(CertError::Revoked { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        let fx = fixture(39);
+        assert!(matches!(
+            fx.store.validate(&[], 0, RequiredUsage::Any),
+            Err(CertError::EmptyChain)
+        ));
+    }
+
+    #[test]
+    fn anchor_must_be_ca() {
+        let mut fx = fixture(40);
+        let id = fx
+            .ca
+            .issue_identity(
+                dn("user"),
+                KeyUsage::user(),
+                Validity::starting_at(0, 100),
+                &mut fx.rng,
+            )
+            .unwrap();
+        let mut store = TrustStore::new();
+        assert!(store.add_anchor(id.cert).is_err());
+    }
+}

@@ -1,0 +1,92 @@
+//! Certificate-layer errors.
+
+use core::fmt;
+
+/// Errors from certificate issuance and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertError {
+    /// A certificate signature did not verify.
+    BadSignature {
+        /// Subject of the offending certificate.
+        subject: String,
+    },
+    /// A CRL signature did not verify.
+    BadCrlSignature,
+    /// The certificate is outside its validity window.
+    Expired {
+        /// Subject of the offending certificate.
+        subject: String,
+        /// Evaluation time.
+        at: u64,
+    },
+    /// The certificate (or CRL) issuer is not in the trust store.
+    UnknownIssuer {
+        /// The unknown issuer DN.
+        issuer: String,
+    },
+    /// Key usage does not permit the attempted operation.
+    UsageViolation {
+        /// Subject of the offending certificate.
+        subject: String,
+        /// The usage bit that was required.
+        needed: &'static str,
+    },
+    /// Chain elements do not link (subject/issuer mismatch).
+    BrokenChain {
+        /// Subject whose issuer was not found next in the chain.
+        subject: String,
+        /// The issuer DN that was expected.
+        expected_issuer: String,
+    },
+    /// The certificate has been revoked.
+    Revoked {
+        /// Subject of the revoked certificate.
+        subject: String,
+        /// Revoked serial.
+        serial: u64,
+    },
+    /// An empty chain was presented.
+    EmptyChain,
+    /// A private-key signing operation failed.
+    SigningFailed,
+    /// Software bundle signature mismatch (tampering).
+    TamperedSoftware {
+        /// Bundle name.
+        name: String,
+    },
+}
+
+impl fmt::Display for CertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertError::BadSignature { subject } => {
+                write!(f, "bad signature on certificate for {subject}")
+            }
+            CertError::BadCrlSignature => write!(f, "bad CRL signature"),
+            CertError::Expired { subject, at } => {
+                write!(f, "certificate for {subject} not valid at t={at}")
+            }
+            CertError::UnknownIssuer { issuer } => write!(f, "unknown issuer {issuer}"),
+            CertError::UsageViolation { subject, needed } => {
+                write!(f, "certificate for {subject} lacks usage {needed}")
+            }
+            CertError::BrokenChain {
+                subject,
+                expected_issuer,
+            } => write!(
+                f,
+                "broken chain at {subject}: expected issuer {expected_issuer}"
+            ),
+            CertError::Revoked { subject, serial } => {
+                write!(f, "certificate for {subject} (serial {serial}) is revoked")
+            }
+            CertError::EmptyChain => write!(f, "empty certificate chain"),
+            CertError::SigningFailed => write!(f, "signing operation failed"),
+            CertError::TamperedSoftware { name } => {
+                write!(f, "software bundle {name} failed its tamper check")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CertError {}

@@ -1,0 +1,97 @@
+//! Property tests for the certificate layer: DN round trips and the
+//! signature/tamper relationship on arbitrary certificate fields.
+
+use proptest::prelude::*;
+use unicore_certs::{CertificateAuthority, DistinguishedName, KeyUsage, TbsCertificate, Validity};
+use unicore_codec::DerCodec;
+use unicore_crypto::{CryptoRng, RsaKeyPair};
+
+/// DN attribute values: non-empty, no commas/equals (the canonical string
+/// form reserves them as separators), no leading/trailing spaces.
+fn attr() -> impl Strategy<Value = String> {
+    "[A-Za-z0-9][A-Za-z0-9 ._-]{0,18}[A-Za-z0-9]|[A-Za-z0-9]"
+}
+
+fn dn_strategy() -> impl Strategy<Value = DistinguishedName> {
+    (attr(), attr(), attr(), attr(), proptest::option::of(attr())).prop_map(
+        |(c, o, ou, cn, email)| {
+            let mut dn = DistinguishedName::new(c, o, ou, cn);
+            if let Some(e) = email {
+                dn = dn.with_email(e);
+            }
+            dn
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn dn_string_round_trip(dn in dn_strategy()) {
+        let rendered = dn.to_string();
+        let parsed = DistinguishedName::parse(&rendered).unwrap();
+        prop_assert_eq!(parsed, dn);
+    }
+
+    #[test]
+    fn dn_der_round_trip(dn in dn_strategy()) {
+        prop_assert_eq!(DistinguishedName::from_der(&dn.to_der()).unwrap(), dn);
+    }
+
+    #[test]
+    fn distinct_dns_have_distinct_strings(a in dn_strategy(), b in dn_strategy()) {
+        if a != b {
+            prop_assert_ne!(a.to_string(), b.to_string());
+        }
+    }
+
+    #[test]
+    fn tbs_round_trip(
+        dn in dn_strategy(),
+        issuer in dn_strategy(),
+        serial in any::<u32>(),
+        start in 0u64..1_000_000,
+        dur in 1u64..1_000_000,
+    ) {
+        // One fixed keypair (keygen is the slow part).
+        let kp = RsaKeyPair::generate(512, &mut CryptoRng::from_u64(1));
+        let tbs = TbsCertificate {
+            serial: serial as u64,
+            issuer,
+            subject: dn,
+            validity: Validity::starting_at(start, dur),
+            public_key: kp.public.clone(),
+            usage: KeyUsage::user(),
+        };
+        prop_assert_eq!(TbsCertificate::from_der(&tbs.to_der()).unwrap(), tbs);
+    }
+
+    #[test]
+    fn any_field_tamper_breaks_signature(
+        dn in dn_strategy(),
+        which in 0u8..4,
+        new_serial in any::<u32>(),
+    ) {
+        let mut rng = CryptoRng::from_u64(2);
+        let mut ca = CertificateAuthority::new_root(
+            DistinguishedName::new("DE", "CA", "CA", "root"),
+            Validity::starting_at(0, 10_000_000),
+            512,
+            &mut rng,
+        );
+        let id = ca
+            .issue_identity(dn, KeyUsage::user(), Validity::starting_at(0, 1_000), &mut rng)
+            .unwrap();
+        let ca_key = &ca.certificate().tbs.public_key;
+        id.cert.verify_signature(ca_key).unwrap();
+
+        let mut tampered = id.cert.clone();
+        match which {
+            0 => tampered.tbs.serial = tampered.tbs.serial.wrapping_add(new_serial as u64 | 1),
+            1 => tampered.tbs.subject.common_name.push('x'),
+            2 => tampered.tbs.validity.not_after += 1,
+            3 => tampered.tbs.usage.cert_sign = !tampered.tbs.usage.cert_sign,
+            _ => unreachable!(),
+        }
+        prop_assert!(tampered.verify_signature(ca_key).is_err());
+    }
+}

@@ -1,0 +1,417 @@
+//! The Job Monitor Controller.
+//!
+//! "The JMC shows the job status of the user's UNICORE jobs in a display
+//! similar to the one of the JPA. The icons are colored to reflect the job
+//! status in a seamless way. Depending on the chosen level of detail the
+//! status is displayed for job groups and/or tasks. The standard output
+//! and error files can be listed and/or saved for tasks." (§5.7)
+//!
+//! This module renders outcome trees with the colour model and extracts
+//! task outputs — everything the applet GUI displayed, as plain data.
+
+use unicore_ajo::{AbstractJob, ActionId, GraphNode, JobOutcome, OutcomeNode, StatusColor};
+
+/// The icon glyph for each status colour (terminal-friendly stand-ins for
+/// the applet's coloured icons).
+pub fn color_icon(color: StatusColor) -> &'static str {
+    match color {
+        StatusColor::Green => "[+]",
+        StatusColor::Yellow => "[~]",
+        StatusColor::Blue => "[.]",
+        StatusColor::Red => "[x]",
+        StatusColor::Grey => "[=]",
+    }
+}
+
+/// One rendered row of the status display.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatusRow {
+    /// Nesting depth (0 = the job itself).
+    pub depth: usize,
+    /// Icon for the status colour.
+    pub icon: &'static str,
+    /// Node name (job/group/task).
+    pub name: String,
+    /// Status text.
+    pub status: String,
+}
+
+/// Builds the status rows for `job` given its current `outcome`,
+/// recursing through job groups and tasks like the JMC's tree display.
+pub fn status_rows(job: &AbstractJob, outcome: &JobOutcome) -> Vec<StatusRow> {
+    let mut rows = Vec::new();
+    rows.push(StatusRow {
+        depth: 0,
+        icon: color_icon(outcome.status.color()),
+        name: job.name.clone(),
+        status: format!("{:?}", outcome.status),
+    });
+    rows_level(job, outcome, 1, &mut rows);
+    rows
+}
+
+fn rows_level(job: &AbstractJob, outcome: &JobOutcome, depth: usize, rows: &mut Vec<StatusRow>) {
+    for (id, node) in &job.nodes {
+        let child = outcome.child(*id);
+        match (node, child) {
+            (GraphNode::Task(task), Some(OutcomeNode::Task(t))) => {
+                rows.push(StatusRow {
+                    depth,
+                    icon: color_icon(t.status.color()),
+                    name: task.name.clone(),
+                    status: format!("{:?}", t.status),
+                });
+            }
+            (GraphNode::SubJob(sub), Some(OutcomeNode::Job(j))) => {
+                rows.push(StatusRow {
+                    depth,
+                    icon: color_icon(j.status.color()),
+                    name: sub.name.clone(),
+                    status: format!("{:?}", j.status),
+                });
+                rows_level(sub, j, depth + 1, rows);
+            }
+            (node, _) => {
+                // Outcome not yet populated for this node.
+                rows.push(StatusRow {
+                    depth,
+                    icon: color_icon(StatusColor::Blue),
+                    name: node.name().to_owned(),
+                    status: "Pending".to_owned(),
+                });
+            }
+        }
+    }
+}
+
+/// Renders rows as an indented text tree (what a console JMC prints).
+pub fn render(rows: &[StatusRow]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        for _ in 0..row.depth {
+            out.push_str("  ");
+        }
+        out.push_str(row.icon);
+        out.push(' ');
+        out.push_str(&row.name);
+        out.push_str("  — ");
+        out.push_str(&row.status);
+        out.push('\n');
+    }
+    out
+}
+
+/// Counts of actions by display colour — the at-a-glance summary a JMC
+/// header shows ("3 running, 1 failed...").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatusSummary {
+    /// Finished successfully.
+    pub green: usize,
+    /// Running or queued.
+    pub yellow: usize,
+    /// Waiting.
+    pub blue: usize,
+    /// Failed or killed.
+    pub red: usize,
+    /// Held.
+    pub grey: usize,
+}
+
+impl StatusSummary {
+    /// Total actions counted.
+    pub fn total(&self) -> usize {
+        self.green + self.yellow + self.blue + self.red + self.grey
+    }
+
+    /// True when nothing is in progress or waiting any more.
+    pub fn settled(&self) -> bool {
+        self.yellow == 0 && self.blue == 0
+    }
+}
+
+/// Tallies the whole tree (tasks and job groups) by colour.
+pub fn summarize(job: &AbstractJob, outcome: &JobOutcome) -> StatusSummary {
+    let mut summary = StatusSummary::default();
+    for row in status_rows(job, outcome).iter().skip(1) {
+        match row.icon {
+            "[+]" => summary.green += 1,
+            "[~]" => summary.yellow += 1,
+            "[.]" => summary.blue += 1,
+            "[x]" => summary.red += 1,
+            "[=]" => summary.grey += 1,
+            _ => {}
+        }
+    }
+    summary
+}
+
+/// A task's captured outputs ("the standard output and error files can be
+/// listed and/or saved").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskOutput {
+    /// The task's node id.
+    pub id: ActionId,
+    /// Task name.
+    pub name: String,
+    /// Captured stdout.
+    pub stdout: Vec<u8>,
+    /// Captured stderr.
+    pub stderr: Vec<u8>,
+    /// Exit code if the task ran.
+    pub exit_code: Option<i32>,
+}
+
+/// Collects the outputs of every task in the tree (depth-first).
+pub fn collect_outputs(job: &AbstractJob, outcome: &JobOutcome) -> Vec<TaskOutput> {
+    let mut outputs = Vec::new();
+    collect_level(job, outcome, &mut outputs);
+    outputs
+}
+
+fn collect_level(job: &AbstractJob, outcome: &JobOutcome, outputs: &mut Vec<TaskOutput>) {
+    for (id, node) in &job.nodes {
+        match (node, outcome.child(*id)) {
+            (GraphNode::Task(task), Some(OutcomeNode::Task(t))) => {
+                outputs.push(TaskOutput {
+                    id: *id,
+                    name: task.name.clone(),
+                    stdout: t.stdout.clone(),
+                    stderr: t.stderr.clone(),
+                    exit_code: t.exit_code,
+                });
+            }
+            (GraphNode::SubJob(sub), Some(OutcomeNode::Job(j))) => {
+                collect_level(sub, j, outputs);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Finds the first failed task (depth-first) — what a user looks for when
+/// the job icon turns red.
+pub fn first_failure<'a>(
+    job: &'a AbstractJob,
+    outcome: &'a JobOutcome,
+) -> Option<(&'a str, &'a unicore_ajo::TaskOutcome)> {
+    for (id, node) in &job.nodes {
+        match (node, outcome.child(*id)) {
+            (GraphNode::Task(task), Some(OutcomeNode::Task(t)))
+                if t.status.is_terminal() && !t.status.is_success() =>
+            {
+                return Some((&task.name, t));
+            }
+            (GraphNode::SubJob(sub), Some(OutcomeNode::Job(j))) => {
+                if let Some(found) = first_failure(sub, j) {
+                    return Some(found);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicore_ajo::{
+        AbstractTask, ActionStatus, ExecuteKind, ResourceRequest, TaskKind, TaskOutcome,
+        UserAttributes, VsiteAddress,
+    };
+
+    fn job_with_outcome() -> (AbstractJob, JobOutcome) {
+        let user = UserAttributes::new("CN=x, C=DE, O=o, OU=u", "g");
+        let mut sub = AbstractJob::new("group", VsiteAddress::new("RUS", "VPP"), user.clone());
+        sub.nodes.push((
+            ActionId(1),
+            GraphNode::Task(AbstractTask {
+                name: "inner".into(),
+                resources: ResourceRequest::minimal(),
+                kind: TaskKind::Execute(ExecuteKind::Script { script: "x".into() }),
+            }),
+        ));
+        let mut job = AbstractJob::new("weather", VsiteAddress::new("FZJ", "T3E"), user);
+        job.nodes.push((
+            ActionId(1),
+            GraphNode::Task(AbstractTask {
+                name: "main".into(),
+                resources: ResourceRequest::minimal(),
+                kind: TaskKind::Execute(ExecuteKind::Script { script: "y".into() }),
+            }),
+        ));
+        job.nodes.push((ActionId(2), GraphNode::SubJob(sub)));
+
+        let mut sub_outcome = JobOutcome {
+            status: ActionStatus::Running,
+            children: vec![(
+                ActionId(1),
+                OutcomeNode::Task(TaskOutcome {
+                    status: ActionStatus::Running,
+                    stdout: b"step 5\n".to_vec(),
+                    ..Default::default()
+                }),
+            )],
+        };
+        sub_outcome.aggregate_status();
+        let outcome = JobOutcome {
+            status: ActionStatus::Running,
+            children: vec![
+                (
+                    ActionId(1),
+                    OutcomeNode::Task(TaskOutcome {
+                        status: ActionStatus::Successful,
+                        exit_code: Some(0),
+                        stdout: b"done\n".to_vec(),
+                        ..Default::default()
+                    }),
+                ),
+                (ActionId(2), OutcomeNode::Job(sub_outcome)),
+            ],
+        };
+        (job, outcome)
+    }
+
+    #[test]
+    fn status_tree_structure() {
+        let (job, outcome) = job_with_outcome();
+        let rows = status_rows(&job, &outcome);
+        assert_eq!(rows.len(), 4); // job, main, group, inner
+        assert_eq!(rows[0].depth, 0);
+        assert_eq!(rows[0].name, "weather");
+        assert_eq!(rows[1].icon, "[+]"); // successful task
+        assert_eq!(rows[2].name, "group");
+        assert_eq!(rows[3].depth, 2);
+        assert_eq!(rows[3].icon, "[~]"); // running
+    }
+
+    #[test]
+    fn render_is_indented() {
+        let (job, outcome) = job_with_outcome();
+        let text = render(&status_rows(&job, &outcome));
+        assert!(text.contains("[+] main"));
+        assert!(text.contains("    [~] inner"));
+    }
+
+    #[test]
+    fn outputs_collected_recursively() {
+        let (job, outcome) = job_with_outcome();
+        let outputs = collect_outputs(&job, &outcome);
+        assert_eq!(outputs.len(), 2);
+        assert_eq!(outputs[0].stdout, b"done\n");
+        assert_eq!(outputs[1].stdout, b"step 5\n");
+    }
+
+    #[test]
+    fn first_failure_found_in_subtree() {
+        let (job, mut outcome) = job_with_outcome();
+        // Fail the inner task.
+        if let Some(OutcomeNode::Job(sub)) = outcome.child_mut(ActionId(2)) {
+            if let Some(OutcomeNode::Task(t)) = sub.child_mut(ActionId(1)) {
+                *t = TaskOutcome::failure("segfault");
+            }
+        }
+        let (name, t) = first_failure(&job, &outcome).unwrap();
+        assert_eq!(name, "inner");
+        assert_eq!(t.message, "segfault");
+        // No failure in the clean version.
+        let (job2, outcome2) = job_with_outcome();
+        assert!(first_failure(&job2, &outcome2).is_none());
+    }
+
+    #[test]
+    fn missing_outcome_renders_pending() {
+        let (job, _) = job_with_outcome();
+        let empty = JobOutcome::default();
+        let rows = status_rows(&job, &empty);
+        assert!(rows[1..].iter().all(|r| r.status == "Pending"));
+    }
+
+    #[test]
+    fn all_colors_have_icons() {
+        for c in [
+            StatusColor::Green,
+            StatusColor::Yellow,
+            StatusColor::Blue,
+            StatusColor::Red,
+            StatusColor::Grey,
+        ] {
+            assert!(!color_icon(c).is_empty());
+        }
+    }
+}
+
+#[cfg(test)]
+mod summary_tests {
+    use super::*;
+    use unicore_ajo::{
+        AbstractTask, ActionId, ActionStatus, ExecuteKind, GraphNode, ResourceRequest, TaskKind,
+        TaskOutcome, UserAttributes, VsiteAddress,
+    };
+
+    fn job_of(statuses: &[ActionStatus]) -> (AbstractJob, JobOutcome) {
+        let user = UserAttributes::new("CN=s, C=DE, O=o, OU=u", "g");
+        let mut job = AbstractJob::new("sum", VsiteAddress::new("FZJ", "T3E"), user);
+        let mut outcome = JobOutcome::default();
+        for (i, &status) in statuses.iter().enumerate() {
+            let id = ActionId(i as u64);
+            job.nodes.push((
+                id,
+                GraphNode::Task(AbstractTask {
+                    name: format!("t{i}"),
+                    resources: ResourceRequest::minimal(),
+                    kind: TaskKind::Execute(ExecuteKind::Script { script: "x".into() }),
+                }),
+            ));
+            outcome.children.push((
+                id,
+                OutcomeNode::Task(TaskOutcome {
+                    status,
+                    ..Default::default()
+                }),
+            ));
+        }
+        outcome.aggregate_status();
+        (job, outcome)
+    }
+
+    #[test]
+    fn counts_by_color() {
+        use ActionStatus::*;
+        let (job, outcome) = job_of(&[
+            Successful,
+            Successful,
+            Running,
+            Queued,
+            Pending,
+            NotSuccessful,
+            Held,
+        ]);
+        let s = summarize(&job, &outcome);
+        assert_eq!(s.green, 2);
+        assert_eq!(s.yellow, 2); // running + queued
+        assert_eq!(s.blue, 1);
+        assert_eq!(s.red, 1);
+        assert_eq!(s.grey, 1);
+        assert_eq!(s.total(), 7);
+        assert!(!s.settled());
+    }
+
+    #[test]
+    fn settled_when_all_terminal() {
+        use ActionStatus::*;
+        let (job, outcome) = job_of(&[Successful, NotSuccessful, Killed]);
+        let s = summarize(&job, &outcome);
+        assert!(s.settled());
+        assert_eq!(s.green, 1);
+        assert_eq!(s.red, 2);
+    }
+
+    #[test]
+    fn empty_job_summary() {
+        let (job, outcome) = job_of(&[]);
+        let s = summarize(&job, &outcome);
+        assert_eq!(s.total(), 0);
+        assert!(s.settled());
+    }
+}

@@ -1,0 +1,502 @@
+//! The Job Preparation Agent.
+//!
+//! "An intuitive graphical user interface (GUI) allows job preparation and
+//! control" (§3); "the JPA to create and submit UNICORE jobs" (§5.2). The
+//! GUI itself is presentation — this module is its engine: a builder that
+//! assembles valid AJOs, wires dependencies, carries workstation files in
+//! the portfolio, and checks resource requests against the destination's
+//! resource page *before* submission, exactly as the applet did with the
+//! resource information delivered alongside it (§5.4).
+
+use unicore_ajo::{
+    AbstractJob, AbstractTask, ActionId, AjoError, DataLocation, Dependency, ExecuteKind, FileKind,
+    GraphNode, PortfolioFile, ResourceRequest, TaskKind, UserAttributes, VsiteAddress,
+};
+use unicore_resources::{check_request, ResourceDirectory, Violation};
+
+/// Errors from job preparation.
+#[derive(Debug)]
+pub enum JpaError {
+    /// The assembled AJO failed structural validation.
+    Invalid(AjoError),
+    /// A task's resources violate the destination's resource page.
+    ResourceViolation {
+        /// Task name.
+        task: String,
+        /// Destination Vsite.
+        vsite: String,
+        /// The violations.
+        violations: Vec<Violation>,
+    },
+    /// The destination Vsite has no published resource page.
+    UnknownVsite(String),
+}
+
+impl core::fmt::Display for JpaError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            JpaError::Invalid(e) => write!(f, "invalid job: {e}"),
+            JpaError::ResourceViolation {
+                task,
+                vsite,
+                violations,
+            } => {
+                write!(f, "task '{task}' does not fit {vsite}:")?;
+                for v in violations {
+                    write!(f, " {v};")?;
+                }
+                Ok(())
+            }
+            JpaError::UnknownVsite(v) => write!(f, "no resource page for Vsite {v}"),
+        }
+    }
+}
+
+impl std::error::Error for JpaError {}
+
+impl From<AjoError> for JpaError {
+    fn from(e: AjoError) -> Self {
+        JpaError::Invalid(e)
+    }
+}
+
+/// The JPA: holds the user identity and the resource pages received from
+/// the server, and opens job builders.
+pub struct JobPreparationAgent {
+    user: UserAttributes,
+    resources: ResourceDirectory,
+}
+
+impl JobPreparationAgent {
+    /// A JPA for `user` with the resource pages of the contacted Usite(s).
+    pub fn new(user: UserAttributes, resources: ResourceDirectory) -> Self {
+        JobPreparationAgent { user, resources }
+    }
+
+    /// The user this JPA prepares jobs for.
+    pub fn user(&self) -> &UserAttributes {
+        &self.user
+    }
+
+    /// Starts a new job destined for `vsite`.
+    pub fn new_job(&self, name: impl Into<String>, vsite: VsiteAddress) -> JobBuilder {
+        JobBuilder {
+            job: AbstractJob::new(name, vsite, self.user.clone()),
+            next_id: 1,
+        }
+    }
+
+    /// Loads an existing job for modification and resubmission ("loading
+    /// and modification of an old UNICORE job", §5.7).
+    pub fn load_job(&self, mut job: AbstractJob) -> JobBuilder {
+        // Continue id assignment above the highest existing id.
+        let next_id = job
+            .nodes
+            .iter()
+            .map(|(id, _)| id.0)
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(1);
+        job.user = self.user.clone();
+        JobBuilder { job, next_id }
+    }
+
+    /// Validates `job` structurally and against the resource pages.
+    ///
+    /// Tasks of sub-jobs are checked against *their* Vsite's page when one
+    /// is published; unknown Usites are skipped (their pages live at the
+    /// remote server), mirroring the prototype's behaviour.
+    pub fn check(&self, job: &AbstractJob) -> Result<(), JpaError> {
+        job.validate()?;
+        self.check_level(job)
+    }
+
+    fn check_level(&self, job: &AbstractJob) -> Result<(), JpaError> {
+        let page = self.resources.page(&job.vsite);
+        for (_, node) in &job.nodes {
+            match node {
+                GraphNode::Task(task) => {
+                    if task.is_execute() {
+                        if let Some(page) = page {
+                            let violations = check_request(&task.resources, page);
+                            if !violations.is_empty() {
+                                return Err(JpaError::ResourceViolation {
+                                    task: task.name.clone(),
+                                    vsite: job.vsite.to_string(),
+                                    violations,
+                                });
+                            }
+                        }
+                    }
+                }
+                GraphNode::SubJob(sub) => self.check_level(sub)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for one job (or job group).
+pub struct JobBuilder {
+    job: AbstractJob,
+    next_id: u64,
+}
+
+impl JobBuilder {
+    fn push(&mut self, node: GraphNode) -> ActionId {
+        let id = ActionId(self.next_id);
+        self.next_id += 1;
+        self.job.nodes.push((id, node));
+        id
+    }
+
+    /// Adds a script task (existing batch application, §5.7).
+    pub fn script_task(
+        &mut self,
+        name: impl Into<String>,
+        script: impl Into<String>,
+        resources: ResourceRequest,
+    ) -> ActionId {
+        self.push(GraphNode::Task(AbstractTask {
+            name: name.into(),
+            resources,
+            kind: TaskKind::Execute(ExecuteKind::Script {
+                script: script.into(),
+            }),
+        }))
+    }
+
+    /// Adds a Fortran 90 compile task.
+    pub fn compile_task(
+        &mut self,
+        name: impl Into<String>,
+        sources: Vec<String>,
+        options: Vec<String>,
+        output: impl Into<String>,
+        resources: ResourceRequest,
+    ) -> ActionId {
+        self.push(GraphNode::Task(AbstractTask {
+            name: name.into(),
+            resources,
+            kind: TaskKind::Execute(ExecuteKind::Compile {
+                sources,
+                options,
+                output: output.into(),
+            }),
+        }))
+    }
+
+    /// Adds a link task.
+    pub fn link_task(
+        &mut self,
+        name: impl Into<String>,
+        objects: Vec<String>,
+        libraries: Vec<String>,
+        output: impl Into<String>,
+        resources: ResourceRequest,
+    ) -> ActionId {
+        self.push(GraphNode::Task(AbstractTask {
+            name: name.into(),
+            resources,
+            kind: TaskKind::Execute(ExecuteKind::Link {
+                objects,
+                libraries,
+                output: output.into(),
+            }),
+        }))
+    }
+
+    /// Adds a user-executable task.
+    pub fn user_task(
+        &mut self,
+        name: impl Into<String>,
+        executable: impl Into<String>,
+        arguments: Vec<String>,
+        environment: Vec<(String, String)>,
+        resources: ResourceRequest,
+    ) -> ActionId {
+        self.push(GraphNode::Task(AbstractTask {
+            name: name.into(),
+            resources,
+            kind: TaskKind::Execute(ExecuteKind::User {
+                executable: executable.into(),
+                arguments,
+                environment,
+            }),
+        }))
+    }
+
+    /// Imports a workstation file: the bytes travel in the AJO portfolio.
+    pub fn import_from_workstation(
+        &mut self,
+        path: impl Into<String>,
+        data: Vec<u8>,
+        uspace_name: impl Into<String>,
+    ) -> ActionId {
+        let path = path.into();
+        if !self.job.portfolio.iter().any(|p| p.name == path) {
+            self.job.portfolio.push(PortfolioFile {
+                name: path.clone(),
+                data,
+            });
+        }
+        self.push(GraphNode::Task(AbstractTask {
+            name: format!("import {path}"),
+            resources: ResourceRequest::minimal(),
+            kind: TaskKind::File(FileKind::Import {
+                source: DataLocation::Workstation { path },
+                uspace_name: uspace_name.into(),
+            }),
+        }))
+    }
+
+    /// Imports a file from a Vsite's Xspace.
+    pub fn import_from_xspace(
+        &mut self,
+        vsite: VsiteAddress,
+        path: impl Into<String>,
+        uspace_name: impl Into<String>,
+    ) -> ActionId {
+        let path = path.into();
+        self.push(GraphNode::Task(AbstractTask {
+            name: format!("import {path}"),
+            resources: ResourceRequest::minimal(),
+            kind: TaskKind::File(FileKind::Import {
+                source: DataLocation::Xspace { vsite, path },
+                uspace_name: uspace_name.into(),
+            }),
+        }))
+    }
+
+    /// Exports a Uspace file to permanent Xspace storage.
+    pub fn export_to_xspace(
+        &mut self,
+        uspace_name: impl Into<String>,
+        vsite: VsiteAddress,
+        path: impl Into<String>,
+    ) -> ActionId {
+        let uspace_name = uspace_name.into();
+        self.push(GraphNode::Task(AbstractTask {
+            name: format!("export {uspace_name}"),
+            resources: ResourceRequest::minimal(),
+            kind: TaskKind::File(FileKind::Export {
+                uspace_name,
+                destination: DataLocation::Xspace {
+                    vsite,
+                    path: path.into(),
+                },
+            }),
+        }))
+    }
+
+    /// Transfers a Uspace file to another Vsite.
+    pub fn transfer(
+        &mut self,
+        uspace_name: impl Into<String>,
+        to_vsite: VsiteAddress,
+        dest_name: impl Into<String>,
+    ) -> ActionId {
+        let uspace_name = uspace_name.into();
+        self.push(GraphNode::Task(AbstractTask {
+            name: format!("transfer {uspace_name}"),
+            resources: ResourceRequest::minimal(),
+            kind: TaskKind::File(FileKind::Transfer {
+                uspace_name,
+                to_vsite,
+                dest_name: dest_name.into(),
+            }),
+        }))
+    }
+
+    /// Nests a job group (finishes the inner builder).
+    pub fn sub_job(&mut self, builder: JobBuilder) -> ActionId {
+        self.push(GraphNode::SubJob(builder.job))
+    }
+
+    /// Declares a sequential dependency.
+    pub fn after(&mut self, from: ActionId, to: ActionId) -> &mut Self {
+        self.job.dependencies.push(Dependency {
+            from,
+            to,
+            files: Vec::new(),
+        });
+        self
+    }
+
+    /// Declares a dependency carrying files from predecessor to successor.
+    pub fn after_with_files(
+        &mut self,
+        from: ActionId,
+        to: ActionId,
+        files: Vec<String>,
+    ) -> &mut Self {
+        self.job.dependencies.push(Dependency { from, to, files });
+        self
+    }
+
+    /// Finishes, validating the structure (resource checks happen in
+    /// [`JobPreparationAgent::check`] or on the builder-owning JPA).
+    pub fn build(self) -> Result<AbstractJob, JpaError> {
+        self.job.validate()?;
+        Ok(self.job)
+    }
+
+    /// Finishes with full JPA checks (structure + resource pages).
+    pub fn build_checked(self, jpa: &JobPreparationAgent) -> Result<AbstractJob, JpaError> {
+        jpa.check(&self.job)?;
+        Ok(self.job)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicore_resources::{deployment_page, Architecture};
+
+    fn jpa() -> JobPreparationAgent {
+        let mut dir = ResourceDirectory::new();
+        dir.publish(deployment_page("FZJ", "T3E", Architecture::CrayT3e));
+        dir.publish(deployment_page("FZJ", "SP2", Architecture::IbmSp2));
+        JobPreparationAgent::new(
+            UserAttributes::new("C=DE, O=FZJ, OU=ZAM, CN=alice", "zam"),
+            dir,
+        )
+    }
+
+    #[test]
+    fn builds_compile_link_execute() {
+        let jpa = jpa();
+        let mut b = jpa.new_job("cle", VsiteAddress::new("FZJ", "T3E"));
+        let import =
+            b.import_from_workstation("main.f90", b"program x\nend\n".to_vec(), "main.f90");
+        let compile = b.compile_task(
+            "compile",
+            vec!["main.f90".into()],
+            vec!["O3".into()],
+            "main.o",
+            ResourceRequest::minimal().with_run_time(600),
+        );
+        let link = b.link_task(
+            "link",
+            vec!["main.o".into()],
+            vec!["blas".into()],
+            "model",
+            ResourceRequest::minimal().with_run_time(600),
+        );
+        let run = b.user_task(
+            "run",
+            "model",
+            vec![],
+            vec![],
+            ResourceRequest::minimal()
+                .with_processors(64)
+                .with_run_time(3_600),
+        );
+        b.after(import, compile)
+            .after(compile, link)
+            .after(link, run);
+        let job = b.build_checked(&jpa).unwrap();
+        assert_eq!(job.nodes.len(), 4);
+        assert_eq!(job.portfolio.len(), 1);
+        assert_eq!(job.dependencies.len(), 3);
+    }
+
+    #[test]
+    fn resource_violation_caught_before_submission() {
+        let jpa = jpa();
+        let mut b = jpa.new_job("huge", VsiteAddress::new("FZJ", "T3E"));
+        b.script_task(
+            "too big",
+            "run",
+            ResourceRequest::minimal().with_processors(100_000),
+        );
+        let err = b.build_checked(&jpa).unwrap_err();
+        assert!(matches!(err, JpaError::ResourceViolation { .. }));
+    }
+
+    #[test]
+    fn invalid_graph_caught() {
+        let jpa = jpa();
+        let mut b = jpa.new_job("cyclic", VsiteAddress::new("FZJ", "T3E"));
+        let a = b.script_task("a", "x", ResourceRequest::minimal());
+        let c = b.script_task("c", "y", ResourceRequest::minimal());
+        b.after(a, c).after(c, a);
+        assert!(matches!(b.build(), Err(JpaError::Invalid(_))));
+    }
+
+    #[test]
+    fn sub_job_nesting_and_checks() {
+        let jpa = jpa();
+        let mut inner = jpa.new_job("prep", VsiteAddress::new("FZJ", "SP2"));
+        inner.script_task("pre", "x", ResourceRequest::minimal());
+        let mut outer = jpa.new_job("main", VsiteAddress::new("FZJ", "T3E"));
+        let sub = outer.sub_job(inner);
+        let main = outer.script_task("main", "y", ResourceRequest::minimal());
+        outer.after_with_files(sub, main, vec!["grid.dat".into()]);
+        let job = outer.build_checked(&jpa).unwrap();
+        assert_eq!(job.depth(), 2);
+        assert_eq!(job.edge_files(sub, main), ["grid.dat"]);
+    }
+
+    #[test]
+    fn sub_job_resource_violation_caught() {
+        let jpa = jpa();
+        let mut inner = jpa.new_job("inner", VsiteAddress::new("FZJ", "SP2"));
+        inner.script_task(
+            "too big for sp2",
+            "x",
+            ResourceRequest::minimal().with_processors(100_000),
+        );
+        let mut outer = jpa.new_job("outer", VsiteAddress::new("FZJ", "T3E"));
+        outer.sub_job(inner);
+        assert!(matches!(
+            outer.build_checked(&jpa),
+            Err(JpaError::ResourceViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_remote_vsite_skipped() {
+        // Sub-job for a Usite we have no pages for: structure passes,
+        // resource check is deferred to the remote server.
+        let jpa = jpa();
+        let mut inner = jpa.new_job("remote", VsiteAddress::new("DWD", "SX4"));
+        inner.script_task(
+            "x",
+            "y",
+            ResourceRequest::minimal().with_processors(100_000),
+        );
+        let mut outer = jpa.new_job("outer", VsiteAddress::new("FZJ", "T3E"));
+        outer.sub_job(inner);
+        outer.build_checked(&jpa).unwrap();
+    }
+
+    #[test]
+    fn load_and_modify_for_resubmission() {
+        let jpa = jpa();
+        let mut b = jpa.new_job("v1", VsiteAddress::new("FZJ", "T3E"));
+        b.script_task("step", "run", ResourceRequest::minimal());
+        let v1 = b.build().unwrap();
+
+        // Reload, add a post-processing step, resubmit.
+        let mut b2 = jpa.load_job(v1.clone());
+        let post = b2.script_task("post", "analyse", ResourceRequest::minimal());
+        b2.after(ActionId(1), post);
+        let v2 = b2.build().unwrap();
+        assert_eq!(v2.nodes.len(), 2);
+        // Ids do not collide with the loaded job's.
+        assert_eq!(post, ActionId(2));
+        assert_eq!(v1.nodes.len(), 1); // original untouched
+    }
+
+    #[test]
+    fn duplicate_workstation_import_shares_portfolio_entry() {
+        let jpa = jpa();
+        let mut b = jpa.new_job("dup", VsiteAddress::new("FZJ", "T3E"));
+        b.import_from_workstation("data.bin", vec![1, 2], "a.bin");
+        b.import_from_workstation("data.bin", vec![1, 2], "b.bin");
+        let job = b.build().unwrap();
+        assert_eq!(job.portfolio.len(), 1);
+        assert_eq!(job.nodes.len(), 2);
+    }
+}

@@ -1,0 +1,299 @@
+//! DER decoding with depth and size limits.
+
+use crate::error::CodecError;
+use crate::value::{tag, Value};
+
+/// Maximum nesting depth accepted by the decoder (AJOs are recursive; this
+/// bounds hostile input while being far above any real job tree).
+pub const MAX_DEPTH: usize = 128;
+
+/// Decodes exactly one value; trailing bytes are an error.
+pub fn decode(input: &[u8]) -> Result<Value, CodecError> {
+    let mut r = Reader::new(input);
+    let v = r.read_value(0)?;
+    if !r.is_empty() {
+        return Err(CodecError::TrailingBytes(r.remaining()));
+    }
+    Ok(v)
+}
+
+/// Decodes one value from the front of `input`, returning it and the number
+/// of bytes consumed (for streaming framings).
+pub fn decode_prefix(input: &[u8]) -> Result<(Value, usize), CodecError> {
+    let mut r = Reader::new(input);
+    let v = r.read_value(0)?;
+    Ok((v, input.len() - r.remaining()))
+}
+
+struct Reader<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(input: &'a [u8]) -> Self {
+        Reader { input, pos: 0 }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn remaining(&self) -> usize {
+        self.input.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let s = &self.input[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn read_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn read_len(&mut self) -> Result<usize, CodecError> {
+        let first = self.read_u8()?;
+        if first < 0x80 {
+            return Ok(first as usize);
+        }
+        let n = (first & 0x7f) as usize;
+        if n == 0 || n > 8 {
+            return Err(CodecError::BadLength);
+        }
+        let bytes = self.take(n)?;
+        if bytes[0] == 0 {
+            // Non-minimal length encoding is not canonical DER.
+            return Err(CodecError::BadLength);
+        }
+        let mut len = 0u64;
+        for &b in bytes {
+            len = (len << 8) | b as u64;
+        }
+        if len < 0x80 {
+            return Err(CodecError::BadLength);
+        }
+        usize::try_from(len).map_err(|_| CodecError::BadLength)
+    }
+
+    fn read_value(&mut self, depth: usize) -> Result<Value, CodecError> {
+        if depth > MAX_DEPTH {
+            return Err(CodecError::DepthExceeded);
+        }
+        let t = self.read_u8()?;
+        let len = self.read_len()?;
+        let content = self.take(len)?;
+        match t {
+            tag::BOOLEAN => {
+                if content.len() != 1 {
+                    return Err(CodecError::BadValue("boolean length"));
+                }
+                match content[0] {
+                    0x00 => Ok(Value::Boolean(false)),
+                    0xff => Ok(Value::Boolean(true)),
+                    _ => Err(CodecError::BadValue("boolean content")),
+                }
+            }
+            tag::INTEGER => Ok(Value::Integer(parse_int(content)?)),
+            tag::ENUMERATED => {
+                let v = parse_int(content)?;
+                u32::try_from(v)
+                    .map(Value::Enumerated)
+                    .map_err(|_| CodecError::BadValue("enumerated range"))
+            }
+            tag::OCTET_STRING => Ok(Value::OctetString(content.to_vec())),
+            tag::UTF8_STRING => String::from_utf8(content.to_vec())
+                .map(Value::Utf8String)
+                .map_err(|_| CodecError::BadValue("utf8 content")),
+            tag::NULL => {
+                if content.is_empty() {
+                    Ok(Value::Null)
+                } else {
+                    Err(CodecError::BadValue("null with content"))
+                }
+            }
+            tag::SEQUENCE | tag::SET => {
+                let mut inner = Reader::new(content);
+                let mut items = Vec::new();
+                while !inner.is_empty() {
+                    items.push(inner.read_value(depth + 1)?);
+                }
+                if t == tag::SEQUENCE {
+                    Ok(Value::Sequence(items))
+                } else {
+                    Ok(Value::Set(items))
+                }
+            }
+            t if t & 0xe0 == tag::CONTEXT_CONSTRUCTED => {
+                let n = t & 0x1f;
+                if n >= 31 {
+                    return Err(CodecError::UnknownTag(t));
+                }
+                let mut inner = Reader::new(content);
+                let v = inner.read_value(depth + 1)?;
+                if !inner.is_empty() {
+                    return Err(CodecError::BadValue("multiple values in context tag"));
+                }
+                Ok(Value::Tagged(n, Box::new(v)))
+            }
+            other => Err(CodecError::UnknownTag(other)),
+        }
+    }
+}
+
+/// Parses canonical two's-complement content octets into an `i64`.
+fn parse_int(content: &[u8]) -> Result<i64, CodecError> {
+    if content.is_empty() {
+        return Err(CodecError::BadValue("empty integer"));
+    }
+    if content.len() > 1 {
+        let redundant = (content[0] == 0x00 && content[1] & 0x80 == 0)
+            || (content[0] == 0xff && content[1] & 0x80 != 0);
+        if redundant {
+            return Err(CodecError::BadValue("non-minimal integer"));
+        }
+    }
+    if content.len() > 8 {
+        return Err(CodecError::IntegerOverflow);
+    }
+    let negative = content[0] & 0x80 != 0;
+    let mut acc: u64 = if negative { u64::MAX } else { 0 };
+    for &b in content {
+        acc = (acc << 8) | b as u64;
+    }
+    Ok(acc as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    fn round_trip(v: Value) {
+        let enc = encode(&v);
+        assert_eq!(decode(&enc).unwrap(), v, "round trip of {v:?}");
+    }
+
+    #[test]
+    fn round_trips() {
+        round_trip(Value::Boolean(true));
+        round_trip(Value::Boolean(false));
+        round_trip(Value::Integer(0));
+        round_trip(Value::Integer(i64::MAX));
+        round_trip(Value::Integer(i64::MIN));
+        round_trip(Value::Integer(-1));
+        round_trip(Value::Null);
+        round_trip(Value::string("grüße aus jülich"));
+        round_trip(Value::bytes(vec![0u8; 1000]));
+        round_trip(Value::Enumerated(0));
+        round_trip(Value::Enumerated(u32::MAX));
+        round_trip(Value::Sequence(vec![]));
+        round_trip(Value::Sequence(vec![
+            Value::Integer(42),
+            Value::Sequence(vec![Value::string("nested")]),
+            Value::tagged(5, Value::Boolean(true)),
+        ]));
+    }
+
+    #[test]
+    fn set_round_trip_is_sorted() {
+        let v = Value::Set(vec![Value::Integer(300), Value::Integer(2)]);
+        let dec = decode(&encode(&v)).unwrap();
+        // Decoded order is the canonical (sorted-encoding) order.
+        let items = dec.as_set().unwrap();
+        assert_eq!(items.len(), 2);
+        assert!(items.contains(&Value::Integer(300)));
+        assert!(items.contains(&Value::Integer(2)));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut enc = encode(&Value::Null);
+        enc.push(0x00);
+        assert_eq!(decode(&enc), Err(CodecError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn decode_prefix_reports_consumed() {
+        let mut enc = encode(&Value::Integer(7));
+        let len = enc.len();
+        enc.extend_from_slice(&[1, 2, 3]);
+        let (v, used) = decode_prefix(&enc).unwrap();
+        assert_eq!(v, Value::Integer(7));
+        assert_eq!(used, len);
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let enc = encode(&Value::bytes(vec![1, 2, 3, 4]));
+        for cut in 0..enc.len() {
+            assert!(decode(&enc[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_boolean_rejected() {
+        assert!(decode(&[0x01, 0x01, 0x42]).is_err());
+        assert!(decode(&[0x01, 0x02, 0x00, 0x00]).is_err());
+    }
+
+    #[test]
+    fn non_minimal_integer_rejected() {
+        // 0x00 0x05 is a redundant encoding of 5.
+        assert!(decode(&[0x02, 0x02, 0x00, 0x05]).is_err());
+        // 0xff 0xff is a redundant encoding of -1.
+        assert!(decode(&[0x02, 0x02, 0xff, 0xff]).is_err());
+    }
+
+    #[test]
+    fn non_minimal_length_rejected() {
+        // Length 3 encoded in long form (0x81 0x03) is non-canonical.
+        assert!(decode(&[0x04, 0x81, 0x03, 1, 2, 3]).is_err());
+        // Leading zero in a long-form length.
+        assert!(decode(&[0x04, 0x82, 0x00, 0x80]).is_err());
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert_eq!(decode(&[0x13, 0x00]), Err(CodecError::UnknownTag(0x13)));
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        // Build MAX_DEPTH + 2 nested sequences by hand.
+        let mut enc = encode(&Value::Null);
+        for _ in 0..(MAX_DEPTH + 2) {
+            let inner = enc;
+            let mut outer = vec![0x30];
+            // Re-encode the length.
+            if inner.len() < 0x80 {
+                outer.push(inner.len() as u8);
+            } else {
+                let b = (inner.len() as u32).to_be_bytes();
+                let skip = b.iter().take_while(|&&x| x == 0).count();
+                outer.push(0x80 | (4 - skip) as u8);
+                outer.extend_from_slice(&b[skip..]);
+            }
+            outer.extend_from_slice(&inner);
+            enc = outer;
+        }
+        assert_eq!(decode(&enc), Err(CodecError::DepthExceeded));
+    }
+
+    #[test]
+    fn oversized_integer_rejected() {
+        // 9 content bytes cannot fit an i64.
+        let mut raw = vec![0x02, 0x09, 0x01];
+        raw.extend_from_slice(&[0u8; 8]);
+        assert_eq!(decode(&raw), Err(CodecError::IntegerOverflow));
+    }
+
+    #[test]
+    fn utf8_validity_enforced() {
+        assert!(decode(&[0x0c, 0x02, 0xff, 0xfe]).is_err());
+    }
+}

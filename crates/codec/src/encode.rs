@@ -1,0 +1,169 @@
+//! Canonical DER encoding.
+
+use crate::value::{tag, Value};
+
+/// Encodes a value to canonical DER bytes.
+pub fn encode(value: &Value) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    encode_into(value, &mut out);
+    out
+}
+
+/// Encodes into an existing buffer (avoids reallocation in hot paths).
+pub fn encode_into(value: &Value, out: &mut Vec<u8>) {
+    match value {
+        Value::Boolean(b) => {
+            out.push(tag::BOOLEAN);
+            out.push(1);
+            out.push(if *b { 0xff } else { 0x00 });
+        }
+        Value::Integer(v) => {
+            let content = int_content(*v);
+            out.push(tag::INTEGER);
+            push_len(out, content.len());
+            out.extend_from_slice(&content);
+        }
+        Value::OctetString(b) => {
+            out.push(tag::OCTET_STRING);
+            push_len(out, b.len());
+            out.extend_from_slice(b);
+        }
+        Value::Utf8String(s) => {
+            out.push(tag::UTF8_STRING);
+            push_len(out, s.len());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Null => {
+            out.push(tag::NULL);
+            out.push(0);
+        }
+        Value::Enumerated(e) => {
+            let content = int_content(*e as i64);
+            out.push(tag::ENUMERATED);
+            push_len(out, content.len());
+            out.extend_from_slice(&content);
+        }
+        Value::Sequence(items) => {
+            let mut body = Vec::with_capacity(items.len() * 8);
+            for item in items {
+                encode_into(item, &mut body);
+            }
+            out.push(tag::SEQUENCE);
+            push_len(out, body.len());
+            out.extend_from_slice(&body);
+        }
+        Value::Set(items) => {
+            // Canonical DER: SET-OF elements sorted by encoded bytes.
+            let mut encoded: Vec<Vec<u8>> = items.iter().map(encode).collect();
+            encoded.sort();
+            let body_len: usize = encoded.iter().map(Vec::len).sum();
+            out.push(tag::SET);
+            push_len(out, body_len);
+            for e in encoded {
+                out.extend_from_slice(&e);
+            }
+        }
+        Value::Tagged(n, inner) => {
+            debug_assert!(*n < 31, "high tag numbers unsupported");
+            let body = encode(inner);
+            out.push(tag::CONTEXT_CONSTRUCTED | n);
+            push_len(out, body.len());
+            out.extend_from_slice(&body);
+        }
+    }
+}
+
+/// Minimal two's-complement content octets for an integer.
+fn int_content(v: i64) -> Vec<u8> {
+    let bytes = v.to_be_bytes();
+    // Strip redundant leading bytes: 0x00 followed by a byte with the top
+    // bit clear, or 0xff followed by a byte with the top bit set.
+    let mut start = 0;
+    while start < 7 {
+        let cur = bytes[start];
+        let next = bytes[start + 1];
+        let redundant = (cur == 0x00 && next & 0x80 == 0) || (cur == 0xff && next & 0x80 != 0);
+        if redundant {
+            start += 1;
+        } else {
+            break;
+        }
+    }
+    bytes[start..].to_vec()
+}
+
+/// DER definite-length encoding.
+fn push_len(out: &mut Vec<u8>, len: usize) {
+    if len < 0x80 {
+        out.push(len as u8);
+    } else {
+        let bytes = (len as u64).to_be_bytes();
+        let skip = bytes.iter().take_while(|&&b| b == 0).count();
+        let n = 8 - skip;
+        out.push(0x80 | n as u8);
+        out.extend_from_slice(&bytes[skip..]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boolean_encoding() {
+        assert_eq!(encode(&Value::Boolean(true)), vec![0x01, 0x01, 0xff]);
+        assert_eq!(encode(&Value::Boolean(false)), vec![0x01, 0x01, 0x00]);
+    }
+
+    #[test]
+    fn integer_minimal_encoding() {
+        assert_eq!(encode(&Value::Integer(0)), vec![0x02, 0x01, 0x00]);
+        assert_eq!(encode(&Value::Integer(127)), vec![0x02, 0x01, 0x7f]);
+        // 128 needs a leading zero so it is not read as negative.
+        assert_eq!(encode(&Value::Integer(128)), vec![0x02, 0x02, 0x00, 0x80]);
+        assert_eq!(encode(&Value::Integer(-1)), vec![0x02, 0x01, 0xff]);
+        assert_eq!(encode(&Value::Integer(-128)), vec![0x02, 0x01, 0x80]);
+        assert_eq!(encode(&Value::Integer(-129)), vec![0x02, 0x02, 0xff, 0x7f]);
+        assert_eq!(encode(&Value::Integer(256)), vec![0x02, 0x02, 0x01, 0x00]);
+    }
+
+    #[test]
+    fn null_encoding() {
+        assert_eq!(encode(&Value::Null), vec![0x05, 0x00]);
+    }
+
+    #[test]
+    fn string_encoding() {
+        assert_eq!(encode(&Value::string("hi")), vec![0x0c, 0x02, b'h', b'i']);
+    }
+
+    #[test]
+    fn long_form_length() {
+        let v = Value::bytes(vec![0u8; 300]);
+        let enc = encode(&v);
+        assert_eq!(&enc[..4], &[0x04, 0x82, 0x01, 0x2c]);
+        assert_eq!(enc.len(), 304);
+    }
+
+    #[test]
+    fn sequence_nests() {
+        let v = Value::Sequence(vec![Value::Integer(1), Value::Boolean(true)]);
+        assert_eq!(
+            encode(&v),
+            vec![0x30, 0x06, 0x02, 0x01, 0x01, 0x01, 0x01, 0xff]
+        );
+    }
+
+    #[test]
+    fn set_is_sorted_canonically() {
+        let a = Value::Set(vec![Value::Integer(2), Value::Integer(1)]);
+        let b = Value::Set(vec![Value::Integer(1), Value::Integer(2)]);
+        assert_eq!(encode(&a), encode(&b));
+    }
+
+    #[test]
+    fn context_tag() {
+        let v = Value::tagged(3, Value::Null);
+        assert_eq!(encode(&v), vec![0xa3, 0x02, 0x05, 0x00]);
+    }
+}

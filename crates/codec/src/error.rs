@@ -1,0 +1,51 @@
+//! Decode/encode error type.
+
+use core::fmt;
+
+/// Errors produced while encoding or decoding DER values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the announced length.
+    UnexpectedEof,
+    /// A length field was malformed or non-canonical.
+    BadLength,
+    /// The tag byte did not match what the caller expected.
+    UnexpectedTag {
+        /// Tag the caller required.
+        expected: u8,
+        /// Tag actually present.
+        found: u8,
+    },
+    /// An unknown or unsupported tag was encountered.
+    UnknownTag(u8),
+    /// Nesting exceeded the decoder's depth limit.
+    DepthExceeded,
+    /// A value's content bytes were invalid for its type.
+    BadValue(&'static str),
+    /// Trailing bytes remained after a complete top-level value.
+    TrailingBytes(usize),
+    /// An integer did not fit the requested native width.
+    IntegerOverflow,
+    /// A structure-level constraint failed (missing field, wrong arity...).
+    Structure(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of input"),
+            CodecError::BadLength => write!(f, "malformed length field"),
+            CodecError::UnexpectedTag { expected, found } => {
+                write!(f, "expected tag 0x{expected:02x}, found 0x{found:02x}")
+            }
+            CodecError::UnknownTag(t) => write!(f, "unknown tag 0x{t:02x}"),
+            CodecError::DepthExceeded => write!(f, "nesting depth limit exceeded"),
+            CodecError::BadValue(what) => write!(f, "invalid value content: {what}"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            CodecError::IntegerOverflow => write!(f, "integer does not fit target type"),
+            CodecError::Structure(msg) => write!(f, "structure error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}

@@ -1,0 +1,30 @@
+//! # unicore-codec
+//!
+//! A canonical DER (ASN.1 subset) encoder/decoder.
+//!
+//! The 1999 UNICORE system stored per-Vsite *resource pages* "in ASN1
+//! format" (paper §5.4) and moved serialised Java objects (the AJO) between
+//! components. This crate supplies that encoding substrate: a strict,
+//! canonical, depth-limited DER implementation covering BOOLEAN, INTEGER,
+//! OCTET STRING, UTF8String, NULL, ENUMERATED, SEQUENCE, SET and
+//! context-specific constructed tags — everything the certificate format,
+//! resource pages and AJO wire form need.
+//!
+//! Strictness matters here: the decoder rejects non-minimal integers and
+//! lengths, trailing bytes, and over-deep nesting, so a byte stream has
+//! exactly one accepted encoding (required for signing certificate bodies).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod decode;
+pub mod encode;
+pub mod error;
+pub mod structure;
+pub mod value;
+
+pub use decode::{decode, decode_prefix, MAX_DEPTH};
+pub use encode::{encode, encode_into};
+pub use error::CodecError;
+pub use structure::{DerCodec, Fields};
+pub use value::{tag, Value};

@@ -1,0 +1,701 @@
+//! The multi-site federation — Figure 2 of the paper.
+//!
+//! "The whole UNICORE picture contains multiple UNICORE servers, one at
+//! each Usite ... The different servers are connected so that (parts of)
+//! UNICORE jobs, data, and control information can be exchanged to support
+//! distributed applications or to allow the user to contact any UNICORE
+//! server."
+//!
+//! The federation runs every [`UnicoreServer`] over one discrete-event
+//! network: user requests enter from a workstation node, NJS–NJS traffic
+//! flows between gateway nodes, and all of it pays realistic WAN latency,
+//! bandwidth serialisation, and (optionally) message loss.
+//!
+//! The *asynchronous* protocol of §5.3 is implemented faithfully: requests
+//! are short interactions; the requester retries on timeout and servers
+//! deduplicate by `(DN, correlation id)`, so lost messages delay but do not
+//! break jobs. A deliberately *synchronous* variant
+//! ([`Federation::client_submit_sync`]) holds one long interaction open
+//! with no retries — the strawman the paper argues against, measured in
+//! experiment E8.
+
+use crate::protocol::{Body, Envelope, Request, Response};
+use crate::server::UnicoreServer;
+use std::collections::{HashMap, HashSet};
+use unicore_ajo::{AbstractJob, ControlOp, DetailLevel, JobId, JobOutcome};
+use unicore_codec::DerCodec;
+use unicore_gateway::{Gateway, UserEntry, Uudb};
+use unicore_njs::{Njs, TranslationTable};
+use unicore_resources::{deployment_page, Architecture};
+use unicore_sim::{SimTime, SEC};
+use unicore_simnet::{Firewall, LinkParams, Network, NodeId};
+
+/// The UNICORE gateway port.
+pub const GATEWAY_PORT: u16 = 4433;
+
+/// One Usite to build.
+#[derive(Debug, Clone)]
+pub struct SiteSpec {
+    /// Usite name (e.g. `"FZJ"`).
+    pub name: String,
+    /// Vsites: `(name, architecture)`.
+    pub vsites: Vec<(String, Architecture)>,
+    /// Run the firewall-split deployment (§5.2): gateway half on the
+    /// firewall node, NJS on an interior node, joined by a LAN hop.
+    pub split: bool,
+}
+
+impl SiteSpec {
+    /// A simple single-Vsite site.
+    pub fn simple(name: &str, vsite: &str, arch: Architecture) -> Self {
+        SiteSpec {
+            name: name.into(),
+            vsites: vec![(vsite.into(), arch)],
+            split: false,
+        }
+    }
+
+    /// Enables the firewall-split deployment.
+    pub fn with_split(mut self) -> Self {
+        self.split = true;
+        self
+    }
+}
+
+/// Federation tuning knobs.
+#[derive(Debug, Clone)]
+pub struct FederationConfig {
+    /// RNG seed (network loss/jitter).
+    pub seed: u64,
+    /// WAN link loss probability.
+    pub wan_loss: f64,
+    /// Extra bytes charged on first contact between two nodes (models the
+    /// SSL handshake's certificate exchange; later contacts resume).
+    pub handshake_bytes: usize,
+    /// Async retry timeout.
+    pub retry_timeout: SimTime,
+    /// Async retry budget per request.
+    pub max_retries: u32,
+    /// WAN link profile.
+    pub wan: LinkParams,
+}
+
+impl Default for FederationConfig {
+    fn default() -> Self {
+        FederationConfig {
+            seed: 1,
+            wan_loss: 0.0,
+            handshake_bytes: 4_096,
+            retry_timeout: 2 * SEC,
+            max_retries: 10,
+            wan: LinkParams::wan_1999(),
+        }
+    }
+}
+
+struct SiteNodes {
+    gateway: NodeId,
+    njs: NodeId,
+    split: bool,
+}
+
+#[derive(Clone)]
+struct Inflight {
+    src: NodeId,
+    dst: NodeId,
+    payload: Vec<u8>,
+    deadline: SimTime,
+    retries_left: u32,
+}
+
+/// Key for requester-side correlation: client requests use site "".
+type CorrKey = (String, u64);
+
+struct SyncWatch {
+    usite: String,
+    job: JobId,
+    corr: u64,
+    client_node: NodeId,
+    owner_dn: String,
+}
+
+/// The running federation.
+pub struct Federation {
+    net: Network,
+    sites: HashMap<String, SiteNodes>,
+    site_order: Vec<String>,
+    servers: HashMap<String, UnicoreServer>,
+    server_dns: HashMap<String, String>,
+    workstation: NodeId,
+    established: HashSet<(NodeId, NodeId)>,
+    handshake_bytes: usize,
+    retry_timeout: SimTime,
+    max_retries: u32,
+    inflight: HashMap<CorrKey, Inflight>,
+    handled: HashMap<(String, String, u64), Response>,
+    client_responses: HashMap<u64, Response>,
+    next_client_corr: u64,
+    sync_corrs: HashSet<u64>,
+    sync_watches: Vec<SyncWatch>,
+    now: SimTime,
+    /// Total protocol messages sent (metrics).
+    pub messages_sent: u64,
+    /// Total retries performed (metrics).
+    pub retries: u64,
+}
+
+impl Federation {
+    /// Builds a federation of `specs` over a full-mesh WAN.
+    pub fn new(config: FederationConfig, specs: &[SiteSpec]) -> Self {
+        let mut net = Network::new(config.seed);
+        let mut sites = HashMap::new();
+        let mut site_order = Vec::new();
+        let mut servers = HashMap::new();
+        let mut server_dns = HashMap::new();
+
+        for spec in specs {
+            let gateway = net.add_node(format!("{}-gw", spec.name));
+            let njs_node = net.add_node(format!("{}-njs", spec.name));
+            net.set_firewall(gateway, Firewall::AllowList(vec![GATEWAY_PORT]));
+            net.add_duplex(gateway, njs_node, LinkParams::lan());
+            sites.insert(
+                spec.name.clone(),
+                SiteNodes {
+                    gateway,
+                    njs: njs_node,
+                    split: spec.split,
+                },
+            );
+            site_order.push(spec.name.clone());
+
+            let mut njs = Njs::new(spec.name.clone());
+            for (vsite, arch) in &spec.vsites {
+                njs.add_vsite(
+                    deployment_page(&spec.name, vsite, *arch),
+                    TranslationTable::for_architecture(*arch),
+                );
+            }
+            let gw = Gateway::new(spec.name.clone(), Uudb::new());
+            let server = UnicoreServer::new(gw, njs);
+            let dn = format!("C=DE, O={}, OU=UNICORE, CN={}-server", spec.name, spec.name);
+            server_dns.insert(spec.name.clone(), dn);
+            servers.insert(spec.name.clone(), server);
+        }
+
+        // Full WAN mesh between gateways.
+        let wan = config.wan.with_loss(config.wan_loss);
+        let names: Vec<String> = site_order.clone();
+        for a in &names {
+            for b in &names {
+                if a != b {
+                    let (ga, gb) = (sites[a].gateway, sites[b].gateway);
+                    net.add_link(ga, gb, wan);
+                }
+            }
+        }
+        // Workstation reaches every gateway.
+        let workstation = net.add_node("workstation");
+        for name in &names {
+            net.add_duplex(workstation, sites[name].gateway, wan);
+        }
+
+        // Every server trusts every other server's DN, and each site's
+        // UUDB knows the peer servers (they map when pushing files).
+        let all_dns: Vec<String> = server_dns.values().cloned().collect();
+        for (site, server) in servers.iter_mut() {
+            for (peer_site, dn) in &server_dns {
+                if peer_site != site {
+                    server.add_peer_server(dn.clone());
+                }
+            }
+            for dn in &all_dns {
+                server
+                    .gateway_mut()
+                    .uudb_mut()
+                    .add(dn.clone(), UserEntry::new("unicored", "system"));
+            }
+        }
+
+        Federation {
+            net,
+            sites,
+            site_order,
+            servers,
+            server_dns,
+            workstation,
+            established: HashSet::new(),
+            handshake_bytes: config.handshake_bytes,
+            retry_timeout: config.retry_timeout,
+            max_retries: config.max_retries,
+            inflight: HashMap::new(),
+            handled: HashMap::new(),
+            client_responses: HashMap::new(),
+            next_client_corr: 1,
+            sync_corrs: HashSet::new(),
+            sync_watches: Vec::new(),
+            now: 0,
+            messages_sent: 0,
+            retries: 0,
+        }
+    }
+
+    /// The paper's six-site German deployment (§5.7), with the inter-site
+    /// WAN latencies following 1999 German geography (the same matrix as
+    /// `unicore_simnet::germany`).
+    pub fn german_deployment(config: FederationConfig) -> Self {
+        let wan = config.wan.with_loss(config.wan_loss);
+        let specs = vec![
+            SiteSpec::simple("FZJ", "T3E", Architecture::CrayT3e),
+            SiteSpec::simple("RUS", "VPP", Architecture::FujitsuVpp700),
+            SiteSpec::simple("RUKA", "SP2", Architecture::IbmSp2),
+            SiteSpec::simple("LRZ", "SP2", Architecture::IbmSp2),
+            SiteSpec::simple("ZIB", "T3E", Architecture::CrayT3e),
+            SiteSpec::simple("DWD", "SX4", Architecture::NecSx4),
+        ];
+        let mut fed = Federation::new(config, &specs);
+        for (i, a) in fed.site_order.clone().iter().enumerate() {
+            for (j, b) in fed.site_order.clone().iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let params = LinkParams {
+                    latency: unicore_simnet::inter_site_latency(i, j),
+                    ..wan
+                };
+                let (ga, gb) = (fed.sites[a].gateway, fed.sites[b].gateway);
+                fed.net.set_link_params(ga, gb, params);
+            }
+        }
+        fed
+    }
+
+    /// Registers a user in every site's UUDB with per-site logins
+    /// (demonstrating that no uniform uid is needed).
+    pub fn register_user(&mut self, dn: &str, login_base: &str) {
+        for (site, server) in self.servers.iter_mut() {
+            let login = format!("{}_{}", login_base, site.to_lowercase());
+            server
+                .gateway_mut()
+                .uudb_mut()
+                .add(dn.to_owned(), UserEntry::new(login, "users"));
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Site names in creation order.
+    pub fn site_names(&self) -> &[String] {
+        &self.site_order
+    }
+
+    /// Access a site's server.
+    pub fn server(&self, usite: &str) -> Option<&UnicoreServer> {
+        self.servers.get(usite)
+    }
+
+    /// Mutable access to a site's server.
+    pub fn server_mut(&mut self, usite: &str) -> Option<&mut UnicoreServer> {
+        self.servers.get_mut(usite)
+    }
+
+    /// Resource-broker seed (paper §6): gathers load from every site and
+    /// picks the admissible Vsite that would start `request` soonest.
+    pub fn broker_choose(
+        &self,
+        request: &unicore_ajo::ResourceRequest,
+    ) -> Option<crate::broker::BrokerChoice> {
+        let mut candidates = Vec::new();
+        for site in &self.site_order {
+            candidates.extend(self.servers[site].load_snapshots(self.now.max(1)));
+        }
+        crate::broker::choose_vsite(request, &candidates)
+    }
+
+    /// Severs (or heals, with `severed = false`) every WAN link touching a
+    /// site's gateway — a full partition of that Usite.
+    pub fn set_partitioned(&mut self, usite: &str, severed: bool) {
+        let loss = if severed { 1.0 } else { 0.0 };
+        let gw = self.sites[usite].gateway;
+        let peers: Vec<NodeId> = self
+            .site_order
+            .iter()
+            .filter(|s| s.as_str() != usite)
+            .map(|s| self.sites[s].gateway)
+            .chain(std::iter::once(self.workstation))
+            .collect();
+        for peer in peers {
+            self.net.set_link_loss(gw, peer, loss);
+            self.net.set_link_loss(peer, gw, loss);
+        }
+    }
+
+    fn send_with_handshake(&mut self, src: NodeId, dst: NodeId, payload: Vec<u8>) {
+        let pair = (src.min(dst), src.max(dst));
+        if self.established.insert(pair) && self.handshake_bytes > 0 {
+            let _ = self
+                .net
+                .send(src, dst, GATEWAY_PORT, vec![0u8; self.handshake_bytes]);
+        }
+        let _ = self.net.send(src, dst, GATEWAY_PORT, payload);
+        self.messages_sent += 1;
+    }
+
+    fn frame(origin: NodeId, envelope: &Envelope) -> Vec<u8> {
+        let mut payload = origin.0.to_be_bytes().to_vec();
+        payload.extend_from_slice(&envelope.to_der());
+        payload
+    }
+
+    fn unframe(payload: &[u8]) -> Option<(NodeId, Envelope)> {
+        if payload.len() < 4 {
+            return None;
+        }
+        let origin = NodeId(u32::from_be_bytes(payload[..4].try_into().ok()?));
+        let env = Envelope::from_der(&payload[4..]).ok()?;
+        Some((origin, env))
+    }
+
+    /// Submits a request from the workstation as `dn` via `usite`
+    /// (asynchronous: retried until acknowledged or the budget runs out).
+    pub fn client_request(&mut self, via: &str, dn: &str, request: Request) -> u64 {
+        let corr = self.next_client_corr;
+        self.next_client_corr += 1;
+        let env = Envelope {
+            corr,
+            from_dn: dn.to_owned(),
+            body: Body::Request(request),
+        };
+        let dst = self.sites[via].gateway;
+        let payload = Self::frame(self.workstation, &env);
+        self.inflight.insert(
+            (String::new(), corr),
+            Inflight {
+                src: self.workstation,
+                dst,
+                payload: payload.clone(),
+                deadline: self.now + self.retry_timeout,
+                retries_left: self.max_retries,
+            },
+        );
+        self.send_with_handshake(self.workstation, dst, payload);
+        corr
+    }
+
+    /// Consigns a job (asynchronous protocol).
+    pub fn client_submit(&mut self, via: &str, ajo: AbstractJob, dn: &str) -> u64 {
+        self.client_request(via, dn, Request::Consign { ajo })
+    }
+
+    /// Consigns a job over the *synchronous* strawman protocol: one long
+    /// interaction, no retries; the final outcome arrives as the response.
+    pub fn client_submit_sync(&mut self, via: &str, ajo: AbstractJob, dn: &str) -> u64 {
+        let corr = self.next_client_corr;
+        self.next_client_corr += 1;
+        self.sync_corrs.insert(corr);
+        let env = Envelope {
+            corr,
+            from_dn: dn.to_owned(),
+            body: Body::Request(Request::Consign { ajo }),
+        };
+        let dst = self.sites[via].gateway;
+        let payload = Self::frame(self.workstation, &env);
+        // No inflight entry: the synchronous variant never retries.
+        self.send_with_handshake(self.workstation, dst, payload);
+        corr
+    }
+
+    /// Polls a job's status.
+    pub fn client_poll(&mut self, via: &str, dn: &str, job: JobId, detail: DetailLevel) -> u64 {
+        self.client_request(via, dn, Request::Poll { job, detail })
+    }
+
+    /// Controls a job.
+    pub fn client_control(&mut self, via: &str, dn: &str, job: JobId, op: ControlOp) -> u64 {
+        self.client_request(via, dn, Request::Control { job, op })
+    }
+
+    /// Fetches a Uspace file.
+    pub fn client_fetch(&mut self, via: &str, dn: &str, job: JobId, name: &str) -> u64 {
+        self.client_request(
+            via,
+            dn,
+            Request::FetchFile {
+                job,
+                name: name.to_owned(),
+            },
+        )
+    }
+
+    /// Takes the response to a client request, if it has arrived.
+    pub fn take_client_response(&mut self, corr: u64) -> Option<Response> {
+        self.client_responses.remove(&corr)
+    }
+
+    /// Earliest future event across network, servers and retry deadlines.
+    fn next_event(&mut self) -> Option<SimTime> {
+        let mut next = self.net.next_delivery_time();
+        for server in self.servers.values() {
+            next = min_opt(next, server.next_event_time());
+        }
+        for f in self.inflight.values() {
+            next = min_opt(next, Some(f.deadline));
+        }
+        next
+    }
+
+    /// Runs the federation until `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.next_event().filter(|&t| t <= deadline) {
+            let t = t.max(self.now);
+            self.advance(t);
+        }
+        if self.now < deadline {
+            self.advance(deadline);
+        }
+    }
+
+    /// Runs until no work remains (jobs done, queues empty, no retries).
+    /// Returns the final time. `limit` bounds runaway simulations.
+    pub fn run_until_idle(&mut self, limit: SimTime) -> SimTime {
+        while let Some(t) = self.next_event() {
+            if t > limit {
+                break;
+            }
+            let t = t.max(self.now);
+            self.advance(t);
+        }
+        self.now
+    }
+
+    fn advance(&mut self, t: SimTime) {
+        self.now = t;
+        self.net.run_until(t);
+
+        // Deliver messages.
+        let mut deliveries: Vec<(String, Vec<u8>)> = Vec::new();
+        // Workstation first: responses to the client.
+        for (_, msg) in self.net.drain_inbox(self.workstation) {
+            if let Some((_, env)) = Self::unframe(&msg.payload) {
+                if let Body::Response(resp) = env.body {
+                    self.inflight.remove(&(String::new(), env.corr));
+                    self.client_responses.insert(env.corr, resp);
+                }
+            }
+        }
+        for site in self.site_order.clone() {
+            let nodes = &self.sites[&site];
+            let (gw, njs_node, split) = (nodes.gateway, nodes.njs, nodes.split);
+            // Gateway inbox.
+            for (_, msg) in self.net.drain_inbox(gw) {
+                if split {
+                    // Relay over the LAN hop to the interior NJS node.
+                    let _ = self.net.send(gw, njs_node, 9_000, msg.payload);
+                    continue;
+                }
+                deliveries.push((site.clone(), msg.payload));
+            }
+            if split {
+                for (_, msg) in self.net.drain_inbox(njs_node) {
+                    deliveries.push((site.clone(), msg.payload));
+                }
+            }
+        }
+        for (site, payload) in deliveries {
+            self.deliver_to_server(&site, &payload, t);
+        }
+
+        // Step servers; route their outbound requests.
+        for site in self.site_order.clone() {
+            let outbound = self.servers.get_mut(&site).expect("known site").step(t);
+            for req in outbound {
+                if !self.sites.contains_key(&req.dest) {
+                    // Unknown destination Usite: fail immediately.
+                    self.servers
+                        .get_mut(&site)
+                        .expect("known site")
+                        .handle_response(
+                            req.corr,
+                            Response::Error(format!("unknown Usite {}", req.dest)),
+                        );
+                    continue;
+                }
+                let env = Envelope {
+                    corr: req.corr,
+                    from_dn: self.server_dns[&site].clone(),
+                    body: Body::Request(req.request),
+                };
+                let src = self.sites[&site].gateway;
+                let dst = self.sites[&req.dest].gateway;
+                let payload = Self::frame(src, &env);
+                self.inflight.insert(
+                    (site.clone(), req.corr),
+                    Inflight {
+                        src,
+                        dst,
+                        payload: payload.clone(),
+                        deadline: t + self.retry_timeout,
+                        retries_left: self.max_retries,
+                    },
+                );
+                self.send_with_handshake(src, dst, payload);
+            }
+        }
+
+        // Synchronous watches: push the final outcome when a job ends.
+        let mut fired = Vec::new();
+        for (i, w) in self.sync_watches.iter().enumerate() {
+            if self.servers[&w.usite].is_done(w.job) {
+                fired.push(i);
+            }
+        }
+        for i in fired.into_iter().rev() {
+            let w = self.sync_watches.remove(i);
+            let outcome = self.servers[&w.usite]
+                .query(w.job, &w.owner_dn, DetailLevel::Tasks)
+                .unwrap_or_default();
+            let env = Envelope {
+                corr: w.corr,
+                from_dn: self.server_dns[&w.usite].clone(),
+                body: Body::Response(Response::Service(unicore_ajo::ServiceOutcome::Query {
+                    outcome,
+                })),
+            };
+            let src = self.sites[&w.usite].gateway;
+            let payload = Self::frame(src, &env);
+            self.send_with_handshake(src, w.client_node, payload);
+        }
+
+        // Retries.
+        let due: Vec<CorrKey> = self
+            .inflight
+            .iter()
+            .filter(|(_, f)| f.deadline <= t)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in due {
+            let f = self.inflight.get_mut(&key).expect("just collected");
+            if f.retries_left == 0 {
+                // Retry budget exhausted: the peer is unreachable. Surface
+                // a synthetic error so the requester is not left hanging
+                // (a dead site must not wedge a multi-site job forever).
+                self.inflight.remove(&key);
+                let (owner, corr) = key;
+                let err = Response::Error("peer unreachable (retries exhausted)".to_owned());
+                if owner.is_empty() {
+                    self.client_responses.insert(corr, err);
+                } else if let Some(server) = self.servers.get_mut(&owner) {
+                    server.handle_response(corr, err);
+                }
+                continue;
+            }
+            f.retries_left -= 1;
+            f.deadline = t + self.retry_timeout;
+            let (src, dst, payload) = (f.src, f.dst, f.payload.clone());
+            self.retries += 1;
+            self.send_with_handshake(src, dst, payload);
+        }
+    }
+
+    fn deliver_to_server(&mut self, site: &str, payload: &[u8], t: SimTime) {
+        let Some((origin, env)) = Self::unframe(payload) else {
+            return;
+        };
+        match env.body {
+            Body::Request(request) => {
+                let dedupe_key = (site.to_owned(), env.from_dn.clone(), env.corr);
+                let response = if let Some(cached) = self.handled.get(&dedupe_key) {
+                    cached.clone()
+                } else {
+                    let is_sync_consign = self.sync_corrs.contains(&env.corr)
+                        && origin == self.workstation
+                        && matches!(request, Request::Consign { .. });
+                    let resp = self
+                        .servers
+                        .get_mut(site)
+                        .expect("known site")
+                        .handle_request(&env.from_dn, request, t);
+                    self.handled.insert(dedupe_key, resp.clone());
+                    if is_sync_consign {
+                        if let Response::Consigned { job } = &resp {
+                            self.sync_watches.push(SyncWatch {
+                                usite: site.to_owned(),
+                                job: *job,
+                                corr: env.corr,
+                                client_node: origin,
+                                owner_dn: env.from_dn.clone(),
+                            });
+                        }
+                        // The synchronous interaction stays open: no
+                        // response until the job finishes.
+                        return;
+                    }
+                    resp
+                };
+                let reply = Envelope {
+                    corr: env.corr,
+                    from_dn: self.server_dns[site].clone(),
+                    body: Body::Response(response),
+                };
+                let src = self.sites[site].gateway;
+                let payload = Self::frame(src, &reply);
+                self.send_with_handshake(src, origin, payload);
+            }
+            Body::Response(response) => {
+                self.inflight.remove(&(site.to_owned(), env.corr));
+                self.servers
+                    .get_mut(site)
+                    .expect("known site")
+                    .handle_response(env.corr, response);
+            }
+        }
+    }
+
+    /// High-level helper: submit, then poll until the job reaches a
+    /// terminal state or `timeout` passes. Returns the job id, final
+    /// outcome and completion (observation) time.
+    pub fn submit_and_wait(
+        &mut self,
+        via: &str,
+        ajo: AbstractJob,
+        dn: &str,
+        poll_interval: SimTime,
+        timeout: SimTime,
+    ) -> Option<(JobId, JobOutcome, SimTime)> {
+        let corr = self.client_submit(via, ajo, dn);
+        let deadline = self.now + timeout;
+        let job = loop {
+            self.run_until((self.now + poll_interval).min(deadline));
+            match self.take_client_response(corr) {
+                Some(Response::Consigned { job }) => break job,
+                Some(_) => return None,
+                None if self.now >= deadline => return None,
+                None => continue,
+            }
+        };
+        loop {
+            let poll = self.client_poll(via, dn, job, DetailLevel::Tasks);
+            self.run_until((self.now + poll_interval).min(deadline));
+            if let Some(resp) = self.take_client_response(poll) {
+                if let Some(outcome) = crate::protocol::outcome_of(&resp) {
+                    if outcome.status.is_terminal() {
+                        return Some((job, outcome.clone(), self.now));
+                    }
+                }
+            }
+            if self.now >= deadline {
+                return None;
+            }
+        }
+    }
+}
+
+fn min_opt(a: Option<SimTime>, b: Option<SimTime>) -> Option<SimTime> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}

@@ -1,0 +1,585 @@
+//! The high-level asynchronous UNICORE protocol.
+//!
+//! "The UNICORE protocols define the form of requests for some action to be
+//! performed (high-level protocol) ... It defines a client-server type of
+//! communication. JPA/JMC act as client while NJS (resp. the gateway) acts
+//! as both client and server depending on the partner. ... It is an
+//! asynchronous protocol." (§5.3)
+//!
+//! Every message is one DER-encoded [`Envelope`]: a correlation id, the
+//! requesting identity's DN, and a request or response body. Consignment
+//! returns immediately with a job id; results are fetched by later
+//! poll/fetch requests — the asynchrony the paper credits with robustness.
+
+use unicore_ajo::{
+    AbstractJob, ActionId, ControlOp, DetailLevel, JobId, JobOutcome, JobSummary, OutcomeNode,
+    ServiceOutcome, VsiteAddress,
+};
+use unicore_codec::{CodecError, DerCodec, Fields, Value};
+use unicore_resources::ResourceDirectory;
+
+/// A request body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// JPA → NJS: consign a job.
+    Consign {
+        /// The job (user attributes inside).
+        ajo: AbstractJob,
+    },
+    /// JMC → NJS: query job status.
+    Poll {
+        /// The job.
+        job: JobId,
+        /// Detail level.
+        detail: DetailLevel,
+    },
+    /// JMC → NJS: control a job.
+    Control {
+        /// The job.
+        job: JobId,
+        /// The operation.
+        op: ControlOp,
+    },
+    /// JMC → NJS: list my jobs.
+    List,
+    /// JMC → NJS: fetch an output file from a job's Uspace.
+    FetchFile {
+        /// The job.
+        job: JobId,
+        /// Uspace file name.
+        name: String,
+    },
+    /// JMC → NJS: purge a finished job's Uspace (after saving outputs).
+    Purge {
+        /// The job.
+        job: JobId,
+    },
+    /// JMC → NJS: list the files in a job's Uspace.
+    ListFiles {
+        /// The job.
+        job: JobId,
+    },
+    /// JPA → server: fetch the Usite's resource pages ("resource
+    /// information about the available execution systems at the Usite,
+    /// which are provided together with the applet to the user", §4.2).
+    GetResources,
+    /// NJS → peer NJS: consign a job group on behalf of a user.
+    ConsignSubJob {
+        /// The extracted job group (now top-level).
+        ajo: AbstractJob,
+        /// Originating Usite (where the parent runs).
+        origin: String,
+        /// Parent job at the origin.
+        parent: JobId,
+        /// Node the sub-job fills in the parent.
+        node: ActionId,
+        /// Uspace files to return with the outcome (successor edge files).
+        return_files: Vec<String>,
+    },
+    /// Peer NJS → origin NJS: a forwarded job group finished.
+    DeliverOutcome {
+        /// Parent job at the origin.
+        parent: JobId,
+        /// The node that finished.
+        node: ActionId,
+        /// Its outcome subtree.
+        outcome: OutcomeNode,
+        /// Edge files produced by the job group, flowing back to the
+        /// parent's Uspace (the paper's predecessor→successor guarantee).
+        files: Vec<(String, Vec<u8>)>,
+    },
+    /// NJS → peer NJS: push a transferred file.
+    PushFile {
+        /// Destination Vsite.
+        to_vsite: VsiteAddress,
+        /// Name at the destination.
+        dest_name: String,
+        /// The bytes.
+        data: Vec<u8>,
+        /// Origin job/node, so the sender can complete its transfer task.
+        origin_job: JobId,
+        /// The transfer task's node.
+        origin_node: ActionId,
+        /// DN of the user on whose behalf the file moves (mapped by the
+        /// receiving gateway for file ownership).
+        user_dn: String,
+    },
+}
+
+/// A response body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Consignment accepted.
+    Consigned {
+        /// The assigned job id.
+        job: JobId,
+    },
+    /// A service result.
+    Service(ServiceOutcome),
+    /// File contents.
+    FileData(Vec<u8>),
+    /// Generic acknowledgement.
+    Ack,
+    /// A purge completed, freeing this many Uspace bytes.
+    Purged {
+        /// Bytes reclaimed.
+        bytes: u64,
+    },
+    /// Uspace file names.
+    FileNames(Vec<String>),
+    /// The Usite's published resource pages.
+    Resources(ResourceDirectory),
+    /// Refusal or failure with a reason.
+    Error(String),
+}
+
+/// The wire envelope.
+///
+/// Correlation ids and job ids are carried as DER INTEGERs and therefore
+/// must stay within `0..=i64::MAX`; every allocator in the system is a
+/// counter starting at 1, so the bound is never reached in practice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Correlation id chosen by the requester.
+    pub corr: u64,
+    /// DN of the requesting identity (user, or the peer server).
+    pub from_dn: String,
+    /// The body.
+    pub body: Body,
+}
+
+/// Request or response.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)] // requests dwarf responses by design
+pub enum Body {
+    /// A request.
+    Request(Request),
+    /// A response.
+    Response(Response),
+}
+
+impl DerCodec for Request {
+    fn to_value(&self) -> Value {
+        match self {
+            Request::Consign { ajo } => Value::tagged(0, ajo.to_value()),
+            Request::Poll { job, detail } => Value::tagged(
+                1,
+                Value::Sequence(vec![
+                    Value::Integer(job.0 as i64),
+                    Value::Enumerated(match detail {
+                        DetailLevel::JobOnly => 0,
+                        DetailLevel::Groups => 1,
+                        DetailLevel::Tasks => 2,
+                    }),
+                ]),
+            ),
+            Request::Control { job, op } => Value::tagged(
+                2,
+                Value::Sequence(vec![
+                    Value::Integer(job.0 as i64),
+                    Value::Enumerated(match op {
+                        ControlOp::Abort => 0,
+                        ControlOp::Hold => 1,
+                        ControlOp::Resume => 2,
+                    }),
+                ]),
+            ),
+            Request::List => Value::tagged(3, Value::Null),
+            Request::FetchFile { job, name } => Value::tagged(
+                4,
+                Value::Sequence(vec![Value::Integer(job.0 as i64), Value::string(name)]),
+            ),
+            Request::Purge { job } => Value::tagged(8, Value::Integer(job.0 as i64)),
+            Request::ListFiles { job } => Value::tagged(9, Value::Integer(job.0 as i64)),
+            Request::GetResources => Value::tagged(10, Value::Null),
+            Request::ConsignSubJob {
+                ajo,
+                origin,
+                parent,
+                node,
+                return_files,
+            } => Value::tagged(
+                5,
+                Value::Sequence(vec![
+                    ajo.to_value(),
+                    Value::string(origin),
+                    Value::Integer(parent.0 as i64),
+                    Value::Integer(node.0 as i64),
+                    Value::Sequence(return_files.iter().map(Value::string).collect()),
+                ]),
+            ),
+            Request::DeliverOutcome {
+                parent,
+                node,
+                outcome,
+                files,
+            } => Value::tagged(
+                6,
+                Value::Sequence(vec![
+                    Value::Integer(parent.0 as i64),
+                    Value::Integer(node.0 as i64),
+                    outcome.to_value(),
+                    Value::Sequence(
+                        files
+                            .iter()
+                            .map(|(n, d)| {
+                                Value::Sequence(vec![Value::string(n), Value::bytes(d.clone())])
+                            })
+                            .collect(),
+                    ),
+                ]),
+            ),
+            Request::PushFile {
+                to_vsite,
+                dest_name,
+                data,
+                origin_job,
+                origin_node,
+                user_dn,
+            } => Value::tagged(
+                7,
+                Value::Sequence(vec![
+                    to_vsite.to_value(),
+                    Value::string(dest_name),
+                    Value::bytes(data.clone()),
+                    Value::Integer(origin_job.0 as i64),
+                    Value::Integer(origin_node.0 as i64),
+                    Value::string(user_dn),
+                ]),
+            ),
+        }
+    }
+
+    fn from_value(value: &Value) -> Result<Self, CodecError> {
+        let (tag, inner) = value
+            .as_tagged()
+            .ok_or(CodecError::BadValue("Request tag"))?;
+        match tag {
+            0 => Ok(Request::Consign {
+                ajo: AbstractJob::from_value(inner)?,
+            }),
+            1 => {
+                let mut f = Fields::open(inner, "Poll")?;
+                let job = JobId(f.next_u64()?);
+                let detail = match f.next_enum()? {
+                    0 => DetailLevel::JobOnly,
+                    1 => DetailLevel::Groups,
+                    2 => DetailLevel::Tasks,
+                    _ => return Err(CodecError::BadValue("detail")),
+                };
+                f.finish()?;
+                Ok(Request::Poll { job, detail })
+            }
+            2 => {
+                let mut f = Fields::open(inner, "Control")?;
+                let job = JobId(f.next_u64()?);
+                let op = match f.next_enum()? {
+                    0 => ControlOp::Abort,
+                    1 => ControlOp::Hold,
+                    2 => ControlOp::Resume,
+                    _ => return Err(CodecError::BadValue("op")),
+                };
+                f.finish()?;
+                Ok(Request::Control { job, op })
+            }
+            3 => Ok(Request::List),
+            4 => {
+                let mut f = Fields::open(inner, "FetchFile")?;
+                let job = JobId(f.next_u64()?);
+                let name = f.next_string()?;
+                f.finish()?;
+                Ok(Request::FetchFile { job, name })
+            }
+            5 => {
+                let mut f = Fields::open(inner, "ConsignSubJob")?;
+                let ajo = AbstractJob::from_value(f.next_value()?)?;
+                let origin = f.next_string()?;
+                let parent = JobId(f.next_u64()?);
+                let node = ActionId(f.next_u64()?);
+                let return_files = f
+                    .next_sequence()?
+                    .iter()
+                    .map(|v| {
+                        v.as_str()
+                            .map(str::to_owned)
+                            .ok_or(CodecError::BadValue("return file"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                f.finish()?;
+                Ok(Request::ConsignSubJob {
+                    ajo,
+                    origin,
+                    parent,
+                    node,
+                    return_files,
+                })
+            }
+            6 => {
+                let mut f = Fields::open(inner, "DeliverOutcome")?;
+                let parent = JobId(f.next_u64()?);
+                let node = ActionId(f.next_u64()?);
+                let outcome = OutcomeNode::from_value(f.next_value()?)?;
+                let mut files = Vec::new();
+                for item in f.next_sequence()? {
+                    let mut ff = Fields::open(item, "returned file")?;
+                    files.push((ff.next_string()?, ff.next_bytes()?.to_vec()));
+                    ff.finish()?;
+                }
+                f.finish()?;
+                Ok(Request::DeliverOutcome {
+                    parent,
+                    node,
+                    outcome,
+                    files,
+                })
+            }
+            7 => {
+                let mut f = Fields::open(inner, "PushFile")?;
+                let to_vsite = VsiteAddress::from_value(f.next_value()?)?;
+                let dest_name = f.next_string()?;
+                let data = f.next_bytes()?.to_vec();
+                let origin_job = JobId(f.next_u64()?);
+                let origin_node = ActionId(f.next_u64()?);
+                let user_dn = f.next_string()?;
+                f.finish()?;
+                Ok(Request::PushFile {
+                    to_vsite,
+                    dest_name,
+                    data,
+                    origin_job,
+                    origin_node,
+                    user_dn,
+                })
+            }
+            8 => Ok(Request::Purge {
+                job: JobId(inner.as_u64().ok_or(CodecError::BadValue("job id"))?),
+            }),
+            9 => Ok(Request::ListFiles {
+                job: JobId(inner.as_u64().ok_or(CodecError::BadValue("job id"))?),
+            }),
+            10 => Ok(Request::GetResources),
+            _ => Err(CodecError::BadValue("Request variant")),
+        }
+    }
+}
+
+impl DerCodec for Response {
+    fn to_value(&self) -> Value {
+        match self {
+            Response::Consigned { job } => Value::tagged(0, Value::Integer(job.0 as i64)),
+            Response::Service(s) => Value::tagged(1, s.to_value()),
+            Response::FileData(d) => Value::tagged(2, Value::bytes(d.clone())),
+            Response::Ack => Value::tagged(3, Value::Null),
+            Response::Purged { bytes } => Value::tagged(5, Value::Integer(*bytes as i64)),
+            Response::FileNames(names) => Value::tagged(
+                6,
+                Value::Sequence(names.iter().map(Value::string).collect()),
+            ),
+            Response::Resources(dir) => Value::tagged(7, dir.to_value()),
+            Response::Error(msg) => Value::tagged(4, Value::string(msg)),
+        }
+    }
+
+    fn from_value(value: &Value) -> Result<Self, CodecError> {
+        let (tag, inner) = value
+            .as_tagged()
+            .ok_or(CodecError::BadValue("Response tag"))?;
+        match tag {
+            0 => Ok(Response::Consigned {
+                job: JobId(inner.as_u64().ok_or(CodecError::BadValue("job id"))?),
+            }),
+            1 => Ok(Response::Service(ServiceOutcome::from_value(inner)?)),
+            2 => Ok(Response::FileData(
+                inner
+                    .as_bytes()
+                    .ok_or(CodecError::BadValue("file data"))?
+                    .to_vec(),
+            )),
+            3 => Ok(Response::Ack),
+            4 => Ok(Response::Error(
+                inner
+                    .as_str()
+                    .ok_or(CodecError::BadValue("error message"))?
+                    .to_owned(),
+            )),
+            5 => Ok(Response::Purged {
+                bytes: inner.as_u64().ok_or(CodecError::BadValue("bytes"))?,
+            }),
+            6 => {
+                let names = inner
+                    .as_sequence()
+                    .ok_or(CodecError::BadValue("file names"))?
+                    .iter()
+                    .map(|v| {
+                        v.as_str()
+                            .map(str::to_owned)
+                            .ok_or(CodecError::BadValue("file name"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Response::FileNames(names))
+            }
+            7 => Ok(Response::Resources(ResourceDirectory::from_value(inner)?)),
+            _ => Err(CodecError::BadValue("Response variant")),
+        }
+    }
+}
+
+impl DerCodec for Envelope {
+    fn to_value(&self) -> Value {
+        let body = match &self.body {
+            Body::Request(r) => Value::tagged(0, r.to_value()),
+            Body::Response(r) => Value::tagged(1, r.to_value()),
+        };
+        Value::Sequence(vec![
+            Value::Integer(self.corr as i64),
+            Value::string(&self.from_dn),
+            body,
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<Self, CodecError> {
+        let mut f = Fields::open(value, "Envelope")?;
+        let corr = f.next_u64()?;
+        let from_dn = f.next_string()?;
+        let body_value = f.next_value()?;
+        f.finish()?;
+        let (tag, inner) = body_value
+            .as_tagged()
+            .ok_or(CodecError::BadValue("Body tag"))?;
+        let body = match tag {
+            0 => Body::Request(Request::from_value(inner)?),
+            1 => Body::Response(Response::from_value(inner)?),
+            _ => return Err(CodecError::BadValue("Body variant")),
+        };
+        Ok(Envelope {
+            corr,
+            from_dn,
+            body,
+        })
+    }
+}
+
+/// Convenience: the summaries inside a List response.
+pub fn list_jobs_of(response: &Response) -> Option<&[JobSummary]> {
+    match response {
+        Response::Service(ServiceOutcome::List { jobs }) => Some(jobs),
+        _ => None,
+    }
+}
+
+/// Convenience: the outcome inside a Poll response.
+pub fn outcome_of(response: &Response) -> Option<&JobOutcome> {
+    match response {
+        Response::Service(ServiceOutcome::Query { outcome }) => Some(outcome),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicore_ajo::UserAttributes;
+
+    fn sample_job() -> AbstractJob {
+        AbstractJob::new(
+            "j",
+            VsiteAddress::new("FZJ", "T3E"),
+            UserAttributes::new("CN=x, C=DE, OU=a, O=b", "g"),
+        )
+    }
+
+    fn round_trip_req(r: Request) {
+        let env = Envelope {
+            corr: 42,
+            from_dn: "C=DE, O=FZJ, OU=ZAM, CN=alice".into(),
+            body: Body::Request(r),
+        };
+        let back = Envelope::from_der(&env.to_der()).unwrap();
+        assert_eq!(back, env);
+    }
+
+    #[test]
+    fn request_round_trips() {
+        round_trip_req(Request::Consign { ajo: sample_job() });
+        round_trip_req(Request::Poll {
+            job: JobId(3),
+            detail: DetailLevel::Tasks,
+        });
+        round_trip_req(Request::Control {
+            job: JobId(3),
+            op: ControlOp::Abort,
+        });
+        round_trip_req(Request::List);
+        round_trip_req(Request::FetchFile {
+            job: JobId(1),
+            name: "out.dat".into(),
+        });
+        round_trip_req(Request::Purge { job: JobId(4) });
+        round_trip_req(Request::ListFiles { job: JobId(4) });
+        round_trip_req(Request::GetResources);
+        round_trip_req(Request::ConsignSubJob {
+            ajo: sample_job(),
+            origin: "RUS".into(),
+            parent: JobId(9),
+            node: ActionId(2),
+            return_files: vec!["grid.dat".into()],
+        });
+        round_trip_req(Request::DeliverOutcome {
+            parent: JobId(9),
+            node: ActionId(2),
+            outcome: OutcomeNode::Job(JobOutcome::default()),
+            files: vec![("grid.dat".into(), vec![1, 2, 3])],
+        });
+        round_trip_req(Request::PushFile {
+            to_vsite: VsiteAddress::new("DWD", "SX4"),
+            dest_name: "f".into(),
+            data: vec![1, 2, 3],
+            origin_job: JobId(1),
+            origin_node: ActionId(5),
+            user_dn: "CN=alice".into(),
+        });
+    }
+
+    #[test]
+    fn response_round_trips() {
+        for r in [
+            Response::Consigned { job: JobId(7) },
+            Response::Service(ServiceOutcome::Control {
+                applied: true,
+                message: "ok".into(),
+            }),
+            Response::FileData(vec![9; 100]),
+            Response::Ack,
+            Response::Purged { bytes: 12_345 },
+            Response::FileNames(vec!["a.out".into(), "result.nc".into()]),
+            {
+                let mut dir = ResourceDirectory::new();
+                dir.publish(unicore_resources::deployment_page(
+                    "FZJ",
+                    "T3E",
+                    unicore_resources::Architecture::CrayT3e,
+                ));
+                Response::Resources(dir)
+            },
+            Response::Error("no UUDB entry".into()),
+        ] {
+            let env = Envelope {
+                corr: 1,
+                from_dn: "CN=s".into(),
+                body: Body::Response(r),
+            };
+            assert_eq!(Envelope::from_der(&env.to_der()).unwrap(), env);
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let list = Response::Service(ServiceOutcome::List { jobs: vec![] });
+        assert!(list_jobs_of(&list).is_some());
+        assert!(outcome_of(&list).is_none());
+        let q = Response::Service(ServiceOutcome::Query {
+            outcome: JobOutcome::default(),
+        });
+        assert!(outcome_of(&q).is_some());
+    }
+}

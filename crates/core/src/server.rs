@@ -1,0 +1,466 @@
+//! The UNICORE server: gateway + NJS + resource pages for one Usite.
+//!
+//! Figure 1's middle tier. The server answers the high-level protocol
+//! ([`crate::protocol`]) for users (JPA/JMC) and for peer servers
+//! (NJS–NJS), keeping the NJS's dual client/server role of §5.3: it is a
+//! *server* towards JPA/JMC and a *client* towards the peer NJS it
+//! forwards job groups to.
+
+use crate::protocol::{Request, Response};
+use std::collections::{HashMap, HashSet};
+use unicore_ajo::{
+    ActionId, ActionStatus, DetailLevel, JobId, JobOutcome, OutcomeNode, ServiceOutcome,
+    TaskOutcome,
+};
+use unicore_gateway::{AuthDecision, Gateway};
+use unicore_njs::{Njs, OutgoingItem};
+use unicore_resources::ResourceDirectory;
+use unicore_sim::{SimTime, SEC};
+
+/// A request this server wants delivered to a peer Usite.
+#[derive(Debug)]
+pub struct OutboundRequest {
+    /// Destination Usite name.
+    pub dest: String,
+    /// Correlation id (responses come back through
+    /// [`UnicoreServer::handle_response`]).
+    pub corr: u64,
+    /// The request.
+    pub request: Request,
+}
+
+enum Pending {
+    SubJobConsign {
+        parent: JobId,
+        node: ActionId,
+    },
+    FilePush {
+        job: JobId,
+        node: ActionId,
+        bytes: u64,
+    },
+    OutcomeDelivery,
+}
+
+struct ForeignJob {
+    origin: String,
+    parent: JobId,
+    node: ActionId,
+    return_files: Vec<String>,
+    delivered: bool,
+}
+
+/// One Usite's UNICORE server.
+pub struct UnicoreServer {
+    usite: String,
+    gateway: Gateway,
+    njs: Njs,
+    resources: ResourceDirectory,
+    /// DNs of peer UNICORE servers allowed to use the NJS–NJS requests.
+    peer_servers: HashSet<String>,
+    /// Jobs running here on behalf of a remote parent.
+    foreign: HashMap<JobId, ForeignJob>,
+    pending: HashMap<u64, Pending>,
+    next_corr: u64,
+}
+
+impl UnicoreServer {
+    /// Assembles a server from its gateway and NJS.
+    ///
+    /// # Panics
+    /// Panics when the gateway and NJS disagree about the Usite.
+    pub fn new(gateway: Gateway, njs: Njs) -> Self {
+        assert_eq!(gateway.usite(), njs.usite(), "gateway/NJS Usite mismatch");
+        let mut resources = ResourceDirectory::new();
+        for name in njs.vsite_names().to_vec() {
+            if let Some(v) = njs.vsite(&name) {
+                resources.publish(v.page.clone());
+            }
+        }
+        UnicoreServer {
+            usite: njs.usite().to_owned(),
+            gateway,
+            njs,
+            resources,
+            peer_servers: HashSet::new(),
+            foreign: HashMap::new(),
+            pending: HashMap::new(),
+            next_corr: 1,
+        }
+    }
+
+    /// This server's Usite.
+    pub fn usite(&self) -> &str {
+        &self.usite
+    }
+
+    /// The published resource pages (handed to the JPA, §5.4).
+    pub fn resource_directory(&self) -> &ResourceDirectory {
+        &self.resources
+    }
+
+    /// Registers a peer server's DN as trusted for NJS–NJS requests.
+    pub fn add_peer_server(&mut self, dn: impl Into<String>) {
+        self.peer_servers.insert(dn.into());
+    }
+
+    /// Direct access to the NJS (deployment configuration, tests).
+    pub fn njs_mut(&mut self) -> &mut Njs {
+        &mut self.njs
+    }
+
+    /// Read access to the NJS.
+    pub fn njs(&self) -> &Njs {
+        &self.njs
+    }
+
+    /// Direct access to the gateway (UUDB administration).
+    pub fn gateway_mut(&mut self) -> &mut Gateway {
+        &mut self.gateway
+    }
+
+    /// Read access to the gateway (audit inspection).
+    pub fn gateway(&self) -> &Gateway {
+        &self.gateway
+    }
+
+    /// Handles one protocol request from `from_dn` at simulated `now`.
+    pub fn handle_request(&mut self, from_dn: &str, request: Request, now: SimTime) -> Response {
+        let now_secs = now / SEC;
+        match request {
+            Request::Consign { ajo } => {
+                if ajo.user.dn != from_dn {
+                    return Response::Error(format!(
+                        "AJO user DN does not match authenticated DN {from_dn}"
+                    ));
+                }
+                // Figure 2: "the user [may] contact any UNICORE server".
+                // A job destined for another Usite is wrapped in a local
+                // routing job whose single node is the remote job group;
+                // the existing NJS–NJS forwarding carries it onward and
+                // the user polls it here.
+                let ajo = if ajo.vsite.usite != self.usite {
+                    let Some(host_vsite) = self.njs.vsite_names().first().cloned() else {
+                        return Response::Error(format!(
+                            "Usite {} has no Vsites to host routed jobs",
+                            self.usite
+                        ));
+                    };
+                    let mut inner = ajo;
+                    let mut wrapper = unicore_ajo::AbstractJob::new(
+                        format!("{} (routed via {})", inner.name, self.usite),
+                        unicore_ajo::VsiteAddress::new(self.usite.clone(), host_vsite),
+                        inner.user.clone(),
+                    );
+                    // The portfolio must live at the top level; hoist it.
+                    wrapper.portfolio = std::mem::take(&mut inner.portfolio);
+                    wrapper
+                        .nodes
+                        .push((ActionId(1), unicore_ajo::GraphNode::SubJob(inner)));
+                    wrapper
+                } else {
+                    ajo
+                };
+                let decision = self.gateway.authorize_dn(
+                    from_dn,
+                    &ajo.vsite.vsite,
+                    Some(&ajo.user.account_group),
+                    now_secs,
+                );
+                let mapped = match decision {
+                    AuthDecision::Accepted(m) => m,
+                    AuthDecision::Refused(reason) => return Response::Error(reason),
+                };
+                match self.njs.consign(ajo, mapped, now) {
+                    Ok(job) => Response::Consigned { job },
+                    Err(e) => Response::Error(e.to_string()),
+                }
+            }
+            Request::Poll { job, detail } => match self.njs.query(job, from_dn, detail) {
+                Ok(outcome) => Response::Service(ServiceOutcome::Query { outcome }),
+                Err(e) => Response::Error(e.to_string()),
+            },
+            Request::Control { job, op } => match self.njs.control(job, op, from_dn, now) {
+                Ok(applied) => Response::Service(ServiceOutcome::Control {
+                    applied,
+                    message: String::new(),
+                }),
+                Err(e) => Response::Error(e.to_string()),
+            },
+            Request::List => Response::Service(ServiceOutcome::List {
+                jobs: self.njs.list_jobs(from_dn),
+            }),
+            Request::FetchFile { job, name } => {
+                match self.njs.fetch_uspace_file(job, &name, from_dn) {
+                    Ok(data) => Response::FileData(data),
+                    Err(e) => Response::Error(e.to_string()),
+                }
+            }
+            Request::Purge { job } => match self.njs.purge(job, from_dn) {
+                Ok(bytes) => Response::Purged { bytes },
+                Err(e) => Response::Error(e.to_string()),
+            },
+            Request::ListFiles { job } => match self.njs.list_uspace_files(job, from_dn) {
+                Ok(names) => Response::FileNames(names),
+                Err(e) => Response::Error(e.to_string()),
+            },
+            Request::GetResources => Response::Resources(self.resources.clone()),
+            Request::ConsignSubJob {
+                ajo,
+                origin,
+                parent,
+                node,
+                return_files,
+            } => {
+                if !self.peer_servers.contains(from_dn) {
+                    return Response::Error(format!("{from_dn} is not a trusted peer server"));
+                }
+                // The job runs as the *original user*: map their DN here.
+                let decision = self.gateway.authorize_dn(
+                    &ajo.user.dn,
+                    &ajo.vsite.vsite,
+                    Some(&ajo.user.account_group),
+                    now_secs,
+                );
+                let mapped = match decision {
+                    AuthDecision::Accepted(m) => m,
+                    AuthDecision::Refused(reason) => return Response::Error(reason),
+                };
+                match self.njs.consign_from_peer(ajo, mapped, now) {
+                    Ok(job) => {
+                        self.foreign.insert(
+                            job,
+                            ForeignJob {
+                                origin,
+                                parent,
+                                node,
+                                return_files,
+                                delivered: false,
+                            },
+                        );
+                        Response::Consigned { job }
+                    }
+                    Err(e) => Response::Error(e.to_string()),
+                }
+            }
+            Request::DeliverOutcome {
+                parent,
+                node,
+                outcome,
+                files,
+            } => {
+                if !self.peer_servers.contains(from_dn) {
+                    return Response::Error(format!("{from_dn} is not a trusted peer server"));
+                }
+                self.njs
+                    .complete_remote_node_with_files(parent, node, outcome, files);
+                Response::Ack
+            }
+            Request::PushFile {
+                to_vsite,
+                dest_name,
+                data,
+                user_dn,
+                ..
+            } => {
+                if !self.peer_servers.contains(from_dn) {
+                    return Response::Error(format!("{from_dn} is not a trusted peer server"));
+                }
+                let decision = self
+                    .gateway
+                    .authorize_dn(&user_dn, &to_vsite.vsite, None, now_secs);
+                let login = match decision {
+                    AuthDecision::Accepted(m) => m.login,
+                    AuthDecision::Refused(reason) => return Response::Error(reason),
+                };
+                match self
+                    .njs
+                    .receive_incoming_file(&to_vsite.vsite, &dest_name, data, &login)
+                {
+                    Ok(()) => Response::Ack,
+                    Err(e) => Response::Error(e.to_string()),
+                }
+            }
+        }
+    }
+
+    /// Handles a response to one of this server's own outbound requests.
+    pub fn handle_response(&mut self, corr: u64, response: Response) {
+        let Some(pending) = self.pending.remove(&corr) else {
+            return;
+        };
+        match pending {
+            Pending::SubJobConsign { parent, node } => {
+                if let Response::Error(msg) = response {
+                    // The peer refused: the node fails.
+                    self.njs.complete_remote_node(
+                        parent,
+                        node,
+                        OutcomeNode::Job(JobOutcome {
+                            status: ActionStatus::NotSuccessful,
+                            children: Vec::new(),
+                        }),
+                    );
+                    let _ = msg;
+                }
+                // On Consigned{..} the node stays in Remote state until a
+                // DeliverOutcome arrives.
+            }
+            Pending::FilePush { job, node, bytes } => {
+                let outcome = match response {
+                    Response::Ack => TaskOutcome {
+                        status: ActionStatus::Successful,
+                        bytes_staged: bytes,
+                        ..Default::default()
+                    },
+                    Response::Error(msg) => TaskOutcome::failure(msg),
+                    _ => TaskOutcome::failure("unexpected push response"),
+                };
+                self.njs
+                    .complete_remote_node(job, node, OutcomeNode::Task(outcome));
+            }
+            Pending::OutcomeDelivery => {}
+        }
+    }
+
+    /// Earliest pending local event.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.njs.next_event_time()
+    }
+
+    /// Advances local work to `now` and returns requests for peers.
+    pub fn step(&mut self, now: SimTime) -> Vec<OutboundRequest> {
+        self.njs.step(now);
+        let mut out = Vec::new();
+
+        // Forward sub-jobs and file pushes the NJS wants sent away.
+        for item in self.njs.take_outbox() {
+            match item {
+                OutgoingItem::SubJob {
+                    parent,
+                    node,
+                    ajo,
+                    return_files,
+                } => {
+                    let dest = ajo.vsite.usite.clone();
+                    let corr = self.next_corr;
+                    self.next_corr += 1;
+                    self.pending
+                        .insert(corr, Pending::SubJobConsign { parent, node });
+                    out.push(OutboundRequest {
+                        dest,
+                        corr,
+                        request: Request::ConsignSubJob {
+                            ajo,
+                            origin: self.usite.clone(),
+                            parent,
+                            node,
+                            return_files,
+                        },
+                    });
+                }
+                OutgoingItem::Transfer {
+                    from_job,
+                    node,
+                    to_vsite,
+                    dest_name,
+                    data,
+                } => {
+                    let dest = to_vsite.usite.clone();
+                    let corr = self.next_corr;
+                    self.next_corr += 1;
+                    let bytes = data.len() as u64;
+                    self.pending.insert(
+                        corr,
+                        Pending::FilePush {
+                            job: from_job,
+                            node,
+                            bytes,
+                        },
+                    );
+                    let user_dn = self.njs.owner_dn(from_job).unwrap_or_default();
+                    out.push(OutboundRequest {
+                        dest,
+                        corr,
+                        request: Request::PushFile {
+                            to_vsite,
+                            dest_name,
+                            data,
+                            origin_job: from_job,
+                            origin_node: node,
+                            user_dn,
+                        },
+                    });
+                }
+            }
+        }
+
+        // Report finished foreign jobs back to their origins.
+        let finished: Vec<JobId> = self
+            .foreign
+            .iter()
+            .filter(|(job, f)| !f.delivered && self.njs.is_done(**job))
+            .map(|(job, _)| *job)
+            .collect();
+        for job in finished {
+            let outcome = self.njs.outcome(job).cloned().unwrap_or_default();
+            let return_files = {
+                let f = self.foreign.get(&job).expect("checked above");
+                self.njs.collect_return_files(job, &f.return_files)
+            };
+            let f = self.foreign.get_mut(&job).expect("checked above");
+            f.delivered = true;
+            let corr = self.next_corr;
+            self.next_corr += 1;
+            self.pending.insert(corr, Pending::OutcomeDelivery);
+            out.push(OutboundRequest {
+                dest: f.origin.clone(),
+                corr,
+                request: Request::DeliverOutcome {
+                    parent: f.parent,
+                    node: f.node,
+                    outcome: OutcomeNode::Job(outcome),
+                    files: return_files,
+                },
+            });
+        }
+        out
+    }
+
+    /// Publishes current per-Vsite load (for the resource-broker seed).
+    pub fn load_snapshots(&self, now: SimTime) -> Vec<crate::broker::Candidate> {
+        self.njs
+            .vsite_names()
+            .iter()
+            .filter_map(|name| {
+                let v = self.njs.vsite(name)?;
+                Some(crate::broker::Candidate {
+                    page: v.page.clone(),
+                    load: crate::broker::LoadSnapshot {
+                        vsite: v.page.vsite.clone(),
+                        total_nodes: v.batch.total_nodes(),
+                        free_nodes: v.batch.free_nodes(),
+                        queue_length: v.batch.queue_length(),
+                        running: v.batch.running_count(),
+                        utilization: v.batch.utilization(now.max(1)),
+                    },
+                })
+            })
+            .collect()
+    }
+
+    /// Convenience for experiments: whether a locally consigned job is done.
+    pub fn is_done(&self, job: JobId) -> bool {
+        self.njs.is_done(job)
+    }
+
+    /// Convenience: the job's outcome.
+    pub fn outcome(&self, job: JobId) -> Option<&JobOutcome> {
+        self.njs.outcome(job)
+    }
+
+    /// Convenience: query the outcome tree as the owner would.
+    pub fn query(&self, job: JobId, dn: &str, detail: DetailLevel) -> Option<JobOutcome> {
+        self.njs.query(job, dn, detail).ok()
+    }
+}

@@ -1,0 +1,452 @@
+//! End-to-end federation tests: the three-tier submission path (Figure 1),
+//! multi-site distribution (Figure 2), and the asynchronous protocol's
+//! behaviour under message loss (§5.3).
+
+use unicore::ajo::*;
+use unicore::protocol::{outcome_of, Response};
+use unicore::{Federation, FederationConfig, SiteSpec};
+use unicore_resources::Architecture;
+use unicore_sim::{HOUR, MINUTE, SEC};
+
+const DN: &str = "C=DE, O=FZJ, OU=ZAM, CN=alice";
+
+fn attrs() -> UserAttributes {
+    UserAttributes::new(DN, "users")
+}
+
+fn script_node(id: u64, name: &str, script: &str) -> (ActionId, GraphNode) {
+    (
+        ActionId(id),
+        GraphNode::Task(AbstractTask {
+            name: name.into(),
+            resources: ResourceRequest::minimal().with_run_time(3_600),
+            kind: TaskKind::Execute(ExecuteKind::Script {
+                script: script.into(),
+            }),
+        }),
+    )
+}
+
+fn german() -> Federation {
+    let mut fed = Federation::german_deployment(FederationConfig::default());
+    fed.register_user(DN, "alice");
+    fed
+}
+
+#[test]
+fn three_tier_submission_path() {
+    let mut fed = german();
+    let mut job = AbstractJob::new("quick", VsiteAddress::new("FZJ", "T3E"), attrs());
+    job.nodes
+        .push(script_node(1, "hello", "echo hi\nsleep 20\n"));
+    let (id, outcome, done_at) = fed
+        .submit_and_wait("FZJ", job, DN, 5 * SEC, HOUR)
+        .expect("job completes");
+    assert_eq!(outcome.status, ActionStatus::Successful);
+    assert!(done_at > 20 * SEC); // runtime + WAN latency + polling
+                                 // The user's DN was mapped to the FZJ-local login by the gateway.
+    let server = fed.server("FZJ").unwrap();
+    assert!(server.is_done(id));
+    let audit = server.njs(); // job ran under alice_fzj
+    let _ = audit;
+}
+
+#[test]
+fn user_can_contact_any_server() {
+    // Figure 2: the user contacts RUS's server even for an RUS job, and
+    // separately submits to DWD — each site maps the same DN differently.
+    let mut fed = german();
+    let mut job1 = AbstractJob::new("at-rus", VsiteAddress::new("RUS", "VPP"), attrs());
+    job1.nodes.push(script_node(1, "a", "sleep 5\n"));
+    let mut job2 = AbstractJob::new("at-dwd", VsiteAddress::new("DWD", "SX4"), attrs());
+    job2.nodes.push(script_node(1, "b", "sleep 5\n"));
+    let (_, o1, _) = fed.submit_and_wait("RUS", job1, DN, 5 * SEC, HOUR).unwrap();
+    let (_, o2, _) = fed.submit_and_wait("DWD", job2, DN, 5 * SEC, HOUR).unwrap();
+    assert!(o1.status.is_success());
+    assert!(o2.status.is_success());
+}
+
+#[test]
+fn multi_site_job_distributes_sub_ajos() {
+    // A UNICORE job whose job groups run at three different Usites, with
+    // files flowing along the dependency edges.
+    let mut fed = german();
+
+    let mut prep = AbstractJob::new("prep@RUS", VsiteAddress::new("RUS", "VPP"), attrs());
+    prep.nodes.push(script_node(
+        1,
+        "preprocess",
+        "sleep 10\nproduce grid.dat 4096\n",
+    ));
+
+    let mut post = AbstractJob::new("post@DWD", VsiteAddress::new("DWD", "SX4"), attrs());
+    post.nodes.push(script_node(1, "visualise", "sleep 5\n"));
+
+    let mut job = AbstractJob::new("3site", VsiteAddress::new("FZJ", "T3E"), attrs());
+    job.nodes.push((ActionId(1), GraphNode::SubJob(prep)));
+    job.nodes.push(script_node(
+        2,
+        "main-sim",
+        "sleep 30\nproduce fields.dat 8192\n",
+    ));
+    job.nodes.push((ActionId(3), GraphNode::SubJob(post)));
+    job.dependencies.push(Dependency {
+        from: ActionId(1),
+        to: ActionId(2),
+        files: vec!["grid.dat".into()],
+    });
+    job.dependencies.push(Dependency {
+        from: ActionId(2),
+        to: ActionId(3),
+        files: vec!["fields.dat".into()],
+    });
+
+    let (id, outcome, _) = fed
+        .submit_and_wait("FZJ", job, DN, 5 * SEC, HOUR)
+        .expect("multi-site job completes");
+    assert_eq!(outcome.status, ActionStatus::Successful, "{outcome:?}");
+    // Sub-job outcomes are nested jobs.
+    assert!(matches!(
+        outcome.child(ActionId(1)),
+        Some(OutcomeNode::Job(j)) if j.status.is_success()
+    ));
+    assert!(matches!(
+        outcome.child(ActionId(3)),
+        Some(OutcomeNode::Job(j)) if j.status.is_success()
+    ));
+    // grid.dat flowed from RUS into the FZJ main job's Uspace.
+    let fzj = fed.server("FZJ").unwrap();
+    let grid = fzj.njs().fetch_uspace_file(id, "grid.dat", DN).unwrap();
+    assert_eq!(grid.len(), 4096);
+}
+
+#[test]
+fn list_and_control_services() {
+    let mut fed = german();
+    let mut job = AbstractJob::new("to-abort", VsiteAddress::new("FZJ", "T3E"), attrs());
+    job.nodes.push(script_node(1, "long", "sleep 100000\n"));
+    let corr = fed.client_submit("FZJ", job, DN);
+    fed.run_until(2 * MINUTE);
+    let Some(Response::Consigned { job: id }) = fed.take_client_response(corr) else {
+        panic!("no consign ack");
+    };
+
+    // List shows the job.
+    let list_corr = fed.client_request("FZJ", DN, unicore::Request::List);
+    fed.run_until(fed.now() + MINUTE);
+    let resp = fed.take_client_response(list_corr).unwrap();
+    let jobs = unicore::list_jobs_of(&resp).unwrap();
+    assert_eq!(jobs.len(), 1);
+    assert_eq!(jobs[0].job, id);
+
+    // Abort it.
+    let ctl = fed.client_control("FZJ", DN, id, ControlOp::Abort);
+    fed.run_until(fed.now() + MINUTE);
+    let resp = fed.take_client_response(ctl).unwrap();
+    assert!(matches!(
+        resp,
+        Response::Service(ServiceOutcome::Control { applied: true, .. })
+    ));
+
+    // Status is now failed/killed.
+    let poll = fed.client_poll("FZJ", DN, id, DetailLevel::JobOnly);
+    fed.run_until(fed.now() + MINUTE);
+    let resp = fed.take_client_response(poll).unwrap();
+    let outcome = outcome_of(&resp).unwrap();
+    assert!(outcome.status.is_terminal());
+    assert!(!outcome.status.is_success());
+}
+
+#[test]
+fn fetch_file_round_trip() {
+    let mut fed = german();
+    let mut job = AbstractJob::new("fetch", VsiteAddress::new("ZIB", "T3E"), attrs());
+    job.nodes
+        .push(script_node(1, "make", "produce answer.dat 512\n"));
+    let (id, outcome, _) = fed.submit_and_wait("ZIB", job, DN, 5 * SEC, HOUR).unwrap();
+    assert!(outcome.status.is_success());
+    let corr = fed.client_fetch("ZIB", DN, id, "answer.dat");
+    fed.run_until(fed.now() + MINUTE);
+    let Some(Response::FileData(data)) = fed.take_client_response(corr) else {
+        panic!("no file data");
+    };
+    assert_eq!(data.len(), 512);
+}
+
+#[test]
+fn unknown_user_is_refused() {
+    let mut fed = Federation::german_deployment(FederationConfig::default());
+    // No register_user call: the UUDB has no entry for this DN.
+    let mut job = AbstractJob::new("nope", VsiteAddress::new("FZJ", "T3E"), attrs());
+    job.nodes.push(script_node(1, "x", "sleep 1\n"));
+    let corr = fed.client_submit("FZJ", job, DN);
+    fed.run_until(MINUTE);
+    let resp = fed.take_client_response(corr).unwrap();
+    assert!(
+        matches!(resp, Response::Error(ref m) if m.contains("UUDB")),
+        "{resp:?}"
+    );
+}
+
+#[test]
+fn async_protocol_survives_heavy_loss() {
+    // 30% loss on every WAN link: retries must still complete the job.
+    let mut fed = Federation::german_deployment(FederationConfig {
+        wan_loss: 0.30,
+        seed: 7,
+        ..FederationConfig::default()
+    });
+    fed.register_user(DN, "alice");
+    for i in 0..5 {
+        let mut job = AbstractJob::new(
+            format!("lossy{i}"),
+            VsiteAddress::new("FZJ", "T3E"),
+            attrs(),
+        );
+        job.nodes.push(script_node(1, "t", "sleep 10\n"));
+        let result = fed.submit_and_wait("FZJ", job, DN, 5 * SEC, HOUR);
+        let (_, outcome, _) = result.expect("async protocol completes despite loss");
+        assert!(outcome.status.is_success());
+    }
+    assert!(fed.retries > 0, "loss should have forced retries");
+}
+
+#[test]
+fn sync_protocol_breaks_under_loss_where_async_survives() {
+    let run = |sync: bool, loss: f64, seed: u64| -> bool {
+        let mut fed = Federation::german_deployment(FederationConfig {
+            wan_loss: loss,
+            seed,
+            ..FederationConfig::default()
+        });
+        fed.register_user(DN, "alice");
+        let mut job = AbstractJob::new("j", VsiteAddress::new("FZJ", "T3E"), attrs());
+        job.nodes.push(script_node(1, "t", "sleep 60\n"));
+        if sync {
+            let corr = fed.client_submit_sync("FZJ", job, DN);
+            fed.run_until(HOUR);
+            matches!(
+                fed.take_client_response(corr),
+                Some(Response::Service(ServiceOutcome::Query { outcome }))
+                    if outcome.status.is_success()
+            )
+        } else {
+            fed.submit_and_wait("FZJ", job, DN, 5 * SEC, HOUR)
+                .map(|(_, o, _)| o.status.is_success())
+                .unwrap_or(false)
+        }
+    };
+    // Without loss both work.
+    assert!(run(false, 0.0, 1));
+    assert!(run(true, 0.0, 1));
+    // Under loss, async always completes; sync fails for some seeds.
+    let mut sync_failures = 0;
+    for seed in 0..10 {
+        assert!(run(false, 0.4, seed), "async failed at seed {seed}");
+        if !run(true, 0.4, seed) {
+            sync_failures += 1;
+        }
+    }
+    assert!(
+        sync_failures > 0,
+        "sync protocol should fail under 40% loss for at least one seed"
+    );
+}
+
+#[test]
+fn firewall_split_site_still_works() {
+    let specs = vec![
+        SiteSpec::simple("FZJ", "T3E", Architecture::CrayT3e).with_split(),
+        SiteSpec::simple("RUS", "VPP", Architecture::FujitsuVpp700),
+    ];
+    let mut fed = Federation::new(FederationConfig::default(), &specs);
+    fed.register_user(DN, "alice");
+    let mut job = AbstractJob::new("behind-fw", VsiteAddress::new("FZJ", "T3E"), attrs());
+    job.nodes.push(script_node(1, "t", "sleep 5\n"));
+    let (_, outcome, _) = fed.submit_and_wait("FZJ", job, DN, 5 * SEC, HOUR).unwrap();
+    assert!(outcome.status.is_success());
+}
+
+#[test]
+fn scaling_to_many_sites() {
+    // E2's shape: a federation far larger than the original six sites.
+    let specs: Vec<SiteSpec> = (0..12)
+        .map(|i| SiteSpec::simple(&format!("S{i}"), "V", Architecture::Generic))
+        .collect();
+    let mut fed = Federation::new(FederationConfig::default(), &specs);
+    fed.register_user(DN, "alice");
+    // A job at S0 with sub-jobs fanned out to every other site.
+    let mut job = AbstractJob::new("fanout", VsiteAddress::new("S0", "V"), attrs());
+    for i in 1..12u64 {
+        let mut sub = AbstractJob::new(
+            format!("part{i}"),
+            VsiteAddress::new(format!("S{i}"), "V"),
+            attrs(),
+        );
+        sub.nodes.push(script_node(1, "part", "sleep 5\n"));
+        job.nodes.push((ActionId(i), GraphNode::SubJob(sub)));
+    }
+    let (_, outcome, _) = fed
+        .submit_and_wait("S0", job, DN, 5 * SEC, HOUR)
+        .expect("fan-out job completes");
+    assert!(outcome.status.is_success(), "{outcome:?}");
+    assert_eq!(outcome.children.len(), 11);
+}
+
+#[test]
+fn partitioned_site_fails_fast_instead_of_wedging() {
+    let mut fed = german();
+    // RUS is unreachable before we even consign.
+    fed.set_partitioned("RUS", true);
+
+    // A job at FZJ with a sub-job destined for the dead RUS.
+    let mut sub = AbstractJob::new("at-rus", VsiteAddress::new("RUS", "VPP"), attrs());
+    sub.nodes.push(script_node(1, "never-runs", "sleep 5\n"));
+    let mut job = AbstractJob::new("partition", VsiteAddress::new("FZJ", "T3E"), attrs());
+    job.nodes.push((ActionId(1), GraphNode::SubJob(sub)));
+    job.nodes.push(script_node(2, "local-part", "sleep 5\n"));
+
+    let (_, outcome, _) = fed
+        .submit_and_wait("FZJ", job, DN, 5 * SEC, HOUR)
+        .expect("job reaches a terminal state despite the dead peer");
+    // The job terminates unsuccessfully (the RUS part failed) rather than
+    // hanging forever; the local part still ran.
+    assert!(outcome.status.is_terminal());
+    assert!(!outcome.status.is_success());
+    assert!(
+        outcome.child(ActionId(1)).unwrap().status() == ActionStatus::NotSuccessful
+            || outcome.child(ActionId(1)).unwrap().status() == ActionStatus::Killed
+    );
+    assert!(outcome.child(ActionId(2)).unwrap().status().is_success());
+}
+
+#[test]
+fn healed_partition_allows_later_jobs() {
+    let mut fed = german();
+    fed.set_partitioned("DWD", true);
+    // First job fails its remote part.
+    let mut sub = AbstractJob::new("p1", VsiteAddress::new("DWD", "SX4"), attrs());
+    sub.nodes.push(script_node(1, "x", "sleep 5\n"));
+    let mut job1 = AbstractJob::new("j1", VsiteAddress::new("FZJ", "T3E"), attrs());
+    job1.nodes
+        .push((ActionId(1), GraphNode::SubJob(sub.clone())));
+    let (_, o1, _) = fed.submit_and_wait("FZJ", job1, DN, 5 * SEC, HOUR).unwrap();
+    assert!(!o1.status.is_success());
+
+    // Heal and resubmit: now it works.
+    fed.set_partitioned("DWD", false);
+    let mut job2 = AbstractJob::new("j2", VsiteAddress::new("FZJ", "T3E"), attrs());
+    job2.nodes.push((ActionId(1), GraphNode::SubJob(sub)));
+    let (_, o2, _) = fed.submit_and_wait("FZJ", job2, DN, 5 * SEC, HOUR).unwrap();
+    assert!(o2.status.is_success(), "{o2:?}");
+}
+
+#[test]
+fn purge_reclaims_job_directory() {
+    let mut fed = german();
+    let mut job = AbstractJob::new("purgeable", VsiteAddress::new("FZJ", "T3E"), attrs());
+    job.nodes
+        .push(script_node(1, "make", "produce big.out 100000\n"));
+    let (id, outcome, _) = fed.submit_and_wait("FZJ", job, DN, 5 * SEC, HOUR).unwrap();
+    assert!(outcome.status.is_success());
+
+    // Purging before fetching would lose the data; fetch first (the JMC's
+    // save-output step), then purge.
+    let fetch = fed.client_fetch("FZJ", DN, id, "big.out");
+    fed.run_until(fed.now() + MINUTE);
+    assert!(matches!(
+        fed.take_client_response(fetch),
+        Some(Response::FileData(d)) if d.len() == 100_000
+    ));
+
+    let purge = fed.client_request("FZJ", DN, unicore::Request::Purge { job: id });
+    fed.run_until(fed.now() + MINUTE);
+    let resp = fed.take_client_response(purge).unwrap();
+    assert!(
+        matches!(resp, Response::Purged { bytes } if bytes >= 100_000),
+        "{resp:?}"
+    );
+
+    // The job is gone: polls now fail.
+    let poll = fed.client_poll("FZJ", DN, id, DetailLevel::JobOnly);
+    fed.run_until(fed.now() + MINUTE);
+    assert!(matches!(
+        fed.take_client_response(poll),
+        Some(Response::Error(_))
+    ));
+}
+
+#[test]
+fn purge_refused_for_running_or_foreign_jobs() {
+    let mut fed = german();
+    let mut job = AbstractJob::new("busy", VsiteAddress::new("FZJ", "T3E"), attrs());
+    job.nodes.push(script_node(1, "long", "sleep 100000\n"));
+    let corr = fed.client_submit("FZJ", job, DN);
+    fed.run_until(MINUTE);
+    let Some(Response::Consigned { job: id }) = fed.take_client_response(corr) else {
+        panic!()
+    };
+    // Still running: purge refused.
+    let purge = fed.client_request("FZJ", DN, unicore::Request::Purge { job: id });
+    fed.run_until(fed.now() + MINUTE);
+    assert!(matches!(
+        fed.take_client_response(purge),
+        Some(Response::Error(_))
+    ));
+    // Another user: refused too.
+    let other = "C=DE, O=X, OU=Y, CN=other";
+    fed.register_user(other, "other");
+    let purge2 = fed.client_request("FZJ", other, unicore::Request::Purge { job: id });
+    fed.run_until(fed.now() + MINUTE);
+    assert!(matches!(
+        fed.take_client_response(purge2),
+        Some(Response::Error(_))
+    ));
+}
+
+#[test]
+fn machine_crash_fails_job_and_recovery_allows_rerun() {
+    let mut fed = german();
+    let mut job = AbstractJob::new("doomed", VsiteAddress::new("DWD", "SX4"), attrs());
+    job.nodes.push(script_node(1, "long", "sleep 3000\n"));
+    let corr = fed.client_submit("DWD", job.clone(), DN);
+    fed.run_until(MINUTE);
+    let Some(Response::Consigned { job: id }) = fed.take_client_response(corr) else {
+        panic!()
+    };
+    // The SX-4 crashes mid-run for 10 minutes.
+    let now = fed.now();
+    fed.server_mut("DWD")
+        .unwrap()
+        .njs_mut()
+        .vsite_mut("SX4")
+        .unwrap()
+        .batch
+        .crash(now, 10 * MINUTE);
+    // The job terminates unsuccessfully with the node-failure exit code.
+    let deadline = fed.now() + HOUR;
+    let outcome = loop {
+        let poll = fed.client_poll("DWD", DN, id, DetailLevel::Tasks);
+        fed.run_until((fed.now() + MINUTE).min(deadline));
+        if let Some(resp) = fed.take_client_response(poll) {
+            if let Some(o) = outcome_of(&resp) {
+                if o.status.is_terminal() {
+                    break o.clone();
+                }
+            }
+        }
+        assert!(fed.now() < deadline, "job never terminated");
+    };
+    assert!(!outcome.status.is_success());
+    let OutcomeNode::Task(t) = outcome.child(ActionId(1)).unwrap() else {
+        panic!()
+    };
+    assert_eq!(t.exit_code, Some(139));
+
+    // After recovery, a resubmission succeeds on the same machine.
+    job.name = "retry".into();
+    let (_, o2, _) = fed
+        .submit_and_wait("DWD", job, DN, 5 * SEC, 4 * HOUR)
+        .unwrap();
+    assert!(o2.status.is_success());
+}

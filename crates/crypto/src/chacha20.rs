@@ -1,0 +1,215 @@
+//! ChaCha20 stream cipher (RFC 7539 flavour: 32-byte key, 12-byte nonce,
+//! 32-bit block counter).
+//!
+//! Used as the record-protection cipher by `unicore-transport` and as the
+//! core of this crate's deterministic CSPRNG.
+
+/// Key length in bytes.
+pub const KEY_LEN: usize = 32;
+/// Nonce length in bytes.
+pub const NONCE_LEN: usize = 12;
+/// Keystream block length in bytes.
+pub const BLOCK_LEN: usize = 64;
+
+/// ChaCha20 cipher instance bound to a key and nonce.
+///
+/// Encryption and decryption are the same XOR operation; the struct tracks
+/// the keystream offset so data can be processed in arbitrary chunks.
+#[derive(Clone)]
+pub struct ChaCha20 {
+    key: [u32; 8],
+    nonce: [u32; 3],
+    counter: u32,
+    /// Unconsumed tail of the current keystream block.
+    partial: [u8; BLOCK_LEN],
+    partial_used: usize,
+}
+
+impl ChaCha20 {
+    /// Creates a cipher with the RFC 7539 initial counter of `counter`.
+    pub fn new(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], counter: u32) -> Self {
+        let mut k = [0u32; 8];
+        for i in 0..8 {
+            k[i] = u32::from_le_bytes([key[i * 4], key[i * 4 + 1], key[i * 4 + 2], key[i * 4 + 3]]);
+        }
+        let mut n = [0u32; 3];
+        for i in 0..3 {
+            n[i] = u32::from_le_bytes([
+                nonce[i * 4],
+                nonce[i * 4 + 1],
+                nonce[i * 4 + 2],
+                nonce[i * 4 + 3],
+            ]);
+        }
+        ChaCha20 {
+            key: k,
+            nonce: n,
+            counter,
+            partial: [0u8; BLOCK_LEN],
+            partial_used: BLOCK_LEN,
+        }
+    }
+
+    /// Produces the raw 64-byte keystream block for `counter`.
+    pub fn block(&self, counter: u32) -> [u8; BLOCK_LEN] {
+        const SIGMA: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = counter;
+        state[13..16].copy_from_slice(&self.nonce);
+
+        let mut working = state;
+        for _ in 0..10 {
+            // Column rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        let mut out = [0u8; BLOCK_LEN];
+        for i in 0..16 {
+            let word = working[i].wrapping_add(state[i]);
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// XORs the keystream into `data` in place (encrypt == decrypt).
+    pub fn apply(&mut self, data: &mut [u8]) {
+        let mut i = 0;
+        while i < data.len() {
+            if self.partial_used == BLOCK_LEN {
+                self.partial = self.block(self.counter);
+                self.counter = self.counter.wrapping_add(1);
+                self.partial_used = 0;
+            }
+            let take = (BLOCK_LEN - self.partial_used).min(data.len() - i);
+            for j in 0..take {
+                data[i + j] ^= self.partial[self.partial_used + j];
+            }
+            self.partial_used += take;
+            i += take;
+        }
+    }
+
+    /// Convenience: encrypts a copy of `data`.
+    pub fn apply_copy(&mut self, data: &[u8]) -> Vec<u8> {
+        let mut out = data.to_vec();
+        self.apply(&mut out);
+        out
+    }
+
+    /// Fills `out` with raw keystream bytes (used by the CSPRNG).
+    pub fn keystream(&mut self, out: &mut [u8]) {
+        out.fill(0);
+        self.apply(out);
+    }
+}
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn test_key() -> [u8; KEY_LEN] {
+        let mut k = [0u8; KEY_LEN];
+        for (i, b) in k.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        k
+    }
+
+    #[test]
+    fn rfc7539_block_function() {
+        // RFC 7539 section 2.3.2 test vector.
+        let key = test_key();
+        let nonce = [
+            0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
+        ];
+        let cipher = ChaCha20::new(&key, &nonce, 1);
+        let block = cipher.block(1);
+        assert_eq!(
+            hex(&block),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+        );
+    }
+
+    #[test]
+    fn rfc7539_sunscreen_encryption() {
+        // RFC 7539 section 2.4.2.
+        let key = test_key();
+        let nonce = [
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
+        ];
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it.";
+        let mut cipher = ChaCha20::new(&key, &nonce, 1);
+        let ct = cipher.apply_copy(plaintext);
+        assert_eq!(
+            hex(&ct[..32]),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+        );
+        // Round trip.
+        let mut dec = ChaCha20::new(&key, &nonce, 1);
+        assert_eq!(dec.apply_copy(&ct), plaintext.to_vec());
+    }
+
+    #[test]
+    fn chunked_equals_oneshot() {
+        let key = test_key();
+        let nonce = [7u8; NONCE_LEN];
+        let data: Vec<u8> = (0..517u32).map(|i| (i * 31 % 256) as u8).collect();
+        let mut one = ChaCha20::new(&key, &nonce, 0);
+        let expected = one.apply_copy(&data);
+        for chunk_size in [1usize, 13, 63, 64, 65, 200] {
+            let mut c = ChaCha20::new(&key, &nonce, 0);
+            let mut out = data.clone();
+            for chunk in out.chunks_mut(chunk_size) {
+                c.apply(chunk);
+            }
+            assert_eq!(out, expected, "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn distinct_nonces_distinct_streams() {
+        let key = test_key();
+        let mut a = ChaCha20::new(&key, &[1u8; NONCE_LEN], 0);
+        let mut b = ChaCha20::new(&key, &[2u8; NONCE_LEN], 0);
+        let mut ka = [0u8; 64];
+        let mut kb = [0u8; 64];
+        a.keystream(&mut ka);
+        b.keystream(&mut kb);
+        assert_ne!(ka, kb);
+    }
+
+    #[test]
+    fn counter_wraps_without_panic() {
+        let key = test_key();
+        let mut c = ChaCha20::new(&key, &[0u8; NONCE_LEN], u32::MAX);
+        let mut buf = [0u8; 130];
+        c.apply(&mut buf); // crosses the wrap boundary
+    }
+}

@@ -1,0 +1,43 @@
+//! Constant-time helpers.
+
+/// Constant-time equality for byte slices.
+///
+/// Runs in time dependent only on the *lengths* of the inputs (a length
+/// mismatch returns `false` immediately, which leaks only the length — the
+/// standard trade-off for MAC comparison).
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    // Collapse without a data-dependent branch: the subtraction borrows out
+    // of the low byte iff diff == 0.
+    ((diff as u16).wrapping_sub(1) >> 8) & 1 == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ct_eq;
+
+    #[test]
+    fn equal_slices() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(ct_eq(&[0u8; 64], &[0u8; 64]));
+    }
+
+    #[test]
+    fn unequal_slices() {
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"ab"));
+        assert!(!ct_eq(b"", b"x"));
+        // Difference only in the final byte.
+        let mut a = vec![7u8; 100];
+        let b = a.clone();
+        a[99] ^= 0x80;
+        assert!(!ct_eq(&a, &b));
+    }
+}

@@ -1,0 +1,169 @@
+//! Classic finite-field Diffie-Hellman key agreement.
+//!
+//! The transport handshake uses ephemeral DH over the well-known Oakley
+//! Group 2 (RFC 2409, 1024-bit MODP) to derive session keys, with RSA
+//! certificate signatures providing authentication.
+
+use crate::bignum::BigUint;
+use crate::error::CryptoError;
+use crate::rng::CryptoRng;
+
+/// 1024-bit MODP prime from RFC 2409 (Oakley Group 2).
+const OAKLEY_GROUP2_PRIME: &str = "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1\
+29024E088A67CC74020BBEA63B139B22514A08798E3404DD\
+EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245\
+E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED\
+EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381\
+FFFFFFFFFFFFFFFF";
+
+/// A Diffie-Hellman group (prime modulus and generator).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DhGroup {
+    /// Prime modulus.
+    pub p: BigUint,
+    /// Generator.
+    pub g: BigUint,
+}
+
+impl DhGroup {
+    /// The standard 1024-bit Oakley Group 2 used by the transport layer.
+    pub fn oakley_group2() -> Self {
+        DhGroup {
+            p: BigUint::from_hex(OAKLEY_GROUP2_PRIME).expect("constant prime parses"),
+            g: BigUint::from_u64(2),
+        }
+    }
+
+    /// A tiny toy group (p = 23, g = 5) — fast and NOT secure, unit tests only.
+    pub fn test_group() -> Self {
+        DhGroup {
+            p: BigUint::from_u64(23),
+            g: BigUint::from_u64(5),
+        }
+    }
+
+    /// Samples a private exponent in `[2, p-2]`.
+    pub fn sample_private(&self, rng: &mut CryptoRng) -> BigUint {
+        let bits = self.p.bit_len().max(16);
+        loop {
+            let bytes = rng.bytes(bits.div_ceil(8));
+            let x = BigUint::from_bytes_be(&bytes).rem(&self.p);
+            if !x.is_zero() && !x.is_one() {
+                return x;
+            }
+        }
+    }
+
+    /// Computes the public value `g^x mod p`.
+    pub fn public_value(&self, private: &BigUint) -> BigUint {
+        self.g.modpow(private, &self.p)
+    }
+
+    /// Computes the shared secret `peer^x mod p`, validating the peer value.
+    pub fn shared_secret(
+        &self,
+        private: &BigUint,
+        peer_public: &BigUint,
+    ) -> Result<BigUint, CryptoError> {
+        // Reject degenerate peer values (0, 1, p-1, >= p).
+        if peer_public.is_zero() || peer_public.is_one() {
+            return Err(CryptoError::InvalidDhPublic);
+        }
+        if peer_public.cmp_big(&self.p) != core::cmp::Ordering::Less {
+            return Err(CryptoError::InvalidDhPublic);
+        }
+        let p_minus_1 = self.p.sub(&BigUint::one());
+        if *peer_public == p_minus_1 {
+            return Err(CryptoError::InvalidDhPublic);
+        }
+        Ok(peer_public.modpow(private, &self.p))
+    }
+}
+
+/// One side's ephemeral DH state.
+pub struct DhEphemeral {
+    group: DhGroup,
+    private: BigUint,
+    /// The public value to send to the peer.
+    pub public: BigUint,
+}
+
+impl DhEphemeral {
+    /// Generates a fresh ephemeral key in `group`.
+    pub fn generate(group: DhGroup, rng: &mut CryptoRng) -> Self {
+        let private = group.sample_private(rng);
+        let public = group.public_value(&private);
+        DhEphemeral {
+            group,
+            private,
+            public,
+        }
+    }
+
+    /// Completes the agreement against the peer's public value.
+    pub fn agree(&self, peer_public: &BigUint) -> Result<Vec<u8>, CryptoError> {
+        let secret = self.group.shared_secret(&self.private, peer_public)?;
+        // Fixed-width encoding so both sides derive identical bytes.
+        let len = self.group.p.bit_len().div_ceil(8);
+        secret.to_bytes_be_padded(len).ok_or(CryptoError::Internal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oakley_group_parses() {
+        let g = DhGroup::oakley_group2();
+        assert_eq!(g.p.bit_len(), 1024);
+        assert_eq!(g.g, BigUint::from_u64(2));
+        assert!(!g.p.is_even());
+    }
+
+    #[test]
+    fn agreement_produces_shared_secret() {
+        let group = DhGroup::oakley_group2();
+        let mut rng = CryptoRng::from_u64(1);
+        let alice = DhEphemeral::generate(group.clone(), &mut rng);
+        let bob = DhEphemeral::generate(group, &mut rng);
+        let s1 = alice.agree(&bob.public).unwrap();
+        let s2 = bob.agree(&alice.public).unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), 128);
+    }
+
+    #[test]
+    fn different_sessions_different_secrets() {
+        let group = DhGroup::oakley_group2();
+        let mut rng = CryptoRng::from_u64(2);
+        let a1 = DhEphemeral::generate(group.clone(), &mut rng);
+        let b1 = DhEphemeral::generate(group.clone(), &mut rng);
+        let a2 = DhEphemeral::generate(group.clone(), &mut rng);
+        let b2 = DhEphemeral::generate(group, &mut rng);
+        assert_ne!(a1.agree(&b1.public).unwrap(), a2.agree(&b2.public).unwrap());
+    }
+
+    #[test]
+    fn degenerate_peer_values_rejected() {
+        let group = DhGroup::oakley_group2();
+        let mut rng = CryptoRng::from_u64(3);
+        let alice = DhEphemeral::generate(group.clone(), &mut rng);
+        assert!(alice.agree(&BigUint::zero()).is_err());
+        assert!(alice.agree(&BigUint::one()).is_err());
+        assert!(alice.agree(&group.p).is_err());
+        assert!(alice.agree(&group.p.sub(&BigUint::one())).is_err());
+    }
+
+    #[test]
+    fn small_group_agreement() {
+        let group = DhGroup::test_group();
+        let mut rng = CryptoRng::from_u64(4);
+        let alice = DhEphemeral::generate(group.clone(), &mut rng);
+        let bob = DhEphemeral::generate(group, &mut rng);
+        assert_eq!(
+            alice.agree(&bob.public).unwrap(),
+            bob.agree(&alice.public).unwrap()
+        );
+    }
+}

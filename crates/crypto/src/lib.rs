@@ -1,0 +1,48 @@
+//! # unicore-crypto
+//!
+//! From-scratch cryptographic primitives for the UNICORE reproduction:
+//! arbitrary-precision arithmetic, SHA-256, HMAC/HKDF, ChaCha20, RSA
+//! signatures, finite-field Diffie-Hellman, and a deterministic CSPRNG.
+//!
+//! The 1999 UNICORE system rested on https/SSL with X.509 certificates
+//! (section 5.2 of the paper). The workspace's allowed dependency set has no
+//! cryptography crates, so this crate implements the primitives those
+//! protocols need. The implementations follow the published algorithms and
+//! pass the standard test vectors, but they are **not hardened against
+//! side channels** beyond constant-time MAC comparison — this is a research
+//! reproduction, not a security product.
+//!
+//! Module map:
+//! - [`bignum`] — `BigUint` with Knuth division and Montgomery modpow
+//! - [`prime`] — Miller–Rabin and prime generation
+//! - [`rsa`] — key generation, PKCS#1-style sign/verify
+//! - [`dh`] — classic Diffie-Hellman (Oakley Group 2)
+//! - [`mod@sha256`], [`hmac`] — digest, MAC, HKDF
+//! - [`chacha20`] — stream cipher for record protection
+//! - [`rng`] — deterministic ChaCha-based CSPRNG
+//! - [`ct`] — constant-time comparison
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bignum;
+pub mod chacha20;
+pub mod ct;
+pub mod dh;
+pub mod error;
+pub mod hmac;
+pub mod prime;
+pub mod rng;
+pub mod rsa;
+pub mod sha256;
+
+pub use bignum::BigUint;
+pub use chacha20::ChaCha20;
+pub use ct::ct_eq;
+pub use dh::{DhEphemeral, DhGroup};
+pub use error::CryptoError;
+pub use hmac::{hkdf_expand, hkdf_extract, hmac_sha256, HmacSha256};
+pub use prime::{generate_prime, is_probable_prime};
+pub use rng::CryptoRng;
+pub use rsa::{RsaKeyPair, RsaPrivateKey, RsaPublicKey};
+pub use sha256::{sha256, Sha256};

@@ -1,0 +1,141 @@
+//! Property-based tests for the bignum and symmetric primitives.
+
+use proptest::prelude::*;
+use unicore_crypto::bignum::BigUint;
+use unicore_crypto::chacha20::{ChaCha20, KEY_LEN, NONCE_LEN};
+use unicore_crypto::ct::ct_eq;
+use unicore_crypto::hmac::hmac_sha256;
+use unicore_crypto::sha256::{sha256, Sha256};
+
+fn biguint_strategy() -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u8>(), 0..64).prop_map(|v| BigUint::from_bytes_be(&v))
+}
+
+fn nonzero_biguint() -> impl Strategy<Value = BigUint> {
+    biguint_strategy().prop_filter("nonzero", |b| !b.is_zero())
+}
+
+proptest! {
+    #[test]
+    fn bytes_round_trip(v in proptest::collection::vec(any::<u8>(), 0..96)) {
+        let n = BigUint::from_bytes_be(&v);
+        let back = n.to_bytes_be();
+        // Canonical form strips leading zeros.
+        let stripped: Vec<u8> = v.iter().copied().skip_while(|&b| b == 0).collect();
+        prop_assert_eq!(back, stripped);
+    }
+
+    #[test]
+    fn hex_round_trip(a in biguint_strategy()) {
+        prop_assert_eq!(BigUint::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    #[test]
+    fn add_commutative(a in biguint_strategy(), b in biguint_strategy()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn add_sub_inverse(a in biguint_strategy(), b in biguint_strategy()) {
+        prop_assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    #[test]
+    fn mul_commutative(a in biguint_strategy(), b in biguint_strategy()) {
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+    }
+
+    #[test]
+    fn mul_distributes_over_add(
+        a in biguint_strategy(),
+        b in biguint_strategy(),
+        c in biguint_strategy(),
+    ) {
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn divrem_reconstructs(a in biguint_strategy(), b in nonzero_biguint()) {
+        let (q, r) = a.divrem(&b);
+        prop_assert_eq!(q.mul(&b).add(&r), a);
+        prop_assert!(r.cmp_big(&b) == core::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn shift_round_trip(a in biguint_strategy(), s in 0usize..200) {
+        prop_assert_eq!(a.shl(s).shr(s), a);
+    }
+
+    #[test]
+    fn modpow_matches_naive(
+        base in 0u64..10_000,
+        exp in 0u64..64,
+        modulus in 2u64..10_000,
+    ) {
+        let m = BigUint::from_u64(modulus);
+        let got = BigUint::from_u64(base).modpow(&BigUint::from_u64(exp), &m);
+        // Naive u128 reference.
+        let mut acc = 1u128;
+        for _ in 0..exp {
+            acc = acc * base as u128 % modulus as u128;
+        }
+        prop_assert_eq!(got.to_u64().unwrap(), acc as u64);
+    }
+
+    #[test]
+    fn modinv_is_inverse(a in nonzero_biguint(), m in nonzero_biguint()) {
+        if let Some(inv) = a.modinv(&m) {
+            prop_assert!(a.mul_mod(&inv, &m).is_one());
+        }
+    }
+
+    #[test]
+    fn gcd_divides_both(a in nonzero_biguint(), b in nonzero_biguint()) {
+        let g = a.gcd(&b);
+        prop_assert!(a.rem(&g).is_zero());
+        prop_assert!(b.rem(&g).is_zero());
+    }
+
+    #[test]
+    fn chacha_round_trip(
+        key in proptest::array::uniform32(any::<u8>()),
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        counter in any::<u32>(),
+    ) {
+        let nonce = [9u8; NONCE_LEN];
+        let key: [u8; KEY_LEN] = key;
+        let mut enc = ChaCha20::new(&key, &nonce, counter);
+        let ct = enc.apply_copy(&data);
+        let mut dec = ChaCha20::new(&key, &nonce, counter);
+        prop_assert_eq!(dec.apply_copy(&ct), data);
+    }
+
+    #[test]
+    fn sha256_incremental_consistent(
+        data in proptest::collection::vec(any::<u8>(), 0..600),
+        split in any::<prop::sample::Index>(),
+    ) {
+        let at = split.index(data.len() + 1);
+        let mut h = Sha256::new();
+        h.update(&data[..at.min(data.len())]);
+        h.update(&data[at.min(data.len())..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn hmac_key_separation(
+        k1 in proptest::collection::vec(any::<u8>(), 1..64),
+        k2 in proptest::collection::vec(any::<u8>(), 1..64),
+        msg in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        if k1 != k2 {
+            prop_assert_ne!(hmac_sha256(&k1, &msg), hmac_sha256(&k2, &msg));
+        }
+    }
+
+    #[test]
+    fn ct_eq_matches_eq(a in proptest::collection::vec(any::<u8>(), 0..64),
+                        b in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assert_eq!(ct_eq(&a, &b), a == b);
+    }
+}

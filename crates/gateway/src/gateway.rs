@@ -1,0 +1,330 @@
+//! The gateway (Java security servlet) proper: certificate-based
+//! authentication, DN → login mapping, optional site-specific checks, and
+//! an audit trail.
+
+use crate::uudb::{MappedUser, MappingError, Uudb};
+use unicore_certs::Certificate;
+
+/// Outcome of an authentication + mapping attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuthDecision {
+    /// Accepted: the user is mapped.
+    Accepted(MappedUser),
+    /// Refused with a reason.
+    Refused(String),
+}
+
+impl AuthDecision {
+    /// True when accepted.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, AuthDecision::Accepted(_))
+    }
+}
+
+/// One audit line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditRecord {
+    /// Simulation time of the decision (seconds).
+    pub at: u64,
+    /// The presented DN.
+    pub dn: String,
+    /// The target Vsite.
+    pub vsite: String,
+    /// What was decided.
+    pub accepted: bool,
+    /// Detail (mapped login or refusal reason).
+    pub detail: String,
+}
+
+/// Site-specific additional authentication ("for sites that require the
+/// use of smart cards or run DCE it also offers an interface for
+/// additional site specific authentication", §4.2).
+pub type SiteAuthHook =
+    Box<dyn Fn(&Certificate, Option<&[u8]>) -> Result<(), String> + Send + Sync>;
+
+/// The gateway of one Usite.
+///
+/// Transport-level certificate *validation* happens in
+/// `unicore-transport`; the gateway receives the already-validated peer
+/// certificate and performs the UNICORE-level steps: usage check, optional
+/// site-specific authentication, and the UUDB mapping.
+pub struct Gateway {
+    usite: String,
+    uudb: Uudb,
+    site_hook: Option<SiteAuthHook>,
+    audit: Vec<AuditRecord>,
+}
+
+impl Gateway {
+    /// A gateway for `usite` with its user database.
+    pub fn new(usite: impl Into<String>, uudb: Uudb) -> Self {
+        Gateway {
+            usite: usite.into(),
+            uudb,
+            site_hook: None,
+            audit: Vec::new(),
+        }
+    }
+
+    /// The Usite this gateway fronts.
+    pub fn usite(&self) -> &str {
+        &self.usite
+    }
+
+    /// Installs the site-specific authentication hook.
+    pub fn set_site_hook(&mut self, hook: SiteAuthHook) {
+        self.site_hook = Some(hook);
+    }
+
+    /// Mutable access to the UUDB (site administration).
+    pub fn uudb_mut(&mut self) -> &mut Uudb {
+        &mut self.uudb
+    }
+
+    /// Read access to the UUDB.
+    pub fn uudb(&self) -> &Uudb {
+        &self.uudb
+    }
+
+    /// Authenticates an already-transport-validated peer for `vsite`,
+    /// mapping its DN to a local login.
+    pub fn authorize(
+        &mut self,
+        peer: &Certificate,
+        vsite: &str,
+        account_group: Option<&str>,
+        site_security: Option<&[u8]>,
+        now: u64,
+    ) -> AuthDecision {
+        let dn = peer.tbs.subject.to_string();
+
+        // UNICORE-level usage check: users and peer servers may consign.
+        if !peer.tbs.usage.client_auth {
+            return self.refuse(
+                now,
+                &dn,
+                vsite,
+                "certificate lacks client authentication usage",
+            );
+        }
+        // Site-specific additional authentication.
+        if let Some(hook) = &self.site_hook {
+            if let Err(reason) = hook(peer, site_security) {
+                let msg = format!("site-specific authentication failed: {reason}");
+                return self.refuse(now, &dn, vsite, &msg);
+            }
+        }
+        // UUDB mapping.
+        match self.uudb.map(&dn, vsite, account_group) {
+            Ok(mapped) => {
+                self.audit.push(AuditRecord {
+                    at: now,
+                    dn: dn.clone(),
+                    vsite: vsite.to_owned(),
+                    accepted: true,
+                    detail: format!("mapped to {}", mapped.login),
+                });
+                AuthDecision::Accepted(mapped)
+            }
+            Err(e) => {
+                let msg = match e {
+                    MappingError::UnknownDn(_) => "no UUDB entry".to_owned(),
+                    MappingError::Disabled(_) => "entry disabled".to_owned(),
+                    MappingError::BadAccountGroup { group, .. } => {
+                        format!("account group {group} not permitted")
+                    }
+                };
+                self.refuse(now, &dn, vsite, &msg)
+            }
+        }
+    }
+
+    /// Maps a bare DN (no certificate) for `vsite`.
+    ///
+    /// Used for NJS–NJS consignment: the *channel* is authenticated by the
+    /// peer server's certificate, but the job runs as the original user,
+    /// whose DN travels inside the AJO — "the file transfer between
+    /// Uspaces has to be accomplished through NJS – NJS communication via
+    /// the gateway (security servlet) for user-id mapping" (§5.6).
+    pub fn authorize_dn(
+        &mut self,
+        dn: &str,
+        vsite: &str,
+        account_group: Option<&str>,
+        now: u64,
+    ) -> AuthDecision {
+        match self.uudb.map(dn, vsite, account_group) {
+            Ok(mapped) => {
+                self.audit.push(AuditRecord {
+                    at: now,
+                    dn: dn.to_owned(),
+                    vsite: vsite.to_owned(),
+                    accepted: true,
+                    detail: format!("mapped to {}", mapped.login),
+                });
+                AuthDecision::Accepted(mapped)
+            }
+            Err(e) => {
+                let msg = e.to_string();
+                self.refuse(now, dn, vsite, &msg)
+            }
+        }
+    }
+
+    fn refuse(&mut self, now: u64, dn: &str, vsite: &str, reason: &str) -> AuthDecision {
+        self.audit.push(AuditRecord {
+            at: now,
+            dn: dn.to_owned(),
+            vsite: vsite.to_owned(),
+            accepted: false,
+            detail: reason.to_owned(),
+        });
+        AuthDecision::Refused(reason.to_owned())
+    }
+
+    /// The audit trail.
+    pub fn audit(&self) -> &[AuditRecord] {
+        &self.audit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uudb::UserEntry;
+    use unicore_certs::{CertificateAuthority, DistinguishedName, Identity, KeyUsage, Validity};
+    use unicore_crypto::CryptoRng;
+
+    fn dn(cn: &str) -> DistinguishedName {
+        DistinguishedName::new("DE", "FZJ", "ZAM", cn)
+    }
+
+    struct Fixture {
+        gw: Gateway,
+        alice: Identity,
+        server: Identity,
+    }
+
+    fn fixture() -> Fixture {
+        let mut rng = CryptoRng::from_u64(50);
+        let mut ca = CertificateAuthority::new_root(
+            dn("CA"),
+            Validity::starting_at(0, 100_000),
+            512,
+            &mut rng,
+        );
+        let alice = ca
+            .issue_identity(
+                dn("alice"),
+                KeyUsage::user(),
+                Validity::starting_at(0, 1_000),
+                &mut rng,
+            )
+            .unwrap();
+        let server = ca
+            .issue_identity(
+                dn("peer-njs"),
+                KeyUsage::server(),
+                Validity::starting_at(0, 1_000),
+                &mut rng,
+            )
+            .unwrap();
+        let mut uudb = Uudb::new();
+        uudb.add(
+            alice.cert.tbs.subject.to_string(),
+            UserEntry::new("alice1", "zam"),
+        );
+        uudb.add(
+            server.cert.tbs.subject.to_string(),
+            UserEntry::new("unicored", "system"),
+        );
+        Fixture {
+            gw: Gateway::new("FZJ", uudb),
+            alice,
+            server,
+        }
+    }
+
+    #[test]
+    fn user_is_mapped() {
+        let mut fx = fixture();
+        let d = fx.gw.authorize(&fx.alice.cert, "T3E", None, None, 10);
+        let AuthDecision::Accepted(m) = d else {
+            panic!("{d:?}")
+        };
+        assert_eq!(m.login, "alice1");
+        assert_eq!(m.account_group, "zam");
+        assert_eq!(fx.gw.audit().len(), 1);
+        assert!(fx.gw.audit()[0].accepted);
+    }
+
+    #[test]
+    fn peer_server_certificates_also_map() {
+        // NJS acts as a client towards peer sites (§5.3); server certs
+        // carry client_auth and map through the UUDB like users.
+        let mut fx = fixture();
+        let d = fx.gw.authorize(&fx.server.cert, "T3E", None, None, 10);
+        assert!(d.is_accepted());
+    }
+
+    #[test]
+    fn unknown_dn_refused_and_audited() {
+        let mut fx = fixture();
+        let mut rng = CryptoRng::from_u64(51);
+        let mut other_ca = CertificateAuthority::new_root(
+            dn("CA2"),
+            Validity::starting_at(0, 100_000),
+            512,
+            &mut rng,
+        );
+        let stranger = other_ca
+            .issue_identity(
+                dn("stranger"),
+                KeyUsage::user(),
+                Validity::starting_at(0, 100),
+                &mut rng,
+            )
+            .unwrap();
+        let d = fx.gw.authorize(&stranger.cert, "T3E", None, None, 20);
+        assert!(matches!(d, AuthDecision::Refused(_)));
+        let rec = fx.gw.audit().last().unwrap();
+        assert!(!rec.accepted);
+        assert_eq!(rec.detail, "no UUDB entry");
+    }
+
+    #[test]
+    fn bad_account_group_refused() {
+        let mut fx = fixture();
+        let d = fx
+            .gw
+            .authorize(&fx.alice.cert, "T3E", Some("physics"), None, 30);
+        assert!(matches!(d, AuthDecision::Refused(r) if r.contains("physics")));
+    }
+
+    #[test]
+    fn site_hook_can_refuse() {
+        let mut fx = fixture();
+        fx.gw.set_site_hook(Box::new(|_cert, sec| {
+            // Simulated smart-card check: require the magic token.
+            match sec {
+                Some(b"smartcard:42") => Ok(()),
+                _ => Err("smart card required".to_owned()),
+            }
+        }));
+        let refused = fx.gw.authorize(&fx.alice.cert, "T3E", None, None, 40);
+        assert!(matches!(refused, AuthDecision::Refused(r) if r.contains("smart card")));
+        let ok = fx
+            .gw
+            .authorize(&fx.alice.cert, "T3E", None, Some(b"smartcard:42"), 41);
+        assert!(ok.is_accepted());
+    }
+
+    #[test]
+    fn disabled_user_refused() {
+        let mut fx = fixture();
+        let dn_str = fx.alice.cert.tbs.subject.to_string();
+        fx.gw.uudb_mut().disable(&dn_str);
+        let d = fx.gw.authorize(&fx.alice.cert, "T3E", None, None, 50);
+        assert!(matches!(d, AuthDecision::Refused(r) if r.contains("disabled")));
+    }
+}

@@ -1,0 +1,20 @@
+//! # unicore-gateway
+//!
+//! The UNICORE gateway — the "Java security servlet" of the paper's server
+//! level (§4.2, §5.2): it maps the user's certificate (validated by the
+//! transport layer) to the user's local login via the per-site UNICORE
+//! user database, optionally runs site-specific additional authentication
+//! (smart cards, DCE), and keeps an audit trail.
+//!
+//! The mapping design is what gives UNICORE its *site autonomy*: no
+//! uniform uid/gid pairs across sites, no interference with local user
+//! administration — each site's [`uudb::Uudb`] is independent.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod gateway;
+pub mod uudb;
+
+pub use gateway::{AuditRecord, AuthDecision, Gateway, SiteAuthHook};
+pub use uudb::{MappedUser, MappingError, UserEntry, Uudb};

@@ -1,0 +1,93 @@
+//! NJS errors.
+
+use core::fmt;
+use unicore_ajo::{AjoError, JobId};
+use unicore_batch::SubmitError;
+use unicore_resources::Violation;
+use unicore_uspace::SpaceError;
+
+/// Errors from consignment and job management.
+#[derive(Debug)]
+pub enum NjsError {
+    /// The AJO failed validation.
+    Validation(AjoError),
+    /// The destination Vsite is not served by this NJS.
+    UnknownVsite {
+        /// The requested Vsite name.
+        vsite: String,
+        /// This NJS's Usite.
+        usite: String,
+    },
+    /// A job addressed to another Usite was consigned here directly.
+    WrongUsite {
+        /// Where the job wanted to go.
+        wanted: String,
+        /// This NJS's Usite.
+        usite: String,
+    },
+    /// A task's resource request violates the Vsite's limits.
+    Admission {
+        /// The offending task name.
+        task: String,
+        /// The violated limits.
+        violations: Vec<Violation>,
+    },
+    /// A data-space operation failed.
+    Space(SpaceError),
+    /// The batch system rejected a submission.
+    Batch(SubmitError),
+    /// No such job at this NJS.
+    UnknownJob(JobId),
+    /// The requesting user does not own the job.
+    NotOwner {
+        /// The job.
+        job: JobId,
+        /// Who asked.
+        dn: String,
+    },
+}
+
+impl fmt::Display for NjsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NjsError::Validation(e) => write!(f, "AJO validation failed: {e}"),
+            NjsError::UnknownVsite { vsite, usite } => {
+                write!(f, "Vsite {vsite} not served by Usite {usite}")
+            }
+            NjsError::WrongUsite { wanted, usite } => {
+                write!(f, "job destined for {wanted} consigned to {usite}")
+            }
+            NjsError::Admission { task, violations } => {
+                write!(f, "task '{task}' rejected:")?;
+                for v in violations {
+                    write!(f, " {v};")?;
+                }
+                Ok(())
+            }
+            NjsError::Space(e) => write!(f, "data space error: {e}"),
+            NjsError::Batch(e) => write!(f, "batch submission failed: {e}"),
+            NjsError::UnknownJob(j) => write!(f, "unknown job {j}"),
+            NjsError::NotOwner { job, dn } => write!(f, "{dn} does not own {job}"),
+        }
+    }
+}
+
+impl std::error::Error for NjsError {}
+
+impl From<AjoError> for NjsError {
+    fn from(e: AjoError) -> Self {
+        NjsError::Validation(e)
+    }
+}
+
+impl From<SpaceError> for NjsError {
+    fn from(e: SpaceError) -> Self {
+        NjsError::Space(e)
+    }
+}
+
+impl From<SubmitError> for NjsError {
+    fn from(e: SubmitError) -> Self {
+        NjsError::Batch(e)
+    }
+}

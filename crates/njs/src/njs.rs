@@ -1,0 +1,1300 @@
+//! The Network Job Supervisor engine.
+//!
+//! One NJS serves one Usite and "can support multiple destination systems
+//! (Vsites)" (§4.3). Its duties, straight from §5.5: transform the
+//! abstract job, split it into job groups for different sites, distribute
+//! and control them, translate abstract specifications via translation
+//! tables, submit batch jobs, create the UNICORE job directory, collect
+//! stdout/stderr, and initiate all data transfers.
+//!
+//! The NJS is clock-passive like the batch substrate: callers drive it
+//! with [`Njs::step`] as simulated time advances, and drain
+//! [`Njs::take_outbox`] for work addressed to peer Usites (sub-AJOs and
+//! file transfers), which the federation layer in `unicore` routes.
+
+use crate::error::NjsError;
+use crate::oracle::{DeterministicOracle, WorkOracle};
+use crate::translation::TranslationTable;
+use std::collections::HashMap;
+use std::sync::Arc;
+use unicore_ajo::{
+    AbstractJob, ActionId, ActionStatus, ControlOp, DataLocation, DetailLevel, FileKind, GraphNode,
+    JobId, JobOutcome, JobSummary, OutcomeNode, TaskKind, TaskOutcome, VsiteAddress,
+};
+use unicore_batch::{BatchJobId, BatchJobSpec, BatchStatus, BatchSystem};
+use unicore_gateway::MappedUser;
+use unicore_resources::{check_request, ResourcePage};
+use unicore_sim::SimTime;
+use unicore_uspace::Vspace;
+
+/// Xspace directory where incoming site-to-site transfers land.
+pub const INCOMING_PREFIX: &str = "/unicore/incoming/";
+
+/// One destination system managed by this NJS.
+pub struct VsiteRuntime {
+    /// The batch system.
+    pub batch: BatchSystem,
+    /// The Vsite's data space.
+    pub vspace: Vspace,
+    /// Site-configured translation table.
+    pub table: TranslationTable,
+    /// Published resource page.
+    pub page: ResourcePage,
+}
+
+/// Work the NJS needs the federation layer to carry to a peer Usite.
+pub enum OutgoingItem {
+    /// A job group destined for another Usite.
+    SubJob {
+        /// The local parent job.
+        parent: JobId,
+        /// The node within the parent this sub-job fills.
+        node: ActionId,
+        /// The extracted, now-top-level AJO (portfolio populated with edge
+        /// files and any workstation imports the subtree needs).
+        ajo: AbstractJob,
+        /// Uspace files the peer must return with the outcome (the files
+        /// named on this node's outgoing dependency edges).
+        return_files: Vec<String>,
+    },
+    /// A file push to another Usite's Vsite (lands in its incoming area).
+    Transfer {
+        /// The local job that produced the file.
+        from_job: JobId,
+        /// The transfer task's node id (for outcome completion).
+        node: ActionId,
+        /// Destination Vsite.
+        to_vsite: VsiteAddress,
+        /// Name at the destination.
+        dest_name: String,
+        /// The bytes.
+        data: Vec<u8>,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum NodeState {
+    Waiting,
+    InBatch { vsite: String, batch_id: BatchJobId },
+    ChildJob { child: JobId },
+    Remote,
+    Terminal,
+}
+
+struct JobRuntime {
+    job: AbstractJob,
+    user: MappedUser,
+    parent: Option<(JobId, ActionId)>,
+    portfolio: Arc<HashMap<String, Vec<u8>>>,
+    states: HashMap<ActionId, NodeState>,
+    outcome: JobOutcome,
+    held: bool,
+    done: bool,
+    consigned_at: SimTime,
+    finished_at: Option<SimTime>,
+}
+
+impl JobRuntime {
+    fn node_status(&self, id: ActionId) -> ActionStatus {
+        self.outcome
+            .child(id)
+            .map(|n| n.status())
+            .unwrap_or(ActionStatus::Pending)
+    }
+
+    fn set_task_outcome(&mut self, id: ActionId, outcome: TaskOutcome) {
+        if let Some(node) = self.outcome.child_mut(id) {
+            *node = OutcomeNode::Task(outcome);
+        }
+    }
+}
+
+/// The NJS for one Usite.
+pub struct Njs {
+    usite: String,
+    vsites: HashMap<String, VsiteRuntime>,
+    vsite_order: Vec<String>,
+    jobs: HashMap<JobId, JobRuntime>,
+    job_order: Vec<JobId>,
+    next_job: u64,
+    oracle: Box<dyn WorkOracle>,
+    outbox: Vec<OutgoingItem>,
+    /// Count of incarnations performed (metrics).
+    incarnations: u64,
+}
+
+impl Njs {
+    /// An NJS for `usite` with the default deterministic work oracle.
+    pub fn new(usite: impl Into<String>) -> Self {
+        Self::with_oracle(usite, Box::new(DeterministicOracle::default()))
+    }
+
+    /// An NJS with a custom work oracle.
+    pub fn with_oracle(usite: impl Into<String>, oracle: Box<dyn WorkOracle>) -> Self {
+        Njs {
+            usite: usite.into(),
+            vsites: HashMap::new(),
+            vsite_order: Vec::new(),
+            jobs: HashMap::new(),
+            job_order: Vec::new(),
+            next_job: 1,
+            oracle,
+            outbox: Vec::new(),
+            incarnations: 0,
+        }
+    }
+
+    /// This NJS's Usite name.
+    pub fn usite(&self) -> &str {
+        &self.usite
+    }
+
+    /// Registers a Vsite from its resource page and translation table.
+    ///
+    /// # Panics
+    /// Panics if the page's Usite does not match this NJS.
+    pub fn add_vsite(&mut self, page: ResourcePage, table: TranslationTable) {
+        assert_eq!(page.vsite.usite, self.usite, "page Usite mismatch");
+        let name = page.vsite.vsite.clone();
+        let mut batch = BatchSystem::new(name.clone(), page.architecture, page.performance.nodes);
+        // Every script the NJS submits comes from the translation tables;
+        // strict dialect checking turns any mistranslation into a loud
+        // submission error instead of a silently wrong job.
+        batch.set_strict_dialect(true);
+        self.vsites.insert(
+            name.clone(),
+            VsiteRuntime {
+                batch,
+                vspace: Vspace::new(),
+                table,
+                page,
+            },
+        );
+        self.vsite_order.push(name);
+    }
+
+    /// Names of the Vsites served here.
+    pub fn vsite_names(&self) -> &[String] {
+        &self.vsite_order
+    }
+
+    /// Access to a Vsite's runtime (tests, site administration).
+    pub fn vsite_mut(&mut self, name: &str) -> Option<&mut VsiteRuntime> {
+        self.vsites.get_mut(name)
+    }
+
+    /// Read access to a Vsite's runtime.
+    pub fn vsite(&self, name: &str) -> Option<&VsiteRuntime> {
+        self.vsites.get(name)
+    }
+
+    /// Total incarnations performed.
+    pub fn incarnation_count(&self) -> u64 {
+        self.incarnations
+    }
+
+    /// Consigns a top-level AJO for `user` at `now`.
+    pub fn consign(
+        &mut self,
+        job: AbstractJob,
+        user: MappedUser,
+        now: SimTime,
+    ) -> Result<JobId, NjsError> {
+        job.validate()?;
+        let portfolio: HashMap<String, Vec<u8>> = job
+            .portfolio
+            .iter()
+            .map(|p| (p.name.clone(), p.data.clone()))
+            .collect();
+        self.consign_internal(job, user, Arc::new(portfolio), Vec::new(), None, now)
+    }
+
+    /// Consigns a job group arriving from a peer NJS (already mapped by
+    /// this site's gateway). The AJO's portfolio carries edge files.
+    pub fn consign_from_peer(
+        &mut self,
+        job: AbstractJob,
+        user: MappedUser,
+        now: SimTime,
+    ) -> Result<JobId, NjsError> {
+        // Peer-forwarded job groups carry their staged files as portfolio;
+        // stage every portfolio file into the Uspace directly (files flow
+        // along dependency edges, not via Import tasks).
+        job.validate()?;
+        let staged: Vec<(String, Vec<u8>)> = job
+            .portfolio
+            .iter()
+            .map(|p| (p.name.clone(), p.data.clone()))
+            .collect();
+        let portfolio: HashMap<String, Vec<u8>> = staged.iter().cloned().collect();
+        let mut job = job;
+        job.portfolio.clear();
+        self.consign_internal(job, user, Arc::new(portfolio), staged, None, now)
+    }
+
+    fn consign_internal(
+        &mut self,
+        job: AbstractJob,
+        user: MappedUser,
+        portfolio: Arc<HashMap<String, Vec<u8>>>,
+        staged: Vec<(String, Vec<u8>)>,
+        parent: Option<(JobId, ActionId)>,
+        now: SimTime,
+    ) -> Result<JobId, NjsError> {
+        if job.vsite.usite != self.usite {
+            return Err(NjsError::WrongUsite {
+                wanted: job.vsite.usite.clone(),
+                usite: self.usite.clone(),
+            });
+        }
+        if !self.vsites.contains_key(&job.vsite.vsite) {
+            return Err(NjsError::UnknownVsite {
+                vsite: job.vsite.vsite.clone(),
+                usite: self.usite.clone(),
+            });
+        }
+        // Admission: every direct execute task against this job's page.
+        let page = &self.vsites[&job.vsite.vsite].page;
+        for (_, node) in &job.nodes {
+            if let GraphNode::Task(task) = node {
+                if task.is_execute() {
+                    let violations = check_request(&task.resources, page);
+                    if !violations.is_empty() {
+                        return Err(NjsError::Admission {
+                            task: task.name.clone(),
+                            violations,
+                        });
+                    }
+                }
+            }
+        }
+
+        let id = JobId(self.next_job);
+        self.next_job += 1;
+
+        // Job directory with a quota covering declared disk + payloads.
+        let disk_mb: u64 = job
+            .nodes
+            .iter()
+            .filter_map(|(_, n)| match n {
+                GraphNode::Task(t) => {
+                    Some(t.resources.disk_permanent_mb + t.resources.disk_temporary_mb)
+                }
+                GraphNode::SubJob(_) => None,
+            })
+            .sum();
+        let payload: u64 = portfolio.values().map(|d| d.len() as u64).sum::<u64>()
+            + staged.iter().map(|(_, d)| d.len() as u64).sum::<u64>();
+        let quota = disk_mb * 1_048_576 + payload + (64 << 20);
+        let vspace = &mut self
+            .vsites
+            .get_mut(&job.vsite.vsite)
+            .expect("checked above")
+            .vspace;
+        vspace.create_uspace(id, quota)?;
+        for (name, data) in staged {
+            vspace.write_uspace_file(id, &name, data, &user.login)?;
+        }
+
+        // Prime the outcome tree and node states.
+        let mut outcome = JobOutcome {
+            status: ActionStatus::Consigned,
+            children: Vec::with_capacity(job.nodes.len()),
+        };
+        let mut states = HashMap::with_capacity(job.nodes.len());
+        for (nid, node) in &job.nodes {
+            let child = match node {
+                GraphNode::Task(_) => OutcomeNode::Task(TaskOutcome::pending()),
+                GraphNode::SubJob(_) => OutcomeNode::Job(JobOutcome {
+                    status: ActionStatus::Pending,
+                    children: Vec::new(),
+                }),
+            };
+            outcome.children.push((*nid, child));
+            states.insert(*nid, NodeState::Waiting);
+        }
+
+        self.jobs.insert(
+            id,
+            JobRuntime {
+                job,
+                user,
+                parent,
+                portfolio,
+                states,
+                outcome,
+                held: false,
+                done: false,
+                consigned_at: now,
+                finished_at: None,
+            },
+        );
+        self.job_order.push(id);
+        Ok(id)
+    }
+
+    /// Earliest future event (batch completion or crash recovery) across
+    /// this NJS's Vsites.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.vsites
+            .values()
+            .filter_map(|v| v.batch.next_event_time())
+            .min()
+    }
+
+    /// Drives all jobs forward to `now`. Call repeatedly as time advances.
+    pub fn step(&mut self, now: SimTime) {
+        for name in &self.vsite_order {
+            self.vsites
+                .get_mut(name)
+                .expect("known vsite")
+                .batch
+                .advance_to(now);
+        }
+        // Instantaneous operations (staging, dispatch of freed nodes) can
+        // cascade; iterate to a fixpoint.
+        loop {
+            let mut progressed = false;
+            let ids: Vec<JobId> = self.job_order.clone();
+            for id in ids {
+                progressed |= self.step_job(id, now);
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    fn step_job(&mut self, id: JobId, now: SimTime) -> bool {
+        let Some(rt) = self.jobs.get(&id) else {
+            return false;
+        };
+        if rt.done {
+            return false;
+        }
+        let mut progressed = false;
+
+        // 1. Poll in-flight batch tasks and children.
+        let node_ids: Vec<ActionId> = rt.job.nodes.iter().map(|(n, _)| *n).collect();
+        for nid in &node_ids {
+            let state = self.jobs[&id].states[nid].clone();
+            match state {
+                NodeState::InBatch { vsite, batch_id } => {
+                    progressed |= self.poll_batch_node(id, *nid, &vsite, batch_id);
+                }
+                NodeState::ChildJob { child } => {
+                    progressed |= self.poll_child_node(id, *nid, child);
+                }
+                _ => {}
+            }
+        }
+
+        // 2. Dispatch ready nodes (unless held).
+        if !self.jobs[&id].held {
+            for nid in &node_ids {
+                if self.jobs[&id].states[nid] != NodeState::Waiting {
+                    continue;
+                }
+                let preds = self.jobs[&id].job.predecessors(*nid);
+                let all_terminal = preds
+                    .iter()
+                    .all(|p| self.jobs[&id].states[p] == NodeState::Terminal);
+                if !all_terminal {
+                    continue;
+                }
+                let any_failed = preds
+                    .iter()
+                    .any(|p| !self.jobs[&id].node_status(*p).is_success());
+                if any_failed {
+                    let rt = self.jobs.get_mut(&id).expect("job exists");
+                    rt.states.insert(*nid, NodeState::Terminal);
+                    match rt.outcome.child_mut(*nid) {
+                        Some(OutcomeNode::Task(t)) => {
+                            t.status = ActionStatus::Killed;
+                            t.message = "predecessor failed".into();
+                        }
+                        Some(OutcomeNode::Job(j)) => j.status = ActionStatus::Killed,
+                        None => {}
+                    }
+                    progressed = true;
+                } else {
+                    progressed |= self.dispatch_node(id, *nid, now);
+                }
+            }
+        }
+
+        // 3. Completion check.
+        let rt = self.jobs.get_mut(&id).expect("job exists");
+        rt.outcome.aggregate_status();
+        if !rt.done && rt.states.values().all(|s| *s == NodeState::Terminal) {
+            rt.done = true;
+            rt.finished_at = Some(now);
+            progressed = true;
+        }
+        progressed
+    }
+
+    fn poll_batch_node(
+        &mut self,
+        job: JobId,
+        node: ActionId,
+        vsite: &str,
+        batch_id: BatchJobId,
+    ) -> bool {
+        let status = {
+            let v = self.vsites.get(vsite).expect("known vsite");
+            v.batch.status(batch_id).cloned()
+        };
+        let rt = self.jobs.get_mut(&job).expect("job exists");
+        match status {
+            Some(BatchStatus::Queued) | Some(BatchStatus::Held) => {
+                if rt.node_status(node) != ActionStatus::Queued {
+                    if let Some(OutcomeNode::Task(t)) = rt.outcome.child_mut(node) {
+                        t.status = ActionStatus::Queued;
+                        return true;
+                    }
+                }
+                false
+            }
+            Some(BatchStatus::Running { .. }) => {
+                if rt.node_status(node) != ActionStatus::Running {
+                    if let Some(OutcomeNode::Task(t)) = rt.outcome.child_mut(node) {
+                        t.status = ActionStatus::Running;
+                        return true;
+                    }
+                }
+                false
+            }
+            Some(BatchStatus::Completed(c)) => {
+                let status = if c.is_success() {
+                    ActionStatus::Successful
+                } else {
+                    ActionStatus::NotSuccessful
+                };
+                let outcome = TaskOutcome {
+                    status,
+                    exit_code: Some(c.exit_code),
+                    stdout: c.stdout.clone(),
+                    stderr: c.stderr.clone(),
+                    bytes_staged: 0,
+                    message: if c.timed_out {
+                        "wall clock limit exceeded".into()
+                    } else {
+                        String::new()
+                    },
+                };
+                let login = rt.user.login.clone();
+                rt.set_task_outcome(node, outcome);
+                rt.states.insert(node, NodeState::Terminal);
+                // Deposit output files into the job's Uspace.
+                let vspace = &mut self.vsites.get_mut(vsite).expect("known vsite").vspace;
+                for (name, data) in c.output_files {
+                    // Quota overflow turns the task's result into failure.
+                    if vspace.write_uspace_file(job, &name, data, &login).is_err() {
+                        let rt = self.jobs.get_mut(&job).expect("job exists");
+                        if let Some(OutcomeNode::Task(t)) = rt.outcome.child_mut(node) {
+                            t.status = ActionStatus::NotSuccessful;
+                            t.message = "output exceeded job disk quota".into();
+                        }
+                    }
+                }
+                true
+            }
+            Some(BatchStatus::Cancelled) => {
+                rt.set_task_outcome(
+                    node,
+                    TaskOutcome {
+                        status: ActionStatus::Killed,
+                        message: "cancelled".into(),
+                        ..Default::default()
+                    },
+                );
+                rt.states.insert(node, NodeState::Terminal);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn poll_child_node(&mut self, job: JobId, node: ActionId, child: JobId) -> bool {
+        let (done, child_outcome) = match self.jobs.get(&child) {
+            Some(c) if c.done => (true, c.outcome.clone()),
+            Some(c) => (false, c.outcome.clone()),
+            None => return false,
+        };
+        let rt = self.jobs.get_mut(&job).expect("job exists");
+        let changed = match rt.outcome.child(node) {
+            Some(OutcomeNode::Job(j)) => *j != child_outcome,
+            _ => true,
+        };
+        if changed {
+            if let Some(slot) = rt.outcome.child_mut(node) {
+                *slot = OutcomeNode::Job(child_outcome);
+            }
+        }
+        if done {
+            rt.states.insert(node, NodeState::Terminal);
+            // Pull the files named on this node's outgoing edges from the
+            // child's Uspace into the parent's, so successors can use them
+            // ("UNICORE then guarantees that the specified data sets
+            // created by the predecessor are available to the successor").
+            let mut wanted: Vec<String> = Vec::new();
+            for dep in &rt.job.dependencies {
+                if dep.from == node {
+                    for f in &dep.files {
+                        if !wanted.contains(f) {
+                            wanted.push(f.clone());
+                        }
+                    }
+                }
+            }
+            if !wanted.is_empty() {
+                let parent_vsite = rt.job.vsite.vsite.clone();
+                let login = rt.user.login.clone();
+                let child_vsite = self
+                    .jobs
+                    .get(&child)
+                    .map(|c| c.job.vsite.vsite.clone())
+                    .expect("child exists");
+                for name in wanted {
+                    let data = self
+                        .vsites
+                        .get(&child_vsite)
+                        .and_then(|v| v.vspace.read_for_transfer(child, &name, &login).ok());
+                    if let Some(data) = data {
+                        if let Some(v) = self.vsites.get_mut(&parent_vsite) {
+                            let _ = v.vspace.write_uspace_file(job, &name, data, &login);
+                        }
+                    }
+                }
+            }
+            return true;
+        }
+        changed
+    }
+
+    fn dispatch_node(&mut self, job: JobId, node: ActionId, now: SimTime) -> bool {
+        let rt = self.jobs.get(&job).expect("job exists");
+        let graph_node = rt.job.node(node).expect("node exists").clone();
+        match graph_node {
+            GraphNode::Task(task) => match &task.kind {
+                TaskKind::Execute(kind) => {
+                    let vsite_name = rt.job.vsite.vsite.clone();
+                    let login = rt.user.login.clone();
+                    let v = self.vsites.get_mut(&vsite_name).expect("known vsite");
+                    let time_limit = unicore_sim::secs(task.resources.run_time_secs);
+                    // Standard site policy: short jobs go express — unless
+                    // they are too wide for the express class's width cap.
+                    let mut queue = unicore_batch::QueueClass::for_time_limit(time_limit);
+                    let express_width = (v.page.performance.nodes / 4).max(1);
+                    if queue == unicore_batch::QueueClass::Express
+                        && task.resources.processors > express_width
+                    {
+                        queue = unicore_batch::QueueClass::Batch;
+                    }
+                    let script = crate::translation::incarnate_execute_in_queue(
+                        &v.table,
+                        kind,
+                        &task.resources,
+                        &login,
+                        &job.to_string(),
+                        queue.name(),
+                    );
+                    self.incarnations += 1;
+                    let work = self.oracle.work_for(&task, &task.resources);
+                    let spec = BatchJobSpec {
+                        name: task.name.clone(),
+                        owner: login,
+                        script,
+                        processors: task.resources.processors,
+                        time_limit,
+                        memory_mb: task.resources.memory_mb,
+                        queue,
+                        work,
+                    };
+                    match v.batch.submit(spec, now) {
+                        Ok(batch_id) => {
+                            let rt = self.jobs.get_mut(&job).expect("job exists");
+                            rt.states.insert(
+                                node,
+                                NodeState::InBatch {
+                                    vsite: vsite_name,
+                                    batch_id,
+                                },
+                            );
+                            if let Some(OutcomeNode::Task(t)) = rt.outcome.child_mut(node) {
+                                t.status = ActionStatus::Queued;
+                            }
+                        }
+                        Err(e) => {
+                            let rt = self.jobs.get_mut(&job).expect("job exists");
+                            rt.set_task_outcome(node, TaskOutcome::failure(e.to_string()));
+                            rt.states.insert(node, NodeState::Terminal);
+                        }
+                    }
+                    true
+                }
+                TaskKind::File(file_kind) => {
+                    let outcome = self.run_file_task(job, node, file_kind);
+                    let rt = self.jobs.get_mut(&job).expect("job exists");
+                    match outcome {
+                        FileTaskResult::Done(o) => {
+                            rt.set_task_outcome(node, o);
+                            rt.states.insert(node, NodeState::Terminal);
+                        }
+                        FileTaskResult::Remote => {
+                            if let Some(OutcomeNode::Task(t)) = rt.outcome.child_mut(node) {
+                                t.status = ActionStatus::Running;
+                            }
+                            rt.states.insert(node, NodeState::Remote);
+                        }
+                    }
+                    true
+                }
+            },
+            GraphNode::SubJob(sub) => {
+                self.dispatch_subjob(job, node, sub, now);
+                true
+            }
+        }
+    }
+
+    fn dispatch_subjob(&mut self, job: JobId, node: ActionId, sub: AbstractJob, now: SimTime) {
+        // Gather edge files from predecessors out of the parent's Uspace.
+        let (staged, user, portfolio, parent_vsite) = {
+            let rt = self.jobs.get(&job).expect("job exists");
+            let mut staged: Vec<(String, Vec<u8>)> = Vec::new();
+            for pred in rt.job.predecessors(node) {
+                for file in rt.job.edge_files(pred, node) {
+                    let data = self
+                        .vsites
+                        .get(&rt.job.vsite.vsite)
+                        .expect("known vsite")
+                        .vspace
+                        .read_for_transfer(job, file, &rt.user.login);
+                    if let Ok(data) = data {
+                        staged.push((file.clone(), data));
+                    }
+                }
+            }
+            (
+                staged,
+                rt.user.clone(),
+                rt.portfolio.clone(),
+                rt.job.vsite.vsite.clone(),
+            )
+        };
+        let _ = parent_vsite;
+
+        if sub.vsite.usite == self.usite {
+            // Local child at (possibly) another Vsite of this Usite.
+            match self.consign_internal(sub, user, portfolio, staged, Some((job, node)), now) {
+                Ok(child) => {
+                    let rt = self.jobs.get_mut(&job).expect("job exists");
+                    rt.states.insert(node, NodeState::ChildJob { child });
+                }
+                Err(e) => {
+                    let rt = self.jobs.get_mut(&job).expect("job exists");
+                    if let Some(OutcomeNode::Job(j)) = rt.outcome.child_mut(node) {
+                        j.status = ActionStatus::NotSuccessful;
+                    }
+                    rt.states.insert(node, NodeState::Terminal);
+                    let _ = e;
+                }
+            }
+        } else {
+            // Remote job group: extract as a top-level AJO whose portfolio
+            // carries the edge files plus any workstation imports its
+            // subtree references.
+            let mut ajo = sub;
+            let mut carried: Vec<(String, Vec<u8>)> = staged;
+            collect_workstation_imports(&ajo, &portfolio, &mut carried);
+            ajo.portfolio = carried
+                .into_iter()
+                .map(|(name, data)| unicore_ajo::PortfolioFile { name, data })
+                .collect();
+            let return_files = {
+                let rt = self.jobs.get(&job).expect("job exists");
+                let mut files: Vec<String> = Vec::new();
+                for dep in &rt.job.dependencies {
+                    if dep.from == node {
+                        for f in &dep.files {
+                            if !files.contains(f) {
+                                files.push(f.clone());
+                            }
+                        }
+                    }
+                }
+                files
+            };
+            self.outbox.push(OutgoingItem::SubJob {
+                parent: job,
+                node,
+                ajo,
+                return_files,
+            });
+            let rt = self.jobs.get_mut(&job).expect("job exists");
+            if let Some(OutcomeNode::Job(j)) = rt.outcome.child_mut(node) {
+                j.status = ActionStatus::Consigned;
+            }
+            rt.states.insert(node, NodeState::Remote);
+        }
+    }
+
+    fn run_file_task(&mut self, job: JobId, node: ActionId, kind: &FileKind) -> FileTaskResult {
+        let (vsite_name, login) = {
+            let rt = self.jobs.get(&job).expect("job exists");
+            (rt.job.vsite.vsite.clone(), rt.user.login.clone())
+        };
+        match kind {
+            FileKind::Import {
+                source,
+                uspace_name,
+            } => {
+                let result = match source {
+                    DataLocation::Workstation { path } => {
+                        let rt = self.jobs.get(&job).expect("job exists");
+                        match rt.portfolio.get(path) {
+                            Some(data) => {
+                                let data = data.clone();
+                                self.vsites
+                                    .get_mut(&vsite_name)
+                                    .expect("known vsite")
+                                    .vspace
+                                    .import_bytes(job, uspace_name, data, &login)
+                            }
+                            None => {
+                                return FileTaskResult::Done(TaskOutcome::failure(format!(
+                                    "portfolio file '{path}' missing"
+                                )))
+                            }
+                        }
+                    }
+                    DataLocation::Xspace { vsite, path } => {
+                        if vsite.usite != self.usite {
+                            return FileTaskResult::Done(TaskOutcome::failure(
+                                "import from a remote Usite's Xspace is not supported; \
+                                 use a transfer"
+                                    .to_string(),
+                            ));
+                        }
+                        if vsite.vsite == vsite_name {
+                            self.vsites
+                                .get_mut(&vsite_name)
+                                .expect("known vsite")
+                                .vspace
+                                .import_from_xspace(job, path, uspace_name, &login)
+                        } else {
+                            // Cross-Vsite (same Usite): read there, write here.
+                            let data = match self.vsites.get(&vsite.vsite) {
+                                Some(v) => v
+                                    .vspace
+                                    .xspace_ref()
+                                    .read(path, &login)
+                                    .map(|f| f.data.clone()),
+                                None => {
+                                    return FileTaskResult::Done(TaskOutcome::failure(format!(
+                                        "unknown Vsite {vsite}"
+                                    )))
+                                }
+                            };
+                            match data {
+                                Ok(d) => self
+                                    .vsites
+                                    .get_mut(&vsite_name)
+                                    .expect("known vsite")
+                                    .vspace
+                                    .import_bytes(job, uspace_name, d, &login),
+                                Err(e) => {
+                                    return FileTaskResult::Done(TaskOutcome::failure(
+                                        e.to_string(),
+                                    ))
+                                }
+                            }
+                        }
+                    }
+                };
+                FileTaskResult::Done(match result {
+                    Ok(n) => TaskOutcome {
+                        status: ActionStatus::Successful,
+                        bytes_staged: n,
+                        ..Default::default()
+                    },
+                    Err(e) => TaskOutcome::failure(e.to_string()),
+                })
+            }
+            FileKind::Export {
+                uspace_name,
+                destination,
+            } => {
+                let DataLocation::Xspace { vsite, path } = destination else {
+                    return FileTaskResult::Done(TaskOutcome::failure(
+                        "export to workstation happens on JMC request, not in-job".to_string(),
+                    ));
+                };
+                if vsite.usite != self.usite {
+                    return FileTaskResult::Done(TaskOutcome::failure(
+                        "export to a remote Usite's Xspace is not supported".to_string(),
+                    ));
+                }
+                if vsite.vsite == vsite_name {
+                    let result = self
+                        .vsites
+                        .get_mut(&vsite_name)
+                        .expect("known vsite")
+                        .vspace
+                        .export_to_xspace(job, uspace_name, path, &login);
+                    FileTaskResult::Done(match result {
+                        Ok(n) => TaskOutcome {
+                            status: ActionStatus::Successful,
+                            bytes_staged: n,
+                            ..Default::default()
+                        },
+                        Err(e) => TaskOutcome::failure(e.to_string()),
+                    })
+                } else {
+                    // Cross-Vsite export within the Usite.
+                    let data = self
+                        .vsites
+                        .get(&vsite_name)
+                        .expect("known vsite")
+                        .vspace
+                        .read_for_transfer(job, uspace_name, &login);
+                    match data {
+                        Ok(d) => {
+                            let len = d.len() as u64;
+                            match self.vsites.get_mut(&vsite.vsite) {
+                                Some(v) => match v.vspace.xspace().write(path, d, &login) {
+                                    Ok(()) => FileTaskResult::Done(TaskOutcome {
+                                        status: ActionStatus::Successful,
+                                        bytes_staged: len,
+                                        ..Default::default()
+                                    }),
+                                    Err(e) => {
+                                        FileTaskResult::Done(TaskOutcome::failure(e.to_string()))
+                                    }
+                                },
+                                None => FileTaskResult::Done(TaskOutcome::failure(format!(
+                                    "unknown Vsite {vsite}"
+                                ))),
+                            }
+                        }
+                        Err(e) => FileTaskResult::Done(TaskOutcome::failure(e.to_string())),
+                    }
+                }
+            }
+            FileKind::Transfer {
+                uspace_name,
+                to_vsite,
+                dest_name,
+            } => {
+                let data = self
+                    .vsites
+                    .get(&vsite_name)
+                    .expect("known vsite")
+                    .vspace
+                    .read_for_transfer(job, uspace_name, &login);
+                let data = match data {
+                    Ok(d) => d,
+                    Err(e) => return FileTaskResult::Done(TaskOutcome::failure(e.to_string())),
+                };
+                if to_vsite.usite == self.usite {
+                    // Local delivery into the destination Vsite's incoming area.
+                    let len = data.len() as u64;
+                    match self.vsites.get_mut(&to_vsite.vsite) {
+                        Some(v) => {
+                            let path = format!("{INCOMING_PREFIX}{dest_name}");
+                            match v.vspace.xspace().write(&path, data, &login) {
+                                Ok(()) => FileTaskResult::Done(TaskOutcome {
+                                    status: ActionStatus::Successful,
+                                    bytes_staged: len,
+                                    ..Default::default()
+                                }),
+                                Err(e) => FileTaskResult::Done(TaskOutcome::failure(e.to_string())),
+                            }
+                        }
+                        None => FileTaskResult::Done(TaskOutcome::failure(format!(
+                            "unknown Vsite {to_vsite}"
+                        ))),
+                    }
+                } else {
+                    self.outbox.push(OutgoingItem::Transfer {
+                        from_job: job,
+                        node,
+                        to_vsite: to_vsite.clone(),
+                        dest_name: dest_name.clone(),
+                        data,
+                    });
+                    FileTaskResult::Remote
+                }
+            }
+        }
+    }
+
+    /// Takes everything waiting for the federation layer.
+    pub fn take_outbox(&mut self) -> Vec<OutgoingItem> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Completes a node whose work happened at a peer Usite.
+    pub fn complete_remote_node(&mut self, job: JobId, node: ActionId, outcome: OutcomeNode) {
+        self.complete_remote_node_with_files(job, node, outcome, Vec::new());
+    }
+
+    /// Completes a remote node, depositing edge files returned by the peer
+    /// into the parent job's Uspace so successors can consume them.
+    pub fn complete_remote_node_with_files(
+        &mut self,
+        job: JobId,
+        node: ActionId,
+        outcome: OutcomeNode,
+        files: Vec<(String, Vec<u8>)>,
+    ) {
+        let Some(rt) = self.jobs.get_mut(&job) else {
+            return;
+        };
+        if let Some(slot) = rt.outcome.child_mut(node) {
+            *slot = outcome;
+        }
+        rt.states.insert(node, NodeState::Terminal);
+        let (vsite, login) = (rt.job.vsite.vsite.clone(), rt.user.login.clone());
+        if let Some(v) = self.vsites.get_mut(&vsite) {
+            for (name, data) in files {
+                let _ = v.vspace.write_uspace_file(job, &name, data, &login);
+            }
+        }
+    }
+
+    /// Reads edge-result files from a (foreign) job's Uspace for return to
+    /// the origin site. Missing files are skipped — the origin's successor
+    /// tasks will then fail with file-not-found, mirroring reality.
+    pub fn collect_return_files(&self, job: JobId, names: &[String]) -> Vec<(String, Vec<u8>)> {
+        let Some(rt) = self.jobs.get(&job) else {
+            return Vec::new();
+        };
+        let Some(v) = self.vsites.get(&rt.job.vsite.vsite) else {
+            return Vec::new();
+        };
+        names
+            .iter()
+            .filter_map(|n| {
+                v.vspace
+                    .read_for_transfer(job, n, &rt.user.login)
+                    .ok()
+                    .map(|d| (n.clone(), d))
+            })
+            .collect()
+    }
+
+    /// Receives a file pushed from a peer Usite into `vsite`'s incoming
+    /// Xspace area.
+    pub fn receive_incoming_file(
+        &mut self,
+        vsite: &str,
+        dest_name: &str,
+        data: Vec<u8>,
+        login: &str,
+    ) -> Result<(), NjsError> {
+        let v = self
+            .vsites
+            .get_mut(vsite)
+            .ok_or_else(|| NjsError::UnknownVsite {
+                vsite: vsite.to_owned(),
+                usite: self.usite.clone(),
+            })?;
+        let path = format!("{INCOMING_PREFIX}{dest_name}");
+        v.vspace.xspace().write(&path, data, login)?;
+        Ok(())
+    }
+
+    /// The DN of the user who consigned `job`.
+    pub fn owner_dn(&self, job: JobId) -> Option<String> {
+        self.jobs.get(&job).map(|rt| rt.user.dn.clone())
+    }
+
+    /// Whether a job has finished (successfully or not).
+    pub fn is_done(&self, job: JobId) -> bool {
+        self.jobs.get(&job).map(|j| j.done).unwrap_or(false)
+    }
+
+    /// The job's current outcome tree.
+    pub fn outcome(&self, job: JobId) -> Option<&JobOutcome> {
+        self.jobs.get(&job).map(|j| &j.outcome)
+    }
+
+    /// Consign → finish duration, once finished.
+    pub fn turnaround(&self, job: JobId) -> Option<SimTime> {
+        let rt = self.jobs.get(&job)?;
+        Some(rt.finished_at? - rt.consigned_at)
+    }
+
+    /// Applies a user control operation (ownership enforced by DN).
+    pub fn control(
+        &mut self,
+        job: JobId,
+        op: ControlOp,
+        dn: &str,
+        now: SimTime,
+    ) -> Result<bool, NjsError> {
+        let rt = self.jobs.get(&job).ok_or(NjsError::UnknownJob(job))?;
+        if rt.user.dn != dn {
+            return Err(NjsError::NotOwner {
+                job,
+                dn: dn.to_owned(),
+            });
+        }
+        match op {
+            ControlOp::Hold => {
+                let rt = self.jobs.get_mut(&job).expect("job exists");
+                if rt.done {
+                    return Ok(false);
+                }
+                rt.held = true;
+                Ok(true)
+            }
+            ControlOp::Resume => {
+                let rt = self.jobs.get_mut(&job).expect("job exists");
+                if !rt.held {
+                    return Ok(false);
+                }
+                rt.held = false;
+                Ok(true)
+            }
+            ControlOp::Abort => Ok(self.abort(job, now)),
+        }
+    }
+
+    fn abort(&mut self, job: JobId, now: SimTime) -> bool {
+        let Some(rt) = self.jobs.get(&job) else {
+            return false;
+        };
+        if rt.done {
+            return false;
+        }
+        let node_ids: Vec<ActionId> = rt.job.nodes.iter().map(|(n, _)| *n).collect();
+        let mut children = Vec::new();
+        for nid in node_ids {
+            let state = self.jobs[&job].states[&nid].clone();
+            match state {
+                NodeState::InBatch { vsite, batch_id } => {
+                    self.vsites
+                        .get_mut(&vsite)
+                        .expect("known vsite")
+                        .batch
+                        .cancel(batch_id, now);
+                    let rt = self.jobs.get_mut(&job).expect("job exists");
+                    rt.set_task_outcome(
+                        nid,
+                        TaskOutcome {
+                            status: ActionStatus::Killed,
+                            message: "aborted by user".into(),
+                            ..Default::default()
+                        },
+                    );
+                    rt.states.insert(nid, NodeState::Terminal);
+                }
+                NodeState::ChildJob { child } => children.push((nid, child)),
+                NodeState::Waiting | NodeState::Remote => {
+                    let rt = self.jobs.get_mut(&job).expect("job exists");
+                    match rt.outcome.child_mut(nid) {
+                        Some(OutcomeNode::Task(t)) => {
+                            t.status = ActionStatus::Killed;
+                            t.message = "aborted by user".into();
+                        }
+                        Some(OutcomeNode::Job(j)) => j.status = ActionStatus::Killed,
+                        None => {}
+                    }
+                    let rt = self.jobs.get_mut(&job).expect("job exists");
+                    rt.states.insert(nid, NodeState::Terminal);
+                }
+                NodeState::Terminal => {}
+            }
+        }
+        for (nid, child) in children {
+            self.abort(child, now);
+            let child_outcome = self.jobs[&child].outcome.clone();
+            let rt = self.jobs.get_mut(&job).expect("job exists");
+            if let Some(slot) = rt.outcome.child_mut(nid) {
+                *slot = OutcomeNode::Job(child_outcome);
+            }
+            rt.states.insert(nid, NodeState::Terminal);
+        }
+        let rt = self.jobs.get_mut(&job).expect("job exists");
+        rt.outcome.aggregate_status();
+        if rt.outcome.status == ActionStatus::Successful {
+            rt.outcome.status = ActionStatus::Killed;
+        }
+        rt.done = true;
+        rt.finished_at = Some(now);
+        true
+    }
+
+    /// Lists the files in a job's Uspace (the JMC's save-output browser).
+    pub fn list_uspace_files(&self, job: JobId, dn: &str) -> Result<Vec<String>, NjsError> {
+        let rt = self.jobs.get(&job).ok_or(NjsError::UnknownJob(job))?;
+        if rt.user.dn != dn {
+            return Err(NjsError::NotOwner {
+                job,
+                dn: dn.to_owned(),
+            });
+        }
+        let v = self
+            .vsites
+            .get(&rt.job.vsite.vsite)
+            .expect("job vsite exists");
+        Ok(v.vspace
+            .uspace(job)?
+            .list("")
+            .into_iter()
+            .map(str::to_owned)
+            .collect())
+    }
+
+    /// Purges a finished job: destroys its Uspace (and its local children's)
+    /// and forgets the runtime. Returns bytes freed.
+    ///
+    /// The JMC calls this once the user has saved what they need — job
+    /// directories hold "the data for and created during the job run"
+    /// (§5.5) and are reclaimed afterwards.
+    pub fn purge(&mut self, job: JobId, dn: &str) -> Result<u64, NjsError> {
+        let rt = self.jobs.get(&job).ok_or(NjsError::UnknownJob(job))?;
+        if rt.user.dn != dn {
+            return Err(NjsError::NotOwner {
+                job,
+                dn: dn.to_owned(),
+            });
+        }
+        if !rt.done {
+            return Err(NjsError::Space(unicore_uspace::SpaceError::BadPath(
+                "job still running (abort it first)".to_owned(),
+            )));
+        }
+        // Collect the job and its local descendants.
+        let mut to_purge = vec![job];
+        let mut i = 0;
+        while i < to_purge.len() {
+            let current = to_purge[i];
+            i += 1;
+            if let Some(rt) = self.jobs.get(&current) {
+                for state in rt.states.values() {
+                    if let NodeState::ChildJob { child } = state {
+                        to_purge.push(*child);
+                    }
+                }
+            }
+        }
+        let mut freed = 0;
+        for id in to_purge {
+            if let Some(rt) = self.jobs.remove(&id) {
+                if let Some(v) = self.vsites.get_mut(&rt.job.vsite.vsite) {
+                    freed += v.vspace.destroy_uspace(id).unwrap_or(0);
+                }
+                self.job_order.retain(|j| *j != id);
+            }
+        }
+        Ok(freed)
+    }
+
+    /// The List service: root jobs owned by `dn`.
+    pub fn list_jobs(&self, dn: &str) -> Vec<JobSummary> {
+        self.job_order
+            .iter()
+            .filter_map(|id| {
+                let rt = self.jobs.get(id)?;
+                if rt.parent.is_some() || rt.user.dn != dn {
+                    return None;
+                }
+                Some(JobSummary {
+                    job: *id,
+                    name: rt.job.name.clone(),
+                    status: rt.outcome.status,
+                })
+            })
+            .collect()
+    }
+
+    /// The Query service: the outcome tree at the requested detail level.
+    pub fn query(&self, job: JobId, dn: &str, detail: DetailLevel) -> Result<JobOutcome, NjsError> {
+        let rt = self.jobs.get(&job).ok_or(NjsError::UnknownJob(job))?;
+        if rt.user.dn != dn {
+            return Err(NjsError::NotOwner {
+                job,
+                dn: dn.to_owned(),
+            });
+        }
+        Ok(prune_outcome(&rt.outcome, detail))
+    }
+
+    /// Fetches a file from a finished job's Uspace (JMC "save output",
+    /// §5.6: data goes back to the workstation only on user request).
+    pub fn fetch_uspace_file(&self, job: JobId, name: &str, dn: &str) -> Result<Vec<u8>, NjsError> {
+        let rt = self.jobs.get(&job).ok_or(NjsError::UnknownJob(job))?;
+        if rt.user.dn != dn {
+            return Err(NjsError::NotOwner {
+                job,
+                dn: dn.to_owned(),
+            });
+        }
+        let v = self
+            .vsites
+            .get(&rt.job.vsite.vsite)
+            .expect("job vsite exists");
+        Ok(v.vspace.read_for_transfer(job, name, &rt.user.login)?)
+    }
+}
+
+enum FileTaskResult {
+    Done(TaskOutcome),
+    Remote,
+}
+
+/// Collects workstation-import payloads referenced anywhere in `job`'s
+/// subtree out of `portfolio` into `carried`.
+fn collect_workstation_imports(
+    job: &AbstractJob,
+    portfolio: &HashMap<String, Vec<u8>>,
+    carried: &mut Vec<(String, Vec<u8>)>,
+) {
+    for (_, node) in &job.nodes {
+        match node {
+            GraphNode::Task(task) => {
+                if let TaskKind::File(FileKind::Import {
+                    source: DataLocation::Workstation { path },
+                    ..
+                }) = &task.kind
+                {
+                    if carried.iter().all(|(n, _)| n != path) {
+                        if let Some(data) = portfolio.get(path) {
+                            carried.push((path.clone(), data.clone()));
+                        }
+                    }
+                }
+            }
+            GraphNode::SubJob(sub) => collect_workstation_imports(sub, portfolio, carried),
+        }
+    }
+}
+
+/// Prunes an outcome tree to the requested detail level.
+fn prune_outcome(outcome: &JobOutcome, detail: DetailLevel) -> JobOutcome {
+    match detail {
+        DetailLevel::JobOnly => JobOutcome {
+            status: outcome.status,
+            children: Vec::new(),
+        },
+        DetailLevel::Groups => JobOutcome {
+            status: outcome.status,
+            children: outcome
+                .children
+                .iter()
+                .filter_map(|(id, node)| match node {
+                    OutcomeNode::Job(j) => {
+                        Some((*id, OutcomeNode::Job(prune_outcome(j, DetailLevel::Groups))))
+                    }
+                    OutcomeNode::Task(_) => None,
+                })
+                .collect(),
+        },
+        DetailLevel::Tasks => outcome.clone(),
+    }
+}

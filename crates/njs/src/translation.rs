@@ -1,0 +1,398 @@
+//! Translation tables: abstract specifications → local nomenclature.
+//!
+//! "The UNICORE site administrator together with the Vsite system
+//! administrator establishes the environment for running UNICORE. This
+//! includes setting up the translation tables for the translation of the
+//! abstract job into the real batch job" (§5.5). A [`TranslationTable`]
+//! holds exactly those site-configured mappings; [`incarnate_execute`]
+//! applies them to produce a vendor submit script.
+
+use std::collections::HashMap;
+use unicore_ajo::{ExecuteKind, ResourceRequest};
+use unicore_batch::script::{memory_directive, processors_directive, time_directive};
+use unicore_codec::{CodecError, DerCodec, Fields, Value};
+use unicore_resources::Architecture;
+
+/// Per-Vsite translation configuration.
+#[derive(Debug, Clone)]
+pub struct TranslationTable {
+    /// Target architecture (selects the directive dialect).
+    pub arch: Architecture,
+    /// Batch queue jobs are submitted to.
+    pub queue: String,
+    /// Abstract compiler option → concrete flag (e.g. `"O3"` → `"-O3"`).
+    pub compiler_options: HashMap<String, String>,
+    /// Abstract library name → concrete linker argument.
+    pub libraries: HashMap<String, String>,
+    /// Template for the job working directory; `{job}` is substituted.
+    pub workdir_template: String,
+}
+
+impl TranslationTable {
+    /// The stock table a site administrator would start from for `arch`.
+    pub fn for_architecture(arch: Architecture) -> Self {
+        let mut compiler_options = HashMap::new();
+        let mut libraries = HashMap::new();
+        // Abstract names on the left are what the JPA lets users say;
+        // right-hand sides are each machine's own spelling.
+        match arch {
+            Architecture::CrayT3e => {
+                compiler_options.insert("O2".into(), "-O2".into());
+                compiler_options.insert("O3".into(), "-O3,unroll2".into());
+                compiler_options.insert("debug".into(), "-g".into());
+                libraries.insert("blas".into(), "-lsci".into());
+                libraries.insert("mpi".into(), "-lmpi".into());
+            }
+            Architecture::FujitsuVpp700 => {
+                compiler_options.insert("O2".into(), "-Kfast".into());
+                compiler_options.insert("O3".into(), "-Kfast,parallel".into());
+                compiler_options.insert("debug".into(), "-g".into());
+                libraries.insert("blas".into(), "-lssl2vp".into());
+                libraries.insert("mpi".into(), "-lmpi".into());
+            }
+            Architecture::IbmSp2 => {
+                compiler_options.insert("O2".into(), "-O2".into());
+                compiler_options.insert("O3".into(), "-O3 -qhot".into());
+                compiler_options.insert("debug".into(), "-g".into());
+                libraries.insert("blas".into(), "-lessl".into());
+                libraries.insert("mpi".into(), "-lmpci".into());
+            }
+            Architecture::NecSx4 => {
+                compiler_options.insert("O2".into(), "-C opt".into());
+                compiler_options.insert("O3".into(), "-C hopt".into());
+                compiler_options.insert("debug".into(), "-C debug".into());
+                libraries.insert("blas".into(), "-lblas_sx".into());
+                libraries.insert("mpi".into(), "-lmpi_sx".into());
+            }
+            Architecture::Generic => {
+                compiler_options.insert("O2".into(), "-O2".into());
+                compiler_options.insert("O3".into(), "-O3".into());
+                compiler_options.insert("debug".into(), "-g".into());
+                libraries.insert("blas".into(), "-lblas".into());
+                libraries.insert("mpi".into(), "-lmpich".into());
+            }
+        }
+        TranslationTable {
+            arch,
+            queue: "batch".into(),
+            compiler_options,
+            libraries,
+            workdir_template: "/unicore/uspace/{job}".into(),
+        }
+    }
+
+    /// Translates an abstract compiler option (unknown options pass
+    /// through prefixed with `-`, the common convention).
+    pub fn option(&self, abstract_name: &str) -> String {
+        self.compiler_options
+            .get(abstract_name)
+            .cloned()
+            .unwrap_or_else(|| format!("-{abstract_name}"))
+    }
+
+    /// Translates an abstract library name.
+    pub fn library(&self, abstract_name: &str) -> String {
+        self.libraries
+            .get(abstract_name)
+            .cloned()
+            .unwrap_or_else(|| format!("-l{abstract_name}"))
+    }
+
+    /// The working directory for a job.
+    pub fn workdir(&self, job: &str) -> String {
+        self.workdir_template.replace("{job}", job)
+    }
+}
+
+/// Renders the vendor submit script for an execute-style task.
+///
+/// This is the heart of "seamlessness": the same [`ExecuteKind`] yields a
+/// different — but semantically equivalent — script on every architecture.
+pub fn incarnate_execute(
+    table: &TranslationTable,
+    kind: &ExecuteKind,
+    resources: &ResourceRequest,
+    login: &str,
+    job_name: &str,
+) -> String {
+    incarnate_execute_in_queue(table, kind, resources, login, job_name, &table.queue)
+}
+
+/// Like [`incarnate_execute`], with an explicit destination queue name
+/// (the NJS passes the queue class it selected).
+pub fn incarnate_execute_in_queue(
+    table: &TranslationTable,
+    kind: &ExecuteKind,
+    resources: &ResourceRequest,
+    login: &str,
+    job_name: &str,
+    queue: &str,
+) -> String {
+    let arch = table.arch;
+    let mut script = String::with_capacity(512);
+    script.push_str("#!/bin/sh\n");
+    script.push_str(&processors_directive(arch, resources.processors));
+    script.push('\n');
+    script.push_str(&time_directive(arch, resources.run_time_secs));
+    script.push('\n');
+    script.push_str(&memory_directive(arch, resources.memory_mb));
+    script.push('\n');
+    script.push_str(&format!("# queue: {queue}  user: {login}\n"));
+    script.push_str(&format!("cd {}\n", table.workdir(job_name)));
+
+    match kind {
+        ExecuteKind::User {
+            executable,
+            arguments,
+            environment,
+        } => {
+            for (k, v) in environment {
+                script.push_str(&format!("{k}={v} export {k}\n"));
+            }
+            script.push_str(&format!("./{executable}"));
+            for arg in arguments {
+                script.push(' ');
+                script.push_str(arg);
+            }
+            script.push('\n');
+        }
+        ExecuteKind::Script { script: body } => {
+            script.push_str(body);
+            if !body.ends_with('\n') {
+                script.push('\n');
+            }
+        }
+        ExecuteKind::Compile {
+            sources,
+            options,
+            output,
+        } => {
+            script.push_str(arch.f90_compiler());
+            for opt in options {
+                script.push(' ');
+                script.push_str(&table.option(opt));
+            }
+            script.push_str(" -c");
+            for src in sources {
+                script.push(' ');
+                script.push_str(src);
+            }
+            script.push_str(&format!(" -o {output}\n"));
+        }
+        ExecuteKind::Link {
+            objects,
+            libraries,
+            output,
+        } => {
+            script.push_str(arch.f90_compiler());
+            for obj in objects {
+                script.push(' ');
+                script.push_str(obj);
+            }
+            for lib in libraries {
+                script.push(' ');
+                script.push_str(&table.library(lib));
+            }
+            script.push_str(&format!(" -o {output}\n"));
+        }
+    }
+    script
+}
+
+impl DerCodec for TranslationTable {
+    fn to_value(&self) -> Value {
+        let mut options: Vec<(&String, &String)> = self.compiler_options.iter().collect();
+        options.sort();
+        let mut libraries: Vec<(&String, &String)> = self.libraries.iter().collect();
+        libraries.sort();
+        let pair_seq = |pairs: Vec<(&String, &String)>| {
+            Value::Sequence(
+                pairs
+                    .into_iter()
+                    .map(|(k, v)| Value::Sequence(vec![Value::string(k), Value::string(v)]))
+                    .collect(),
+            )
+        };
+        Value::Sequence(vec![
+            self.arch.to_value(),
+            Value::string(&self.queue),
+            pair_seq(options),
+            pair_seq(libraries),
+            Value::string(&self.workdir_template),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<Self, CodecError> {
+        let mut f = Fields::open(value, "TranslationTable")?;
+        let arch = Architecture::from_value(f.next_value()?)?;
+        let queue = f.next_string()?;
+        let read_pairs =
+            |items: &[Value]| -> Result<std::collections::HashMap<String, String>, CodecError> {
+                let mut map = std::collections::HashMap::new();
+                for item in items {
+                    let mut pf = Fields::open(item, "translation pair")?;
+                    map.insert(pf.next_string()?, pf.next_string()?);
+                    pf.finish()?;
+                }
+                Ok(map)
+            };
+        let compiler_options = read_pairs(f.next_sequence()?)?;
+        let libraries = read_pairs(f.next_sequence()?)?;
+        let workdir_template = f.next_string()?;
+        f.finish()?;
+        Ok(TranslationTable {
+            arch,
+            queue,
+            compiler_options,
+            libraries,
+            workdir_template,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicore_batch::script_matches_dialect;
+
+    fn resources() -> ResourceRequest {
+        ResourceRequest::minimal()
+            .with_processors(64)
+            .with_run_time(3_600)
+            .with_memory(2_048)
+    }
+
+    #[test]
+    fn compile_task_uses_native_compiler() {
+        let kind = ExecuteKind::Compile {
+            sources: vec!["main.f90".into()],
+            options: vec!["O3".into()],
+            output: "main.o".into(),
+        };
+        let t3e = incarnate_execute(
+            &TranslationTable::for_architecture(Architecture::CrayT3e),
+            &kind,
+            &resources(),
+            "alice1",
+            "J1",
+        );
+        assert!(
+            t3e.contains("f90 -O3,unroll2 -c main.f90 -o main.o"),
+            "{t3e}"
+        );
+        let sp2 = incarnate_execute(
+            &TranslationTable::for_architecture(Architecture::IbmSp2),
+            &kind,
+            &resources(),
+            "alice1",
+            "J1",
+        );
+        assert!(
+            sp2.contains("xlf90 -O3 -qhot -c main.f90 -o main.o"),
+            "{sp2}"
+        );
+    }
+
+    #[test]
+    fn link_task_translates_libraries() {
+        let kind = ExecuteKind::Link {
+            objects: vec!["main.o".into()],
+            libraries: vec!["blas".into(), "mpi".into()],
+            output: "model".into(),
+        };
+        let sx4 = incarnate_execute(
+            &TranslationTable::for_architecture(Architecture::NecSx4),
+            &kind,
+            &resources(),
+            "u",
+            "J1",
+        );
+        assert!(sx4.contains("-lblas_sx"), "{sx4}");
+        assert!(sx4.contains("-lmpi_sx"), "{sx4}");
+        let t3e = incarnate_execute(
+            &TranslationTable::for_architecture(Architecture::CrayT3e),
+            &kind,
+            &resources(),
+            "u",
+            "J1",
+        );
+        assert!(t3e.contains("-lsci"), "{t3e}"); // BLAS is libsci on the T3E
+    }
+
+    #[test]
+    fn scripts_carry_resource_directives_in_dialect() {
+        let kind = ExecuteKind::Script {
+            script: "./run_model\n".into(),
+        };
+        for arch in Architecture::ALL {
+            let s = incarnate_execute(
+                &TranslationTable::for_architecture(arch),
+                &kind,
+                &resources(),
+                "u",
+                "J9",
+            );
+            assert!(script_matches_dialect(&s, arch), "{arch:?}:\n{s}");
+            assert!(s.contains("64"), "{arch:?} missing proc count");
+            assert!(s.contains("cd /unicore/uspace/J9"), "{arch:?}");
+        }
+    }
+
+    #[test]
+    fn same_abstract_task_differs_across_architectures() {
+        let kind = ExecuteKind::Compile {
+            sources: vec!["a.f90".into()],
+            options: vec!["O2".into()],
+            output: "a.o".into(),
+        };
+        let scripts: Vec<String> = Architecture::ALL
+            .iter()
+            .map(|&arch| {
+                incarnate_execute(
+                    &TranslationTable::for_architecture(arch),
+                    &kind,
+                    &resources(),
+                    "u",
+                    "J1",
+                )
+            })
+            .collect();
+        // Pairwise distinct: every architecture gets its own incarnation.
+        for i in 0..scripts.len() {
+            for j in i + 1..scripts.len() {
+                assert_ne!(scripts[i], scripts[j], "{i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn user_task_exports_environment() {
+        let kind = ExecuteKind::User {
+            executable: "solver".into(),
+            arguments: vec!["--n".into(), "100".into()],
+            environment: vec![("OMP_NUM_THREADS".into(), "8".into())],
+        };
+        let s = incarnate_execute(
+            &TranslationTable::for_architecture(Architecture::Generic),
+            &kind,
+            &resources(),
+            "u",
+            "J1",
+        );
+        assert!(s.contains("OMP_NUM_THREADS=8 export OMP_NUM_THREADS"));
+        assert!(s.contains("./solver --n 100"));
+    }
+
+    #[test]
+    fn unknown_abstractions_pass_through() {
+        let t = TranslationTable::for_architecture(Architecture::Generic);
+        assert_eq!(t.option("fastmath"), "-fastmath");
+        assert_eq!(t.library("hdf5"), "-lhdf5");
+    }
+
+    #[test]
+    fn workdir_substitution() {
+        let t = TranslationTable::for_architecture(Architecture::Generic);
+        assert_eq!(t.workdir("J00000007"), "/unicore/uspace/J00000007");
+    }
+}

@@ -1,0 +1,222 @@
+//! Admission checking: abstract resource requests against a resource page.
+//!
+//! The JPA uses the resource page to help the user "in creating a job
+//! suitable for the selected destination system" (§5.4); the NJS re-checks
+//! on arrival. Both call [`check_request`].
+
+use crate::page::ResourcePage;
+use core::fmt;
+use unicore_ajo::ResourceRequest;
+
+/// One violated limit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Too few processors requested.
+    TooFewProcessors {
+        /// Requested count.
+        requested: u32,
+        /// Site minimum.
+        minimum: u32,
+    },
+    /// Too many processors requested.
+    TooManyProcessors {
+        /// Requested count.
+        requested: u32,
+        /// Site maximum.
+        maximum: u32,
+    },
+    /// Run time below the site minimum.
+    RunTimeTooShort {
+        /// Requested seconds.
+        requested: u64,
+        /// Site minimum seconds.
+        minimum: u64,
+    },
+    /// Run time above the site maximum.
+    RunTimeTooLong {
+        /// Requested seconds.
+        requested: u64,
+        /// Site maximum seconds.
+        maximum: u64,
+    },
+    /// Memory above the site maximum.
+    TooMuchMemory {
+        /// Requested MB.
+        requested: u64,
+        /// Site maximum MB.
+        maximum: u64,
+    },
+    /// Permanent disk above the site maximum.
+    TooMuchPermanentDisk {
+        /// Requested MB.
+        requested: u64,
+        /// Site maximum MB.
+        maximum: u64,
+    },
+    /// Temporary disk above the site maximum.
+    TooMuchTemporaryDisk {
+        /// Requested MB.
+        requested: u64,
+        /// Site maximum MB.
+        maximum: u64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::TooFewProcessors { requested, minimum } => {
+                write!(f, "{requested} processors below minimum {minimum}")
+            }
+            Violation::TooManyProcessors { requested, maximum } => {
+                write!(f, "{requested} processors above maximum {maximum}")
+            }
+            Violation::RunTimeTooShort { requested, minimum } => {
+                write!(f, "run time {requested}s below minimum {minimum}s")
+            }
+            Violation::RunTimeTooLong { requested, maximum } => {
+                write!(f, "run time {requested}s above maximum {maximum}s")
+            }
+            Violation::TooMuchMemory { requested, maximum } => {
+                write!(f, "memory {requested}MB above maximum {maximum}MB")
+            }
+            Violation::TooMuchPermanentDisk { requested, maximum } => {
+                write!(f, "permanent disk {requested}MB above maximum {maximum}MB")
+            }
+            Violation::TooMuchTemporaryDisk { requested, maximum } => {
+                write!(f, "temporary disk {requested}MB above maximum {maximum}MB")
+            }
+        }
+    }
+}
+
+/// Checks a request against a page; returns every violated limit.
+pub fn check_request(request: &ResourceRequest, page: &ResourcePage) -> Vec<Violation> {
+    let l = &page.limits;
+    let mut violations = Vec::new();
+    if request.processors < l.min_processors {
+        violations.push(Violation::TooFewProcessors {
+            requested: request.processors,
+            minimum: l.min_processors,
+        });
+    }
+    if request.processors > l.max_processors {
+        violations.push(Violation::TooManyProcessors {
+            requested: request.processors,
+            maximum: l.max_processors,
+        });
+    }
+    if request.run_time_secs < l.min_run_time_secs {
+        violations.push(Violation::RunTimeTooShort {
+            requested: request.run_time_secs,
+            minimum: l.min_run_time_secs,
+        });
+    }
+    if request.run_time_secs > l.max_run_time_secs {
+        violations.push(Violation::RunTimeTooLong {
+            requested: request.run_time_secs,
+            maximum: l.max_run_time_secs,
+        });
+    }
+    if request.memory_mb > l.max_memory_mb {
+        violations.push(Violation::TooMuchMemory {
+            requested: request.memory_mb,
+            maximum: l.max_memory_mb,
+        });
+    }
+    if request.disk_permanent_mb > l.max_disk_permanent_mb {
+        violations.push(Violation::TooMuchPermanentDisk {
+            requested: request.disk_permanent_mb,
+            maximum: l.max_disk_permanent_mb,
+        });
+    }
+    if request.disk_temporary_mb > l.max_disk_temporary_mb {
+        violations.push(Violation::TooMuchTemporaryDisk {
+            requested: request.disk_temporary_mb,
+            maximum: l.max_disk_temporary_mb,
+        });
+    }
+    violations
+}
+
+/// Convenience: true when the request fits the page.
+pub fn admissible(request: &ResourceRequest, page: &ResourcePage) -> bool {
+    check_request(request, page).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::Architecture;
+    use crate::page::deployment_page;
+
+    fn page() -> ResourcePage {
+        deployment_page("FZJ", "T3E", Architecture::CrayT3e)
+    }
+
+    #[test]
+    fn fitting_request_passes() {
+        let r = ResourceRequest::minimal()
+            .with_processors(256)
+            .with_run_time(3_600)
+            .with_memory(1_000);
+        assert!(admissible(&r, &page()));
+    }
+
+    #[test]
+    fn each_limit_reports() {
+        let p = page();
+        let r = ResourceRequest {
+            processors: 100_000,
+            run_time_secs: 1_000_000,
+            memory_mb: u64::MAX / 2,
+            disk_permanent_mb: u64::MAX / 2,
+            disk_temporary_mb: u64::MAX / 2,
+        };
+        let v = check_request(&r, &p);
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn minimums_enforced() {
+        let p = page();
+        let r = ResourceRequest {
+            processors: 0,
+            run_time_secs: 1,
+            memory_mb: 1,
+            disk_permanent_mb: 0,
+            disk_temporary_mb: 0,
+        };
+        let v = check_request(&r, &p);
+        assert!(v.contains(&Violation::TooFewProcessors {
+            requested: 0,
+            minimum: 1
+        }));
+        assert!(v.contains(&Violation::RunTimeTooShort {
+            requested: 1,
+            minimum: 60
+        }));
+    }
+
+    #[test]
+    fn boundary_values_admissible() {
+        let p = page();
+        let r = ResourceRequest {
+            processors: p.limits.max_processors,
+            run_time_secs: p.limits.max_run_time_secs,
+            memory_mb: p.limits.max_memory_mb,
+            disk_permanent_mb: p.limits.max_disk_permanent_mb,
+            disk_temporary_mb: p.limits.max_disk_temporary_mb,
+        };
+        assert!(admissible(&r, &p));
+    }
+
+    #[test]
+    fn violations_display() {
+        let v = Violation::TooManyProcessors {
+            requested: 1000,
+            maximum: 512,
+        };
+        assert_eq!(v.to_string(), "1000 processors above maximum 512");
+    }
+}

@@ -1,0 +1,296 @@
+//! Resource pages.
+//!
+//! "Each UNICORE site provides a so called resource page reflecting
+//! resource information about their Vsites. Besides minimum and maximum
+//! values for the resources needed for batch submission it contains
+//! information about the system architecture, performance, and operating
+//! system as well as available application and system software. ... It is
+//! stored in ASN1 format for the JPA to include it into the GUI" (§5.4).
+
+use crate::arch::Architecture;
+use unicore_ajo::VsiteAddress;
+use unicore_codec::{CodecError, DerCodec, Fields, Value};
+
+/// Minimum/maximum bounds for batch submission at a Vsite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceLimits {
+    /// Fewest processors a batch job may request.
+    pub min_processors: u32,
+    /// Most processors a batch job may request.
+    pub max_processors: u32,
+    /// Shortest run time, seconds.
+    pub min_run_time_secs: u64,
+    /// Longest run time, seconds.
+    pub max_run_time_secs: u64,
+    /// Most memory, MB.
+    pub max_memory_mb: u64,
+    /// Most permanent disk, MB.
+    pub max_disk_permanent_mb: u64,
+    /// Most temporary disk, MB.
+    pub max_disk_temporary_mb: u64,
+}
+
+impl ResourceLimits {
+    /// Sanity: every min must not exceed its max.
+    pub fn is_consistent(&self) -> bool {
+        self.min_processors <= self.max_processors
+            && self.min_run_time_secs <= self.max_run_time_secs
+    }
+}
+
+/// Performance headline figures shown to the user.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerformanceInfo {
+    /// Peak performance in GFlop/s.
+    pub peak_gflops: f64,
+    /// Memory per node, MB.
+    pub memory_per_node_mb: u64,
+    /// Number of nodes (or PEs).
+    pub nodes: u32,
+}
+
+/// Kinds of software a resource page can advertise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SoftwareKind {
+    /// A compiler (e.g. Fortran 90).
+    Compiler,
+    /// A library (e.g. BLAS, MPI).
+    Library,
+    /// An application package (e.g. Gaussian, Ansys).
+    Package,
+}
+
+/// One advertised software item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoftwareEntry {
+    /// Kind of software.
+    pub kind: SoftwareKind,
+    /// Abstract name (what users request, e.g. `"f90"`, `"blas"`).
+    pub name: String,
+    /// Version string.
+    pub version: String,
+}
+
+/// A Vsite's resource page.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourcePage {
+    /// The Vsite this page describes.
+    pub vsite: VsiteAddress,
+    /// System architecture.
+    pub architecture: Architecture,
+    /// Operating system string.
+    pub operating_system: String,
+    /// Headline performance.
+    pub performance: PerformanceInfo,
+    /// Submission limits.
+    pub limits: ResourceLimits,
+    /// Advertised software.
+    pub software: Vec<SoftwareEntry>,
+}
+
+impl ResourcePage {
+    /// Whether the page advertises `name` of the given kind.
+    pub fn has_software(&self, kind: SoftwareKind, name: &str) -> bool {
+        self.software
+            .iter()
+            .any(|s| s.kind == kind && s.name == name)
+    }
+}
+
+impl SoftwareKind {
+    fn to_enum(self) -> u32 {
+        match self {
+            SoftwareKind::Compiler => 0,
+            SoftwareKind::Library => 1,
+            SoftwareKind::Package => 2,
+        }
+    }
+
+    fn from_enum(v: u32) -> Result<Self, CodecError> {
+        Ok(match v {
+            0 => SoftwareKind::Compiler,
+            1 => SoftwareKind::Library,
+            2 => SoftwareKind::Package,
+            _ => return Err(CodecError::BadValue("SoftwareKind")),
+        })
+    }
+}
+
+impl DerCodec for ResourcePage {
+    fn to_value(&self) -> Value {
+        Value::Sequence(vec![
+            self.vsite.to_value(),
+            self.architecture.to_value(),
+            Value::string(&self.operating_system),
+            // Performance: gflops ×1000 as integer to stay in DER integers.
+            Value::Sequence(vec![
+                Value::Integer((self.performance.peak_gflops * 1000.0).round() as i64),
+                Value::Integer(self.performance.memory_per_node_mb as i64),
+                Value::Integer(self.performance.nodes as i64),
+            ]),
+            Value::Sequence(vec![
+                Value::Integer(self.limits.min_processors as i64),
+                Value::Integer(self.limits.max_processors as i64),
+                Value::Integer(self.limits.min_run_time_secs as i64),
+                Value::Integer(self.limits.max_run_time_secs as i64),
+                Value::Integer(self.limits.max_memory_mb as i64),
+                Value::Integer(self.limits.max_disk_permanent_mb as i64),
+                Value::Integer(self.limits.max_disk_temporary_mb as i64),
+            ]),
+            Value::Sequence(
+                self.software
+                    .iter()
+                    .map(|s| {
+                        Value::Sequence(vec![
+                            Value::Enumerated(s.kind.to_enum()),
+                            Value::string(&s.name),
+                            Value::string(&s.version),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<Self, CodecError> {
+        let mut f = Fields::open(value, "ResourcePage")?;
+        let vsite = VsiteAddress::from_value(f.next_value()?)?;
+        let architecture = Architecture::from_value(f.next_value()?)?;
+        let operating_system = f.next_string()?;
+
+        let mut pf = Fields::open(f.next_value()?, "PerformanceInfo")?;
+        let performance = PerformanceInfo {
+            peak_gflops: pf.next_u64()? as f64 / 1000.0,
+            memory_per_node_mb: pf.next_u64()?,
+            nodes: pf.next_u32()?,
+        };
+        pf.finish()?;
+
+        let mut lf = Fields::open(f.next_value()?, "ResourceLimits")?;
+        let limits = ResourceLimits {
+            min_processors: lf.next_u32()?,
+            max_processors: lf.next_u32()?,
+            min_run_time_secs: lf.next_u64()?,
+            max_run_time_secs: lf.next_u64()?,
+            max_memory_mb: lf.next_u64()?,
+            max_disk_permanent_mb: lf.next_u64()?,
+            max_disk_temporary_mb: lf.next_u64()?,
+        };
+        lf.finish()?;
+
+        let sw_items = f.next_sequence()?;
+        let mut software = Vec::with_capacity(sw_items.len());
+        for item in sw_items {
+            let mut sf = Fields::open(item, "SoftwareEntry")?;
+            software.push(SoftwareEntry {
+                kind: SoftwareKind::from_enum(sf.next_enum()?)?,
+                name: sf.next_string()?,
+                version: sf.next_string()?,
+            });
+            sf.finish()?;
+        }
+        f.finish()?;
+        Ok(ResourcePage {
+            vsite,
+            architecture,
+            operating_system,
+            performance,
+            limits,
+            software,
+        })
+    }
+}
+
+/// Builds the canonical resource pages of the paper's §5.7 deployment.
+///
+/// Figures are period-plausible rather than archival: a 512-PE T3E at FZJ,
+/// a 52-PE VPP/700 at RUS, an SP-2 at RUKA/LRZ, an SX-4 at DWD.
+pub fn deployment_page(usite: &str, vsite: &str, architecture: Architecture) -> ResourcePage {
+    let (nodes, mem_per_node, gflops, max_time) = match architecture {
+        Architecture::CrayT3e => (512, 128, 460.0, 43_200),
+        Architecture::FujitsuVpp700 => (52, 2048, 114.0, 86_400),
+        Architecture::IbmSp2 => (77, 256, 20.0, 43_200),
+        Architecture::NecSx4 => (32, 4096, 64.0, 86_400),
+        Architecture::Generic => (8, 512, 2.0, 21_600),
+    };
+    ResourcePage {
+        vsite: VsiteAddress::new(usite, vsite),
+        architecture,
+        operating_system: match architecture {
+            Architecture::CrayT3e => "UNICOS/mk".into(),
+            Architecture::FujitsuVpp700 => "UXP/V".into(),
+            Architecture::IbmSp2 => "AIX 4.3".into(),
+            Architecture::NecSx4 => "SUPER-UX".into(),
+            Architecture::Generic => "Solaris 2.6".into(),
+        },
+        performance: PerformanceInfo {
+            peak_gflops: gflops,
+            memory_per_node_mb: mem_per_node,
+            nodes,
+        },
+        limits: ResourceLimits {
+            min_processors: 1,
+            max_processors: nodes,
+            min_run_time_secs: 60,
+            max_run_time_secs: max_time,
+            max_memory_mb: mem_per_node * nodes as u64,
+            max_disk_permanent_mb: 100_000,
+            max_disk_temporary_mb: 200_000,
+        },
+        software: vec![
+            SoftwareEntry {
+                kind: SoftwareKind::Compiler,
+                name: "f90".into(),
+                version: "1.0".into(),
+            },
+            SoftwareEntry {
+                kind: SoftwareKind::Library,
+                name: "mpi".into(),
+                version: "1.1".into(),
+            },
+            SoftwareEntry {
+                kind: SoftwareKind::Library,
+                name: "blas".into(),
+                version: "3".into(),
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deployment_pages_are_consistent() {
+        for arch in Architecture::ALL {
+            let page = deployment_page("FZJ", "V", arch);
+            assert!(page.limits.is_consistent(), "{arch:?}");
+            assert!(page.performance.nodes > 0);
+            assert!(page.has_software(SoftwareKind::Compiler, "f90"));
+        }
+    }
+
+    #[test]
+    fn der_round_trip() {
+        let page = deployment_page("FZJ", "T3E", Architecture::CrayT3e);
+        let back = ResourcePage::from_der(&page.to_der()).unwrap();
+        assert_eq!(back, page);
+    }
+
+    #[test]
+    fn software_lookup() {
+        let page = deployment_page("DWD", "SX4", Architecture::NecSx4);
+        assert!(page.has_software(SoftwareKind::Library, "mpi"));
+        assert!(!page.has_software(SoftwareKind::Package, "gaussian94"));
+        assert!(!page.has_software(SoftwareKind::Package, "mpi")); // kind matters
+    }
+
+    #[test]
+    fn limits_consistency_check() {
+        let mut l = deployment_page("X", "Y", Architecture::Generic).limits;
+        assert!(l.is_consistent());
+        l.min_processors = l.max_processors + 1;
+        assert!(!l.is_consistent());
+    }
+}

@@ -1,0 +1,250 @@
+//! The discrete-event queue.
+//!
+//! A deterministic priority queue of `(time, sequence)`-ordered events.
+//! Ties at the same timestamp are broken by insertion order, so a given
+//! schedule always replays identically — the property every experiment in
+//! EXPERIMENTS.md relies on.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Handle for a scheduled event, usable with [`EventQueue::cancel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// Ordering for the min-heap via Reverse: by (time, seq).
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A deterministic discrete-event queue over event payloads `E`.
+pub struct EventQueue<E> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    cancelled: HashSet<u64>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            now: 0,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+        }
+    }
+
+    /// Current simulated time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire `delay` ticks from now.
+    pub fn schedule(&mut self, delay: SimTime, event: E) -> EventId {
+        self.schedule_at(self.now.saturating_add(delay), event)
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is in the past — events may never rewind the clock.
+    pub fn schedule_at(&mut self, time: SimTime, event: E) -> EventId {
+        assert!(time >= self.now, "event scheduled in the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, event }));
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an already-fired or
+    /// already-cancelled event is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.now = entry.time;
+            return Some((entry.time, entry.event));
+        }
+        None
+    }
+
+    /// Timestamp of the next (non-cancelled) event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.time);
+        }
+        None
+    }
+
+    /// Number of pending (possibly including cancelled) entries.
+    #[allow(clippy::len_without_is_empty)] // is_empty needs &mut (see below)
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events remain.
+    ///
+    /// Takes `&mut self` (unlike the `len`/`is_empty` convention) because
+    /// it lazily discards cancelled entries at the head of the heap.
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+
+    /// Advances the clock to `time` without firing anything (for idle
+    /// periods driven by an external master clock).
+    ///
+    /// # Panics
+    /// Panics if events earlier than `time` are still pending, or if `time`
+    /// would move backwards.
+    pub fn advance_to(&mut self, time: SimTime) {
+        assert!(time >= self.now, "clock may not rewind");
+        if let Some(next) = self.peek_time() {
+            assert!(
+                next >= time,
+                "cannot skip over pending event at {next} (advancing to {time})"
+            );
+        }
+        self.now = time;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, "c");
+        q.schedule(10, "a");
+        q.schedule(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.now(), 30);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(5, 1);
+        q.schedule(5, 2);
+        q.schedule(5, 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(10, ());
+        q.pop();
+        // Scheduling relative to the advanced clock.
+        q.schedule(5, ());
+        assert_eq!(q.pop(), Some((15, ())));
+    }
+
+    #[test]
+    fn cancel_suppresses_event() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(10, "dead");
+        q.schedule(20, "alive");
+        q.cancel(id);
+        assert_eq!(q.pop(), Some((20, "alive")));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(1, ());
+        q.pop();
+        q.cancel(id); // no panic, no effect
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(5, "x");
+        q.schedule(9, "y");
+        q.cancel(id);
+        assert_eq!(q.peek_time(), Some(9));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn past_scheduling_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(10, ());
+        q.pop();
+        q.schedule_at(5, ());
+    }
+
+    #[test]
+    fn advance_to_idle_time() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.advance_to(100);
+        assert_eq!(q.now(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot skip over pending event")]
+    fn advance_past_pending_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(10, ());
+        q.advance_to(50);
+    }
+
+    #[test]
+    fn empty_checks() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        let id = q.schedule(1, 0);
+        assert!(!q.is_empty());
+        q.cancel(id);
+        assert!(q.is_empty());
+    }
+}

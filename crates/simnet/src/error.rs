@@ -1,0 +1,54 @@
+//! Network-layer errors.
+
+use core::fmt;
+
+/// Errors from the simulated network and live wires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The destination node does not exist.
+    UnknownNode(String),
+    /// No link connects the two nodes.
+    NoRoute {
+        /// Source node name.
+        from: String,
+        /// Destination node name.
+        to: String,
+    },
+    /// A firewall refused the connection.
+    FirewallBlocked {
+        /// Destination node name.
+        node: String,
+        /// Port that was refused.
+        port: u16,
+    },
+    /// The peer end of a live wire is gone.
+    Disconnected,
+    /// A receive timed out.
+    Timeout,
+    /// The message exceeds the maximum transfer unit of the medium.
+    MessageTooLarge {
+        /// Attempted size in bytes.
+        size: usize,
+        /// Allowed maximum.
+        max: usize,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            NetError::NoRoute { from, to } => write!(f, "no route from {from} to {to}"),
+            NetError::FirewallBlocked { node, port } => {
+                write!(f, "firewall on {node} blocks port {port}")
+            }
+            NetError::Disconnected => write!(f, "peer disconnected"),
+            NetError::Timeout => write!(f, "receive timed out"),
+            NetError::MessageTooLarge { size, max } => {
+                write!(f, "message of {size} bytes exceeds maximum {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}

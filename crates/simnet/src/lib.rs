@@ -1,0 +1,28 @@
+//! # unicore-simnet
+//!
+//! Network substrate for the UNICORE reproduction, in two complementary
+//! halves:
+//!
+//! - [`topology`] — a discrete-event WAN simulator (latency, bandwidth,
+//!   FIFO link serialisation, Bernoulli loss, jitter, per-node firewalls)
+//!   used to reproduce the *timing* behaviour of the 1999 deployment.
+//! - [`wire`] — live in-process duplex channels with programmable fault
+//!   injection, over which the real `unicore-transport` handshake and
+//!   record protocol run byte-for-byte.
+//! - [`germany`] — the six-site topology of the paper's §5.7 status report
+//!   (FZJ, RUS, RUKA, LRZ, ZIB, DWD) on a B-WiN-era backbone.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod germany;
+pub mod topology;
+pub mod wire;
+
+pub use error::NetError;
+pub use germany::{
+    build_german_grid, inter_site_latency, GermanGrid, SiteNodes, GATEWAY_PORT, SITE_NAMES,
+};
+pub use topology::{Firewall, LinkParams, LinkStats, Message, Network, NodeId};
+pub use wire::{wire_pair, FaultPlan, WireEnd, MAX_WIRE_MESSAGE};

@@ -1,0 +1,123 @@
+//! The established secure channel.
+
+use crate::error::TransportError;
+use crate::record::{RecordKeys, RecordType};
+use std::time::Duration;
+use unicore_certs::Certificate;
+use unicore_simnet::WireEnd;
+
+/// An authenticated, encrypted, ordered message channel.
+///
+/// Produced by [`crate::handshake::client_handshake`] /
+/// [`crate::handshake::server_handshake`]; both ends then exchange
+/// arbitrary application messages (AJOs, outcomes, file data).
+pub struct SecureChannel {
+    wire: WireEnd,
+    tx: RecordKeys,
+    rx: RecordKeys,
+    peer: Certificate,
+    resumed: bool,
+    session_id: Vec<u8>,
+    closed: bool,
+}
+
+impl SecureChannel {
+    pub(crate) fn new(
+        wire: WireEnd,
+        c2s: RecordKeys,
+        s2c: RecordKeys,
+        peer: Certificate,
+        resumed: bool,
+        session_id: Vec<u8>,
+        is_client: bool,
+    ) -> Self {
+        let (tx, rx) = if is_client { (c2s, s2c) } else { (s2c, c2s) };
+        SecureChannel {
+            wire,
+            tx,
+            rx,
+            peer,
+            resumed,
+            session_id,
+            closed: false,
+        }
+    }
+
+    /// The peer's authenticated end-entity certificate.
+    pub fn peer(&self) -> &Certificate {
+        &self.peer
+    }
+
+    /// Whether this connection resumed a cached session.
+    pub fn resumed(&self) -> bool {
+        self.resumed
+    }
+
+    /// The session id (usable for later resumption).
+    pub fn session_id(&self) -> &[u8] {
+        &self.session_id
+    }
+
+    /// Sends an application message.
+    pub fn send(&mut self, data: &[u8]) -> Result<(), TransportError> {
+        if self.closed {
+            return Err(TransportError::Closed);
+        }
+        let record = self.tx.seal(RecordType::Data, data);
+        self.wire.send(&record)?;
+        Ok(())
+    }
+
+    /// Receives an application message, waiting up to `timeout`.
+    pub fn recv(&mut self, timeout: Duration) -> Result<Vec<u8>, TransportError> {
+        if self.closed {
+            return Err(TransportError::Closed);
+        }
+        let raw = self.wire.recv_timeout(timeout)?;
+        let (rtype, plain) = self.rx.open(&raw)?;
+        match rtype {
+            RecordType::Data => Ok(plain),
+            RecordType::Alert => {
+                self.closed = true;
+                Err(TransportError::PeerAlert(
+                    String::from_utf8_lossy(&plain).into_owned(),
+                ))
+            }
+            RecordType::Handshake => Err(TransportError::Protocol("handshake after establishment")),
+        }
+    }
+
+    /// Closes the channel, notifying the peer with an alert.
+    pub fn close(&mut self) {
+        if !self.closed {
+            let record = self.tx.seal(RecordType::Alert, b"close");
+            let _ = self.wire.send(&record);
+            self.closed = true;
+        }
+    }
+
+    /// True once closed locally or by a peer alert.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Injects a fault plan on the underlying wire (test hook).
+    pub fn wire_mut(&mut self) -> &mut WireEnd {
+        &mut self.wire
+    }
+
+    pub(crate) fn send_handshake(&mut self, data: &[u8]) -> Result<(), TransportError> {
+        let record = self.tx.seal(RecordType::Handshake, data);
+        self.wire.send(&record)?;
+        Ok(())
+    }
+
+    pub(crate) fn recv_handshake(&mut self, timeout: Duration) -> Result<Vec<u8>, TransportError> {
+        let raw = self.wire.recv_timeout(timeout)?;
+        let (rtype, plain) = self.rx.open(&raw)?;
+        match rtype {
+            RecordType::Handshake => Ok(plain),
+            _ => Err(TransportError::Protocol("expected handshake record")),
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Transport-layer errors.
+
+use core::fmt;
+use unicore_certs::CertError;
+use unicore_crypto::CryptoError;
+use unicore_simnet::NetError;
+
+/// Errors from the secure-channel handshake and record protocol.
+#[derive(Debug)]
+pub enum TransportError {
+    /// Underlying wire failure.
+    Net(NetError),
+    /// Certificate validation failure during the handshake.
+    Cert(CertError),
+    /// Cryptographic failure (signature, MAC, key agreement).
+    Crypto(CryptoError),
+    /// A record failed its integrity check.
+    RecordMac,
+    /// A record had an unexpected type or sequence number.
+    Protocol(&'static str),
+    /// The peer sent an alert; the connection is dead.
+    PeerAlert(String),
+    /// A handshake message could not be parsed.
+    BadMessage(&'static str),
+    /// The channel is closed.
+    Closed,
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Net(e) => write!(f, "network error: {e}"),
+            TransportError::Cert(e) => write!(f, "certificate error: {e}"),
+            TransportError::Crypto(e) => write!(f, "crypto error: {e}"),
+            TransportError::RecordMac => write!(f, "record integrity check failed"),
+            TransportError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            TransportError::PeerAlert(msg) => write!(f, "peer alert: {msg}"),
+            TransportError::BadMessage(what) => write!(f, "malformed handshake message: {what}"),
+            TransportError::Closed => write!(f, "channel closed"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<NetError> for TransportError {
+    fn from(e: NetError) -> Self {
+        TransportError::Net(e)
+    }
+}
+
+impl From<CertError> for TransportError {
+    fn from(e: CertError) -> Self {
+        TransportError::Cert(e)
+    }
+}
+
+impl From<CryptoError> for TransportError {
+    fn from(e: CryptoError) -> Self {
+        TransportError::Crypto(e)
+    }
+}

@@ -1,0 +1,424 @@
+//! The mutual-authentication handshake.
+//!
+//! Full flow (paper §4.1: server authenticates first, then the user):
+//!
+//! ```text
+//! C -> S  ClientHello  { c_random, session_id? }
+//! S -> C  ServerHello  { s_random, session_id, chain, dh_s, sig_s }
+//!         sig_s = Sign_S(c_random || s_random || dh_s)
+//! C -> S  ClientAuth   { chain, dh_c, sig_c }
+//!         sig_c = Sign_C(H(hello transcript) || dh_c || cert_c)
+//!         both: master = HKDF-Extract(c_random || s_random, DH shared)
+//! C -> S  Finished     (under record keys)
+//! S -> C  Finished     (under record keys)
+//! ```
+//!
+//! Abbreviated flow: when the server accepts the offered `session_id`, it
+//! replies `resumed = true` with no chain/DH, both sides re-derive record
+//! keys from the cached master and the fresh randoms, and exchange
+//! Finished in the S → C, C → S order.
+
+use crate::channel::SecureChannel;
+use crate::error::TransportError;
+use crate::messages::{HandshakeMessage, RANDOM_LEN};
+use crate::record::RecordKeys;
+use crate::session::{CachedSession, SessionCache};
+use std::sync::Arc;
+use std::time::Duration;
+use unicore_certs::{Certificate, Identity, RequiredUsage, TrustStore};
+use unicore_crypto::bignum::BigUint;
+use unicore_crypto::dh::{DhEphemeral, DhGroup};
+use unicore_crypto::hmac::hmac_sha256;
+use unicore_crypto::rng::CryptoRng;
+use unicore_crypto::sha256::Sha256;
+use unicore_simnet::WireEnd;
+
+/// Configuration for one endpoint of the secure transport.
+pub struct Endpoint {
+    /// This endpoint's certificate and private key.
+    pub identity: Arc<Identity>,
+    /// Additional intermediate certificates to present with the chain.
+    pub intermediates: Vec<Certificate>,
+    /// Trust anchors + CRLs used to validate the peer.
+    pub trust: Arc<TrustStore>,
+    /// Evaluation time for certificate validity (simulation seconds).
+    pub now: u64,
+    /// Receive timeout for handshake messages.
+    pub timeout: Duration,
+}
+
+impl Endpoint {
+    /// An endpoint with the default 5-second handshake timeout.
+    pub fn new(identity: Identity, trust: Arc<TrustStore>, now: u64) -> Self {
+        Endpoint {
+            identity: Arc::new(identity),
+            intermediates: Vec::new(),
+            trust,
+            now,
+            timeout: Duration::from_secs(5),
+        }
+    }
+
+    fn chain(&self) -> Vec<Certificate> {
+        let mut chain = vec![self.identity.cert.clone()];
+        chain.extend(self.intermediates.iter().cloned());
+        chain
+    }
+}
+
+fn send_msg(
+    wire: &mut WireEnd,
+    transcript: &mut Sha256,
+    msg: &HandshakeMessage,
+) -> Result<(), TransportError> {
+    let bytes = msg.encode();
+    transcript.update(&bytes);
+    wire.send(&bytes)?;
+    Ok(())
+}
+
+fn recv_msg(
+    wire: &WireEnd,
+    transcript: &mut Sha256,
+    timeout: Duration,
+) -> Result<HandshakeMessage, TransportError> {
+    let bytes = wire.recv_timeout(timeout)?;
+    let msg = HandshakeMessage::decode(&bytes)?;
+    if let HandshakeMessage::Alert { reason } = &msg {
+        return Err(TransportError::PeerAlert(reason.clone()));
+    }
+    transcript.update(&bytes);
+    Ok(msg)
+}
+
+fn abort(wire: &mut WireEnd, reason: &str) {
+    let _ = wire.send(
+        &HandshakeMessage::Alert {
+            reason: reason.to_owned(),
+        }
+        .encode(),
+    );
+}
+
+/// Derives per-direction record keys from master + connection randoms.
+fn connection_keys(master: &[u8], c_random: &[u8], s_random: &[u8]) -> (RecordKeys, RecordKeys) {
+    let mut seed = Vec::with_capacity(master.len() + c_random.len() + s_random.len());
+    seed.extend_from_slice(master);
+    seed.extend_from_slice(c_random);
+    seed.extend_from_slice(s_random);
+    (
+        RecordKeys::derive(&seed, "c2s"),
+        RecordKeys::derive(&seed, "s2c"),
+    )
+}
+
+fn finished_value(master: &[u8], transcript: &Sha256, label: &str) -> Vec<u8> {
+    let digest = transcript.clone().finalize();
+    let mut data = digest.to_vec();
+    data.extend_from_slice(label.as_bytes());
+    hmac_sha256(master, &data).to_vec()
+}
+
+/// What the server signs to prove key possession and freshness.
+fn server_signed_content(c_random: &[u8], s_random: &[u8], dh_public: &[u8]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(c_random.len() + s_random.len() + dh_public.len());
+    v.extend_from_slice(c_random);
+    v.extend_from_slice(s_random);
+    v.extend_from_slice(dh_public);
+    v
+}
+
+/// What the client signs: hello-transcript hash, its DH value and its cert.
+fn client_signed_content(
+    hello_transcript: &Sha256,
+    dh_public: &[u8],
+    cert: &Certificate,
+) -> Vec<u8> {
+    use unicore_codec::DerCodec;
+    let mut v = hello_transcript.clone().finalize().to_vec();
+    v.extend_from_slice(dh_public);
+    v.extend_from_slice(&cert.to_der());
+    v
+}
+
+/// Runs the client side of the handshake over `wire`.
+///
+/// `server_name` keys the session cache; pass the gateway's site name.
+pub fn client_handshake(
+    mut wire: WireEnd,
+    ep: &Endpoint,
+    server_name: &str,
+    cache: &SessionCache,
+    rng: &mut CryptoRng,
+) -> Result<SecureChannel, TransportError> {
+    let mut transcript = Sha256::new();
+    let c_random = rng.bytes(RANDOM_LEN);
+
+    let offered = cache.lookup_peer(server_name);
+    send_msg(
+        &mut wire,
+        &mut transcript,
+        &HandshakeMessage::ClientHello {
+            random: c_random.clone(),
+            session_id: offered.as_ref().map(|s| s.session_id.clone()),
+        },
+    )?;
+
+    let server_hello = recv_msg(&wire, &mut transcript, ep.timeout)?;
+    let HandshakeMessage::ServerHello {
+        random: s_random,
+        session_id,
+        resumed,
+        cert_chain,
+        dh_public,
+        signature,
+    } = server_hello
+    else {
+        abort(&mut wire, "expected ServerHello");
+        return Err(TransportError::Protocol("expected ServerHello"));
+    };
+
+    if resumed {
+        let Some(session) = offered else {
+            abort(&mut wire, "unexpected resumption");
+            return Err(TransportError::Protocol("server resumed unoffered session"));
+        };
+        if session.session_id != session_id {
+            abort(&mut wire, "session id mismatch");
+            return Err(TransportError::Protocol("resumed wrong session"));
+        }
+        let (c2s, s2c) = connection_keys(&session.master, &c_random, &s_random);
+        let mut chan =
+            SecureChannel::new(wire, c2s, s2c, session.peer.clone(), true, session_id, true);
+        // Server finishes first in the abbreviated flow.
+        let their = chan.recv_handshake(ep.timeout)?;
+        let expect = finished_value(&session.master, &transcript, "server finished");
+        if !unicore_crypto::ct_eq(&their, &expect) {
+            return Err(TransportError::Protocol("bad server Finished"));
+        }
+        let mine = finished_value(&session.master, &transcript, "client finished");
+        chan.send_handshake(&mine)?;
+        return Ok(chan);
+    }
+
+    // Full handshake: validate the server's chain, then its signature.
+    if let Err(e) = ep
+        .trust
+        .validate(&cert_chain, ep.now, RequiredUsage::ServerAuth)
+    {
+        abort(&mut wire, "server certificate rejected");
+        return Err(e.into());
+    }
+    let server_cert = cert_chain[0].clone();
+    let signed = server_signed_content(&c_random, &s_random, &dh_public);
+    if server_cert
+        .tbs
+        .public_key
+        .verify(&signed, &signature)
+        .is_err()
+    {
+        abort(&mut wire, "server signature invalid");
+        return Err(TransportError::Protocol("server signature invalid"));
+    }
+
+    // Key agreement + client authentication.
+    let hello_transcript = transcript.clone();
+    let dh = DhEphemeral::generate(DhGroup::oakley_group2(), rng);
+    let dh_c = dh.public.to_bytes_be();
+    let shared = dh.agree(&BigUint::from_bytes_be(&dh_public))?;
+    let sig_c = ep
+        .identity
+        .keypair
+        .private
+        .sign(&client_signed_content(
+            &hello_transcript,
+            &dh_c,
+            &ep.identity.cert,
+        ))
+        .map_err(TransportError::Crypto)?;
+    send_msg(
+        &mut wire,
+        &mut transcript,
+        &HandshakeMessage::ClientAuth {
+            cert_chain: ep.chain(),
+            dh_public: dh_c,
+            signature: sig_c,
+        },
+    )?;
+
+    let mut salt = c_random.clone();
+    salt.extend_from_slice(&s_random);
+    let master = unicore_crypto::hkdf_extract(&salt, &shared).to_vec();
+    let (c2s, s2c) = connection_keys(&master, &c_random, &s_random);
+    let mut chan = SecureChannel::new(
+        wire,
+        c2s,
+        s2c,
+        server_cert.clone(),
+        false,
+        session_id.clone(),
+        true,
+    );
+
+    // Client finishes first in the full flow.
+    let mine = finished_value(&master, &transcript, "client finished");
+    chan.send_handshake(&mine)?;
+    let their = chan.recv_handshake(ep.timeout)?;
+    let expect = finished_value(&master, &transcript, "server finished");
+    if !unicore_crypto::ct_eq(&their, &expect) {
+        return Err(TransportError::Protocol("bad server Finished"));
+    }
+
+    cache.store(
+        server_name,
+        CachedSession {
+            session_id,
+            master,
+            peer: server_cert,
+        },
+    );
+    Ok(chan)
+}
+
+/// Runs the server side of the handshake over `wire`.
+pub fn server_handshake(
+    mut wire: WireEnd,
+    ep: &Endpoint,
+    cache: &SessionCache,
+    rng: &mut CryptoRng,
+) -> Result<SecureChannel, TransportError> {
+    let mut transcript = Sha256::new();
+    let hello = recv_msg(&wire, &mut transcript, ep.timeout)?;
+    let HandshakeMessage::ClientHello {
+        random: c_random,
+        session_id: offered,
+    } = hello
+    else {
+        abort(&mut wire, "expected ClientHello");
+        return Err(TransportError::Protocol("expected ClientHello"));
+    };
+    let s_random = rng.bytes(RANDOM_LEN);
+
+    // Try resumption.
+    if let Some(session) = offered.as_ref().and_then(|id| cache.lookup_id(id)) {
+        send_msg(
+            &mut wire,
+            &mut transcript,
+            &HandshakeMessage::ServerHello {
+                random: s_random.clone(),
+                session_id: session.session_id.clone(),
+                resumed: true,
+                cert_chain: vec![],
+                dh_public: vec![],
+                signature: vec![],
+            },
+        )?;
+        let (c2s, s2c) = connection_keys(&session.master, &c_random, &s_random);
+        let mut chan = SecureChannel::new(
+            wire,
+            c2s,
+            s2c,
+            session.peer.clone(),
+            true,
+            session.session_id.clone(),
+            false,
+        );
+        let mine = finished_value(&session.master, &transcript, "server finished");
+        chan.send_handshake(&mine)?;
+        let their = chan.recv_handshake(ep.timeout)?;
+        let expect = finished_value(&session.master, &transcript, "client finished");
+        if !unicore_crypto::ct_eq(&their, &expect) {
+            return Err(TransportError::Protocol("bad client Finished"));
+        }
+        return Ok(chan);
+    }
+
+    // Full handshake.
+    let session_id = rng.bytes(16);
+    let dh = DhEphemeral::generate(DhGroup::oakley_group2(), rng);
+    let dh_s = dh.public.to_bytes_be();
+    let sig_s = ep
+        .identity
+        .keypair
+        .private
+        .sign(&server_signed_content(&c_random, &s_random, &dh_s))
+        .map_err(TransportError::Crypto)?;
+    send_msg(
+        &mut wire,
+        &mut transcript,
+        &HandshakeMessage::ServerHello {
+            random: s_random.clone(),
+            session_id: session_id.clone(),
+            resumed: false,
+            cert_chain: ep.chain(),
+            dh_public: dh_s,
+            signature: sig_s,
+        },
+    )?;
+    let hello_transcript = transcript.clone();
+
+    let auth = recv_msg(&wire, &mut transcript, ep.timeout)?;
+    let HandshakeMessage::ClientAuth {
+        cert_chain,
+        dh_public: dh_c,
+        signature: sig_c,
+    } = auth
+    else {
+        abort(&mut wire, "expected ClientAuth");
+        return Err(TransportError::Protocol("expected ClientAuth"));
+    };
+
+    if let Err(e) = ep
+        .trust
+        .validate(&cert_chain, ep.now, RequiredUsage::ClientAuth)
+    {
+        abort(&mut wire, "client certificate rejected");
+        return Err(e.into());
+    }
+    let client_cert = cert_chain[0].clone();
+    if client_cert
+        .tbs
+        .public_key
+        .verify(
+            &client_signed_content(&hello_transcript, &dh_c, &client_cert),
+            &sig_c,
+        )
+        .is_err()
+    {
+        abort(&mut wire, "client signature invalid");
+        return Err(TransportError::Protocol("client signature invalid"));
+    }
+
+    let shared = dh.agree(&BigUint::from_bytes_be(&dh_c))?;
+    let mut salt = c_random.clone();
+    salt.extend_from_slice(&s_random);
+    let master = unicore_crypto::hkdf_extract(&salt, &shared).to_vec();
+    let (c2s, s2c) = connection_keys(&master, &c_random, &s_random);
+    let mut chan = SecureChannel::new(
+        wire,
+        c2s,
+        s2c,
+        client_cert.clone(),
+        false,
+        session_id.clone(),
+        false,
+    );
+
+    let their = chan.recv_handshake(ep.timeout)?;
+    let expect = finished_value(&master, &transcript, "client finished");
+    if !unicore_crypto::ct_eq(&their, &expect) {
+        return Err(TransportError::Protocol("bad client Finished"));
+    }
+    let mine = finished_value(&master, &transcript, "server finished");
+    chan.send_handshake(&mine)?;
+
+    cache.store(
+        &client_cert.tbs.subject.to_string(),
+        CachedSession {
+            session_id,
+            master,
+            peer: client_cert,
+        },
+    );
+    Ok(chan)
+}

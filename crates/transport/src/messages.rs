@@ -1,0 +1,264 @@
+//! Handshake message encoding (DER, via `unicore-codec`).
+
+use crate::error::TransportError;
+use unicore_certs::Certificate;
+use unicore_codec::{CodecError, DerCodec, Fields, Value};
+
+/// Length of hello randoms.
+pub const RANDOM_LEN: usize = 32;
+
+/// The handshake messages of the UNICORE secure transport.
+///
+/// The flow mirrors SSL with mutual authentication (paper §4.1): the server
+/// presents its certificate first, then the client presents its own —
+/// "during the SSL handshake ... the server first presents its X.509
+/// certificate to the browser in order to be validated. Then the user's
+/// certificate is given to the Web server for user authentication."
+#[derive(Debug, Clone, PartialEq)]
+pub enum HandshakeMessage {
+    /// Client opens, optionally offering a session for resumption.
+    ClientHello {
+        /// Fresh client randomness.
+        random: Vec<u8>,
+        /// Session id to resume, if any.
+        session_id: Option<Vec<u8>>,
+    },
+    /// Server replies with identity and key-agreement material.
+    ServerHello {
+        /// Fresh server randomness.
+        random: Vec<u8>,
+        /// Session id assigned (or confirmed, when resuming).
+        session_id: Vec<u8>,
+        /// True when the offered session was accepted (abbreviated flow).
+        resumed: bool,
+        /// Server certificate chain (end entity first); empty when resumed.
+        cert_chain: Vec<Certificate>,
+        /// Server's ephemeral DH public value; empty when resumed.
+        dh_public: Vec<u8>,
+        /// Signature over the transcript + DH value; empty when resumed.
+        signature: Vec<u8>,
+    },
+    /// Client authenticates (full handshake only).
+    ClientAuth {
+        /// Client certificate chain (end entity first).
+        cert_chain: Vec<Certificate>,
+        /// Client's ephemeral DH public value.
+        dh_public: Vec<u8>,
+        /// Signature over the transcript so far.
+        signature: Vec<u8>,
+    },
+    /// Key-confirmation MAC over the full transcript.
+    Finished {
+        /// `HMAC(master, transcript || role-label)`.
+        verify_data: Vec<u8>,
+    },
+    /// Fatal failure notice.
+    Alert {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl HandshakeMessage {
+    /// Serialises the message for the wire.
+    pub fn encode(&self) -> Vec<u8> {
+        self.to_der()
+    }
+
+    /// Parses a wire message.
+    pub fn decode(bytes: &[u8]) -> Result<Self, TransportError> {
+        Self::from_der(bytes).map_err(|_| TransportError::BadMessage("handshake decode"))
+    }
+}
+
+fn chain_value(chain: &[Certificate]) -> Value {
+    Value::Sequence(chain.iter().map(|c| c.to_value()).collect())
+}
+
+fn chain_from(value: &Value) -> Result<Vec<Certificate>, CodecError> {
+    let items = value
+        .as_sequence()
+        .ok_or(CodecError::BadValue("certificate chain"))?;
+    items.iter().map(Certificate::from_value).collect()
+}
+
+impl DerCodec for HandshakeMessage {
+    fn to_value(&self) -> Value {
+        match self {
+            HandshakeMessage::ClientHello { random, session_id } => {
+                let mut fields = vec![Value::Enumerated(1), Value::bytes(random.clone())];
+                if let Some(sid) = session_id {
+                    fields.push(Value::tagged(0, Value::bytes(sid.clone())));
+                }
+                Value::Sequence(fields)
+            }
+            HandshakeMessage::ServerHello {
+                random,
+                session_id,
+                resumed,
+                cert_chain,
+                dh_public,
+                signature,
+            } => Value::Sequence(vec![
+                Value::Enumerated(2),
+                Value::bytes(random.clone()),
+                Value::bytes(session_id.clone()),
+                Value::Boolean(*resumed),
+                chain_value(cert_chain),
+                Value::bytes(dh_public.clone()),
+                Value::bytes(signature.clone()),
+            ]),
+            HandshakeMessage::ClientAuth {
+                cert_chain,
+                dh_public,
+                signature,
+            } => Value::Sequence(vec![
+                Value::Enumerated(3),
+                chain_value(cert_chain),
+                Value::bytes(dh_public.clone()),
+                Value::bytes(signature.clone()),
+            ]),
+            HandshakeMessage::Finished { verify_data } => Value::Sequence(vec![
+                Value::Enumerated(4),
+                Value::bytes(verify_data.clone()),
+            ]),
+            HandshakeMessage::Alert { reason } => {
+                Value::Sequence(vec![Value::Enumerated(5), Value::string(reason)])
+            }
+        }
+    }
+
+    fn from_value(value: &Value) -> Result<Self, CodecError> {
+        let mut f = Fields::open(value, "HandshakeMessage")?;
+        let kind = f.next_enum()?;
+        let msg = match kind {
+            1 => {
+                let random = f.next_bytes()?.to_vec();
+                let session_id = match f.optional_tagged(0) {
+                    Some(v) => Some(
+                        v.as_bytes()
+                            .ok_or(CodecError::BadValue("session id"))?
+                            .to_vec(),
+                    ),
+                    None => None,
+                };
+                HandshakeMessage::ClientHello { random, session_id }
+            }
+            2 => HandshakeMessage::ServerHello {
+                random: f.next_bytes()?.to_vec(),
+                session_id: f.next_bytes()?.to_vec(),
+                resumed: f.next_bool()?,
+                cert_chain: chain_from(f.next_value()?)?,
+                dh_public: f.next_bytes()?.to_vec(),
+                signature: f.next_bytes()?.to_vec(),
+            },
+            3 => HandshakeMessage::ClientAuth {
+                cert_chain: chain_from(f.next_value()?)?,
+                dh_public: f.next_bytes()?.to_vec(),
+                signature: f.next_bytes()?.to_vec(),
+            },
+            4 => HandshakeMessage::Finished {
+                verify_data: f.next_bytes()?.to_vec(),
+            },
+            5 => HandshakeMessage::Alert {
+                reason: f.next_string()?,
+            },
+            _ => return Err(CodecError::BadValue("handshake message kind")),
+        };
+        f.finish()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicore_certs::{CertificateAuthority, DistinguishedName, KeyUsage, Validity};
+    use unicore_crypto::CryptoRng;
+
+    fn sample_cert() -> Certificate {
+        let mut rng = CryptoRng::from_u64(70);
+        let mut ca = CertificateAuthority::new_root(
+            DistinguishedName::new("DE", "FZJ", "ZAM", "CA"),
+            Validity::starting_at(0, 1000),
+            512,
+            &mut rng,
+        );
+        ca.issue_identity(
+            DistinguishedName::new("DE", "FZJ", "ZAM", "srv"),
+            KeyUsage::server(),
+            Validity::starting_at(0, 100),
+            &mut rng,
+        )
+        .unwrap()
+        .cert
+    }
+
+    #[test]
+    fn client_hello_round_trip() {
+        for session_id in [None, Some(vec![1u8, 2, 3])] {
+            let m = HandshakeMessage::ClientHello {
+                random: vec![7u8; RANDOM_LEN],
+                session_id,
+            };
+            assert_eq!(HandshakeMessage::decode(&m.encode()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn server_hello_round_trip() {
+        let m = HandshakeMessage::ServerHello {
+            random: vec![9u8; RANDOM_LEN],
+            session_id: vec![4, 5],
+            resumed: false,
+            cert_chain: vec![sample_cert()],
+            dh_public: vec![1; 128],
+            signature: vec![2; 64],
+        };
+        assert_eq!(HandshakeMessage::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn resumed_server_hello_round_trip() {
+        let m = HandshakeMessage::ServerHello {
+            random: vec![1u8; RANDOM_LEN],
+            session_id: vec![4, 5],
+            resumed: true,
+            cert_chain: vec![],
+            dh_public: vec![],
+            signature: vec![],
+        };
+        assert_eq!(HandshakeMessage::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn client_auth_round_trip() {
+        let m = HandshakeMessage::ClientAuth {
+            cert_chain: vec![sample_cert(), sample_cert()],
+            dh_public: vec![3; 128],
+            signature: vec![4; 64],
+        };
+        assert_eq!(HandshakeMessage::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn finished_and_alert_round_trip() {
+        let f = HandshakeMessage::Finished {
+            verify_data: vec![6; 32],
+        };
+        assert_eq!(HandshakeMessage::decode(&f.encode()).unwrap(), f);
+        let a = HandshakeMessage::Alert {
+            reason: "bad certificate".into(),
+        };
+        assert_eq!(HandshakeMessage::decode(&a.encode()).unwrap(), a);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(HandshakeMessage::decode(b"not der at all").is_err());
+        assert!(HandshakeMessage::decode(&[]).is_err());
+        // Valid DER, wrong shape.
+        let v = Value::Sequence(vec![Value::Enumerated(99)]);
+        assert!(HandshakeMessage::decode(&unicore_codec::encode(&v)).is_err());
+    }
+}

@@ -1,0 +1,242 @@
+//! The record layer: sequence-numbered, MAC-then-encrypted frames.
+//!
+//! Each record is one wire message:
+//!
+//! ```text
+//! [type: u8][seq: u64 BE][ciphertext ...][mac: 32 bytes]
+//! mac = HMAC-SHA256(mac_key, type || seq || ciphertext)
+//! ciphertext = ChaCha20(enc_key, nonce = seq-derived)(plaintext)
+//! ```
+//!
+//! Each direction has independent keys and sequence counters, derived from
+//! the session master secret by HKDF with direction labels.
+
+use crate::error::TransportError;
+use unicore_crypto::chacha20::{ChaCha20, KEY_LEN, NONCE_LEN};
+use unicore_crypto::ct::ct_eq;
+use unicore_crypto::hmac::{hkdf_expand, hkdf_extract, HmacSha256};
+
+/// Record content types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordType {
+    /// Handshake messages.
+    Handshake,
+    /// Application data.
+    Data,
+    /// Fatal alert carrying a reason string.
+    Alert,
+}
+
+impl RecordType {
+    fn to_byte(self) -> u8 {
+        match self {
+            RecordType::Handshake => 22,
+            RecordType::Data => 23,
+            RecordType::Alert => 21,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, TransportError> {
+        match b {
+            22 => Ok(RecordType::Handshake),
+            23 => Ok(RecordType::Data),
+            21 => Ok(RecordType::Alert),
+            _ => Err(TransportError::Protocol("unknown record type")),
+        }
+    }
+}
+
+/// MAC length appended to each record.
+pub const MAC_LEN: usize = 32;
+/// Fixed header length (type + sequence).
+pub const HEADER_LEN: usize = 9;
+
+/// One direction's record protection state.
+pub struct RecordKeys {
+    enc_key: [u8; KEY_LEN],
+    mac_key: [u8; KEY_LEN],
+    nonce_base: [u8; NONCE_LEN],
+    seq: u64,
+}
+
+impl RecordKeys {
+    /// Derives a direction's keys from the master secret.
+    ///
+    /// `label` distinguishes directions (`"c2s"` / `"s2c"`).
+    pub fn derive(master: &[u8], label: &str) -> Self {
+        let prk = hkdf_extract(b"unicore-record", master);
+        let material = hkdf_expand(&prk, label.as_bytes(), KEY_LEN * 2 + NONCE_LEN);
+        let mut enc_key = [0u8; KEY_LEN];
+        let mut mac_key = [0u8; KEY_LEN];
+        let mut nonce_base = [0u8; NONCE_LEN];
+        enc_key.copy_from_slice(&material[..KEY_LEN]);
+        mac_key.copy_from_slice(&material[KEY_LEN..KEY_LEN * 2]);
+        nonce_base.copy_from_slice(&material[KEY_LEN * 2..]);
+        RecordKeys {
+            enc_key,
+            mac_key,
+            nonce_base,
+            seq: 0,
+        }
+    }
+
+    /// Next sequence number this direction will use.
+    pub fn next_seq(&self) -> u64 {
+        self.seq
+    }
+
+    fn nonce_for(&self, seq: u64) -> [u8; NONCE_LEN] {
+        // XOR the sequence number into the low 8 bytes of the nonce base.
+        let mut nonce = self.nonce_base;
+        let seq_bytes = seq.to_be_bytes();
+        for i in 0..8 {
+            nonce[NONCE_LEN - 8 + i] ^= seq_bytes[i];
+        }
+        nonce
+    }
+
+    /// Protects a plaintext into a wire record, consuming a sequence number.
+    pub fn seal(&mut self, rtype: RecordType, plaintext: &[u8]) -> Vec<u8> {
+        let seq = self.seq;
+        self.seq += 1;
+        let nonce = self.nonce_for(seq);
+        let mut cipher = ChaCha20::new(&self.enc_key, &nonce, 0);
+        let ciphertext = cipher.apply_copy(plaintext);
+
+        let mut out = Vec::with_capacity(HEADER_LEN + ciphertext.len() + MAC_LEN);
+        out.push(rtype.to_byte());
+        out.extend_from_slice(&seq.to_be_bytes());
+        out.extend_from_slice(&ciphertext);
+
+        let mut mac = HmacSha256::new(&self.mac_key);
+        mac.update(&out[..HEADER_LEN + ciphertext.len()]);
+        out.extend_from_slice(&mac.finalize());
+        out
+    }
+
+    /// Opens a wire record, enforcing sequence continuity and the MAC.
+    pub fn open(&mut self, record: &[u8]) -> Result<(RecordType, Vec<u8>), TransportError> {
+        if record.len() < HEADER_LEN + MAC_LEN {
+            return Err(TransportError::Protocol("record too short"));
+        }
+        let rtype = RecordType::from_byte(record[0])?;
+        let mut seq_bytes = [0u8; 8];
+        seq_bytes.copy_from_slice(&record[1..9]);
+        let seq = u64::from_be_bytes(seq_bytes);
+        if seq != self.seq {
+            return Err(TransportError::Protocol("sequence gap (replay or loss)"));
+        }
+        let body_end = record.len() - MAC_LEN;
+        let mut mac = HmacSha256::new(&self.mac_key);
+        mac.update(&record[..body_end]);
+        let expected = mac.finalize();
+        if !ct_eq(&expected, &record[body_end..]) {
+            return Err(TransportError::RecordMac);
+        }
+        self.seq += 1;
+        let nonce = self.nonce_for(seq);
+        let mut cipher = ChaCha20::new(&self.enc_key, &nonce, 0);
+        let plaintext = cipher.apply_copy(&record[HEADER_LEN..body_end]);
+        Ok((rtype, plaintext))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (RecordKeys, RecordKeys) {
+        let master = b"shared master secret for tests";
+        (
+            RecordKeys::derive(master, "c2s"),
+            RecordKeys::derive(master, "c2s"),
+        )
+    }
+
+    #[test]
+    fn seal_open_round_trip() {
+        let (mut tx, mut rx) = pair();
+        let rec = tx.seal(RecordType::Data, b"hello unicore");
+        let (rtype, plain) = rx.open(&rec).unwrap();
+        assert_eq!(rtype, RecordType::Data);
+        assert_eq!(plain, b"hello unicore");
+    }
+
+    #[test]
+    fn sequence_enforced() {
+        let (mut tx, mut rx) = pair();
+        let r1 = tx.seal(RecordType::Data, b"one");
+        let r2 = tx.seal(RecordType::Data, b"two");
+        // Skipping r1 means r2's sequence doesn't match.
+        assert!(matches!(rx.open(&r2), Err(TransportError::Protocol(_))));
+        // In order works.
+        rx.open(&r1).unwrap();
+        rx.open(&r2).unwrap();
+    }
+
+    #[test]
+    fn replay_rejected() {
+        let (mut tx, mut rx) = pair();
+        let r1 = tx.seal(RecordType::Data, b"once");
+        rx.open(&r1).unwrap();
+        assert!(rx.open(&r1).is_err());
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected() {
+        let (mut tx, mut rx) = pair();
+        let mut rec = tx.seal(RecordType::Data, b"payload");
+        rec[HEADER_LEN] ^= 0x01;
+        assert!(matches!(rx.open(&rec), Err(TransportError::RecordMac)));
+    }
+
+    #[test]
+    fn tampered_type_rejected() {
+        let (mut tx, mut rx) = pair();
+        let mut rec = tx.seal(RecordType::Data, b"payload");
+        rec[0] = RecordType::Alert.to_byte();
+        assert!(matches!(rx.open(&rec), Err(TransportError::RecordMac)));
+    }
+
+    #[test]
+    fn truncated_record_rejected() {
+        let (mut tx, mut rx) = pair();
+        let rec = tx.seal(RecordType::Data, b"payload");
+        assert!(rx.open(&rec[..HEADER_LEN + MAC_LEN - 1]).is_err());
+    }
+
+    #[test]
+    fn direction_keys_differ() {
+        let master = b"master";
+        let mut c2s = RecordKeys::derive(master, "c2s");
+        let mut s2c = RecordKeys::derive(master, "s2c");
+        let rec = c2s.seal(RecordType::Data, b"x");
+        assert!(s2c.open(&rec).is_err());
+    }
+
+    #[test]
+    fn different_masters_do_not_interoperate() {
+        let mut tx = RecordKeys::derive(b"master-a", "c2s");
+        let mut rx = RecordKeys::derive(b"master-b", "c2s");
+        let rec = tx.seal(RecordType::Data, b"x");
+        assert!(rx.open(&rec).is_err());
+    }
+
+    #[test]
+    fn empty_payload_allowed() {
+        let (mut tx, mut rx) = pair();
+        let rec = tx.seal(RecordType::Handshake, b"");
+        let (rtype, plain) = rx.open(&rec).unwrap();
+        assert_eq!(rtype, RecordType::Handshake);
+        assert!(plain.is_empty());
+    }
+
+    #[test]
+    fn large_payload_round_trip() {
+        let (mut tx, mut rx) = pair();
+        let data = vec![0xabu8; 1 << 20];
+        let rec = tx.seal(RecordType::Data, &data);
+        let (_, plain) = rx.open(&rec).unwrap();
+        assert_eq!(plain, data);
+    }
+}

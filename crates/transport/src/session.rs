@@ -1,0 +1,167 @@
+//! Session caching for abbreviated (resumed) handshakes.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use unicore_certs::Certificate;
+
+/// A cached session: master secret plus the authenticated peer.
+#[derive(Clone)]
+pub struct CachedSession {
+    /// Session identifier assigned by the server.
+    pub session_id: Vec<u8>,
+    /// The negotiated master secret.
+    pub master: Vec<u8>,
+    /// The peer's validated end-entity certificate.
+    pub peer: Certificate,
+}
+
+/// A bounded, thread-safe session cache.
+///
+/// Servers key sessions by session id; clients additionally key by peer
+/// name so they can find a resumable session for a given gateway.
+pub struct SessionCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+struct Inner {
+    by_id: HashMap<Vec<u8>, CachedSession>,
+    by_peer: HashMap<String, Vec<u8>>,
+    order: Vec<Vec<u8>>,
+}
+
+impl SessionCache {
+    /// A cache holding at most `capacity` sessions (FIFO eviction).
+    pub fn new(capacity: usize) -> Self {
+        SessionCache {
+            inner: Mutex::new(Inner {
+                by_id: HashMap::new(),
+                by_peer: HashMap::new(),
+                order: Vec::new(),
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Stores a session, associating it with `peer_name` for client lookup.
+    pub fn store(&self, peer_name: &str, session: CachedSession) {
+        let mut inner = self.inner.lock();
+        if inner.by_id.len() >= self.capacity && !inner.by_id.contains_key(&session.session_id) {
+            if let Some(oldest) = inner.order.first().cloned() {
+                inner.order.remove(0);
+                inner.by_id.remove(&oldest);
+                inner.by_peer.retain(|_, id| id != &oldest);
+            }
+        }
+        let id = session.session_id.clone();
+        if !inner.by_id.contains_key(&id) {
+            inner.order.push(id.clone());
+        }
+        inner.by_peer.insert(peer_name.to_owned(), id.clone());
+        inner.by_id.insert(id, session);
+    }
+
+    /// Server-side lookup by session id.
+    pub fn lookup_id(&self, session_id: &[u8]) -> Option<CachedSession> {
+        self.inner.lock().by_id.get(session_id).cloned()
+    }
+
+    /// Client-side lookup by peer name.
+    pub fn lookup_peer(&self, peer_name: &str) -> Option<CachedSession> {
+        let inner = self.inner.lock();
+        let id = inner.by_peer.get(peer_name)?;
+        inner.by_id.get(id).cloned()
+    }
+
+    /// Removes a session (e.g. after it fails to resume).
+    pub fn invalidate(&self, session_id: &[u8]) {
+        let mut inner = self.inner.lock();
+        inner.by_id.remove(session_id);
+        inner.by_peer.retain(|_, id| id.as_slice() != session_id);
+        inner.order.retain(|id| id.as_slice() != session_id);
+    }
+
+    /// Number of cached sessions.
+    pub fn len(&self) -> usize {
+        self.inner.lock().by_id.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicore_certs::{CertificateAuthority, DistinguishedName, KeyUsage, Validity};
+    use unicore_crypto::CryptoRng;
+
+    fn cert(cn: &str) -> Certificate {
+        let mut rng = CryptoRng::from_u64(80);
+        let mut ca = CertificateAuthority::new_root(
+            DistinguishedName::new("DE", "T", "T", "CA"),
+            Validity::starting_at(0, 1000),
+            512,
+            &mut rng,
+        );
+        ca.issue_identity(
+            DistinguishedName::new("DE", "T", "T", cn),
+            KeyUsage::server(),
+            Validity::starting_at(0, 100),
+            &mut rng,
+        )
+        .unwrap()
+        .cert
+    }
+
+    fn session(id: u8) -> CachedSession {
+        CachedSession {
+            session_id: vec![id],
+            master: vec![id; 32],
+            peer: cert("peer"),
+        }
+    }
+
+    #[test]
+    fn store_and_lookup() {
+        let cache = SessionCache::new(4);
+        cache.store("FZJ", session(1));
+        assert_eq!(cache.lookup_id(&[1]).unwrap().master, vec![1; 32]);
+        assert_eq!(cache.lookup_peer("FZJ").unwrap().session_id, vec![1]);
+        assert!(cache.lookup_peer("RUS").is_none());
+        assert!(cache.lookup_id(&[9]).is_none());
+    }
+
+    #[test]
+    fn peer_mapping_updates() {
+        let cache = SessionCache::new(4);
+        cache.store("FZJ", session(1));
+        cache.store("FZJ", session(2));
+        assert_eq!(cache.lookup_peer("FZJ").unwrap().session_id, vec![2]);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let cache = SessionCache::new(2);
+        cache.store("a", session(1));
+        cache.store("b", session(2));
+        cache.store("c", session(3));
+        assert!(cache.lookup_id(&[1]).is_none());
+        assert!(cache.lookup_id(&[2]).is_some());
+        assert!(cache.lookup_id(&[3]).is_some());
+        assert_eq!(cache.len(), 2);
+        // Peer mapping to the evicted session is gone too.
+        assert!(cache.lookup_peer("a").is_none());
+    }
+
+    #[test]
+    fn invalidate_removes_everywhere() {
+        let cache = SessionCache::new(4);
+        cache.store("FZJ", session(1));
+        cache.invalidate(&[1]);
+        assert!(cache.is_empty());
+        assert!(cache.lookup_peer("FZJ").is_none());
+    }
+}

@@ -1,0 +1,53 @@
+//! Data-space errors.
+
+use core::fmt;
+use unicore_ajo::JobId;
+
+/// Errors from Xspace/Uspace operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpaceError {
+    /// No such file.
+    FileNotFound {
+        /// The missing path.
+        path: String,
+    },
+    /// The owner does not match and the file is not world-readable.
+    PermissionDenied {
+        /// The path.
+        path: String,
+        /// Who tried.
+        login: String,
+    },
+    /// A write would exceed the space's quota.
+    QuotaExceeded {
+        /// Bytes that would be used.
+        needed: u64,
+        /// The quota in bytes.
+        quota: u64,
+    },
+    /// No Uspace exists for this job.
+    NoSuchUspace(JobId),
+    /// A Uspace already exists for this job.
+    UspaceExists(JobId),
+    /// Path is syntactically invalid (empty or contains NUL).
+    BadPath(String),
+}
+
+impl fmt::Display for SpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpaceError::FileNotFound { path } => write!(f, "file not found: {path}"),
+            SpaceError::PermissionDenied { path, login } => {
+                write!(f, "permission denied for {login} on {path}")
+            }
+            SpaceError::QuotaExceeded { needed, quota } => {
+                write!(f, "quota exceeded: need {needed} bytes of {quota}")
+            }
+            SpaceError::NoSuchUspace(job) => write!(f, "no Uspace for job {job}"),
+            SpaceError::UspaceExists(job) => write!(f, "Uspace for job {job} already exists"),
+            SpaceError::BadPath(p) => write!(f, "bad path: {p:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SpaceError {}

@@ -1,0 +1,276 @@
+//! An in-memory virtual filesystem — one per data space.
+
+use crate::error::SpaceError;
+use std::collections::BTreeMap;
+use unicore_crypto::sha256;
+
+/// A stored file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileEntry {
+    /// Contents.
+    pub data: Vec<u8>,
+    /// Owning login.
+    pub owner: String,
+    /// Whether any login may read it.
+    pub world_readable: bool,
+}
+
+impl FileEntry {
+    /// SHA-256 checksum of the contents (integrity checks on transfers).
+    pub fn checksum(&self) -> [u8; 32] {
+        sha256(&self.data)
+    }
+}
+
+/// A flat-namespace virtual filesystem with per-space quota.
+///
+/// Paths are plain strings ("/" is conventional, not structural); listing
+/// takes a prefix. A quota of `u64::MAX` means unlimited (Xspaces).
+#[derive(Debug, Clone)]
+pub struct VirtualFs {
+    files: BTreeMap<String, FileEntry>,
+    used: u64,
+    quota: u64,
+}
+
+impl VirtualFs {
+    /// A filesystem with the given byte quota.
+    pub fn with_quota(quota: u64) -> Self {
+        VirtualFs {
+            files: BTreeMap::new(),
+            used: 0,
+            quota,
+        }
+    }
+
+    /// An unlimited filesystem (for Xspaces).
+    pub fn unlimited() -> Self {
+        Self::with_quota(u64::MAX)
+    }
+
+    fn check_path(path: &str) -> Result<(), SpaceError> {
+        if path.is_empty() || path.contains('\0') {
+            return Err(SpaceError::BadPath(path.to_owned()));
+        }
+        Ok(())
+    }
+
+    /// Writes (creates or replaces) a file.
+    pub fn write(&mut self, path: &str, data: Vec<u8>, owner: &str) -> Result<(), SpaceError> {
+        Self::check_path(path)?;
+        let old = self
+            .files
+            .get(path)
+            .map(|f| f.data.len() as u64)
+            .unwrap_or(0);
+        let needed = self.used - old + data.len() as u64;
+        if needed > self.quota {
+            return Err(SpaceError::QuotaExceeded {
+                needed,
+                quota: self.quota,
+            });
+        }
+        self.used = needed;
+        self.files.insert(
+            path.to_owned(),
+            FileEntry {
+                data,
+                owner: owner.to_owned(),
+                world_readable: false,
+            },
+        );
+        Ok(())
+    }
+
+    /// Marks a file world-readable.
+    pub fn set_world_readable(&mut self, path: &str, flag: bool) -> Result<(), SpaceError> {
+        let entry = self
+            .files
+            .get_mut(path)
+            .ok_or_else(|| SpaceError::FileNotFound {
+                path: path.to_owned(),
+            })?;
+        entry.world_readable = flag;
+        Ok(())
+    }
+
+    /// Reads a file as `login`, enforcing the ownership rule.
+    pub fn read(&self, path: &str, login: &str) -> Result<&FileEntry, SpaceError> {
+        let entry = self
+            .files
+            .get(path)
+            .ok_or_else(|| SpaceError::FileNotFound {
+                path: path.to_owned(),
+            })?;
+        if entry.owner != login && !entry.world_readable {
+            return Err(SpaceError::PermissionDenied {
+                path: path.to_owned(),
+                login: login.to_owned(),
+            });
+        }
+        Ok(entry)
+    }
+
+    /// Reads without a permission check (the space's own machinery).
+    pub fn read_raw(&self, path: &str) -> Result<&FileEntry, SpaceError> {
+        self.files
+            .get(path)
+            .ok_or_else(|| SpaceError::FileNotFound {
+                path: path.to_owned(),
+            })
+    }
+
+    /// Deletes a file as `login` (owner only).
+    pub fn delete(&mut self, path: &str, login: &str) -> Result<(), SpaceError> {
+        let entry = self
+            .files
+            .get(path)
+            .ok_or_else(|| SpaceError::FileNotFound {
+                path: path.to_owned(),
+            })?;
+        if entry.owner != login {
+            return Err(SpaceError::PermissionDenied {
+                path: path.to_owned(),
+                login: login.to_owned(),
+            });
+        }
+        let len = entry.data.len() as u64;
+        self.files.remove(path);
+        self.used -= len;
+        Ok(())
+    }
+
+    /// Whether a file exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    /// Paths starting with `prefix`, in order.
+    pub fn list(&self, prefix: &str) -> Vec<&str> {
+        self.files
+            .range(prefix.to_owned()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.as_str())
+            .collect()
+    }
+
+    /// Bytes currently used.
+    pub fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    /// The quota in bytes.
+    pub fn quota_bytes(&self) -> u64 {
+        self.quota
+    }
+
+    /// Number of files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut fs = VirtualFs::unlimited();
+        fs.write("/home/a/in.dat", vec![1, 2, 3], "alice").unwrap();
+        let f = fs.read("/home/a/in.dat", "alice").unwrap();
+        assert_eq!(f.data, vec![1, 2, 3]);
+        assert_eq!(f.owner, "alice");
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let fs = VirtualFs::unlimited();
+        assert!(matches!(
+            fs.read("/nope", "alice"),
+            Err(SpaceError::FileNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn ownership_enforced() {
+        let mut fs = VirtualFs::unlimited();
+        fs.write("/x", vec![0], "alice").unwrap();
+        assert!(matches!(
+            fs.read("/x", "bob"),
+            Err(SpaceError::PermissionDenied { .. })
+        ));
+        fs.set_world_readable("/x", true).unwrap();
+        fs.read("/x", "bob").unwrap();
+        // Deleting still requires ownership.
+        assert!(fs.delete("/x", "bob").is_err());
+        fs.delete("/x", "alice").unwrap();
+        assert!(!fs.exists("/x"));
+    }
+
+    #[test]
+    fn quota_enforced() {
+        let mut fs = VirtualFs::with_quota(10);
+        fs.write("/a", vec![0; 6], "u").unwrap();
+        assert!(matches!(
+            fs.write("/b", vec![0; 5], "u"),
+            Err(SpaceError::QuotaExceeded { .. })
+        ));
+        fs.write("/b", vec![0; 4], "u").unwrap();
+        assert_eq!(fs.used_bytes(), 10);
+    }
+
+    #[test]
+    fn overwrite_reclaims_quota() {
+        let mut fs = VirtualFs::with_quota(10);
+        fs.write("/a", vec![0; 8], "u").unwrap();
+        // Replacing with a smaller file frees space.
+        fs.write("/a", vec![0; 2], "u").unwrap();
+        assert_eq!(fs.used_bytes(), 2);
+        fs.write("/b", vec![0; 8], "u").unwrap();
+    }
+
+    #[test]
+    fn delete_frees_quota() {
+        let mut fs = VirtualFs::with_quota(4);
+        fs.write("/a", vec![0; 4], "u").unwrap();
+        fs.delete("/a", "u").unwrap();
+        assert_eq!(fs.used_bytes(), 0);
+        fs.write("/b", vec![0; 4], "u").unwrap();
+    }
+
+    #[test]
+    fn listing_by_prefix() {
+        let mut fs = VirtualFs::unlimited();
+        for p in ["/a/1", "/a/2", "/b/1", "/a-other"] {
+            fs.write(p, vec![], "u").unwrap();
+        }
+        assert_eq!(fs.list("/a/"), vec!["/a/1", "/a/2"]);
+        assert_eq!(fs.list("/b/"), vec!["/b/1"]);
+        assert_eq!(fs.list("/z"), Vec::<&str>::new());
+        assert_eq!(fs.list("").len(), 4);
+    }
+
+    #[test]
+    fn bad_paths_rejected() {
+        let mut fs = VirtualFs::unlimited();
+        assert!(matches!(
+            fs.write("", vec![], "u"),
+            Err(SpaceError::BadPath(_))
+        ));
+        assert!(matches!(
+            fs.write("a\0b", vec![], "u"),
+            Err(SpaceError::BadPath(_))
+        ));
+    }
+
+    #[test]
+    fn checksum_tracks_content() {
+        let mut fs = VirtualFs::unlimited();
+        fs.write("/f", b"hello".to_vec(), "u").unwrap();
+        let c1 = fs.read_raw("/f").unwrap().checksum();
+        fs.write("/f", b"hellp".to_vec(), "u").unwrap();
+        let c2 = fs.read_raw("/f").unwrap().checksum();
+        assert_ne!(c1, c2);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests: the quota invariant holds under arbitrary operation
+//! sequences, and ownership is never bypassed.
+
+use proptest::prelude::*;
+use unicore_uspace::{SpaceError, VirtualFs};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { path: u8, len: usize, owner: u8 },
+    Delete { path: u8, owner: u8 },
+    Read { path: u8, owner: u8 },
+    SetWorldReadable { path: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..8, 0usize..300, 0u8..3).prop_map(|(path, len, owner)| Op::Write { path, len, owner }),
+        (0u8..8, 0u8..3).prop_map(|(path, owner)| Op::Delete { path, owner }),
+        (0u8..8, 0u8..3).prop_map(|(path, owner)| Op::Read { path, owner }),
+        (0u8..8).prop_map(|path| Op::SetWorldReadable { path }),
+    ]
+}
+
+fn path_name(p: u8) -> String {
+    format!("/f{p}")
+}
+
+fn owner_name(o: u8) -> String {
+    format!("user{o}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn quota_accounting_is_exact(
+        quota in 0u64..2_000,
+        ops in proptest::collection::vec(op_strategy(), 0..60),
+    ) {
+        let mut fs = VirtualFs::with_quota(quota);
+        // Shadow model: path -> (len, owner, world_readable).
+        let mut model: std::collections::HashMap<String, (usize, String, bool)> =
+            std::collections::HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Write { path, len, owner } => {
+                    let p = path_name(path);
+                    let o = owner_name(owner);
+                    let old = model.get(&p).map(|(l, _, _)| *l).unwrap_or(0);
+                    let projected: u64 = model
+                        .values()
+                        .map(|(l, _, _)| *l as u64)
+                        .sum::<u64>()
+                        - old as u64
+                        + len as u64;
+                    let result = fs.write(&p, vec![0; len], &o);
+                    if projected > quota {
+                        let quota_err =
+                            matches!(result, Err(SpaceError::QuotaExceeded { .. }));
+                        prop_assert!(quota_err);
+                    } else {
+                        prop_assert!(result.is_ok());
+                        model.insert(p, (len, o, false));
+                    }
+                }
+                Op::Delete { path, owner } => {
+                    let p = path_name(path);
+                    let o = owner_name(owner);
+                    let result = fs.delete(&p, &o);
+                    match model.get(&p) {
+                        Some((_, own, _)) if *own == o => {
+                            prop_assert!(result.is_ok());
+                            model.remove(&p);
+                        }
+                        Some(_) => {
+                            let denied =
+                                matches!(result, Err(SpaceError::PermissionDenied { .. }));
+                            prop_assert!(denied);
+                        }
+                        None => {
+                            let missing =
+                                matches!(result, Err(SpaceError::FileNotFound { .. }));
+                            prop_assert!(missing);
+                        }
+                    }
+                }
+                Op::Read { path, owner } => {
+                    let p = path_name(path);
+                    let o = owner_name(owner);
+                    let result = fs.read(&p, &o);
+                    match model.get(&p) {
+                        Some((len, own, world)) if *own == o || *world => {
+                            prop_assert_eq!(result.unwrap().data.len(), *len);
+                        }
+                        Some(_) => {
+                            let denied =
+                                matches!(result, Err(SpaceError::PermissionDenied { .. }));
+                            prop_assert!(denied);
+                        }
+                        None => prop_assert!(result.is_err()),
+                    }
+                }
+                Op::SetWorldReadable { path } => {
+                    let p = path_name(path);
+                    let result = fs.set_world_readable(&p, true);
+                    if let Some(entry) = model.get_mut(&p) {
+                        prop_assert!(result.is_ok());
+                        entry.2 = true;
+                    } else {
+                        prop_assert!(result.is_err());
+                    }
+                }
+            }
+            // Core invariants after every operation.
+            let model_used: u64 = model.values().map(|(l, _, _)| *l as u64).sum();
+            prop_assert_eq!(fs.used_bytes(), model_used);
+            prop_assert!(fs.used_bytes() <= quota);
+            prop_assert_eq!(fs.file_count(), model.len());
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! The security architecture, live: every cryptographic step of §4/§5.2
+//! runs for real — CA issuance, signed applets, the mutual-authentication
+//! handshake over an in-process wire, session resumption, DN mapping, and
+//! revocation.
+//!
+//! Run with: `cargo run -p unicore-examples --bin secure_access`
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use unicore_certs::{
+    CertificateAuthority, DistinguishedName, KeyUsage, SignedSoftware, TrustStore, Validity,
+};
+use unicore_crypto::CryptoRng;
+use unicore_gateway::{AuthDecision, Gateway, UserEntry, Uudb};
+use unicore_simnet::wire_pair;
+use unicore_transport::{client_handshake, server_handshake, Endpoint, SessionCache};
+
+fn main() {
+    let mut rng = CryptoRng::from_u64(0x1999);
+
+    // ---- 1. The Certificate Authority (DFN-PCA's role) -------------------
+    println!("== 1. certificate authority ==");
+    let mut ca = CertificateAuthority::new_root(
+        DistinguishedName::new("DE", "DFN", "PCA", "UNICORE Root CA"),
+        Validity::starting_at(0, 10_000_000),
+        512,
+        &mut rng,
+    );
+    println!("root CA: {}", ca.certificate().tbs.subject);
+    assert!(ca.certificate().is_self_signed());
+
+    let user = ca
+        .issue_identity(
+            DistinguishedName::new("DE", "FZJ", "ZAM", "Mathilde Romberg")
+                .with_email("m.romberg@fz-juelich.de"),
+            KeyUsage::user(),
+            Validity::starting_at(0, 1_000_000),
+            &mut rng,
+        )
+        .unwrap();
+    let gateway_id = ca
+        .issue_identity(
+            DistinguishedName::new("DE", "FZJ", "ZAM", "unicore.fz-juelich.de"),
+            KeyUsage::server(),
+            Validity::starting_at(0, 1_000_000),
+            &mut rng,
+        )
+        .unwrap();
+    let developer = ca
+        .issue_identity(
+            DistinguishedName::new("DE", "Pallas", "Development", "applet-signing"),
+            KeyUsage::software(),
+            Validity::starting_at(0, 1_000_000),
+            &mut rng,
+        )
+        .unwrap();
+    println!("issued: user, gateway, software-signing certificates\n");
+
+    let mut trust = TrustStore::new();
+    trust.add_anchor(ca.certificate().clone()).unwrap();
+    let trust = Arc::new(trust);
+
+    // ---- 2. Signed applets ------------------------------------------------
+    println!("== 2. signed applets ==");
+    let jpa_applet = SignedSoftware::sign(
+        "JPA",
+        "4.0",
+        b"job preparation agent code".to_vec(),
+        developer.cert.clone(),
+        &developer.keypair.private,
+    )
+    .unwrap();
+    jpa_applet.verify(&trust, 100).unwrap();
+    println!("JPA applet signature verifies — software untampered");
+    let mut tampered = jpa_applet.clone();
+    tampered.payload[0] ^= 0xff;
+    println!(
+        "tampered applet rejected: {}\n",
+        tampered.verify(&trust, 100).unwrap_err()
+    );
+
+    // ---- 3. Mutual-authentication handshake (the https of §4.1) ----------
+    println!("== 3. mutual-auth handshake ==");
+    let user_ep = Endpoint::new(user, trust.clone(), 100);
+    let server_ep = Endpoint::new(gateway_id, trust.clone(), 100);
+    let client_cache = SessionCache::new(8);
+    let server_cache = SessionCache::new(8);
+
+    let run = |label: &str,
+               user_ep: &Endpoint,
+               server_ep: &Endpoint,
+               cc: &SessionCache,
+               sc: &SessionCache,
+               seed: u64| {
+        let (cw, sw) = wire_pair();
+        let started = Instant::now();
+        let (client, server) = std::thread::scope(|s| {
+            let srv = s.spawn(move || {
+                let mut rng = CryptoRng::from_u64(seed).fork("s");
+                server_handshake(sw, server_ep, sc, &mut rng)
+            });
+            let mut rng = CryptoRng::from_u64(seed).fork("c");
+            let client = client_handshake(cw, user_ep, "FZJ", cc, &mut rng);
+            (client, srv.join().unwrap())
+        });
+        let elapsed = started.elapsed();
+        let mut client = client.unwrap();
+        let mut server = server.unwrap();
+        println!(
+            "{label}: {} in {elapsed:?}",
+            if client.resumed() {
+                "resumed session"
+            } else {
+                "full handshake"
+            },
+        );
+        println!(
+            "  server authenticated the user as: {}",
+            server.peer().tbs.subject
+        );
+        println!(
+            "  user authenticated the server as: {}",
+            client.peer().tbs.subject
+        );
+        client.send(b"AJO bytes would flow here").unwrap();
+        let received = server.recv(Duration::from_secs(1)).unwrap();
+        assert_eq!(received, b"AJO bytes would flow here");
+        server.peer().tbs.subject.to_string()
+    };
+
+    let peer_dn = run(
+        "first connection",
+        &user_ep,
+        &server_ep,
+        &client_cache,
+        &server_cache,
+        7,
+    );
+    run(
+        "second connection",
+        &user_ep,
+        &server_ep,
+        &client_cache,
+        &server_cache,
+        8,
+    );
+    println!();
+
+    // ---- 4. The gateway maps the DN to the local login --------------------
+    println!("== 4. gateway DN mapping ==");
+    let mut uudb = Uudb::new();
+    uudb.add(
+        peer_dn.clone(),
+        UserEntry::new("romberg", "zam").with_vsite_login("SP2", "mrom01"),
+    );
+    let mut gateway = Gateway::new("FZJ", uudb);
+    // The transport already validated the certificate; authorize_dn runs
+    // the UNICORE-level mapping.
+    for vsite in ["T3E", "SP2"] {
+        match gateway.authorize_dn(&peer_dn, vsite, Some("zam"), 100) {
+            AuthDecision::Accepted(m) => {
+                println!(
+                    "{} @ {vsite} -> login '{}' (group {})",
+                    m.dn, m.login, m.account_group
+                )
+            }
+            AuthDecision::Refused(r) => println!("refused: {r}"),
+        }
+    }
+    println!();
+
+    // ---- 5. Revocation ----------------------------------------------------
+    println!("== 5. revocation ==");
+    let victim = ca
+        .issue_identity(
+            DistinguishedName::new("DE", "FZJ", "ZAM", "departed-user"),
+            KeyUsage::user(),
+            Validity::starting_at(0, 1_000_000),
+            &mut rng,
+        )
+        .unwrap();
+    ca.revoke(victim.cert.tbs.serial);
+    let crl = ca.publish_crl(200);
+    let mut trust2 = TrustStore::new();
+    trust2.add_anchor(ca.certificate().clone()).unwrap();
+    trust2.install_crl(crl).unwrap();
+    let err = trust2
+        .validate(
+            std::slice::from_ref(&victim.cert),
+            250,
+            unicore_certs::RequiredUsage::ClientAuth,
+        )
+        .unwrap_err();
+    println!("revoked user rejected: {err}");
+}

@@ -1,0 +1,235 @@
+//! Cross-crate integration of the security stack: PKI → transport →
+//! gateway, i.e. the complete §4/§5.2 path with real cryptography.
+
+use std::sync::Arc;
+use std::time::Duration;
+use unicore_certs::{
+    CertificateAuthority, DistinguishedName, Identity, KeyUsage, RequiredUsage, SignedSoftware,
+    TrustStore, Validity,
+};
+use unicore_codec::DerCodec;
+use unicore_crypto::CryptoRng;
+use unicore_gateway::{AuthDecision, Gateway, UserEntry, Uudb};
+use unicore_simnet::wire_pair;
+use unicore_transport::{client_handshake, server_handshake, Endpoint, SessionCache};
+
+struct Pki {
+    ca: CertificateAuthority,
+    trust: Arc<TrustStore>,
+    rng: CryptoRng,
+}
+
+fn pki(seed: u64) -> Pki {
+    let mut rng = CryptoRng::from_u64(seed);
+    let ca = CertificateAuthority::new_root(
+        DistinguishedName::new("DE", "DFN", "PCA", "Root"),
+        Validity::starting_at(0, 1_000_000),
+        512,
+        &mut rng,
+    );
+    let mut trust = TrustStore::new();
+    trust.add_anchor(ca.certificate().clone()).unwrap();
+    Pki {
+        ca,
+        trust: Arc::new(trust),
+        rng,
+    }
+}
+
+fn issue(p: &mut Pki, cn: &str, usage: KeyUsage) -> Identity {
+    p.ca.issue_identity(
+        DistinguishedName::new("DE", "FZJ", "ZAM", cn),
+        usage,
+        Validity::starting_at(0, 100_000),
+        &mut p.rng,
+    )
+    .unwrap()
+}
+
+/// Full flow: a user authenticates over the real transport, and the DN the
+/// *transport* certifies is the DN the *gateway* maps — no self-asserted
+/// identity anywhere.
+#[test]
+fn transport_certified_dn_drives_gateway_mapping() {
+    let mut p = pki(1);
+    let user = issue(&mut p, "romberg", KeyUsage::user());
+    let server = issue(&mut p, "gateway-host", KeyUsage::server());
+    let user_dn_expected = user.cert.tbs.subject.to_string();
+
+    let user_ep = Endpoint::new(user, p.trust.clone(), 10);
+    let server_ep = Endpoint::new(server, p.trust.clone(), 10);
+    let cc = SessionCache::new(4);
+    let sc = SessionCache::new(4);
+    let (cw, sw) = wire_pair();
+
+    let (client, srv) = std::thread::scope(|s| {
+        let h = s.spawn(|| {
+            let mut rng = CryptoRng::from_u64(2).fork("s");
+            server_handshake(sw, &server_ep, &sc, &mut rng)
+        });
+        let mut rng = CryptoRng::from_u64(2).fork("c");
+        (
+            client_handshake(cw, &user_ep, "FZJ", &cc, &mut rng),
+            h.join().unwrap(),
+        )
+    });
+    let mut client = client.unwrap();
+    let mut srv = srv.unwrap();
+
+    // The server-side authenticated DN comes from the validated peer cert.
+    let authenticated_dn = srv.peer().tbs.subject.to_string();
+    assert_eq!(authenticated_dn, user_dn_expected);
+
+    // Gateway maps that DN.
+    let mut uudb = Uudb::new();
+    uudb.add(&authenticated_dn, UserEntry::new("romberg", "zam"));
+    let mut gw = Gateway::new("FZJ", uudb);
+    let decision = gw.authorize(srv.peer(), "T3E", Some("zam"), None, 10);
+    let AuthDecision::Accepted(mapped) = decision else {
+        panic!("{decision:?}")
+    };
+    assert_eq!(mapped.login, "romberg");
+
+    // And application data flows over the encrypted channel.
+    client.send(b"consign").unwrap();
+    assert_eq!(srv.recv(Duration::from_secs(1)).unwrap(), b"consign");
+}
+
+/// The applet trust chain: software certs sign applets, user certs cannot,
+/// and revoking the developer kills the applet's validity.
+#[test]
+fn applet_signing_lifecycle() {
+    let mut p = pki(3);
+    let dev = issue(&mut p, "developer", KeyUsage::software());
+    let applet = SignedSoftware::sign(
+        "JMC",
+        "4.0",
+        b"monitor code".to_vec(),
+        dev.cert.clone(),
+        &dev.keypair.private,
+    )
+    .unwrap();
+    applet.verify(&p.trust, 100).unwrap();
+
+    // Serialise/deserialise (the applet travels from server to browser).
+    let wire = applet.to_der();
+    let loaded = SignedSoftware::from_der(&wire).unwrap();
+    loaded.verify(&p.trust, 100).unwrap();
+
+    // Revoke the developer: the applet no longer validates.
+    p.ca.revoke(dev.cert.tbs.serial);
+    let crl = p.ca.publish_crl(200);
+    let mut trust2 = TrustStore::new();
+    trust2.add_anchor(p.ca.certificate().clone()).unwrap();
+    trust2.install_crl(crl).unwrap();
+    assert!(loaded.verify(&trust2, 250).is_err());
+}
+
+/// Intermediate CAs work through the whole stack: a site CA under the root
+/// issues the user; the server (trusting only the root) accepts the
+/// two-element chain over the live transport.
+#[test]
+fn intermediate_ca_chain_over_transport() {
+    let mut p = pki(4);
+    let mut site_ca =
+        p.ca.issue_intermediate(
+            DistinguishedName::new("DE", "FZJ", "ZAM", "FZJ Site CA"),
+            Validity::starting_at(0, 500_000),
+            512,
+            &mut p.rng,
+        )
+        .unwrap();
+    let user = site_ca
+        .issue_identity(
+            DistinguishedName::new("DE", "FZJ", "ZAM", "site-user"),
+            KeyUsage::user(),
+            Validity::starting_at(0, 100_000),
+            &mut p.rng,
+        )
+        .unwrap();
+    let server = issue(&mut p, "gw", KeyUsage::server());
+
+    let mut user_ep = Endpoint::new(user, p.trust.clone(), 10);
+    user_ep.intermediates = vec![site_ca.certificate().clone()];
+    let server_ep = Endpoint::new(server, p.trust.clone(), 10);
+    let cc = SessionCache::new(4);
+    let sc = SessionCache::new(4);
+    let (cw, sw) = wire_pair();
+    let (client, srv) = std::thread::scope(|s| {
+        let h = s.spawn(|| {
+            let mut rng = CryptoRng::from_u64(5).fork("s");
+            server_handshake(sw, &server_ep, &sc, &mut rng)
+        });
+        let mut rng = CryptoRng::from_u64(5).fork("c");
+        (
+            client_handshake(cw, &user_ep, "FZJ", &cc, &mut rng),
+            h.join().unwrap(),
+        )
+    });
+    client.unwrap();
+    let srv = srv.unwrap();
+    assert_eq!(srv.peer().tbs.subject.common_name, "site-user");
+}
+
+/// The trust store itself enforces chain order, usage and windows when
+/// driven with certificates that crossed a DER round trip (as they do in
+/// handshake messages).
+#[test]
+fn trust_decisions_survive_serialisation() {
+    let mut p = pki(6);
+    let user = issue(&mut p, "alice", KeyUsage::user());
+    let round_tripped = unicore_certs::Certificate::from_der(&user.cert.to_der()).unwrap();
+    p.trust
+        .validate(
+            std::slice::from_ref(&round_tripped),
+            50,
+            RequiredUsage::ClientAuth,
+        )
+        .unwrap();
+    assert!(p
+        .trust
+        .validate(
+            std::slice::from_ref(&round_tripped),
+            50,
+            RequiredUsage::CodeSign
+        )
+        .is_err());
+    assert!(p
+        .trust
+        .validate(&[round_tripped], 999_999_999, RequiredUsage::ClientAuth)
+        .is_err());
+}
+
+/// Session resumption still enforces the original authentication: the
+/// resumed channel reports the same peer identity.
+#[test]
+fn resumption_preserves_identity() {
+    let mut p = pki(7);
+    let user = issue(&mut p, "resumer", KeyUsage::user());
+    let server = issue(&mut p, "gw", KeyUsage::server());
+    let user_ep = Endpoint::new(user, p.trust.clone(), 10);
+    let server_ep = Endpoint::new(server, p.trust.clone(), 10);
+    let cc = SessionCache::new(4);
+    let sc = SessionCache::new(4);
+
+    let mut peer_names = Vec::new();
+    for seed in [10u64, 11] {
+        let (cw, sw) = wire_pair();
+        let (client, srv) = std::thread::scope(|s| {
+            let h = s.spawn(|| {
+                let mut rng = CryptoRng::from_u64(seed).fork("s");
+                server_handshake(sw, &server_ep, &sc, &mut rng)
+            });
+            let mut rng = CryptoRng::from_u64(seed).fork("c");
+            (
+                client_handshake(cw, &user_ep, "FZJ", &cc, &mut rng),
+                h.join().unwrap(),
+            )
+        });
+        let client = client.unwrap();
+        let srv = srv.unwrap();
+        peer_names.push((client.resumed(), srv.peer().tbs.subject.common_name.clone()));
+    }
+    assert_eq!(peer_names[0], (false, "resumer".to_string()));
+    assert_eq!(peer_names[1], (true, "resumer".to_string()));
+}

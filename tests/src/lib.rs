@@ -1,0 +1,1 @@
+//! Test-only package: integration tests spanning the workspace crates.
