@@ -1,0 +1,21 @@
+#!/bin/sh
+# CI gate: formatting, lints (warnings are errors), tier-1 build + tests.
+# All cargo invocations run offline; every dependency is vendored or
+# shimmed in-tree (see shims/).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test"
+cargo test -q --offline
+
+echo "CI green."

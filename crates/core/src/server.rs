@@ -12,10 +12,13 @@ use unicore_ajo::{
     ActionId, ActionStatus, DetailLevel, JobId, JobOutcome, OutcomeNode, ServiceOutcome,
     TaskOutcome,
 };
+use unicore_codec::DerCodec;
+use unicore_crypto::sha256;
 use unicore_gateway::{AuthDecision, Gateway};
-use unicore_njs::{Njs, OutgoingItem};
+use unicore_njs::{ConsignMeta, Njs, NjsError, OutgoingItem, RecoveryReport};
 use unicore_resources::ResourceDirectory;
 use unicore_sim::{SimTime, SEC};
+use unicore_store::ForeignOrigin;
 
 /// A request this server wants delivered to a peer Usite.
 #[derive(Debug)]
@@ -60,8 +63,33 @@ pub struct UnicoreServer {
     peer_servers: HashSet<String>,
     /// Jobs running here on behalf of a remote parent.
     foreign: HashMap<JobId, ForeignJob>,
+    /// Idempotency index: consign-request key → the job it created.
+    /// A re-delivered Consign (client retry after a lost reply, or a
+    /// peer re-forwarding after a crash) maps to the existing job
+    /// instead of being submitted twice.
+    idem: HashMap<Vec<u8>, JobId>,
     pending: HashMap<u64, Pending>,
     next_corr: u64,
+}
+
+/// Idempotency key for a user Consign: who sent it and the exact AJO.
+fn consign_key(from_dn: &str, ajo_der: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(from_dn.len() + 1 + ajo_der.len());
+    buf.extend_from_slice(from_dn.as_bytes());
+    buf.push(0);
+    buf.extend_from_slice(ajo_der);
+    sha256(&buf).to_vec()
+}
+
+/// Idempotency key for a peer ConsignSubJob: the sub-job's identity at
+/// its origin (origin server, parent job, node) is unique for all time.
+fn subjob_key(origin: &str, parent: JobId, node: ActionId) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(origin.len() + 17);
+    buf.extend_from_slice(origin.as_bytes());
+    buf.push(0);
+    buf.extend_from_slice(&parent.0.to_be_bytes());
+    buf.extend_from_slice(&node.0.to_be_bytes());
+    sha256(&buf).to_vec()
 }
 
 impl UnicoreServer {
@@ -84,9 +112,36 @@ impl UnicoreServer {
             resources,
             peer_servers: HashSet::new(),
             foreign: HashMap::new(),
+            idem: HashMap::new(),
             pending: HashMap::new(),
             next_corr: 1,
         }
+    }
+
+    /// Rebuilds this server's state from the NJS's journal after a
+    /// restart: the job table (via [`Njs::recover`]), the idempotency
+    /// index, and the ledger of jobs owed to remote parents. Outcomes of
+    /// foreign jobs that finished are re-delivered on the next
+    /// [`UnicoreServer::step`] (delivery is at-least-once; the origin
+    /// applies it idempotently).
+    pub fn recover(&mut self, now: SimTime) -> Result<RecoveryReport, NjsError> {
+        let report = self.njs.recover(now)?;
+        for (key, job) in &report.idem {
+            self.idem.insert(key.clone(), *job);
+        }
+        for (job, f) in &report.foreign {
+            self.foreign.insert(
+                *job,
+                ForeignJob {
+                    origin: f.origin.clone(),
+                    parent: f.parent,
+                    node: f.node,
+                    return_files: f.return_files.clone(),
+                    delivered: false,
+                },
+            );
+        }
+        Ok(report)
     }
 
     /// This server's Usite.
@@ -134,6 +189,16 @@ impl UnicoreServer {
                         "AJO user DN does not match authenticated DN {from_dn}"
                     ));
                 }
+                // Deduplicate re-delivered Consigns (client retry after a
+                // lost reply, or replays after a crash): the identical
+                // request from the same DN maps to the job it already
+                // created, and is never submitted to batch a second time.
+                let idem_key = consign_key(from_dn, &ajo.to_der());
+                if let Some(&existing) = self.idem.get(&idem_key) {
+                    if self.njs.outcome(existing).is_some() {
+                        return Response::Consigned { job: existing };
+                    }
+                }
                 // Figure 2: "the user [may] contact any UNICORE server".
                 // A job destined for another Usite is wrapped in a local
                 // routing job whose single node is the remote job group;
@@ -171,8 +236,15 @@ impl UnicoreServer {
                     AuthDecision::Accepted(m) => m,
                     AuthDecision::Refused(reason) => return Response::Error(reason),
                 };
-                match self.njs.consign(ajo, mapped, now) {
-                    Ok(job) => Response::Consigned { job },
+                let meta = ConsignMeta {
+                    idem_key: idem_key.clone(),
+                    foreign: None,
+                };
+                match self.njs.consign_with_meta(ajo, mapped, now, meta) {
+                    Ok(job) => {
+                        self.idem.insert(idem_key, job);
+                        Response::Consigned { job }
+                    }
                     Err(e) => Response::Error(e.to_string()),
                 }
             }
@@ -197,7 +269,13 @@ impl UnicoreServer {
                 }
             }
             Request::Purge { job } => match self.njs.purge(job, from_dn) {
-                Ok(bytes) => Response::Purged { bytes },
+                Ok(bytes) => {
+                    // A purged job's consign may legitimately be re-sent
+                    // (a rerun of the same AJO): forget its dedup key.
+                    self.idem.retain(|_, j| *j != job);
+                    self.foreign.remove(&job);
+                    Response::Purged { bytes }
+                }
                 Err(e) => Response::Error(e.to_string()),
             },
             Request::ListFiles { job } => match self.njs.list_uspace_files(job, from_dn) {
@@ -215,6 +293,16 @@ impl UnicoreServer {
                 if !self.peer_servers.contains(from_dn) {
                     return Response::Error(format!("{from_dn} is not a trusted peer server"));
                 }
+                // A sub-job is identified for all time by (origin, parent,
+                // node): if the origin re-forwards it — because it crashed
+                // after our Consigned reply was lost, or restarted and
+                // re-dispatched the node — return the job already running.
+                let idem_key = subjob_key(&origin, parent, node);
+                if let Some(&existing) = self.idem.get(&idem_key) {
+                    if self.njs.outcome(existing).is_some() {
+                        return Response::Consigned { job: existing };
+                    }
+                }
                 // The job runs as the *original user*: map their DN here.
                 let decision = self.gateway.authorize_dn(
                     &ajo.user.dn,
@@ -226,8 +314,18 @@ impl UnicoreServer {
                     AuthDecision::Accepted(m) => m,
                     AuthDecision::Refused(reason) => return Response::Error(reason),
                 };
-                match self.njs.consign_from_peer(ajo, mapped, now) {
+                let meta = ConsignMeta {
+                    idem_key: idem_key.clone(),
+                    foreign: Some(ForeignOrigin {
+                        origin: origin.clone(),
+                        parent,
+                        node,
+                        return_files: return_files.clone(),
+                    }),
+                };
+                match self.njs.consign_from_peer_with_meta(ajo, mapped, now, meta) {
                     Ok(job) => {
+                        self.idem.insert(idem_key, job);
                         self.foreign.insert(
                             job,
                             ForeignJob {

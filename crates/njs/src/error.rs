@@ -45,6 +45,8 @@ pub enum NjsError {
         /// Who asked.
         dn: String,
     },
+    /// The durable job journal failed (write or replay).
+    Store(unicore_store::StoreError),
 }
 
 impl fmt::Display for NjsError {
@@ -68,7 +70,14 @@ impl fmt::Display for NjsError {
             NjsError::Batch(e) => write!(f, "batch submission failed: {e}"),
             NjsError::UnknownJob(j) => write!(f, "unknown job {j}"),
             NjsError::NotOwner { job, dn } => write!(f, "{dn} does not own {job}"),
+            NjsError::Store(e) => write!(f, "job store error: {e}"),
         }
+    }
+}
+
+impl From<unicore_store::StoreError> for NjsError {
+    fn from(e: unicore_store::StoreError) -> Self {
+        NjsError::Store(e)
     }
 }
 

@@ -22,9 +22,11 @@ use unicore_ajo::{
     JobId, JobOutcome, JobSummary, OutcomeNode, TaskKind, TaskOutcome, VsiteAddress,
 };
 use unicore_batch::{BatchJobId, BatchJobSpec, BatchStatus, BatchSystem};
+use unicore_codec::DerCodec;
 use unicore_gateway::MappedUser;
 use unicore_resources::{check_request, ResourcePage};
 use unicore_sim::SimTime;
+use unicore_store::{EventStore, ForeignOrigin, OwnerRecord, StoreError, StoreEvent};
 use unicore_uspace::Vspace;
 
 /// Xspace directory where incoming site-to-site transfers land.
@@ -70,6 +72,33 @@ pub enum OutgoingItem {
         /// The bytes.
         data: Vec<u8>,
     },
+}
+
+/// Journal metadata a caller (the server layer) attaches to a consign.
+///
+/// The NJS writes it into the job's `JobConsigned` event so that a
+/// recovered server can rebuild its idempotency index and its map of
+/// jobs owed to remote parents.
+#[derive(Debug, Default, Clone)]
+pub struct ConsignMeta {
+    /// Idempotency key identifying the consign request (empty = none).
+    pub idem_key: Vec<u8>,
+    /// Set when the job was consigned by a peer server on behalf of a
+    /// remote parent job.
+    pub foreign: Option<ForeignOrigin>,
+}
+
+/// What [`Njs::recover`] rebuilt from the journal.
+#[derive(Debug, Default)]
+pub struct RecoveryReport {
+    /// Jobs alive again after replay (consigned, not purged).
+    pub jobs: Vec<JobId>,
+    /// Idempotency keys of live jobs, for the server's dedup index.
+    pub idem: Vec<(Vec<u8>, JobId)>,
+    /// Live jobs owed to remote parents, with their origin bookkeeping.
+    pub foreign: Vec<(JobId, ForeignOrigin)>,
+    /// Whether the newest log segment ended in a torn record.
+    pub torn_tail: bool,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -121,6 +150,14 @@ pub struct Njs {
     outbox: Vec<OutgoingItem>,
     /// Count of incarnations performed (metrics).
     incarnations: u64,
+    /// Durable event journal (crash recovery), when attached.
+    store: Option<EventStore>,
+    /// True while `recover` replays the journal, so replayed operations
+    /// are not journalled a second time.
+    recovering: bool,
+    /// Last simulated time seen, used to stamp journal events emitted
+    /// from state transitions that have no `now` parameter of their own.
+    clock: SimTime,
 }
 
 impl Njs {
@@ -141,7 +178,127 @@ impl Njs {
             oracle,
             outbox: Vec::new(),
             incarnations: 0,
+            store: None,
+            recovering: false,
+            clock: 0,
         }
+    }
+
+    /// Attaches a durable event store. From now on every consign, node
+    /// completion, job completion, and purge is journalled, and
+    /// [`Njs::recover`] can rebuild the job table after a restart.
+    pub fn attach_store(&mut self, store: EventStore) {
+        self.store = Some(store);
+    }
+
+    /// The attached event store, for compaction and inspection.
+    pub fn store_mut(&mut self) -> Option<&mut EventStore> {
+        self.store.as_mut()
+    }
+
+    /// Whether a store is attached.
+    pub fn has_store(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// Journals an event (best-effort: a dead backend means the machine
+    /// is going down anyway; consign's own write is the strict one).
+    fn log_event(&mut self, event: StoreEvent) {
+        if self.recovering {
+            return;
+        }
+        if let Some(store) = &mut self.store {
+            let _ = store.append(&event);
+        }
+    }
+
+    /// Journals a node's terminal outcome plus the files it deposited.
+    fn log_terminal(&mut self, job: JobId, node: ActionId, files: Vec<(String, Vec<u8>)>) {
+        if self.recovering || self.store.is_none() {
+            return;
+        }
+        let Some(rt) = self.jobs.get(&job) else {
+            return;
+        };
+        let Some(outcome) = rt.outcome.child(node) else {
+            return;
+        };
+        let event = StoreEvent::TaskStateChanged {
+            job,
+            node,
+            outcome_der: outcome.to_der(),
+            files,
+            at: self.clock,
+        };
+        self.log_event(event);
+    }
+
+    /// Journals a finished job's outcome tree and full uspace manifest.
+    fn log_job_done(&mut self, job: JobId) {
+        if self.recovering || self.store.is_none() {
+            return;
+        }
+        let manifest = self.uspace_manifest(job);
+        let Some(rt) = self.jobs.get(&job) else {
+            return;
+        };
+        let event = StoreEvent::OutcomeStored {
+            job,
+            outcome_der: rt.outcome.to_der(),
+            manifest,
+            at: self.clock,
+        };
+        self.log_event(event);
+    }
+
+    /// What a just-finished file task deposited into the job's Uspace
+    /// (successful Imports put one file there; Exports and Transfers
+    /// write elsewhere).
+    fn deposited_by_file_task(&self, job: JobId, node: ActionId) -> Vec<(String, Vec<u8>)> {
+        if self.store.is_none() || self.recovering {
+            return Vec::new();
+        }
+        let Some(rt) = self.jobs.get(&job) else {
+            return Vec::new();
+        };
+        let Some(GraphNode::Task(task)) = rt.job.node(node) else {
+            return Vec::new();
+        };
+        let TaskKind::File(FileKind::Import { uspace_name, .. }) = &task.kind else {
+            return Vec::new();
+        };
+        if !rt.node_status(node).is_success() {
+            return Vec::new();
+        }
+        let Some(v) = self.vsites.get(&rt.job.vsite.vsite) else {
+            return Vec::new();
+        };
+        match v.vspace.read_for_transfer(job, uspace_name, &rt.user.login) {
+            Ok(data) => vec![(uspace_name.clone(), data)],
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// Everything currently in the job's Uspace (name, contents).
+    fn uspace_manifest(&self, job: JobId) -> Vec<(String, Vec<u8>)> {
+        let Some(rt) = self.jobs.get(&job) else {
+            return Vec::new();
+        };
+        let Some(v) = self.vsites.get(&rt.job.vsite.vsite) else {
+            return Vec::new();
+        };
+        let Ok(fs) = v.vspace.uspace(job) else {
+            return Vec::new();
+        };
+        fs.list("")
+            .into_iter()
+            .filter_map(|name| {
+                v.vspace
+                    .read_for_transfer(job, name, &rt.user.login)
+                    .ok()
+                    .map(|d| (name.to_owned(), d))
+            })
+            .collect()
     }
 
     /// This NJS's Usite name.
@@ -200,13 +357,24 @@ impl Njs {
         user: MappedUser,
         now: SimTime,
     ) -> Result<JobId, NjsError> {
+        self.consign_with_meta(job, user, now, ConsignMeta::default())
+    }
+
+    /// Consigns a top-level AJO with journal metadata attached.
+    pub fn consign_with_meta(
+        &mut self,
+        job: AbstractJob,
+        user: MappedUser,
+        now: SimTime,
+        meta: ConsignMeta,
+    ) -> Result<JobId, NjsError> {
         job.validate()?;
         let portfolio: HashMap<String, Vec<u8>> = job
             .portfolio
             .iter()
             .map(|p| (p.name.clone(), p.data.clone()))
             .collect();
-        self.consign_internal(job, user, Arc::new(portfolio), Vec::new(), None, now)
+        self.consign_internal(job, user, Arc::new(portfolio), Vec::new(), None, now, meta)
     }
 
     /// Consigns a job group arriving from a peer NJS (already mapped by
@@ -216,6 +384,17 @@ impl Njs {
         job: AbstractJob,
         user: MappedUser,
         now: SimTime,
+    ) -> Result<JobId, NjsError> {
+        self.consign_from_peer_with_meta(job, user, now, ConsignMeta::default())
+    }
+
+    /// Peer consign with journal metadata (origin bookkeeping, dedup key).
+    pub fn consign_from_peer_with_meta(
+        &mut self,
+        job: AbstractJob,
+        user: MappedUser,
+        now: SimTime,
+        meta: ConsignMeta,
     ) -> Result<JobId, NjsError> {
         // Peer-forwarded job groups carry their staged files as portfolio;
         // stage every portfolio file into the Uspace directly (files flow
@@ -229,9 +408,10 @@ impl Njs {
         let portfolio: HashMap<String, Vec<u8>> = staged.iter().cloned().collect();
         let mut job = job;
         job.portfolio.clear();
-        self.consign_internal(job, user, Arc::new(portfolio), staged, None, now)
+        self.consign_internal(job, user, Arc::new(portfolio), staged, None, now, meta)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn consign_internal(
         &mut self,
         job: AbstractJob,
@@ -240,7 +420,9 @@ impl Njs {
         staged: Vec<(String, Vec<u8>)>,
         parent: Option<(JobId, ActionId)>,
         now: SimTime,
+        meta: ConsignMeta,
     ) -> Result<JobId, NjsError> {
+        self.clock = self.clock.max(now);
         if job.vsite.usite != self.usite {
             return Err(NjsError::WrongUsite {
                 wanted: job.vsite.usite.clone(),
@@ -292,8 +474,37 @@ impl Njs {
             .expect("checked above")
             .vspace;
         vspace.create_uspace(id, quota)?;
-        for (name, data) in staged {
-            vspace.write_uspace_file(id, &name, data, &user.login)?;
+        for (name, data) in &staged {
+            vspace.write_uspace_file(id, name, data.clone(), &user.login)?;
+        }
+
+        // Write-ahead: the job is only accepted once its consign record
+        // is durable. A failed journal write rolls the admission back.
+        let recovering = self.recovering;
+        if let Some(store) = self.store.as_mut() {
+            if !recovering {
+                let event = StoreEvent::JobConsigned {
+                    job: id,
+                    ajo_der: job.to_der(),
+                    user: OwnerRecord {
+                        dn: user.dn.clone(),
+                        login: user.login.clone(),
+                        account_group: user.account_group.clone(),
+                    },
+                    staged,
+                    idem_key: meta.idem_key,
+                    parent,
+                    foreign: meta.foreign,
+                    at: now,
+                };
+                if let Err(e) = store.append(&event) {
+                    if let Some(v) = self.vsites.get_mut(&job.vsite.vsite) {
+                        let _ = v.vspace.destroy_uspace(id);
+                    }
+                    self.next_job -= 1;
+                    return Err(NjsError::Store(e));
+                }
+            }
         }
 
         // Prime the outcome tree and node states.
@@ -333,6 +544,205 @@ impl Njs {
         Ok(id)
     }
 
+    /// Replays the attached journal, rebuilding the job table as it was
+    /// at the crash, then resumes dependency-ordered dispatch.
+    ///
+    /// Recovery semantics:
+    /// * every `JobConsigned` job is re-admitted under its original
+    ///   [`JobId`], with its Uspace re-created and staged inputs restored;
+    /// * nodes with a journalled terminal outcome come back `Terminal`
+    ///   with their outcome and deposited files intact — they are **never
+    ///   re-submitted to batch**;
+    /// * finished jobs come back `done` with their outcome tree and full
+    ///   Uspace manifest, ready for the client to poll and fetch;
+    /// * purged jobs stay gone;
+    /// * nodes that were in flight (queued or running in batch, which
+    ///   died with the machine) reset to `Waiting` and are re-dispatched
+    ///   by the next [`Njs::step`];
+    /// * local parent–child links are re-wired so sub-job polling
+    ///   continues where it left off.
+    ///
+    /// Call after the Vsites are registered and the store is attached,
+    /// before the first `step`. A missing store recovers nothing.
+    pub fn recover(&mut self, now: SimTime) -> Result<RecoveryReport, NjsError> {
+        let Some(store) = &self.store else {
+            return Ok(RecoveryReport::default());
+        };
+        let replay = store.replay().map_err(NjsError::Store)?;
+        self.clock = self.clock.max(now);
+        self.recovering = true;
+        let orig_next = self.next_job;
+        let mut max_job = 0u64;
+        let mut report = RecoveryReport {
+            // The open() repair already trimmed a torn tail if there was
+            // one; surface either signal to the caller.
+            torn_tail: replay.torn_tail || store.recovered_torn(),
+            ..RecoveryReport::default()
+        };
+        // (child, parent job, parent node) links to re-wire afterwards.
+        let mut links: Vec<(JobId, JobId, ActionId)> = Vec::new();
+
+        let result = (|| -> Result<(), NjsError> {
+            for event in &replay.events {
+                match event {
+                    StoreEvent::JobConsigned {
+                        job,
+                        ajo_der,
+                        user,
+                        staged,
+                        idem_key,
+                        parent,
+                        foreign,
+                        at,
+                    } => {
+                        let ajo = AbstractJob::from_der(ajo_der)
+                            .map_err(|e| NjsError::Store(StoreError::Codec(e)))?;
+                        let mapped = MappedUser {
+                            dn: user.dn.clone(),
+                            login: user.login.clone(),
+                            account_group: user.account_group.clone(),
+                        };
+                        // Child jobs share their parent's portfolio (the
+                        // parent was consigned earlier in the log); others
+                        // rebuild it from the AJO and the staged files.
+                        let portfolio: Arc<HashMap<String, Vec<u8>>> = match parent {
+                            Some((pjob, _)) => self
+                                .jobs
+                                .get(pjob)
+                                .map(|p| p.portfolio.clone())
+                                .unwrap_or_default(),
+                            None => {
+                                let mut m: HashMap<String, Vec<u8>> = ajo
+                                    .portfolio
+                                    .iter()
+                                    .map(|p| (p.name.clone(), p.data.clone()))
+                                    .collect();
+                                for (name, data) in staged {
+                                    m.insert(name.clone(), data.clone());
+                                }
+                                Arc::new(m)
+                            }
+                        };
+                        self.next_job = job.0;
+                        let got = self.consign_internal(
+                            ajo,
+                            mapped,
+                            portfolio,
+                            staged.clone(),
+                            *parent,
+                            *at,
+                            ConsignMeta::default(),
+                        )?;
+                        debug_assert_eq!(got, *job, "journal replay must keep job ids");
+                        max_job = max_job.max(job.0);
+                        report.jobs.push(*job);
+                        if !idem_key.is_empty() {
+                            report.idem.push((idem_key.clone(), *job));
+                        }
+                        if let Some(f) = foreign {
+                            report.foreign.push((*job, f.clone()));
+                        }
+                        if let Some((pjob, pnode)) = parent {
+                            links.push((*job, *pjob, *pnode));
+                        }
+                    }
+                    // Incarnations are informational: in-flight batch work
+                    // died with the machine and is re-dispatched fresh.
+                    StoreEvent::JobIncarnated { .. } => {}
+                    StoreEvent::TaskStateChanged {
+                        job,
+                        node,
+                        outcome_der,
+                        files,
+                        ..
+                    } => {
+                        let outcome = OutcomeNode::from_der(outcome_der)
+                            .map_err(|e| NjsError::Store(StoreError::Codec(e)))?;
+                        if let Some(rt) = self.jobs.get_mut(job) {
+                            if let Some(slot) = rt.outcome.child_mut(*node) {
+                                *slot = outcome;
+                            }
+                            rt.states.insert(*node, NodeState::Terminal);
+                            let (vsite, login) =
+                                (rt.job.vsite.vsite.clone(), rt.user.login.clone());
+                            if let Some(v) = self.vsites.get_mut(&vsite) {
+                                for (name, data) in files {
+                                    let _ = v.vspace.write_uspace_file(
+                                        *job,
+                                        name,
+                                        data.clone(),
+                                        &login,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    StoreEvent::OutcomeStored {
+                        job,
+                        outcome_der,
+                        manifest,
+                        at,
+                    } => {
+                        let outcome = JobOutcome::from_der(outcome_der)
+                            .map_err(|e| NjsError::Store(StoreError::Codec(e)))?;
+                        if let Some(rt) = self.jobs.get_mut(job) {
+                            rt.outcome = outcome;
+                            let ids: Vec<ActionId> = rt.states.keys().copied().collect();
+                            for nid in ids {
+                                rt.states.insert(nid, NodeState::Terminal);
+                            }
+                            rt.done = true;
+                            rt.finished_at = Some(*at);
+                            let (vsite, login) =
+                                (rt.job.vsite.vsite.clone(), rt.user.login.clone());
+                            if let Some(v) = self.vsites.get_mut(&vsite) {
+                                for (name, data) in manifest {
+                                    let _ = v.vspace.write_uspace_file(
+                                        *job,
+                                        name,
+                                        data.clone(),
+                                        &login,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    StoreEvent::JobPurged { job, .. } => {
+                        if let Some(rt) = self.jobs.remove(job) {
+                            if let Some(v) = self.vsites.get_mut(&rt.job.vsite.vsite) {
+                                let _ = v.vspace.destroy_uspace(*job);
+                            }
+                            self.job_order.retain(|j| j != job);
+                        }
+                        report.jobs.retain(|j| j != job);
+                        report.idem.retain(|(_, j)| j != job);
+                        report.foreign.retain(|(j, _)| j != job);
+                    }
+                }
+            }
+            Ok(())
+        })();
+
+        // Re-wire surviving parent→child links so the parents poll their
+        // children instead of re-consigning them.
+        for (child, pjob, pnode) in links {
+            if !self.jobs.contains_key(&child) {
+                continue;
+            }
+            if let Some(parent_rt) = self.jobs.get_mut(&pjob) {
+                if parent_rt.states.get(&pnode) != Some(&NodeState::Terminal) {
+                    parent_rt
+                        .states
+                        .insert(pnode, NodeState::ChildJob { child });
+                }
+            }
+        }
+        self.next_job = orig_next.max(max_job + 1);
+        self.recovering = false;
+        result?;
+        Ok(report)
+    }
+
     /// Earliest future event (batch completion or crash recovery) across
     /// this NJS's Vsites.
     pub fn next_event_time(&self) -> Option<SimTime> {
@@ -344,6 +754,7 @@ impl Njs {
 
     /// Drives all jobs forward to `now`. Call repeatedly as time advances.
     pub fn step(&mut self, now: SimTime) {
+        self.clock = self.clock.max(now);
         for name in &self.vsite_order {
             self.vsites
                 .get_mut(name)
@@ -416,6 +827,7 @@ impl Njs {
                         Some(OutcomeNode::Job(j)) => j.status = ActionStatus::Killed,
                         None => {}
                     }
+                    self.log_terminal(id, *nid, Vec::new());
                     progressed = true;
                 } else {
                     progressed |= self.dispatch_node(id, *nid, now);
@@ -426,10 +838,12 @@ impl Njs {
         // 3. Completion check.
         let rt = self.jobs.get_mut(&id).expect("job exists");
         rt.outcome.aggregate_status();
-        if !rt.done && rt.states.values().all(|s| *s == NodeState::Terminal) {
+        let finished = !rt.done && rt.states.values().all(|s| *s == NodeState::Terminal);
+        if finished {
             rt.done = true;
             rt.finished_at = Some(now);
             progressed = true;
+            self.log_job_done(id);
         }
         progressed
     }
@@ -487,8 +901,11 @@ impl Njs {
                 rt.set_task_outcome(node, outcome);
                 rt.states.insert(node, NodeState::Terminal);
                 // Deposit output files into the job's Uspace.
+                let journal = self.store.is_some() && !self.recovering;
+                let mut deposited: Vec<(String, Vec<u8>)> = Vec::new();
                 let vspace = &mut self.vsites.get_mut(vsite).expect("known vsite").vspace;
                 for (name, data) in c.output_files {
+                    let keep = journal.then(|| data.clone());
                     // Quota overflow turns the task's result into failure.
                     if vspace.write_uspace_file(job, &name, data, &login).is_err() {
                         let rt = self.jobs.get_mut(&job).expect("job exists");
@@ -496,8 +913,11 @@ impl Njs {
                             t.status = ActionStatus::NotSuccessful;
                             t.message = "output exceeded job disk quota".into();
                         }
+                    } else if let Some(data) = keep {
+                        deposited.push((name, data));
                     }
                 }
+                self.log_terminal(job, node, deposited);
                 true
             }
             Some(BatchStatus::Cancelled) => {
@@ -510,6 +930,7 @@ impl Njs {
                     },
                 );
                 rt.states.insert(node, NodeState::Terminal);
+                self.log_terminal(job, node, Vec::new());
                 true
             }
             None => false,
@@ -548,6 +969,7 @@ impl Njs {
                     }
                 }
             }
+            let mut pulled: Vec<(String, Vec<u8>)> = Vec::new();
             if !wanted.is_empty() {
                 let parent_vsite = rt.job.vsite.vsite.clone();
                 let login = rt.user.login.clone();
@@ -563,11 +985,17 @@ impl Njs {
                         .and_then(|v| v.vspace.read_for_transfer(child, &name, &login).ok());
                     if let Some(data) = data {
                         if let Some(v) = self.vsites.get_mut(&parent_vsite) {
-                            let _ = v.vspace.write_uspace_file(job, &name, data, &login);
+                            if v.vspace
+                                .write_uspace_file(job, &name, data.clone(), &login)
+                                .is_ok()
+                            {
+                                pulled.push((name, data));
+                            }
                         }
                     }
                 }
             }
+            self.log_terminal(job, node, pulled);
             return true;
         }
         changed
@@ -612,8 +1040,10 @@ impl Njs {
                         queue,
                         work,
                     };
+                    let queue_name = spec.queue.name();
                     match v.batch.submit(spec, now) {
                         Ok(batch_id) => {
+                            let target = format!("{vsite_name}:{queue_name}");
                             let rt = self.jobs.get_mut(&job).expect("job exists");
                             rt.states.insert(
                                 node,
@@ -625,11 +1055,18 @@ impl Njs {
                             if let Some(OutcomeNode::Task(t)) = rt.outcome.child_mut(node) {
                                 t.status = ActionStatus::Queued;
                             }
+                            self.log_event(StoreEvent::JobIncarnated {
+                                job,
+                                node,
+                                target,
+                                at: self.clock,
+                            });
                         }
                         Err(e) => {
                             let rt = self.jobs.get_mut(&job).expect("job exists");
                             rt.set_task_outcome(node, TaskOutcome::failure(e.to_string()));
                             rt.states.insert(node, NodeState::Terminal);
+                            self.log_terminal(job, node, Vec::new());
                         }
                     }
                     true
@@ -641,6 +1078,8 @@ impl Njs {
                         FileTaskResult::Done(o) => {
                             rt.set_task_outcome(node, o);
                             rt.states.insert(node, NodeState::Terminal);
+                            let deposited = self.deposited_by_file_task(job, node);
+                            self.log_terminal(job, node, deposited);
                         }
                         FileTaskResult::Remote => {
                             if let Some(OutcomeNode::Task(t)) = rt.outcome.child_mut(node) {
@@ -688,7 +1127,15 @@ impl Njs {
 
         if sub.vsite.usite == self.usite {
             // Local child at (possibly) another Vsite of this Usite.
-            match self.consign_internal(sub, user, portfolio, staged, Some((job, node)), now) {
+            match self.consign_internal(
+                sub,
+                user,
+                portfolio,
+                staged,
+                Some((job, node)),
+                now,
+                ConsignMeta::default(),
+            ) {
                 Ok(child) => {
                     let rt = self.jobs.get_mut(&job).expect("job exists");
                     rt.states.insert(node, NodeState::ChildJob { child });
@@ -699,6 +1146,7 @@ impl Njs {
                         j.status = ActionStatus::NotSuccessful;
                     }
                     rt.states.insert(node, NodeState::Terminal);
+                    self.log_terminal(job, node, Vec::new());
                     let _ = e;
                 }
             }
@@ -727,6 +1175,7 @@ impl Njs {
                 }
                 files
             };
+            let dest_usite = ajo.vsite.usite.clone();
             self.outbox.push(OutgoingItem::SubJob {
                 parent: job,
                 node,
@@ -738,6 +1187,12 @@ impl Njs {
                 j.status = ActionStatus::Consigned;
             }
             rt.states.insert(node, NodeState::Remote);
+            self.log_event(StoreEvent::JobIncarnated {
+                job,
+                node,
+                target: format!("peer:{dest_usite}"),
+                at: self.clock,
+            });
         }
     }
 
@@ -959,10 +1414,11 @@ impl Njs {
         rt.states.insert(node, NodeState::Terminal);
         let (vsite, login) = (rt.job.vsite.vsite.clone(), rt.user.login.clone());
         if let Some(v) = self.vsites.get_mut(&vsite) {
-            for (name, data) in files {
-                let _ = v.vspace.write_uspace_file(job, &name, data, &login);
+            for (name, data) in &files {
+                let _ = v.vspace.write_uspace_file(job, name, data.clone(), &login);
             }
         }
+        self.log_terminal(job, node, files);
     }
 
     /// Reads edge-result files from a (foreign) job's Uspace for return to
@@ -1126,6 +1582,8 @@ impl Njs {
         }
         rt.done = true;
         rt.finished_at = Some(now);
+        self.clock = self.clock.max(now);
+        self.log_job_done(job);
         true
     }
 
@@ -1190,6 +1648,10 @@ impl Njs {
                     freed += v.vspace.destroy_uspace(id).unwrap_or(0);
                 }
                 self.job_order.retain(|j| *j != id);
+                self.log_event(StoreEvent::JobPurged {
+                    job: id,
+                    at: self.clock,
+                });
             }
         }
         Ok(freed)

@@ -1,0 +1,55 @@
+//! Store errors.
+
+use core::fmt;
+use unicore_codec::CodecError;
+
+/// Errors from the write-ahead log and event store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// A record or snapshot failed DER decoding.
+    Codec(CodecError),
+    /// A log segment is damaged somewhere other than its writable tail.
+    Corrupt {
+        /// The damaged segment's name.
+        segment: String,
+        /// Byte offset of the bad record frame.
+        offset: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The storage backend failed (I/O error, or an injected crash).
+    Backend(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Codec(e) => write!(f, "store codec error: {e}"),
+            StoreError::Corrupt {
+                segment,
+                offset,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "corrupt WAL segment {segment} at byte {offset}: {reason}"
+                )
+            }
+            StoreError::Backend(msg) => write!(f, "storage backend error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Codec(e)
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Backend(e.to_string())
+    }
+}

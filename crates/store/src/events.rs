@@ -1,0 +1,473 @@
+//! The typed events the NJS and server journal to the WAL.
+//!
+//! Each event is one DER SEQUENCE wrapped in a context tag carrying the
+//! event discriminant, so the log format is self-describing and new
+//! event kinds can be added without renumbering.
+
+use unicore_ajo::{ActionId, JobId};
+use unicore_codec::{CodecError, DerCodec, Fields, Value};
+
+/// The authenticated owner of a consigned job, as resolved by the UUDB at
+/// consign time. Persisted so recovery does not need to re-consult the
+/// user database (whose mappings may have changed since).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OwnerRecord {
+    /// Certificate distinguished name (the UNICORE identity).
+    pub dn: String,
+    /// Xlogin the job runs under at this Vsite.
+    pub login: String,
+    /// Account group billed for the job.
+    pub account_group: String,
+}
+
+impl DerCodec for OwnerRecord {
+    fn to_value(&self) -> Value {
+        Value::Sequence(vec![
+            Value::string(&self.dn),
+            Value::string(&self.login),
+            Value::string(&self.account_group),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<Self, CodecError> {
+        let mut f = Fields::open(value, "OwnerRecord")?;
+        let rec = OwnerRecord {
+            dn: f.next_string()?,
+            login: f.next_string()?,
+            account_group: f.next_string()?,
+        };
+        f.finish()?;
+        Ok(rec)
+    }
+}
+
+/// Where a job consigned from a peer NJS came from, so the recovered
+/// server can still route its outcome back (paper §4.1 sub-jobs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignOrigin {
+    /// Address of the consigning peer server.
+    pub origin: String,
+    /// The parent job at the peer.
+    pub parent: JobId,
+    /// The sub-job node within the parent's AJO.
+    pub node: ActionId,
+    /// Uspace files the peer expects back with the outcome.
+    pub return_files: Vec<String>,
+}
+
+impl DerCodec for ForeignOrigin {
+    fn to_value(&self) -> Value {
+        Value::Sequence(vec![
+            Value::string(&self.origin),
+            Value::Integer(self.parent.0 as i64),
+            Value::Integer(self.node.0 as i64),
+            Value::Sequence(self.return_files.iter().map(Value::string).collect()),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<Self, CodecError> {
+        let mut f = Fields::open(value, "ForeignOrigin")?;
+        let origin = f.next_string()?;
+        let parent = JobId(f.next_u64()?);
+        let node = ActionId(f.next_u64()?);
+        let return_files = f
+            .next_sequence()?
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .map(str::to_owned)
+                    .ok_or(CodecError::BadValue("return file name"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        f.finish()?;
+        Ok(ForeignOrigin {
+            origin,
+            parent,
+            node,
+            return_files,
+        })
+    }
+}
+
+fn files_value(files: &[(String, Vec<u8>)]) -> Value {
+    Value::Sequence(
+        files
+            .iter()
+            .map(|(name, data)| {
+                Value::Sequence(vec![Value::string(name), Value::bytes(data.clone())])
+            })
+            .collect(),
+    )
+}
+
+fn files_from(value: &Value) -> Result<Vec<(String, Vec<u8>)>, CodecError> {
+    let items = value
+        .as_sequence()
+        .ok_or(CodecError::BadValue("file list"))?;
+    items
+        .iter()
+        .map(|item| {
+            let mut f = Fields::open(item, "file entry")?;
+            let name = f.next_string()?;
+            let data = f.next_bytes()?.to_vec();
+            f.finish()?;
+            Ok((name, data))
+        })
+        .collect()
+}
+
+/// One durable fact about a job's lifecycle.
+///
+/// The WAL is the sequence of these events; replaying them rebuilds the
+/// NJS job table and the server's idempotency index exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreEvent {
+    /// A job was accepted (consign path): the full AJO, the resolved
+    /// owner, the staged input files, and the idempotency key the server
+    /// uses to deduplicate re-delivered Consigns.
+    JobConsigned {
+        /// The job id assigned at consign time.
+        job: JobId,
+        /// Canonical DER of the consigned AJO.
+        ajo_der: Vec<u8>,
+        /// Resolved owner (UUDB mapping at consign time).
+        user: OwnerRecord,
+        /// Input files staged into the job's uspace at consign.
+        staged: Vec<(String, Vec<u8>)>,
+        /// Idempotency key (hash of consigner identity + AJO bytes).
+        idem_key: Vec<u8>,
+        /// Set when the job is a local child of another job here (the
+        /// parent job and the sub-job node it fills).
+        parent: Option<(JobId, ActionId)>,
+        /// Set when the job is a sub-job consigned by a peer server.
+        foreign: Option<ForeignOrigin>,
+        /// Simulation timestamp (microseconds).
+        at: u64,
+    },
+    /// A node of the job was incarnated and handed to a concrete target
+    /// (batch queue, peer Vsite, ...).
+    JobIncarnated {
+        /// The owning job.
+        job: JobId,
+        /// The incarnated node.
+        node: ActionId,
+        /// Human-readable target description (queue or peer address).
+        target: String,
+        /// Simulation timestamp.
+        at: u64,
+    },
+    /// A node reached a terminal state; its per-node outcome (DER of the
+    /// `OutcomeNode`) and any files it deposited in the uspace.
+    TaskStateChanged {
+        /// The owning job.
+        job: JobId,
+        /// The node that finished.
+        node: ActionId,
+        /// Canonical DER of the node's `OutcomeNode`.
+        outcome_der: Vec<u8>,
+        /// Files the task wrote into the uspace (name, contents).
+        files: Vec<(String, Vec<u8>)>,
+        /// Simulation timestamp.
+        at: u64,
+    },
+    /// The whole job finished: its assembled `JobOutcome` and a manifest
+    /// of the uspace files the client may still fetch.
+    OutcomeStored {
+        /// The finished job.
+        job: JobId,
+        /// Canonical DER of the assembled `JobOutcome` tree.
+        outcome_der: Vec<u8>,
+        /// Full uspace manifest at completion (name, contents).
+        manifest: Vec<(String, Vec<u8>)>,
+        /// Simulation timestamp.
+        at: u64,
+    },
+    /// The job's outcome was retrieved and its uspace reclaimed; all of
+    /// its history may be dropped at the next compaction.
+    JobPurged {
+        /// The purged job.
+        job: JobId,
+        /// Simulation timestamp.
+        at: u64,
+    },
+}
+
+impl StoreEvent {
+    /// The job this event belongs to.
+    pub fn job(&self) -> JobId {
+        match self {
+            StoreEvent::JobConsigned { job, .. }
+            | StoreEvent::JobIncarnated { job, .. }
+            | StoreEvent::TaskStateChanged { job, .. }
+            | StoreEvent::OutcomeStored { job, .. }
+            | StoreEvent::JobPurged { job, .. } => *job,
+        }
+    }
+}
+
+const TAG_CONSIGNED: u8 = 0;
+const TAG_INCARNATED: u8 = 1;
+const TAG_TASK_STATE: u8 = 2;
+const TAG_OUTCOME: u8 = 3;
+const TAG_PURGED: u8 = 4;
+
+impl DerCodec for StoreEvent {
+    fn to_value(&self) -> Value {
+        match self {
+            StoreEvent::JobConsigned {
+                job,
+                ajo_der,
+                user,
+                staged,
+                idem_key,
+                parent,
+                foreign,
+                at,
+            } => {
+                let mut fields = vec![
+                    Value::Integer(job.0 as i64),
+                    Value::bytes(ajo_der.clone()),
+                    user.to_value(),
+                    files_value(staged),
+                    Value::bytes(idem_key.clone()),
+                    Value::Integer(*at as i64),
+                ];
+                if let Some((pjob, pnode)) = parent {
+                    fields.push(Value::tagged(
+                        1,
+                        Value::Sequence(vec![
+                            Value::Integer(pjob.0 as i64),
+                            Value::Integer(pnode.0 as i64),
+                        ]),
+                    ));
+                }
+                if let Some(origin) = foreign {
+                    fields.push(Value::tagged(0, origin.to_value()));
+                }
+                Value::tagged(TAG_CONSIGNED, Value::Sequence(fields))
+            }
+            StoreEvent::JobIncarnated {
+                job,
+                node,
+                target,
+                at,
+            } => Value::tagged(
+                TAG_INCARNATED,
+                Value::Sequence(vec![
+                    Value::Integer(job.0 as i64),
+                    Value::Integer(node.0 as i64),
+                    Value::string(target),
+                    Value::Integer(*at as i64),
+                ]),
+            ),
+            StoreEvent::TaskStateChanged {
+                job,
+                node,
+                outcome_der,
+                files,
+                at,
+            } => Value::tagged(
+                TAG_TASK_STATE,
+                Value::Sequence(vec![
+                    Value::Integer(job.0 as i64),
+                    Value::Integer(node.0 as i64),
+                    Value::bytes(outcome_der.clone()),
+                    files_value(files),
+                    Value::Integer(*at as i64),
+                ]),
+            ),
+            StoreEvent::OutcomeStored {
+                job,
+                outcome_der,
+                manifest,
+                at,
+            } => Value::tagged(
+                TAG_OUTCOME,
+                Value::Sequence(vec![
+                    Value::Integer(job.0 as i64),
+                    Value::bytes(outcome_der.clone()),
+                    files_value(manifest),
+                    Value::Integer(*at as i64),
+                ]),
+            ),
+            StoreEvent::JobPurged { job, at } => Value::tagged(
+                TAG_PURGED,
+                Value::Sequence(vec![
+                    Value::Integer(job.0 as i64),
+                    Value::Integer(*at as i64),
+                ]),
+            ),
+        }
+    }
+
+    fn from_value(value: &Value) -> Result<Self, CodecError> {
+        let Value::Tagged(tag, inner) = value else {
+            return Err(CodecError::BadValue("store event: expected tagged value"));
+        };
+        match *tag {
+            TAG_CONSIGNED => {
+                let mut f = Fields::open(inner, "JobConsigned")?;
+                let job = JobId(f.next_u64()?);
+                let ajo_der = f.next_bytes()?.to_vec();
+                let user = OwnerRecord::from_value(f.next_value()?)?;
+                let staged = files_from(f.next_value()?)?;
+                let idem_key = f.next_bytes()?.to_vec();
+                let at = f.next_u64()?;
+                let parent = match f.optional_tagged(1) {
+                    Some(v) => {
+                        let mut p = Fields::open(v, "JobConsigned.parent")?;
+                        let pjob = JobId(p.next_u64()?);
+                        let pnode = ActionId(p.next_u64()?);
+                        p.finish()?;
+                        Some((pjob, pnode))
+                    }
+                    None => None,
+                };
+                let foreign = match f.optional_tagged(0) {
+                    Some(v) => Some(ForeignOrigin::from_value(v)?),
+                    None => None,
+                };
+                f.finish()?;
+                Ok(StoreEvent::JobConsigned {
+                    job,
+                    ajo_der,
+                    user,
+                    staged,
+                    idem_key,
+                    parent,
+                    foreign,
+                    at,
+                })
+            }
+            TAG_INCARNATED => {
+                let mut f = Fields::open(inner, "JobIncarnated")?;
+                let ev = StoreEvent::JobIncarnated {
+                    job: JobId(f.next_u64()?),
+                    node: ActionId(f.next_u64()?),
+                    target: f.next_string()?,
+                    at: f.next_u64()?,
+                };
+                f.finish()?;
+                Ok(ev)
+            }
+            TAG_TASK_STATE => {
+                let mut f = Fields::open(inner, "TaskStateChanged")?;
+                let job = JobId(f.next_u64()?);
+                let node = ActionId(f.next_u64()?);
+                let outcome_der = f.next_bytes()?.to_vec();
+                let files = files_from(f.next_value()?)?;
+                let at = f.next_u64()?;
+                f.finish()?;
+                Ok(StoreEvent::TaskStateChanged {
+                    job,
+                    node,
+                    outcome_der,
+                    files,
+                    at,
+                })
+            }
+            TAG_OUTCOME => {
+                let mut f = Fields::open(inner, "OutcomeStored")?;
+                let job = JobId(f.next_u64()?);
+                let outcome_der = f.next_bytes()?.to_vec();
+                let manifest = files_from(f.next_value()?)?;
+                let at = f.next_u64()?;
+                f.finish()?;
+                Ok(StoreEvent::OutcomeStored {
+                    job,
+                    outcome_der,
+                    manifest,
+                    at,
+                })
+            }
+            TAG_PURGED => {
+                let mut f = Fields::open(inner, "JobPurged")?;
+                let ev = StoreEvent::JobPurged {
+                    job: JobId(f.next_u64()?),
+                    at: f.next_u64()?,
+                };
+                f.finish()?;
+                Ok(ev)
+            }
+            _ => Err(CodecError::BadValue("store event: unknown tag")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_owner() -> OwnerRecord {
+        OwnerRecord {
+            dn: "C=DE, O=FZJ, CN=alice".into(),
+            login: "alice1".into(),
+            account_group: "proj42".into(),
+        }
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        let events = vec![
+            StoreEvent::JobConsigned {
+                job: JobId(7),
+                ajo_der: vec![0x30, 0x00],
+                user: sample_owner(),
+                staged: vec![("input.dat".into(), vec![1, 2, 3])],
+                idem_key: vec![0xaa; 32],
+                parent: Some((JobId(2), ActionId(9))),
+                foreign: Some(ForeignOrigin {
+                    origin: "FZJ/T3E".into(),
+                    parent: JobId(3),
+                    node: ActionId(5),
+                    return_files: vec!["result.dat".into()],
+                }),
+                at: 1_000_000,
+            },
+            StoreEvent::JobConsigned {
+                job: JobId(8),
+                ajo_der: vec![0x30, 0x00],
+                user: sample_owner(),
+                staged: vec![],
+                idem_key: vec![0xbb; 32],
+                parent: None,
+                foreign: None,
+                at: 2_000_000,
+            },
+            StoreEvent::JobIncarnated {
+                job: JobId(7),
+                node: ActionId(1),
+                target: "batch:express".into(),
+                at: 3,
+            },
+            StoreEvent::TaskStateChanged {
+                job: JobId(7),
+                node: ActionId(1),
+                outcome_der: vec![0x30, 0x00],
+                files: vec![("stdout".into(), b"hello".to_vec())],
+                at: 4,
+            },
+            StoreEvent::OutcomeStored {
+                job: JobId(7),
+                outcome_der: vec![0x30, 0x00],
+                manifest: vec![("stdout".into(), b"hello".to_vec())],
+                at: 5,
+            },
+            StoreEvent::JobPurged {
+                job: JobId(7),
+                at: 6,
+            },
+        ];
+        for ev in events {
+            let back = StoreEvent::from_der(&ev.to_der()).unwrap();
+            assert_eq!(back, ev);
+            assert_eq!(back.job(), ev.job());
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let bogus = Value::tagged(9, Value::Sequence(vec![]));
+        assert!(StoreEvent::from_value(&bogus).is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! # unicore-store
+//!
+//! Durable write-ahead job spool for the NJS and the UNICORE server.
+//!
+//! The paper's robustness claim (§5.3) is that the asynchronous
+//! consign/poll protocol "protects against any unreliability" — which is
+//! only true if a server restart does not lose the consigned jobs. This
+//! crate supplies that durability layer, the step production UNICORE took
+//! on its way from research prototype to production grid middleware:
+//!
+//! * an append-only **write-ahead log** of canonical DER records
+//!   (re-using `unicore-codec`) with per-record CRC-32 framing,
+//! * **segment rotation** so the log is a series of bounded files,
+//! * **snapshot + compaction** folding the history of finished jobs into
+//!   a minimal equivalent event sequence,
+//! * a typed **event-store API** ([`StoreEvent`]: `JobConsigned`,
+//!   `JobIncarnated`, `TaskStateChanged`, `OutcomeStored`, `JobPurged`),
+//! * pluggable [`StorageBackend`]s: an in-memory backend whose handle
+//!   survives a simulated crash (for deterministic kill-at-any-stage
+//!   tests) and a real filesystem backend.
+//!
+//! Torn tails are expected: replay verifies each record's CRC and stops
+//! cleanly at the first incomplete or corrupt record of the *newest*
+//! segment — exactly what a crash mid-`append` leaves behind. Corruption
+//! anywhere else is reported as an error, never silently skipped.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod backend;
+pub mod crc;
+pub mod error;
+pub mod events;
+pub mod store;
+pub mod wal;
+
+pub use backend::{FileBackend, MemoryBackend, StorageBackend};
+pub use error::StoreError;
+pub use events::{ForeignOrigin, OwnerRecord, StoreEvent};
+pub use store::{events_by_job, CompactionStats, EventStore, Replay, DEFAULT_ROTATE_AT};
+pub use wal::{decode_record, encode_record, Decoded, RECORD_HEADER_LEN};

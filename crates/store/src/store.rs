@@ -1,0 +1,466 @@
+//! The typed event store: append, replay, rotate, compact.
+
+use crate::backend::StorageBackend;
+use crate::error::StoreError;
+use crate::events::StoreEvent;
+use crate::wal::{
+    encode_record, parse_segment_name, parse_snapshot_name, scan_segment, segment_name,
+    snapshot_name,
+};
+use std::collections::{HashMap, HashSet};
+use unicore_codec::DerCodec;
+
+/// Default segment rotation threshold (bytes).
+pub const DEFAULT_ROTATE_AT: usize = 64 * 1024;
+
+/// Everything replayed from the log at startup.
+#[derive(Debug)]
+pub struct Replay {
+    /// All surviving events, oldest first (snapshot, then segments).
+    pub events: Vec<StoreEvent>,
+    /// Whether the newest segment ended in a torn record (crash residue).
+    pub torn_tail: bool,
+}
+
+/// What one [`EventStore::compact`] call accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Events in the log before folding.
+    pub events_before: usize,
+    /// Events surviving into the snapshot.
+    pub events_after: usize,
+    /// Log bytes (segments + snapshot) before compaction.
+    pub bytes_before: u64,
+    /// Snapshot bytes after compaction.
+    pub bytes_after: u64,
+    /// Log segments deleted.
+    pub segments_removed: usize,
+}
+
+/// A write-ahead event log over a [`StorageBackend`].
+///
+/// The on-disk layout is at most one snapshot `snap-K.der` (the folded
+/// history of everything before segment `K`) plus log segments
+/// `wal-N.seg` with `N >= K`. Appends go to the highest-numbered
+/// segment; once it exceeds the rotation threshold a new one is started.
+pub struct EventStore {
+    backend: Box<dyn StorageBackend>,
+    /// Sequence number of the open (append) segment.
+    current_seq: u64,
+    /// Bytes already in the open segment.
+    current_bytes: usize,
+    rotate_at: usize,
+    /// Sequence of the live snapshot, if any.
+    snapshot_seq: Option<u64>,
+    /// Whether `open` found (and repaired) a torn tail.
+    recovered_torn: bool,
+}
+
+impl EventStore {
+    /// Opens the store with the default rotation threshold.
+    pub fn open(backend: Box<dyn StorageBackend>) -> Result<Self, StoreError> {
+        Self::open_with_rotation(backend, DEFAULT_ROTATE_AT)
+    }
+
+    /// Opens the store, rotating segments at `rotate_at` bytes.
+    ///
+    /// If the newest segment ends in a torn or corrupt record (the
+    /// residue of a crash mid-append), the segment is repaired in place:
+    /// its verified prefix is rewritten atomically and the damaged tail
+    /// discarded. All older segments must be fully intact.
+    pub fn open_with_rotation(
+        backend: Box<dyn StorageBackend>,
+        rotate_at: usize,
+    ) -> Result<Self, StoreError> {
+        let mut store = EventStore {
+            backend,
+            current_seq: 0,
+            current_bytes: 0,
+            rotate_at,
+            snapshot_seq: None,
+            recovered_torn: false,
+        };
+        let names = store.backend.list()?;
+        store.snapshot_seq = names.iter().filter_map(|n| parse_snapshot_name(n)).max();
+        let live_floor = store.snapshot_seq.unwrap_or(0);
+        // Segments below the snapshot floor are leftovers of a compaction
+        // that crashed between writing the snapshot and deleting them.
+        let mut segments: Vec<u64> = Vec::new();
+        for name in &names {
+            if let Some(seq) = parse_segment_name(name) {
+                if seq < live_floor {
+                    store.backend.remove(name)?;
+                } else {
+                    segments.push(seq);
+                }
+            }
+            if let Some(seq) = parse_snapshot_name(name) {
+                if seq < live_floor {
+                    store.backend.remove(name)?;
+                }
+            }
+        }
+        segments.sort_unstable();
+        if let Some(&newest) = segments.last() {
+            let name = segment_name(newest);
+            let data = store.backend.read(&name)?;
+            let scan = scan_segment(&name, &data, true)?;
+            if scan.torn {
+                let mut repaired = Vec::new();
+                for payload in &scan.payloads {
+                    repaired.extend(encode_record(payload));
+                }
+                store.backend.write_atomic(&name, &repaired)?;
+                store.recovered_torn = true;
+                store.current_bytes = repaired.len();
+            } else {
+                store.current_bytes = data.len();
+            }
+            store.current_seq = newest;
+        } else {
+            store.current_seq = live_floor;
+            store.current_bytes = 0;
+        }
+        Ok(store)
+    }
+
+    /// Whether `open` had to discard a torn record tail.
+    pub fn recovered_torn(&self) -> bool {
+        self.recovered_torn
+    }
+
+    /// Appends one event durably. Returns only once the record is on
+    /// storage; rotates to a fresh segment past the size threshold.
+    pub fn append(&mut self, event: &StoreEvent) -> Result<(), StoreError> {
+        let frame = encode_record(&event.to_der());
+        if self.current_bytes > 0 && self.current_bytes + frame.len() > self.rotate_at {
+            self.current_seq += 1;
+            self.current_bytes = 0;
+        }
+        self.backend
+            .append(&segment_name(self.current_seq), &frame)?;
+        self.current_bytes += frame.len();
+        Ok(())
+    }
+
+    fn live_segments(&self) -> Result<Vec<u64>, StoreError> {
+        let mut segments: Vec<u64> = self
+            .backend
+            .list()?
+            .iter()
+            .filter_map(|n| parse_segment_name(n))
+            .collect();
+        segments.sort_unstable();
+        Ok(segments)
+    }
+
+    /// Replays the whole surviving history: snapshot first, then every
+    /// segment in order. Only the newest segment may end torn.
+    pub fn replay(&self) -> Result<Replay, StoreError> {
+        let mut events = Vec::new();
+        if let Some(snap) = self.snapshot_seq {
+            let name = snapshot_name(snap);
+            let data = self.backend.read(&name)?;
+            for payload in scan_segment(&name, &data, false)?.payloads {
+                events.push(StoreEvent::from_der(&payload)?);
+            }
+        }
+        let segments = self.live_segments()?;
+        let mut torn_tail = false;
+        for (i, &seq) in segments.iter().enumerate() {
+            let newest = i + 1 == segments.len();
+            let name = segment_name(seq);
+            let data = self.backend.read(&name)?;
+            let scan = scan_segment(&name, &data, newest)?;
+            for payload in scan.payloads {
+                events.push(StoreEvent::from_der(&payload)?);
+            }
+            torn_tail |= scan.torn;
+        }
+        Ok(Replay { events, torn_tail })
+    }
+
+    /// Folds the history into a snapshot and deletes the covered
+    /// segments.
+    ///
+    /// The fold keeps the minimal event sequence that replays to the same
+    /// state: purged jobs vanish entirely; finished jobs collapse to
+    /// their `JobConsigned` + `OutcomeStored` pair; jobs still in flight
+    /// keep their full history.
+    pub fn compact(&mut self) -> Result<CompactionStats, StoreError> {
+        let replay = self.replay()?;
+        let bytes_before = self.total_bytes()?;
+        let events_before = replay.events.len();
+
+        // Classify each job from its full history.
+        let mut purged: HashSet<u64> = HashSet::new();
+        let mut done: HashSet<u64> = HashSet::new();
+        for ev in &replay.events {
+            match ev {
+                StoreEvent::JobPurged { job, .. } => {
+                    purged.insert(job.0);
+                }
+                StoreEvent::OutcomeStored { job, .. } => {
+                    done.insert(job.0);
+                }
+                _ => {}
+            }
+        }
+        let kept: Vec<&StoreEvent> = replay
+            .events
+            .iter()
+            .filter(|ev| {
+                let id = ev.job().0;
+                if purged.contains(&id) {
+                    false
+                } else if done.contains(&id) {
+                    matches!(
+                        ev,
+                        StoreEvent::JobConsigned { .. } | StoreEvent::OutcomeStored { .. }
+                    )
+                } else {
+                    true
+                }
+            })
+            .collect();
+
+        let mut snapshot = Vec::new();
+        for ev in &kept {
+            snapshot.extend(encode_record(&ev.to_der()));
+        }
+        let new_seq = self.current_seq + 1;
+        self.backend
+            .write_atomic(&snapshot_name(new_seq), &snapshot)?;
+        // The snapshot is durable; everything it covers can go.
+        let mut segments_removed = 0;
+        for seq in self.live_segments()? {
+            if seq < new_seq {
+                self.backend.remove(&segment_name(seq))?;
+                segments_removed += 1;
+            }
+        }
+        if let Some(old) = self.snapshot_seq {
+            self.backend.remove(&snapshot_name(old))?;
+        }
+        self.snapshot_seq = Some(new_seq);
+        self.current_seq = new_seq;
+        self.current_bytes = 0;
+        Ok(CompactionStats {
+            events_before,
+            events_after: kept.len(),
+            bytes_before,
+            bytes_after: snapshot.len() as u64,
+            segments_removed,
+        })
+    }
+
+    /// Number of live log segments (excluding the snapshot).
+    pub fn segment_count(&self) -> Result<usize, StoreError> {
+        Ok(self.live_segments()?.len())
+    }
+
+    /// Total bytes across segments and snapshot.
+    pub fn total_bytes(&self) -> Result<u64, StoreError> {
+        let mut total = 0;
+        for name in self.backend.list()? {
+            if parse_segment_name(&name).is_some() || parse_snapshot_name(&name).is_some() {
+                total += self.backend.read(&name)?.len() as u64;
+            }
+        }
+        Ok(total)
+    }
+}
+
+/// Derived per-job summary used by tests and callers that want a quick
+/// view of replayed history without re-implementing the fold.
+pub fn events_by_job(events: &[StoreEvent]) -> HashMap<u64, Vec<&StoreEvent>> {
+    let mut map: HashMap<u64, Vec<&StoreEvent>> = HashMap::new();
+    for ev in events {
+        map.entry(ev.job().0).or_default().push(ev);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemoryBackend;
+    use crate::events::OwnerRecord;
+    use unicore_ajo::{ActionId, JobId};
+
+    fn owner() -> OwnerRecord {
+        OwnerRecord {
+            dn: "CN=test".into(),
+            login: "t".into(),
+            account_group: "g".into(),
+        }
+    }
+
+    fn consigned(job: u64) -> StoreEvent {
+        StoreEvent::JobConsigned {
+            job: JobId(job),
+            ajo_der: vec![0x30, 0x00],
+            user: owner(),
+            staged: vec![],
+            idem_key: job.to_be_bytes().to_vec(),
+            parent: None,
+            foreign: None,
+            at: job,
+        }
+    }
+
+    fn incarnated(job: u64) -> StoreEvent {
+        StoreEvent::JobIncarnated {
+            job: JobId(job),
+            node: ActionId(1),
+            target: "batch:q".into(),
+            at: job + 1,
+        }
+    }
+
+    fn outcome(job: u64) -> StoreEvent {
+        StoreEvent::OutcomeStored {
+            job: JobId(job),
+            outcome_der: vec![0x30, 0x00],
+            manifest: vec![],
+            at: job + 2,
+        }
+    }
+
+    #[test]
+    fn append_replay_round_trip() {
+        let shared = MemoryBackend::new();
+        let mut store = EventStore::open(Box::new(shared.clone())).unwrap();
+        let events = vec![consigned(1), incarnated(1), consigned(2)];
+        for ev in &events {
+            store.append(ev).unwrap();
+        }
+        drop(store);
+        let store = EventStore::open(Box::new(shared)).unwrap();
+        let replay = store.replay().unwrap();
+        assert!(!replay.torn_tail);
+        assert_eq!(replay.events, events);
+    }
+
+    #[test]
+    fn rotation_produces_multiple_segments() {
+        let shared = MemoryBackend::new();
+        let mut store = EventStore::open_with_rotation(Box::new(shared.clone()), 128).unwrap();
+        for j in 0..20 {
+            store.append(&consigned(j)).unwrap();
+        }
+        assert!(store.segment_count().unwrap() > 1);
+        let replay = store.replay().unwrap();
+        assert_eq!(replay.events.len(), 20);
+        // Re-open continues into the newest segment.
+        drop(store);
+        let mut store = EventStore::open_with_rotation(Box::new(shared), 128).unwrap();
+        store.append(&consigned(20)).unwrap();
+        assert_eq!(store.replay().unwrap().events.len(), 21);
+    }
+
+    #[test]
+    fn torn_tail_repaired_on_open() {
+        let shared = MemoryBackend::new();
+        let mut store = EventStore::open(Box::new(shared.clone())).unwrap();
+        store.append(&consigned(1)).unwrap();
+        // Crash in the middle of the next append: 3 bytes reach disk.
+        shared.crash_after_appends(0, 3);
+        assert!(store.append(&consigned(2)).is_err());
+        drop(store);
+        shared.reboot();
+        let store = EventStore::open(Box::new(shared.clone())).unwrap();
+        assert!(store.recovered_torn());
+        let replay = store.replay().unwrap();
+        assert!(!replay.torn_tail, "tail was repaired at open");
+        assert_eq!(replay.events, vec![consigned(1)]);
+        // The store keeps working after repair.
+        let mut store = store;
+        store.append(&consigned(3)).unwrap();
+        assert_eq!(store.replay().unwrap().events.len(), 2);
+    }
+
+    #[test]
+    fn corruption_in_old_segment_is_an_error() {
+        let shared = MemoryBackend::new();
+        let mut store = EventStore::open_with_rotation(Box::new(shared.clone()), 64).unwrap();
+        for j in 0..10 {
+            store.append(&consigned(j)).unwrap();
+        }
+        assert!(store.segment_count().unwrap() > 1);
+        drop(store);
+        // Flip a byte inside the oldest segment's first record payload.
+        let mut w = shared.clone();
+        let name = segment_name(0);
+        let mut data = shared.read(&name).unwrap();
+        use crate::backend::StorageBackend as _;
+        data[10] ^= 0xff;
+        w.write_atomic(&name, &data).unwrap();
+        let store = EventStore::open(Box::new(shared)).unwrap();
+        assert!(matches!(
+            store.replay().unwrap_err(),
+            StoreError::Corrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn compaction_folds_history() {
+        let shared = MemoryBackend::new();
+        let mut store = EventStore::open_with_rotation(Box::new(shared.clone()), 256).unwrap();
+        // Job 1: done. Job 2: purged. Job 3: in flight.
+        store.append(&consigned(1)).unwrap();
+        store.append(&incarnated(1)).unwrap();
+        store.append(&outcome(1)).unwrap();
+        store.append(&consigned(2)).unwrap();
+        store.append(&incarnated(2)).unwrap();
+        store.append(&outcome(2)).unwrap();
+        store
+            .append(&StoreEvent::JobPurged {
+                job: JobId(2),
+                at: 99,
+            })
+            .unwrap();
+        store.append(&consigned(3)).unwrap();
+        store.append(&incarnated(3)).unwrap();
+        let stats = store.compact().unwrap();
+        assert_eq!(stats.events_before, 9);
+        // Job 1 → consign+outcome, job 2 → nothing, job 3 → both events.
+        assert_eq!(stats.events_after, 4);
+        assert!(stats.bytes_after < stats.bytes_before);
+        let replay = store.replay().unwrap();
+        assert_eq!(
+            replay.events,
+            vec![consigned(1), outcome(1), consigned(3), incarnated(3)]
+        );
+        // Appends after compaction land in a fresh segment and survive
+        // re-open alongside the snapshot.
+        store.append(&outcome(3)).unwrap();
+        drop(store);
+        let store = EventStore::open(Box::new(shared)).unwrap();
+        let replay = store.replay().unwrap();
+        assert_eq!(replay.events.len(), 5);
+        assert_eq!(replay.events[4], outcome(3));
+    }
+
+    #[test]
+    fn double_compaction_is_stable() {
+        let shared = MemoryBackend::new();
+        let mut store = EventStore::open(Box::new(shared)).unwrap();
+        store.append(&consigned(1)).unwrap();
+        store.append(&outcome(1)).unwrap();
+        let first = store.compact().unwrap();
+        assert_eq!(first.events_after, 2);
+        let second = store.compact().unwrap();
+        assert_eq!(second.events_before, 2);
+        assert_eq!(second.events_after, 2);
+        assert_eq!(store.replay().unwrap().events.len(), 2);
+    }
+
+    #[test]
+    fn events_by_job_groups() {
+        let events = vec![consigned(1), consigned(2), incarnated(1)];
+        let map = events_by_job(&events);
+        assert_eq!(map[&1].len(), 2);
+        assert_eq!(map[&2].len(), 1);
+    }
+}

@@ -1,0 +1,321 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion API the workspace benches use
+//! (`benchmark_group`, `bench_function`, `bench_with_input`, `iter`,
+//! `iter_custom`, `Throughput::Bytes`) with a simple wall-clock harness:
+//! a short warm-up sizes the iteration batch, then `sample_size` samples
+//! are timed and summarised as min/median/mean per iteration.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    /// Substring filter from the command line (first free argument).
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration (`--bench` is ignored; the first
+    /// free argument becomes a name filter, as with real criterion).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--test" => {}
+                "--sample-size" => {
+                    if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                        self.sample_size = n;
+                    }
+                }
+                s if s.starts_with("--") => {
+                    // Unknown flags (e.g. --save-baseline) are accepted and
+                    // ignored; skip a value argument if one follows.
+                    let _ = args.next();
+                }
+                s => self.filter = Some(s.to_owned()),
+            }
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        if self.matches(name) {
+            run_bench(name, sample_size, None, f);
+        }
+        self
+    }
+
+    /// Prints the closing line (report files are not produced).
+    pub fn final_summary(&mut self) {
+        println!("\nbenchmarks complete");
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_name.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares the amount of work per iteration (enables rate reporting).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        if self.criterion.matches(&full) {
+            let n = self.sample_size.unwrap_or(self.criterion.sample_size);
+            run_bench(&full, n, self.throughput, f);
+        }
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id from a function name and a displayed parameter.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), param))
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+/// Anything usable as a benchmark id in `bench_function`.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.0
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Declared per-iteration work volume.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// Times the body of one benchmark.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` repetitions of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Hands the iteration count to `f`, which returns the measured time.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.elapsed = f(self.iters);
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, tp: Option<Throughput>, mut f: F) {
+    // Warm-up: find an iteration count giving samples of ~5 ms each.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+            break;
+        }
+        // Grow towards the 5 ms target, at most 8x per step.
+        let grow = if b.elapsed.is_zero() {
+            8
+        } else {
+            (Duration::from_millis(5).as_nanos() / b.elapsed.as_nanos().max(1)).clamp(2, 8) as u64
+        };
+        iters = iters.saturating_mul(grow);
+    }
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples.max(1) {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let min = per_iter[0];
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+
+    let rate = tp.map(|t| match t {
+        Throughput::Bytes(n) => format!("  {}/s", scale_bytes(n as f64 / median)),
+        Throughput::Elements(n) => format!("  {:.0} elem/s", n as f64 / median),
+    });
+    println!(
+        "{name:<50} time: [{} {} {}]{}",
+        scale_time(min),
+        scale_time(median),
+        scale_time(mean),
+        rate.unwrap_or_default()
+    );
+}
+
+fn scale_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn scale_bytes(bps: f64) -> String {
+    if bps >= 1e9 {
+        format!("{:.2} GiB", bps / (1u64 << 30) as f64)
+    } else if bps >= 1e6 {
+        format!("{:.2} MiB", bps / (1u64 << 20) as f64)
+    } else {
+        format!("{:.2} KiB", bps / 1024.0)
+    }
+}
+
+/// Groups benchmark functions for `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits a `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.throughput(Throughput::Bytes(64));
+        let mut ran = false;
+        group.bench_function(BenchmarkId::new("noop", 1), |b| {
+            ran = true;
+            b.iter(|| black_box(2 + 2))
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn iter_custom_records_time() {
+        let mut c = Criterion::default();
+        c.bench_function("custom", |b| b.iter_custom(Duration::from_nanos));
+    }
+}

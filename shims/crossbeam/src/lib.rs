@@ -1,0 +1,89 @@
+//! Offline stand-in for the `crossbeam` crate, covering the `channel`
+//! subset this workspace uses. Backed by `std::sync::mpsc`.
+
+/// Multi-producer channels with timeout-aware receivers.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvTimeoutError, SendError, TryRecvError};
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, failing if all receivers are gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders are gone.
+        pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+            self.0.recv()
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Creates an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_order() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn timeout_and_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn cross_thread() {
+        let (tx, rx) = unbounded();
+        let t = std::thread::spawn(move || rx.recv().unwrap());
+        tx.send(42u64).unwrap();
+        assert_eq!(t.join().unwrap(), 42);
+    }
+}

@@ -1,0 +1,33 @@
+//! Fixed-size array strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy producing `[T; N]` from one element strategy.
+#[derive(Clone)]
+pub struct UniformArray<S, const N: usize>(S);
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|_| self.0.gen_value(rng))
+    }
+}
+
+/// 32 values drawn from `element`.
+pub fn uniform32<S: Strategy>(element: S) -> UniformArray<S, 32> {
+    UniformArray(element)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn thirty_two_values() {
+        let mut rng = TestRng::from_seed(3);
+        let arr: [u8; 32] = uniform32(any::<u8>()).gen_value(&mut rng);
+        assert_eq!(arr.len(), 32);
+    }
+}

@@ -1,0 +1,38 @@
+//! `Option` strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy producing `Option<T>` (3 in 4 draws are `Some`).
+#[derive(Clone)]
+pub struct OptionStrategy<S>(S);
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.0.gen_value(rng))
+        }
+    }
+}
+
+/// Wraps `element`'s values in `Option`, sometimes generating `None`.
+pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+    OptionStrategy(element)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_both_variants() {
+        let mut rng = TestRng::from_seed(9);
+        let s = of(0u8..10);
+        let vals: Vec<_> = (0..100).map(|_| s.gen_value(&mut rng)).collect();
+        assert!(vals.iter().any(Option::is_none));
+        assert!(vals.iter().any(Option::is_some));
+    }
+}

@@ -1,0 +1,42 @@
+//! Sampling helpers (`Index`).
+
+use crate::strategy::Arbitrary;
+use crate::test_runner::TestRng;
+
+/// A size-independent index: generated once, projected onto any
+/// collection length via [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Projects this index onto a collection of `size` elements.
+    ///
+    /// # Panics
+    /// Panics if `size` is zero.
+    pub fn index(&self, size: usize) -> usize {
+        assert!(size > 0, "Index::index on empty collection");
+        (self.0 % size as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_in_bounds() {
+        let mut rng = TestRng::from_seed(4);
+        for _ in 0..100 {
+            let i = Index::arbitrary(&mut rng);
+            for size in [1usize, 2, 7, 1000] {
+                assert!(i.index(size) < size);
+            }
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! String generation from a regex subset.
+//!
+//! Supported syntax (everything the workspace's property tests use):
+//! top-level alternation (`a|b`), character classes with ranges
+//! (`[a-zA-Z0-9 äöüß]`, `[ -~]`, trailing-`-` literal), backslash escapes
+//! (`\.`), literal characters, and `{m,n}` / `{m}` repetition after any
+//! atom. Unsupported constructs panic, loudly naming the pattern.
+
+use crate::test_runner::TestRng;
+
+enum Atom {
+    /// A set of candidate characters.
+    Class(Vec<char>),
+    /// A single literal character.
+    Literal(char),
+}
+
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// Generates one string matching `pattern`.
+pub fn gen_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let branches: Vec<&str> = split_alternation(pattern);
+    let branch = branches[rng.below(branches.len() as u64) as usize];
+    let pieces = parse_sequence(branch, pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let span = (piece.max - piece.min) as u64;
+        let n = piece.min + rng.below(span + 1) as u32;
+        for _ in 0..n {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(set) => {
+                    out.push(set[rng.below(set.len() as u64) as usize]);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Splits on top-level `|` (alternation never nests here: the subset has
+/// no groups).
+fn split_alternation(pattern: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    let mut escaped = false;
+    for (i, c) in pattern.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' => escaped = true,
+            '[' => depth += 1,
+            ']' => depth = depth.saturating_sub(1),
+            '|' if depth == 0 => {
+                parts.push(&pattern[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&pattern[start..]);
+    parts
+}
+
+fn parse_sequence(branch: &str, full: &str) -> Vec<Piece> {
+    let mut chars = branch.chars().peekable();
+    let mut pieces: Vec<Piece> = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut members = Vec::new();
+                loop {
+                    let m = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in pattern {full:?}"));
+                    if m == ']' {
+                        break;
+                    }
+                    // `x-y` is a range when y is not the closing bracket.
+                    if chars.peek() == Some(&'-') {
+                        let mut look = chars.clone();
+                        look.next();
+                        match look.peek() {
+                            Some(&hi) if hi != ']' => {
+                                chars.next();
+                                chars.next();
+                                for v in (m as u32)..=(hi as u32) {
+                                    if let Some(ch) = char::from_u32(v) {
+                                        members.push(ch);
+                                    }
+                                }
+                                continue;
+                            }
+                            _ => {}
+                        }
+                    }
+                    members.push(m);
+                }
+                assert!(!members.is_empty(), "empty class in pattern {full:?}");
+                Atom::Class(members)
+            }
+            '\\' => {
+                let e = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {full:?}"));
+                Atom::Literal(e)
+            }
+            '{' | '}' | '*' | '+' | '?' | '(' | ')' | '.' | '^' | '$' => {
+                panic!("unsupported regex construct {c:?} in pattern {full:?}")
+            }
+            lit => Atom::Literal(lit),
+        };
+        // Optional {m,n} / {m} repetition.
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            loop {
+                let d = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("unterminated repetition in pattern {full:?}"));
+                if d == '}' {
+                    break;
+                }
+                spec.push(d);
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse().unwrap_or_else(|_| bad_rep(&spec, full)),
+                    hi.parse().unwrap_or_else(|_| bad_rep(&spec, full)),
+                ),
+                None => {
+                    let n = spec.parse().unwrap_or_else(|_| bad_rep(&spec, full));
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted repetition in pattern {full:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn bad_rep(spec: &str, full: &str) -> u32 {
+    panic!("bad repetition {spec:?} in pattern {full:?}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(11)
+    }
+
+    fn check(pattern: &str, f: impl Fn(&str) -> bool) {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = gen_from_pattern(pattern, &mut r);
+            assert!(f(&s), "pattern {pattern:?} produced {s:?}");
+        }
+    }
+
+    #[test]
+    fn classes_and_repetition() {
+        check("[a-z]{1,8}", |s| {
+            (1..=8).contains(&s.chars().count()) && s.chars().all(|c| c.is_ascii_lowercase())
+        });
+        check("[ -~]{0,40}", |s| {
+            s.chars().count() <= 40 && s.chars().all(|c| (' '..='~').contains(&c))
+        });
+        check("[a-zA-Z0-9 äöüß]{0,20}", |s| {
+            s.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == ' ' || "äöüß".contains(c))
+        });
+    }
+
+    #[test]
+    fn escapes_and_literals() {
+        check("[a-z]{1,8}\\.f90", |s| s.ends_with(".f90") && s.len() >= 5);
+        check("[A-Za-z0-9 ._-]{0,18}", |s| {
+            s.chars()
+                .all(|c| c.is_ascii_alphanumeric() || " ._-".contains(c))
+        });
+    }
+
+    #[test]
+    fn alternation_picks_both() {
+        let mut r = rng();
+        let mut short = false;
+        let mut long = false;
+        for _ in 0..200 {
+            let s = gen_from_pattern(
+                "[A-Za-z0-9][A-Za-z0-9 ._-]{0,18}[A-Za-z0-9]|[A-Za-z0-9]",
+                &mut r,
+            );
+            assert!(!s.is_empty());
+            if s.len() == 1 {
+                short = true;
+            } else {
+                long = true;
+            }
+        }
+        assert!(short && long);
+    }
+}
