@@ -18,4 +18,10 @@ cargo build --release --offline
 echo "==> cargo test"
 cargo test -q --offline
 
+echo "==> telemetry unit tests"
+cargo test -q --offline -p unicore-telemetry
+
+echo "==> rustdoc (unicore-telemetry, warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline -p unicore-telemetry
+
 echo "CI green."

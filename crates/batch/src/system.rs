@@ -15,6 +15,7 @@ use crate::job::{
 use std::collections::HashMap;
 use unicore_resources::Architecture;
 use unicore_sim::SimTime;
+use unicore_telemetry::{Counter, Histogram, Telemetry};
 
 /// Exit code used when the scheduler kills a job at its time limit.
 pub const EXIT_TIME_LIMIT: i32 = 137;
@@ -118,6 +119,26 @@ pub struct BatchSystem {
     offline_until: SimTime,
     /// Reject scripts that do not match this machine's dialect.
     strict_dialect: bool,
+    metrics: BatchMetrics,
+}
+
+/// Queue/run telemetry, fetched once from the registry.
+struct BatchMetrics {
+    submitted: Counter,
+    completed: Counter,
+    wait_us: Histogram,
+    run_us: Histogram,
+}
+
+impl Default for BatchMetrics {
+    fn default() -> Self {
+        BatchMetrics {
+            submitted: Counter::detached(),
+            completed: Counter::detached(),
+            wait_us: Histogram::detached(),
+            run_us: Histogram::detached(),
+        }
+    }
 }
 
 impl BatchSystem {
@@ -138,7 +159,20 @@ impl BatchSystem {
             last_advance: 0,
             offline_until: 0,
             strict_dialect: false,
+            metrics: BatchMetrics::default(),
         }
+    }
+
+    /// Publishes this machine's queue/run metrics into `telemetry`'s
+    /// registry (`batch.submitted`, `batch.completed`, `batch.wait.us`,
+    /// `batch.run.us`).
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.metrics = BatchMetrics {
+            submitted: telemetry.counter("batch.submitted"),
+            completed: telemetry.counter("batch.completed"),
+            wait_us: telemetry.histogram("batch.wait.us"),
+            run_us: telemetry.histogram("batch.run.us"),
+        };
     }
 
     /// Enables strict dialect checking: submitted scripts must contain
@@ -228,6 +262,7 @@ impl BatchSystem {
             .queue
             .partition_point(|q| (q.spec.queue.rank(), q.seq) <= key);
         self.queue.insert(pos, entry);
+        self.metrics.submitted.inc();
         self.schedule(now);
         Ok(id)
     }
@@ -332,6 +367,13 @@ impl BatchSystem {
             started_at: entry.started_at,
             ended_at: entry.ends_at,
         };
+        self.metrics.completed.inc();
+        self.metrics
+            .wait_us
+            .record(entry.started_at.saturating_sub(entry.submitted_at));
+        self.metrics
+            .run_us
+            .record(entry.ends_at.saturating_sub(entry.started_at));
         self.accounting.push(AccountingRecord {
             job: entry.id,
             owner: entry.spec.owner.clone(),
@@ -517,6 +559,14 @@ impl BatchSystem {
     /// Accounting records so far.
     pub fn accounting(&self) -> &[AccountingRecord] {
         &self.accounting
+    }
+
+    /// The accounting record for one job, if it has finished.
+    ///
+    /// Scans from the rear: callers typically ask about a job that just
+    /// completed, which sits at or near the end of the log.
+    pub fn accounting_for(&self, id: BatchJobId) -> Option<&AccountingRecord> {
+        self.accounting.iter().rev().find(|r| r.job == id)
     }
 
     /// Machine utilisation over `[0, now]`: busy node-ticks / total.

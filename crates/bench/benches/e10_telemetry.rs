@@ -1,0 +1,191 @@
+//! E10 — telemetry overhead.
+//!
+//! The tracing and metrics layer is meant to stay on in production, so
+//! its cost must be invisible next to real work. This bench runs the
+//! identical three-tier scenario (consign → incarnate → batch → done)
+//! with telemetry disabled and collecting, prints the relative overhead
+//! (<5% target), and measures the primitives (span open/close, counter
+//! increment, histogram record) on their own.
+
+use criterion::Criterion;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+use unicore::protocol::Request;
+use unicore::server::UnicoreServer;
+use unicore::{Federation, FederationConfig, SiteSpec};
+use unicore_bench::{chain_job, BENCH_DN};
+use unicore_gateway::{Gateway, UserEntry, Uudb};
+use unicore_njs::{Njs, TranslationTable};
+use unicore_resources::{deployment_page, Architecture};
+use unicore_sim::{HOUR, SEC};
+use unicore_telemetry::Telemetry;
+
+fn make_server(telemetry: Telemetry) -> UnicoreServer {
+    let mut njs = Njs::new("FZJ");
+    njs.add_vsite(
+        deployment_page("FZJ", "T3E", Architecture::CrayT3e),
+        TranslationTable::for_architecture(Architecture::CrayT3e),
+    );
+    let mut uudb = Uudb::new();
+    uudb.add(BENCH_DN, UserEntry::new("bench", "users"));
+    let mut server = UnicoreServer::new(Gateway::new("FZJ", uudb), njs);
+    server.set_telemetry(telemetry);
+    server
+}
+
+/// One full job life through all three tiers; returns the real CPU time
+/// spent from consign to completion. The AJO is built by the caller so
+/// only instrumented code is inside the measurement.
+fn run_scenario(telemetry: Telemetry, ajo: &unicore_ajo::AbstractJob) -> Duration {
+    let mut server = make_server(telemetry);
+    let t = Instant::now();
+    let resp = server.handle_request(BENCH_DN, Request::Consign { ajo: ajo.clone() }, 0);
+    let unicore::Response::Consigned { job } = resp else {
+        panic!("consign failed: {resp:?}");
+    };
+    let mut now = 0;
+    server.step(now);
+    while !server.is_done(job) {
+        now = server.next_event_time().unwrap_or(now + SEC);
+        server.step(now);
+    }
+    t.elapsed()
+}
+
+/// One federated submission (entry site + one remote sub-job) with the
+/// full wire path: envelope codecs, gateway routing, NJS forwarding and
+/// the polling JMC. Returns the real CPU time of the submission; the
+/// federation is built outside the measurement.
+fn run_federated(telemetry: bool, seed: u64) -> Duration {
+    let specs = [
+        SiteSpec::simple("S0", "V", Architecture::Generic),
+        SiteSpec::simple("S1", "V", Architecture::Generic),
+    ];
+    let mut fed = Federation::new(
+        FederationConfig {
+            seed,
+            ..FederationConfig::default()
+        },
+        &specs,
+    );
+    if telemetry {
+        fed.enable_telemetry(seed);
+    }
+    fed.register_user(BENCH_DN, "bench");
+    let mut job = chain_job("S0", "V", 3, 30);
+    let mut sub = chain_job("S1", "V", 3, 30);
+    sub.name = "remote".into();
+    job.nodes.push((
+        unicore_ajo::ActionId(99),
+        unicore_ajo::GraphNode::SubJob(sub),
+    ));
+    let t = Instant::now();
+    let (_, outcome, _) = fed
+        .submit_and_wait("S0", job, BENCH_DN, 5 * SEC, 2 * HOUR)
+        .expect("completes");
+    assert!(outcome.status.is_success());
+    t.elapsed()
+}
+
+fn print_tables() {
+    println!("\n=== E10: telemetry overhead ===\n");
+
+    // Representative workload: the federated submission path, where the
+    // spans sit next to DER codecs, routing and message delivery.
+    const FED_ROUNDS: u64 = 20;
+    for i in 0..3 {
+        run_federated(false, i);
+        run_federated(true, i);
+    }
+    let mut fed_off = Duration::ZERO;
+    let mut fed_on = Duration::ZERO;
+    for i in 0..FED_ROUNDS {
+        fed_off += run_federated(false, i);
+        fed_on += run_federated(true, i);
+    }
+    let fed_overhead =
+        (fed_on.as_secs_f64() - fed_off.as_secs_f64()) / fed_off.as_secs_f64() * 100.0;
+    println!("federated two-site job (full wire path), {FED_ROUNDS} rounds each:");
+    println!("  telemetry disabled:   {:?}", fed_off / FED_ROUNDS as u32);
+    println!("  telemetry collecting: {:?}", fed_on / FED_ROUNDS as u32);
+    println!("  overhead: {fed_overhead:+.2}%  (target < 5%)\n");
+
+    // Worst case: an in-process server with no wire, no codec, no
+    // crypto — almost nothing but the instrumentation itself. This
+    // bounds the absolute cost per job (~a dozen spans).
+    let ajo = chain_job("FZJ", "T3E", 3, 30);
+    const ROUNDS: usize = 60;
+    for _ in 0..5 {
+        run_scenario(Telemetry::disabled(), &ajo);
+        run_scenario(Telemetry::collecting(1), &ajo);
+    }
+    let mut disabled = Duration::ZERO;
+    let mut collecting = Duration::ZERO;
+    for i in 0..ROUNDS {
+        disabled += run_scenario(Telemetry::disabled(), &ajo);
+        collecting += run_scenario(Telemetry::collecting(i as u64), &ajo);
+    }
+    println!("worst case: in-process server, no protocol framing, {ROUNDS} rounds each:");
+    println!("  telemetry disabled:   {:?}", disabled / ROUNDS as u32);
+    println!("  telemetry collecting: {:?}", collecting / ROUNDS as u32);
+    println!(
+        "  absolute cost: {:?} per job (~a dozen spans)\n",
+        (collecting.saturating_sub(disabled)) / ROUNDS as u32
+    );
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_primitives");
+
+    // A span's whole life on the collecting path: id mint, attr, record.
+    group.bench_function("span_open_close_collecting", |b| {
+        let tel = Telemetry::collecting(7);
+        let mut t = 0u64;
+        b.iter(|| {
+            let mut span = tel.span("bench.span", None, t);
+            span.attr("k", "v");
+            tel.end(span, t + 1);
+            t += 2;
+        });
+        black_box(tel.take_spans());
+    });
+    // The same calls with telemetry off — the cost instrumented code
+    // pays when nobody is looking.
+    group.bench_function("span_open_close_disabled", |b| {
+        let tel = Telemetry::disabled();
+        b.iter(|| {
+            let mut span = tel.span("bench.span", None, 0);
+            span.attr("k", "v");
+            tel.end(span, 1);
+        });
+    });
+    // Hot-path counter: the cached handle the Metrics structs hold.
+    group.bench_function("counter_inc_cached", |b| {
+        let tel = Telemetry::collecting(7);
+        let counter = tel.counter("bench.counter");
+        b.iter(|| black_box(&counter).inc());
+    });
+    // Registry lookup + increment, for comparison (the path set_telemetry
+    // exists to keep out of hot loops).
+    group.bench_function("counter_inc_via_registry", |b| {
+        let tel = Telemetry::collecting(7);
+        b.iter(|| tel.counter(black_box("bench.counter")).inc());
+    });
+    group.bench_function("histogram_record", |b| {
+        let tel = Telemetry::collecting(7);
+        let hist = tel.histogram("bench.hist");
+        let mut v = 1u64;
+        b.iter(|| {
+            black_box(&hist).record(v);
+            v = v.wrapping_mul(48271) % 1_000_000;
+        });
+    });
+    group.finish();
+}
+
+fn main() {
+    print_tables();
+    let mut c = Criterion::default().configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -29,6 +29,7 @@ use unicore_njs::{Njs, TranslationTable};
 use unicore_resources::{deployment_page, Architecture};
 use unicore_sim::{SimTime, SEC};
 use unicore_simnet::{Firewall, LinkParams, Network, NodeId};
+use unicore_telemetry::{ActiveSpan, Telemetry};
 
 /// The UNICORE gateway port.
 pub const GATEWAY_PORT: u16 = 4433;
@@ -142,6 +143,11 @@ pub struct Federation {
     pub messages_sent: u64,
     /// Total retries performed (metrics).
     pub retries: u64,
+    /// Client-tier (JPA/JMC) telemetry; disabled unless
+    /// [`Federation::enable_telemetry`] is called.
+    telemetry: Telemetry,
+    /// Open `client.request` spans, ended when the response arrives.
+    client_spans: HashMap<u64, ActiveSpan>,
 }
 
 impl Federation {
@@ -236,7 +242,30 @@ impl Federation {
             now: 0,
             messages_sent: 0,
             retries: 0,
+            telemetry: Telemetry::disabled(),
+            client_spans: HashMap::new(),
         }
+    }
+
+    /// Turns on tracing across every tier: the client (workstation) gets
+    /// its own collecting [`Telemetry`], and each site's server gets one
+    /// seeded distinctly. Trace context crosses tiers on the wire, so a
+    /// multi-site job yields one connected trace whose spans are spread
+    /// over several collectors.
+    pub fn enable_telemetry(&mut self, seed: u64) {
+        self.telemetry = Telemetry::collecting(seed);
+        for (i, site) in self.site_order.clone().into_iter().enumerate() {
+            let tel = Telemetry::collecting(seed.wrapping_add(i as u64 + 1));
+            self.servers
+                .get_mut(&site)
+                .expect("known site")
+                .set_telemetry(tel);
+        }
+    }
+
+    /// The client-tier telemetry handle (span source for JPA/JMC work).
+    pub fn client_telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The paper's six-site German deployment (§5.7), with the inter-site
@@ -363,10 +392,22 @@ impl Federation {
     pub fn client_request(&mut self, via: &str, dn: &str, request: Request) -> u64 {
         let corr = self.next_client_corr;
         self.next_client_corr += 1;
+        // Head sampling: consigns and control operations root a trace —
+        // everything the servers do on their behalf hangs below it via
+        // the wire context. High-frequency monitoring (polls, fetches,
+        // listings) stays untraced so watching a job costs nothing.
+        let traced = matches!(request, Request::Consign { .. } | Request::Control { .. });
+        let mut span = if traced {
+            self.telemetry.span("client.request", None, self.now)
+        } else {
+            ActiveSpan::noop()
+        };
+        span.attr("via", via);
         let env = Envelope {
             corr,
             from_dn: dn.to_owned(),
             body: Body::Request(request),
+            trace: span.ctx(),
         };
         let dst = self.sites[via].gateway;
         let payload = Self::frame(self.workstation, &env);
@@ -381,6 +422,9 @@ impl Federation {
             },
         );
         self.send_with_handshake(self.workstation, dst, payload);
+        if span.ctx().is_some() {
+            self.client_spans.insert(corr, span);
+        }
         corr
     }
 
@@ -399,6 +443,7 @@ impl Federation {
             corr,
             from_dn: dn.to_owned(),
             body: Body::Request(Request::Consign { ajo }),
+            trace: None,
         };
         let dst = self.sites[via].gateway;
         let payload = Self::frame(self.workstation, &env);
@@ -481,6 +526,9 @@ impl Federation {
             if let Some((_, env)) = Self::unframe(&msg.payload) {
                 if let Body::Response(resp) = env.body {
                     self.inflight.remove(&(String::new(), env.corr));
+                    if let Some(span) = self.client_spans.remove(&env.corr) {
+                        self.telemetry.end(span, t);
+                    }
                     self.client_responses.insert(env.corr, resp);
                 }
             }
@@ -526,6 +574,7 @@ impl Federation {
                     corr: req.corr,
                     from_dn: self.server_dns[&site].clone(),
                     body: Body::Request(req.request),
+                    trace: req.trace,
                 };
                 let src = self.sites[&site].gateway;
                 let dst = self.sites[&req.dest].gateway;
@@ -562,6 +611,7 @@ impl Federation {
                 body: Body::Response(Response::Service(unicore_ajo::ServiceOutcome::Query {
                     outcome,
                 })),
+                trace: None,
             };
             let src = self.sites[&w.usite].gateway;
             let payload = Self::frame(src, &env);
@@ -585,6 +635,9 @@ impl Federation {
                 let (owner, corr) = key;
                 let err = Response::Error("peer unreachable (retries exhausted)".to_owned());
                 if owner.is_empty() {
+                    if let Some(span) = self.client_spans.remove(&corr) {
+                        self.telemetry.end(span, t);
+                    }
                     self.client_responses.insert(corr, err);
                 } else if let Some(server) = self.servers.get_mut(&owner) {
                     server.handle_response(corr, err);
@@ -616,7 +669,7 @@ impl Federation {
                         .servers
                         .get_mut(site)
                         .expect("known site")
-                        .handle_request(&env.from_dn, request, t);
+                        .handle_request_traced(&env.from_dn, request, t, env.trace);
                     self.handled.insert(dedupe_key, resp.clone());
                     if is_sync_consign {
                         if let Response::Consigned { job } = &resp {
@@ -638,6 +691,7 @@ impl Federation {
                     corr: env.corr,
                     from_dn: self.server_dns[site].clone(),
                     body: Body::Response(response),
+                    trace: None,
                 };
                 let src = self.sites[site].gateway;
                 let payload = Self::frame(src, &reply);

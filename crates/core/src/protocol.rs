@@ -17,6 +17,7 @@ use unicore_ajo::{
 };
 use unicore_codec::{CodecError, DerCodec, Fields, Value};
 use unicore_resources::ResourceDirectory;
+use unicore_telemetry::{SpanContext, SpanId, TraceId};
 
 /// A request body.
 #[derive(Debug, Clone, PartialEq)]
@@ -146,6 +147,12 @@ pub struct Envelope {
     pub from_dn: String,
     /// The body.
     pub body: Body,
+    /// Trace context (trace id + parent span id) propagated with the
+    /// message, so a sub-AJO forwarded NJS→NJS at another Usite
+    /// continues the originating client's trace. Encoded as a trailing
+    /// context-tagged element; frames from peers predating telemetry
+    /// simply omit it and decode as `None`.
+    pub trace: Option<SpanContext>,
 }
 
 /// Request or response.
@@ -424,17 +431,51 @@ impl DerCodec for Response {
     }
 }
 
+/// Tag of the optional trailing trace-context element of an [`Envelope`].
+const TRACE_TAG: u8 = 2;
+
+fn trace_to_value(ctx: &SpanContext) -> Value {
+    Value::tagged(
+        TRACE_TAG,
+        Value::Sequence(vec![
+            Value::bytes(ctx.trace.as_bytes().to_vec()),
+            Value::bytes(ctx.span.0.to_be_bytes().to_vec()),
+        ]),
+    )
+}
+
+fn trace_from_value(inner: &Value) -> Result<SpanContext, CodecError> {
+    let mut f = Fields::open(inner, "TraceContext")?;
+    let trace: [u8; 16] = f
+        .next_bytes()?
+        .try_into()
+        .map_err(|_| CodecError::BadValue("trace id length"))?;
+    let span: [u8; 8] = f
+        .next_bytes()?
+        .try_into()
+        .map_err(|_| CodecError::BadValue("span id length"))?;
+    f.finish()?;
+    Ok(SpanContext {
+        trace: TraceId(trace),
+        span: SpanId(u64::from_be_bytes(span)),
+    })
+}
+
 impl DerCodec for Envelope {
     fn to_value(&self) -> Value {
         let body = match &self.body {
             Body::Request(r) => Value::tagged(0, r.to_value()),
             Body::Response(r) => Value::tagged(1, r.to_value()),
         };
-        Value::Sequence(vec![
+        let mut fields = vec![
             Value::Integer(self.corr as i64),
             Value::string(&self.from_dn),
             body,
-        ])
+        ];
+        if let Some(ctx) = &self.trace {
+            fields.push(trace_to_value(ctx));
+        }
+        Value::Sequence(fields)
     }
 
     fn from_value(value: &Value) -> Result<Self, CodecError> {
@@ -442,6 +483,10 @@ impl DerCodec for Envelope {
         let corr = f.next_u64()?;
         let from_dn = f.next_string()?;
         let body_value = f.next_value()?;
+        let trace = f
+            .optional_tagged(TRACE_TAG)
+            .map(trace_from_value)
+            .transpose()?;
         f.finish()?;
         let (tag, inner) = body_value
             .as_tagged()
@@ -455,6 +500,7 @@ impl DerCodec for Envelope {
             corr,
             from_dn,
             body,
+            trace,
         })
     }
 }
@@ -493,6 +539,7 @@ mod tests {
             corr: 42,
             from_dn: "C=DE, O=FZJ, OU=ZAM, CN=alice".into(),
             body: Body::Request(r),
+            trace: None,
         };
         let back = Envelope::from_der(&env.to_der()).unwrap();
         assert_eq!(back, env);
@@ -567,9 +614,50 @@ mod tests {
                 corr: 1,
                 from_dn: "CN=s".into(),
                 body: Body::Response(r),
+                trace: None,
             };
             assert_eq!(Envelope::from_der(&env.to_der()).unwrap(), env);
         }
+    }
+
+    #[test]
+    fn trace_context_round_trips() {
+        let ctx = SpanContext {
+            trace: TraceId([0xab; 16]),
+            span: SpanId(0x1122_3344_5566_7788),
+        };
+        let env = Envelope {
+            corr: 5,
+            from_dn: "CN=s".into(),
+            body: Body::Request(Request::List),
+            trace: Some(ctx),
+        };
+        let back = Envelope::from_der(&env.to_der()).unwrap();
+        assert_eq!(back, env);
+        assert_eq!(back.trace, Some(ctx));
+    }
+
+    #[test]
+    fn pre_telemetry_frame_still_decodes() {
+        // A frame exactly as a peer predating the trace extension would
+        // emit it: three fields, no trailing tagged element.
+        let old = unicore_codec::encode(&Value::Sequence(vec![
+            Value::Integer(9),
+            Value::string("CN=old-peer"),
+            Value::tagged(0, Request::List.to_value()),
+        ]));
+        let env = Envelope::from_der(&old).unwrap();
+        assert_eq!(env.corr, 9);
+        assert_eq!(env.body, Body::Request(Request::List));
+        assert_eq!(env.trace, None);
+        // And an untraced envelope encodes byte-identically to it.
+        let ours = Envelope {
+            corr: 9,
+            from_dn: "CN=old-peer".into(),
+            body: Body::Request(Request::List),
+            trace: None,
+        };
+        assert_eq!(ours.to_der(), old);
     }
 
     #[test]

@@ -19,6 +19,7 @@ use unicore_njs::{ConsignMeta, Njs, NjsError, OutgoingItem, RecoveryReport};
 use unicore_resources::ResourceDirectory;
 use unicore_sim::{SimTime, SEC};
 use unicore_store::ForeignOrigin;
+use unicore_telemetry::{ActiveSpan, SpanContext, Telemetry};
 
 /// A request this server wants delivered to a peer Usite.
 #[derive(Debug)]
@@ -30,6 +31,9 @@ pub struct OutboundRequest {
     pub corr: u64,
     /// The request.
     pub request: Request,
+    /// Trace context to stamp onto the wire envelope, so the receiving
+    /// server's spans join the job's original trace.
+    pub trace: Option<SpanContext>,
 }
 
 enum Pending {
@@ -70,6 +74,32 @@ pub struct UnicoreServer {
     idem: HashMap<Vec<u8>, JobId>,
     pending: HashMap<u64, Pending>,
     next_corr: u64,
+    telemetry: Telemetry,
+}
+
+/// Span label for a request (low-cardinality attribute).
+fn request_kind(request: &Request) -> &'static str {
+    match request {
+        Request::Consign { .. } => "consign",
+        Request::Poll { .. } => "poll",
+        Request::Control { .. } => "control",
+        Request::List => "list",
+        Request::FetchFile { .. } => "fetch_file",
+        Request::Purge { .. } => "purge",
+        Request::ListFiles { .. } => "list_files",
+        Request::GetResources => "get_resources",
+        Request::ConsignSubJob { .. } => "consign_subjob",
+        Request::DeliverOutcome { .. } => "deliver_outcome",
+        Request::PushFile { .. } => "push_file",
+    }
+}
+
+/// Span label for an authorization outcome.
+fn decision_label(decision: &AuthDecision) -> &'static str {
+    match decision {
+        AuthDecision::Accepted(_) => "accepted",
+        AuthDecision::Refused(_) => "refused",
+    }
 }
 
 /// Idempotency key for a user Consign: who sent it and the exact AJO.
@@ -115,7 +145,22 @@ impl UnicoreServer {
             idem: HashMap::new(),
             pending: HashMap::new(),
             next_corr: 1,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Wires this server — gateway, NJS, store, batch systems — to one
+    /// telemetry handle. Call before traffic; requests handled from now
+    /// on produce `server.request` / `gateway.authorize` spans.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.gateway.set_telemetry(&telemetry);
+        self.njs.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+    }
+
+    /// The telemetry handle this server reports into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Rebuilds this server's state from the NJS's journal after a
@@ -181,6 +226,47 @@ impl UnicoreServer {
 
     /// Handles one protocol request from `from_dn` at simulated `now`.
     pub fn handle_request(&mut self, from_dn: &str, request: Request, now: SimTime) -> Response {
+        self.handle_request_traced(from_dn, request, now, None)
+    }
+
+    /// Handles one request carrying the wire-propagated trace context of
+    /// its envelope, so this server's spans join the caller's trace.
+    ///
+    /// The server continues traces, it does not root them: requests
+    /// arriving without context (untraced monitoring polls, legacy
+    /// callers) are served without a `server.request` span, keeping the
+    /// per-message cost of high-frequency polling at zero. A consign
+    /// still produces its own `njs.job` trace either way.
+    pub fn handle_request_traced(
+        &mut self,
+        from_dn: &str,
+        request: Request,
+        now: SimTime,
+        trace: Option<SpanContext>,
+    ) -> Response {
+        let tel = self.telemetry.clone();
+        let mut span = if trace.is_some() {
+            tel.span("server.request", trace, now)
+        } else {
+            ActiveSpan::noop()
+        };
+        span.attr("kind", request_kind(&request));
+        span.attr("usite", &self.usite);
+        // When telemetry is off locally, still thread the wire context
+        // through so a consign forwarded onward keeps its trace.
+        let parent = span.ctx().or(trace);
+        let response = self.dispatch_request(from_dn, request, now, parent);
+        tel.end(span, now);
+        response
+    }
+
+    fn dispatch_request(
+        &mut self,
+        from_dn: &str,
+        request: Request,
+        now: SimTime,
+        parent: Option<SpanContext>,
+    ) -> Response {
         let now_secs = now / SEC;
         match request {
             Request::Consign { ajo } => {
@@ -226,12 +312,19 @@ impl UnicoreServer {
                 } else {
                     ajo
                 };
+                let mut auth_span = if parent.is_some() {
+                    self.telemetry.span("gateway.authorize", parent, now)
+                } else {
+                    ActiveSpan::noop()
+                };
                 let decision = self.gateway.authorize_dn(
                     from_dn,
                     &ajo.vsite.vsite,
                     Some(&ajo.user.account_group),
                     now_secs,
                 );
+                auth_span.attr("decision", decision_label(&decision));
+                self.telemetry.end(auth_span, now);
                 let mapped = match decision {
                     AuthDecision::Accepted(m) => m,
                     AuthDecision::Refused(reason) => return Response::Error(reason),
@@ -239,6 +332,7 @@ impl UnicoreServer {
                 let meta = ConsignMeta {
                     idem_key: idem_key.clone(),
                     foreign: None,
+                    trace: parent,
                 };
                 match self.njs.consign_with_meta(ajo, mapped, now, meta) {
                     Ok(job) => {
@@ -286,7 +380,7 @@ impl UnicoreServer {
             Request::ConsignSubJob {
                 ajo,
                 origin,
-                parent,
+                parent: parent_job,
                 node,
                 return_files,
             } => {
@@ -297,19 +391,26 @@ impl UnicoreServer {
                 // node): if the origin re-forwards it — because it crashed
                 // after our Consigned reply was lost, or restarted and
                 // re-dispatched the node — return the job already running.
-                let idem_key = subjob_key(&origin, parent, node);
+                let idem_key = subjob_key(&origin, parent_job, node);
                 if let Some(&existing) = self.idem.get(&idem_key) {
                     if self.njs.outcome(existing).is_some() {
                         return Response::Consigned { job: existing };
                     }
                 }
                 // The job runs as the *original user*: map their DN here.
+                let mut auth_span = if parent.is_some() {
+                    self.telemetry.span("gateway.authorize", parent, now)
+                } else {
+                    ActiveSpan::noop()
+                };
                 let decision = self.gateway.authorize_dn(
                     &ajo.user.dn,
                     &ajo.vsite.vsite,
                     Some(&ajo.user.account_group),
                     now_secs,
                 );
+                auth_span.attr("decision", decision_label(&decision));
+                self.telemetry.end(auth_span, now);
                 let mapped = match decision {
                     AuthDecision::Accepted(m) => m,
                     AuthDecision::Refused(reason) => return Response::Error(reason),
@@ -318,10 +419,11 @@ impl UnicoreServer {
                     idem_key: idem_key.clone(),
                     foreign: Some(ForeignOrigin {
                         origin: origin.clone(),
-                        parent,
+                        parent: parent_job,
                         node,
                         return_files: return_files.clone(),
                     }),
+                    trace: parent,
                 };
                 match self.njs.consign_from_peer_with_meta(ajo, mapped, now, meta) {
                     Ok(job) => {
@@ -330,7 +432,7 @@ impl UnicoreServer {
                             job,
                             ForeignJob {
                                 origin,
-                                parent,
+                                parent: parent_job,
                                 node,
                                 return_files,
                                 delivered: false,
@@ -455,6 +557,7 @@ impl UnicoreServer {
                             node,
                             return_files,
                         },
+                        trace: self.njs.trace_of(parent),
                     });
                 }
                 OutgoingItem::Transfer {
@@ -488,6 +591,7 @@ impl UnicoreServer {
                             origin_node: node,
                             user_dn,
                         },
+                        trace: self.njs.trace_of(from_job),
                     });
                 }
             }
@@ -520,6 +624,7 @@ impl UnicoreServer {
                     outcome: OutcomeNode::Job(outcome),
                     files: return_files,
                 },
+                trace: self.njs.trace_of(job),
             });
         }
         out

@@ -8,9 +8,19 @@ use unicore_ajo::{
     TaskKind, TaskOutcome, UserAttributes, VsiteAddress,
 };
 use unicore_codec::DerCodec;
+use unicore_telemetry::{SpanContext, SpanId, TraceId};
 
 fn name_strategy() -> impl Strategy<Value = String> {
     "[a-zA-Z0-9 _.-]{1,24}"
+}
+
+fn trace_strategy() -> impl Strategy<Value = Option<SpanContext>> {
+    proptest::option::of(
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(hi, lo, s)| SpanContext {
+            trace: TraceId::from_words(hi, lo),
+            span: SpanId(s),
+        }),
+    )
 }
 
 /// Ids and counters on the wire are DER INTEGERs: non-negative i64 range.
@@ -158,11 +168,13 @@ proptest! {
         corr in id_strategy(),
         dn in "[A-Za-z=, ]{1,40}",
         req in request_strategy(),
+        trace in trace_strategy(),
     ) {
         let env = Envelope {
             corr,
             from_dn: dn,
             body: Body::Request(req),
+            trace,
         };
         prop_assert_eq!(Envelope::from_der(&env.to_der()).unwrap(), env);
     }
@@ -171,11 +183,13 @@ proptest! {
     fn response_envelopes_round_trip(
         corr in id_strategy(),
         resp in response_strategy(),
+        trace in trace_strategy(),
     ) {
         let env = Envelope {
             corr,
             from_dn: "CN=server".into(),
             body: Body::Response(resp),
+            trace,
         };
         prop_assert_eq!(Envelope::from_der(&env.to_der()).unwrap(), env);
     }
@@ -190,6 +204,7 @@ proptest! {
             corr: 1,
             from_dn: "CN=x".into(),
             body: Body::Request(req),
+            trace: None,
         };
         let mut der = env.to_der();
         let i = flip.index(der.len());
@@ -204,6 +219,7 @@ proptest! {
             corr: 1,
             from_dn: "CN=x".into(),
             body: Body::Request(req),
+            trace: None,
         };
         let der = env.to_der();
         prop_assert!(Envelope::from_der(&der[..der.len() - 1]).is_err());

@@ -3,7 +3,9 @@
 //! an audit trail.
 
 use crate::uudb::{MappedUser, MappingError, Uudb};
+use std::collections::VecDeque;
 use unicore_certs::Certificate;
+use unicore_telemetry::{Counter, Telemetry};
 
 /// Outcome of an authentication + mapping attempt.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +44,36 @@ pub struct AuditRecord {
 pub type SiteAuthHook =
     Box<dyn Fn(&Certificate, Option<&[u8]>) -> Result<(), String> + Send + Sync>;
 
+/// Default bound of the audit ring buffer.
+pub const DEFAULT_AUDIT_CAPACITY: usize = 10_000;
+
+/// Authentication counters, fetched once from the telemetry registry.
+struct GatewayMetrics {
+    accepted: Counter,
+    refused: Counter,
+    audit_dropped: Counter,
+}
+
+impl Default for GatewayMetrics {
+    fn default() -> Self {
+        GatewayMetrics {
+            accepted: Counter::detached(),
+            refused: Counter::detached(),
+            audit_dropped: Counter::detached(),
+        }
+    }
+}
+
+impl GatewayMetrics {
+    fn new(telemetry: &Telemetry) -> Self {
+        GatewayMetrics {
+            accepted: telemetry.counter("gateway.authn.accepted"),
+            refused: telemetry.counter("gateway.authn.refused"),
+            audit_dropped: telemetry.counter("gateway.audit.dropped"),
+        }
+    }
+}
+
 /// The gateway of one Usite.
 ///
 /// Transport-level certificate *validation* happens in
@@ -52,7 +84,11 @@ pub struct Gateway {
     usite: String,
     uudb: Uudb,
     site_hook: Option<SiteAuthHook>,
-    audit: Vec<AuditRecord>,
+    /// Bounded ring: the newest `audit_capacity` decisions. Overflow is
+    /// counted in `gateway.audit.dropped` rather than growing forever.
+    audit: VecDeque<AuditRecord>,
+    audit_capacity: usize,
+    metrics: GatewayMetrics,
 }
 
 impl Gateway {
@@ -62,8 +98,35 @@ impl Gateway {
             usite: usite.into(),
             uudb,
             site_hook: None,
-            audit: Vec::new(),
+            audit: VecDeque::new(),
+            audit_capacity: DEFAULT_AUDIT_CAPACITY,
+            metrics: GatewayMetrics::default(),
         }
+    }
+
+    /// Publishes this gateway's counters into `telemetry`'s registry
+    /// (`gateway.authn.accepted`, `gateway.authn.refused`,
+    /// `gateway.audit.dropped`).
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.metrics = GatewayMetrics::new(telemetry);
+    }
+
+    /// Resizes the audit ring (minimum 1). Shrinking drops the oldest
+    /// records, counting them as dropped.
+    pub fn set_audit_capacity(&mut self, capacity: usize) {
+        self.audit_capacity = capacity.max(1);
+        while self.audit.len() > self.audit_capacity {
+            self.audit.pop_front();
+            self.metrics.audit_dropped.inc();
+        }
+    }
+
+    fn push_audit(&mut self, record: AuditRecord) {
+        if self.audit.len() >= self.audit_capacity {
+            self.audit.pop_front();
+            self.metrics.audit_dropped.inc();
+        }
+        self.audit.push_back(record);
     }
 
     /// The Usite this gateway fronts.
@@ -117,7 +180,8 @@ impl Gateway {
         // UUDB mapping.
         match self.uudb.map(&dn, vsite, account_group) {
             Ok(mapped) => {
-                self.audit.push(AuditRecord {
+                self.metrics.accepted.inc();
+                self.push_audit(AuditRecord {
                     at: now,
                     dn: dn.clone(),
                     vsite: vsite.to_owned(),
@@ -155,7 +219,8 @@ impl Gateway {
     ) -> AuthDecision {
         match self.uudb.map(dn, vsite, account_group) {
             Ok(mapped) => {
-                self.audit.push(AuditRecord {
+                self.metrics.accepted.inc();
+                self.push_audit(AuditRecord {
                     at: now,
                     dn: dn.to_owned(),
                     vsite: vsite.to_owned(),
@@ -172,7 +237,8 @@ impl Gateway {
     }
 
     fn refuse(&mut self, now: u64, dn: &str, vsite: &str, reason: &str) -> AuthDecision {
-        self.audit.push(AuditRecord {
+        self.metrics.refused.inc();
+        self.push_audit(AuditRecord {
             at: now,
             dn: dn.to_owned(),
             vsite: vsite.to_owned(),
@@ -182,8 +248,8 @@ impl Gateway {
         AuthDecision::Refused(reason.to_owned())
     }
 
-    /// The audit trail.
-    pub fn audit(&self) -> &[AuditRecord] {
+    /// The audit trail, oldest first (at most the configured capacity).
+    pub fn audit(&self) -> &VecDeque<AuditRecord> {
         &self.audit
     }
 }
@@ -287,9 +353,55 @@ mod tests {
             .unwrap();
         let d = fx.gw.authorize(&stranger.cert, "T3E", None, None, 20);
         assert!(matches!(d, AuthDecision::Refused(_)));
-        let rec = fx.gw.audit().last().unwrap();
+        let rec = fx.gw.audit().back().unwrap();
         assert!(!rec.accepted);
         assert_eq!(rec.detail, "no UUDB entry");
+    }
+
+    #[test]
+    fn audit_trail_is_bounded_and_drops_are_counted() {
+        let mut fx = fixture();
+        let telemetry = Telemetry::disabled();
+        fx.gw.set_telemetry(&telemetry);
+        fx.gw.set_audit_capacity(3);
+        for t in 0..5 {
+            let d = fx.gw.authorize(&fx.alice.cert, "T3E", None, None, t);
+            assert!(d.is_accepted());
+        }
+        assert_eq!(fx.gw.audit().len(), 3);
+        // Oldest two were evicted: the ring holds decisions 2, 3, 4.
+        assert_eq!(fx.gw.audit()[0].at, 2);
+        assert_eq!(fx.gw.audit().back().unwrap().at, 4);
+        let snap = telemetry.metrics_snapshot();
+        assert_eq!(snap.counter("gateway.audit.dropped"), 2);
+        assert_eq!(snap.counter("gateway.authn.accepted"), 5);
+
+        // Shrinking also evicts and counts.
+        fx.gw.set_audit_capacity(1);
+        assert_eq!(fx.gw.audit().len(), 1);
+        assert_eq!(
+            telemetry
+                .metrics_snapshot()
+                .counter("gateway.audit.dropped"),
+            4
+        );
+    }
+
+    #[test]
+    fn refusals_are_counted() {
+        let mut fx = fixture();
+        let telemetry = Telemetry::disabled();
+        fx.gw.set_telemetry(&telemetry);
+        let d = fx
+            .gw
+            .authorize(&fx.alice.cert, "T3E", Some("physics"), None, 30);
+        assert!(!d.is_accepted());
+        assert_eq!(
+            telemetry
+                .metrics_snapshot()
+                .counter("gateway.authn.refused"),
+            1
+        );
     }
 
     #[test]

@@ -27,6 +27,7 @@ use unicore_gateway::MappedUser;
 use unicore_resources::{check_request, ResourcePage};
 use unicore_sim::SimTime;
 use unicore_store::{EventStore, ForeignOrigin, OwnerRecord, StoreError, StoreEvent};
+use unicore_telemetry::{ActiveSpan, Counter, Histogram, SpanContext, Telemetry};
 use unicore_uspace::Vspace;
 
 /// Xspace directory where incoming site-to-site transfers land.
@@ -86,6 +87,10 @@ pub struct ConsignMeta {
     /// Set when the job was consigned by a peer server on behalf of a
     /// remote parent job.
     pub foreign: Option<ForeignOrigin>,
+    /// Trace context of the request that carried this consign, so the
+    /// job's span tree hangs off the caller's trace. Not journalled:
+    /// a recovered job starts a fresh trace.
+    pub trace: Option<SpanContext>,
 }
 
 /// What [`Njs::recover`] rebuilt from the journal.
@@ -121,6 +126,10 @@ struct JobRuntime {
     done: bool,
     consigned_at: SimTime,
     finished_at: Option<SimTime>,
+    /// Open `njs.job` span, ended when the job completes.
+    span: Option<ActiveSpan>,
+    /// This job's trace context; parents all spans emitted on its behalf.
+    trace: Option<SpanContext>,
 }
 
 impl JobRuntime {
@@ -158,6 +167,28 @@ pub struct Njs {
     /// Last simulated time seen, used to stamp journal events emitted
     /// from state transitions that have no `now` parameter of their own.
     clock: SimTime,
+    /// Telemetry handle; disabled by default.
+    telemetry: Telemetry,
+    metrics: NjsMetrics,
+}
+
+/// NJS counters/histograms, fetched once from the registry.
+struct NjsMetrics {
+    consigned: Counter,
+    incarnations: Counter,
+    completed: Counter,
+    duration_us: Histogram,
+}
+
+impl Default for NjsMetrics {
+    fn default() -> Self {
+        NjsMetrics {
+            consigned: Counter::detached(),
+            incarnations: Counter::detached(),
+            completed: Counter::detached(),
+            duration_us: Histogram::detached(),
+        }
+    }
 }
 
 impl Njs {
@@ -181,13 +212,55 @@ impl Njs {
             store: None,
             recovering: false,
             clock: 0,
+            telemetry: Telemetry::disabled(),
+            metrics: NjsMetrics::default(),
         }
+    }
+
+    /// Wires this NJS (and its attached store and batch systems) to a
+    /// telemetry handle. Jobs consigned from now on get `njs.job` spans;
+    /// counters land in `telemetry`'s registry under `njs.*`,
+    /// `store.wal.*`, and `batch.*`.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.metrics = NjsMetrics {
+            consigned: telemetry.counter("njs.consigned"),
+            incarnations: telemetry.counter("njs.incarnations"),
+            completed: telemetry.counter("njs.jobs.completed"),
+            duration_us: telemetry.histogram("njs.job.duration.us"),
+        };
+        if let Some(store) = self.store.as_mut() {
+            store.set_telemetry(&telemetry);
+        }
+        for name in &self.vsite_order {
+            if let Some(v) = self.vsites.get_mut(name) {
+                v.batch.set_telemetry(&telemetry);
+            }
+        }
+        self.telemetry = telemetry;
+    }
+
+    /// The telemetry handle this NJS reports into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The trace context of a consigned job, if tracing was enabled when
+    /// it arrived. The server stamps this onto outbound peer requests so
+    /// remote sub-jobs continue the same trace.
+    pub fn trace_of(&self, job: JobId) -> Option<SpanContext> {
+        self.jobs.get(&job).and_then(|rt| rt.trace)
     }
 
     /// Attaches a durable event store. From now on every consign, node
     /// completion, job completion, and purge is journalled, and
     /// [`Njs::recover`] can rebuild the job table after a restart.
-    pub fn attach_store(&mut self, store: EventStore) {
+    pub fn attach_store(&mut self, mut store: EventStore) {
+        // Only wire a live handle: attaching under the default disabled
+        // telemetry would consume the store's once-only torn-tail repair
+        // signal into a registry nobody reads.
+        if self.telemetry.is_enabled() {
+            store.set_telemetry(&self.telemetry);
+        }
         self.store = Some(store);
     }
 
@@ -318,6 +391,9 @@ impl Njs {
         // strict dialect checking turns any mistranslation into a loud
         // submission error instead of a silently wrong job.
         batch.set_strict_dialect(true);
+        if self.telemetry.is_enabled() {
+            batch.set_telemetry(&self.telemetry);
+        }
         self.vsites.insert(
             name.clone(),
             VsiteRuntime {
@@ -423,6 +499,7 @@ impl Njs {
         meta: ConsignMeta,
     ) -> Result<JobId, NjsError> {
         self.clock = self.clock.max(now);
+        let parent_ctx = meta.trace;
         if job.vsite.usite != self.usite {
             return Err(NjsError::WrongUsite {
                 wanted: job.vsite.usite.clone(),
@@ -525,6 +602,18 @@ impl Njs {
             states.insert(*nid, NodeState::Waiting);
         }
 
+        // Replayed jobs do not restart spans or recount consigns: their
+        // first life already did.
+        let span = if self.recovering {
+            None
+        } else {
+            self.metrics.consigned.inc();
+            let mut sp = self.telemetry.span("njs.job", parent_ctx, now);
+            sp.attr("job", id);
+            sp.attr("vsite", &job.vsite.vsite);
+            Some(sp)
+        };
+        let trace = span.as_ref().and_then(|s| s.ctx());
         self.jobs.insert(
             id,
             JobRuntime {
@@ -538,6 +627,8 @@ impl Njs {
                 done: false,
                 consigned_at: now,
                 finished_at: None,
+                span,
+                trace,
             },
         );
         self.job_order.push(id);
@@ -842,8 +933,17 @@ impl Njs {
         if finished {
             rt.done = true;
             rt.finished_at = Some(now);
+            let consigned_at = rt.consigned_at;
+            let span = rt.span.take();
             progressed = true;
             self.log_job_done(id);
+            self.metrics.completed.inc();
+            self.metrics
+                .duration_us
+                .record(now.saturating_sub(consigned_at));
+            if let Some(span) = span {
+                self.telemetry.end(span, now);
+            }
         }
         progressed
     }
@@ -855,10 +955,14 @@ impl Njs {
         vsite: &str,
         batch_id: BatchJobId,
     ) -> bool {
-        let status = {
+        let (status, acct) = {
             let v = self.vsites.get(vsite).expect("known vsite");
-            v.batch.status(batch_id).cloned()
+            (
+                v.batch.status(batch_id).cloned(),
+                v.batch.accounting_for(batch_id).cloned(),
+            )
         };
+        let tel = self.telemetry.clone();
         let rt = self.jobs.get_mut(&job).expect("job exists");
         match status {
             Some(BatchStatus::Queued) | Some(BatchStatus::Held) => {
@@ -880,6 +984,14 @@ impl Njs {
                 false
             }
             Some(BatchStatus::Completed(c)) => {
+                // Retroactive spans from the accounting record: the batch
+                // tier is clock-passive, so queue wait and run time are
+                // only knowable once the job has finished.
+                if let Some(a) = &acct {
+                    let parent = rt.trace;
+                    tel.emit("batch.queue", parent, a.submitted_at, a.started_at);
+                    tel.emit("batch.run", parent, a.started_at, a.ended_at);
+                }
                 let status = if c.is_success() {
                     ActionStatus::Successful
                 } else {
@@ -1009,6 +1121,11 @@ impl Njs {
                 TaskKind::Execute(kind) => {
                     let vsite_name = rt.job.vsite.vsite.clone();
                     let login = rt.user.login.clone();
+                    let trace = rt.trace;
+                    let tel = self.telemetry.clone();
+                    let mut ispan = tel.span("njs.incarnate", trace, now);
+                    ispan.attr("task", &task.name);
+                    ispan.attr("vsite", &vsite_name);
                     let v = self.vsites.get_mut(&vsite_name).expect("known vsite");
                     let time_limit = unicore_sim::secs(task.resources.run_time_secs);
                     // Standard site policy: short jobs go express — unless
@@ -1029,6 +1146,7 @@ impl Njs {
                         queue.name(),
                     );
                     self.incarnations += 1;
+                    self.metrics.incarnations.inc();
                     let work = self.oracle.work_for(&task, &task.resources);
                     let spec = BatchJobSpec {
                         name: task.name.clone(),
@@ -1069,6 +1187,10 @@ impl Njs {
                             self.log_terminal(job, node, Vec::new());
                         }
                     }
+                    // Incarnation is instantaneous in simulated time; the
+                    // span's wall-clock side still measures translation
+                    // plus submission cost.
+                    tel.end(ispan, now);
                     true
                 }
                 TaskKind::File(file_kind) => {
@@ -1100,7 +1222,7 @@ impl Njs {
 
     fn dispatch_subjob(&mut self, job: JobId, node: ActionId, sub: AbstractJob, now: SimTime) {
         // Gather edge files from predecessors out of the parent's Uspace.
-        let (staged, user, portfolio, parent_vsite) = {
+        let (staged, user, portfolio, parent_vsite, parent_trace) = {
             let rt = self.jobs.get(&job).expect("job exists");
             let mut staged: Vec<(String, Vec<u8>)> = Vec::new();
             for pred in rt.job.predecessors(node) {
@@ -1121,6 +1243,7 @@ impl Njs {
                 rt.user.clone(),
                 rt.portfolio.clone(),
                 rt.job.vsite.vsite.clone(),
+                rt.trace,
             )
         };
         let _ = parent_vsite;
@@ -1134,7 +1257,10 @@ impl Njs {
                 staged,
                 Some((job, node)),
                 now,
-                ConsignMeta::default(),
+                ConsignMeta {
+                    trace: parent_trace,
+                    ..ConsignMeta::default()
+                },
             ) {
                 Ok(child) => {
                     let rt = self.jobs.get_mut(&job).expect("job exists");

@@ -20,5 +20,5 @@ pub mod stats;
 pub mod time;
 
 pub use queue::{EventId, EventQueue};
-pub use stats::{LogHistogram, OnlineStats, Percentiles};
+pub use stats::{log2_bucket, log2_bucket_limit, LogHistogram, OnlineStats, Percentiles};
 pub use time::{format_time, millis, secs, secs_f64, SimTime, HOUR, MICRO, MILLI, MINUTE, SEC};

@@ -144,6 +144,25 @@ impl Percentiles {
     }
 }
 
+/// Index of the power-of-two bucket covering `value` in a 64-bucket
+/// log₂ histogram: bucket 0 holds only 0, bucket `i ≥ 1` holds
+/// `[2^(i-1), 2^i)`, and everything from `2^62` up lands in bucket 63.
+pub fn log2_bucket(value: u64) -> usize {
+    (64 - value.leading_zeros() as usize).min(63)
+}
+
+/// Exclusive upper bound of log₂ bucket `idx` (saturates at `u64::MAX`
+/// for the overflow bucket).
+pub fn log2_bucket_limit(idx: usize) -> u64 {
+    if idx == 0 {
+        1
+    } else if idx >= 63 {
+        u64::MAX
+    } else {
+        1u64 << idx
+    }
+}
+
 /// Fixed log₂-bucketed histogram for latency-style values.
 #[derive(Debug, Clone)]
 pub struct LogHistogram {
@@ -168,8 +187,7 @@ impl LogHistogram {
 
     /// Records a (non-negative integer) observation.
     pub fn record(&mut self, value: u64) {
-        let idx = (64 - value.leading_zeros() as usize).min(63);
-        self.buckets[idx] += 1;
+        self.buckets[log2_bucket(value)] += 1;
         self.total += 1;
     }
 
@@ -180,8 +198,7 @@ impl LogHistogram {
 
     /// Observations in the bucket covering `value`.
     pub fn bucket_count(&self, value: u64) -> u64 {
-        let idx = (64 - value.leading_zeros() as usize).min(63);
-        self.buckets[idx]
+        self.buckets[log2_bucket(value)]
     }
 
     /// Upper bound (exclusive) of the smallest bucket that makes the
@@ -195,7 +212,7 @@ impl LogHistogram {
         for (idx, &c) in self.buckets.iter().enumerate() {
             acc += c;
             if acc >= target {
-                return if idx == 0 { 0 } else { 1u64 << idx };
+                return if idx == 0 { 0 } else { log2_bucket_limit(idx) };
             }
         }
         u64::MAX

@@ -9,6 +9,7 @@ use crate::wal::{
 };
 use std::collections::{HashMap, HashSet};
 use unicore_codec::DerCodec;
+use unicore_telemetry::{Counter, Telemetry};
 
 /// Default segment rotation threshold (bytes).
 pub const DEFAULT_ROTATE_AT: usize = 64 * 1024;
@@ -54,6 +55,30 @@ pub struct EventStore {
     snapshot_seq: Option<u64>,
     /// Whether `open` found (and repaired) a torn tail.
     recovered_torn: bool,
+    metrics: WalMetrics,
+}
+
+/// WAL health counters, fetched once from the telemetry registry.
+struct WalMetrics {
+    appends: Counter,
+    bytes: Counter,
+    rotations: Counter,
+    repairs: Counter,
+    /// Whether this store's own open-time repair was already counted
+    /// (`set_telemetry` may be called more than once).
+    repair_reported: bool,
+}
+
+impl Default for WalMetrics {
+    fn default() -> Self {
+        WalMetrics {
+            appends: Counter::detached(),
+            bytes: Counter::detached(),
+            rotations: Counter::detached(),
+            repairs: Counter::detached(),
+            repair_reported: false,
+        }
+    }
 }
 
 impl EventStore {
@@ -79,6 +104,7 @@ impl EventStore {
             rotate_at,
             snapshot_seq: None,
             recovered_torn: false,
+            metrics: WalMetrics::default(),
         };
         let names = store.backend.list()?;
         store.snapshot_seq = names.iter().filter_map(|n| parse_snapshot_name(n)).max();
@@ -129,6 +155,26 @@ impl EventStore {
         self.recovered_torn
     }
 
+    /// Publishes this store's WAL health counters into `telemetry`'s
+    /// registry (`store.wal.appends`, `store.wal.bytes`,
+    /// `store.wal.rotations`, `store.wal.repairs`). A torn tail repaired
+    /// by `open` — which necessarily ran before telemetry could be
+    /// attached — is counted now, once.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        let reported = self.metrics.repair_reported;
+        self.metrics = WalMetrics {
+            appends: telemetry.counter("store.wal.appends"),
+            bytes: telemetry.counter("store.wal.bytes"),
+            rotations: telemetry.counter("store.wal.rotations"),
+            repairs: telemetry.counter("store.wal.repairs"),
+            repair_reported: reported,
+        };
+        if self.recovered_torn && !self.metrics.repair_reported {
+            self.metrics.repairs.inc();
+            self.metrics.repair_reported = true;
+        }
+    }
+
     /// Appends one event durably. Returns only once the record is on
     /// storage; rotates to a fresh segment past the size threshold.
     pub fn append(&mut self, event: &StoreEvent) -> Result<(), StoreError> {
@@ -136,10 +182,13 @@ impl EventStore {
         if self.current_bytes > 0 && self.current_bytes + frame.len() > self.rotate_at {
             self.current_seq += 1;
             self.current_bytes = 0;
+            self.metrics.rotations.inc();
         }
         self.backend
             .append(&segment_name(self.current_seq), &frame)?;
         self.current_bytes += frame.len();
+        self.metrics.appends.inc();
+        self.metrics.bytes.add(frame.len() as u64);
         Ok(())
     }
 
@@ -378,6 +427,37 @@ mod tests {
         let mut store = store;
         store.append(&consigned(3)).unwrap();
         assert_eq!(store.replay().unwrap().events.len(), 2);
+    }
+
+    #[test]
+    fn wal_metrics_track_appends_rotations_and_repairs() {
+        let telemetry = Telemetry::disabled();
+        let shared = MemoryBackend::new();
+        let mut store = EventStore::open_with_rotation(Box::new(shared.clone()), 128).unwrap();
+        store.set_telemetry(&telemetry);
+        for j in 0..20 {
+            store.append(&consigned(j)).unwrap();
+        }
+        let snap = telemetry.metrics_snapshot();
+        assert_eq!(snap.counter("store.wal.appends"), 20);
+        assert!(snap.counter("store.wal.bytes") > 0);
+        assert_eq!(
+            snap.counter("store.wal.rotations") as usize,
+            store.segment_count().unwrap() - 1
+        );
+        assert_eq!(snap.counter("store.wal.repairs"), 0);
+
+        // Crash mid-append, reboot: the open-time repair is counted once
+        // when telemetry attaches, even if it attaches twice.
+        shared.crash_after_appends(0, 3);
+        assert!(store.append(&consigned(99)).is_err());
+        drop(store);
+        shared.reboot();
+        let mut store = EventStore::open_with_rotation(Box::new(shared), 128).unwrap();
+        assert!(store.recovered_torn());
+        store.set_telemetry(&telemetry);
+        store.set_telemetry(&telemetry);
+        assert_eq!(telemetry.metrics_snapshot().counter("store.wal.repairs"), 1);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::record::{RecordKeys, RecordType};
 use std::time::Duration;
 use unicore_certs::Certificate;
 use unicore_simnet::WireEnd;
+use unicore_telemetry::{Counter, Telemetry};
 
 /// An authenticated, encrypted, ordered message channel.
 ///
@@ -19,6 +20,8 @@ pub struct SecureChannel {
     resumed: bool,
     session_id: Vec<u8>,
     closed: bool,
+    sealed: Counter,
+    opened: Counter,
 }
 
 impl SecureChannel {
@@ -40,7 +43,17 @@ impl SecureChannel {
             resumed,
             session_id,
             closed: false,
+            sealed: Counter::detached(),
+            opened: Counter::detached(),
         }
+    }
+
+    /// Wires the record-layer counters (`transport.records.sealed` /
+    /// `transport.records.opened`) into `telemetry`'s registry. The
+    /// handshake calls this with the endpoint's handle.
+    pub(crate) fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.sealed = telemetry.counter("transport.records.sealed");
+        self.opened = telemetry.counter("transport.records.opened");
     }
 
     /// The peer's authenticated end-entity certificate.
@@ -64,6 +77,7 @@ impl SecureChannel {
             return Err(TransportError::Closed);
         }
         let record = self.tx.seal(RecordType::Data, data);
+        self.sealed.inc();
         self.wire.send(&record)?;
         Ok(())
     }
@@ -75,6 +89,7 @@ impl SecureChannel {
         }
         let raw = self.wire.recv_timeout(timeout)?;
         let (rtype, plain) = self.rx.open(&raw)?;
+        self.opened.inc();
         match rtype {
             RecordType::Data => Ok(plain),
             RecordType::Alert => {
@@ -108,6 +123,7 @@ impl SecureChannel {
 
     pub(crate) fn send_handshake(&mut self, data: &[u8]) -> Result<(), TransportError> {
         let record = self.tx.seal(RecordType::Handshake, data);
+        self.sealed.inc();
         self.wire.send(&record)?;
         Ok(())
     }
@@ -115,6 +131,7 @@ impl SecureChannel {
     pub(crate) fn recv_handshake(&mut self, timeout: Duration) -> Result<Vec<u8>, TransportError> {
         let raw = self.wire.recv_timeout(timeout)?;
         let (rtype, plain) = self.rx.open(&raw)?;
+        self.opened.inc();
         match rtype {
             RecordType::Handshake => Ok(plain),
             _ => Err(TransportError::Protocol("expected handshake record")),

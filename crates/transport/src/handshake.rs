@@ -24,7 +24,7 @@ use crate::messages::{HandshakeMessage, RANDOM_LEN};
 use crate::record::RecordKeys;
 use crate::session::{CachedSession, SessionCache};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use unicore_certs::{Certificate, Identity, RequiredUsage, TrustStore};
 use unicore_crypto::bignum::BigUint;
 use unicore_crypto::dh::{DhEphemeral, DhGroup};
@@ -32,6 +32,7 @@ use unicore_crypto::hmac::hmac_sha256;
 use unicore_crypto::rng::CryptoRng;
 use unicore_crypto::sha256::Sha256;
 use unicore_simnet::WireEnd;
+use unicore_telemetry::Telemetry;
 
 /// Configuration for one endpoint of the secure transport.
 pub struct Endpoint {
@@ -45,6 +46,9 @@ pub struct Endpoint {
     pub now: u64,
     /// Receive timeout for handshake messages.
     pub timeout: Duration,
+    /// Telemetry sink for handshake and record-layer metrics; disabled
+    /// by default.
+    pub telemetry: Telemetry,
 }
 
 impl Endpoint {
@@ -56,7 +60,16 @@ impl Endpoint {
             trust,
             now,
             timeout: Duration::from_secs(5),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle; handshakes through this endpoint
+    /// count under `transport.handshake.*` and channels it produces
+    /// count records under `transport.records.*`.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     fn chain(&self) -> Vec<Certificate> {
@@ -64,6 +77,22 @@ impl Endpoint {
         chain.extend(self.intermediates.iter().cloned());
         chain
     }
+}
+
+/// Books a completed handshake: full-vs-resumed counter, wall-clock
+/// latency, and the channel's record counters. Handshakes are rare, so
+/// the registry lookups here stay off the per-record hot path.
+fn record_handshake(ep: &Endpoint, resumed: bool, started: Instant, chan: &mut SecureChannel) {
+    chan.attach_telemetry(&ep.telemetry);
+    let name = if resumed {
+        "transport.handshake.resumed"
+    } else {
+        "transport.handshake.full"
+    };
+    ep.telemetry.counter(name).inc();
+    ep.telemetry
+        .histogram("transport.handshake.wall.ns")
+        .record(started.elapsed().as_nanos() as u64);
 }
 
 fn send_msg(
@@ -151,6 +180,7 @@ pub fn client_handshake(
     cache: &SessionCache,
     rng: &mut CryptoRng,
 ) -> Result<SecureChannel, TransportError> {
+    let started = Instant::now();
     let mut transcript = Sha256::new();
     let c_random = rng.bytes(RANDOM_LEN);
 
@@ -198,6 +228,7 @@ pub fn client_handshake(
         }
         let mine = finished_value(&session.master, &transcript, "client finished");
         chan.send_handshake(&mine)?;
+        record_handshake(ep, true, started, &mut chan);
         return Ok(chan);
     }
 
@@ -277,6 +308,7 @@ pub fn client_handshake(
             peer: server_cert,
         },
     );
+    record_handshake(ep, false, started, &mut chan);
     Ok(chan)
 }
 
@@ -287,6 +319,7 @@ pub fn server_handshake(
     cache: &SessionCache,
     rng: &mut CryptoRng,
 ) -> Result<SecureChannel, TransportError> {
+    let started = Instant::now();
     let mut transcript = Sha256::new();
     let hello = recv_msg(&wire, &mut transcript, ep.timeout)?;
     let HandshakeMessage::ClientHello {
@@ -330,6 +363,7 @@ pub fn server_handshake(
         if !unicore_crypto::ct_eq(&their, &expect) {
             return Err(TransportError::Protocol("bad client Finished"));
         }
+        record_handshake(ep, true, started, &mut chan);
         return Ok(chan);
     }
 
@@ -420,5 +454,6 @@ pub fn server_handshake(
             peer: client_cert,
         },
     );
+    record_handshake(ep, false, started, &mut chan);
     Ok(chan)
 }

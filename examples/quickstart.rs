@@ -16,6 +16,7 @@ use unicore_gateway::{Gateway, UserEntry, Uudb};
 use unicore_njs::{Njs, TranslationTable};
 use unicore_resources::{deployment_page, Architecture, ResourceDirectory};
 use unicore_sim::format_time;
+use unicore_telemetry::Telemetry;
 
 fn main() {
     let dn = "C=DE, O=Forschungszentrum Juelich, OU=ZAM, CN=Alice Example";
@@ -32,6 +33,10 @@ fn main() {
     uudb.add(dn, UserEntry::new("alice1", "zam"));
     let gateway = Gateway::new("FZJ", uudb);
     let mut server = UnicoreServer::new(gateway, njs);
+
+    // Collect spans and metrics across every tier the request touches.
+    let telemetry = Telemetry::collecting(0x51);
+    server.set_telemetry(telemetry.clone());
 
     // ---- Job preparation (the JPA) --------------------------------------
     // The user receives the resource pages with the applet and builds a
@@ -85,7 +90,14 @@ fn main() {
     );
 
     // ---- Consignment (gateway + NJS) ------------------------------------
-    let response = server.handle_request(dn, Request::Consign { ajo: job.clone() }, 0);
+    // The client opens the root span; its context rides the envelope so
+    // every tier below hangs off the same trace.
+    let mut consign_span = telemetry.span("client.request", None, 0);
+    consign_span.attr("kind", "consign");
+    let trace = consign_span.ctx();
+    let response =
+        server.handle_request_traced(dn, Request::Consign { ajo: job.clone() }, 0, trace);
+    telemetry.end(consign_span, 0);
     let Response::Consigned { job: job_id } = response else {
         panic!("consign failed: {response:?}");
     };
@@ -123,5 +135,43 @@ fn main() {
                 String::from_utf8_lossy(&out.stdout)
             );
         }
+    }
+
+    // ---- Telemetry: where did the time go? ------------------------------
+    // Every row aggregates the finished spans of one instrumentation
+    // point; the simulated-clock totals show the per-tier latency split
+    // (batch wait + run dominate, as on a real T3E).
+    println!("\nper-tier latency breakdown (from spans):");
+    println!(
+        "  {:<8} {:<16} {:>5}  {:>14}",
+        "tier", "span", "count", "sim time"
+    );
+    for s in telemetry.breakdown() {
+        let tier = match s.name.split('.').next().unwrap_or("") {
+            "client" => "client",
+            "server" | "gateway" => "gateway",
+            "njs" => "NJS",
+            "batch" => "batch",
+            "store" | "transport" => "site",
+            _ => "other",
+        };
+        println!(
+            "  {:<8} {:<16} {:>5}  {:>14}",
+            tier,
+            s.name,
+            s.count,
+            format_time(s.clock_total)
+        );
+    }
+
+    println!("\nmetrics registry (excerpt):");
+    for line in telemetry
+        .metrics()
+        .render_text()
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.contains("bucket"))
+        .take(10)
+    {
+        println!("  {line}");
     }
 }

@@ -17,6 +17,7 @@ use unicore_njs::{Njs, TranslationTable};
 use unicore_resources::{deployment_page, Architecture, ResourceDirectory};
 use unicore_sim::{SimTime, HOUR, SEC};
 use unicore_store::{EventStore, MemoryBackend};
+use unicore_telemetry::Telemetry;
 
 const DN: &str = "C=DE, O=FZJ, OU=ZAM, CN=phoenix";
 
@@ -280,6 +281,56 @@ fn journal_failure_refuses_consignment() {
     let end = drive(&mut server, &mem, &[id], 0);
     assert!(server.is_done(id));
     assert_eq!(fetch(&mut server, id, "result.nc", end).len(), 512);
+}
+
+/// WAL health surfaces in the metrics registry: a reboot from a torn
+/// journal reports the repair through `store.wal.repairs` exactly once,
+/// and subsequent appends show up in the append/byte counters.
+#[test]
+fn repaired_open_increments_repair_counter() {
+    let ajos = scenario_jobs();
+    let mem = MemoryBackend::new();
+    // Die on the 4th append, leaving 7 torn bytes for the framing to
+    // find on reboot (crash point 3 is past both initial consigns).
+    mem.crash_after_appends(3, 7);
+    let mut server = build_server(&mem);
+    let accepted: Vec<JobId> = ajos
+        .iter()
+        .filter_map(|a| consign(&mut server, a, 0))
+        .collect();
+    let now = drive(&mut server, &mem, &accepted, 0);
+    assert!(mem.is_crashed(), "crash point never fired");
+    drop(server);
+
+    mem.reboot();
+    let mut server = build_server(&mem);
+    let report = server.recover(now).expect("recovery");
+    assert!(report.torn_tail, "torn record not detected");
+
+    // Wiring telemetry after the repaired open reports it exactly once;
+    // re-wiring must not count the same repair again.
+    let telemetry = Telemetry::collecting(7);
+    server.set_telemetry(telemetry.clone());
+    assert_eq!(telemetry.metrics_snapshot().counter("store.wal.repairs"), 1);
+    server.set_telemetry(telemetry.clone());
+    assert_eq!(
+        telemetry.metrics_snapshot().counter("store.wal.repairs"),
+        1,
+        "repair double-counted on re-attach"
+    );
+
+    // The journal keeps appending after recovery, and the health
+    // counters see it.
+    let before = telemetry.metrics_snapshot().counter("store.wal.appends");
+    let id = consign(&mut server, &ajos[0], now).expect("post-recovery consign");
+    drive(&mut server, &mem, &[id], now);
+    assert!(server.is_done(id));
+    let snap = telemetry.metrics_snapshot();
+    assert!(
+        snap.counter("store.wal.appends") > before,
+        "appends counter stuck at {before}"
+    );
+    assert!(snap.counter("store.wal.bytes") > 0);
 }
 
 /// Live-path duplicate suppression (no crash involved): the same AJO

@@ -1,0 +1,186 @@
+//! Cross-tier trace propagation: one client request driving a
+//! multi-site job must yield a single connected trace whose spans live
+//! in three different collectors — the client (JPA/JMC tier), the entry
+//! Usite's server, and the remote Usite the sub-job is forwarded to.
+//!
+//! The trace context travels only on the wire (the tagged trailing
+//! element of every [`unicore::Envelope`]); the collectors never share
+//! state, so connectedness here proves the NJS–NJS forwarding carries
+//! the context end to end.
+
+use std::collections::{HashMap, HashSet};
+use unicore::{Federation, FederationConfig};
+use unicore_ajo::{ResourceRequest, UserAttributes, VsiteAddress};
+use unicore_client::JobPreparationAgent;
+use unicore_resources::ResourceDirectory;
+use unicore_sim::{HOUR, SEC};
+use unicore_telemetry::{SpanId, SpanRecord, TraceId};
+
+const DN: &str = "C=DE, O=FZJ, OU=ZAM, CN=tracer";
+
+/// A parent job at FZJ whose sub-job runs at ZIB, submitted through FZJ.
+fn multi_site_job() -> unicore_ajo::AbstractJob {
+    let jpa = JobPreparationAgent::new(UserAttributes::new(DN, "users"), ResourceDirectory::new());
+    let mut inner = jpa.new_job("remote part", VsiteAddress::new("ZIB", "T3E"));
+    inner.script_task(
+        "crunch",
+        "sleep 30\nproduce out.bin 1024\n",
+        ResourceRequest::minimal().with_run_time(600),
+    );
+    let mut outer = jpa.new_job("multi-site", VsiteAddress::new("FZJ", "T3E"));
+    let prep = outer.script_task(
+        "prep",
+        "sleep 10\n",
+        ResourceRequest::minimal().with_run_time(600),
+    );
+    let sub = outer.sub_job(inner);
+    outer.after(prep, sub);
+    outer.build().unwrap()
+}
+
+#[test]
+fn federated_job_produces_one_connected_trace() {
+    let mut fed = Federation::german_deployment(FederationConfig::default());
+    fed.enable_telemetry(0xace);
+    fed.register_user(DN, "tracer");
+
+    let (_, outcome, _) = fed
+        .submit_and_wait("FZJ", multi_site_job(), DN, 5 * SEC, HOUR)
+        .expect("multi-site job completes");
+    assert!(outcome.status.is_success(), "{outcome:?}");
+
+    let client = fed.client_telemetry().finished_spans();
+    let fzj = fed.server("FZJ").unwrap().telemetry().finished_spans();
+    let zib = fed.server("ZIB").unwrap().telemetry().finished_spans();
+    assert!(!client.is_empty(), "client recorded no spans");
+    assert!(!fzj.is_empty(), "entry server recorded no spans");
+    assert!(!zib.is_empty(), "remote server recorded no spans");
+
+    // Every span at the remote Usite belongs to one single trace: the
+    // only traffic ZIB ever saw was on the consign's behalf.
+    let remote_traces: HashSet<TraceId> = zib.iter().map(|s| s.trace).collect();
+    assert_eq!(
+        remote_traces.len(),
+        1,
+        "remote site spans split across traces: {remote_traces:?}"
+    );
+    let trace = *remote_traces.iter().next().unwrap();
+
+    // That trace is rooted at the client: exactly one client.request
+    // span (the consign — polls and fetches are separate interactions).
+    let roots: Vec<&SpanRecord> = client
+        .iter()
+        .filter(|s| s.trace == trace && s.parent.is_none())
+        .collect();
+    assert_eq!(roots.len(), 1, "expected one root: {roots:?}");
+    assert_eq!(roots[0].name, "client.request");
+
+    // The entry server worked inside the same trace (its own authn,
+    // consign handling and job span), carried over the wire.
+    let fzj_in_trace: Vec<&str> = fzj
+        .iter()
+        .filter(|s| s.trace == trace)
+        .map(|s| s.name)
+        .collect();
+    for expected in ["server.request", "gateway.authorize", "njs.job"] {
+        assert!(
+            fzj_in_trace.contains(&expected),
+            "entry server missing {expected} in trace: {fzj_in_trace:?}"
+        );
+    }
+
+    // The remote site's whole pipeline ran under the forwarded context.
+    let zib_names: Vec<&str> = zib.iter().map(|s| s.name).collect();
+    for expected in [
+        "server.request",
+        "njs.job",
+        "njs.incarnate",
+        "batch.queue",
+        "batch.run",
+    ] {
+        assert!(
+            zib_names.contains(&expected),
+            "remote server missing {expected}: {zib_names:?}"
+        );
+    }
+
+    // Parent links all resolve inside the trace: walking up from any
+    // span reaches the client root, across collector boundaries.
+    let by_id: HashMap<SpanId, &SpanRecord> = client
+        .iter()
+        .chain(fzj.iter())
+        .chain(zib.iter())
+        .filter(|s| s.trace == trace)
+        .map(|s| (s.span, s))
+        .collect();
+    for span in by_id.values() {
+        let mut cur = *span;
+        let mut hops = 0;
+        while let Some(parent) = cur.parent {
+            cur = by_id
+                .get(&parent)
+                .unwrap_or_else(|| panic!("span {} has dangling parent {parent}", cur.name));
+            hops += 1;
+            assert!(hops < 64, "parent cycle at {}", cur.name);
+        }
+        assert_eq!(
+            cur.span, roots[0].span,
+            "span {} does not chain to the client root",
+            span.name
+        );
+    }
+
+    // The sub-job's remote spans hang below the entry server's job span,
+    // not beside it: ZIB's server.request parent is a span minted at FZJ.
+    let zib_request = zib
+        .iter()
+        .find(|s| s.name == "server.request")
+        .expect("checked above");
+    let parent = zib_request.parent.expect("forwarded request has parent");
+    assert!(
+        fzj.iter().any(|s| s.span == parent),
+        "remote request's parent span not found at the entry server"
+    );
+}
+
+#[test]
+fn monitoring_polls_stay_untraced() {
+    // Head sampling: only the consign roots a trace. The dozens of
+    // status polls the JMC sends while waiting must record nothing on
+    // either side — watching a job is free — and every server span must
+    // belong to the consign's single trace.
+    let mut fed = Federation::german_deployment(FederationConfig::default());
+    fed.enable_telemetry(7);
+    fed.register_user(DN, "tracer");
+
+    let jpa = JobPreparationAgent::new(UserAttributes::new(DN, "users"), ResourceDirectory::new());
+    let mut b = jpa.new_job("solo", VsiteAddress::new("FZJ", "T3E"));
+    b.script_task(
+        "t",
+        "sleep 10\n",
+        ResourceRequest::minimal().with_run_time(600),
+    );
+    let (_, outcome, _) = fed
+        .submit_and_wait("FZJ", b.build().unwrap(), DN, 5 * SEC, HOUR)
+        .expect("completes");
+    assert!(outcome.status.is_success());
+
+    let client = fed.client_telemetry().finished_spans();
+    assert_eq!(
+        client.len(),
+        1,
+        "only the consign should span: {:?}",
+        client.iter().map(|s| s.name).collect::<Vec<_>>()
+    );
+    assert_eq!(client[0].name, "client.request");
+
+    let fzj = fed.server("FZJ").unwrap().telemetry().finished_spans();
+    let traces: HashSet<TraceId> = fzj.iter().map(|s| s.trace).collect();
+    assert_eq!(
+        traces,
+        HashSet::from([client[0].trace]),
+        "server spans leaked outside the consign trace"
+    );
+    let polls = fzj.iter().filter(|s| s.name == "server.request").count();
+    assert_eq!(polls, 1, "poll requests must not be spanned");
+}
