@@ -21,7 +21,12 @@ cargo test -q --offline
 echo "==> telemetry unit tests"
 cargo test -q --offline -p unicore-telemetry
 
-echo "==> rustdoc (unicore-telemetry, warnings are errors)"
-RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline -p unicore-telemetry
+echo "==> monitoring plane tests"
+cargo test -q --offline -p unicore-integration-tests --test monitor_grid
+cargo test -q --offline -p unicore-client monitor
+cargo test -q --offline -p unicore --test prop_protocol
+
+echo "==> rustdoc (workspace, warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 
 echo "CI green."

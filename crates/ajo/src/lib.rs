@@ -33,7 +33,8 @@ pub use error::AjoError;
 pub use ids::{ActionId, JobId, UserAttributes, VsiteAddress};
 pub use job::{AbstractJob, Dependency, GraphNode, PortfolioFile};
 pub use outcome::{
-    ActionStatus, JobOutcome, JobSummary, OutcomeNode, ServiceOutcome, StatusColor, TaskOutcome,
+    ActionStatus, JobOutcome, JobSummary, MonitorReport, OutcomeNode, ServiceOutcome, StatusColor,
+    TaskOutcome, VsiteHealth,
 };
 pub use resources::ResourceRequest;
 pub use service::{AbstractService, ControlOp, DetailLevel};

@@ -6,6 +6,7 @@
 
 use crate::ids::{ActionId, JobId};
 use unicore_codec::{CodecError, DerCodec, Fields, Value};
+use unicore_telemetry::{FlightEvent, MetricsSnapshot, SpanSummary};
 
 /// Status of an action, colour-coded by the JMC ("the icons are colored to
 /// reflect the job status in a seamless way", §5.7).
@@ -113,6 +114,12 @@ pub struct TaskOutcome {
     pub bytes_staged: u64,
     /// Human-readable detail (error messages, queue info).
     pub message: String,
+    /// Flight-recorder trace: the lifecycle events leading up to a
+    /// failure, attached by the NJS so the JMC can show *why* a task
+    /// went red. Empty for successful or still-running tasks (and on
+    /// sites with the recorder disabled); omitted from the wire form
+    /// when empty, keeping old encodings byte-identical.
+    pub flight: Vec<FlightEvent>,
 }
 
 impl TaskOutcome {
@@ -224,6 +231,37 @@ pub struct JobSummary {
     pub status: ActionStatus,
 }
 
+/// Health gauges for one Vsite, as seen by its NJS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VsiteHealth {
+    /// Vsite name within the Usite.
+    pub vsite: String,
+    /// Free nodes on the target system.
+    pub free_nodes: i64,
+    /// Jobs waiting in the batch queue.
+    pub queue_length: i64,
+    /// Jobs currently executing.
+    pub running: i64,
+    /// Jobs flagged by the slow-dispatch watchdog: consigned but with
+    /// no node dispatched after the watchdog threshold.
+    pub stuck_jobs: i64,
+}
+
+/// One Usite's contribution to a `Monitor` outcome: its metrics, span
+/// breakdown and per-Vsite health, namespaced by the Usite name so a
+/// merged grid view stays attributable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorReport {
+    /// The reporting Usite.
+    pub usite: String,
+    /// Point-in-time copy of the site's metrics registry.
+    pub metrics: MetricsSnapshot,
+    /// Per-name aggregation of the site's finished spans.
+    pub spans: Vec<SpanSummary>,
+    /// Health gauges for each Vsite the NJS fronts.
+    pub vsites: Vec<VsiteHealth>,
+}
+
 /// Results of the service requests.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServiceOutcome {
@@ -244,6 +282,12 @@ pub enum ServiceOutcome {
         /// The job outcome at the requested detail.
         outcome: JobOutcome,
     },
+    /// A monitoring query's merged grid view: one report per reachable
+    /// Usite (a single-element list for a local, non-grid query).
+    Monitor {
+        /// Reports sorted by Usite name.
+        sites: Vec<MonitorReport>,
+    },
 }
 
 impl DerCodec for TaskOutcome {
@@ -257,6 +301,12 @@ impl DerCodec for TaskOutcome {
         ];
         if let Some(code) = self.exit_code {
             fields.push(Value::tagged(0, Value::Integer(code as i64)));
+        }
+        if !self.flight.is_empty() {
+            fields.push(Value::tagged(
+                1,
+                Value::Sequence(self.flight.iter().map(|e| e.to_value()).collect()),
+            ));
         }
         Value::Sequence(fields)
     }
@@ -275,6 +325,18 @@ impl DerCodec for TaskOutcome {
             ),
             None => None,
         };
+        let flight = match f.optional_tagged(1) {
+            Some(v) => {
+                let items = v
+                    .as_sequence()
+                    .ok_or(CodecError::BadValue("flight trace"))?;
+                items
+                    .iter()
+                    .map(FlightEvent::from_value)
+                    .collect::<Result<Vec<_>, _>>()?
+            }
+            None => Vec::new(),
+        };
         f.finish()?;
         Ok(TaskOutcome {
             status,
@@ -283,6 +345,7 @@ impl DerCodec for TaskOutcome {
             stderr,
             bytes_staged,
             message,
+            flight,
         })
     }
 }
@@ -339,6 +402,69 @@ impl DerCodec for JobOutcome {
     }
 }
 
+impl DerCodec for VsiteHealth {
+    fn to_value(&self) -> Value {
+        Value::Sequence(vec![
+            Value::string(&self.vsite),
+            Value::Integer(self.free_nodes),
+            Value::Integer(self.queue_length),
+            Value::Integer(self.running),
+            Value::Integer(self.stuck_jobs),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<Self, CodecError> {
+        let mut f = Fields::open(value, "VsiteHealth")?;
+        let vsite = f.next_string()?;
+        let free_nodes = f.next_i64()?;
+        let queue_length = f.next_i64()?;
+        let running = f.next_i64()?;
+        let stuck_jobs = f.next_i64()?;
+        f.finish()?;
+        Ok(VsiteHealth {
+            vsite,
+            free_nodes,
+            queue_length,
+            running,
+            stuck_jobs,
+        })
+    }
+}
+
+impl DerCodec for MonitorReport {
+    fn to_value(&self) -> Value {
+        Value::Sequence(vec![
+            Value::string(&self.usite),
+            self.metrics.to_value(),
+            Value::Sequence(self.spans.iter().map(|s| s.to_value()).collect()),
+            Value::Sequence(self.vsites.iter().map(|v| v.to_value()).collect()),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<Self, CodecError> {
+        let mut f = Fields::open(value, "MonitorReport")?;
+        let usite = f.next_string()?;
+        let metrics = MetricsSnapshot::from_value(f.next_value()?)?;
+        let spans = f
+            .next_sequence()?
+            .iter()
+            .map(SpanSummary::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        let vsites = f
+            .next_sequence()?
+            .iter()
+            .map(VsiteHealth::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        f.finish()?;
+        Ok(MonitorReport {
+            usite,
+            metrics,
+            spans,
+            vsites,
+        })
+    }
+}
+
 impl DerCodec for ServiceOutcome {
     fn to_value(&self) -> Value {
         match self {
@@ -361,6 +487,10 @@ impl DerCodec for ServiceOutcome {
                 ),
             ),
             ServiceOutcome::Query { outcome } => Value::tagged(2, outcome.to_value()),
+            ServiceOutcome::Monitor { sites } => Value::tagged(
+                3,
+                Value::Sequence(sites.iter().map(|s| s.to_value()).collect()),
+            ),
         }
     }
 
@@ -395,6 +525,16 @@ impl DerCodec for ServiceOutcome {
             2 => Ok(ServiceOutcome::Query {
                 outcome: JobOutcome::from_value(inner)?,
             }),
+            3 => {
+                let items = inner
+                    .as_sequence()
+                    .ok_or(CodecError::BadValue("monitor reports"))?;
+                let sites = items
+                    .iter()
+                    .map(MonitorReport::from_value)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(ServiceOutcome::Monitor { sites })
+            }
             _ => Err(CodecError::BadValue("ServiceOutcome variant")),
         }
     }
@@ -403,6 +543,7 @@ impl DerCodec for ServiceOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use unicore_telemetry::FlightEvent;
 
     #[test]
     fn status_colors() {
@@ -462,6 +603,7 @@ mod tests {
                     stderr: vec![],
                     bytes_staged: 0,
                     message: "".into(),
+                    flight: vec![],
                 }),
             )],
         };
@@ -496,9 +638,61 @@ mod tests {
             ServiceOutcome::Query {
                 outcome: JobOutcome::default(),
             },
+            ServiceOutcome::Monitor { sites: vec![] },
+            ServiceOutcome::Monitor {
+                sites: vec![MonitorReport {
+                    usite: "FZJ".into(),
+                    metrics: {
+                        let mut m = MetricsSnapshot::default();
+                        m.counters.insert("njs.consigned".into(), 4);
+                        m.gauges.insert("njs.jobs.active".into(), 1);
+                        m
+                    },
+                    spans: vec![SpanSummary {
+                        name: "server.handle".into(),
+                        count: 9,
+                        clock_total: 1000,
+                        wall_ns_total: 5000,
+                    }],
+                    vsites: vec![VsiteHealth {
+                        vsite: "T3E".into(),
+                        free_nodes: 512,
+                        queue_length: 2,
+                        running: 1,
+                        stuck_jobs: 0,
+                    }],
+                }],
+            },
         ] {
             assert_eq!(ServiceOutcome::from_der(&so.to_der()).unwrap(), so);
         }
+    }
+
+    #[test]
+    fn flight_trace_round_trips_and_stays_optional() {
+        let plain = TaskOutcome::success_with_exit(0);
+        let plain_der = plain.to_der();
+        // A trace-free outcome encodes without the tagged(1) field...
+        assert_eq!(TaskOutcome::from_der(&plain_der).unwrap(), plain);
+
+        let mut failed = TaskOutcome::failure("node failure");
+        failed.flight = vec![
+            FlightEvent {
+                at: 10,
+                what: "njs.consign".into(),
+                detail: "job 7".into(),
+            },
+            FlightEvent {
+                at: 90,
+                what: "batch.exit".into(),
+                detail: "exit code 3".into(),
+            },
+        ];
+        let back = TaskOutcome::from_der(&failed.to_der()).unwrap();
+        assert_eq!(back, failed);
+        assert_eq!(back.flight.len(), 2);
+        // ...and a traced one is strictly longer on the wire.
+        assert!(failed.to_der().len() > TaskOutcome::failure("node failure").to_der().len());
     }
 
     #[test]

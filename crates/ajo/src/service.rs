@@ -82,6 +82,14 @@ pub enum AbstractService {
         /// How much detail to return.
         detail: DetailLevel,
     },
+    /// Query the health of the site itself (or, with `grid`, of every
+    /// reachable Usite): metrics snapshot, span breakdown and per-Vsite
+    /// gauges — the monitoring plane's entry point.
+    Monitor {
+        /// When true, the receiving site fans the query out to every
+        /// peer Usite it can reach and merges the answers.
+        grid: bool,
+    },
 }
 
 impl DerCodec for AbstractService {
@@ -102,6 +110,7 @@ impl DerCodec for AbstractService {
                     Value::Enumerated(detail.to_enum()),
                 ]),
             ),
+            AbstractService::Monitor { grid } => Value::tagged(3, Value::Boolean(*grid)),
         }
     }
 
@@ -125,6 +134,11 @@ impl DerCodec for AbstractService {
                 f.finish()?;
                 Ok(AbstractService::Query { job, detail })
             }
+            3 => Ok(AbstractService::Monitor {
+                grid: inner
+                    .as_bool()
+                    .ok_or(CodecError::BadValue("Monitor grid flag"))?,
+            }),
             _ => Err(CodecError::BadValue("AbstractService variant")),
         }
     }
@@ -158,6 +172,8 @@ mod tests {
                 job: JobId(2),
                 detail: DetailLevel::Tasks,
             },
+            AbstractService::Monitor { grid: false },
+            AbstractService::Monitor { grid: true },
         ] {
             assert_eq!(AbstractService::from_der(&svc.to_der()).unwrap(), svc);
         }

@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 use unicore::protocol::Request;
 use unicore::server::UnicoreServer;
 use unicore::{Federation, FederationConfig, SiteSpec};
-use unicore_bench::{chain_job, BENCH_DN};
+use unicore_bench::{chain_job, BenchReport, BENCH_DN};
 use unicore_gateway::{Gateway, UserEntry, Uudb};
 use unicore_njs::{Njs, TranslationTable};
 use unicore_resources::{deployment_page, Architecture};
@@ -132,6 +132,34 @@ fn print_tables() {
         "  absolute cost: {:?} per job (~a dozen spans)\n",
         (collecting.saturating_sub(disabled)) / ROUNDS as u32
     );
+
+    let mut report = BenchReport::new("e10_telemetry");
+    report
+        .metric("fed_rounds", FED_ROUNDS as f64)
+        .metric(
+            "fed_disabled_us",
+            fed_off.as_secs_f64() * 1e6 / FED_ROUNDS as f64,
+        )
+        .metric(
+            "fed_collecting_us",
+            fed_on.as_secs_f64() * 1e6 / FED_ROUNDS as f64,
+        )
+        .metric("fed_overhead_pct", fed_overhead)
+        .metric("inproc_rounds", ROUNDS as f64)
+        .metric(
+            "inproc_disabled_us",
+            disabled.as_secs_f64() * 1e6 / ROUNDS as f64,
+        )
+        .metric(
+            "inproc_collecting_us",
+            collecting.as_secs_f64() * 1e6 / ROUNDS as f64,
+        )
+        .note("target", "federated overhead < 5%")
+        .note("workload", "two-site federated job, full wire path");
+    match report.write() {
+        Ok(path) => println!("machine-readable results: {}", path.display()),
+        Err(e) => eprintln!("could not write bench report: {e}"),
+    }
 }
 
 fn benches(c: &mut Criterion) {

@@ -98,6 +98,100 @@ pub fn fan_job(usite: &str, vsite: &str, width: usize) -> AbstractJob {
     job
 }
 
+/// A machine-readable benchmark result: a flat map of named numbers plus
+/// free-form string notes, written as `BENCH_<name>.json` next to the
+/// human tables. The repo vendors no serde, and experiment results are
+/// flat enough that a hand-rolled emitter is the honest tool.
+#[derive(Debug, Clone, Default)]
+pub struct BenchReport {
+    name: String,
+    metrics: Vec<(String, f64)>,
+    notes: Vec<(String, String)>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl BenchReport {
+    /// A report for the experiment `name` (e.g. `"e10_telemetry"`).
+    pub fn new(name: &str) -> Self {
+        BenchReport {
+            name: name.to_owned(),
+            ..Default::default()
+        }
+    }
+
+    /// Records a numeric result. Non-finite values serialize as `null`.
+    pub fn metric(&mut self, key: &str, value: f64) -> &mut Self {
+        self.metrics.push((key.to_owned(), value));
+        self
+    }
+
+    /// Records a free-form string annotation.
+    pub fn note(&mut self, key: &str, value: &str) -> &mut Self {
+        self.notes.push((key.to_owned(), value.to_owned()));
+        self
+    }
+
+    /// The report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(&self.name)));
+        out.push_str("  \"metrics\": {");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            if v.is_finite() {
+                out.push_str(&format!("\n    \"{}\": {v}", json_escape(k)));
+            } else {
+                out.push_str(&format!("\n    \"{}\": null", json_escape(k)));
+            }
+        }
+        out.push_str("\n  },\n  \"notes\": {");
+        for (i, (k, v)) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    \"{}\": \"{}\"",
+                json_escape(k),
+                json_escape(v)
+            ));
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Writes `BENCH_<name>.json` into the workspace root (so results
+    /// land beside EXPERIMENTS.md regardless of the bench's CWD) and
+    /// returns the path. Falls back to the CWD if the workspace root is
+    /// not where the build-time layout says it is.
+    pub fn write(&self) -> std::io::Result<std::path::PathBuf> {
+        let file = format!("BENCH_{}.json", self.name);
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| std::path::PathBuf::from("."));
+        let path = root.join(file);
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
 /// Formats a byte count for tables.
 pub fn fmt_bytes(n: u64) -> String {
     if n >= 1 << 20 {
@@ -117,6 +211,28 @@ mod tests {
     fn fixtures_validate() {
         chain_job("FZJ", "T3E", 10, 5).validate().unwrap();
         fan_job("FZJ", "T3E", 50).validate().unwrap();
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let mut r = BenchReport::new("e0_test");
+        r.metric("overhead_pct", 1.25)
+            .metric("bad", f64::NAN)
+            .note("target", "< 5%");
+        let json = r.to_json();
+        assert!(json.contains("\"bench\": \"e0_test\""));
+        assert!(json.contains("\"overhead_pct\": 1.25"));
+        assert!(json.contains("\"bad\": null"));
+        assert!(json.contains("\"target\": \"< 5%\""));
+        // Balanced braces and no trailing commas — parseable by any
+        // JSON reader.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!json.contains(",\n  }"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
 
     #[test]

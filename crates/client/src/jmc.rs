@@ -339,6 +339,44 @@ mod tests {
             assert!(!color_icon(c).is_empty());
         }
     }
+
+    #[test]
+    fn color_icon_mapping_is_exact() {
+        assert_eq!(color_icon(StatusColor::Green), "[+]");
+        assert_eq!(color_icon(StatusColor::Yellow), "[~]");
+        assert_eq!(color_icon(StatusColor::Blue), "[.]");
+        assert_eq!(color_icon(StatusColor::Red), "[x]");
+        assert_eq!(color_icon(StatusColor::Grey), "[=]");
+        // Five distinct colours, five distinct glyphs.
+        let glyphs: std::collections::HashSet<_> = [
+            StatusColor::Green,
+            StatusColor::Yellow,
+            StatusColor::Blue,
+            StatusColor::Red,
+            StatusColor::Grey,
+        ]
+        .into_iter()
+        .map(color_icon)
+        .collect();
+        assert_eq!(glyphs.len(), 5);
+    }
+
+    #[test]
+    fn pending_subjob_renders_pending_without_descending() {
+        let (job, mut outcome) = job_with_outcome();
+        // Strip the sub-job's outcome: the NJS has not forwarded it yet.
+        outcome.children.retain(|(id, _)| *id != ActionId(2));
+        let rows = status_rows(&job, &outcome);
+        // job, main, group (pending) — the inner task is invisible until
+        // the sub-job outcome arrives from the remote site.
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2].name, "group");
+        assert_eq!(rows[2].status, "Pending");
+        assert_eq!(rows[2].icon, color_icon(StatusColor::Blue));
+        let s = summarize(&job, &outcome);
+        assert_eq!(s.blue, 1);
+        assert!(!s.settled());
+    }
 }
 
 #[cfg(test)]

@@ -17,9 +17,11 @@
 
 pub mod jmc;
 pub mod jpa;
+pub mod monitor;
 
 pub use jmc::{
     collect_outputs, color_icon, first_failure, render, status_rows, summarize, StatusRow,
     StatusSummary, TaskOutput,
 };
 pub use jpa::{JobBuilder, JobPreparationAgent, JpaError};
+pub use monitor::{monitor_rows, render_flight, render_monitor, MonitorRow};

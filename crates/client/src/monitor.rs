@@ -1,0 +1,192 @@
+//! The JMC's grid monitoring view (§ E12).
+//!
+//! A single `Monitor { grid: true }` query returns one [`MonitorReport`]
+//! per reachable Usite; this module renders them the way the applet's
+//! monitoring panel would — a namespaced tree of Vsite health gauges,
+//! headline counters, and span timings — plus the flight-recorder trace a
+//! failed task carries home in its `Outcome`.
+
+use unicore_ajo::{MonitorReport, TaskOutcome};
+
+/// One rendered row of the grid monitor panel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorRow {
+    /// Nesting depth (0 = a Usite header).
+    pub depth: usize,
+    /// Row text.
+    pub text: String,
+}
+
+/// Headline counters the panel surfaces by name when present. Everything
+/// else stays available under the full snapshot; these are the ones an
+/// operator scans first.
+const HEADLINE_COUNTERS: &[&str] = &[
+    "njs.consigned",
+    "njs.incarnations",
+    "njs.jobs.completed",
+    "store.wal.repairs",
+    "gateway.audit.dropped",
+];
+
+/// Builds the namespaced grid view: one block per Usite (already sorted
+/// by the federation), Vsite health first, then headline counters, then
+/// the busiest spans.
+pub fn monitor_rows(sites: &[MonitorReport]) -> Vec<MonitorRow> {
+    let mut rows = Vec::new();
+    for site in sites {
+        rows.push(MonitorRow {
+            depth: 0,
+            text: format!("Usite {}", site.usite),
+        });
+        for v in &site.vsites {
+            rows.push(MonitorRow {
+                depth: 1,
+                text: format!(
+                    "vsite {}: {} free, {} queued, {} running, {} stuck",
+                    v.vsite, v.free_nodes, v.queue_length, v.running, v.stuck_jobs
+                ),
+            });
+        }
+        for name in HEADLINE_COUNTERS {
+            if let Some(v) = site.metrics.counters.get(*name) {
+                rows.push(MonitorRow {
+                    depth: 1,
+                    text: format!("{name} = {v}"),
+                });
+            }
+        }
+        let mut spans: Vec<_> = site.spans.iter().collect();
+        spans.sort_by_key(|s| std::cmp::Reverse(s.clock_total));
+        for s in spans.iter().take(5) {
+            rows.push(MonitorRow {
+                depth: 1,
+                text: format!(
+                    "span {} ×{} ({:.3}s total)",
+                    s.name,
+                    s.count,
+                    s.clock_total as f64 / 1e6
+                ),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the grid view as an indented text panel.
+pub fn render_monitor(sites: &[MonitorReport]) -> String {
+    let mut out = String::new();
+    for row in monitor_rows(sites) {
+        for _ in 0..row.depth {
+            out.push_str("  ");
+        }
+        out.push_str(&row.text);
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the flight-recorder trace a failed task carried home — the
+/// "last 32 things the NJS did to this job" view the JMC shows next to a
+/// red icon. Empty when the task succeeded (traces ride only on failed
+/// Outcomes) or when the site ran with the recorder disabled.
+pub fn render_flight(name: &str, outcome: &TaskOutcome) -> String {
+    if outcome.flight.is_empty() {
+        return String::new();
+    }
+    let mut out = format!("flight trace for {name}:\n");
+    for ev in &outcome.flight {
+        out.push_str(&format!(
+            "  [t={:>10.3}s] {:<18} {}\n",
+            ev.at as f64 / 1e6,
+            ev.what,
+            ev.detail
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicore_ajo::VsiteHealth;
+    use unicore_telemetry::{FlightEvent, MetricsSnapshot, SpanSummary};
+
+    fn report(usite: &str) -> MonitorReport {
+        let mut metrics = MetricsSnapshot::default();
+        metrics.counters.insert("njs.consigned".into(), 4);
+        metrics.counters.insert("gateway.audit.dropped".into(), 1);
+        metrics.counters.insert("obscure.counter".into(), 9);
+        MonitorReport {
+            usite: usite.into(),
+            metrics,
+            spans: vec![
+                SpanSummary {
+                    name: "njs.dispatch".into(),
+                    count: 4,
+                    clock_total: 2_000_000,
+                    wall_ns_total: 10,
+                },
+                SpanSummary {
+                    name: "gw.authenticate".into(),
+                    count: 9,
+                    clock_total: 500_000,
+                    wall_ns_total: 5,
+                },
+            ],
+            vsites: vec![VsiteHealth {
+                vsite: "T3E".into(),
+                free_nodes: 12,
+                queue_length: 3,
+                running: 2,
+                stuck_jobs: 1,
+            }],
+        }
+    }
+
+    #[test]
+    fn grid_view_is_namespaced_per_site() {
+        let text = render_monitor(&[report("FZJ"), report("RUS")]);
+        assert!(text.contains("Usite FZJ"));
+        assert!(text.contains("Usite RUS"));
+        assert!(text.contains("vsite T3E: 12 free, 3 queued, 2 running, 1 stuck"));
+        assert!(text.contains("njs.consigned = 4"));
+        assert!(text.contains("gateway.audit.dropped = 1"));
+        // Non-headline counters stay out of the panel.
+        assert!(!text.contains("obscure.counter"));
+    }
+
+    #[test]
+    fn spans_sorted_by_total_time() {
+        let rows = monitor_rows(&[report("FZJ")]);
+        let spans: Vec<&MonitorRow> = rows
+            .iter()
+            .filter(|r| r.text.starts_with("span "))
+            .collect();
+        assert_eq!(spans.len(), 2);
+        assert!(spans[0].text.contains("njs.dispatch"));
+        assert!(spans[0].text.contains("2.000s total"));
+    }
+
+    #[test]
+    fn flight_rendering() {
+        let mut t = TaskOutcome::failure("boom");
+        assert_eq!(render_flight("step", &t), "");
+        t.flight = vec![
+            FlightEvent {
+                at: 1_500_000,
+                what: "njs.consign".into(),
+                detail: "job 7".into(),
+            },
+            FlightEvent {
+                at: 3_000_000,
+                what: "batch.exit".into(),
+                detail: "exit 3".into(),
+            },
+        ];
+        let text = render_flight("step", &t);
+        assert!(text.starts_with("flight trace for step:"));
+        assert!(text.contains("njs.consign"));
+        assert!(text.contains("1.500s"));
+        assert!(text.contains("batch.exit"));
+    }
+}

@@ -22,7 +22,9 @@
 use crate::protocol::{Body, Envelope, Request, Response};
 use crate::server::UnicoreServer;
 use std::collections::{HashMap, HashSet};
-use unicore_ajo::{AbstractJob, ControlOp, DetailLevel, JobId, JobOutcome};
+use unicore_ajo::{
+    AbstractJob, ControlOp, DetailLevel, JobId, JobOutcome, MonitorReport, ServiceOutcome,
+};
 use unicore_codec::DerCodec;
 use unicore_gateway::{Gateway, UserEntry, Uudb};
 use unicore_njs::{Njs, TranslationTable};
@@ -120,6 +122,23 @@ struct SyncWatch {
     owner_dn: String,
 }
 
+/// An open grid-wide `Monitor` query: the entry site has answered locally
+/// and is waiting for the peer sites it fanned the query out to. Peers
+/// that stay unreachable past the retry budget are skipped, so a dead
+/// site delays but never wedges the grid view.
+struct MonitorWatch {
+    entry: String,
+    client_node: NodeId,
+    client_corr: u64,
+    client_dn: String,
+    reports: Vec<MonitorReport>,
+    awaiting: HashSet<u64>,
+}
+
+/// Fan-out correlation ids live far above any server-assigned id so the
+/// two never collide in the shared `(site, corr)` inflight namespace.
+const MONITOR_CORR_BASE: u64 = 1 << 48;
+
 /// The running federation.
 pub struct Federation {
     net: Network,
@@ -138,6 +157,10 @@ pub struct Federation {
     next_client_corr: u64,
     sync_corrs: HashSet<u64>,
     sync_watches: Vec<SyncWatch>,
+    monitor_watches: HashMap<u64, MonitorWatch>,
+    monitor_corrs: HashMap<CorrKey, u64>,
+    next_monitor_corr: u64,
+    next_monitor_watch: u64,
     now: SimTime,
     /// Total protocol messages sent (metrics).
     pub messages_sent: u64,
@@ -239,6 +262,10 @@ impl Federation {
             next_client_corr: 1,
             sync_corrs: HashSet::new(),
             sync_watches: Vec::new(),
+            monitor_watches: HashMap::new(),
+            monitor_corrs: HashMap::new(),
+            next_monitor_corr: MONITOR_CORR_BASE,
+            next_monitor_watch: 0,
             now: 0,
             messages_sent: 0,
             retries: 0,
@@ -462,6 +489,14 @@ impl Federation {
         self.client_request(via, dn, Request::Control { job, op })
     }
 
+    /// Queries the monitoring plane via `usite`. With `grid = false` the
+    /// entry site answers for itself alone; with `grid = true` it fans the
+    /// query out to every peer Usite and replies with the merged,
+    /// site-namespaced grid view (§ E12).
+    pub fn client_monitor(&mut self, via: &str, dn: &str, grid: bool) -> u64 {
+        self.client_request(via, dn, Request::Monitor { grid })
+    }
+
     /// Fetches a Uspace file.
     pub fn client_fetch(&mut self, via: &str, dn: &str, job: JobId, name: &str) -> u64 {
         self.client_request(
@@ -626,6 +661,22 @@ impl Federation {
             .map(|(k, _)| k.clone())
             .collect();
         for key in due {
+            // A client whose grid monitor query is still being fanned out
+            // by the entry site is *in contact* — the deferred reply is
+            // pending, not lost. Refresh its budget instead of erroring;
+            // the fan-out itself has bounded retries, so this terminates.
+            if key.0.is_empty()
+                && self.inflight[&key].retries_left == 0
+                && self
+                    .monitor_watches
+                    .values()
+                    .any(|w| w.client_corr == key.1)
+            {
+                let f = self.inflight.get_mut(&key).expect("just collected");
+                f.retries_left = self.max_retries;
+                f.deadline = t + self.retry_timeout;
+                continue;
+            }
             let f = self.inflight.get_mut(&key).expect("just collected");
             if f.retries_left == 0 {
                 // Retry budget exhausted: the peer is unreachable. Surface
@@ -639,6 +690,10 @@ impl Federation {
                         self.telemetry.end(span, t);
                     }
                     self.client_responses.insert(corr, err);
+                } else if let Some(watch_id) = self.monitor_corrs.remove(&(owner.clone(), corr)) {
+                    // Grid monitor fan-out to a dead peer: skip that site
+                    // and let the merged view cover the reachable grid.
+                    self.monitor_response(watch_id, corr, err, t);
                 } else if let Some(server) = self.servers.get_mut(&owner) {
                     server.handle_response(corr, err);
                 }
@@ -659,6 +714,23 @@ impl Federation {
         match env.body {
             Body::Request(request) => {
                 let dedupe_key = (site.to_owned(), env.from_dn.clone(), env.corr);
+                // Grid-wide monitor queries are orchestrated here, not in
+                // the server: the entry site answers locally, then the
+                // federation reuses the NJS–NJS forwarding fabric to reach
+                // every peer. The reply is deferred until all peers have
+                // answered (or exhausted their retry budget).
+                if origin == self.workstation
+                    && matches!(request, Request::Monitor { grid: true })
+                    && !self.handled.contains_key(&dedupe_key)
+                {
+                    let already_open = self.monitor_watches.values().any(|w| {
+                        w.entry == site && w.client_corr == env.corr && w.client_dn == env.from_dn
+                    });
+                    if !already_open {
+                        self.start_grid_monitor(site, origin, env.corr, &env.from_dn, t);
+                    }
+                    return;
+                }
                 let response = if let Some(cached) = self.handled.get(&dedupe_key) {
                     cached.clone()
                 } else {
@@ -698,13 +770,123 @@ impl Federation {
                 self.send_with_handshake(src, origin, payload);
             }
             Body::Response(response) => {
-                self.inflight.remove(&(site.to_owned(), env.corr));
+                let key = (site.to_owned(), env.corr);
+                self.inflight.remove(&key);
+                if let Some(watch_id) = self.monitor_corrs.remove(&key) {
+                    self.monitor_response(watch_id, env.corr, response, t);
+                    return;
+                }
                 self.servers
                     .get_mut(site)
                     .expect("known site")
                     .handle_response(env.corr, response);
             }
         }
+    }
+
+    /// Opens a grid-wide monitor fan-out on behalf of the workstation's
+    /// `Monitor { grid: true }` request that entered at `entry`.
+    fn start_grid_monitor(
+        &mut self,
+        entry: &str,
+        client_node: NodeId,
+        client_corr: u64,
+        client_dn: &str,
+        t: SimTime,
+    ) {
+        let local = self.servers[entry].monitor_report(t);
+        let mut watch = MonitorWatch {
+            entry: entry.to_owned(),
+            client_node,
+            client_corr,
+            client_dn: client_dn.to_owned(),
+            reports: vec![local],
+            awaiting: HashSet::new(),
+        };
+        let watch_id = self.next_monitor_watch;
+        self.next_monitor_watch += 1;
+        for peer in self.site_order.clone() {
+            if peer == entry {
+                continue;
+            }
+            let corr = self.next_monitor_corr;
+            self.next_monitor_corr += 1;
+            let env = Envelope {
+                corr,
+                from_dn: self.server_dns[entry].clone(),
+                body: Body::Request(Request::Monitor { grid: false }),
+                trace: None,
+            };
+            let src = self.sites[entry].gateway;
+            let dst = self.sites[&peer].gateway;
+            let payload = Self::frame(src, &env);
+            self.inflight.insert(
+                (entry.to_owned(), corr),
+                Inflight {
+                    src,
+                    dst,
+                    payload: payload.clone(),
+                    deadline: t + self.retry_timeout,
+                    retries_left: self.max_retries,
+                },
+            );
+            self.send_with_handshake(src, dst, payload);
+            watch.awaiting.insert(corr);
+            self.monitor_corrs
+                .insert((entry.to_owned(), corr), watch_id);
+        }
+        if watch.awaiting.is_empty() {
+            // Single-site grid: the local report is the whole view.
+            self.finish_monitor_watch(watch);
+        } else {
+            self.monitor_watches.insert(watch_id, watch);
+        }
+    }
+
+    /// Folds one peer's answer (or its retries-exhausted error) into the
+    /// watch; replies to the client once every peer is accounted for.
+    fn monitor_response(&mut self, watch_id: u64, corr: u64, response: Response, _t: SimTime) {
+        let Some(watch) = self.monitor_watches.get_mut(&watch_id) else {
+            return;
+        };
+        watch.awaiting.remove(&corr);
+        if let Response::Service(ServiceOutcome::Monitor { sites }) = response {
+            watch.reports.extend(sites);
+        }
+        if watch.awaiting.is_empty() {
+            let watch = self
+                .monitor_watches
+                .remove(&watch_id)
+                .expect("watch present");
+            self.finish_monitor_watch(watch);
+        }
+    }
+
+    /// Merges the collected reports into one namespaced grid view and
+    /// replies to the waiting client; the merged response is cached in
+    /// `handled` so client retries replay it instead of re-fanning.
+    fn finish_monitor_watch(&mut self, mut watch: MonitorWatch) {
+        watch.reports.sort_by(|a, b| a.usite.cmp(&b.usite));
+        let response = Response::Service(ServiceOutcome::Monitor {
+            sites: watch.reports,
+        });
+        self.handled.insert(
+            (
+                watch.entry.clone(),
+                watch.client_dn.clone(),
+                watch.client_corr,
+            ),
+            response.clone(),
+        );
+        let reply = Envelope {
+            corr: watch.client_corr,
+            from_dn: self.server_dns[&watch.entry].clone(),
+            body: Body::Response(response),
+            trace: None,
+        };
+        let src = self.sites[&watch.entry].gateway;
+        let payload = Self::frame(src, &reply);
+        self.send_with_handshake(src, watch.client_node, payload);
     }
 
     /// High-level helper: submit, then poll until the job reaches a

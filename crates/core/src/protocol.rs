@@ -12,8 +12,8 @@
 //! poll/fetch requests — the asynchrony the paper credits with robustness.
 
 use unicore_ajo::{
-    AbstractJob, ActionId, ControlOp, DetailLevel, JobId, JobOutcome, JobSummary, OutcomeNode,
-    ServiceOutcome, VsiteAddress,
+    AbstractJob, ActionId, ControlOp, DetailLevel, JobId, JobOutcome, JobSummary, MonitorReport,
+    OutcomeNode, ServiceOutcome, VsiteAddress,
 };
 use unicore_codec::{CodecError, DerCodec, Fields, Value};
 use unicore_resources::ResourceDirectory;
@@ -64,6 +64,14 @@ pub enum Request {
     /// information about the available execution systems at the Usite,
     /// which are provided together with the applet to the user", §4.2).
     GetResources,
+    /// JMC → server (or server → peer server): fetch the site's health
+    /// report. With `grid`, the receiving site fans the query out to
+    /// every reachable peer Usite and merges the answers into one
+    /// namespaced grid view.
+    Monitor {
+        /// Fan out to the whole grid instead of answering locally.
+        grid: bool,
+    },
     /// NJS → peer NJS: consign a job group on behalf of a user.
     ConsignSubJob {
         /// The extracted job group (now top-level).
@@ -199,6 +207,7 @@ impl DerCodec for Request {
             Request::Purge { job } => Value::tagged(8, Value::Integer(job.0 as i64)),
             Request::ListFiles { job } => Value::tagged(9, Value::Integer(job.0 as i64)),
             Request::GetResources => Value::tagged(10, Value::Null),
+            Request::Monitor { grid } => Value::tagged(11, Value::Boolean(*grid)),
             Request::ConsignSubJob {
                 ajo,
                 origin,
@@ -365,6 +374,11 @@ impl DerCodec for Request {
                 job: JobId(inner.as_u64().ok_or(CodecError::BadValue("job id"))?),
             }),
             10 => Ok(Request::GetResources),
+            11 => Ok(Request::Monitor {
+                grid: inner
+                    .as_bool()
+                    .ok_or(CodecError::BadValue("Monitor grid flag"))?,
+            }),
             _ => Err(CodecError::BadValue("Request variant")),
         }
     }
@@ -521,6 +535,14 @@ pub fn outcome_of(response: &Response) -> Option<&JobOutcome> {
     }
 }
 
+/// Convenience: the per-site reports inside a Monitor response.
+pub fn monitor_reports_of(response: &Response) -> Option<&[MonitorReport]> {
+    match response {
+        Response::Service(ServiceOutcome::Monitor { sites }) => Some(sites),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -564,6 +586,8 @@ mod tests {
         round_trip_req(Request::Purge { job: JobId(4) });
         round_trip_req(Request::ListFiles { job: JobId(4) });
         round_trip_req(Request::GetResources);
+        round_trip_req(Request::Monitor { grid: false });
+        round_trip_req(Request::Monitor { grid: true });
         round_trip_req(Request::ConsignSubJob {
             ajo: sample_job(),
             origin: "RUS".into(),

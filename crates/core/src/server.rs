@@ -9,8 +9,8 @@
 use crate::protocol::{Request, Response};
 use std::collections::{HashMap, HashSet};
 use unicore_ajo::{
-    ActionId, ActionStatus, DetailLevel, JobId, JobOutcome, OutcomeNode, ServiceOutcome,
-    TaskOutcome,
+    ActionId, ActionStatus, DetailLevel, JobId, JobOutcome, MonitorReport, OutcomeNode,
+    ServiceOutcome, TaskOutcome,
 };
 use unicore_codec::DerCodec;
 use unicore_crypto::sha256;
@@ -88,6 +88,7 @@ fn request_kind(request: &Request) -> &'static str {
         Request::Purge { .. } => "purge",
         Request::ListFiles { .. } => "list_files",
         Request::GetResources => "get_resources",
+        Request::Monitor { .. } => "monitor",
         Request::ConsignSubJob { .. } => "consign_subjob",
         Request::DeliverOutcome { .. } => "deliver_outcome",
         Request::PushFile { .. } => "push_file",
@@ -222,6 +223,19 @@ impl UnicoreServer {
     /// Read access to the gateway (audit inspection).
     pub fn gateway(&self) -> &Gateway {
         &self.gateway
+    }
+
+    /// This site's health report: the NJS's monitor report with the
+    /// gateway's audit-ring drop count overlaid, so data loss at either
+    /// tier is visible in one federated snapshot even on sites that
+    /// never enabled telemetry.
+    pub fn monitor_report(&self, now: SimTime) -> MonitorReport {
+        let mut report = self.njs.monitor_report(now);
+        report
+            .metrics
+            .counters
+            .insert("gateway.audit.dropped".into(), self.gateway.audit_dropped());
+        report
     }
 
     /// Handles one protocol request from `from_dn` at simulated `now`.
@@ -377,6 +391,12 @@ impl UnicoreServer {
                 Err(e) => Response::Error(e.to_string()),
             },
             Request::GetResources => Response::Resources(self.resources.clone()),
+            // The server answers for its own site; grid fan-out across
+            // Usites is orchestrated by the federation layer, which
+            // intercepts grid queries and merges per-site reports.
+            Request::Monitor { grid: _ } => Response::Service(ServiceOutcome::Monitor {
+                sites: vec![self.monitor_report(now)],
+            }),
             Request::ConsignSubJob {
                 ajo,
                 origin,

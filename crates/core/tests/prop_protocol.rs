@@ -4,11 +4,13 @@ use proptest::prelude::*;
 use unicore::protocol::{Body, Envelope, Request, Response};
 use unicore_ajo::{
     AbstractJob, AbstractTask, ActionId, ActionStatus, ControlOp, DetailLevel, ExecuteKind,
-    GraphNode, JobId, JobOutcome, JobSummary, OutcomeNode, ResourceRequest, ServiceOutcome,
-    TaskKind, TaskOutcome, UserAttributes, VsiteAddress,
+    GraphNode, JobId, JobOutcome, JobSummary, MonitorReport, OutcomeNode, ResourceRequest,
+    ServiceOutcome, TaskKind, TaskOutcome, UserAttributes, VsiteAddress, VsiteHealth,
 };
 use unicore_codec::DerCodec;
-use unicore_telemetry::{SpanContext, SpanId, TraceId};
+use unicore_telemetry::{
+    FlightEvent, HistogramSnapshot, MetricsSnapshot, SpanContext, SpanId, SpanSummary, TraceId,
+};
 
 fn name_strategy() -> impl Strategy<Value = String> {
     "[a-zA-Z0-9 _.-]{1,24}"
@@ -54,6 +56,89 @@ fn job_strategy() -> impl Strategy<Value = AbstractJob> {
                 ));
             }
             job
+        })
+}
+
+fn flight_strategy() -> impl Strategy<Value = Vec<FlightEvent>> {
+    proptest::collection::vec(
+        (id_strategy(), "[a-z.]{1,16}", "[ -~]{0,40}").prop_map(|(at, what, detail)| FlightEvent {
+            at,
+            what,
+            detail,
+        }),
+        0..4,
+    )
+}
+
+fn metrics_strategy() -> impl Strategy<Value = MetricsSnapshot> {
+    (
+        proptest::collection::vec(("[a-z.]{1,16}", id_strategy()), 0..4)
+            .prop_map(|kv| kv.into_iter().collect::<std::collections::BTreeMap<_, _>>()),
+        proptest::collection::vec(("[a-z.]{1,16}", any::<i64>()), 0..4)
+            .prop_map(|kv| kv.into_iter().collect::<std::collections::BTreeMap<_, _>>()),
+        proptest::collection::vec(
+            (
+                "[a-z.]{1,16}",
+                id_strategy(),
+                id_strategy(),
+                proptest::collection::vec((id_strategy(), id_strategy()), 0..4),
+            )
+                .prop_map(|(name, count, sum, buckets)| HistogramSnapshot {
+                    name,
+                    count,
+                    sum,
+                    buckets,
+                }),
+            0..3,
+        ),
+    )
+        .prop_map(|(counters, gauges, histograms)| MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        })
+}
+
+fn monitor_report_strategy() -> impl Strategy<Value = MonitorReport> {
+    (
+        name_strategy(),
+        metrics_strategy(),
+        proptest::collection::vec(
+            ("[a-z.]{1,16}", id_strategy(), id_strategy(), id_strategy()).prop_map(
+                |(name, count, clock, wall)| SpanSummary {
+                    name,
+                    count,
+                    clock_total: clock,
+                    wall_ns_total: wall,
+                },
+            ),
+            0..3,
+        ),
+        proptest::collection::vec(
+            (
+                name_strategy(),
+                0i64..=i64::MAX,
+                0i64..=i64::MAX,
+                0i64..=i64::MAX,
+                0i64..=i64::MAX,
+            )
+                .prop_map(|(vsite, free_nodes, queue_length, running, stuck_jobs)| {
+                    VsiteHealth {
+                        vsite,
+                        free_nodes,
+                        queue_length,
+                        running,
+                        stuck_jobs,
+                    }
+                }),
+            0..3,
+        ),
+    )
+        .prop_map(|(usite, metrics, spans, vsites)| MonitorReport {
+            usite,
+            metrics,
+            spans,
+            vsites,
         })
 }
 
@@ -105,14 +190,20 @@ fn request_strategy() -> impl Strategy<Value = Request> {
                     proptest::collection::vec(any::<u8>(), 0..64)
                 ),
                 0..3
-            )
+            ),
+            flight_strategy()
         )
-            .prop_map(|(p, n, files)| Request::DeliverOutcome {
-                parent: JobId(p),
-                node: ActionId(n),
-                outcome: OutcomeNode::Task(TaskOutcome::success_with_exit(0)),
-                files,
+            .prop_map(|(p, n, files, flight)| {
+                let mut t = TaskOutcome::success_with_exit(0);
+                t.flight = flight;
+                Request::DeliverOutcome {
+                    parent: JobId(p),
+                    node: ActionId(n),
+                    outcome: OutcomeNode::Task(t),
+                    files,
+                }
             }),
+        any::<bool>().prop_map(|grid| Request::Monitor { grid }),
         (
             name_strategy(),
             name_strategy(),
@@ -153,6 +244,8 @@ fn response_strategy() -> impl Strategy<Value = Response> {
         Just(Response::Service(ServiceOutcome::Query {
             outcome: JobOutcome::default(),
         })),
+        proptest::collection::vec(monitor_report_strategy(), 0..3)
+            .prop_map(|sites| Response::Service(ServiceOutcome::Monitor { sites })),
         proptest::collection::vec(any::<u8>(), 0..512).prop_map(Response::FileData),
         Just(Response::Ack),
         id_strategy().prop_map(|bytes| Response::Purged { bytes }),

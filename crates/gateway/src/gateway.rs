@@ -88,6 +88,11 @@ pub struct Gateway {
     /// counted in `gateway.audit.dropped` rather than growing forever.
     audit: VecDeque<AuditRecord>,
     audit_capacity: usize,
+    /// Lifetime count of audit records evicted from the ring. Kept as a
+    /// plain field (not only the telemetry counter) so the loss is
+    /// reportable even on sites that never enabled telemetry, and
+    /// survives a late `set_telemetry` swapping the counter cell.
+    audit_dropped_total: u64,
     metrics: GatewayMetrics,
 }
 
@@ -100,6 +105,7 @@ impl Gateway {
             site_hook: None,
             audit: VecDeque::new(),
             audit_capacity: DEFAULT_AUDIT_CAPACITY,
+            audit_dropped_total: 0,
             metrics: GatewayMetrics::default(),
         }
     }
@@ -117,13 +123,21 @@ impl Gateway {
         self.audit_capacity = capacity.max(1);
         while self.audit.len() > self.audit_capacity {
             self.audit.pop_front();
+            self.audit_dropped_total += 1;
             self.metrics.audit_dropped.inc();
         }
+    }
+
+    /// Lifetime count of audit records lost to ring overflow — the
+    /// operator's data-loss signal in the `Monitor` report.
+    pub fn audit_dropped(&self) -> u64 {
+        self.audit_dropped_total
     }
 
     fn push_audit(&mut self, record: AuditRecord) {
         if self.audit.len() >= self.audit_capacity {
             self.audit.pop_front();
+            self.audit_dropped_total += 1;
             self.metrics.audit_dropped.inc();
         }
         self.audit.push_back(record);

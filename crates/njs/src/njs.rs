@@ -19,7 +19,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use unicore_ajo::{
     AbstractJob, ActionId, ActionStatus, ControlOp, DataLocation, DetailLevel, FileKind, GraphNode,
-    JobId, JobOutcome, JobSummary, OutcomeNode, TaskKind, TaskOutcome, VsiteAddress,
+    JobId, JobOutcome, JobSummary, MonitorReport, OutcomeNode, TaskKind, TaskOutcome, VsiteAddress,
+    VsiteHealth,
 };
 use unicore_batch::{BatchJobId, BatchJobSpec, BatchStatus, BatchSystem};
 use unicore_codec::DerCodec;
@@ -27,7 +28,9 @@ use unicore_gateway::MappedUser;
 use unicore_resources::{check_request, ResourcePage};
 use unicore_sim::SimTime;
 use unicore_store::{EventStore, ForeignOrigin, OwnerRecord, StoreError, StoreEvent};
-use unicore_telemetry::{ActiveSpan, Counter, Histogram, SpanContext, Telemetry};
+use unicore_telemetry::{
+    ActiveSpan, Counter, FlightRecorder, Histogram, SpanContext, Telemetry, DEFAULT_FLIGHT_CAPACITY,
+};
 use unicore_uspace::Vspace;
 
 /// Xspace directory where incoming site-to-site transfers land.
@@ -170,7 +173,18 @@ pub struct Njs {
     /// Telemetry handle; disabled by default.
     telemetry: Telemetry,
     metrics: NjsMetrics,
+    /// Per-job lifecycle rings, attached to failing outcomes. Enabled
+    /// together with telemetry; disabled is free.
+    flight: FlightRecorder,
+    /// Slow-dispatch watchdog: a consigned job with nothing dispatched
+    /// after this long is flagged as stuck in the monitor report.
+    watchdog_threshold: SimTime,
 }
+
+/// Default slow-dispatch watchdog threshold: a healthy NJS dispatches a
+/// ready node on the very next step, so a minute of sitting fully
+/// undispatched means the site is wedged, not busy.
+pub const DEFAULT_WATCHDOG_THRESHOLD: SimTime = 60 * unicore_sim::SEC;
 
 /// NJS counters/histograms, fetched once from the registry.
 struct NjsMetrics {
@@ -214,6 +228,8 @@ impl Njs {
             clock: 0,
             telemetry: Telemetry::disabled(),
             metrics: NjsMetrics::default(),
+            flight: FlightRecorder::disabled(),
+            watchdog_threshold: DEFAULT_WATCHDOG_THRESHOLD,
         }
     }
 
@@ -236,7 +252,84 @@ impl Njs {
                 v.batch.set_telemetry(&telemetry);
             }
         }
+        if telemetry.is_enabled() && !self.flight.is_enabled() {
+            self.flight = FlightRecorder::bounded(DEFAULT_FLIGHT_CAPACITY);
+        }
         self.telemetry = telemetry;
+    }
+
+    /// The flight recorder holding recent per-job lifecycle events.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Overrides the slow-dispatch watchdog threshold.
+    pub fn set_watchdog_threshold(&mut self, threshold: SimTime) {
+        self.watchdog_threshold = threshold;
+    }
+
+    /// Jobs flagged by the slow-dispatch watchdog at `now`, per Vsite:
+    /// consigned, not held, and with **no** node dispatched yet after
+    /// the threshold has elapsed — the signature of a wedged site rather
+    /// than a busy one.
+    pub fn stuck_jobs_by_vsite(&self, now: SimTime) -> HashMap<String, i64> {
+        let mut stuck: HashMap<String, i64> = HashMap::new();
+        for rt in self.jobs.values() {
+            if rt.done || rt.held {
+                continue;
+            }
+            if now.saturating_sub(rt.consigned_at) <= self.watchdog_threshold {
+                continue;
+            }
+            if rt.states.values().all(|s| *s == NodeState::Waiting) {
+                *stuck.entry(rt.job.vsite.vsite.clone()).or_default() += 1;
+            }
+        }
+        stuck
+    }
+
+    /// WAL tail repairs performed by the attached store (0 without one).
+    /// Surfaced separately from the metrics registry so the monitor
+    /// report shows the repair even when telemetry was never enabled.
+    pub fn wal_repairs(&self) -> u64 {
+        self.store
+            .as_ref()
+            .map(|s| s.recovered_torn() as u64)
+            .unwrap_or(0)
+    }
+
+    /// The Monitor service: this site's health report — a metrics
+    /// snapshot (with the WAL repair counter overlaid), the span
+    /// breakdown, and per-Vsite gauges including the slow-dispatch
+    /// watchdog count.
+    pub fn monitor_report(&self, now: SimTime) -> MonitorReport {
+        let stuck = self.stuck_jobs_by_vsite(now);
+        let total_stuck: i64 = stuck.values().sum();
+        self.telemetry.gauge("njs.watchdog.stuck").set(total_stuck);
+        let mut metrics = self.telemetry.metrics_snapshot();
+        metrics
+            .counters
+            .insert("store.wal.repairs".into(), self.wal_repairs());
+        let vsites = self
+            .vsite_order
+            .iter()
+            .map(|name| {
+                let v = &self.vsites[name];
+                VsiteHealth {
+                    vsite: name.clone(),
+                    free_nodes: v.batch.free_nodes() as i64,
+                    queue_length: v.batch.queue_length() as i64,
+                    running: v.batch.running_count() as i64,
+                    stuck_jobs: stuck.get(name).copied().unwrap_or(0),
+                }
+            })
+            .collect();
+        MonitorReport {
+            usite: self.usite.clone(),
+            metrics,
+            spans: self.telemetry.breakdown(),
+            vsites,
+        }
     }
 
     /// The telemetry handle this NJS reports into.
@@ -614,6 +707,14 @@ impl Njs {
             Some(sp)
         };
         let trace = span.as_ref().and_then(|s| s.ctx());
+        if !self.recovering {
+            self.flight.record(
+                id.0,
+                now,
+                "njs.consign",
+                format!("vsite {}", job.vsite.vsite),
+            );
+        }
         self.jobs.insert(
             id,
             JobRuntime {
@@ -908,12 +1009,19 @@ impl Njs {
                     .iter()
                     .any(|p| !self.jobs[&id].node_status(*p).is_success());
                 if any_failed {
+                    self.flight.record(
+                        id.0,
+                        now,
+                        "njs.kill",
+                        format!("node {}: predecessor failed", nid.0),
+                    );
                     let rt = self.jobs.get_mut(&id).expect("job exists");
                     rt.states.insert(*nid, NodeState::Terminal);
                     match rt.outcome.child_mut(*nid) {
                         Some(OutcomeNode::Task(t)) => {
                             t.status = ActionStatus::Killed;
                             t.message = "predecessor failed".into();
+                            t.flight = self.flight.trace(id.0);
                         }
                         Some(OutcomeNode::Job(j)) => j.status = ActionStatus::Killed,
                         None => {}
@@ -978,6 +1086,12 @@ impl Njs {
                 if rt.node_status(node) != ActionStatus::Running {
                     if let Some(OutcomeNode::Task(t)) = rt.outcome.child_mut(node) {
                         t.status = ActionStatus::Running;
+                        self.flight.record(
+                            job.0,
+                            self.clock,
+                            "batch.running",
+                            format!("node {} on {vsite}", node.0),
+                        );
                         return true;
                     }
                 }
@@ -997,6 +1111,26 @@ impl Njs {
                 } else {
                     ActionStatus::NotSuccessful
                 };
+                self.flight.record(
+                    job.0,
+                    self.clock,
+                    "batch.exit",
+                    format!(
+                        "node {} exit code {}{}{}",
+                        node.0,
+                        c.exit_code,
+                        if c.timed_out {
+                            " (wall clock limit exceeded)"
+                        } else {
+                            ""
+                        },
+                        match std::str::from_utf8(&c.stderr) {
+                            Ok(s) if !s.trim().is_empty() =>
+                                format!(": {}", s.lines().next().unwrap_or("")),
+                            _ => String::new(),
+                        },
+                    ),
+                );
                 let outcome = TaskOutcome {
                     status,
                     exit_code: Some(c.exit_code),
@@ -1007,6 +1141,13 @@ impl Njs {
                         "wall clock limit exceeded".into()
                     } else {
                         String::new()
+                    },
+                    // A failing exit ships the job's recent lifecycle
+                    // with the result, so the JMC can explain the red.
+                    flight: if c.is_success() {
+                        Vec::new()
+                    } else {
+                        self.flight.trace(job.0)
                     },
                 };
                 let login = rt.user.login.clone();
@@ -1020,10 +1161,17 @@ impl Njs {
                     let keep = journal.then(|| data.clone());
                     // Quota overflow turns the task's result into failure.
                     if vspace.write_uspace_file(job, &name, data, &login).is_err() {
+                        self.flight.record(
+                            job.0,
+                            self.clock,
+                            "njs.quota",
+                            format!("node {}: output {name} exceeded job disk quota", node.0),
+                        );
                         let rt = self.jobs.get_mut(&job).expect("job exists");
                         if let Some(OutcomeNode::Task(t)) = rt.outcome.child_mut(node) {
                             t.status = ActionStatus::NotSuccessful;
                             t.message = "output exceeded job disk quota".into();
+                            t.flight = self.flight.trace(job.0);
                         }
                     } else if let Some(data) = keep {
                         deposited.push((name, data));
@@ -1033,11 +1181,18 @@ impl Njs {
                 true
             }
             Some(BatchStatus::Cancelled) => {
+                self.flight.record(
+                    job.0,
+                    self.clock,
+                    "batch.cancelled",
+                    format!("node {} on {vsite}", node.0),
+                );
                 rt.set_task_outcome(
                     node,
                     TaskOutcome {
                         status: ActionStatus::Killed,
                         message: "cancelled".into(),
+                        flight: self.flight.trace(job.0),
                         ..Default::default()
                     },
                 );
@@ -1162,6 +1317,12 @@ impl Njs {
                     match v.batch.submit(spec, now) {
                         Ok(batch_id) => {
                             let target = format!("{vsite_name}:{queue_name}");
+                            self.flight.record(
+                                job.0,
+                                now,
+                                "njs.dispatch",
+                                format!("node {} -> {target}", node.0),
+                            );
                             let rt = self.jobs.get_mut(&job).expect("job exists");
                             rt.states.insert(
                                 node,
@@ -1181,8 +1342,12 @@ impl Njs {
                             });
                         }
                         Err(e) => {
+                            self.flight
+                                .record(job.0, now, "njs.dispatch.error", e.to_string());
+                            let mut failed = TaskOutcome::failure(e.to_string());
+                            failed.flight = self.flight.trace(job.0);
                             let rt = self.jobs.get_mut(&job).expect("job exists");
-                            rt.set_task_outcome(node, TaskOutcome::failure(e.to_string()));
+                            rt.set_task_outcome(node, failed);
                             rt.states.insert(node, NodeState::Terminal);
                             self.log_terminal(job, node, Vec::new());
                         }
@@ -1195,15 +1360,25 @@ impl Njs {
                 }
                 TaskKind::File(file_kind) => {
                     let outcome = self.run_file_task(job, node, file_kind);
-                    let rt = self.jobs.get_mut(&job).expect("job exists");
                     match outcome {
-                        FileTaskResult::Done(o) => {
+                        FileTaskResult::Done(mut o) => {
+                            if !o.status.is_success() {
+                                self.flight.record(
+                                    job.0,
+                                    now,
+                                    "njs.file.error",
+                                    format!("node {}: {}", node.0, o.message),
+                                );
+                                o.flight = self.flight.trace(job.0);
+                            }
+                            let rt = self.jobs.get_mut(&job).expect("job exists");
                             rt.set_task_outcome(node, o);
                             rt.states.insert(node, NodeState::Terminal);
                             let deposited = self.deposited_by_file_task(job, node);
                             self.log_terminal(job, node, deposited);
                         }
                         FileTaskResult::Remote => {
+                            let rt = self.jobs.get_mut(&job).expect("job exists");
                             if let Some(OutcomeNode::Task(t)) = rt.outcome.child_mut(node) {
                                 t.status = ActionStatus::Running;
                             }
@@ -1302,6 +1477,12 @@ impl Njs {
                 files
             };
             let dest_usite = ajo.vsite.usite.clone();
+            self.flight.record(
+                job.0,
+                now,
+                "njs.forward",
+                format!("node {} -> usite {dest_usite}", node.0),
+            );
             self.outbox.push(OutgoingItem::SubJob {
                 parent: job,
                 node,
@@ -1769,6 +1950,7 @@ impl Njs {
         }
         let mut freed = 0;
         for id in to_purge {
+            self.flight.forget(id.0);
             if let Some(rt) = self.jobs.remove(&id) {
                 if let Some(v) = self.vsites.get_mut(&rt.job.vsite.vsite) {
                     freed += v.vspace.destroy_uspace(id).unwrap_or(0);

@@ -1,0 +1,192 @@
+//! The flight recorder: a bounded ring of recent per-job events.
+//!
+//! When a task fails, the JMC shows a red icon — the flight recorder
+//! supplies the *why*: the last N lifecycle events (consign, incarnate,
+//! dispatch, batch transitions, remote forwards) that led up to the
+//! failure, serialized into the task's `Outcome` so the trace travels
+//! back to the user with the result instead of staying in a site-local
+//! log the user cannot reach.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+use unicore_codec::{CodecError, DerCodec, Fields, Value};
+
+/// Default ring capacity per job: enough for a multi-task job's full
+/// lifecycle without letting a pathological retry loop grow unbounded.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 32;
+
+/// One recorded lifecycle event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Clock at the event (sim µs by convention).
+    pub at: u64,
+    /// Short machine-oriented label, e.g. `njs.dispatch`.
+    pub what: String,
+    /// Human-oriented detail, e.g. the vsite or an error message.
+    pub detail: String,
+}
+
+impl DerCodec for FlightEvent {
+    fn to_value(&self) -> Value {
+        Value::Sequence(vec![
+            Value::Integer(self.at as i64),
+            Value::string(&self.what),
+            Value::string(&self.detail),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<Self, CodecError> {
+        let mut f = Fields::open(value, "FlightEvent")?;
+        let at = f.next_u64()?;
+        let what = f.next_string()?;
+        let detail = f.next_string()?;
+        f.finish()?;
+        Ok(FlightEvent { at, what, detail })
+    }
+}
+
+struct FlightInner {
+    /// Ring capacity per job; 0 disables recording entirely.
+    capacity: usize,
+    rings: Mutex<HashMap<u64, VecDeque<FlightEvent>>>,
+}
+
+/// A cloneable handle to the per-job event rings. A disabled recorder
+/// (the default) takes no locks and stores nothing.
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Arc<FlightInner>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.inner.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::disabled()
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder that drops everything.
+    pub fn disabled() -> FlightRecorder {
+        FlightRecorder::bounded(0)
+    }
+
+    /// A recorder keeping the most recent `capacity` events per job.
+    pub fn bounded(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            inner: Arc::new(FlightInner {
+                capacity,
+                rings: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// Whether events are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.capacity > 0
+    }
+
+    /// Appends an event to `job`'s ring, evicting the oldest when full.
+    pub fn record(&self, job: u64, at: u64, what: &str, detail: impl Into<String>) {
+        if self.inner.capacity == 0 {
+            return;
+        }
+        let mut rings = self.inner.rings.lock().expect("flight rings");
+        let ring = rings.entry(job).or_default();
+        if ring.len() == self.inner.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(FlightEvent {
+            at,
+            what: what.to_string(),
+            detail: detail.into(),
+        });
+    }
+
+    /// The recorded events for `job`, oldest first.
+    pub fn trace(&self, job: u64) -> Vec<FlightEvent> {
+        if self.inner.capacity == 0 {
+            return Vec::new();
+        }
+        self.inner
+            .rings
+            .lock()
+            .expect("flight rings")
+            .get(&job)
+            .map(|ring| ring.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Drops `job`'s ring (call when the job is purged).
+    pub fn forget(&self, job: u64) {
+        if self.inner.capacity == 0 {
+            return;
+        }
+        self.inner.rings.lock().expect("flight rings").remove(&job);
+    }
+
+    /// Number of jobs with live rings.
+    pub fn jobs_tracked(&self) -> usize {
+        if self.inner.capacity == 0 {
+            return 0;
+        }
+        self.inner.rings.lock().expect("flight rings").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let fr = FlightRecorder::disabled();
+        assert!(!fr.is_enabled());
+        fr.record(1, 0, "njs.consign", "job 1");
+        assert!(fr.trace(1).is_empty());
+        assert_eq!(fr.jobs_tracked(), 0);
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_events() {
+        let fr = FlightRecorder::bounded(3);
+        for i in 0..5u64 {
+            fr.record(7, i * 10, "step", format!("event {i}"));
+        }
+        let trace = fr.trace(7);
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace[0].detail, "event 2");
+        assert_eq!(trace[2].detail, "event 4");
+        assert_eq!(trace[2].at, 40);
+    }
+
+    #[test]
+    fn rings_are_per_job_and_forgettable() {
+        let fr = FlightRecorder::bounded(8);
+        fr.record(1, 0, "njs.consign", "a");
+        fr.record(2, 0, "njs.consign", "b");
+        assert_eq!(fr.jobs_tracked(), 2);
+        assert_eq!(fr.trace(1).len(), 1);
+        fr.forget(1);
+        assert!(fr.trace(1).is_empty());
+        assert_eq!(fr.trace(2).len(), 1);
+        assert_eq!(fr.jobs_tracked(), 1);
+    }
+
+    #[test]
+    fn flight_event_round_trips() {
+        let e = FlightEvent {
+            at: 123_456,
+            what: "batch.exit".into(),
+            detail: "exit code 3".into(),
+        };
+        assert_eq!(FlightEvent::from_der(&e.to_der()).unwrap(), e);
+    }
+}

@@ -27,10 +27,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod flight;
 pub mod metrics;
 pub mod span;
 pub mod telemetry;
+pub mod wire;
 
+pub use flight::{FlightEvent, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use span::{ActiveSpan, SpanContext, SpanId, SpanRecord, TraceId};
 pub use telemetry::{SpanSummary, Telemetry};

@@ -1,0 +1,177 @@
+//! DER wire encodings for telemetry aggregates.
+//!
+//! The monitoring plane ships [`MetricsSnapshot`]s and [`SpanSummary`]
+//! rows across sites inside `Monitor` service outcomes, so they need the
+//! same canonical DER treatment as the rest of the protocol. The
+//! encodings live here (rather than in the protocol crates) because the
+//! orphan rule requires the impls next to the types; `unicore-codec` has
+//! no dependencies, so this adds no cycle.
+
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+use crate::telemetry::SpanSummary;
+use std::collections::BTreeMap;
+use unicore_codec::{CodecError, DerCodec, Fields, Value};
+
+impl DerCodec for HistogramSnapshot {
+    fn to_value(&self) -> Value {
+        Value::Sequence(vec![
+            Value::string(&self.name),
+            Value::Integer(self.count as i64),
+            Value::Integer(self.sum as i64),
+            Value::Sequence(
+                self.buckets
+                    .iter()
+                    .map(|(le, cum)| {
+                        Value::Sequence(vec![
+                            Value::Integer(*le as i64),
+                            Value::Integer(*cum as i64),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<Self, CodecError> {
+        let mut f = Fields::open(value, "HistogramSnapshot")?;
+        let name = f.next_string()?;
+        let count = f.next_u64()?;
+        let sum = f.next_u64()?;
+        let items = f.next_sequence()?;
+        let mut buckets = Vec::with_capacity(items.len());
+        for item in items {
+            let mut bf = Fields::open(item, "histogram bucket")?;
+            buckets.push((bf.next_u64()?, bf.next_u64()?));
+            bf.finish()?;
+        }
+        f.finish()?;
+        Ok(HistogramSnapshot {
+            name,
+            count,
+            sum,
+            buckets,
+        })
+    }
+}
+
+impl DerCodec for MetricsSnapshot {
+    fn to_value(&self) -> Value {
+        let pair = |k: &String, v: i64| Value::Sequence(vec![Value::string(k), Value::Integer(v)]);
+        Value::Sequence(vec![
+            Value::Sequence(
+                self.counters
+                    .iter()
+                    .map(|(k, v)| pair(k, *v as i64))
+                    .collect(),
+            ),
+            Value::Sequence(self.gauges.iter().map(|(k, v)| pair(k, *v)).collect()),
+            Value::Sequence(self.histograms.iter().map(|h| h.to_value()).collect()),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<Self, CodecError> {
+        let mut f = Fields::open(value, "MetricsSnapshot")?;
+        let mut counters = BTreeMap::new();
+        for item in f.next_sequence()? {
+            let mut cf = Fields::open(item, "counter")?;
+            let name = cf.next_string()?;
+            let v = cf.next_u64()?;
+            cf.finish()?;
+            counters.insert(name, v);
+        }
+        let mut gauges = BTreeMap::new();
+        for item in f.next_sequence()? {
+            let mut gf = Fields::open(item, "gauge")?;
+            let name = gf.next_string()?;
+            let v = gf.next_i64()?;
+            gf.finish()?;
+            gauges.insert(name, v);
+        }
+        let items = f.next_sequence()?;
+        let mut histograms = Vec::with_capacity(items.len());
+        for item in items {
+            histograms.push(HistogramSnapshot::from_value(item)?);
+        }
+        f.finish()?;
+        Ok(MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        })
+    }
+}
+
+impl DerCodec for SpanSummary {
+    fn to_value(&self) -> Value {
+        Value::Sequence(vec![
+            Value::string(&self.name),
+            Value::Integer(self.count as i64),
+            Value::Integer(self.clock_total as i64),
+            Value::Integer(self.wall_ns_total as i64),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<Self, CodecError> {
+        let mut f = Fields::open(value, "SpanSummary")?;
+        let name = f.next_string()?;
+        let count = f.next_u64()?;
+        let clock_total = f.next_u64()?;
+        let wall_ns_total = f.next_u64()?;
+        f.finish()?;
+        Ok(SpanSummary {
+            name,
+            count,
+            clock_total,
+            wall_ns_total,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn metrics_snapshot_round_trips() {
+        let reg = MetricsRegistry::new();
+        reg.counter("njs.consigned").add(12);
+        reg.counter("gateway.audit.dropped").add(3);
+        reg.gauge("njs.jobs.active").set(-2);
+        let h = reg.histogram("batch.wait.us");
+        h.record(0);
+        h.record(7);
+        h.record(9000);
+        let snap = reg.snapshot();
+        let back = MetricsSnapshot::from_der(&snap.to_der()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = MetricsSnapshot::default();
+        assert_eq!(MetricsSnapshot::from_der(&snap.to_der()).unwrap(), snap);
+    }
+
+    #[test]
+    fn span_summary_round_trips() {
+        let s = SpanSummary {
+            name: "server.handle".into(),
+            count: 42,
+            clock_total: 123_456,
+            wall_ns_total: 987_654_321,
+        };
+        assert_eq!(SpanSummary::from_der(&s.to_der()).unwrap(), s);
+    }
+
+    #[test]
+    fn histogram_snapshot_round_trips() {
+        let h = HistogramSnapshot {
+            name: "lat.us".into(),
+            count: 5,
+            sum: 1106,
+            buckets: vec![(4, 3), (128, 4), (1024, 5)],
+        };
+        assert_eq!(HistogramSnapshot::from_der(&h.to_der()).unwrap(), h);
+    }
+}

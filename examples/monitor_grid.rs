@@ -1,0 +1,81 @@
+//! The federated monitoring plane (DESIGN.md E12): a two-Usite grid, real
+//! work flowing, then one `Monitor { grid: true }` query at FZJ that comes
+//! back with a merged, site-namespaced view of the whole grid — plus the
+//! flight-recorder trace a failed task carries home in its `Outcome`.
+//!
+//! Run with: `cargo run -p unicore-examples --bin monitor_grid --release`
+
+use unicore::protocol::monitor_reports_of;
+use unicore::{Federation, FederationConfig, SiteSpec};
+use unicore_ajo::{ResourceRequest, UserAttributes, VsiteAddress};
+use unicore_client::{first_failure, render_flight, render_monitor, JobPreparationAgent};
+use unicore_resources::{Architecture, ResourceDirectory};
+use unicore_sim::{format_time, HOUR, MINUTE, SEC};
+
+const DN: &str = "C=DE, O=FZJ, OU=ZAM, CN=operator";
+
+fn job(
+    jpa: &JobPreparationAgent,
+    usite: &str,
+    vsite: &str,
+    script: &str,
+) -> unicore_ajo::AbstractJob {
+    let mut job = jpa.new_job("probe", VsiteAddress::new(usite, vsite));
+    job.script_task(
+        "step",
+        script,
+        ResourceRequest::minimal().with_run_time(600),
+    );
+    job.build().unwrap()
+}
+
+fn main() {
+    // ---- A two-Usite grid: FZJ (Cray T3E) and RUS (Fujitsu VPP) --------
+    let specs = vec![
+        SiteSpec::simple("FZJ", "T3E", Architecture::CrayT3e),
+        SiteSpec::simple("RUS", "VPP", Architecture::FujitsuVpp700),
+    ];
+    let mut fed = Federation::new(FederationConfig::default(), &specs);
+    fed.enable_telemetry(0xE12);
+    fed.register_user(DN, "op");
+    let jpa = JobPreparationAgent::new(UserAttributes::new(DN, "users"), ResourceDirectory::new());
+
+    // ---- Real work at both sites, including one job that fails ---------
+    for (usite, vsite, script) in [
+        ("FZJ", "T3E", "sleep 30\n"),
+        ("RUS", "VPP", "sleep 45\n"),
+        ("FZJ", "T3E", "sleep 10\nexit 3\n"),
+    ] {
+        let ajo = job(&jpa, usite, vsite, script);
+        let (_, outcome, at) = fed
+            .submit_and_wait(usite, ajo.clone(), DN, 5 * SEC, HOUR)
+            .expect("job reaches a terminal state");
+        println!(
+            "[{}] {usite} job finished: {:?}",
+            format_time(at),
+            outcome.status
+        );
+        if let Some((name, task)) = first_failure(&ajo, &outcome) {
+            println!();
+            print!("{}", render_flight(name, task));
+            println!();
+        }
+    }
+
+    // ---- One query at one Usite covers the whole grid -------------------
+    let corr = fed.client_monitor("FZJ", DN, true);
+    let deadline = fed.now() + 10 * MINUTE;
+    let resp = loop {
+        fed.run_until(fed.now() + SEC);
+        if let Some(resp) = fed.take_client_response(corr) {
+            break resp;
+        }
+        assert!(fed.now() < deadline, "no monitor response");
+    };
+    let sites = monitor_reports_of(&resp).expect("monitor outcome");
+    println!(
+        "grid view at [{}], one Monitor query via FZJ:\n",
+        format_time(fed.now())
+    );
+    print!("{}", render_monitor(sites));
+}

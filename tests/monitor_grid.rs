@@ -1,0 +1,182 @@
+//! The federated monitoring plane (§ E12): one `Monitor { grid: true }`
+//! query at any Usite returns a merged, site-namespaced view of the whole
+//! grid — metrics snapshots, span breakdowns, and per-Vsite health — and
+//! a failed task's `Outcome` carries the NJS flight-recorder trace home
+//! for the JMC to render next to the red icon.
+
+use unicore::protocol::monitor_reports_of;
+use unicore::{Federation, FederationConfig, Response, SiteSpec};
+use unicore_ajo::{ResourceRequest, UserAttributes, VsiteAddress};
+use unicore_client::{first_failure, render_flight, render_monitor, JobPreparationAgent};
+use unicore_resources::{Architecture, ResourceDirectory};
+use unicore_sim::{HOUR, MINUTE, SEC};
+
+const DN: &str = "C=DE, O=FZJ, OU=ZAM, CN=operator";
+
+fn jpa() -> JobPreparationAgent {
+    JobPreparationAgent::new(UserAttributes::new(DN, "users"), ResourceDirectory::new())
+}
+
+fn simple_job(usite: &str, vsite: &str, script: &str) -> unicore_ajo::AbstractJob {
+    let mut job = jpa().new_job("probe", VsiteAddress::new(usite, vsite));
+    job.script_task(
+        "step",
+        script,
+        ResourceRequest::minimal().with_run_time(600),
+    );
+    job.build().unwrap()
+}
+
+fn two_site_federation() -> Federation {
+    let specs = vec![
+        SiteSpec::simple("FZJ", "T3E", Architecture::CrayT3e),
+        SiteSpec::simple("RUS", "VPP", Architecture::FujitsuVpp700),
+    ];
+    let mut fed = Federation::new(FederationConfig::default(), &specs);
+    fed.enable_telemetry(0xE12);
+    fed.register_user(DN, "op");
+    fed
+}
+
+/// Runs the federation until the response to `corr` arrives (or panics
+/// after `limit`).
+fn await_response(fed: &mut Federation, corr: u64, limit: u64) -> Response {
+    let deadline = fed.now() + limit;
+    loop {
+        fed.run_until((fed.now() + SEC).min(deadline));
+        if let Some(resp) = fed.take_client_response(corr) {
+            return resp;
+        }
+        assert!(fed.now() < deadline, "no response to corr {corr}");
+    }
+}
+
+#[test]
+fn grid_monitor_merges_reports_from_all_sites() {
+    let mut fed = two_site_federation();
+
+    // Real work at both sites so the registries have something to say.
+    let (_, o1, _) = fed
+        .submit_and_wait(
+            "FZJ",
+            simple_job("FZJ", "T3E", "sleep 30\n"),
+            DN,
+            5 * SEC,
+            HOUR,
+        )
+        .expect("FZJ job completes");
+    assert!(o1.status.is_success());
+    let (_, o2, _) = fed
+        .submit_and_wait(
+            "RUS",
+            simple_job("RUS", "VPP", "sleep 30\n"),
+            DN,
+            5 * SEC,
+            HOUR,
+        )
+        .expect("RUS job completes");
+    assert!(o2.status.is_success());
+
+    // One query at one Usite covers the whole grid.
+    let corr = fed.client_monitor("FZJ", DN, true);
+    let resp = await_response(&mut fed, corr, 10 * MINUTE);
+    let sites = monitor_reports_of(&resp).expect("monitor outcome").to_vec();
+
+    assert_eq!(sites.len(), 2, "expected both Usites: {resp:?}");
+    // Namespaced per site, merged in sorted order.
+    assert_eq!(sites[0].usite, "FZJ");
+    assert_eq!(sites[1].usite, "RUS");
+    for site in &sites {
+        assert!(
+            site.metrics.counter("njs.consigned") >= 1,
+            "{} consigned nothing: {:?}",
+            site.usite,
+            site.metrics.counters
+        );
+        assert!(!site.spans.is_empty(), "{} reported no spans", site.usite);
+        assert_eq!(site.vsites.len(), 1);
+        assert!(site.vsites[0].free_nodes > 0);
+        assert_eq!(site.vsites[0].stuck_jobs, 0);
+        // The gateway overlay rides along even when nothing was dropped.
+        assert!(site.metrics.counters.contains_key("gateway.audit.dropped"));
+        assert!(site.metrics.counters.contains_key("store.wal.repairs"));
+    }
+
+    // The JMC renders the merged view as one namespaced panel.
+    let panel = render_monitor(&sites);
+    assert!(panel.contains("Usite FZJ"));
+    assert!(panel.contains("Usite RUS"));
+    assert!(panel.contains("njs.consigned = "));
+}
+
+#[test]
+fn grid_monitor_skips_unreachable_site() {
+    let mut fed = two_site_federation();
+    fed.set_partitioned("RUS", true);
+
+    let corr = fed.client_monitor("FZJ", DN, true);
+    // The fan-out must exhaust the retry budget toward RUS before the
+    // merged (partial) view comes back; give it room.
+    let resp = await_response(&mut fed, corr, 30 * MINUTE);
+    let sites = monitor_reports_of(&resp).expect("monitor outcome");
+
+    assert_eq!(sites.len(), 1, "dead site must be skipped: {resp:?}");
+    assert_eq!(sites[0].usite, "FZJ");
+}
+
+#[test]
+fn non_grid_monitor_answers_for_entry_site_only() {
+    let mut fed = two_site_federation();
+    let corr = fed.client_monitor("RUS", DN, false);
+    let resp = await_response(&mut fed, corr, MINUTE);
+    let sites = monitor_reports_of(&resp).expect("monitor outcome");
+    assert_eq!(sites.len(), 1);
+    assert_eq!(sites[0].usite, "RUS");
+}
+
+#[test]
+fn failed_task_outcome_carries_flight_trace() {
+    let mut fed = two_site_federation();
+
+    let job = simple_job("FZJ", "T3E", "sleep 10\nexit 3\n");
+    let (_, outcome, _) = fed
+        .submit_and_wait("FZJ", job.clone(), DN, 5 * SEC, HOUR)
+        .expect("job reaches a terminal state");
+    assert!(!outcome.status.is_success(), "{outcome:?}");
+
+    let (name, task) = first_failure(&job, &outcome).expect("a failed task");
+    assert_eq!(name, "step");
+    assert_eq!(task.exit_code, Some(3));
+    assert!(
+        !task.flight.is_empty(),
+        "failed outcome carries no flight trace: {task:?}"
+    );
+    // The recorder saw the job's whole life, not just the crash.
+    let whats: Vec<&str> = task.flight.iter().map(|e| e.what.as_str()).collect();
+    assert!(whats.contains(&"njs.consign"), "{whats:?}");
+    assert!(whats.contains(&"batch.exit"), "{whats:?}");
+
+    // And the JMC renders it.
+    let text = render_flight(name, task);
+    assert!(text.contains("flight trace for step"));
+    assert!(text.contains("batch.exit"));
+}
+
+#[test]
+fn successful_task_outcome_stays_trace_free() {
+    let mut fed = two_site_federation();
+    let job = simple_job("FZJ", "T3E", "sleep 10\n");
+    let (_, outcome, _) = fed
+        .submit_and_wait("FZJ", job.clone(), DN, 5 * SEC, HOUR)
+        .expect("job completes");
+    assert!(outcome.status.is_success());
+    for output in unicore_client::collect_outputs(&job, &outcome) {
+        assert_eq!(output.exit_code, Some(0));
+    }
+    // Success pays zero wire bytes for the recorder.
+    for (_, node) in &outcome.children {
+        if let unicore_ajo::OutcomeNode::Task(t) = node {
+            assert!(t.flight.is_empty(), "{t:?}");
+        }
+    }
+}
