@@ -26,6 +26,12 @@ cargo test -q --offline -p unicore-integration-tests --test monitor_grid
 cargo test -q --offline -p unicore-client monitor
 cargo test -q --offline -p unicore --test prop_protocol
 
+echo "==> codec single-pass/recursive DER equivalence"
+cargo test -q --offline -p unicore-codec --test prop_encode_equiv
+
+echo "==> benches compile"
+cargo bench --offline --no-run
+
 echo "==> rustdoc (workspace, warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 

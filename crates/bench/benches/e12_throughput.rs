@@ -1,0 +1,254 @@
+//! E12 — consign fast-path throughput.
+//!
+//! The NJS sits on every job's critical path (§5.3: it "takes an
+//! abstract job, splits it into job groups and distributes them"), so
+//! per-consign overhead multiplies across every tier and every Usite
+//! hop. This bench drives a sustained many-job burst across a two-site
+//! federation with the write-ahead journal attached (the production
+//! configuration), and reports jobs/sec plus per-job µs. The micro
+//! groups isolate the layers the fast path crosses: DER encoding, the
+//! record layer seal/open, the gateway UUDB mapping and the WAL consign
+//! journal write.
+//!
+//! The `BASELINE_*` constants pin the numbers measured on the tree
+//! *before* the fast-path optimizations (single-pass DER, record buffer
+//! reuse, WAL group commit, gateway mapping cache) so the emitted JSON
+//! carries the before/after comparison.
+
+use criterion::Criterion;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+use unicore::{Federation, FederationConfig, Response, SiteSpec};
+use unicore_ajo::DetailLevel;
+use unicore_bench::{chain_job, BenchReport, BENCH_DN};
+use unicore_codec::DerCodec;
+use unicore_gateway::{Gateway, UserEntry, Uudb};
+use unicore_resources::Architecture;
+use unicore_sim::{HOUR, SEC};
+use unicore_store::{EventStore, MemoryBackend, OwnerRecord, StoreEvent};
+use unicore_transport::record::{RecordKeys, RecordType};
+
+/// Jobs per burst, alternating between the two sites.
+const JOBS: usize = 32;
+/// Timed rounds (min-of-3 each).
+const ROUNDS: u64 = 6;
+
+/// Pre-optimization numbers, measured by this same bench on the tree
+/// before the consign fast-path PR (commit fb94963). `0.0` means "not
+/// yet captured" and suppresses the comparison.
+const BASELINE_PER_JOB_US: f64 = 1366.6;
+const BASELINE_JOBS_PER_SEC: f64 = 732.0;
+
+fn build_fed(seed: u64) -> Federation {
+    let specs = [
+        SiteSpec::simple("S0", "V", Architecture::Generic),
+        SiteSpec::simple("S1", "V", Architecture::Generic),
+    ];
+    let mut fed = Federation::new(
+        FederationConfig {
+            seed,
+            ..FederationConfig::default()
+        },
+        &specs,
+    );
+    fed.register_user(BENCH_DN, "bench");
+    // Production configuration: every NJS journals to its write-ahead
+    // spool, so the burst pays the real consign durability cost.
+    for site in ["S0", "S1"] {
+        let mem = MemoryBackend::new();
+        let store = EventStore::open(Box::new(mem)).expect("open journal");
+        fed.server_mut(site)
+            .expect("site exists")
+            .njs_mut()
+            .attach_store(store);
+    }
+    fed
+}
+
+/// Fires all `JOBS` consigns up front, then drives the federation until
+/// every job reaches a terminal state — a sustained burst rather than a
+/// serial submit/wait loop. Returns real CPU time for the burst.
+fn run_burst(seed: u64) -> Duration {
+    let mut fed = build_fed(seed);
+    let t = Instant::now();
+    let deadline = fed.now() + 4 * HOUR;
+
+    let mut pending_acks = Vec::with_capacity(JOBS);
+    for i in 0..JOBS {
+        let site = if i % 2 == 0 { "S0" } else { "S1" };
+        let mut job = chain_job(site, "V", 3, 30);
+        job.name = format!("job{i}");
+        pending_acks.push((site, fed.client_submit(site, job, BENCH_DN)));
+    }
+
+    let mut jobs = Vec::with_capacity(JOBS);
+    while !pending_acks.is_empty() {
+        assert!(fed.now() < deadline, "consign acks timed out");
+        fed.run_until((fed.now() + 5 * SEC).min(deadline));
+        pending_acks.retain(|&(site, corr)| match fed.take_client_response(corr) {
+            Some(Response::Consigned { job }) => {
+                jobs.push((site, job));
+                false
+            }
+            Some(other) => panic!("consign refused: {other:?}"),
+            None => true,
+        });
+    }
+
+    while !jobs.is_empty() {
+        assert!(fed.now() < deadline, "jobs timed out");
+        let polls: Vec<_> = jobs
+            .iter()
+            .map(|&(site, job)| {
+                (
+                    site,
+                    job,
+                    fed.client_poll(site, BENCH_DN, job, DetailLevel::Tasks),
+                )
+            })
+            .collect();
+        fed.run_until((fed.now() + 5 * SEC).min(deadline));
+        let mut done = Vec::new();
+        for (site, job, corr) in polls {
+            if let Some(resp) = fed.take_client_response(corr) {
+                if let Some(outcome) = unicore::outcome_of(&resp) {
+                    if outcome.status.is_terminal() {
+                        assert!(outcome.status.is_success(), "{site} job failed");
+                        done.push(job);
+                    }
+                }
+            }
+        }
+        jobs.retain(|(_, job)| !done.contains(job));
+    }
+    t.elapsed()
+}
+
+/// Minimum of three timed runs — the robust estimator for CPU cost on a
+/// shared machine (noise only ever adds time).
+fn min_of_3(seed: u64) -> Duration {
+    (0..3).map(|_| run_burst(seed)).min().unwrap()
+}
+
+fn print_tables() {
+    println!("\n=== E12: consign fast-path throughput ===\n");
+
+    let mut total = Duration::ZERO;
+    for i in 0..ROUNDS {
+        total += min_of_3(i);
+    }
+    let round = total.as_secs_f64() / ROUNDS as f64;
+    let per_job_us = round * 1e6 / JOBS as f64;
+    let jobs_per_sec = JOBS as f64 / round;
+
+    println!("two-site federated burst, {JOBS} jobs per round, {ROUNDS} rounds (min of 3 each):");
+    println!("  burst round: {:?}", Duration::from_secs_f64(round));
+    println!("  per job:     {per_job_us:.1} µs");
+    println!("  throughput:  {jobs_per_sec:.0} jobs/sec");
+
+    let mut report = BenchReport::new("e12_throughput");
+    report
+        .metric("rounds", ROUNDS as f64)
+        .metric("jobs_per_round", JOBS as f64)
+        .metric("round_us", round * 1e6)
+        .metric("per_job_us", per_job_us)
+        .metric("jobs_per_sec", jobs_per_sec)
+        .note(
+            "workload",
+            "two-site federation, WAL attached; 32-job burst consigned up front then polled to completion",
+        );
+    if BASELINE_PER_JOB_US > 0.0 {
+        let us_delta = (BASELINE_PER_JOB_US - per_job_us) / BASELINE_PER_JOB_US * 100.0;
+        let tp_delta = (jobs_per_sec - BASELINE_JOBS_PER_SEC) / BASELINE_JOBS_PER_SEC * 100.0;
+        let verdict = if us_delta >= 20.0 || tp_delta >= 20.0 {
+            "PASS"
+        } else {
+            "FAIL"
+        };
+        println!("  before (pre-PR): {BASELINE_PER_JOB_US:.1} µs/job, {BASELINE_JOBS_PER_SEC:.0} jobs/sec");
+        println!("  per-job µs reduction: {us_delta:+.1}%   throughput gain: {tp_delta:+.1}%");
+        println!("  target >= 20% on either axis: {verdict}\n");
+        report
+            .metric("baseline_per_job_us", BASELINE_PER_JOB_US)
+            .metric("baseline_jobs_per_sec", BASELINE_JOBS_PER_SEC)
+            .metric("per_job_us_reduction_pct", us_delta)
+            .metric("jobs_per_sec_gain_pct", tp_delta)
+            .metric("target_pct", 20.0)
+            .note("verdict", verdict)
+            .note("baseline", "same bench on pre-PR tree (commit fb94963)");
+    } else {
+        println!("  (baseline capture run: no pre-PR numbers pinned yet)\n");
+    }
+    match report.write() {
+        Ok(path) => println!("machine-readable results: {}", path.display()),
+        Err(e) => eprintln!("could not write bench report: {e}"),
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_throughput");
+
+    // Layer 1 — codec: canonical DER of a realistic chained AJO.
+    group.bench_function("ajo_to_der", |b| {
+        let job = chain_job("S0", "V", 3, 30);
+        b.iter(|| black_box(black_box(&job).to_der()));
+    });
+
+    // Layer 2 — transport: one record sealed and opened (1 KiB payload).
+    group.bench_function("record_seal_open", |b| {
+        let mut tx = RecordKeys::derive(b"e12 master secret", "client");
+        let mut rx = RecordKeys::derive(b"e12 master secret", "client");
+        let payload = vec![0xabu8; 1024];
+        b.iter(|| {
+            let record = tx.seal(RecordType::Data, black_box(&payload));
+            black_box(rx.open(&record).expect("opens"));
+        });
+    });
+
+    // Layer 3 — store: journalling one consign event.
+    group.bench_function("wal_journal_consign", |b| {
+        let mut store = EventStore::open(Box::new(MemoryBackend::new())).expect("open");
+        let ajo_der = chain_job("S0", "V", 3, 30).to_der();
+        let mut at = 0u64;
+        b.iter(|| {
+            let event = StoreEvent::JobConsigned {
+                job: unicore_ajo::JobId(at),
+                ajo_der: ajo_der.clone(),
+                user: OwnerRecord {
+                    dn: BENCH_DN.to_owned(),
+                    login: "bench".to_owned(),
+                    account_group: "users".to_owned(),
+                },
+                staged: Vec::new(),
+                idem_key: vec![0u8; 32],
+                parent: None,
+                foreign: None,
+                at,
+            };
+            store.append(&event).expect("append");
+            at += 1;
+        });
+    });
+
+    // Layer 4 — gateway: the hot DN -> login mapping on every request.
+    group.bench_function("gateway_authorize_dn", |b| {
+        let mut uudb = Uudb::new();
+        uudb.add(BENCH_DN, UserEntry::new("bench", "users"));
+        let mut gateway = Gateway::new("S0", uudb);
+        let mut now = 0u64;
+        b.iter(|| {
+            let decision = gateway.authorize_dn(black_box(BENCH_DN), "V", None, now);
+            assert!(decision.is_accepted());
+            now += 1;
+        });
+    });
+
+    group.finish();
+}
+
+fn main() {
+    print_tables();
+    let mut c = Criterion::default().configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,16 +1,58 @@
 //! Canonical DER encoding.
+//!
+//! Encoding is two passes over the value tree: a sizing pass
+//! ([`encoded_len`]) that computes every definite length arithmetically,
+//! then an emit pass that writes tag, length and content octets straight
+//! into one preallocated output buffer. Constructed values (`Sequence`,
+//! `Tagged`) never materialise their body in a temporary — the recursive
+//! encoder this replaced copied a depth-d subtree O(d) times.
 
 use crate::value::{tag, Value};
 
 /// Encodes a value to canonical DER bytes.
 pub fn encode(value: &Value) -> Vec<u8> {
-    let mut out = Vec::with_capacity(64);
-    encode_into(value, &mut out);
+    let mut out = Vec::with_capacity(encoded_len(value));
+    emit(value, &mut out);
     out
 }
 
-/// Encodes into an existing buffer (avoids reallocation in hot paths).
+/// Encodes into an existing buffer (appends; avoids reallocation in hot
+/// paths that assemble framed messages).
 pub fn encode_into(value: &Value, out: &mut Vec<u8>) {
+    out.reserve(encoded_len(value));
+    emit(value, out);
+}
+
+/// Encodes into `out`, clearing it first — callers that encode in a loop
+/// amortise one buffer across all iterations.
+pub fn encode_reusing(value: &Value, out: &mut Vec<u8>) {
+    out.clear();
+    encode_into(value, out);
+}
+
+/// Total encoded size of `value` in bytes (tag + length + content).
+pub fn encoded_len(value: &Value) -> usize {
+    let content = content_len(value);
+    1 + len_octets(content) + content
+}
+
+/// Size of the content octets alone.
+fn content_len(value: &Value) -> usize {
+    match value {
+        Value::Boolean(_) => 1,
+        Value::Integer(v) => int_content_len(*v),
+        Value::OctetString(b) => b.len(),
+        Value::Utf8String(s) => s.len(),
+        Value::Null => 0,
+        Value::Enumerated(e) => int_content_len(*e as i64),
+        // Sorting a SET-OF permutes its elements but not their bytes, so
+        // the size is order-independent.
+        Value::Sequence(items) | Value::Set(items) => items.iter().map(encoded_len).sum(),
+        Value::Tagged(_, inner) => encoded_len(inner),
+    }
+}
+
+fn emit(value: &Value, out: &mut Vec<u8>) {
     match value {
         Value::Boolean(b) => {
             out.push(tag::BOOLEAN);
@@ -18,10 +60,10 @@ pub fn encode_into(value: &Value, out: &mut Vec<u8>) {
             out.push(if *b { 0xff } else { 0x00 });
         }
         Value::Integer(v) => {
-            let content = int_content(*v);
+            let (bytes, start) = int_content(*v);
             out.push(tag::INTEGER);
-            push_len(out, content.len());
-            out.extend_from_slice(&content);
+            push_len(out, 8 - start);
+            out.extend_from_slice(&bytes[start..]);
         }
         Value::OctetString(b) => {
             out.push(tag::OCTET_STRING);
@@ -38,43 +80,69 @@ pub fn encode_into(value: &Value, out: &mut Vec<u8>) {
             out.push(0);
         }
         Value::Enumerated(e) => {
-            let content = int_content(*e as i64);
+            let (bytes, start) = int_content(*e as i64);
             out.push(tag::ENUMERATED);
-            push_len(out, content.len());
-            out.extend_from_slice(&content);
+            push_len(out, 8 - start);
+            out.extend_from_slice(&bytes[start..]);
         }
         Value::Sequence(items) => {
-            let mut body = Vec::with_capacity(items.len() * 8);
-            for item in items {
-                encode_into(item, &mut body);
-            }
             out.push(tag::SEQUENCE);
-            push_len(out, body.len());
-            out.extend_from_slice(&body);
+            push_len(out, items.iter().map(encoded_len).sum());
+            for item in items {
+                emit(item, out);
+            }
         }
         Value::Set(items) => {
-            // Canonical DER: SET-OF elements sorted by encoded bytes.
-            let mut encoded: Vec<Vec<u8>> = items.iter().map(encode).collect();
-            encoded.sort();
-            let body_len: usize = encoded.iter().map(Vec::len).sum();
             out.push(tag::SET);
-            push_len(out, body_len);
-            for e in encoded {
-                out.extend_from_slice(&e);
+            push_len(out, items.iter().map(encoded_len).sum());
+            let body_start = out.len();
+            let mut ends = Vec::with_capacity(items.len());
+            for item in items {
+                emit(item, out);
+                ends.push(out.len());
             }
+            sort_set_body(out, body_start, &ends);
         }
         Value::Tagged(n, inner) => {
             debug_assert!(*n < 31, "high tag numbers unsupported");
-            let body = encode(inner);
             out.push(tag::CONTEXT_CONSTRUCTED | n);
-            push_len(out, body.len());
-            out.extend_from_slice(&body);
+            push_len(out, encoded_len(inner));
+            emit(inner, out);
         }
     }
 }
 
-/// Minimal two's-complement content octets for an integer.
-fn int_content(v: i64) -> Vec<u8> {
+/// Canonical DER: SET-OF elements sorted by encoded bytes. Elements are
+/// emitted in declaration order at `out[body_start..]` with element
+/// boundaries at `ends`; reorder them in place if they are not already
+/// sorted (the common case pays only the comparison scan).
+fn sort_set_body(out: &mut Vec<u8>, body_start: usize, ends: &[usize]) {
+    let range = |i: usize| (if i == 0 { body_start } else { ends[i - 1] }, ends[i]);
+    let sorted = (1..ends.len()).all(|i| {
+        let (ps, pe) = range(i - 1);
+        let (s, e) = range(i);
+        out[ps..pe] <= out[s..e]
+    });
+    if sorted {
+        return;
+    }
+    let body = out[body_start..].to_vec();
+    let mut order: Vec<usize> = (0..ends.len()).collect();
+    order.sort_by(|&a, &b| {
+        let (sa, ea) = range(a);
+        let (sb, eb) = range(b);
+        body[sa - body_start..ea - body_start].cmp(&body[sb - body_start..eb - body_start])
+    });
+    out.truncate(body_start);
+    for i in order {
+        let (s, e) = range(i);
+        out.extend_from_slice(&body[s - body_start..e - body_start]);
+    }
+}
+
+/// Minimal two's-complement content octets for an integer: the big-endian
+/// bytes of `v` and the index its minimal encoding starts at.
+fn int_content(v: i64) -> ([u8; 8], usize) {
     let bytes = v.to_be_bytes();
     // Strip redundant leading bytes: 0x00 followed by a byte with the top
     // bit clear, or 0xff followed by a byte with the top bit set.
@@ -89,7 +157,26 @@ fn int_content(v: i64) -> Vec<u8> {
             break;
         }
     }
-    bytes[start..].to_vec()
+    (bytes, start)
+}
+
+fn int_content_len(v: i64) -> usize {
+    let (_, start) = int_content(v);
+    8 - start
+}
+
+/// Number of length octets DER uses for a content length.
+fn len_octets(len: usize) -> usize {
+    if len < 0x80 {
+        1
+    } else {
+        let skip = (len as u64)
+            .to_be_bytes()
+            .iter()
+            .take_while(|&&b| b == 0)
+            .count();
+        1 + (8 - skip)
+    }
 }
 
 /// DER definite-length encoding.
@@ -159,11 +246,52 @@ mod tests {
         let a = Value::Set(vec![Value::Integer(2), Value::Integer(1)]);
         let b = Value::Set(vec![Value::Integer(1), Value::Integer(2)]);
         assert_eq!(encode(&a), encode(&b));
+        assert_eq!(
+            encode(&a),
+            vec![0x31, 0x06, 0x02, 0x01, 0x01, 0x02, 0x01, 0x02]
+        );
     }
 
     #[test]
     fn context_tag() {
         let v = Value::tagged(3, Value::Null);
         assert_eq!(encode(&v), vec![0xa3, 0x02, 0x05, 0x00]);
+    }
+
+    #[test]
+    fn encoded_len_matches_output() {
+        let v = Value::Sequence(vec![
+            Value::Integer(-70_000),
+            Value::Set(vec![Value::string("b"), Value::string("a")]),
+            Value::tagged(5, Value::bytes(vec![7u8; 200])),
+            Value::Null,
+        ]);
+        assert_eq!(encoded_len(&v), encode(&v).len());
+    }
+
+    #[test]
+    fn encode_reusing_clears_and_matches() {
+        let v = Value::Sequence(vec![Value::Integer(42), Value::string("x")]);
+        let mut buf = vec![0xde, 0xad];
+        encode_reusing(&v, &mut buf);
+        assert_eq!(buf, encode(&v));
+        // Second use of the same buffer produces identical bytes.
+        let prev = buf.clone();
+        encode_reusing(&v, &mut buf);
+        assert_eq!(buf, prev);
+    }
+
+    #[test]
+    fn nested_set_of_sets_sorts_by_encoded_bytes() {
+        let v = Value::Set(vec![
+            Value::Set(vec![Value::Integer(9)]),
+            Value::Set(vec![Value::Integer(2), Value::Integer(1)]),
+            Value::Boolean(true),
+        ]);
+        // Boolean (tag 0x01) sorts before the SETs (tag 0x31); the longer
+        // SET sorts by its first differing byte.
+        let enc = encode(&v);
+        assert_eq!(enc[0], 0x31);
+        assert_eq!(&enc[2..5], &[0x01, 0x01, 0xff]);
     }
 }

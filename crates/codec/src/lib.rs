@@ -24,7 +24,7 @@ pub mod structure;
 pub mod value;
 
 pub use decode::{decode, decode_prefix, MAX_DEPTH};
-pub use encode::{encode, encode_into};
+pub use encode::{encode, encode_into, encode_reusing, encoded_len};
 pub use error::CodecError;
 pub use structure::{DerCodec, Fields};
 pub use value::{tag, Value};

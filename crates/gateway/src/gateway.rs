@@ -3,7 +3,7 @@
 //! an audit trail.
 
 use crate::uudb::{MappedUser, MappingError, Uudb};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use unicore_certs::Certificate;
 use unicore_telemetry::{Counter, Telemetry};
 
@@ -46,6 +46,18 @@ pub type SiteAuthHook =
 
 /// Default bound of the audit ring buffer.
 pub const DEFAULT_AUDIT_CAPACITY: usize = 10_000;
+
+/// One memoized successful mapping. Valid only while its epoch matches
+/// the gateway's current UUDB epoch.
+struct CachedMapping {
+    epoch: u64,
+    vsite: String,
+    account_group: Option<String>,
+    mapped: MappedUser,
+    /// Pre-rendered audit detail (`mapped to <login>`), so the hot path
+    /// clones instead of formatting.
+    detail: String,
+}
 
 /// Authentication counters, fetched once from the telemetry registry.
 struct GatewayMetrics {
@@ -94,6 +106,12 @@ pub struct Gateway {
     /// survives a late `set_telemetry` swapping the counter cell.
     audit_dropped_total: u64,
     metrics: GatewayMetrics,
+    /// DN → memoized mappings, consulted before walking the UUDB. An
+    /// entry is live only while its epoch equals `map_epoch`;
+    /// [`Gateway::uudb_mut`] bumps the epoch, invalidating the whole
+    /// memo in O(1) without tracking individual edits.
+    map_cache: HashMap<String, Vec<CachedMapping>>,
+    map_epoch: u64,
 }
 
 impl Gateway {
@@ -107,6 +125,8 @@ impl Gateway {
             audit_capacity: DEFAULT_AUDIT_CAPACITY,
             audit_dropped_total: 0,
             metrics: GatewayMetrics::default(),
+            map_cache: HashMap::new(),
+            map_epoch: 0,
         }
     }
 
@@ -154,13 +174,52 @@ impl Gateway {
     }
 
     /// Mutable access to the UUDB (site administration).
+    ///
+    /// Any mutable access may change mappings, so this advances the
+    /// mapping-cache epoch: every memoized mapping becomes stale at once
+    /// and the next request per (DN, Vsite, group) re-walks the UUDB.
     pub fn uudb_mut(&mut self) -> &mut Uudb {
+        self.map_epoch += 1;
         &mut self.uudb
     }
 
     /// Read access to the UUDB.
     pub fn uudb(&self) -> &Uudb {
         &self.uudb
+    }
+
+    /// DN → login through the mapping memo: a hit at the current epoch
+    /// skips the UUDB walk, the group resolution, and the audit-detail
+    /// `format!`; a miss maps normally and memoizes. Only successes are
+    /// cached — refusals are cold and their reasons vary.
+    fn map_cached(
+        &mut self,
+        dn: &str,
+        vsite: &str,
+        account_group: Option<&str>,
+    ) -> Result<(MappedUser, String), MappingError> {
+        if let Some(slots) = self.map_cache.get(dn) {
+            for c in slots {
+                if c.epoch == self.map_epoch
+                    && c.vsite == vsite
+                    && c.account_group.as_deref() == account_group
+                {
+                    return Ok((c.mapped.clone(), c.detail.clone()));
+                }
+            }
+        }
+        let mapped = self.uudb.map(dn, vsite, account_group)?;
+        let detail = format!("mapped to {}", mapped.login);
+        let slots = self.map_cache.entry(dn.to_owned()).or_default();
+        slots.retain(|c| c.epoch == self.map_epoch);
+        slots.push(CachedMapping {
+            epoch: self.map_epoch,
+            vsite: vsite.to_owned(),
+            account_group: account_group.map(str::to_owned),
+            mapped: mapped.clone(),
+            detail: detail.clone(),
+        });
+        Ok((mapped, detail))
     }
 
     /// Authenticates an already-transport-validated peer for `vsite`,
@@ -192,15 +251,15 @@ impl Gateway {
             }
         }
         // UUDB mapping.
-        match self.uudb.map(&dn, vsite, account_group) {
-            Ok(mapped) => {
+        match self.map_cached(&dn, vsite, account_group) {
+            Ok((mapped, detail)) => {
                 self.metrics.accepted.inc();
                 self.push_audit(AuditRecord {
                     at: now,
                     dn: dn.clone(),
                     vsite: vsite.to_owned(),
                     accepted: true,
-                    detail: format!("mapped to {}", mapped.login),
+                    detail,
                 });
                 AuthDecision::Accepted(mapped)
             }
@@ -231,15 +290,15 @@ impl Gateway {
         account_group: Option<&str>,
         now: u64,
     ) -> AuthDecision {
-        match self.uudb.map(dn, vsite, account_group) {
-            Ok(mapped) => {
+        match self.map_cached(dn, vsite, account_group) {
+            Ok((mapped, detail)) => {
                 self.metrics.accepted.inc();
                 self.push_audit(AuditRecord {
                     at: now,
                     dn: dn.to_owned(),
                     vsite: vsite.to_owned(),
                     accepted: true,
-                    detail: format!("mapped to {}", mapped.login),
+                    detail,
                 });
                 AuthDecision::Accepted(mapped)
             }
@@ -443,6 +502,81 @@ mod tests {
             .gw
             .authorize(&fx.alice.cert, "T3E", None, Some(b"smartcard:42"), 41);
         assert!(ok.is_accepted());
+    }
+
+    #[test]
+    fn cached_mapping_still_audits_every_request() {
+        let mut fx = fixture();
+        for t in 0..3 {
+            let d = fx.gw.authorize(&fx.alice.cert, "T3E", None, None, t);
+            let AuthDecision::Accepted(m) = d else {
+                panic!("{d:?}")
+            };
+            assert_eq!(m.login, "alice1");
+        }
+        // Hits 2 and 3 came from the memo but each still left a record.
+        assert_eq!(fx.gw.audit().len(), 3);
+        assert!(fx
+            .gw
+            .audit()
+            .iter()
+            .all(|r| r.accepted && r.detail == "mapped to alice1"));
+    }
+
+    #[test]
+    fn uudb_mutation_invalidates_cached_mapping() {
+        let mut fx = fixture();
+        let dn_str = fx.alice.cert.tbs.subject.to_string();
+        // Prime the memo...
+        assert!(fx
+            .gw
+            .authorize(&fx.alice.cert, "T3E", None, None, 1)
+            .is_accepted());
+        // ...then mutate the UUDB through the epoch-bumping accessor.
+        fx.gw.uudb_mut().disable(&dn_str);
+        let d = fx.gw.authorize(&fx.alice.cert, "T3E", None, None, 2);
+        assert!(
+            matches!(d, AuthDecision::Refused(ref r) if r.contains("disabled")),
+            "stale cache served a disabled user: {d:?}"
+        );
+        // Re-enabling (via replace) is also seen immediately.
+        fx.gw
+            .uudb_mut()
+            .add(dn_str, UserEntry::new("alice2", "zam"));
+        let d = fx.gw.authorize(&fx.alice.cert, "T3E", None, None, 3);
+        let AuthDecision::Accepted(m) = d else {
+            panic!("{d:?}")
+        };
+        assert_eq!(m.login, "alice2");
+    }
+
+    #[test]
+    fn cache_keys_on_vsite_and_group() {
+        let mut fx = fixture();
+        let dn_str = fx.alice.cert.tbs.subject.to_string();
+        fx.gw.uudb_mut().add(
+            dn_str,
+            UserEntry::new("alice1", "zam").with_vsite_login("SP2", "ali"),
+        );
+        let a = fx
+            .gw
+            .authorize_dn(&fx.alice.cert.tbs.subject.to_string(), "T3E", None, 1);
+        let b = fx
+            .gw
+            .authorize_dn(&fx.alice.cert.tbs.subject.to_string(), "SP2", None, 2);
+        let AuthDecision::Accepted(ma) = a else {
+            panic!("{a:?}")
+        };
+        let AuthDecision::Accepted(mb) = b else {
+            panic!("{b:?}")
+        };
+        assert_eq!(ma.login, "alice1");
+        assert_eq!(mb.login, "ali");
+        // Repeat both (now cached) and confirm they stay distinct.
+        let a2 = fx.gw.authorize_dn(&ma.dn, "T3E", None, 3);
+        let b2 = fx.gw.authorize_dn(&mb.dn, "SP2", None, 4);
+        assert!(matches!(a2, AuthDecision::Accepted(m) if m.login == "alice1"));
+        assert!(matches!(b2, AuthDecision::Accepted(m) if m.login == "ali"));
     }
 
     #[test]

@@ -112,10 +112,27 @@ pub struct RecoveryReport {
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum NodeState {
     Waiting,
-    InBatch { vsite: String, batch_id: BatchJobId },
-    ChildJob { child: JobId },
+    // The vsite name is shared (`Arc<str>`) so the per-step poll scan can
+    // capture it without allocating a fresh String per poll.
+    InBatch {
+        vsite: Arc<str>,
+        batch_id: BatchJobId,
+    },
+    ChildJob {
+        child: JobId,
+    },
     Remote,
     Terminal,
+}
+
+/// One in-flight node found by the per-step state scan, captured so the
+/// polling pass can mutate `self` without re-walking the state map.
+enum PollTarget {
+    Batch {
+        vsite: Arc<str>,
+        batch_id: BatchJobId,
+    },
+    Child(JobId),
 }
 
 struct JobRuntime {
@@ -164,6 +181,17 @@ pub struct Njs {
     incarnations: u64,
     /// Durable event journal (crash recovery), when attached.
     store: Option<EventStore>,
+    /// Journalled events awaiting the next group commit. Non-consign
+    /// events buffer here and go to the backend as ONE durable write at
+    /// the end of the operation that produced them (`step`, abort,
+    /// purge, remote completion); consign flushes synchronously because
+    /// its record is the strict write-ahead one.
+    pending: Vec<StoreEvent>,
+    /// Per-step scratch (in-flight nodes to poll), kept on the NJS so
+    /// steady-state stepping allocates nothing.
+    poll_scratch: Vec<(ActionId, PollTarget)>,
+    /// Per-step scratch (nodes waiting on predecessors).
+    waiting_scratch: Vec<ActionId>,
     /// True while `recover` replays the journal, so replayed operations
     /// are not journalled a second time.
     recovering: bool,
@@ -224,6 +252,9 @@ impl Njs {
             outbox: Vec::new(),
             incarnations: 0,
             store: None,
+            pending: Vec::new(),
+            poll_scratch: Vec::new(),
+            waiting_scratch: Vec::new(),
             recovering: false,
             clock: 0,
             telemetry: Telemetry::disabled(),
@@ -369,13 +400,30 @@ impl Njs {
 
     /// Journals an event (best-effort: a dead backend means the machine
     /// is going down anyway; consign's own write is the strict one).
+    ///
+    /// The event is buffered, not written: [`Njs::flush_events`] group
+    /// commits everything an operation produced in one backend write.
+    /// A crash before the flush loses the buffered tail as a unit —
+    /// recovery then sees the same prefix a crash mid-write would leave,
+    /// and re-dispatches the in-flight work.
     fn log_event(&mut self, event: StoreEvent) {
-        if self.recovering {
+        if self.recovering || self.store.is_none() {
             return;
         }
-        if let Some(store) = &mut self.store {
-            let _ = store.append(&event);
+        self.pending.push(event);
+    }
+
+    /// Group commits every buffered event as one durable backend write.
+    /// Called at the end of each event-producing operation; best-effort
+    /// like the individual appends it replaces.
+    fn flush_events(&mut self) {
+        if self.pending.is_empty() {
+            return;
         }
+        if let Some(store) = self.store.as_mut() {
+            let _ = store.append_batch(&self.pending);
+        }
+        self.pending.clear();
     }
 
     /// Journals a node's terminal outcome plus the files it deposited.
@@ -567,16 +615,16 @@ impl Njs {
     ) -> Result<JobId, NjsError> {
         // Peer-forwarded job groups carry their staged files as portfolio;
         // stage every portfolio file into the Uspace directly (files flow
-        // along dependency edges, not via Import tasks).
+        // along dependency edges, not via Import tasks). The payloads are
+        // moved out of the AJO, not copied — one clone remains because the
+        // journal (staged) and the runtime (portfolio) each own the bytes.
         job.validate()?;
-        let staged: Vec<(String, Vec<u8>)> = job
-            .portfolio
-            .iter()
-            .map(|p| (p.name.clone(), p.data.clone()))
+        let mut job = job;
+        let staged: Vec<(String, Vec<u8>)> = std::mem::take(&mut job.portfolio)
+            .into_iter()
+            .map(|p| (p.name, p.data))
             .collect();
         let portfolio: HashMap<String, Vec<u8>> = staged.iter().cloned().collect();
-        let mut job = job;
-        job.portfolio.clear();
         self.consign_internal(job, user, Arc::new(portfolio), staged, None, now, meta)
     }
 
@@ -650,30 +698,33 @@ impl Njs {
 
         // Write-ahead: the job is only accepted once its consign record
         // is durable. A failed journal write rolls the admission back.
+        // Any events buffered by the surrounding operation ride along in
+        // the same group commit, keeping the journal in program order.
         let recovering = self.recovering;
-        if let Some(store) = self.store.as_mut() {
-            if !recovering {
-                let event = StoreEvent::JobConsigned {
-                    job: id,
-                    ajo_der: job.to_der(),
-                    user: OwnerRecord {
-                        dn: user.dn.clone(),
-                        login: user.login.clone(),
-                        account_group: user.account_group.clone(),
-                    },
-                    staged,
-                    idem_key: meta.idem_key,
-                    parent,
-                    foreign: meta.foreign,
-                    at: now,
-                };
-                if let Err(e) = store.append(&event) {
-                    if let Some(v) = self.vsites.get_mut(&job.vsite.vsite) {
-                        let _ = v.vspace.destroy_uspace(id);
-                    }
-                    self.next_job -= 1;
-                    return Err(NjsError::Store(e));
+        if let Some(store) = self.store.as_mut().filter(|_| !recovering) {
+            let event = StoreEvent::JobConsigned {
+                job: id,
+                ajo_der: job.to_der(),
+                user: OwnerRecord {
+                    dn: user.dn.clone(),
+                    login: user.login.clone(),
+                    account_group: user.account_group.clone(),
+                },
+                staged,
+                idem_key: meta.idem_key,
+                parent,
+                foreign: meta.foreign,
+                at: now,
+            };
+            self.pending.push(event);
+            let result = store.append_batch(&self.pending);
+            self.pending.clear();
+            if let Err(e) = result {
+                if let Some(v) = self.vsites.get_mut(&job.vsite.vsite) {
+                    let _ = v.vspace.destroy_uspace(id);
                 }
+                self.next_job -= 1;
+                return Err(NjsError::Store(e));
             }
         }
 
@@ -955,59 +1006,106 @@ impl Njs {
                 .advance_to(now);
         }
         // Instantaneous operations (staging, dispatch of freed nodes) can
-        // cascade; iterate to a fixpoint.
+        // cascade; iterate to a fixpoint. Each pass covers the jobs that
+        // existed when it started (children consigned mid-pass are picked
+        // up by the next pass, as before), indexed to avoid cloning the
+        // whole order every iteration.
         loop {
             let mut progressed = false;
-            let ids: Vec<JobId> = self.job_order.clone();
-            for id in ids {
+            let jobs_at_start = self.job_order.len();
+            for i in 0..jobs_at_start {
+                let id = self.job_order[i];
                 progressed |= self.step_job(id, now);
             }
             if !progressed {
                 break;
             }
         }
+        self.flush_events();
     }
 
     fn step_job(&mut self, id: JobId, now: SimTime) -> bool {
-        let Some(rt) = self.jobs.get(&id) else {
-            return false;
+        // One pass over the node states classifies everything; the common
+        // no-progress call allocates nothing (the scratch vectors keep
+        // their capacity across steps).
+        let mut poll = std::mem::take(&mut self.poll_scratch);
+        let mut waiting = std::mem::take(&mut self.waiting_scratch);
+        poll.clear();
+        waiting.clear();
+        let (held, all_terminal) = {
+            let Some(rt) = self.jobs.get(&id) else {
+                self.poll_scratch = poll;
+                self.waiting_scratch = waiting;
+                return false;
+            };
+            if rt.done {
+                self.poll_scratch = poll;
+                self.waiting_scratch = waiting;
+                return false;
+            }
+            let mut all_terminal = true;
+            for (nid, _) in &rt.job.nodes {
+                match rt.states.get(nid) {
+                    Some(NodeState::Terminal) => {}
+                    Some(NodeState::Waiting) => {
+                        waiting.push(*nid);
+                        all_terminal = false;
+                    }
+                    Some(NodeState::InBatch { vsite, batch_id }) => {
+                        poll.push((
+                            *nid,
+                            PollTarget::Batch {
+                                vsite: vsite.clone(),
+                                batch_id: *batch_id,
+                            },
+                        ));
+                        all_terminal = false;
+                    }
+                    Some(NodeState::ChildJob { child }) => {
+                        poll.push((*nid, PollTarget::Child(*child)));
+                        all_terminal = false;
+                    }
+                    Some(NodeState::Remote) | None => all_terminal = false,
+                }
+            }
+            (rt.held, all_terminal)
         };
-        if rt.done {
-            return false;
-        }
         let mut progressed = false;
 
         // 1. Poll in-flight batch tasks and children.
-        let node_ids: Vec<ActionId> = rt.job.nodes.iter().map(|(n, _)| *n).collect();
-        for nid in &node_ids {
-            let state = self.jobs[&id].states[nid].clone();
-            match state {
-                NodeState::InBatch { vsite, batch_id } => {
-                    progressed |= self.poll_batch_node(id, *nid, &vsite, batch_id);
+        for (nid, target) in poll.drain(..) {
+            match target {
+                PollTarget::Batch { vsite, batch_id } => {
+                    progressed |= self.poll_batch_node(id, nid, &vsite, batch_id);
                 }
-                NodeState::ChildJob { child } => {
-                    progressed |= self.poll_child_node(id, *nid, child);
+                PollTarget::Child(child) => {
+                    progressed |= self.poll_child_node(id, nid, child);
                 }
-                _ => {}
             }
         }
 
-        // 2. Dispatch ready nodes (unless held).
-        if !self.jobs[&id].held {
-            for nid in &node_ids {
-                if self.jobs[&id].states[nid] != NodeState::Waiting {
+        // 2. Dispatch ready nodes (unless held). States are re-read live,
+        //    so a node whose last predecessor completed in the poll above
+        //    dispatches within this same step.
+        if !held {
+            for &nid in &waiting {
+                let rt = self.jobs.get(&id).expect("job exists");
+                if rt.states.get(&nid) != Some(&NodeState::Waiting) {
                     continue;
                 }
-                let preds = self.jobs[&id].job.predecessors(*nid);
-                let all_terminal = preds
-                    .iter()
-                    .all(|p| self.jobs[&id].states[p] == NodeState::Terminal);
-                if !all_terminal {
+                let preds = rt.job.predecessors(nid);
+                let mut ready = true;
+                let mut any_failed = false;
+                for p in &preds {
+                    if rt.states.get(p) != Some(&NodeState::Terminal) {
+                        ready = false;
+                        break;
+                    }
+                    any_failed |= !rt.node_status(*p).is_success();
+                }
+                if !ready {
                     continue;
                 }
-                let any_failed = preds
-                    .iter()
-                    .any(|p| !self.jobs[&id].node_status(*p).is_success());
                 if any_failed {
                     self.flight.record(
                         id.0,
@@ -1016,8 +1114,8 @@ impl Njs {
                         format!("node {}: predecessor failed", nid.0),
                     );
                     let rt = self.jobs.get_mut(&id).expect("job exists");
-                    rt.states.insert(*nid, NodeState::Terminal);
-                    match rt.outcome.child_mut(*nid) {
+                    rt.states.insert(nid, NodeState::Terminal);
+                    match rt.outcome.child_mut(nid) {
                         Some(OutcomeNode::Task(t)) => {
                             t.status = ActionStatus::Killed;
                             t.message = "predecessor failed".into();
@@ -1026,31 +1124,39 @@ impl Njs {
                         Some(OutcomeNode::Job(j)) => j.status = ActionStatus::Killed,
                         None => {}
                     }
-                    self.log_terminal(id, *nid, Vec::new());
+                    self.log_terminal(id, nid, Vec::new());
                     progressed = true;
                 } else {
-                    progressed |= self.dispatch_node(id, *nid, now);
+                    progressed |= self.dispatch_node(id, nid, now);
                 }
             }
         }
+        waiting.clear();
+        self.poll_scratch = poll;
+        self.waiting_scratch = waiting;
 
-        // 3. Completion check.
-        let rt = self.jobs.get_mut(&id).expect("job exists");
-        rt.outcome.aggregate_status();
-        let finished = !rt.done && rt.states.values().all(|s| *s == NodeState::Terminal);
-        if finished {
-            rt.done = true;
-            rt.finished_at = Some(now);
-            let consigned_at = rt.consigned_at;
-            let span = rt.span.take();
-            progressed = true;
-            self.log_job_done(id);
-            self.metrics.completed.inc();
-            self.metrics
-                .duration_us
-                .record(now.saturating_sub(consigned_at));
-            if let Some(span) = span {
-                self.telemetry.end(span, now);
+        // 3. Completion check — only when something changed this step or
+        //    every node was already terminal (a node finished externally,
+        //    e.g. a remote completion, between steps); an idle job's
+        //    aggregate cannot have changed.
+        if progressed || all_terminal {
+            let rt = self.jobs.get_mut(&id).expect("job exists");
+            rt.outcome.aggregate_status();
+            let finished = !rt.done && rt.states.values().all(|s| *s == NodeState::Terminal);
+            if finished {
+                rt.done = true;
+                rt.finished_at = Some(now);
+                let consigned_at = rt.consigned_at;
+                let span = rt.span.take();
+                progressed = true;
+                self.log_job_done(id);
+                self.metrics.completed.inc();
+                self.metrics
+                    .duration_us
+                    .record(now.saturating_sub(consigned_at));
+                if let Some(span) = span {
+                    self.telemetry.end(span, now);
+                }
             }
         }
         progressed
@@ -1063,26 +1169,43 @@ impl Njs {
         vsite: &str,
         batch_id: BatchJobId,
     ) -> bool {
-        let (status, acct) = {
-            let v = self.vsites.get(vsite).expect("known vsite");
-            (
-                v.batch.status(batch_id).cloned(),
-                v.batch.accounting_for(batch_id).cloned(),
-            )
+        // The overwhelmingly common poll sees a still-queued or running
+        // batch job and changes nothing; classify by reference first so
+        // that path clones neither status, accounting, nor telemetry.
+        enum Seen {
+            Queued,
+            Running,
+            Completed,
+            Cancelled,
+            Gone,
+        }
+        let seen = match self
+            .vsites
+            .get(vsite)
+            .expect("known vsite")
+            .batch
+            .status(batch_id)
+        {
+            Some(BatchStatus::Queued) | Some(BatchStatus::Held) => Seen::Queued,
+            Some(BatchStatus::Running { .. }) => Seen::Running,
+            Some(BatchStatus::Completed(_)) => Seen::Completed,
+            Some(BatchStatus::Cancelled) => Seen::Cancelled,
+            None => Seen::Gone,
         };
-        let tel = self.telemetry.clone();
-        let rt = self.jobs.get_mut(&job).expect("job exists");
-        match status {
-            Some(BatchStatus::Queued) | Some(BatchStatus::Held) => {
+        match seen {
+            Seen::Gone => return false,
+            Seen::Queued => {
+                let rt = self.jobs.get_mut(&job).expect("job exists");
                 if rt.node_status(node) != ActionStatus::Queued {
                     if let Some(OutcomeNode::Task(t)) = rt.outcome.child_mut(node) {
                         t.status = ActionStatus::Queued;
                         return true;
                     }
                 }
-                false
+                return false;
             }
-            Some(BatchStatus::Running { .. }) => {
+            Seen::Running => {
+                let rt = self.jobs.get_mut(&job).expect("job exists");
                 if rt.node_status(node) != ActionStatus::Running {
                     if let Some(OutcomeNode::Task(t)) = rt.outcome.child_mut(node) {
                         t.status = ActionStatus::Running;
@@ -1095,8 +1218,23 @@ impl Njs {
                         return true;
                     }
                 }
-                false
+                return false;
             }
+            Seen::Completed | Seen::Cancelled => {}
+        }
+        let (status, acct) = {
+            let v = self.vsites.get(vsite).expect("known vsite");
+            (
+                v.batch.status(batch_id).cloned(),
+                v.batch.accounting_for(batch_id).cloned(),
+            )
+        };
+        let tel = self.telemetry.clone();
+        let rt = self.jobs.get_mut(&job).expect("job exists");
+        match status {
+            Some(BatchStatus::Queued)
+            | Some(BatchStatus::Held)
+            | Some(BatchStatus::Running { .. }) => false,
             Some(BatchStatus::Completed(c)) => {
                 // Retroactive spans from the accounting record: the batch
                 // tier is clock-passive, so queue wait and run time are
@@ -1327,7 +1465,7 @@ impl Njs {
                             rt.states.insert(
                                 node,
                                 NodeState::InBatch {
-                                    vsite: vsite_name,
+                                    vsite: vsite_name.into(),
                                     batch_id,
                                 },
                             );
@@ -1719,6 +1857,10 @@ impl Njs {
             *slot = outcome;
         }
         rt.states.insert(node, NodeState::Terminal);
+        // Re-aggregate eagerly: `step` only re-aggregates jobs that make
+        // progress, so an externally completed node must fold its status
+        // into the tree here for clients polling before the next step.
+        rt.outcome.aggregate_status();
         let (vsite, login) = (rt.job.vsite.vsite.clone(), rt.user.login.clone());
         if let Some(v) = self.vsites.get_mut(&vsite) {
             for (name, data) in &files {
@@ -1726,6 +1868,7 @@ impl Njs {
             }
         }
         self.log_terminal(job, node, files);
+        self.flush_events();
     }
 
     /// Reads edge-result files from a (foreign) job's Uspace for return to
@@ -1841,7 +1984,7 @@ impl Njs {
             match state {
                 NodeState::InBatch { vsite, batch_id } => {
                     self.vsites
-                        .get_mut(&vsite)
+                        .get_mut(vsite.as_ref())
                         .expect("known vsite")
                         .batch
                         .cancel(batch_id, now);
@@ -1891,6 +2034,7 @@ impl Njs {
         rt.finished_at = Some(now);
         self.clock = self.clock.max(now);
         self.log_job_done(job);
+        self.flush_events();
         true
     }
 
@@ -1962,6 +2106,7 @@ impl Njs {
                 });
             }
         }
+        self.flush_events();
         Ok(freed)
     }
 

@@ -22,10 +22,17 @@ pub const RECORD_HEADER_LEN: usize = 8;
 /// Frames `payload` as one WAL record.
 pub fn encode_record(payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
+    encode_record_into(payload, &mut out);
+    out
+}
+
+/// Frames `payload` appending to `out` — a group-committed batch
+/// accumulates all its frames in one buffer for one backend write.
+pub fn encode_record_into(payload: &[u8], out: &mut Vec<u8>) {
+    out.reserve(RECORD_HEADER_LEN + payload.len());
     out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
     out.extend_from_slice(&crc32(payload).to_be_bytes());
     out.extend_from_slice(payload);
-    out
 }
 
 /// What decoding one record frame yielded.

@@ -22,6 +22,8 @@ pub struct SecureChannel {
     closed: bool,
     sealed: Counter,
     opened: Counter,
+    /// Scratch for outgoing records: one buffer serves every send.
+    seal_buf: Vec<u8>,
 }
 
 impl SecureChannel {
@@ -45,6 +47,7 @@ impl SecureChannel {
             closed: false,
             sealed: Counter::detached(),
             opened: Counter::detached(),
+            seal_buf: Vec::new(),
         }
     }
 
@@ -76,26 +79,39 @@ impl SecureChannel {
         if self.closed {
             return Err(TransportError::Closed);
         }
-        let record = self.tx.seal(RecordType::Data, data);
+        self.tx
+            .seal_into(RecordType::Data, data, &mut self.seal_buf);
         self.sealed.inc();
-        self.wire.send(&record)?;
+        self.wire.send(&self.seal_buf)?;
         Ok(())
     }
 
     /// Receives an application message, waiting up to `timeout`.
     pub fn recv(&mut self, timeout: Duration) -> Result<Vec<u8>, TransportError> {
+        let mut buf = Vec::new();
+        self.recv_into(timeout, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// [`recv`](Self::recv) into a caller-owned buffer (cleared first) —
+    /// loops receiving many messages amortise one allocation.
+    pub fn recv_into(
+        &mut self,
+        timeout: Duration,
+        buf: &mut Vec<u8>,
+    ) -> Result<(), TransportError> {
         if self.closed {
             return Err(TransportError::Closed);
         }
         let raw = self.wire.recv_timeout(timeout)?;
-        let (rtype, plain) = self.rx.open(&raw)?;
+        let rtype = self.rx.open_into(&raw, buf)?;
         self.opened.inc();
         match rtype {
-            RecordType::Data => Ok(plain),
+            RecordType::Data => Ok(()),
             RecordType::Alert => {
                 self.closed = true;
                 Err(TransportError::PeerAlert(
-                    String::from_utf8_lossy(&plain).into_owned(),
+                    String::from_utf8_lossy(buf).into_owned(),
                 ))
             }
             RecordType::Handshake => Err(TransportError::Protocol("handshake after establishment")),
@@ -105,8 +121,9 @@ impl SecureChannel {
     /// Closes the channel, notifying the peer with an alert.
     pub fn close(&mut self) {
         if !self.closed {
-            let record = self.tx.seal(RecordType::Alert, b"close");
-            let _ = self.wire.send(&record);
+            self.tx
+                .seal_into(RecordType::Alert, b"close", &mut self.seal_buf);
+            let _ = self.wire.send(&self.seal_buf);
             self.closed = true;
         }
     }
@@ -122,9 +139,10 @@ impl SecureChannel {
     }
 
     pub(crate) fn send_handshake(&mut self, data: &[u8]) -> Result<(), TransportError> {
-        let record = self.tx.seal(RecordType::Handshake, data);
+        self.tx
+            .seal_into(RecordType::Handshake, data, &mut self.seal_buf);
         self.sealed.inc();
-        self.wire.send(&record)?;
+        self.wire.send(&self.seal_buf)?;
         Ok(())
     }
 

@@ -54,7 +54,10 @@ pub const HEADER_LEN: usize = 9;
 /// One direction's record protection state.
 pub struct RecordKeys {
     enc_key: [u8; KEY_LEN],
-    mac_key: [u8; KEY_LEN],
+    /// HMAC context already keyed with the direction's MAC key: sealing
+    /// and opening clone this instead of re-deriving the padded key
+    /// blocks for every record.
+    mac_state: HmacSha256,
     nonce_base: [u8; NONCE_LEN],
     seq: u64,
 }
@@ -67,14 +70,13 @@ impl RecordKeys {
         let prk = hkdf_extract(b"unicore-record", master);
         let material = hkdf_expand(&prk, label.as_bytes(), KEY_LEN * 2 + NONCE_LEN);
         let mut enc_key = [0u8; KEY_LEN];
-        let mut mac_key = [0u8; KEY_LEN];
         let mut nonce_base = [0u8; NONCE_LEN];
         enc_key.copy_from_slice(&material[..KEY_LEN]);
-        mac_key.copy_from_slice(&material[KEY_LEN..KEY_LEN * 2]);
+        let mac_state = HmacSha256::new(&material[KEY_LEN..KEY_LEN * 2]);
         nonce_base.copy_from_slice(&material[KEY_LEN * 2..]);
         RecordKeys {
             enc_key,
-            mac_key,
+            mac_state,
             nonce_base,
             seq: 0,
         }
@@ -97,25 +99,46 @@ impl RecordKeys {
 
     /// Protects a plaintext into a wire record, consuming a sequence number.
     pub fn seal(&mut self, rtype: RecordType, plaintext: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.seal_into(rtype, plaintext, &mut out);
+        out
+    }
+
+    /// [`seal`](Self::seal) into a caller-owned buffer (cleared first):
+    /// a channel sending many records amortises one allocation, and the
+    /// ciphertext is produced in place rather than in a temporary.
+    pub fn seal_into(&mut self, rtype: RecordType, plaintext: &[u8], out: &mut Vec<u8>) {
         let seq = self.seq;
         self.seq += 1;
-        let nonce = self.nonce_for(seq);
-        let mut cipher = ChaCha20::new(&self.enc_key, &nonce, 0);
-        let ciphertext = cipher.apply_copy(plaintext);
-
-        let mut out = Vec::with_capacity(HEADER_LEN + ciphertext.len() + MAC_LEN);
+        out.clear();
+        out.reserve(HEADER_LEN + plaintext.len() + MAC_LEN);
         out.push(rtype.to_byte());
         out.extend_from_slice(&seq.to_be_bytes());
-        out.extend_from_slice(&ciphertext);
+        out.extend_from_slice(plaintext);
 
-        let mut mac = HmacSha256::new(&self.mac_key);
-        mac.update(&out[..HEADER_LEN + ciphertext.len()]);
-        out.extend_from_slice(&mac.finalize());
-        out
+        let nonce = self.nonce_for(seq);
+        let mut cipher = ChaCha20::new(&self.enc_key, &nonce, 0);
+        cipher.apply(&mut out[HEADER_LEN..]);
+
+        let mut mac = self.mac_state.clone();
+        mac.update(&out[..HEADER_LEN + plaintext.len()]);
+        let tag = mac.finalize();
+        out.extend_from_slice(&tag);
     }
 
     /// Opens a wire record, enforcing sequence continuity and the MAC.
     pub fn open(&mut self, record: &[u8]) -> Result<(RecordType, Vec<u8>), TransportError> {
+        let mut out = Vec::new();
+        let rtype = self.open_into(record, &mut out)?;
+        Ok((rtype, out))
+    }
+
+    /// [`open`](Self::open) into a caller-owned buffer (cleared first).
+    pub fn open_into(
+        &mut self,
+        record: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<RecordType, TransportError> {
         if record.len() < HEADER_LEN + MAC_LEN {
             return Err(TransportError::Protocol("record too short"));
         }
@@ -127,7 +150,7 @@ impl RecordKeys {
             return Err(TransportError::Protocol("sequence gap (replay or loss)"));
         }
         let body_end = record.len() - MAC_LEN;
-        let mut mac = HmacSha256::new(&self.mac_key);
+        let mut mac = self.mac_state.clone();
         mac.update(&record[..body_end]);
         let expected = mac.finalize();
         if !ct_eq(&expected, &record[body_end..]) {
@@ -136,8 +159,10 @@ impl RecordKeys {
         self.seq += 1;
         let nonce = self.nonce_for(seq);
         let mut cipher = ChaCha20::new(&self.enc_key, &nonce, 0);
-        let plaintext = cipher.apply_copy(&record[HEADER_LEN..body_end]);
-        Ok((rtype, plaintext))
+        out.clear();
+        out.extend_from_slice(&record[HEADER_LEN..body_end]);
+        cipher.apply(out);
+        Ok(rtype)
     }
 }
 
@@ -229,6 +254,21 @@ mod tests {
         let (rtype, plain) = rx.open(&rec).unwrap();
         assert_eq!(rtype, RecordType::Handshake);
         assert!(plain.is_empty());
+    }
+
+    #[test]
+    fn reused_buffers_are_byte_identical() {
+        let (mut tx, mut rx) = pair();
+        let (mut tx2, _) = pair();
+        let mut sealed = vec![0xee; 7]; // dirty scratch
+        let mut opened = vec![0xee; 7];
+        for msg in [&b"first"[..], b"", b"third message"] {
+            tx.seal_into(RecordType::Data, msg, &mut sealed);
+            assert_eq!(sealed, tx2.seal(RecordType::Data, msg));
+            let rtype = rx.open_into(&sealed, &mut opened).unwrap();
+            assert_eq!(rtype, RecordType::Data);
+            assert_eq!(opened, msg);
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Session caching for abbreviated (resumed) handshakes.
 
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use unicore_certs::Certificate;
 
 /// A cached session: master secret plus the authenticated peer.
@@ -27,7 +27,37 @@ pub struct SessionCache {
 struct Inner {
     by_id: HashMap<Vec<u8>, CachedSession>,
     by_peer: HashMap<String, Vec<u8>>,
-    order: Vec<Vec<u8>>,
+    /// Reverse of `by_peer`, so eviction needs no scan over all peers.
+    peer_of: HashMap<Vec<u8>, String>,
+    /// FIFO eviction order. Invalidated ids stay queued (lazy deletion)
+    /// and are skipped when they reach the front; `compact` bounds the
+    /// stale backlog.
+    order: VecDeque<Vec<u8>>,
+}
+
+impl Inner {
+    fn evict_oldest(&mut self) {
+        while let Some(oldest) = self.order.pop_front() {
+            if self.by_id.remove(&oldest).is_none() {
+                continue; // stale entry from an invalidate
+            }
+            if let Some(peer) = self.peer_of.remove(&oldest) {
+                if self.by_peer.get(&peer).is_some_and(|id| *id == oldest) {
+                    self.by_peer.remove(&peer);
+                }
+            }
+            return;
+        }
+    }
+
+    /// Drops stale queue entries once they outnumber live sessions —
+    /// amortised O(1) per cache operation.
+    fn compact(&mut self) {
+        if self.order.len() > self.by_id.len().max(1) * 2 {
+            let by_id = &self.by_id;
+            self.order.retain(|id| by_id.contains_key(id));
+        }
+    }
 }
 
 impl SessionCache {
@@ -37,7 +67,8 @@ impl SessionCache {
             inner: Mutex::new(Inner {
                 by_id: HashMap::new(),
                 by_peer: HashMap::new(),
-                order: Vec::new(),
+                peer_of: HashMap::new(),
+                order: VecDeque::new(),
             }),
             capacity: capacity.max(1),
         }
@@ -47,18 +78,20 @@ impl SessionCache {
     pub fn store(&self, peer_name: &str, session: CachedSession) {
         let mut inner = self.inner.lock();
         if inner.by_id.len() >= self.capacity && !inner.by_id.contains_key(&session.session_id) {
-            if let Some(oldest) = inner.order.first().cloned() {
-                inner.order.remove(0);
-                inner.by_id.remove(&oldest);
-                inner.by_peer.retain(|_, id| id != &oldest);
-            }
+            inner.evict_oldest();
         }
         let id = session.session_id.clone();
         if !inner.by_id.contains_key(&id) {
-            inner.order.push(id.clone());
+            inner.order.push_back(id.clone());
         }
-        inner.by_peer.insert(peer_name.to_owned(), id.clone());
+        if let Some(old) = inner.by_peer.insert(peer_name.to_owned(), id.clone()) {
+            if old != id {
+                inner.peer_of.remove(&old);
+            }
+        }
+        inner.peer_of.insert(id.clone(), peer_name.to_owned());
         inner.by_id.insert(id, session);
+        inner.compact();
     }
 
     /// Server-side lookup by session id.
@@ -73,12 +106,21 @@ impl SessionCache {
         inner.by_id.get(id).cloned()
     }
 
-    /// Removes a session (e.g. after it fails to resume).
+    /// Removes a session (e.g. after it fails to resume). The queue slot
+    /// is reclaimed lazily by eviction or `compact`.
     pub fn invalidate(&self, session_id: &[u8]) {
         let mut inner = self.inner.lock();
         inner.by_id.remove(session_id);
-        inner.by_peer.retain(|_, id| id.as_slice() != session_id);
-        inner.order.retain(|id| id.as_slice() != session_id);
+        if let Some(peer) = inner.peer_of.remove(session_id) {
+            if inner
+                .by_peer
+                .get(&peer)
+                .is_some_and(|id| id.as_slice() == session_id)
+            {
+                inner.by_peer.remove(&peer);
+            }
+        }
+        inner.compact();
     }
 
     /// Number of cached sessions.
@@ -154,6 +196,34 @@ mod tests {
         assert_eq!(cache.len(), 2);
         // Peer mapping to the evicted session is gone too.
         assert!(cache.lookup_peer("a").is_none());
+    }
+
+    #[test]
+    fn invalidated_slots_are_skipped_on_eviction() {
+        let cache = SessionCache::new(2);
+        cache.store("a", session(1));
+        cache.store("b", session(2));
+        cache.invalidate(&[1]);
+        cache.store("c", session(3));
+        cache.store("d", session(4)); // must evict 2 (oldest live), not 3
+        assert!(cache.lookup_id(&[2]).is_none());
+        assert!(cache.lookup_id(&[3]).is_some());
+        assert!(cache.lookup_id(&[4]).is_some());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup_peer("b").is_none());
+    }
+
+    #[test]
+    fn store_invalidate_churn_stays_consistent() {
+        let cache = SessionCache::new(2);
+        for i in 0..200u8 {
+            cache.store("p", session(i));
+            cache.invalidate(&[i]);
+        }
+        assert!(cache.is_empty());
+        assert!(cache.lookup_peer("p").is_none());
+        cache.store("p", session(201));
+        assert_eq!(cache.lookup_peer("p").unwrap().session_id, vec![201]);
     }
 
     #[test]

@@ -46,8 +46,10 @@ pub fn recv_stream(chan: &mut SecureChannel, timeout: Duration) -> Result<Vec<u8
 
     let mut out = Vec::with_capacity(total.min(1 << 30));
     let mut hasher = Sha256::new();
+    // One chunk buffer reused across the whole stream.
+    let mut chunk = Vec::new();
     while out.len() < total {
-        let chunk = chan.recv(timeout)?;
+        chan.recv_into(timeout, &mut chunk)?;
         if out.len() + chunk.len() > total {
             return Err(TransportError::Protocol("stream overran announced length"));
         }
