@@ -29,6 +29,16 @@ cargo test -q --offline -p unicore --test prop_protocol
 echo "==> codec single-pass/recursive DER equivalence"
 cargo test -q --offline -p unicore-codec --test prop_encode_equiv
 
+echo "==> chaos soak suite (seeds 1, 7, 23 x every fault class)"
+cargo test -q --offline -p unicore-integration-tests --test chaos
+
+echo "==> peer-consign idempotency proptests"
+cargo test -q --offline -p unicore --test prop_peer_consign
+
+echo "==> retry-counter gate (telemetry must account for every retry)"
+cargo test -q --offline -p unicore --test federation_tests backoff_bounds_time_to_unreachable_verdict
+cargo test -q --offline -p unicore --test federation_tests dead_peer_is_quarantined_then_probed_back_in
+
 echo "==> benches compile"
 cargo bench --offline --no-run
 

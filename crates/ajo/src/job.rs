@@ -115,6 +115,14 @@ impl AbstractJob {
             .collect()
     }
 
+    /// Precomputes the predecessor adjacency for this level, so hot
+    /// dependency checks borrow slices instead of allocating a `Vec`
+    /// per call (the NJS step loop asks for predecessors once per
+    /// waiting node per step).
+    pub fn dependency_index(&self) -> DependencyIndex {
+        DependencyIndex::build(self)
+    }
+
     /// The files promised along the `from → to` edge.
     pub fn edge_files(&self, from: ActionId, to: ActionId) -> &[String] {
         self.dependencies
@@ -268,6 +276,76 @@ impl AbstractJob {
             }
         }
         out
+    }
+}
+
+/// Precomputed predecessor adjacency for one job level.
+///
+/// [`AbstractJob::predecessors`] scans every dependency edge and collects
+/// into a fresh `Vec` on each call; the NJS dependency check does that per
+/// waiting node per step. This index pays the scan once at consign time
+/// and afterwards answers from a flattened CSR-style layout: all
+/// predecessor lists live in one `Vec`, sliced per node.
+///
+/// Orderings are identical to the allocating paths: predecessors appear
+/// in dependency-declaration order, ready sets in node-declaration order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DependencyIndex {
+    /// Node ids in declaration order; `offsets[i]..offsets[i+1]` slices
+    /// `preds` for `ids[i]`.
+    ids: Vec<ActionId>,
+    offsets: Vec<usize>,
+    preds: Vec<ActionId>,
+}
+
+impl DependencyIndex {
+    /// Builds the index for one level of `job`.
+    pub fn build(job: &AbstractJob) -> Self {
+        let ids: Vec<ActionId> = job.nodes.iter().map(|(id, _)| *id).collect();
+        let mut buckets: Vec<Vec<ActionId>> = vec![Vec::new(); ids.len()];
+        for dep in &job.dependencies {
+            if let Some(i) = ids.iter().position(|&id| id == dep.to) {
+                buckets[i].push(dep.from);
+            }
+        }
+        let mut offsets = Vec::with_capacity(ids.len() + 1);
+        let mut preds = Vec::new();
+        offsets.push(0);
+        for bucket in buckets {
+            preds.extend(bucket);
+            offsets.push(preds.len());
+        }
+        DependencyIndex {
+            ids,
+            offsets,
+            preds,
+        }
+    }
+
+    /// Direct predecessors of `id`, in dependency-declaration order —
+    /// the same sequence [`AbstractJob::predecessors`] returns, without
+    /// the allocation. Unknown ids have no predecessors.
+    pub fn predecessors(&self, id: ActionId) -> &[ActionId] {
+        match self.ids.iter().position(|&n| n == id) {
+            Some(i) => &self.preds[self.offsets[i]..self.offsets[i + 1]],
+            None => &[],
+        }
+    }
+
+    /// Ids of nodes with no unfinished predecessors, in node-declaration
+    /// order — identical to [`AbstractJob::ready_nodes`].
+    pub fn ready_nodes(&self, done: &HashSet<ActionId>) -> Vec<ActionId> {
+        self.ids
+            .iter()
+            .enumerate()
+            .filter(|(_, id)| !done.contains(id))
+            .filter(|(i, _)| {
+                self.preds[self.offsets[*i]..self.offsets[i + 1]]
+                    .iter()
+                    .all(|p| done.contains(p))
+            })
+            .map(|(_, id)| *id)
+            .collect()
     }
 }
 
@@ -454,6 +532,58 @@ mod tests {
         done.insert(ActionId(2));
         done.insert(ActionId(3));
         assert!(job.ready_nodes(&done).is_empty());
+    }
+
+    /// A non-trivial DAG: a diamond with an extra fan and reversed
+    /// declaration orders, so ordering differences between the scanning
+    /// and the precomputed paths would show.
+    fn diamond_fan_job() -> AbstractJob {
+        let mut job = AbstractJob::new("diamond", VsiteAddress::new("FZJ", "T3E"), user());
+        for id in [4u64, 1, 3, 2, 5] {
+            job.nodes
+                .push((ActionId(id), script_task(&format!("n{id}"))));
+        }
+        for (from, to) in [(1, 2), (1, 3), (3, 4), (2, 4), (4, 5), (1, 5)] {
+            job.dependencies.push(Dependency {
+                from: ActionId(from),
+                to: ActionId(to),
+                files: vec![],
+            });
+        }
+        job
+    }
+
+    #[test]
+    fn dependency_index_matches_scanning_predecessors() {
+        let job = diamond_fan_job();
+        let index = job.dependency_index();
+        for (id, _) in &job.nodes {
+            assert_eq!(
+                index.predecessors(*id),
+                job.predecessors(*id).as_slice(),
+                "predecessor order diverged for node {id:?}"
+            );
+        }
+        assert!(index.predecessors(ActionId(99)).is_empty());
+    }
+
+    #[test]
+    fn dependency_index_pins_ready_set_ordering() {
+        // The ready set must come back in the same order at every stage
+        // of execution, so swapping the NJS onto the index cannot change
+        // dispatch order.
+        let job = diamond_fan_job();
+        let index = job.dependency_index();
+        let mut done = HashSet::new();
+        for step in job.topological_order().unwrap() {
+            assert_eq!(
+                index.ready_nodes(&done),
+                job.ready_nodes(&done),
+                "ready-set order diverged with done = {done:?}"
+            );
+            done.insert(step);
+        }
+        assert!(index.ready_nodes(&done).is_empty());
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod task;
 
 pub use error::AjoError;
 pub use ids::{ActionId, JobId, UserAttributes, VsiteAddress};
-pub use job::{AbstractJob, Dependency, GraphNode, PortfolioFile};
+pub use job::{AbstractJob, Dependency, DependencyIndex, GraphNode, PortfolioFile};
 pub use outcome::{
     ActionStatus, JobOutcome, JobSummary, MonitorReport, OutcomeNode, ServiceOutcome, StatusColor,
     TaskOutcome, VsiteHealth,

@@ -130,7 +130,7 @@ fn min_of_3(seed: u64) -> Duration {
     (0..3).map(|_| run_burst(seed)).min().unwrap()
 }
 
-fn print_tables() {
+fn print_tables() -> BenchReport {
     println!("\n=== E12: consign fast-path throughput ===\n");
 
     let mut total = Duration::ZERO;
@@ -179,10 +179,7 @@ fn print_tables() {
     } else {
         println!("  (baseline capture run: no pre-PR numbers pinned yet)\n");
     }
-    match report.write() {
-        Ok(path) => println!("machine-readable results: {}", path.display()),
-        Err(e) => eprintln!("could not write bench report: {e}"),
-    }
+    report
 }
 
 fn benches(c: &mut Criterion) {
@@ -247,8 +244,22 @@ fn benches(c: &mut Criterion) {
 }
 
 fn main() {
-    print_tables();
+    let mut report = print_tables();
     let mut c = Criterion::default().configure_from_args();
     benches(&mut c);
     c.final_summary();
+    // Copy each micro benchmark's min/p50/p99 into the JSON report, so
+    // the machine-readable results carry tail latency, not just the
+    // min-of-N headline.
+    for s in criterion::take_recorded() {
+        let key = s.name.replace('/', ".");
+        report
+            .metric(&format!("{key}.min_us"), s.min * 1e6)
+            .metric(&format!("{key}.p50_us"), s.p50 * 1e6)
+            .metric(&format!("{key}.p99_us"), s.p99 * 1e6);
+    }
+    match report.write() {
+        Ok(path) => println!("machine-readable results: {}", path.display()),
+        Err(e) => eprintln!("could not write bench report: {e}"),
+    }
 }

@@ -1,0 +1,171 @@
+//! E13 — federation under chaos: the cost of surviving faults.
+//!
+//! The reliability layer (sequence numbers, acks, capped backoff,
+//! quarantine) exists so a faulty network delays the grid instead of
+//! corrupting it. This bench quantifies the "delays" half: it drives the
+//! same multi-site job through the six-site federation fault-free and
+//! under each fault class of the seeded [`FaultPlan`], reporting the
+//! grid-time to completion, the retry volume, and the wall-clock cost of
+//! simulating each regime (min/p50/p99 from the criterion shim, copied
+//! into the JSON report).
+//!
+//! Outcome *correctness* under the same plans is pinned by the chaos
+//! soak suite (`tests/chaos.rs`); this bench only measures overhead.
+
+use criterion::Criterion;
+use std::hint::black_box;
+use unicore::{Federation, FederationConfig};
+use unicore_ajo::{
+    AbstractJob, AbstractTask, ActionId, Dependency, ExecuteKind, GraphNode, ResourceRequest,
+    TaskKind, UserAttributes, VsiteAddress,
+};
+use unicore_bench::{BenchReport, BENCH_DN};
+use unicore_sim::{SimTime, HOUR, MINUTE, SEC};
+use unicore_simnet::FaultPlan;
+
+/// The measured workload: a three-site job (main at FZJ, prep sub-AJO at
+/// RUS, post sub-AJO at DWD) with files on both edges — every fault
+/// class gets wire traffic to chew on.
+fn job() -> AbstractJob {
+    fn script(id: u64, name: &str, script: &str) -> (ActionId, GraphNode) {
+        (
+            ActionId(id),
+            GraphNode::Task(AbstractTask {
+                name: name.into(),
+                resources: ResourceRequest::minimal().with_run_time(3_600),
+                kind: TaskKind::Execute(ExecuteKind::Script {
+                    script: script.into(),
+                }),
+            }),
+        )
+    }
+    let attrs = UserAttributes::new(BENCH_DN, "users");
+    let mut prep = AbstractJob::new("prep", VsiteAddress::new("RUS", "VPP"), attrs.clone());
+    prep.nodes
+        .push(script(1, "pre", "sleep 10\nproduce grid.dat 2048\n"));
+    let mut post = AbstractJob::new("post", VsiteAddress::new("DWD", "SX4"), attrs.clone());
+    post.nodes.push(script(1, "vis", "sleep 5\n"));
+    let mut main = AbstractJob::new("3site", VsiteAddress::new("FZJ", "T3E"), attrs);
+    main.nodes.push((ActionId(1), GraphNode::SubJob(prep)));
+    main.nodes
+        .push(script(2, "main", "sleep 60\nproduce fields.dat 4096\n"));
+    main.nodes.push((ActionId(3), GraphNode::SubJob(post)));
+    main.dependencies.push(Dependency {
+        from: ActionId(1),
+        to: ActionId(2),
+        files: vec!["grid.dat".into()],
+    });
+    main.dependencies.push(Dependency {
+        from: ActionId(2),
+        to: ActionId(3),
+        files: vec!["fields.dat".into()],
+    });
+    main
+}
+
+/// One measured run: grid-time to the terminal outcome, retries spent,
+/// duplicates/reorders absorbed.
+fn run(seed: u64, plan: Option<&FaultPlan>) -> (SimTime, u64, (u64, u64)) {
+    let mut fed = Federation::german_deployment(FederationConfig {
+        seed,
+        ..FederationConfig::default()
+    });
+    fed.register_user(BENCH_DN, "bench");
+    fed.attach_stores();
+    if let Some(plan) = plan {
+        fed.apply_fault_plan(plan);
+    }
+    let (_, outcome, done_at) = fed
+        .submit_and_wait("FZJ", job(), BENCH_DN, 5 * SEC, 2 * HOUR)
+        .expect("job must terminate");
+    assert!(outcome.status.is_success(), "{outcome:?}");
+    (done_at, fed.retries, fed.seq_stats())
+}
+
+/// The fault regimes the bench sweeps. Windows are transient (they heal
+/// well inside the retry budget) so every run completes successfully.
+fn regimes() -> Vec<(&'static str, Option<FaultPlan>)> {
+    vec![
+        ("fault_free", None),
+        (
+            "drop25",
+            Some(FaultPlan::new(0xE13).drop_everywhere(0.25, 0, SimTime::MAX)),
+        ),
+        (
+            "duplicate35",
+            Some(FaultPlan::new(0xE13).duplicate_everywhere(0.35, 0, SimTime::MAX)),
+        ),
+        (
+            "reorder35",
+            Some(FaultPlan::new(0xE13).reorder_everywhere(0.35, 2 * SEC, 0, SimTime::MAX)),
+        ),
+        (
+            "partition90s",
+            Some(FaultPlan::new(0xE13).partition("RUS", 10 * SEC, 100 * SEC)),
+        ),
+        (
+            "crash_restart",
+            Some(FaultPlan::new(0xE13).crash_restart("FZJ", 40 * SEC, 2 * MINUTE)),
+        ),
+    ]
+}
+
+fn print_tables() -> BenchReport {
+    println!("\n=== E13: federation under chaos ===\n");
+    let mut report = BenchReport::new("e13_chaos");
+    report.note(
+        "workload",
+        "three-site job (FZJ main, RUS prep, DWD post) on the six-site deployment, WAL attached",
+    );
+
+    let (base_done, _, _) = run(1, None);
+    println!("regime         grid-time   overhead   retries   dup/reorder absorbed");
+    for (name, plan) in regimes() {
+        let (done_at, retries, (dups, reorders)) = run(1, plan.as_ref());
+        let overhead = done_at.saturating_sub(base_done);
+        println!(
+            "{name:<14} {:>7.1} s  {:>+7.1} s  {retries:>7}   {dups}/{reorders}",
+            done_at as f64 / SEC as f64,
+            overhead as f64 / SEC as f64,
+        );
+        report
+            .metric(&format!("{name}.grid_time_s"), done_at as f64 / SEC as f64)
+            .metric(&format!("{name}.overhead_s"), overhead as f64 / SEC as f64)
+            .metric(&format!("{name}.retries"), retries as f64)
+            .metric(&format!("{name}.duplicates_absorbed"), dups as f64)
+            .metric(&format!("{name}.reorders_absorbed"), reorders as f64);
+    }
+    println!();
+    report
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_chaos");
+    group.sample_size(10);
+    for (name, plan) in regimes() {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(run(1, plan.as_ref())));
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut report = print_tables();
+    let mut c = Criterion::default().configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+    // Wall-clock percentiles of simulating each regime, from the shim's
+    // per-sample records.
+    for s in criterion::take_recorded() {
+        let key = s.name.replace('/', ".");
+        report
+            .metric(&format!("{key}.min_ms"), s.min * 1e3)
+            .metric(&format!("{key}.p50_ms"), s.p50 * 1e3)
+            .metric(&format!("{key}.p99_ms"), s.p99 * 1e3);
+    }
+    match report.write() {
+        Ok(path) => println!("machine-readable results: {}", path.display()),
+        Err(e) => eprintln!("could not write bench report: {e}"),
+    }
+}

@@ -38,6 +38,16 @@ pub fn monitor_rows(sites: &[MonitorReport]) -> Vec<MonitorRow> {
             depth: 0,
             text: format!("Usite {}", site.usite),
         });
+        // A quarantined peer arrives as a tombstone row: no Vsites, no
+        // real metrics, just the federation's dead-site flag. Surface it
+        // as the red UNREACHABLE banner instead of an empty block.
+        if site.metrics.counter("federation.site.dead") > 0 {
+            rows.push(MonitorRow {
+                depth: 1,
+                text: "UNREACHABLE (quarantined by the federation)".into(),
+            });
+            continue;
+        }
         for v in &site.vsites {
             rows.push(MonitorRow {
                 depth: 1,
@@ -153,6 +163,23 @@ mod tests {
         assert!(text.contains("gateway.audit.dropped = 1"));
         // Non-headline counters stay out of the panel.
         assert!(!text.contains("obscure.counter"));
+    }
+
+    #[test]
+    fn dead_site_renders_unreachable_banner() {
+        let mut metrics = MetricsSnapshot::default();
+        metrics.counters.insert("federation.site.dead".into(), 1);
+        let dead = MonitorReport {
+            usite: "RUS".into(),
+            metrics,
+            spans: vec![],
+            vsites: vec![],
+        };
+        let text = render_monitor(&[report("FZJ"), dead]);
+        assert!(text.contains("Usite RUS"));
+        assert!(text.contains("UNREACHABLE"));
+        // The live site renders normally alongside the tombstone.
+        assert!(text.contains("vsite T3E"));
     }
 
     #[test]

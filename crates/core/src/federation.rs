@@ -21,7 +21,7 @@
 
 use crate::protocol::{Body, Envelope, Request, Response};
 use crate::server::UnicoreServer;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use unicore_ajo::{
     AbstractJob, ControlOp, DetailLevel, JobId, JobOutcome, MonitorReport, ServiceOutcome,
 };
@@ -29,9 +29,10 @@ use unicore_codec::DerCodec;
 use unicore_gateway::{Gateway, UserEntry, Uudb};
 use unicore_njs::{Njs, TranslationTable};
 use unicore_resources::{deployment_page, Architecture};
-use unicore_sim::{SimTime, SEC};
-use unicore_simnet::{Firewall, LinkParams, Network, NodeId};
-use unicore_telemetry::{ActiveSpan, Telemetry};
+use unicore_sim::{SimTime, MINUTE, SEC};
+use unicore_simnet::{FaultPlan, Firewall, LinkParams, Network, NodeId};
+use unicore_store::{EventStore, MemoryBackend};
+use unicore_telemetry::{ActiveSpan, MetricsSnapshot, Telemetry};
 
 /// The UNICORE gateway port.
 pub const GATEWAY_PORT: u16 = 4433;
@@ -75,10 +76,24 @@ pub struct FederationConfig {
     /// Extra bytes charged on first contact between two nodes (models the
     /// SSL handshake's certificate exchange; later contacts resume).
     pub handshake_bytes: usize,
-    /// Async retry timeout.
+    /// Async retry timeout for the first retransmission; later attempts
+    /// back off exponentially up to [`FederationConfig::backoff_cap`].
     pub retry_timeout: SimTime,
     /// Async retry budget per request.
     pub max_retries: u32,
+    /// Ceiling on the exponential retry backoff. Deterministic jitter of
+    /// up to a quarter of the delay is added on top, hashed from the
+    /// seed, the request identity and the attempt number, so replays are
+    /// byte-identical but concurrent retries do not synchronise.
+    pub backoff_cap: SimTime,
+    /// Consecutive retry-budget exhaustions against one peer site before
+    /// its circuit opens (the peer is quarantined: new requests to it
+    /// fast-fail instead of burning a full retry budget each).
+    pub quarantine_after: u32,
+    /// How long an open circuit waits before letting one half-open probe
+    /// request through. Any envelope received from the peer closes the
+    /// circuit again.
+    pub probe_interval: SimTime,
     /// WAN link profile.
     pub wan: LinkParams,
 }
@@ -91,6 +106,9 @@ impl Default for FederationConfig {
             handshake_bytes: 4_096,
             retry_timeout: 2 * SEC,
             max_retries: 10,
+            backoff_cap: 16 * SEC,
+            quarantine_after: 2,
+            probe_interval: MINUTE,
             wan: LinkParams::wan_1999(),
         }
     }
@@ -106,9 +124,79 @@ struct SiteNodes {
 struct Inflight {
     src: NodeId,
     dst: NodeId,
+    /// Destination Usite, for circuit-breaker accounting.
+    dest_site: String,
     payload: Vec<u8>,
     deadline: SimTime,
     retries_left: u32,
+    /// Transmissions so far (0 = only the original send); drives the
+    /// exponential backoff. Retransmissions resend the cached `payload`
+    /// bytes, so the envelope's sequence number never changes.
+    attempt: u32,
+}
+
+/// Receiver-side ledger of the sequence numbers seen from one origin
+/// node, distinguishing fresh deliveries from duplicates and late
+/// (reordered) arrivals, and yielding the cumulative ack piggybacked on
+/// traffic flowing back.
+#[derive(Debug, Default)]
+struct SeqTracker {
+    /// Highest `n` such that every sequence number `1..=n` has arrived.
+    contiguous: u64,
+    /// Sequence numbers seen above the contiguous prefix.
+    ahead: BTreeSet<u64>,
+    /// Highest sequence number seen at all.
+    max_seen: u64,
+    duplicates: u64,
+    reordered: u64,
+}
+
+impl SeqTracker {
+    /// Records an arrival; returns `true` when the number is fresh.
+    fn observe(&mut self, seq: u64) -> bool {
+        if seq <= self.contiguous || self.ahead.contains(&seq) {
+            self.duplicates += 1;
+            return false;
+        }
+        if seq < self.max_seen {
+            // A gap below the frontier just filled in: something
+            // overtook this message on the wire.
+            self.reordered += 1;
+        }
+        self.max_seen = self.max_seen.max(seq);
+        self.ahead.insert(seq);
+        while self.ahead.remove(&(self.contiguous + 1)) {
+            self.contiguous += 1;
+        }
+        true
+    }
+}
+
+/// Circuit-breaker state for one peer Usite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum PeerState {
+    /// Healthy: requests flow normally.
+    Closed,
+    /// Quarantined: requests fast-fail until `probe_at`, when a single
+    /// half-open probe is let through.
+    Open { probe_at: SimTime, probing: bool },
+}
+
+#[derive(Debug, Clone)]
+struct PeerHealth {
+    /// Consecutive retry-budget exhaustions (reset by any envelope
+    /// received from the peer).
+    failures: u32,
+    state: PeerState,
+}
+
+/// A scheduled site-level fault from an applied [`FaultPlan`].
+#[derive(Debug, Clone)]
+enum FaultEvent {
+    PartitionStart(String),
+    PartitionEnd(String),
+    Crash(String),
+    Restart(String),
 }
 
 /// Key for requester-side correlation: client requests use site "".
@@ -149,8 +237,12 @@ pub struct Federation {
     workstation: NodeId,
     established: HashSet<(NodeId, NodeId)>,
     handshake_bytes: usize,
+    seed: u64,
     retry_timeout: SimTime,
     max_retries: u32,
+    backoff_cap: SimTime,
+    quarantine_after: u32,
+    probe_interval: SimTime,
     inflight: HashMap<CorrKey, Inflight>,
     handled: HashMap<(String, String, u64), Response>,
     client_responses: HashMap<u64, Response>,
@@ -166,6 +258,30 @@ pub struct Federation {
     pub messages_sent: u64,
     /// Total retries performed (metrics).
     pub retries: u64,
+    /// Requests whose full retry budget ran dry (metrics).
+    pub retry_exhaustions: u64,
+    /// Requests fast-failed because the destination was quarantined.
+    pub fast_failures: u64,
+    /// Per-channel sequence stamping for distinct outgoing envelopes.
+    next_seq: HashMap<(NodeId, NodeId), u64>,
+    /// Receiver-side sequence ledgers, keyed `(receiver, sender)`.
+    recv_seq: HashMap<(NodeId, NodeId), SeqTracker>,
+    /// Circuit-breaker state per peer Usite.
+    peer_health: HashMap<String, PeerHealth>,
+    /// Gateway node → owning Usite (for circuit bookkeeping on receive).
+    node_sites: HashMap<NodeId, String>,
+    /// Scheduled site-level faults, ascending by time.
+    fault_events: Vec<(SimTime, FaultEvent)>,
+    /// Per-site journal backends, once [`Federation::attach_stores`] ran.
+    backends: HashMap<String, MemoryBackend>,
+    /// Sites currently down (crashed, awaiting restart).
+    crashed: HashSet<String>,
+    /// Site build specs, kept to rebuild a crashed server.
+    specs: HashMap<String, SiteSpec>,
+    /// User registrations, replayed into a rebuilt server's UUDB.
+    registered_users: Vec<(String, String)>,
+    /// Telemetry seed, so a rebuilt server gets a collector again.
+    telemetry_seed: Option<u64>,
     /// Client-tier (JPA/JMC) telemetry; disabled unless
     /// [`Federation::enable_telemetry`] is called.
     telemetry: Telemetry,
@@ -245,6 +361,12 @@ impl Federation {
             }
         }
 
+        let node_sites: HashMap<NodeId, String> = sites
+            .iter()
+            .map(|(name, nodes)| (nodes.gateway, name.clone()))
+            .collect();
+        let specs_by_name = specs.iter().map(|s| (s.name.clone(), s.clone())).collect();
+
         Federation {
             net,
             sites,
@@ -254,8 +376,12 @@ impl Federation {
             workstation,
             established: HashSet::new(),
             handshake_bytes: config.handshake_bytes,
+            seed: config.seed,
             retry_timeout: config.retry_timeout,
             max_retries: config.max_retries,
+            backoff_cap: config.backoff_cap,
+            quarantine_after: config.quarantine_after,
+            probe_interval: config.probe_interval,
             inflight: HashMap::new(),
             handled: HashMap::new(),
             client_responses: HashMap::new(),
@@ -269,6 +395,18 @@ impl Federation {
             now: 0,
             messages_sent: 0,
             retries: 0,
+            retry_exhaustions: 0,
+            fast_failures: 0,
+            next_seq: HashMap::new(),
+            recv_seq: HashMap::new(),
+            peer_health: HashMap::new(),
+            node_sites,
+            fault_events: Vec::new(),
+            backends: HashMap::new(),
+            crashed: HashSet::new(),
+            specs: specs_by_name,
+            registered_users: Vec::new(),
+            telemetry_seed: None,
             telemetry: Telemetry::disabled(),
             client_spans: HashMap::new(),
         }
@@ -280,6 +418,7 @@ impl Federation {
     /// multi-site job yields one connected trace whose spans are spread
     /// over several collectors.
     pub fn enable_telemetry(&mut self, seed: u64) {
+        self.telemetry_seed = Some(seed);
         self.telemetry = Telemetry::collecting(seed);
         for (i, site) in self.site_order.clone().into_iter().enumerate() {
             let tel = Telemetry::collecting(seed.wrapping_add(i as u64 + 1));
@@ -328,6 +467,8 @@ impl Federation {
     /// Registers a user in every site's UUDB with per-site logins
     /// (demonstrating that no uniform uid is needed).
     pub fn register_user(&mut self, dn: &str, login_base: &str) {
+        self.registered_users
+            .push((dn.to_owned(), login_base.to_owned()));
         for (site, server) in self.servers.iter_mut() {
             let login = format!("{}_{}", login_base, site.to_lowercase());
             server
@@ -365,7 +506,9 @@ impl Federation {
     ) -> Option<crate::broker::BrokerChoice> {
         let mut candidates = Vec::new();
         for site in &self.site_order {
-            candidates.extend(self.servers[site].load_snapshots(self.now.max(1)));
+            if let Some(server) = self.servers.get(site) {
+                candidates.extend(server.load_snapshots(self.now.max(1)));
+            }
         }
         crate::broker::choose_vsite(request, &candidates)
     }
@@ -386,6 +529,157 @@ impl Federation {
             self.net.set_link_loss(gw, peer, loss);
             self.net.set_link_loss(peer, gw, loss);
         }
+    }
+
+    /// A site's gateway node id, for link-scoped [`FaultPlan`] rules.
+    pub fn gateway_node(&self, usite: &str) -> Option<NodeId> {
+        self.sites.get(usite).map(|n| n.gateway)
+    }
+
+    /// The workstation node id, for link-scoped [`FaultPlan`] rules.
+    pub fn workstation_node(&self) -> NodeId {
+        self.workstation
+    }
+
+    /// Installs a seeded [`FaultPlan`]: link-level drop / duplicate /
+    /// reorder rules go straight into the network, while site-level
+    /// partition and crash-restart windows are scheduled and enacted as
+    /// simulated time passes them. The plan's own seed drives every
+    /// fault decision, so the same plan replays byte-for-byte and an
+    /// empty plan perturbs nothing.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        self.net.install_link_faults(plan.links.clone(), plan.seed);
+        for p in &plan.partitions {
+            self.fault_events
+                .push((p.from, FaultEvent::PartitionStart(p.site.clone())));
+            if p.until != SimTime::MAX {
+                self.fault_events
+                    .push((p.until, FaultEvent::PartitionEnd(p.site.clone())));
+            }
+        }
+        for c in &plan.crashes {
+            self.fault_events
+                .push((c.at, FaultEvent::Crash(c.site.clone())));
+            if c.restart_at != SimTime::MAX {
+                self.fault_events
+                    .push((c.restart_at, FaultEvent::Restart(c.site.clone())));
+            }
+        }
+        self.fault_events.sort_by_key(|(t, _)| *t);
+    }
+
+    /// Gives every site's server a write-ahead journal (an in-memory
+    /// backend playing the disk), so [`FaultPlan`] crash windows — and
+    /// [`Federation::crash_site`] / [`Federation::restart_site`] — can
+    /// kill a server and bring it back with only its journal surviving.
+    pub fn attach_stores(&mut self) {
+        for site in self.site_order.clone() {
+            let mem = MemoryBackend::new();
+            let store = EventStore::open(Box::new(mem.clone())).expect("open journal");
+            self.servers
+                .get_mut(&site)
+                .expect("known site")
+                .njs_mut()
+                .attach_store(store);
+            self.backends.insert(site, mem);
+        }
+    }
+
+    /// Kills a site's server: every byte of in-RAM state is lost; only
+    /// the journal (attached via [`Federation::attach_stores`]) survives.
+    /// Messages delivered to the site while it is down are dropped.
+    ///
+    /// # Panics
+    /// Panics when no journal was attached — crashing a server without a
+    /// disk would silently lose accepted jobs.
+    pub fn crash_site(&mut self, usite: &str) {
+        assert!(
+            self.backends.contains_key(usite),
+            "crash_site without attach_stores would lose accepted jobs"
+        );
+        if self.servers.remove(usite).is_none() {
+            return; // already down
+        }
+        self.crashed.insert(usite.to_owned());
+        // The site's own outstanding requests died with its process, and
+        // the federation-side response cache must not replay answers the
+        // rebooted server will re-derive from its journal.
+        self.inflight.retain(|(owner, _), _| owner != usite);
+        self.monitor_corrs.retain(|(owner, _), _| owner != usite);
+        self.monitor_watches.retain(|_, w| w.entry != usite);
+        self.handled.retain(|(site, _, _), _| site != usite);
+        self.sync_watches.retain(|w| w.usite != usite);
+        self.telemetry.counter("federation.site.crash").inc();
+    }
+
+    /// Rebuilds a crashed site's server from its journal: a fresh process
+    /// on the same "disk", recovered via the write-ahead spool, peer
+    /// trust and UUDB re-provisioned from configuration.
+    pub fn restart_site(&mut self, usite: &str) {
+        if !self.crashed.remove(usite) {
+            return;
+        }
+        let mem = self.backends.get(usite).expect("crashed site has journal");
+        mem.reboot();
+        let spec = self.specs.get(usite).expect("known site").clone();
+        let mut njs = Njs::new(spec.name.clone());
+        for (vsite, arch) in &spec.vsites {
+            njs.add_vsite(
+                deployment_page(&spec.name, vsite, *arch),
+                TranslationTable::for_architecture(*arch),
+            );
+        }
+        njs.attach_store(EventStore::open(Box::new(mem.clone())).expect("reopen journal"));
+        let mut uudb = Uudb::new();
+        for dn in self.server_dns.values() {
+            uudb.add(dn.clone(), UserEntry::new("unicored", "system"));
+        }
+        for (dn, login_base) in &self.registered_users {
+            let login = format!("{}_{}", login_base, usite.to_lowercase());
+            uudb.add(dn.clone(), UserEntry::new(login, "users"));
+        }
+        let mut server = UnicoreServer::new(Gateway::new(spec.name.clone(), uudb), njs);
+        for (peer_site, dn) in &self.server_dns {
+            if peer_site != usite {
+                server.add_peer_server(dn.clone());
+            }
+        }
+        if let Some(seed) = self.telemetry_seed {
+            let i = self
+                .site_order
+                .iter()
+                .position(|s| s == usite)
+                .expect("known site") as u64;
+            server.set_telemetry(Telemetry::collecting(seed.wrapping_add(i + 1)));
+        }
+        server.recover(self.now).expect("journal recovery");
+        self.servers.insert(usite.to_owned(), server);
+        self.telemetry.counter("federation.site.restart").inc();
+    }
+
+    /// Whether a site's server is currently down (crashed, not restarted).
+    pub fn is_crashed(&self, usite: &str) -> bool {
+        self.crashed.contains(usite)
+    }
+
+    /// Peer sites whose circuit is currently open (quarantined).
+    pub fn quarantined_sites(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .peer_health
+            .iter()
+            .filter(|(_, h)| matches!(h.state, PeerState::Open { .. }))
+            .map(|(s, _)| s.clone())
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Aggregate `(duplicates, reorders)` observed by receiver-side
+    /// sequence tracking across every channel.
+    pub fn seq_stats(&self) -> (u64, u64) {
+        self.recv_seq
+            .values()
+            .fold((0, 0), |(d, r), t| (d + t.duplicates, r + t.reordered))
     }
 
     fn send_with_handshake(&mut self, src: NodeId, dst: NodeId, payload: Vec<u8>) {
@@ -414,6 +708,125 @@ impl Federation {
         Some((origin, env))
     }
 
+    /// Stamps a distinct outgoing envelope with the next sequence number
+    /// on the `src → dst` channel and piggybacks the cumulative ack of
+    /// everything `src` has received from `dst`. Retransmissions resend
+    /// the originally framed bytes, so they keep their original stamp.
+    fn stamp(&mut self, src: NodeId, dst: NodeId, env: &mut Envelope) {
+        let c = self.next_seq.entry((src, dst)).or_insert(0);
+        *c += 1;
+        env.seq = Some(*c);
+        env.ack = self
+            .recv_seq
+            .get(&(src, dst))
+            .map(|t| t.contiguous)
+            .filter(|&n| n > 0);
+    }
+
+    /// Records an arriving envelope's sequence number at `receiver` and
+    /// feeds the duplicate/reorder telemetry counters.
+    fn observe_seq(&mut self, receiver: NodeId, origin: NodeId, env: &Envelope) {
+        let Some(seq) = env.seq else { return };
+        let tracker = self.recv_seq.entry((receiver, origin)).or_default();
+        let before = (tracker.duplicates, tracker.reordered);
+        tracker.observe(seq);
+        if tracker.duplicates > before.0 {
+            self.telemetry.counter("federation.seq.duplicate").inc();
+        }
+        if tracker.reordered > before.1 {
+            self.telemetry.counter("federation.seq.reorder").inc();
+        }
+    }
+
+    /// An envelope arrived from `origin`: whatever site owns that node is
+    /// provably alive, so its circuit closes and its failure streak resets.
+    fn note_peer_alive(&mut self, origin: NodeId) {
+        let Some(site) = self.node_sites.get(&origin) else {
+            return;
+        };
+        if let Some(h) = self.peer_health.get_mut(site) {
+            if matches!(h.state, PeerState::Open { .. }) {
+                self.telemetry
+                    .counter("federation.site.circuit_closed")
+                    .inc();
+            }
+            h.failures = 0;
+            h.state = PeerState::Closed;
+        }
+    }
+
+    /// A request to `dest` exhausted its retry budget. After
+    /// `quarantine_after` consecutive exhaustions the circuit opens:
+    /// further requests fast-fail until a half-open probe succeeds.
+    fn note_peer_failure(&mut self, dest: &str, t: SimTime) {
+        let h = self
+            .peer_health
+            .entry(dest.to_owned())
+            .or_insert(PeerHealth {
+                failures: 0,
+                state: PeerState::Closed,
+            });
+        h.failures += 1;
+        if h.failures >= self.quarantine_after {
+            if h.state == PeerState::Closed {
+                self.telemetry.counter("federation.site.quarantined").inc();
+            }
+            h.state = PeerState::Open {
+                probe_at: t + self.probe_interval,
+                probing: false,
+            };
+        }
+    }
+
+    /// Whether a send to `dest` must fast-fail right now. When the probe
+    /// window of an open circuit has arrived, the first caller is let
+    /// through as the half-open probe and subsequent callers keep
+    /// fast-failing until the probe resolves.
+    fn quarantine_blocks(&mut self, dest: &str, t: SimTime) -> bool {
+        match self.peer_health.get_mut(dest) {
+            Some(PeerHealth {
+                state: PeerState::Open { probe_at, probing },
+                ..
+            }) => {
+                if t >= *probe_at && !*probing {
+                    *probing = true;
+                    false
+                } else {
+                    true
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// Exponential backoff with a deterministic jitter: the base doubles
+    /// per attempt up to the cap; the jitter (up to a quarter of the
+    /// base) is hashed from the seed, the request identity and the
+    /// attempt, so concurrent retries desynchronise yet replay exactly.
+    fn backoff_delay(&self, key: &CorrKey, attempt: u32) -> SimTime {
+        let base = self
+            .retry_timeout
+            .checked_shl(attempt.min(32))
+            .unwrap_or(SimTime::MAX)
+            .min(self.backoff_cap)
+            .max(1);
+        let span = base / 4;
+        if span == 0 {
+            return base;
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ self.seed;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        mix(key.0.as_bytes());
+        mix(&key.1.to_be_bytes());
+        mix(&attempt.to_be_bytes());
+        base + h % span
+    }
+
     /// Submits a request from the workstation as `dn` via `usite`
     /// (asynchronous: retried until acknowledged or the budget runs out).
     pub fn client_request(&mut self, via: &str, dn: &str, request: Request) -> u64 {
@@ -430,22 +843,27 @@ impl Federation {
             ActiveSpan::noop()
         };
         span.attr("via", via);
-        let env = Envelope {
+        let mut env = Envelope {
             corr,
             from_dn: dn.to_owned(),
             body: Body::Request(request),
             trace: span.ctx(),
+            seq: None,
+            ack: None,
         };
         let dst = self.sites[via].gateway;
+        self.stamp(self.workstation, dst, &mut env);
         let payload = Self::frame(self.workstation, &env);
         self.inflight.insert(
             (String::new(), corr),
             Inflight {
                 src: self.workstation,
                 dst,
+                dest_site: via.to_owned(),
                 payload: payload.clone(),
                 deadline: self.now + self.retry_timeout,
                 retries_left: self.max_retries,
+                attempt: 0,
             },
         );
         self.send_with_handshake(self.workstation, dst, payload);
@@ -466,13 +884,16 @@ impl Federation {
         let corr = self.next_client_corr;
         self.next_client_corr += 1;
         self.sync_corrs.insert(corr);
-        let env = Envelope {
+        let mut env = Envelope {
             corr,
             from_dn: dn.to_owned(),
             body: Body::Request(Request::Consign { ajo }),
             trace: None,
+            seq: None,
+            ack: None,
         };
         let dst = self.sites[via].gateway;
+        self.stamp(self.workstation, dst, &mut env);
         let payload = Self::frame(self.workstation, &env);
         // No inflight entry: the synchronous variant never retries.
         self.send_with_handshake(self.workstation, dst, payload);
@@ -514,7 +935,8 @@ impl Federation {
         self.client_responses.remove(&corr)
     }
 
-    /// Earliest future event across network, servers and retry deadlines.
+    /// Earliest future event across network, servers, retry deadlines
+    /// and scheduled site-level faults.
     fn next_event(&mut self) -> Option<SimTime> {
         let mut next = self.net.next_delivery_time();
         for server in self.servers.values() {
@@ -522,6 +944,9 @@ impl Federation {
         }
         for f in self.inflight.values() {
             next = min_opt(next, Some(f.deadline));
+        }
+        if let Some((t, _)) = self.fault_events.first() {
+            next = min_opt(next, Some(*t));
         }
         next
     }
@@ -552,13 +977,27 @@ impl Federation {
 
     fn advance(&mut self, t: SimTime) {
         self.now = t;
+
+        // Enact scheduled site-level faults whose time has come.
+        while self.fault_events.first().is_some_and(|(at, _)| *at <= t) {
+            let (_, event) = self.fault_events.remove(0);
+            match event {
+                FaultEvent::PartitionStart(site) => self.set_partitioned(&site, true),
+                FaultEvent::PartitionEnd(site) => self.set_partitioned(&site, false),
+                FaultEvent::Crash(site) => self.crash_site(&site),
+                FaultEvent::Restart(site) => self.restart_site(&site),
+            }
+        }
+
         self.net.run_until(t);
 
         // Deliver messages.
         let mut deliveries: Vec<(String, Vec<u8>)> = Vec::new();
         // Workstation first: responses to the client.
         for (_, msg) in self.net.drain_inbox(self.workstation) {
-            if let Some((_, env)) = Self::unframe(&msg.payload) {
+            if let Some((origin, env)) = Self::unframe(&msg.payload) {
+                self.observe_seq(self.workstation, origin, &env);
+                self.note_peer_alive(origin);
                 if let Body::Response(resp) = env.body {
                     self.inflight.remove(&(String::new(), env.corr));
                     if let Some(span) = self.client_spans.remove(&env.corr) {
@@ -590,38 +1029,62 @@ impl Federation {
             self.deliver_to_server(&site, &payload, t);
         }
 
-        // Step servers; route their outbound requests.
+        // Step servers; route their outbound requests. Crashed sites are
+        // simply absent from the map: they neither step nor send.
         for site in self.site_order.clone() {
-            let outbound = self.servers.get_mut(&site).expect("known site").step(t);
+            let Some(server) = self.servers.get_mut(&site) else {
+                continue;
+            };
+            let outbound = server.step(t);
             for req in outbound {
                 if !self.sites.contains_key(&req.dest) {
                     // Unknown destination Usite: fail immediately.
-                    self.servers
-                        .get_mut(&site)
-                        .expect("known site")
-                        .handle_response(
+                    if let Some(server) = self.servers.get_mut(&site) {
+                        server.handle_response(
                             req.corr,
                             Response::Error(format!("unknown Usite {}", req.dest)),
                         );
+                    }
                     continue;
                 }
-                let env = Envelope {
+                if self.quarantine_blocks(&req.dest, t) {
+                    // Circuit open: fail fast instead of burning a whole
+                    // retry budget against a peer known to be dead.
+                    self.fast_failures += 1;
+                    self.telemetry.counter("federation.fast_fail").inc();
+                    if let Some(server) = self.servers.get_mut(&site) {
+                        server.handle_response(
+                            req.corr,
+                            Response::Error(format!(
+                                "peer {} quarantined (circuit open)",
+                                req.dest
+                            )),
+                        );
+                    }
+                    continue;
+                }
+                let mut env = Envelope {
                     corr: req.corr,
                     from_dn: self.server_dns[&site].clone(),
                     body: Body::Request(req.request),
                     trace: req.trace,
+                    seq: None,
+                    ack: None,
                 };
                 let src = self.sites[&site].gateway;
                 let dst = self.sites[&req.dest].gateway;
+                self.stamp(src, dst, &mut env);
                 let payload = Self::frame(src, &env);
                 self.inflight.insert(
                     (site.clone(), req.corr),
                     Inflight {
                         src,
                         dst,
+                        dest_site: req.dest.clone(),
                         payload: payload.clone(),
                         deadline: t + self.retry_timeout,
                         retries_left: self.max_retries,
+                        attempt: 0,
                     },
                 );
                 self.send_with_handshake(src, dst, payload);
@@ -631,7 +1094,7 @@ impl Federation {
         // Synchronous watches: push the final outcome when a job ends.
         let mut fired = Vec::new();
         for (i, w) in self.sync_watches.iter().enumerate() {
-            if self.servers[&w.usite].is_done(w.job) {
+            if self.servers.get(&w.usite).is_some_and(|s| s.is_done(w.job)) {
                 fired.push(i);
             }
         }
@@ -640,26 +1103,31 @@ impl Federation {
             let outcome = self.servers[&w.usite]
                 .query(w.job, &w.owner_dn, DetailLevel::Tasks)
                 .unwrap_or_default();
-            let env = Envelope {
+            let mut env = Envelope {
                 corr: w.corr,
                 from_dn: self.server_dns[&w.usite].clone(),
                 body: Body::Response(Response::Service(unicore_ajo::ServiceOutcome::Query {
                     outcome,
                 })),
                 trace: None,
+                seq: None,
+                ack: None,
             };
             let src = self.sites[&w.usite].gateway;
+            self.stamp(src, w.client_node, &mut env);
             let payload = Self::frame(src, &env);
             self.send_with_handshake(src, w.client_node, payload);
         }
 
-        // Retries.
-        let due: Vec<CorrKey> = self
+        // Retries, in deterministic key order so the network's RNG draws
+        // replay identically run to run.
+        let mut due: Vec<CorrKey> = self
             .inflight
             .iter()
             .filter(|(_, f)| f.deadline <= t)
             .map(|(k, _)| k.clone())
             .collect();
+        due.sort();
         for key in due {
             // A client whose grid monitor query is still being fanned out
             // by the entry site is *in contact* — the deferred reply is
@@ -682,7 +1150,11 @@ impl Federation {
                 // Retry budget exhausted: the peer is unreachable. Surface
                 // a synthetic error so the requester is not left hanging
                 // (a dead site must not wedge a multi-site job forever).
+                let dest_site = f.dest_site.clone();
                 self.inflight.remove(&key);
+                self.retry_exhaustions += 1;
+                self.telemetry.counter("federation.retry.exhausted").inc();
+                self.note_peer_failure(&dest_site, t);
                 let (owner, corr) = key;
                 let err = Response::Error("peer unreachable (retries exhausted)".to_owned());
                 if owner.is_empty() {
@@ -692,7 +1164,18 @@ impl Federation {
                     self.client_responses.insert(corr, err);
                 } else if let Some(watch_id) = self.monitor_corrs.remove(&(owner.clone(), corr)) {
                     // Grid monitor fan-out to a dead peer: skip that site
-                    // and let the merged view cover the reachable grid.
+                    // and let the merged view cover the reachable grid —
+                    // flagging the site as dead once it is quarantined.
+                    if self
+                        .peer_health
+                        .get(&dest_site)
+                        .is_some_and(|h| matches!(h.state, PeerState::Open { .. }))
+                    {
+                        if let Some(w) = self.monitor_watches.get_mut(&watch_id) {
+                            w.reports.push(Self::dead_site_report(&dest_site));
+                            self.telemetry.counter("federation.site.dead").inc();
+                        }
+                    }
                     self.monitor_response(watch_id, corr, err, t);
                 } else if let Some(server) = self.servers.get_mut(&owner) {
                     server.handle_response(corr, err);
@@ -700,10 +1183,31 @@ impl Federation {
                 continue;
             }
             f.retries_left -= 1;
-            f.deadline = t + self.retry_timeout;
+            f.attempt += 1;
+            let attempt = f.attempt;
             let (src, dst, payload) = (f.src, f.dst, f.payload.clone());
+            let delay = self.backoff_delay(&key, attempt);
+            self.inflight
+                .get_mut(&key)
+                .expect("just collected")
+                .deadline = t + delay;
             self.retries += 1;
+            self.telemetry.counter("federation.retries").inc();
             self.send_with_handshake(src, dst, payload);
+        }
+    }
+
+    /// A synthetic monitor row for a quarantined peer: no metrics, no
+    /// Vsites, just the `federation.site.dead` flag so the grid view
+    /// shows *why* the site is missing instead of silently omitting it.
+    fn dead_site_report(usite: &str) -> MonitorReport {
+        let mut metrics = MetricsSnapshot::default();
+        metrics.counters.insert("federation.site.dead".into(), 1);
+        MonitorReport {
+            usite: usite.to_owned(),
+            metrics,
+            spans: Vec::new(),
+            vsites: Vec::new(),
         }
     }
 
@@ -711,6 +1215,14 @@ impl Federation {
         let Some((origin, env)) = Self::unframe(payload) else {
             return;
         };
+        if !self.servers.contains_key(site) {
+            // The site's server is down: the frame reached the machine
+            // but no process is listening. The sender's retries (or the
+            // restarted server's journal recovery) cover the loss.
+            return;
+        }
+        self.observe_seq(self.sites[site].gateway, origin, &env);
+        self.note_peer_alive(origin);
         match env.body {
             Body::Request(request) => {
                 let dedupe_key = (site.to_owned(), env.from_dn.clone(), env.corr);
@@ -759,13 +1271,16 @@ impl Federation {
                     }
                     resp
                 };
-                let reply = Envelope {
+                let mut reply = Envelope {
                     corr: env.corr,
                     from_dn: self.server_dns[site].clone(),
                     body: Body::Response(response),
                     trace: None,
+                    seq: None,
+                    ack: None,
                 };
                 let src = self.sites[site].gateway;
+                self.stamp(src, origin, &mut reply);
                 let payload = Self::frame(src, &reply);
                 self.send_with_handshake(src, origin, payload);
             }
@@ -809,25 +1324,38 @@ impl Federation {
             if peer == entry {
                 continue;
             }
+            if self.quarantine_blocks(&peer, t) {
+                // Quarantined peer: don't wait a retry budget for a site
+                // known dead — report it as such and move on. The next
+                // probe window will let a real query through again.
+                watch.reports.push(Self::dead_site_report(&peer));
+                self.telemetry.counter("federation.site.dead").inc();
+                continue;
+            }
             let corr = self.next_monitor_corr;
             self.next_monitor_corr += 1;
-            let env = Envelope {
+            let mut env = Envelope {
                 corr,
                 from_dn: self.server_dns[entry].clone(),
                 body: Body::Request(Request::Monitor { grid: false }),
                 trace: None,
+                seq: None,
+                ack: None,
             };
             let src = self.sites[entry].gateway;
             let dst = self.sites[&peer].gateway;
+            self.stamp(src, dst, &mut env);
             let payload = Self::frame(src, &env);
             self.inflight.insert(
                 (entry.to_owned(), corr),
                 Inflight {
                     src,
                     dst,
+                    dest_site: peer.clone(),
                     payload: payload.clone(),
                     deadline: t + self.retry_timeout,
                     retries_left: self.max_retries,
+                    attempt: 0,
                 },
             );
             self.send_with_handshake(src, dst, payload);
@@ -878,13 +1406,16 @@ impl Federation {
             ),
             response.clone(),
         );
-        let reply = Envelope {
+        let mut reply = Envelope {
             corr: watch.client_corr,
             from_dn: self.server_dns[&watch.entry].clone(),
             body: Body::Response(response),
             trace: None,
+            seq: None,
+            ack: None,
         };
         let src = self.sites[&watch.entry].gateway;
+        self.stamp(src, watch.client_node, &mut reply);
         let payload = Self::frame(src, &reply);
         self.send_with_handshake(src, watch.client_node, payload);
     }

@@ -161,6 +161,16 @@ pub struct Envelope {
     /// context-tagged element; frames from peers predating telemetry
     /// simply omit it and decode as `None`.
     pub trace: Option<SpanContext>,
+    /// Per-origin delivery sequence number, stamped by the federation on
+    /// each *distinct* envelope (retransmissions reuse the original
+    /// number, so receivers can tell a duplicate from a new message).
+    /// Trailing context-tagged element; absent on pre-reliability frames.
+    pub seq: Option<u64>,
+    /// Cumulative acknowledgement piggybacked on traffic flowing the
+    /// other way: the highest contiguous sequence number the sender has
+    /// received from this envelope's destination. Trailing
+    /// context-tagged element; absent on pre-reliability frames.
+    pub ack: Option<u64>,
 }
 
 /// Request or response.
@@ -447,6 +457,10 @@ impl DerCodec for Response {
 
 /// Tag of the optional trailing trace-context element of an [`Envelope`].
 const TRACE_TAG: u8 = 2;
+/// Tag of the optional trailing sequence-number element of an [`Envelope`].
+const SEQ_TAG: u8 = 3;
+/// Tag of the optional trailing cumulative-ack element of an [`Envelope`].
+const ACK_TAG: u8 = 4;
 
 fn trace_to_value(ctx: &SpanContext) -> Value {
     Value::tagged(
@@ -489,6 +503,14 @@ impl DerCodec for Envelope {
         if let Some(ctx) = &self.trace {
             fields.push(trace_to_value(ctx));
         }
+        // Optional trailing fields must appear in ascending tag order:
+        // Fields::optional_tagged consumes sequentially.
+        if let Some(seq) = self.seq {
+            fields.push(Value::tagged(SEQ_TAG, Value::Integer(seq as i64)));
+        }
+        if let Some(ack) = self.ack {
+            fields.push(Value::tagged(ACK_TAG, Value::Integer(ack as i64)));
+        }
         Value::Sequence(fields)
     }
 
@@ -500,6 +522,14 @@ impl DerCodec for Envelope {
         let trace = f
             .optional_tagged(TRACE_TAG)
             .map(trace_from_value)
+            .transpose()?;
+        let seq = f
+            .optional_tagged(SEQ_TAG)
+            .map(|v| v.as_u64().ok_or(CodecError::BadValue("envelope seq")))
+            .transpose()?;
+        let ack = f
+            .optional_tagged(ACK_TAG)
+            .map(|v| v.as_u64().ok_or(CodecError::BadValue("envelope ack")))
             .transpose()?;
         f.finish()?;
         let (tag, inner) = body_value
@@ -515,6 +545,8 @@ impl DerCodec for Envelope {
             from_dn,
             body,
             trace,
+            seq,
+            ack,
         })
     }
 }
@@ -562,6 +594,8 @@ mod tests {
             from_dn: "C=DE, O=FZJ, OU=ZAM, CN=alice".into(),
             body: Body::Request(r),
             trace: None,
+            seq: None,
+            ack: None,
         };
         let back = Envelope::from_der(&env.to_der()).unwrap();
         assert_eq!(back, env);
@@ -639,6 +673,8 @@ mod tests {
                 from_dn: "CN=s".into(),
                 body: Body::Response(r),
                 trace: None,
+                seq: None,
+                ack: None,
             };
             assert_eq!(Envelope::from_der(&env.to_der()).unwrap(), env);
         }
@@ -655,6 +691,8 @@ mod tests {
             from_dn: "CN=s".into(),
             body: Body::Request(Request::List),
             trace: Some(ctx),
+            seq: None,
+            ack: None,
         };
         let back = Envelope::from_der(&env.to_der()).unwrap();
         assert_eq!(back, env);
@@ -680,8 +718,47 @@ mod tests {
             from_dn: "CN=old-peer".into(),
             body: Body::Request(Request::List),
             trace: None,
+            seq: None,
+            ack: None,
         };
         assert_eq!(ours.to_der(), old);
+    }
+
+    #[test]
+    fn seq_and_ack_round_trip_and_stay_optional() {
+        // seq without ack, ack without seq, and both together all
+        // round-trip; a pre-reliability frame (neither) still decodes.
+        for (seq, ack) in [
+            (Some(7), None),
+            (None, Some(3)),
+            (Some(7), Some(3)),
+            (None, None),
+        ] {
+            let env = Envelope {
+                corr: 11,
+                from_dn: "CN=peer".into(),
+                body: Body::Request(Request::List),
+                trace: None,
+                seq,
+                ack,
+            };
+            let back = Envelope::from_der(&env.to_der()).unwrap();
+            assert_eq!(back, env);
+        }
+        // seq/ack compose with a trace context (ascending tag order).
+        let ctx = SpanContext {
+            trace: TraceId::from_words(1, 2),
+            span: SpanId(3),
+        };
+        let env = Envelope {
+            corr: 11,
+            from_dn: "CN=peer".into(),
+            body: Body::Request(Request::List),
+            trace: Some(ctx),
+            seq: Some(42),
+            ack: Some(41),
+        };
+        assert_eq!(Envelope::from_der(&env.to_der()).unwrap(), env);
     }
 
     #[test]

@@ -6,7 +6,8 @@ use unicore::ajo::*;
 use unicore::protocol::{outcome_of, Response};
 use unicore::{Federation, FederationConfig, SiteSpec};
 use unicore_resources::Architecture;
-use unicore_sim::{HOUR, MINUTE, SEC};
+use unicore_sim::{SimTime, HOUR, MINUTE, SEC};
+use unicore_simnet::FaultPlan;
 
 const DN: &str = "C=DE, O=FZJ, OU=ZAM, CN=alice";
 
@@ -449,4 +450,154 @@ fn machine_crash_fails_job_and_recovery_allows_rerun() {
         .submit_and_wait("DWD", job, DN, 5 * SEC, 4 * HOUR)
         .unwrap();
     assert!(o2.status.is_success());
+}
+
+#[test]
+fn backoff_bounds_time_to_unreachable_verdict() {
+    // A request into a partitioned site must surface its synthetic error
+    // within the worst-case exponential-backoff envelope (initial
+    // timeout, then doubling delays capped at backoff_cap, each plus at
+    // most a quarter jitter) — not hang, and not spin hot either.
+    let mut fed = german();
+    fed.set_partitioned("RUS", true);
+    let corr = fed.client_poll("RUS", DN, JobId(1), DetailLevel::JobOnly);
+    fed.run_until(5 * MINUTE);
+    let resp = fed.take_client_response(corr).expect("verdict in bound");
+    assert!(matches!(resp, Response::Error(ref m) if m.contains("unreachable")));
+    assert!(fed.retry_exhaustions > 0);
+    // Backoff spreads the 10 retries over minutes, not the flat 20s a
+    // constant 2s timeout would produce.
+    assert!(
+        fed.now() > MINUTE,
+        "retries ended too quickly: {}",
+        fed.now()
+    );
+    // Retry traffic is visible on the client-tier metrics registry.
+    let snapshot = fed.client_telemetry().metrics_snapshot();
+    assert!(snapshot.counter("federation.retries") >= 10);
+    assert_eq!(snapshot.counter("federation.retry.exhausted"), 1);
+}
+
+#[test]
+fn dead_peer_is_quarantined_then_probed_back_in() {
+    let mut fed = Federation::german_deployment(FederationConfig {
+        probe_interval: 30 * MINUTE,
+        ..FederationConfig::default()
+    });
+    fed.register_user(DN, "alice");
+    fed.set_partitioned("RUS", true);
+
+    // Two consecutive retry exhaustions open RUS's circuit.
+    let grid_view = |fed: &mut Federation| {
+        let corr = fed.client_monitor("FZJ", DN, true);
+        fed.run_until(fed.now() + 10 * MINUTE);
+        let resp = fed.take_client_response(corr).expect("grid view arrives");
+        let Response::Service(ServiceOutcome::Monitor { sites }) = resp else {
+            panic!("not a monitor response");
+        };
+        sites
+    };
+    // First exhaustion: one strike — RUS is simply missing from the view.
+    let sites = grid_view(&mut fed);
+    assert!(sites.iter().all(|r| r.usite != "RUS"));
+    assert!(fed.quarantined_sites().is_empty());
+    // Second exhaustion crosses the threshold: the circuit opens and the
+    // very same grid view already carries the dead-site flag.
+    let sites = grid_view(&mut fed);
+    let rus = sites.iter().find(|r| r.usite == "RUS").expect("dead row");
+    assert_eq!(rus.metrics.counter("federation.site.dead"), 1);
+    assert_eq!(fed.quarantined_sites(), vec!["RUS".to_string()]);
+
+    // The next grid query doesn't wait out a retry budget for the dead
+    // site: it reports RUS with the dead-site flag, fast.
+    let before = fed.now();
+    let corr = fed.client_monitor("FZJ", DN, true);
+    let sites = loop {
+        fed.run_until(fed.now() + 5 * SEC);
+        if let Some(resp) = fed.take_client_response(corr) {
+            let Response::Service(ServiceOutcome::Monitor { sites }) = resp else {
+                panic!("not a monitor response");
+            };
+            break sites;
+        }
+        // Answer must come from cached local state + live peers, well
+        // under the retry budget a probe of the dead site would burn.
+        assert!(fed.now() - before < 2 * MINUTE, "grid view too slow");
+    };
+    let rus = sites.iter().find(|r| r.usite == "RUS").expect("dead row");
+    assert_eq!(rus.metrics.counter("federation.site.dead"), 1);
+    assert_eq!(sites.len(), 6, "all six sites accounted for");
+
+    // Heal the partition; after the probe interval a half-open probe
+    // goes through, the response closes the circuit, and RUS serves
+    // real reports again.
+    fed.set_partitioned("RUS", false);
+    fed.run_until(fed.now() + 31 * MINUTE);
+    let corr = fed.client_monitor("FZJ", DN, true);
+    fed.run_until(fed.now() + 10 * MINUTE);
+    let Some(Response::Service(ServiceOutcome::Monitor { sites })) = fed.take_client_response(corr)
+    else {
+        panic!("no healed grid view");
+    };
+    let rus = sites.iter().find(|r| r.usite == "RUS").expect("live row");
+    assert_eq!(rus.metrics.counter("federation.site.dead"), 0);
+    assert!(!rus.vsites.is_empty(), "real report, not a tombstone");
+    assert!(fed.quarantined_sites().is_empty());
+}
+
+#[test]
+fn crash_restart_recovers_jobs_from_the_journal() {
+    let mut fed = german();
+    fed.attach_stores();
+    // The FZJ server dies 30 simulated seconds in and reboots at 3
+    // minutes, recovering from its write-ahead journal.
+    fed.apply_fault_plan(&FaultPlan::new(11).crash_restart("FZJ", 30 * SEC, 3 * MINUTE));
+
+    let mut job = AbstractJob::new("survivor", VsiteAddress::new("FZJ", "T3E"), attrs());
+    job.nodes.push(script_node(1, "work", "sleep 120\n"));
+    let corr = fed.client_submit("FZJ", job, DN);
+    fed.run_until(20 * SEC);
+    let Some(Response::Consigned { job: id }) = fed.take_client_response(corr) else {
+        panic!("no consign ack before the crash");
+    };
+
+    fed.run_until(MINUTE);
+    assert!(fed.is_crashed("FZJ"), "crash window is in force");
+    assert!(fed.server("FZJ").is_none());
+
+    // After the restart the recovered server finishes the job.
+    let deadline = 2 * HOUR;
+    let outcome = loop {
+        let poll = fed.client_poll("FZJ", DN, id, DetailLevel::Tasks);
+        fed.run_until((fed.now() + MINUTE).min(deadline));
+        if let Some(resp) = fed.take_client_response(poll) {
+            if let Some(o) = outcome_of(&resp) {
+                if o.status.is_terminal() {
+                    break o.clone();
+                }
+            }
+        }
+        assert!(fed.now() < deadline, "recovered job never terminated");
+    };
+    assert!(outcome.status.is_success(), "{outcome:?}");
+    assert!(!fed.is_crashed("FZJ"));
+}
+
+#[test]
+fn duplicated_and_reordered_wire_traffic_is_absorbed() {
+    // Aggressive duplicate + reorder faults on every link: sequence
+    // tracking sees the anomalies, idempotent handling absorbs them, and
+    // the job completes exactly as without faults.
+    let mut fed = german();
+    fed.apply_fault_plan(
+        &FaultPlan::new(23)
+            .duplicate_everywhere(0.4, 0, SimTime::MAX)
+            .reorder_everywhere(0.4, 2 * SEC, 0, SimTime::MAX),
+    );
+    let mut job = AbstractJob::new("dup-safe", VsiteAddress::new("FZJ", "T3E"), attrs());
+    job.nodes.push(script_node(1, "t", "sleep 10\n"));
+    let (_, outcome, _) = fed.submit_and_wait("FZJ", job, DN, 5 * SEC, HOUR).unwrap();
+    assert!(outcome.status.is_success());
+    let (dups, _) = fed.seq_stats();
+    assert!(dups > 0, "duplicates should have been observed");
 }

@@ -262,12 +262,16 @@ proptest! {
         dn in "[A-Za-z=, ]{1,40}",
         req in request_strategy(),
         trace in trace_strategy(),
+        seq in proptest::option::of(id_strategy()),
+        ack in proptest::option::of(id_strategy()),
     ) {
         let env = Envelope {
             corr,
             from_dn: dn,
             body: Body::Request(req),
             trace,
+            seq,
+            ack,
         };
         prop_assert_eq!(Envelope::from_der(&env.to_der()).unwrap(), env);
     }
@@ -277,12 +281,16 @@ proptest! {
         corr in id_strategy(),
         resp in response_strategy(),
         trace in trace_strategy(),
+        seq in proptest::option::of(id_strategy()),
+        ack in proptest::option::of(id_strategy()),
     ) {
         let env = Envelope {
             corr,
             from_dn: "CN=server".into(),
             body: Body::Response(resp),
             trace,
+            seq,
+            ack,
         };
         prop_assert_eq!(Envelope::from_der(&env.to_der()).unwrap(), env);
     }
@@ -298,6 +306,8 @@ proptest! {
             from_dn: "CN=x".into(),
             body: Body::Request(req),
             trace: None,
+            seq: None,
+            ack: None,
         };
         let mut der = env.to_der();
         let i = flip.index(der.len());
@@ -313,6 +323,8 @@ proptest! {
             from_dn: "CN=x".into(),
             body: Body::Request(req),
             trace: None,
+            seq: None,
+            ack: None,
         };
         let der = env.to_der();
         prop_assert!(Envelope::from_der(&der[..der.len() - 1]).is_err());

@@ -18,9 +18,9 @@ use crate::translation::TranslationTable;
 use std::collections::HashMap;
 use std::sync::Arc;
 use unicore_ajo::{
-    AbstractJob, ActionId, ActionStatus, ControlOp, DataLocation, DetailLevel, FileKind, GraphNode,
-    JobId, JobOutcome, JobSummary, MonitorReport, OutcomeNode, TaskKind, TaskOutcome, VsiteAddress,
-    VsiteHealth,
+    AbstractJob, ActionId, ActionStatus, ControlOp, DataLocation, DependencyIndex, DetailLevel,
+    FileKind, GraphNode, JobId, JobOutcome, JobSummary, MonitorReport, OutcomeNode, TaskKind,
+    TaskOutcome, VsiteAddress, VsiteHealth,
 };
 use unicore_batch::{BatchJobId, BatchJobSpec, BatchStatus, BatchSystem};
 use unicore_codec::DerCodec;
@@ -137,6 +137,9 @@ enum PollTarget {
 
 struct JobRuntime {
     job: AbstractJob,
+    /// Precomputed predecessor adjacency for `job`'s top level: the step
+    /// loop's dependency check borrows slices instead of allocating.
+    preds: DependencyIndex,
     user: MappedUser,
     parent: Option<(JobId, ActionId)>,
     portfolio: Arc<HashMap<String, Vec<u8>>>,
@@ -766,10 +769,12 @@ impl Njs {
                 format!("vsite {}", job.vsite.vsite),
             );
         }
+        let preds = job.dependency_index();
         self.jobs.insert(
             id,
             JobRuntime {
                 job,
+                preds,
                 user,
                 parent,
                 portfolio,
@@ -1093,10 +1098,10 @@ impl Njs {
                 if rt.states.get(&nid) != Some(&NodeState::Waiting) {
                     continue;
                 }
-                let preds = rt.job.predecessors(nid);
+                let preds = rt.preds.predecessors(nid);
                 let mut ready = true;
                 let mut any_failed = false;
-                for p in &preds {
+                for p in preds {
                     if rt.states.get(p) != Some(&NodeState::Terminal) {
                         ready = false;
                         break;
@@ -1538,7 +1543,7 @@ impl Njs {
         let (staged, user, portfolio, parent_vsite, parent_trace) = {
             let rt = self.jobs.get(&job).expect("job exists");
             let mut staged: Vec<(String, Vec<u8>)> = Vec::new();
-            for pred in rt.job.predecessors(node) {
+            for &pred in rt.preds.predecessors(node) {
                 for file in rt.job.edge_files(pred, node) {
                     let data = self
                         .vsites

@@ -1,0 +1,196 @@
+//! Seeded fault schedules for the discrete-event network.
+//!
+//! A [`FaultPlan`] is a declarative, replayable description of everything
+//! that goes wrong during a federation run: per-link drop / duplicate /
+//! reorder windows (consumed by [`crate::Network`] itself), plus
+//! site-level partitions and server crash-restarts (named in Usite terms
+//! and enacted by whoever owns the site ↔ node mapping — the federation).
+//!
+//! All randomness comes from the plan's own seed, forked away from the
+//! network's base RNG, so installing a plan never perturbs the underlying
+//! latency-jitter or Bernoulli-loss draws: the same workload under the
+//! same plan and seed replays byte-for-byte, and an *empty* plan is
+//! byte-identical to no plan at all.
+
+use crate::topology::NodeId;
+use unicore_sim::SimTime;
+
+/// One class of injected link fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Silently drop matching messages with this probability.
+    Drop {
+        /// Per-message drop probability (0.0 ..= 1.0).
+        probability: f64,
+    },
+    /// Deliver matching messages twice with this probability; the copy
+    /// arrives after an extra deterministic delay, so receivers see a
+    /// genuine duplicate, not an atomic double-push.
+    Duplicate {
+        /// Per-message duplication probability (0.0 ..= 1.0).
+        probability: f64,
+    },
+    /// Hold matching messages back by up to `max_delay` extra ticks with
+    /// this probability, letting later sends overtake them (reordering
+    /// without loss).
+    Reorder {
+        /// Per-message reorder probability (0.0 ..= 1.0).
+        probability: f64,
+        /// Maximum extra delay, in ticks (at least 1 is always added).
+        max_delay: SimTime,
+    },
+}
+
+/// A link-scoped fault rule active during `[from, until)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkFault {
+    /// The directed link this rule applies to; `None` matches every link.
+    pub link: Option<(NodeId, NodeId)>,
+    /// First tick (inclusive) the rule is active.
+    pub from: SimTime,
+    /// First tick the rule is no longer active (`SimTime::MAX` = forever).
+    pub until: SimTime,
+    /// What happens to matching messages.
+    pub kind: FaultKind,
+}
+
+impl LinkFault {
+    /// Whether this rule applies to a send on `src → dst` at `now`.
+    pub fn matches(&self, src: NodeId, dst: NodeId, now: SimTime) -> bool {
+        if now < self.from || now >= self.until {
+            return false;
+        }
+        match self.link {
+            Some((a, b)) => a == src && b == dst,
+            None => true,
+        }
+    }
+}
+
+/// A full partition of one named site during `[from, until)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionWindow {
+    /// Usite name.
+    pub site: String,
+    /// Partition start (inclusive).
+    pub from: SimTime,
+    /// Partition end (exclusive; `SimTime::MAX` = permanent).
+    pub until: SimTime,
+}
+
+/// A crash of one named site's server at `at`, restarted (recovering
+/// from its write-ahead journal) at `restart_at`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashWindow {
+    /// Usite name.
+    pub site: String,
+    /// Crash instant.
+    pub at: SimTime,
+    /// Restart instant (`SimTime::MAX` = the server never comes back).
+    pub restart_at: SimTime,
+}
+
+/// A seeded, declarative schedule of faults for one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every fault decision (drop/duplicate coin flips, reorder
+    /// and duplicate delays). Independent of the network's own seed.
+    pub seed: u64,
+    /// Link-level fault rules, evaluated in order per send.
+    pub links: Vec<LinkFault>,
+    /// Site partitions (enacted by the federation).
+    pub partitions: Vec<PartitionWindow>,
+    /// Server crash-restarts (enacted by the federation).
+    pub crashes: Vec<CrashWindow>,
+}
+
+impl FaultPlan {
+    /// An empty plan drawing from `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Adds a drop window on every link.
+    pub fn drop_everywhere(mut self, probability: f64, from: SimTime, until: SimTime) -> Self {
+        self.links.push(LinkFault {
+            link: None,
+            from,
+            until,
+            kind: FaultKind::Drop { probability },
+        });
+        self
+    }
+
+    /// Adds a duplicate window on every link.
+    pub fn duplicate_everywhere(mut self, probability: f64, from: SimTime, until: SimTime) -> Self {
+        self.links.push(LinkFault {
+            link: None,
+            from,
+            until,
+            kind: FaultKind::Duplicate { probability },
+        });
+        self
+    }
+
+    /// Adds a reorder window on every link.
+    pub fn reorder_everywhere(
+        mut self,
+        probability: f64,
+        max_delay: SimTime,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        self.links.push(LinkFault {
+            link: None,
+            from,
+            until,
+            kind: FaultKind::Reorder {
+                probability,
+                max_delay,
+            },
+        });
+        self
+    }
+
+    /// Adds a rule scoped to one directed link.
+    pub fn on_link(
+        mut self,
+        src: NodeId,
+        dst: NodeId,
+        kind: FaultKind,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        self.links.push(LinkFault {
+            link: Some((src, dst)),
+            from,
+            until,
+            kind,
+        });
+        self
+    }
+
+    /// Partitions `site` completely during `[from, until)`.
+    pub fn partition(mut self, site: &str, from: SimTime, until: SimTime) -> Self {
+        self.partitions.push(PartitionWindow {
+            site: site.to_owned(),
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Crashes `site`'s server at `at` and restarts it (recovering from
+    /// the journal) at `restart_at`.
+    pub fn crash_restart(mut self, site: &str, at: SimTime, restart_at: SimTime) -> Self {
+        self.crashes.push(CrashWindow {
+            site: site.to_owned(),
+            at,
+            restart_at,
+        });
+        self
+    }
+}

@@ -14,6 +14,7 @@
 //! paper's firewall-split deployment (§5.2).
 
 use crate::error::NetError;
+use crate::faults::{FaultKind, LinkFault};
 use std::collections::HashMap;
 use unicore_crypto::rng::CryptoRng;
 use unicore_sim::{EventQueue, SimTime, SEC};
@@ -131,12 +132,25 @@ pub struct LinkStats {
     pub dropped: u64,
 }
 
+/// Installed link-fault rules with their dedicated RNG (kept apart from
+/// the network's base RNG so fault decisions never perturb jitter/loss
+/// draws — an empty rule set behaves byte-identically to none).
+struct InstalledFaults {
+    rules: Vec<LinkFault>,
+    rng: CryptoRng,
+}
+
 /// The simulated network.
 pub struct Network {
     nodes: Vec<Node>,
     links: HashMap<(NodeId, NodeId), Link>,
     queue: EventQueue<InFlight>,
     rng: CryptoRng,
+    faults: Option<InstalledFaults>,
+    /// Messages injected by fault rules (duplicates scheduled so far).
+    duplicated: u64,
+    /// Messages held back by reorder rules so far.
+    reordered: u64,
 }
 
 impl Network {
@@ -147,7 +161,25 @@ impl Network {
             links: HashMap::new(),
             queue: EventQueue::new(),
             rng: CryptoRng::from_u64(seed).fork("simnet"),
+            faults: None,
+            duplicated: 0,
+            reordered: 0,
         }
+    }
+
+    /// Installs seeded link-fault rules (see [`crate::FaultPlan`]); any
+    /// previously installed rules are replaced. Rules are evaluated in
+    /// order on every send, drawing from their own `seed`-derived RNG.
+    pub fn install_link_faults(&mut self, rules: Vec<LinkFault>, seed: u64) {
+        self.faults = Some(InstalledFaults {
+            rules,
+            rng: CryptoRng::from_u64(seed).fork("simnet-faults"),
+        });
+    }
+
+    /// Messages duplicated / reordered by installed fault rules so far.
+    pub fn fault_stats(&self) -> (u64, u64) {
+        (self.duplicated, self.reordered)
     }
 
     /// Current simulated time.
@@ -229,13 +261,70 @@ impl Network {
         } else {
             0
         };
-        let deliver_at = start + tx + link.params.latency + jitter;
+        let mut deliver_at = start + tx + link.params.latency + jitter;
         link.busy_until = start + tx;
-        let lost = link.params.loss > 0.0 && self.rng.next_f64() < link.params.loss;
+        let mut lost = link.params.loss > 0.0 && self.rng.next_f64() < link.params.loss;
+        let link_latency = link.params.latency;
+
+        // Installed fault rules, evaluated in order. Decisions draw from
+        // the plan's own RNG, so the base loss/jitter stream above is
+        // untouched whether or not a plan is installed.
+        let mut duplicate_at = None;
+        let mut reorders = 0u64;
+        if let Some(f) = &mut self.faults {
+            let now = self.queue.now();
+            for rule in &f.rules {
+                if !rule.matches(src, dst, now) {
+                    continue;
+                }
+                match rule.kind {
+                    FaultKind::Drop { probability } => {
+                        if f.rng.next_f64() < probability {
+                            lost = true;
+                        }
+                    }
+                    FaultKind::Duplicate { probability } => {
+                        if f.rng.next_f64() < probability {
+                            let extra = 1 + f.rng.next_below(link_latency.max(1));
+                            duplicate_at = Some(deliver_at + extra);
+                        }
+                    }
+                    FaultKind::Reorder {
+                        probability,
+                        max_delay,
+                    } => {
+                        if f.rng.next_f64() < probability {
+                            deliver_at += 1 + f.rng.next_below(max_delay.max(1));
+                            reorders += 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.reordered += reorders;
+
+        let link = self.links.get_mut(&(src, dst)).expect("link exists");
         if lost {
             link.dropped += 1;
         } else {
             link.delivered += 1;
+        }
+        if let Some(at) = duplicate_at {
+            if !lost {
+                self.duplicated += 1;
+                self.queue.schedule_at(
+                    at,
+                    InFlight {
+                        message: Message {
+                            src,
+                            dst,
+                            port,
+                            payload: payload.clone(),
+                        },
+                        lost: false,
+                    },
+                );
+            }
         }
         self.queue.schedule_at(
             deliver_at,
@@ -484,6 +573,155 @@ mod tests {
             (times, net.link_stats(a, b).unwrap())
         };
         assert_eq!(mk(), mk());
+    }
+
+    fn all_links_fault(kind: FaultKind) -> Vec<LinkFault> {
+        vec![LinkFault {
+            link: None,
+            from: 0,
+            until: SimTime::MAX,
+            kind,
+        }]
+    }
+
+    #[test]
+    fn fault_drop_window_drops_within_window_only() {
+        let (mut net, a, b) = two_node_net(LinkParams::lan());
+        net.install_link_faults(
+            vec![LinkFault {
+                link: Some((a, b)),
+                from: 0,
+                until: 10_000,
+                kind: FaultKind::Drop { probability: 1.0 },
+            }],
+            7,
+        );
+        net.send(a, b, 80, vec![1]).unwrap(); // inside the window: dropped
+        net.run_until(20_000);
+        assert!(net.drain_inbox(b).is_empty());
+        net.send(a, b, 80, vec![2]).unwrap(); // window closed: delivered
+        net.run_to_quiescence();
+        assert_eq!(net.drain_inbox(b).len(), 1);
+        let stats = net.link_stats(a, b).unwrap();
+        assert_eq!((stats.dropped, stats.delivered), (1, 1));
+    }
+
+    #[test]
+    fn fault_duplicate_delivers_twice() {
+        let (mut net, a, b) = two_node_net(LinkParams::lan());
+        net.install_link_faults(
+            all_links_fault(FaultKind::Duplicate { probability: 1.0 }),
+            7,
+        );
+        net.send(a, b, 80, vec![9]).unwrap();
+        net.run_to_quiescence();
+        let inbox = net.drain_inbox(b);
+        assert_eq!(inbox.len(), 2);
+        assert_eq!(inbox[0].1.payload, inbox[1].1.payload);
+        assert!(inbox[0].0 < inbox[1].0, "copy arrives strictly later");
+        assert_eq!(net.fault_stats().0, 1);
+    }
+
+    #[test]
+    fn fault_reorder_lets_later_send_overtake() {
+        let params = LinkParams {
+            latency: 100,
+            bandwidth: u64::MAX / 2,
+            loss: 0.0,
+            jitter: 0,
+        };
+        let (mut net, a, b) = two_node_net(params);
+        // Only the first message is reordered (window covers t=0 sends).
+        net.install_link_faults(
+            vec![LinkFault {
+                link: Some((a, b)),
+                from: 0,
+                until: 1,
+                kind: FaultKind::Reorder {
+                    probability: 1.0,
+                    max_delay: 100_000,
+                },
+            }],
+            7,
+        );
+        net.send(a, b, 80, vec![1]).unwrap();
+        net.run_until(50); // advance past the window
+        net.send(a, b, 80, vec![2]).unwrap();
+        net.run_to_quiescence();
+        let inbox = net.drain_inbox(b);
+        assert_eq!(inbox.len(), 2);
+        assert_eq!(
+            inbox[0].1.payload,
+            vec![2],
+            "second send overtook the first"
+        );
+        assert_eq!(inbox[1].1.payload, vec![1]);
+        assert_eq!(net.fault_stats().1, 1);
+    }
+
+    #[test]
+    fn faulted_run_replays_byte_for_byte() {
+        let mk = || {
+            let (mut net, a, b) = two_node_net(LinkParams::wan_1999().with_loss(0.05));
+            net.install_link_faults(
+                vec![
+                    LinkFault {
+                        link: None,
+                        from: 0,
+                        until: SimTime::MAX,
+                        kind: FaultKind::Drop { probability: 0.2 },
+                    },
+                    LinkFault {
+                        link: None,
+                        from: 0,
+                        until: SimTime::MAX,
+                        kind: FaultKind::Duplicate { probability: 0.2 },
+                    },
+                    LinkFault {
+                        link: None,
+                        from: 0,
+                        until: SimTime::MAX,
+                        kind: FaultKind::Reorder {
+                            probability: 0.2,
+                            max_delay: 50_000,
+                        },
+                    },
+                ],
+                99,
+            );
+            for i in 0..200u8 {
+                net.send(a, b, 1, vec![i; 64]).unwrap();
+            }
+            net.run_to_quiescence();
+            let inbox: Vec<(SimTime, Vec<u8>)> = net
+                .drain_inbox(b)
+                .into_iter()
+                .map(|(t, m)| (t, m.payload))
+                .collect();
+            (inbox, net.link_stats(a, b).unwrap(), net.fault_stats())
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn empty_fault_plan_is_byte_identical_to_none() {
+        let run = |install: bool| {
+            let (mut net, a, b) = two_node_net(LinkParams::wan_1999().with_loss(0.1));
+            if install {
+                net.install_link_faults(Vec::new(), 5);
+            }
+            for i in 0..100u8 {
+                net.send(a, b, 1, vec![i; 32]).unwrap();
+            }
+            net.run_to_quiescence();
+            let inbox: Vec<(SimTime, Vec<u8>)> = net
+                .drain_inbox(b)
+                .into_iter()
+                .map(|(t, m)| (t, m.payload))
+                .collect();
+            (inbox, net.link_stats(a, b).unwrap())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -20,13 +20,13 @@ pub const MAX_WIRE_MESSAGE: usize = 1 << 24;
 pub struct WireEnd {
     tx: Sender<Vec<u8>>,
     rx: Receiver<Vec<u8>>,
-    faults: Arc<Mutex<FaultPlan>>,
+    faults: Arc<Mutex<WireFaultPlan>>,
     sent: u64,
 }
 
 /// Programmable fault injection applied on the *send* side.
 #[derive(Debug, Default, Clone)]
-pub struct FaultPlan {
+pub struct WireFaultPlan {
     /// Drop every message whose 1-based sequence number is in this list.
     pub drop_seq: Vec<u64>,
     /// Drop all messages after this many sends (simulates an outage).
@@ -43,13 +43,13 @@ pub fn wire_pair() -> (WireEnd, WireEnd) {
     let a = WireEnd {
         tx: tx_ab,
         rx: rx_ba,
-        faults: Arc::new(Mutex::new(FaultPlan::default())),
+        faults: Arc::new(Mutex::new(WireFaultPlan::default())),
         sent: 0,
     };
     let b = WireEnd {
         tx: tx_ba,
         rx: rx_ab,
-        faults: Arc::new(Mutex::new(FaultPlan::default())),
+        faults: Arc::new(Mutex::new(WireFaultPlan::default())),
         sent: 0,
     };
     (a, b)
@@ -57,7 +57,7 @@ pub fn wire_pair() -> (WireEnd, WireEnd) {
 
 impl WireEnd {
     /// Installs a fault plan on this endpoint's outgoing traffic.
-    pub fn set_faults(&self, plan: FaultPlan) {
+    pub fn set_faults(&self, plan: WireFaultPlan) {
         *self.faults.lock() = plan;
     }
 
@@ -170,7 +170,7 @@ mod tests {
     #[test]
     fn drop_fault_swallows_message() {
         let (mut a, b) = wire_pair();
-        a.set_faults(FaultPlan {
+        a.set_faults(WireFaultPlan {
             drop_seq: vec![2],
             ..Default::default()
         });
@@ -184,7 +184,7 @@ mod tests {
     #[test]
     fn cut_after_simulates_outage() {
         let (mut a, b) = wire_pair();
-        a.set_faults(FaultPlan {
+        a.set_faults(WireFaultPlan {
             cut_after: Some(1),
             ..Default::default()
         });
@@ -198,7 +198,7 @@ mod tests {
     #[test]
     fn corruption_flips_bit() {
         let (mut a, b) = wire_pair();
-        a.set_faults(FaultPlan {
+        a.set_faults(WireFaultPlan {
             corrupt_seq: vec![1],
             ..Default::default()
         });

@@ -6,7 +6,7 @@ use unicore_certs::{
     CertificateAuthority, DistinguishedName, Identity, KeyUsage, TrustStore, Validity,
 };
 use unicore_crypto::CryptoRng;
-use unicore_simnet::{wire_pair, FaultPlan};
+use unicore_simnet::{wire_pair, WireFaultPlan};
 use unicore_transport::{
     client_handshake, server_handshake, Endpoint, SessionCache, TransportError,
 };
@@ -242,7 +242,7 @@ fn corrupted_record_detected() {
     let mut server = server.unwrap();
     // Corrupt the next message the client sends.
     let next = client.wire_mut().sent_count() + 1;
-    client.wire_mut().set_faults(FaultPlan {
+    client.wire_mut().set_faults(WireFaultPlan {
         corrupt_seq: vec![next],
         ..Default::default()
     });

@@ -4,9 +4,13 @@
 //! (`benchmark_group`, `bench_function`, `bench_with_input`, `iter`,
 //! `iter_custom`, `Throughput::Bytes`) with a simple wall-clock harness:
 //! a short warm-up sizes the iteration batch, then `sample_size` samples
-//! are timed and summarised as min/median/mean per iteration.
+//! are timed and summarised as min / p50 / p99 / mean per iteration.
+//! Each completed benchmark also records a [`BenchStats`] row retrievable
+//! via [`take_recorded`], so bench binaries can copy the percentiles into
+//! their machine-readable reports.
 
 use std::fmt::Display;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Re-export of `std::hint::black_box` under criterion's name.
@@ -203,6 +207,44 @@ impl Bencher {
     }
 }
 
+/// Per-iteration timing summary of one completed benchmark, in seconds.
+///
+/// Percentiles come from the sorted per-iteration sample set (nearest-rank
+/// on `sample_size` samples), so with the default 10 samples `p99` is the
+/// worst observed sample — still the honest tail estimate a shared machine
+/// can give, and it tightens as `--sample-size` grows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchStats {
+    /// Full benchmark name (`group/id`).
+    pub name: String,
+    /// Fastest sample.
+    pub min: f64,
+    /// Median (50th percentile) sample.
+    pub p50: f64,
+    /// 99th-percentile sample.
+    pub p99: f64,
+    /// Mean across samples.
+    pub mean: f64,
+}
+
+fn recorded() -> &'static Mutex<Vec<BenchStats>> {
+    static RECORDED: OnceLock<Mutex<Vec<BenchStats>>> = OnceLock::new();
+    RECORDED.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Drains the stats of every benchmark completed so far (in run order).
+/// Bench binaries call this after a group finishes to emit percentiles
+/// into their JSON reports.
+pub fn take_recorded() -> Vec<BenchStats> {
+    std::mem::take(&mut recorded().lock().unwrap_or_else(|e| e.into_inner()))
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample set.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
 fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, tp: Option<Throughput>, mut f: F) {
     // Warm-up: find an iteration count giving samples of ~5 ms each.
     let mut iters = 1u64;
@@ -235,20 +277,32 @@ fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, tp: Option<Thro
     }
     per_iter.sort_by(|a, b| a.total_cmp(b));
     let min = per_iter[0];
-    let median = per_iter[per_iter.len() / 2];
+    let p50 = percentile(&per_iter, 0.50);
+    let p99 = percentile(&per_iter, 0.99);
     let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
 
     let rate = tp.map(|t| match t {
-        Throughput::Bytes(n) => format!("  {}/s", scale_bytes(n as f64 / median)),
-        Throughput::Elements(n) => format!("  {:.0} elem/s", n as f64 / median),
+        Throughput::Bytes(n) => format!("  {}/s", scale_bytes(n as f64 / p50)),
+        Throughput::Elements(n) => format!("  {:.0} elem/s", n as f64 / p50),
     });
     println!(
-        "{name:<50} time: [{} {} {}]{}",
+        "{name:<50} time: [min {} p50 {} p99 {} mean {}]{}",
         scale_time(min),
-        scale_time(median),
+        scale_time(p50),
+        scale_time(p99),
         scale_time(mean),
         rate.unwrap_or_default()
     );
+    recorded()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(BenchStats {
+            name: name.to_owned(),
+            min,
+            p50,
+            p99,
+            mean,
+        });
 }
 
 fn scale_time(secs: f64) -> String {
@@ -317,5 +371,33 @@ mod tests {
     fn iter_custom_records_time() {
         let mut c = Criterion::default();
         c.bench_function("custom", |b| b.iter_custom(Duration::from_nanos));
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&s, 0.50), 50.0);
+        assert_eq!(percentile(&s, 0.99), 99.0);
+        assert_eq!(percentile(&s, 1.0), 100.0);
+        // Small sample sets: p99 degrades to the worst sample.
+        let small = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&small, 0.99), 3.0);
+        assert_eq!(percentile(&small, 0.50), 2.0);
+    }
+
+    #[test]
+    fn completed_benches_record_stats() {
+        let mut c = Criterion::default();
+        c.bench_function("stats/recorded", |b| {
+            b.iter_custom(|n| Duration::from_nanos(n * 10))
+        });
+        let stats = take_recorded();
+        let row = stats
+            .iter()
+            .find(|s| s.name == "stats/recorded")
+            .expect("bench recorded");
+        assert!(row.min > 0.0);
+        assert!(row.min <= row.p50 && row.p50 <= row.p99);
+        assert!(row.mean > 0.0);
     }
 }

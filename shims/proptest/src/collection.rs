@@ -61,6 +61,46 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
+/// A strategy producing `HashSet`s of values from `element`.
+#[derive(Clone)]
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for HashSetStrategy<S>
+where
+    S::Value: std::hash::Hash + Eq,
+{
+    type Value = std::collections::HashSet<S::Value>;
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.size.max - self.size.min) as u64;
+        let n = self.size.min + rng.below(span + 1) as usize;
+        let mut set = std::collections::HashSet::with_capacity(n);
+        // Collisions regenerate; bail out if the element domain is too
+        // small to ever reach the requested cardinality.
+        for _ in 0..10_000 {
+            if set.len() == n {
+                break;
+            }
+            set.insert(self.element.gen_value(rng));
+        }
+        assert_eq!(set.len(), n, "hash_set strategy could not fill {n} slots");
+        set
+    }
+}
+
+/// Generates hash sets whose cardinality falls in `size`.
+pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S::Value: std::hash::Hash + Eq,
+{
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -38,6 +38,25 @@ pub trait Strategy {
         }
     }
 
+    /// Derives a second strategy from each generated value and draws from
+    /// it — the dependent-generation combinator.
+    fn prop_flat_map<O, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        O: Strategy,
+        F: Fn(Self::Value) -> O,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Randomly permutes each generated `Vec` (Fisher–Yates).
+    fn prop_shuffle(self) -> Shuffle<Self>
+    where
+        Self: Sized,
+    {
+        Shuffle { inner: self }
+    }
+
     /// Builds recursive structures: `recurse` receives a strategy for the
     /// substructure and returns a strategy for one more level. `depth`
     /// bounds nesting; the size hints are accepted for API compatibility.
@@ -128,6 +147,46 @@ where
             }
         }
         panic!("prop_filter '{}' rejected 10000 candidates", self.whence);
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    O: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O::Value;
+    fn gen_value(&self, rng: &mut TestRng) -> O::Value {
+        (self.f)(self.inner.gen_value(rng)).gen_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_shuffle`].
+#[derive(Clone)]
+pub struct Shuffle<S> {
+    inner: S,
+}
+
+impl<S, T> Strategy for Shuffle<S>
+where
+    S: Strategy<Value = Vec<T>>,
+{
+    type Value = Vec<T>;
+    fn gen_value(&self, rng: &mut TestRng) -> Vec<T> {
+        let mut v = self.inner.gen_value(rng);
+        for i in (1..v.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            v.swap(i, j);
+        }
+        v
     }
 }
 
@@ -342,6 +401,29 @@ mod tests {
             seen.insert(u.gen_value(&mut r));
         }
         assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn flat_map_and_shuffle() {
+        let mut r = rng();
+        // Dependent generation: a length, then a vec of that length.
+        let s = (1usize..6).prop_flat_map(|n| crate::collection::vec(0u8..10, n));
+        for _ in 0..100 {
+            let v = s.gen_value(&mut r);
+            assert!((1..=5).contains(&v.len()));
+        }
+        // Shuffle permutes without losing elements.
+        let sh = Just((0u8..32).collect::<Vec<u8>>()).prop_shuffle();
+        let mut saw_permuted = false;
+        for _ in 0..20 {
+            let mut v = sh.gen_value(&mut r);
+            if v != (0..32).collect::<Vec<u8>>() {
+                saw_permuted = true;
+            }
+            v.sort_unstable();
+            assert_eq!(v, (0..32).collect::<Vec<u8>>());
+        }
+        assert!(saw_permuted, "32 elements never permuted in 20 shuffles");
     }
 
     #[test]

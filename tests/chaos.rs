@@ -1,0 +1,321 @@
+//! Chaos soak suite: deterministic federated workloads replayed under
+//! every fault class the seeded [`FaultPlan`] knows — message drop,
+//! duplication, reordering, transient site partition, and server
+//! crash-restart — asserting the terminal job outcomes are *byte-for-byte
+//! identical* to the fault-free run. Faults may delay the grid; they must
+//! never change what it computes.
+//!
+//! Plus the two targeted robustness scenarios of the issue: a permanently
+//! partitioned peer yields a failed outcome and a quarantine flag within
+//! the timeout bound (no hang), and an NJS killed mid-retry resumes its
+//! pending peer work from the write-ahead journal after restart.
+
+use unicore::ajo::*;
+use unicore::protocol::{outcome_of, Response};
+use unicore::{Federation, FederationConfig};
+use unicore_client::monitor_rows;
+use unicore_codec::DerCodec;
+use unicore_sim::{SimTime, HOUR, MINUTE, SEC};
+use unicore_simnet::FaultPlan;
+
+const DN: &str = "C=DE, O=FZJ, OU=ZAM, CN=chaos";
+
+/// The soak seeds: every fault class must hold for all of them.
+const SEEDS: [u64; 3] = [1, 7, 23];
+
+fn attrs() -> UserAttributes {
+    UserAttributes::new(DN, "users")
+}
+
+fn script_node(id: u64, name: &str, script: &str) -> (ActionId, GraphNode) {
+    (
+        ActionId(id),
+        GraphNode::Task(AbstractTask {
+            name: name.into(),
+            resources: ResourceRequest::minimal().with_run_time(3_600),
+            kind: TaskKind::Execute(ExecuteKind::Script {
+                script: script.into(),
+            }),
+        }),
+    )
+}
+
+/// The federated workload: a local two-task pipeline at FZJ, a three-site
+/// job fanning sub-AJOs to RUS and DWD with files on the edges, and an
+/// independent single-task job at ZIB.
+fn workload() -> Vec<(&'static str, AbstractJob)> {
+    let mut pipeline = AbstractJob::new("pipeline", VsiteAddress::new("FZJ", "T3E"), attrs());
+    pipeline
+        .nodes
+        .push(script_node(1, "make", "sleep 90\nproduce out.bin 4096\n"));
+    pipeline.nodes.push(script_node(2, "check", "sleep 10\n"));
+    pipeline.dependencies.push(Dependency {
+        from: ActionId(1),
+        to: ActionId(2),
+        files: vec!["out.bin".into()],
+    });
+
+    let mut prep = AbstractJob::new("prep@RUS", VsiteAddress::new("RUS", "VPP"), attrs());
+    prep.nodes
+        .push(script_node(1, "pre", "sleep 10\nproduce grid.dat 2048\n"));
+    let mut post = AbstractJob::new("post@DWD", VsiteAddress::new("DWD", "SX4"), attrs());
+    post.nodes.push(script_node(1, "vis", "sleep 5\n"));
+    let mut multi = AbstractJob::new("3site", VsiteAddress::new("FZJ", "T3E"), attrs());
+    multi.nodes.push((ActionId(1), GraphNode::SubJob(prep)));
+    multi.nodes.push(script_node(
+        2,
+        "main",
+        "sleep 60\nproduce fields.dat 4096\n",
+    ));
+    multi.nodes.push((ActionId(3), GraphNode::SubJob(post)));
+    multi.dependencies.push(Dependency {
+        from: ActionId(1),
+        to: ActionId(2),
+        files: vec!["grid.dat".into()],
+    });
+    multi.dependencies.push(Dependency {
+        from: ActionId(2),
+        to: ActionId(3),
+        files: vec!["fields.dat".into()],
+    });
+
+    let mut solo = AbstractJob::new("solo", VsiteAddress::new("ZIB", "T3E"), attrs());
+    solo.nodes
+        .push(script_node(1, "t", "sleep 20\nproduce r.nc 512\n"));
+
+    vec![("FZJ", pipeline), ("FZJ", multi), ("ZIB", solo)]
+}
+
+/// Runs the workload under `plan` (or fault-free when `None`) and returns
+/// the DER encodings of every job's terminal outcome, in submission
+/// order, plus the finished federation for metric assertions.
+fn run_workload(seed: u64, plan: Option<&FaultPlan>) -> (Vec<Vec<u8>>, Federation) {
+    let mut fed = Federation::german_deployment(FederationConfig {
+        seed,
+        ..FederationConfig::default()
+    });
+    fed.register_user(DN, "alice");
+    fed.attach_stores();
+    if let Some(plan) = plan {
+        fed.apply_fault_plan(plan);
+    }
+
+    let submissions = workload();
+    let corrs: Vec<(String, u64)> = submissions
+        .into_iter()
+        .map(|(via, job)| (via.to_string(), fed.client_submit(via, job, DN)))
+        .collect();
+
+    // Collect consign acks (retried through whatever the plan throws).
+    let deadline = 4 * HOUR;
+    let mut ids: Vec<Option<JobId>> = vec![None; corrs.len()];
+    while ids.iter().any(Option::is_none) {
+        fed.run_until(fed.now() + 5 * SEC);
+        for (i, (_, corr)) in corrs.iter().enumerate() {
+            if ids[i].is_none() {
+                match fed.take_client_response(*corr) {
+                    Some(Response::Consigned { job }) => ids[i] = Some(job),
+                    Some(other) => panic!("consign {i} failed: {other:?}"),
+                    None => {}
+                }
+            }
+        }
+        assert!(fed.now() < deadline, "consign acks never arrived");
+    }
+
+    // Poll every job to its terminal outcome.
+    let mut outcomes = Vec::new();
+    for (i, (via, _)) in corrs.iter().enumerate() {
+        let id = ids[i].expect("consigned");
+        let outcome = loop {
+            let poll = fed.client_poll(via, DN, id, DetailLevel::Tasks);
+            fed.run_until(fed.now() + 10 * SEC);
+            if let Some(resp) = fed.take_client_response(poll) {
+                if let Some(o) = outcome_of(&resp) {
+                    if o.status.is_terminal() {
+                        break o.clone();
+                    }
+                }
+            }
+            assert!(fed.now() < deadline, "job {i} never terminated");
+        };
+        assert!(
+            outcome.status.is_success(),
+            "job {i} failed under faults: {outcome:?}"
+        );
+        outcomes.push(outcome.to_der());
+    }
+    (outcomes, fed)
+}
+
+fn assert_identical_to_baseline(class: &str, plan_for: impl Fn(u64) -> FaultPlan) {
+    for seed in SEEDS {
+        let (baseline, _) = run_workload(seed, None);
+        let plan = plan_for(seed);
+        let (faulted, fed) = run_workload(seed, Some(&plan));
+        assert_eq!(
+            baseline, faulted,
+            "{class}: outcomes diverged from fault-free run at seed {seed}"
+        );
+        drop(fed);
+    }
+}
+
+#[test]
+fn soak_drop_outcomes_byte_identical() {
+    for seed in SEEDS {
+        let (baseline, _) = run_workload(seed, None);
+        let plan = FaultPlan::new(seed ^ 0xD0).drop_everywhere(0.25, 0, SimTime::MAX);
+        let (faulted, fed) = run_workload(seed, Some(&plan));
+        assert_eq!(baseline, faulted, "drop: diverged at seed {seed}");
+        assert!(fed.retries > 0, "drops must force retries");
+        assert!(
+            fed.client_telemetry()
+                .metrics_snapshot()
+                .counter("federation.retries")
+                > 0
+        );
+    }
+}
+
+#[test]
+fn soak_duplicate_outcomes_byte_identical() {
+    for seed in SEEDS {
+        let (baseline, _) = run_workload(seed, None);
+        let plan = FaultPlan::new(seed ^ 0xD7).duplicate_everywhere(0.35, 0, SimTime::MAX);
+        let (faulted, fed) = run_workload(seed, Some(&plan));
+        assert_eq!(baseline, faulted, "duplicate: diverged at seed {seed}");
+        let (dups, _) = fed.seq_stats();
+        assert!(dups > 0, "duplicates must be observed (and absorbed)");
+    }
+}
+
+#[test]
+fn soak_reorder_outcomes_byte_identical() {
+    assert_identical_to_baseline("reorder", |seed| {
+        FaultPlan::new(seed ^ 0x12).reorder_everywhere(0.35, 2 * SEC, 0, SimTime::MAX)
+    });
+}
+
+#[test]
+fn soak_transient_partition_outcomes_byte_identical() {
+    // RUS drops off the grid from t=30s to t=2min — squarely across the
+    // multi-site job's sub-consign and outcome-delivery window.
+    assert_identical_to_baseline("partition", |seed| {
+        FaultPlan::new(seed ^ 0x3A).partition("RUS", 30 * SEC, 2 * MINUTE)
+    });
+}
+
+#[test]
+fn soak_crash_restart_outcomes_byte_identical() {
+    // FZJ's server dies mid-workload and reboots from its journal; the
+    // recovered NJS re-dispatches, peers deduplicate, outcomes match.
+    assert_identical_to_baseline("crash-restart", |seed| {
+        FaultPlan::new(seed ^ 0x55).crash_restart("FZJ", 40 * SEC, 2 * MINUTE)
+    });
+}
+
+#[test]
+fn soak_replays_are_deterministic() {
+    // The same seed and plan replay to the same bytes — the property the
+    // whole suite rests on.
+    let plan = FaultPlan::new(99)
+        .drop_everywhere(0.2, 0, SimTime::MAX)
+        .duplicate_everywhere(0.2, 0, SimTime::MAX)
+        .reorder_everywhere(0.2, SEC, 0, SimTime::MAX);
+    let (a, _) = run_workload(5, Some(&plan));
+    let (b, _) = run_workload(5, Some(&plan));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn permanent_partition_fails_bounded_and_flags_dead_site() {
+    let mut fed = Federation::german_deployment(seeded(3));
+    fed.register_user(DN, "alice");
+    fed.apply_fault_plan(&FaultPlan::new(3).partition("RUS", 0, SimTime::MAX));
+
+    // A job whose sub-AJO targets the dead site terminates unsuccessfully
+    // within the retry envelope — it must not hang.
+    let mut sub = AbstractJob::new("never", VsiteAddress::new("RUS", "VPP"), attrs());
+    sub.nodes.push(script_node(1, "x", "sleep 5\n"));
+    let mut job = AbstractJob::new("doomed", VsiteAddress::new("FZJ", "T3E"), attrs());
+    job.nodes.push((ActionId(1), GraphNode::SubJob(sub)));
+    job.nodes.push(script_node(2, "local", "sleep 5\n"));
+    let (_, outcome, done_at) = fed
+        .submit_and_wait("FZJ", job, DN, 5 * SEC, HOUR)
+        .expect("terminal outcome within the hour");
+    assert!(outcome.status.is_terminal());
+    assert!(!outcome.status.is_success());
+    assert!(outcome.child(ActionId(2)).unwrap().status().is_success());
+    assert!(done_at < HOUR, "failure verdict must be bounded");
+
+    // Drive a second retry exhaustion to open the circuit, then confirm
+    // the grid view carries the dead-site flag and the JMC renders it.
+    let _ = fed.client_monitor("FZJ", DN, true);
+    fed.run_until(fed.now() + 10 * MINUTE);
+    let corr = fed.client_monitor("FZJ", DN, true);
+    fed.run_until(fed.now() + 10 * MINUTE);
+    let Some(Response::Service(ServiceOutcome::Monitor { sites })) = fed.take_client_response(corr)
+    else {
+        panic!("no grid view");
+    };
+    let rus = sites.iter().find(|r| r.usite == "RUS").expect("RUS row");
+    assert_eq!(rus.metrics.counter("federation.site.dead"), 1);
+    assert_eq!(fed.quarantined_sites(), vec!["RUS".to_string()]);
+    let rendered = monitor_rows(&sites);
+    assert!(rendered.iter().any(|row| row.text.contains("UNREACHABLE")));
+}
+
+#[test]
+fn njs_killed_mid_retry_resumes_peer_work_from_journal() {
+    let mut fed = Federation::german_deployment(seeded(17));
+    fed.register_user(DN, "alice");
+    fed.attach_stores();
+
+    // RUS is unreachable, so FZJ's sub-consign sits in its retry loop.
+    fed.set_partitioned("RUS", true);
+    let mut sub = AbstractJob::new("remote", VsiteAddress::new("RUS", "VPP"), attrs());
+    sub.nodes.push(script_node(1, "r", "sleep 10\n"));
+    let mut job = AbstractJob::new("resumed", VsiteAddress::new("FZJ", "T3E"), attrs());
+    job.nodes.push((ActionId(1), GraphNode::SubJob(sub)));
+    let corr = fed.client_submit("FZJ", job, DN);
+    fed.run_until(30 * SEC);
+    let Some(Response::Consigned { job: id }) = fed.take_client_response(corr) else {
+        panic!("no consign ack");
+    };
+
+    // Kill FZJ while the retry is pending, heal the partition, reboot.
+    fed.crash_site("FZJ");
+    fed.set_partitioned("RUS", false);
+    fed.run_until(fed.now() + MINUTE);
+    fed.restart_site("FZJ");
+
+    // The recovered NJS re-dispatches the remote node from its journal;
+    // RUS deduplicates by sub-job identity; the job completes.
+    let deadline = 2 * HOUR;
+    let outcome = loop {
+        let poll = fed.client_poll("FZJ", DN, id, DetailLevel::Tasks);
+        fed.run_until(fed.now() + 15 * SEC);
+        if let Some(resp) = fed.take_client_response(poll) {
+            if let Some(o) = outcome_of(&resp) {
+                if o.status.is_terminal() {
+                    break o.clone();
+                }
+            }
+        }
+        assert!(fed.now() < deadline, "resumed job never terminated");
+    };
+    assert!(outcome.status.is_success(), "{outcome:?}");
+    assert!(matches!(
+        outcome.child(ActionId(1)),
+        Some(OutcomeNode::Job(j)) if j.status.is_success()
+    ));
+}
+
+/// A config with just the seed set.
+fn seeded(seed: u64) -> FederationConfig {
+    FederationConfig {
+        seed,
+        ..FederationConfig::default()
+    }
+}
