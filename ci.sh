@@ -32,6 +32,12 @@ cargo test -q --offline -p unicore-codec --test prop_encode_equiv
 echo "==> chaos soak suite (seeds 1, 7, 23 x every fault class)"
 cargo test -q --offline -p unicore-integration-tests --test chaos
 
+echo "==> data plane: unit + property suites"
+cargo test -q --offline -p unicore-dataplane
+
+echo "==> data plane: chunked transfers resume byte-identical under chaos"
+cargo test -q --offline -p unicore-integration-tests --test chaos dataplane
+
 echo "==> peer-consign idempotency proptests"
 cargo test -q --offline -p unicore --test prop_peer_consign
 

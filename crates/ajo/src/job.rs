@@ -15,12 +15,16 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use unicore_codec::{CodecError, DerCodec, Fields, Value};
 
 /// A file carried inside the AJO from the user's workstation (§5.6).
+///
+/// The bytes are shared (`Arc<[u8]>`): a consigned AJO's payload flows
+/// through decode → admission → the job's staged-file map without ever
+/// being copied — clones along the consign fast path are refcount bumps.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PortfolioFile {
     /// Workstation path / portfolio key.
     pub name: String,
-    /// The file's bytes.
-    pub data: Vec<u8>,
+    /// The file's bytes (shared, never copied on the admission path).
+    pub data: std::sync::Arc<[u8]>,
 }
 
 /// A node of the job graph: a task or a sub-job (job group).
@@ -415,7 +419,7 @@ impl DerCodec for AbstractJob {
                 self.portfolio
                     .iter()
                     .map(|p| {
-                        Value::Sequence(vec![Value::string(&p.name), Value::bytes(p.data.clone())])
+                        Value::Sequence(vec![Value::string(&p.name), Value::bytes(p.data.to_vec())])
                     })
                     .collect(),
             ),
@@ -446,7 +450,7 @@ impl DerCodec for AbstractJob {
         for item in pf_items {
             let mut pf = Fields::open(item, "portfolio entry")?;
             let name = pf.next_string()?;
-            let data = pf.next_bytes()?.to_vec();
+            let data: std::sync::Arc<[u8]> = pf.next_bytes()?.into();
             pf.finish()?;
             portfolio.push(PortfolioFile { name, data });
         }
@@ -645,7 +649,7 @@ mod tests {
         ));
         job.portfolio.push(PortfolioFile {
             name: "input.dat".into(),
-            data: vec![1, 2, 3],
+            data: vec![1, 2, 3].into(),
         });
         job.validate().unwrap();
     }
@@ -658,7 +662,7 @@ mod tests {
         top.nodes.push((ActionId(1), GraphNode::SubJob(sub)));
         top.portfolio.push(PortfolioFile {
             name: "shared.dat".into(),
-            data: vec![0; 10],
+            data: vec![0; 10].into(),
         });
         top.validate().unwrap();
     }
@@ -668,7 +672,7 @@ mod tests {
         let mut sub = AbstractJob::new("sub", VsiteAddress::new("RUS", "VPP"), user());
         sub.portfolio.push(PortfolioFile {
             name: "x".into(),
-            data: vec![],
+            data: vec![].into(),
         });
         let mut top = AbstractJob::new("top", VsiteAddress::new("FZJ", "T3E"), user());
         top.nodes.push((ActionId(1), GraphNode::SubJob(sub)));
@@ -684,7 +688,7 @@ mod tests {
         for _ in 0..2 {
             job.portfolio.push(PortfolioFile {
                 name: "same".into(),
-                data: vec![],
+                data: vec![].into(),
             });
         }
         assert!(matches!(
@@ -714,7 +718,7 @@ mod tests {
         top.nodes.push((ActionId(4), GraphNode::SubJob(sub)));
         top.portfolio.push(PortfolioFile {
             name: "data.bin".into(),
-            data: (0..255).collect(),
+            data: (0..255).collect::<Vec<u8>>().into(),
         });
         let back = AbstractJob::from_der(&top.to_der()).unwrap();
         assert_eq!(back, top);

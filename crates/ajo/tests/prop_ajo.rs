@@ -159,3 +159,32 @@ proptest! {
         prop_assert!(is_cycle);
     }
 }
+
+#[test]
+fn portfolio_payload_der_round_trip_is_byte_identical() {
+    // Portfolio payloads are `Arc<[u8]>`: cloning a file shares the
+    // allocation, and the DER wire round trip reproduces the bytes
+    // exactly (the encoding is unchanged from the `Vec<u8>` era).
+    let data: std::sync::Arc<[u8]> = (0u16..=255)
+        .cycle()
+        .take(10_000)
+        .map(|b| b as u8)
+        .collect::<Vec<u8>>()
+        .into();
+    let file = PortfolioFile {
+        name: "payload.bin".into(),
+        data: data.clone(),
+    };
+    assert!(std::sync::Arc::ptr_eq(&file.data, &data));
+
+    let mut job = AbstractJob::new(
+        "wire",
+        VsiteAddress::new("FZJ", "T3E"),
+        UserAttributes::new("C=DE, O=FZJ, OU=ZAM, CN=alice", "zam"),
+    );
+    job.portfolio.push(file);
+    let decoded = AbstractJob::from_der(&job.to_der()).unwrap();
+    assert_eq!(decoded.portfolio.len(), 1);
+    assert_eq!(&decoded.portfolio[0].data[..], &data[..]);
+    assert_eq!(decoded.to_der(), job.to_der(), "re-encoding must be stable");
+}

@@ -20,7 +20,7 @@ use unicore_ajo::{
     AbstractJob, AbstractTask, ActionId, Dependency, ExecuteKind, FileKind, GraphNode,
     ResourceRequest, TaskKind, VsiteAddress,
 };
-use unicore_bench::{bench_user_attrs, fmt_bytes, BENCH_DN};
+use unicore_bench::{bench_user_attrs, fmt_bytes, BenchReport, BENCH_DN};
 use unicore_certs::{CertificateAuthority, DistinguishedName, KeyUsage, TrustStore, Validity};
 use unicore_codec::DerCodec;
 use unicore_crypto::CryptoRng;
@@ -93,8 +93,13 @@ fn relay_time(size: usize) -> Option<SimTime> {
     Some(done)
 }
 
-fn print_tables() {
+fn print_tables() -> BenchReport {
     println!("\n=== E5: Uspace-to-Uspace transfer rates (§5.6) ===\n");
+    let mut report = BenchReport::new("e5_file_transfer");
+    report.note(
+        "workload",
+        "produce-then-transfer job between two generic sites over wan_1999; ratio is relayed grid time over the raw-link lower bound",
+    );
     let wan = LinkParams::wan_1999();
     println!(
         "{:>10} {:>16} {:>16} {:>16} {:>8}",
@@ -115,11 +120,20 @@ fn print_tables() {
             "~0",
             ratio
         );
+        let key = fmt_bytes(size as u64).replace(' ', "");
+        report
+            .metric(
+                &format!("{key}.relayed_s"),
+                relayed.map(|r| r as f64 / SEC as f64).unwrap_or(f64::NAN),
+            )
+            .metric(&format!("{key}.raw_bound_s"), raw as f64 / SEC as f64)
+            .metric(&format!("{key}.ratio"), ratio);
     }
     println!("\n(relayed time includes job startup + polling quantisation; the ratio");
     println!(" falls towards the bandwidth bound as size grows — matching the");
     println!(" paper's observation that the relay hurts most in per-transfer");
     println!(" overhead, while huge transfers are bandwidth-limited either way)\n");
+    report
 }
 
 /// The real CPU tax of the https-style relay path on `data`:
@@ -250,8 +264,21 @@ fn live_channel_pair() -> (SecureChannel, SecureChannel) {
 }
 
 fn main() {
-    print_tables();
+    let mut report = print_tables();
     let mut c = Criterion::default().configure_from_args();
     benches(&mut c);
     c.final_summary();
+    // Wall-clock percentiles of the CPU-path measurements, from the
+    // shim's per-sample records.
+    for s in criterion::take_recorded() {
+        let key = s.name.replace('/', ".");
+        report
+            .metric(&format!("{key}.min_ms"), s.min * 1e3)
+            .metric(&format!("{key}.p50_ms"), s.p50 * 1e3)
+            .metric(&format!("{key}.p99_ms"), s.p99 * 1e3);
+    }
+    match report.write() {
+        Ok(path) => println!("machine-readable results: {}", path.display()),
+        Err(e) => eprintln!("could not write bench report: {e}"),
+    }
 }

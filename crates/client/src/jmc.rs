@@ -9,7 +9,9 @@
 //! This module renders outcome trees with the colour model and extracts
 //! task outputs — everything the applet GUI displayed, as plain data.
 
-use unicore_ajo::{AbstractJob, ActionId, GraphNode, JobOutcome, OutcomeNode, StatusColor};
+use unicore_ajo::{
+    AbstractJob, ActionId, GraphNode, JobOutcome, OutcomeNode, StatusColor, TaskOutcome,
+};
 
 /// The icon glyph for each status colour (terminal-friendly stand-ins for
 /// the applet's coloured icons).
@@ -50,6 +52,18 @@ pub fn status_rows(job: &AbstractJob, outcome: &JobOutcome) -> Vec<StatusRow> {
     rows
 }
 
+/// The status text for a task row. While the data plane streams a
+/// transfer, the NJS reports staged bytes on the running task; the JMC
+/// shows that progress next to the raw status, like the applet's
+/// per-task progress display.
+fn task_status_text(t: &TaskOutcome) -> String {
+    if !t.status.is_terminal() && t.bytes_staged > 0 && !t.message.is_empty() {
+        format!("{:?} — {}", t.status, t.message)
+    } else {
+        format!("{:?}", t.status)
+    }
+}
+
 fn rows_level(job: &AbstractJob, outcome: &JobOutcome, depth: usize, rows: &mut Vec<StatusRow>) {
     for (id, node) in &job.nodes {
         let child = outcome.child(*id);
@@ -59,7 +73,7 @@ fn rows_level(job: &AbstractJob, outcome: &JobOutcome, depth: usize, rows: &mut 
                     depth,
                     icon: color_icon(t.status.color()),
                     name: task.name.clone(),
-                    status: format!("{:?}", t.status),
+                    status: task_status_text(t),
                 });
             }
             (GraphNode::SubJob(sub), Some(OutcomeNode::Job(j))) => {
@@ -317,6 +331,30 @@ mod tests {
         // No failure in the clean version.
         let (job2, outcome2) = job_with_outcome();
         assert!(first_failure(&job2, &outcome2).is_none());
+    }
+
+    #[test]
+    fn streaming_transfer_progress_rendered() {
+        let (job, mut outcome) = job_with_outcome();
+        // The data plane is mid-stream on the main task: the NJS
+        // reports staged bytes and a progress message.
+        if let Some(OutcomeNode::Task(t)) = outcome.child_mut(ActionId(1)) {
+            *t = TaskOutcome {
+                status: ActionStatus::Running,
+                bytes_staged: 1_310_720,
+                message: "streaming 1310720/4194304 bytes".into(),
+                ..Default::default()
+            };
+        }
+        let rows = status_rows(&job, &outcome);
+        assert_eq!(rows[1].status, "Running — streaming 1310720/4194304 bytes");
+        assert_eq!(rows[1].icon, "[~]");
+        // Once terminal, the progress message is dropped from the row.
+        if let Some(OutcomeNode::Task(t)) = outcome.child_mut(ActionId(1)) {
+            t.status = ActionStatus::Successful;
+        }
+        let rows = status_rows(&job, &outcome);
+        assert_eq!(rows[1].status, "Successful");
     }
 
     #[test]

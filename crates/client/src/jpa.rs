@@ -237,7 +237,7 @@ impl JobBuilder {
         if !self.job.portfolio.iter().any(|p| p.name == path) {
             self.job.portfolio.push(PortfolioFile {
                 name: path.clone(),
-                data,
+                data: data.into(),
             });
         }
         self.push(GraphNode::Task(AbstractTask {

@@ -16,6 +16,7 @@ use unicore_ajo::{
     OutcomeNode, ServiceOutcome, VsiteAddress,
 };
 use unicore_codec::{CodecError, DerCodec, Fields, Value};
+use unicore_dataplane::TransferManifest;
 use unicore_resources::ResourceDirectory;
 use unicore_telemetry::{SpanContext, SpanId, TraceId};
 
@@ -113,6 +114,29 @@ pub enum Request {
         /// receiving gateway for file ownership).
         user_dn: String,
     },
+    /// NJS → peer NJS: open (or resume) a streamed transfer. The receiver
+    /// answers [`Response::TransferGo`] with its resume point — `0` for a
+    /// fresh stream, the journaled watermark after a crash-restart.
+    TransferOffer {
+        /// The transfer's full contract: identity, destination, length,
+        /// chunk geometry and checksums.
+        manifest: TransferManifest,
+    },
+    /// NJS → peer NJS: one chunk of an open transfer. Acked cumulatively
+    /// with [`Response::ChunkAck`]; safe to re-deliver (the receiver is
+    /// idempotent per chunk).
+    TransferChunk {
+        /// The sending Usite (transfer identity, with job and node).
+        origin: String,
+        /// The sending job.
+        origin_job: JobId,
+        /// The sending Transfer task node.
+        origin_node: ActionId,
+        /// Chunk index within the manifest.
+        index: u64,
+        /// The chunk's bytes.
+        data: Vec<u8>,
+    },
 }
 
 /// A response body.
@@ -140,6 +164,19 @@ pub enum Response {
     Resources(ResourceDirectory),
     /// Refusal or failure with a reason.
     Error(String),
+    /// A transfer offer was accepted: stream chunks starting at
+    /// `resume_from` (the receiver's contiguous watermark).
+    TransferGo {
+        /// First chunk index the receiver still needs.
+        resume_from: u64,
+    },
+    /// Cumulative chunk acknowledgement.
+    ChunkAck {
+        /// Contiguous chunks durably stored so far.
+        upto: u64,
+        /// Whether the file is complete and committed at the destination.
+        done: bool,
+    },
 }
 
 /// The wire envelope.
@@ -273,6 +310,23 @@ impl DerCodec for Request {
                     Value::string(user_dn),
                 ]),
             ),
+            Request::TransferOffer { manifest } => Value::tagged(12, manifest.to_value()),
+            Request::TransferChunk {
+                origin,
+                origin_job,
+                origin_node,
+                index,
+                data,
+            } => Value::tagged(
+                13,
+                Value::Sequence(vec![
+                    Value::string(origin),
+                    Value::Integer(origin_job.0 as i64),
+                    Value::Integer(origin_node.0 as i64),
+                    Value::Integer(*index as i64),
+                    Value::bytes(data.clone()),
+                ]),
+            ),
         }
     }
 
@@ -389,6 +443,25 @@ impl DerCodec for Request {
                     .as_bool()
                     .ok_or(CodecError::BadValue("Monitor grid flag"))?,
             }),
+            12 => Ok(Request::TransferOffer {
+                manifest: TransferManifest::from_value(inner)?,
+            }),
+            13 => {
+                let mut f = Fields::open(inner, "TransferChunk")?;
+                let origin = f.next_string()?;
+                let origin_job = JobId(f.next_u64()?);
+                let origin_node = ActionId(f.next_u64()?);
+                let index = f.next_u64()?;
+                let data = f.next_bytes()?.to_vec();
+                f.finish()?;
+                Ok(Request::TransferChunk {
+                    origin,
+                    origin_job,
+                    origin_node,
+                    index,
+                    data,
+                })
+            }
             _ => Err(CodecError::BadValue("Request variant")),
         }
     }
@@ -408,6 +481,13 @@ impl DerCodec for Response {
             ),
             Response::Resources(dir) => Value::tagged(7, dir.to_value()),
             Response::Error(msg) => Value::tagged(4, Value::string(msg)),
+            Response::TransferGo { resume_from } => {
+                Value::tagged(8, Value::Integer(*resume_from as i64))
+            }
+            Response::ChunkAck { upto, done } => Value::tagged(
+                9,
+                Value::Sequence(vec![Value::Integer(*upto as i64), Value::Boolean(*done)]),
+            ),
         }
     }
 
@@ -450,6 +530,16 @@ impl DerCodec for Response {
                 Ok(Response::FileNames(names))
             }
             7 => Ok(Response::Resources(ResourceDirectory::from_value(inner)?)),
+            8 => Ok(Response::TransferGo {
+                resume_from: inner.as_u64().ok_or(CodecError::BadValue("resume point"))?,
+            }),
+            9 => {
+                let mut f = Fields::open(inner, "ChunkAck")?;
+                let upto = f.next_u64()?;
+                let done = f.next_bool()?;
+                f.finish()?;
+                Ok(Response::ChunkAck { upto, done })
+            }
             _ => Err(CodecError::BadValue("Response variant")),
         }
     }
@@ -643,6 +733,26 @@ mod tests {
             origin_node: ActionId(5),
             user_dn: "CN=alice".into(),
         });
+        round_trip_req(Request::TransferOffer {
+            manifest: TransferManifest::for_bytes(
+                "FZJ",
+                JobId(3),
+                ActionId(4),
+                VsiteAddress::new("RUS", "VPP"),
+                "fields.grb",
+                "CN=alice",
+                true,
+                &[7u8; 1000],
+                256,
+            ),
+        });
+        round_trip_req(Request::TransferChunk {
+            origin: "FZJ".into(),
+            origin_job: JobId(3),
+            origin_node: ActionId(4),
+            index: 2,
+            data: vec![7u8; 256],
+        });
     }
 
     #[test]
@@ -667,6 +777,15 @@ mod tests {
                 Response::Resources(dir)
             },
             Response::Error("no UUDB entry".into()),
+            Response::TransferGo { resume_from: 17 },
+            Response::ChunkAck {
+                upto: 42,
+                done: false,
+            },
+            Response::ChunkAck {
+                upto: 43,
+                done: true,
+            },
         ] {
             let env = Envelope {
                 corr: 1,

@@ -14,12 +14,13 @@ use unicore_ajo::{
 };
 use unicore_codec::DerCodec;
 use unicore_crypto::sha256;
+use unicore_dataplane::{SenderState, TransferManifest, DEFAULT_CHUNK_SIZE, DEFAULT_WINDOW};
 use unicore_gateway::{AuthDecision, Gateway};
 use unicore_njs::{ConsignMeta, Njs, NjsError, OutgoingItem, RecoveryReport};
 use unicore_resources::ResourceDirectory;
 use unicore_sim::{SimTime, SEC};
 use unicore_store::ForeignOrigin;
-use unicore_telemetry::{ActiveSpan, SpanContext, Telemetry};
+use unicore_telemetry::{ActiveSpan, Counter, SpanContext, Telemetry};
 
 /// A request this server wants delivered to a peer Usite.
 #[derive(Debug)]
@@ -41,12 +42,70 @@ enum Pending {
         parent: JobId,
         node: ActionId,
     },
-    FilePush {
+    /// A chunked-transfer offer awaiting the receiver's resume point.
+    TransferOffer {
         job: JobId,
         node: ActionId,
-        bytes: u64,
+    },
+    /// One in-flight chunk of a chunked transfer.
+    TransferChunk {
+        job: JobId,
+        node: ActionId,
     },
     OutcomeDelivery,
+}
+
+/// How long a stalled transfer waits before re-offering. Individual
+/// chunk requests already ride the E14 retry budget (≈126 s), so a
+/// stall here means the *receiver* rejected us, not that the network
+/// ate a message.
+const TRANSFER_RETRY: SimTime = 30 * SEC;
+
+/// Re-offer attempts before a transfer gives up and fails its node.
+const MAX_TRANSFER_ATTEMPTS: u32 = 10;
+
+enum TransferPhase {
+    /// Offer sent, waiting for the receiver's `TransferGo`.
+    Offering,
+    /// Chunks in flight inside the sliding window.
+    Streaming,
+    /// The receiver errored; re-offer at `retry_at` (the receiver's
+    /// journaled watermark makes the re-offer resume, not restart).
+    Stalled { retry_at: SimTime },
+}
+
+/// Sender-side state of one outbound chunked transfer.
+struct OutboundTransfer {
+    dest: String,
+    manifest: TransferManifest,
+    sender: SenderState,
+    phase: TransferPhase,
+    attempts: u32,
+    /// Open `dataplane.transfer` span, ended at completion or failure.
+    span: ActiveSpan,
+}
+
+/// Sender-side data-plane counters.
+struct DataplaneMetrics {
+    bytes_sent: Counter,
+    chunks_sent: Counter,
+    chunks_acked: Counter,
+    transfers_completed: Counter,
+    transfers_resumed: Counter,
+    transfers_failed: Counter,
+}
+
+impl Default for DataplaneMetrics {
+    fn default() -> Self {
+        DataplaneMetrics {
+            bytes_sent: Counter::detached(),
+            chunks_sent: Counter::detached(),
+            chunks_acked: Counter::detached(),
+            transfers_completed: Counter::detached(),
+            transfers_resumed: Counter::detached(),
+            transfers_failed: Counter::detached(),
+        }
+    }
 }
 
 struct ForeignJob {
@@ -75,6 +134,15 @@ pub struct UnicoreServer {
     pending: HashMap<u64, Pending>,
     next_corr: u64,
     telemetry: Telemetry,
+    /// Outbound chunked transfers by (local job, transfer node).
+    transfers: HashMap<(JobId, ActionId), OutboundTransfer>,
+    /// Requests produced outside [`UnicoreServer::step`] (chunk sends
+    /// triggered by acks in `handle_response`), drained by the next step.
+    outq: Vec<OutboundRequest>,
+    /// Last simulated time seen by `step`, used to stamp events emitted
+    /// from response handling (which carries no clock of its own).
+    clock: SimTime,
+    dp: DataplaneMetrics,
 }
 
 /// Span label for a request (low-cardinality attribute).
@@ -92,6 +160,8 @@ fn request_kind(request: &Request) -> &'static str {
         Request::ConsignSubJob { .. } => "consign_subjob",
         Request::DeliverOutcome { .. } => "deliver_outcome",
         Request::PushFile { .. } => "push_file",
+        Request::TransferOffer { .. } => "transfer_offer",
+        Request::TransferChunk { .. } => "transfer_chunk",
     }
 }
 
@@ -147,6 +217,10 @@ impl UnicoreServer {
             pending: HashMap::new(),
             next_corr: 1,
             telemetry: Telemetry::disabled(),
+            transfers: HashMap::new(),
+            outq: Vec::new(),
+            clock: 0,
+            dp: DataplaneMetrics::default(),
         }
     }
 
@@ -156,6 +230,14 @@ impl UnicoreServer {
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.gateway.set_telemetry(&telemetry);
         self.njs.set_telemetry(telemetry.clone());
+        self.dp = DataplaneMetrics {
+            bytes_sent: telemetry.counter("dataplane.bytes.sent"),
+            chunks_sent: telemetry.counter("dataplane.chunks.sent"),
+            chunks_acked: telemetry.counter("dataplane.chunks.acked"),
+            transfers_completed: telemetry.counter("dataplane.transfers.completed"),
+            transfers_resumed: telemetry.counter("dataplane.transfers.resumed"),
+            transfers_failed: telemetry.counter("dataplane.transfers.failed"),
+        };
         self.telemetry = telemetry;
     }
 
@@ -171,6 +253,13 @@ impl UnicoreServer {
     /// [`UnicoreServer::step`] (delivery is at-least-once; the origin
     /// applies it idempotently).
     pub fn recover(&mut self, now: SimTime) -> Result<RecoveryReport, NjsError> {
+        // A rebooted server must not reuse correlation ids: peers'
+        // at-most-once caches still hold responses keyed by the previous
+        // incarnation's corrs, and a reused corr would be answered from
+        // that cache — a stale reply for a semantically different
+        // request. Starting at the recovery timestamp keeps every
+        // incarnation's corr range disjoint.
+        self.next_corr = self.next_corr.max(now).max(1);
         let report = self.njs.recover(now)?;
         for (key, job) in &report.idem {
             self.idem.insert(key.clone(), *job);
@@ -501,6 +590,45 @@ impl UnicoreServer {
                     Err(e) => Response::Error(e.to_string()),
                 }
             }
+            Request::TransferOffer { manifest } => {
+                if !self.peer_servers.contains(from_dn) {
+                    return Response::Error(format!("{from_dn} is not a trusted peer server"));
+                }
+                // The transfer lands as the *original user*: map their DN
+                // to a local login before staging anything.
+                let decision = self.gateway.authorize_dn(
+                    &manifest.user_dn,
+                    &manifest.to_vsite.vsite,
+                    None,
+                    now_secs,
+                );
+                let login = match decision {
+                    AuthDecision::Accepted(m) => m.login,
+                    AuthDecision::Refused(reason) => return Response::Error(reason),
+                };
+                match self.njs.transfer_offer(manifest, &login) {
+                    Ok(resume_from) => Response::TransferGo { resume_from },
+                    Err(e) => Response::Error(e.to_string()),
+                }
+            }
+            Request::TransferChunk {
+                origin,
+                origin_job,
+                origin_node,
+                index,
+                data,
+            } => {
+                if !self.peer_servers.contains(from_dn) {
+                    return Response::Error(format!("{from_dn} is not a trusted peer server"));
+                }
+                match self
+                    .njs
+                    .transfer_chunk(&origin, origin_job, origin_node, index, &data)
+                {
+                    Ok((upto, done)) => Response::ChunkAck { upto, done },
+                    Err(e) => Response::Error(e.to_string()),
+                }
+            }
         }
     }
 
@@ -526,19 +654,51 @@ impl UnicoreServer {
                 // On Consigned{..} the node stays in Remote state until a
                 // DeliverOutcome arrives.
             }
-            Pending::FilePush { job, node, bytes } => {
-                let outcome = match response {
-                    Response::Ack => TaskOutcome {
-                        status: ActionStatus::Successful,
-                        bytes_staged: bytes,
-                        ..Default::default()
-                    },
-                    Response::Error(msg) => TaskOutcome::failure(msg),
-                    _ => TaskOutcome::failure("unexpected push response"),
-                };
-                self.njs
-                    .complete_remote_node(job, node, OutcomeNode::Task(outcome));
-            }
+            Pending::TransferOffer { job, node } => match response {
+                Response::TransferGo { resume_from } => {
+                    let Some(tr) = self.transfers.get_mut(&(job, node)) else {
+                        return;
+                    };
+                    if resume_from > 0 {
+                        self.dp.transfers_resumed.inc();
+                    }
+                    tr.phase = TransferPhase::Streaming;
+                    tr.attempts = 0;
+                    let to_send = tr.sender.begin(resume_from);
+                    if tr.sender.is_complete() {
+                        // The receiver already holds (and committed) the
+                        // whole file — an earlier incarnation of us got it
+                        // there before crashing.
+                        self.finish_transfer(job, node, None);
+                    } else {
+                        for index in to_send {
+                            self.push_chunk(job, node, index);
+                        }
+                    }
+                }
+                Response::Error(msg) => self.stall_transfer(job, node, msg),
+                _ => self.stall_transfer(job, node, "unexpected offer response".into()),
+            },
+            Pending::TransferChunk { job, node } => match response {
+                Response::ChunkAck { upto, done } => {
+                    let Some(tr) = self.transfers.get_mut(&(job, node)) else {
+                        return;
+                    };
+                    self.dp.chunks_acked.inc();
+                    let to_send = tr.sender.on_ack(upto);
+                    let (bytes, total) = (tr.sender.bytes_acked(), tr.manifest.total_len);
+                    self.njs.note_transfer_progress(job, node, bytes, total);
+                    if done {
+                        self.finish_transfer(job, node, None);
+                    } else {
+                        for index in to_send {
+                            self.push_chunk(job, node, index);
+                        }
+                    }
+                }
+                Response::Error(msg) => self.stall_transfer(job, node, msg),
+                _ => self.stall_transfer(job, node, "unexpected chunk response".into()),
+            },
             Pending::OutcomeDelivery => {}
         }
     }
@@ -550,8 +710,27 @@ impl UnicoreServer {
 
     /// Advances local work to `now` and returns requests for peers.
     pub fn step(&mut self, now: SimTime) -> Vec<OutboundRequest> {
+        self.clock = now;
         self.njs.step(now);
-        let mut out = Vec::new();
+
+        // Re-offer stalled transfers whose backoff elapsed: the receiver
+        // answers with its journaled watermark, so this resumes rather
+        // than restarts.
+        let stalled: Vec<(JobId, ActionId)> = self
+            .transfers
+            .iter()
+            .filter(|(_, tr)| matches!(tr.phase, TransferPhase::Stalled { retry_at } if retry_at <= now))
+            .map(|(k, _)| *k)
+            .collect();
+        for (job, node) in stalled {
+            if let Some(tr) = self.transfers.get_mut(&(job, node)) {
+                tr.phase = TransferPhase::Offering;
+            }
+            self.offer_transfer(job, node);
+        }
+
+        // Chunk sends queued by ack handling since the last step.
+        let mut out = std::mem::take(&mut self.outq);
 
         // Forward sub-jobs and file pushes the NJS wants sent away.
         for item in self.njs.take_outbox() {
@@ -586,33 +765,41 @@ impl UnicoreServer {
                     to_vsite,
                     dest_name,
                     data,
+                    world_readable,
                 } => {
-                    let dest = to_vsite.usite.clone();
-                    let corr = self.next_corr;
-                    self.next_corr += 1;
-                    let bytes = data.len() as u64;
-                    self.pending.insert(
-                        corr,
-                        Pending::FilePush {
-                            job: from_job,
-                            node,
-                            bytes,
+                    let user_dn = self.njs.owner_dn(from_job).unwrap_or_default();
+                    let manifest = TransferManifest::for_bytes(
+                        self.usite.clone(),
+                        from_job,
+                        node,
+                        to_vsite,
+                        dest_name,
+                        user_dn,
+                        world_readable,
+                        &data,
+                        DEFAULT_CHUNK_SIZE,
+                    );
+                    let mut span = if self.telemetry.is_enabled() {
+                        self.telemetry
+                            .span("dataplane.transfer", self.njs.trace_of(from_job), now)
+                    } else {
+                        ActiveSpan::noop()
+                    };
+                    span.attr("dest", &manifest.to_vsite.usite);
+                    span.attr("file", &manifest.dest_name);
+                    let sender = SenderState::new(manifest.clone(), data, DEFAULT_WINDOW);
+                    self.transfers.insert(
+                        (from_job, node),
+                        OutboundTransfer {
+                            dest: manifest.to_vsite.usite.clone(),
+                            manifest,
+                            sender,
+                            phase: TransferPhase::Offering,
+                            attempts: 0,
+                            span,
                         },
                     );
-                    let user_dn = self.njs.owner_dn(from_job).unwrap_or_default();
-                    out.push(OutboundRequest {
-                        dest,
-                        corr,
-                        request: Request::PushFile {
-                            to_vsite,
-                            dest_name,
-                            data,
-                            origin_job: from_job,
-                            origin_node: node,
-                            user_dn,
-                        },
-                        trace: self.njs.trace_of(from_job),
-                    });
+                    self.offer_transfer(from_job, node);
                 }
             }
         }
@@ -647,7 +834,108 @@ impl UnicoreServer {
                 trace: self.njs.trace_of(job),
             });
         }
+        // Offers queued while draining the outbox above.
+        out.append(&mut self.outq);
         out
+    }
+
+    /// Queues (or re-queues) the offer for a registered transfer.
+    fn offer_transfer(&mut self, job: JobId, node: ActionId) {
+        let Some(tr) = self.transfers.get(&(job, node)) else {
+            return;
+        };
+        let (dest, manifest) = (tr.dest.clone(), tr.manifest.clone());
+        let corr = self.next_corr;
+        self.next_corr += 1;
+        self.pending
+            .insert(corr, Pending::TransferOffer { job, node });
+        let trace = self.njs.trace_of(job);
+        self.outq.push(OutboundRequest {
+            dest,
+            corr,
+            request: Request::TransferOffer { manifest },
+            trace,
+        });
+    }
+
+    /// Queues one chunk send for an in-window index.
+    fn push_chunk(&mut self, job: JobId, node: ActionId, index: u64) {
+        let Some(tr) = self.transfers.get(&(job, node)) else {
+            return;
+        };
+        let data = tr.sender.chunk_payload(index);
+        let dest = tr.dest.clone();
+        let origin = tr.manifest.origin.clone();
+        self.dp.chunks_sent.inc();
+        self.dp.bytes_sent.add(data.len() as u64);
+        let corr = self.next_corr;
+        self.next_corr += 1;
+        self.pending
+            .insert(corr, Pending::TransferChunk { job, node });
+        let trace = self.njs.trace_of(job);
+        self.outq.push(OutboundRequest {
+            dest,
+            corr,
+            request: Request::TransferChunk {
+                origin,
+                origin_job: job,
+                origin_node: node,
+                index,
+                data,
+            },
+            trace,
+        });
+    }
+
+    /// Ends a transfer: `None` completes its node with the full byte
+    /// count, `Some(msg)` fails it.
+    fn finish_transfer(&mut self, job: JobId, node: ActionId, error: Option<String>) {
+        let Some(tr) = self.transfers.remove(&(job, node)) else {
+            return;
+        };
+        let outcome = match &error {
+            None => {
+                self.dp.transfers_completed.inc();
+                TaskOutcome {
+                    status: ActionStatus::Successful,
+                    bytes_staged: tr.manifest.total_len,
+                    ..Default::default()
+                }
+            }
+            Some(msg) => {
+                self.dp.transfers_failed.inc();
+                TaskOutcome::failure(msg.clone())
+            }
+        };
+        let mut span = tr.span;
+        span.attr(
+            "outcome",
+            if error.is_none() {
+                "complete"
+            } else {
+                "failed"
+            },
+        );
+        self.telemetry.end(span, self.clock);
+        self.njs
+            .complete_remote_node(job, node, OutcomeNode::Task(outcome));
+    }
+
+    /// Records a receiver-side rejection: back off and re-offer (the
+    /// receiver's journaled watermark turns the re-offer into a resume),
+    /// failing the node once the attempt budget is spent.
+    fn stall_transfer(&mut self, job: JobId, node: ActionId, msg: String) {
+        let Some(tr) = self.transfers.get_mut(&(job, node)) else {
+            return;
+        };
+        tr.attempts += 1;
+        if tr.attempts >= MAX_TRANSFER_ATTEMPTS {
+            self.finish_transfer(job, node, Some(msg));
+            return;
+        }
+        tr.phase = TransferPhase::Stalled {
+            retry_at: self.clock + TRANSFER_RETRY,
+        };
     }
 
     /// Publishes current per-Vsite load (for the resource-broker seed).

@@ -1,0 +1,125 @@
+//! Property tests: whatever the network does to chunk order — drops that
+//! force retransmission, duplicates, reorders, a mid-stream restart from
+//! an arbitrary resume point — the assembled file is byte-identical to
+//! the source and the sender/receiver watermarks agree.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use unicore_ajo::{ActionId, JobId, VsiteAddress};
+use unicore_codec::DerCodec;
+use unicore_crypto::sha256;
+use unicore_dataplane::{ChunkDisposition, ReceiverState, SenderState, TransferManifest};
+
+fn manifest_for(data: &[u8], chunk: u32) -> TransferManifest {
+    TransferManifest::for_bytes(
+        "FZJ",
+        JobId(9),
+        ActionId(2),
+        VsiteAddress::new("RUS", "VPP"),
+        "staged.bin",
+        "C=DE, CN=prop",
+        false,
+        data,
+        chunk,
+    )
+}
+
+/// Drives a full transfer through a hostile scheduler: each in-flight
+/// chunk may be delivered, duplicated, or deferred (reordered) according
+/// to `schedule`, and the receiver writes fresh chunks into `out`.
+fn run_transfer(
+    data: &[u8],
+    chunk: u32,
+    window: u64,
+    resume_from: u64,
+    schedule: &[u8],
+) -> (Vec<u8>, ReceiverState) {
+    let m = manifest_for(data, chunk);
+    let arc: Arc<[u8]> = data.to_vec().into();
+    let mut sender = SenderState::new(m.clone(), arc, window);
+    let mut recv = ReceiverState::new(m.clone());
+    let mut out = vec![0u8; data.len()];
+
+    // The "already transferred" prefix a resuming sender skips: the
+    // receiver really holds those chunks (journal replay).
+    let resume = resume_from.min(m.num_chunks());
+    for i in 0..resume {
+        let range = m.chunk_range(i);
+        out[range.clone()].copy_from_slice(&data[range]);
+        recv.mark_received(i);
+    }
+
+    let mut inflight: Vec<u64> = sender.begin(recv.watermark());
+    let mut step = 0usize;
+    // Each loop iteration delivers one chunk from the in-flight set; the
+    // schedule byte picks which (reorder) and whether to also duplicate.
+    let mut guard = 0u32;
+    while !sender.is_complete() {
+        guard += 1;
+        assert!(guard < 100_000, "transfer failed to converge");
+        if inflight.is_empty() {
+            // Window stalled with nothing in flight can only mean the
+            // sender is complete; `while` catches that.
+            break;
+        }
+        let b = schedule.get(step).copied().unwrap_or(0);
+        step = step.wrapping_add(1);
+        let pick = (b as usize) % inflight.len();
+        let idx = inflight.remove(pick);
+        let repeats = if b & 0x80 != 0 { 2 } else { 1 };
+        for _ in 0..repeats {
+            let payload = sender.chunk_payload(idx);
+            let disp = recv.accept_chunk(idx, &payload);
+            if disp == ChunkDisposition::Fresh {
+                let range = m.chunk_range(idx);
+                out[range].copy_from_slice(&payload);
+            }
+            assert_ne!(disp, ChunkDisposition::Corrupt);
+            inflight.extend(sender.on_ack(recv.watermark()));
+        }
+    }
+    (out, recv)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn hostile_delivery_assembles_identically(
+        data in proptest::collection::vec(any::<u8>(), 0..2_000),
+        chunk in 1u32..257,
+        window in 1u64..9,
+        schedule in proptest::collection::vec(any::<u8>(), 64),
+    ) {
+        let (out, recv) = run_transfer(&data, chunk, window, 0, &schedule);
+        prop_assert_eq!(&out, &data);
+        prop_assert!(recv.is_complete());
+        prop_assert_eq!(sha256(&out), recv.manifest().file_sum);
+    }
+
+    #[test]
+    fn resume_from_any_prefix_assembles_identically(
+        data in proptest::collection::vec(any::<u8>(), 1..2_000),
+        chunk in 1u32..129,
+        resume in 0u64..40,
+        schedule in proptest::collection::vec(any::<u8>(), 64),
+    ) {
+        let (out, recv) = run_transfer(&data, chunk, 4, resume, &schedule);
+        prop_assert_eq!(&out, &data);
+        prop_assert_eq!(recv.watermark(), recv.manifest().num_chunks());
+    }
+
+    #[test]
+    fn manifest_der_round_trips(
+        data in proptest::collection::vec(any::<u8>(), 0..1_000),
+        chunk in 1u32..300,
+        world in any::<bool>(),
+    ) {
+        let mut m = manifest_for(&data, chunk);
+        m.world_readable = world;
+        let der = m.to_der();
+        let back = TransferManifest::from_der(&der).unwrap();
+        prop_assert_eq!(&back, &m);
+        prop_assert_eq!(back.to_der(), der);
+    }
+}

@@ -47,6 +47,16 @@ pub enum NjsError {
     },
     /// The durable job journal failed (write or replay).
     Store(unicore_store::StoreError),
+    /// A data-plane chunk arrived for a transfer this NJS has no open
+    /// receiver state for (the sender must re-offer).
+    UnknownTransfer,
+    /// A data-plane chunk failed its manifest checksum.
+    CorruptChunk {
+        /// The chunk index.
+        index: u64,
+    },
+    /// A transfer offer's manifest was internally inconsistent.
+    BadManifest,
 }
 
 impl fmt::Display for NjsError {
@@ -71,6 +81,11 @@ impl fmt::Display for NjsError {
             NjsError::UnknownJob(j) => write!(f, "unknown job {j}"),
             NjsError::NotOwner { job, dn } => write!(f, "{dn} does not own {job}"),
             NjsError::Store(e) => write!(f, "job store error: {e}"),
+            NjsError::UnknownTransfer => write!(f, "no open transfer for this key"),
+            NjsError::CorruptChunk { index } => {
+                write!(f, "chunk {index} failed its manifest checksum")
+            }
+            NjsError::BadManifest => write!(f, "transfer manifest is malformed"),
         }
     }
 }

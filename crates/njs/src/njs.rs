@@ -24,6 +24,7 @@ use unicore_ajo::{
 };
 use unicore_batch::{BatchJobId, BatchJobSpec, BatchStatus, BatchSystem};
 use unicore_codec::DerCodec;
+use unicore_dataplane::{ReceiverState, TransferKey, TransferManifest};
 use unicore_gateway::MappedUser;
 use unicore_resources::{check_request, ResourcePage};
 use unicore_sim::SimTime;
@@ -73,9 +74,26 @@ pub enum OutgoingItem {
         to_vsite: VsiteAddress,
         /// Name at the destination.
         dest_name: String,
-        /// The bytes.
-        data: Vec<u8>,
+        /// The bytes, shared with the Uspace entry (cloning the item is a
+        /// refcount bump; the chunking sender slices this in place).
+        data: Arc<[u8]>,
+        /// Whether the source file was world-readable; the receiver
+        /// commits the delivered file with the same flag.
+        world_readable: bool,
     },
+}
+
+/// Receiver-side bookkeeping for one incoming chunked transfer: the
+/// dataplane state machine plus where its staged partial lives.
+struct IncomingTransfer {
+    state: ReceiverState,
+    /// Xspace login owning the staged partial.
+    login: String,
+    /// Destination Vsite name within this Usite.
+    vsite: String,
+    /// Final Xspace path; the partial stages invisibly at the same path
+    /// and flips visible atomically on commit.
+    path: String,
 }
 
 /// Journal metadata a caller (the server layer) attaches to a consign.
@@ -142,7 +160,7 @@ struct JobRuntime {
     preds: DependencyIndex,
     user: MappedUser,
     parent: Option<(JobId, ActionId)>,
-    portfolio: Arc<HashMap<String, Vec<u8>>>,
+    portfolio: Arc<HashMap<String, Arc<[u8]>>>,
     states: HashMap<ActionId, NodeState>,
     outcome: JobOutcome,
     held: bool,
@@ -210,6 +228,13 @@ pub struct Njs {
     /// Slow-dispatch watchdog: a consigned job with nothing dispatched
     /// after this long is flagged as stuck in the monitor report.
     watchdog_threshold: SimTime,
+    /// Incoming chunked transfers, keyed by the sender's identity. Kept
+    /// after completion so late re-offers and retransmitted chunks are
+    /// acked as done instead of re-opening the transfer.
+    incoming: HashMap<TransferKey, IncomingTransfer>,
+    /// Times an incoming offer resumed from a non-zero journaled
+    /// watermark instead of restarting at chunk zero.
+    transfer_resumes: u64,
 }
 
 /// Default slow-dispatch watchdog threshold: a healthy NJS dispatches a
@@ -223,6 +248,9 @@ struct NjsMetrics {
     incarnations: Counter,
     completed: Counter,
     duration_us: Histogram,
+    transfer_chunks: Counter,
+    transfer_bytes: Counter,
+    transfers_received: Counter,
 }
 
 impl Default for NjsMetrics {
@@ -232,6 +260,9 @@ impl Default for NjsMetrics {
             incarnations: Counter::detached(),
             completed: Counter::detached(),
             duration_us: Histogram::detached(),
+            transfer_chunks: Counter::detached(),
+            transfer_bytes: Counter::detached(),
+            transfers_received: Counter::detached(),
         }
     }
 }
@@ -264,6 +295,8 @@ impl Njs {
             metrics: NjsMetrics::default(),
             flight: FlightRecorder::disabled(),
             watchdog_threshold: DEFAULT_WATCHDOG_THRESHOLD,
+            incoming: HashMap::new(),
+            transfer_resumes: 0,
         }
     }
 
@@ -277,6 +310,9 @@ impl Njs {
             incarnations: telemetry.counter("njs.incarnations"),
             completed: telemetry.counter("njs.jobs.completed"),
             duration_us: telemetry.histogram("njs.job.duration.us"),
+            transfer_chunks: telemetry.counter("dataplane.chunks.received"),
+            transfer_bytes: telemetry.counter("dataplane.bytes.received"),
+            transfers_received: telemetry.counter("dataplane.transfers.received"),
         };
         if let Some(store) = self.store.as_mut() {
             store.set_telemetry(&telemetry);
@@ -589,7 +625,10 @@ impl Njs {
         meta: ConsignMeta,
     ) -> Result<JobId, NjsError> {
         job.validate()?;
-        let portfolio: HashMap<String, Vec<u8>> = job
+        // The payload bytes are shared with the AJO: building the staged
+        // map is a refcount bump per file, not a copy (the last full copy
+        // on the consign admission path — now gone).
+        let portfolio: HashMap<String, Arc<[u8]>> = job
             .portfolio
             .iter()
             .map(|p| (p.name.clone(), p.data.clone()))
@@ -623,11 +662,17 @@ impl Njs {
         // journal (staged) and the runtime (portfolio) each own the bytes.
         job.validate()?;
         let mut job = job;
-        let staged: Vec<(String, Vec<u8>)> = std::mem::take(&mut job.portfolio)
+        let shared: Vec<(String, Arc<[u8]>)> = std::mem::take(&mut job.portfolio)
             .into_iter()
             .map(|p| (p.name, p.data))
             .collect();
-        let portfolio: HashMap<String, Vec<u8>> = staged.iter().cloned().collect();
+        // The journal's staged record owns its bytes (the WAL cannot hold
+        // refcounts); the runtime map shares the AJO payloads for free.
+        let staged: Vec<(String, Vec<u8>)> = shared
+            .iter()
+            .map(|(n, d)| (n.clone(), d.to_vec()))
+            .collect();
+        let portfolio: HashMap<String, Arc<[u8]>> = shared.into_iter().collect();
         self.consign_internal(job, user, Arc::new(portfolio), staged, None, now, meta)
     }
 
@@ -636,7 +681,7 @@ impl Njs {
         &mut self,
         job: AbstractJob,
         user: MappedUser,
-        portfolio: Arc<HashMap<String, Vec<u8>>>,
+        portfolio: Arc<HashMap<String, Arc<[u8]>>>,
         staged: Vec<(String, Vec<u8>)>,
         parent: Option<(JobId, ActionId)>,
         now: SimTime,
@@ -853,20 +898,20 @@ impl Njs {
                         // Child jobs share their parent's portfolio (the
                         // parent was consigned earlier in the log); others
                         // rebuild it from the AJO and the staged files.
-                        let portfolio: Arc<HashMap<String, Vec<u8>>> = match parent {
+                        let portfolio: Arc<HashMap<String, Arc<[u8]>>> = match parent {
                             Some((pjob, _)) => self
                                 .jobs
                                 .get(pjob)
                                 .map(|p| p.portfolio.clone())
                                 .unwrap_or_default(),
                             None => {
-                                let mut m: HashMap<String, Vec<u8>> = ajo
+                                let mut m: HashMap<String, Arc<[u8]>> = ajo
                                     .portfolio
                                     .iter()
                                     .map(|p| (p.name.clone(), p.data.clone()))
                                     .collect();
                                 for (name, data) in staged {
-                                    m.insert(name.clone(), data.clone());
+                                    m.insert(name.clone(), data.as_slice().into());
                                 }
                                 Arc::new(m)
                             }
@@ -952,6 +997,69 @@ impl Njs {
                                         &login,
                                     );
                                 }
+                            }
+                        }
+                    }
+                    StoreEvent::TransferOpened {
+                        manifest_der,
+                        login,
+                        ..
+                    } => {
+                        let manifest = TransferManifest::from_der(manifest_der)
+                            .map_err(|e| NjsError::Store(StoreError::Codec(e)))?;
+                        let key = manifest.key();
+                        let path = format!("{INCOMING_PREFIX}{}", manifest.dest_name);
+                        let vsite = manifest.to_vsite.vsite.clone();
+                        if let Some(v) = self.vsites.get_mut(&vsite) {
+                            let _ =
+                                v.vspace
+                                    .xspace()
+                                    .begin_partial(&path, manifest.total_len, login);
+                            self.incoming.insert(
+                                key.clone(),
+                                IncomingTransfer {
+                                    state: ReceiverState::new(manifest),
+                                    login: login.clone(),
+                                    vsite,
+                                    path,
+                                },
+                            );
+                            // A zero-length transfer is complete at open.
+                            if self.incoming[&key].state.is_complete() {
+                                let _ = self.finalize_incoming(&key);
+                            }
+                        }
+                    }
+                    StoreEvent::TransferChunkStored {
+                        origin,
+                        origin_job,
+                        origin_node,
+                        index,
+                        data,
+                        ..
+                    } => {
+                        let key = TransferKey {
+                            origin: origin.clone(),
+                            origin_job: *origin_job,
+                            origin_node: *origin_node,
+                        };
+                        let Some(entry) = self.incoming.get_mut(&key) else {
+                            continue;
+                        };
+                        if entry.state.is_received(*index) {
+                            continue;
+                        }
+                        let offset = entry.state.manifest().chunk_range(*index).start as u64;
+                        let (vsite, path, login) =
+                            (entry.vsite.clone(), entry.path.clone(), entry.login.clone());
+                        if let Some(v) = self.vsites.get_mut(&vsite) {
+                            // Bytes were verified against the manifest
+                            // before being journalled; replay trusts them.
+                            let _ = v.vspace.xspace().write_partial(&path, offset, data, &login);
+                            let entry = self.incoming.get_mut(&key).expect("inserted above");
+                            entry.state.mark_received(*index);
+                            if entry.state.is_complete() {
+                                let _ = self.finalize_incoming(&key);
                             }
                         }
                     }
@@ -1603,7 +1711,10 @@ impl Njs {
             collect_workstation_imports(&ajo, &portfolio, &mut carried);
             ajo.portfolio = carried
                 .into_iter()
-                .map(|(name, data)| unicore_ajo::PortfolioFile { name, data })
+                .map(|(name, data)| unicore_ajo::PortfolioFile {
+                    name,
+                    data: data.into(),
+                })
                 .collect();
             let return_files = {
                 let rt = self.jobs.get(&job).expect("job exists");
@@ -1661,7 +1772,7 @@ impl Njs {
                         let rt = self.jobs.get(&job).expect("job exists");
                         match rt.portfolio.get(path) {
                             Some(data) => {
-                                let data = data.clone();
+                                let data = data.to_vec();
                                 self.vsites
                                     .get_mut(&vsite_name)
                                     .expect("known vsite")
@@ -1793,14 +1904,14 @@ impl Njs {
                 to_vsite,
                 dest_name,
             } => {
-                let data = self
+                let entry = self
                     .vsites
                     .get(&vsite_name)
                     .expect("known vsite")
                     .vspace
-                    .read_for_transfer(job, uspace_name, &login);
-                let data = match data {
-                    Ok(d) => d,
+                    .read_entry_for_transfer(job, uspace_name, &login);
+                let (data, world_readable) = match entry {
+                    Ok(e) => e,
                     Err(e) => return FileTaskResult::Done(TaskOutcome::failure(e.to_string())),
                 };
                 if to_vsite.usite == self.usite {
@@ -1828,7 +1939,8 @@ impl Njs {
                         node,
                         to_vsite: to_vsite.clone(),
                         dest_name: dest_name.clone(),
-                        data,
+                        data: data.into(),
+                        world_readable,
                     });
                     FileTaskResult::Remote
                 }
@@ -1916,6 +2028,210 @@ impl Njs {
         let path = format!("{INCOMING_PREFIX}{dest_name}");
         v.vspace.xspace().write(&path, data, login)?;
         Ok(())
+    }
+
+    /// Opens (or resumes) an incoming chunked transfer offered by a peer.
+    ///
+    /// Returns the chunk index the sender should resume from — the
+    /// receiver's contiguous watermark, journaled chunk by chunk, so a
+    /// re-offer after a drop, partition, or crash continues where the
+    /// bytes actually got to instead of restarting. A return equal to
+    /// the manifest's chunk count means the file is already fully
+    /// delivered and committed.
+    pub fn transfer_offer(
+        &mut self,
+        manifest: TransferManifest,
+        login: &str,
+    ) -> Result<u64, NjsError> {
+        if manifest.to_vsite.usite != self.usite
+            || !self.vsites.contains_key(&manifest.to_vsite.vsite)
+        {
+            return Err(NjsError::UnknownVsite {
+                vsite: manifest.to_vsite.to_string(),
+                usite: self.usite.clone(),
+            });
+        }
+        if !manifest.well_formed() {
+            return Err(NjsError::BadManifest);
+        }
+        let key = manifest.key();
+        if let Some(entry) = self.incoming.get(&key) {
+            if entry.state.manifest() == &manifest {
+                let watermark = entry.state.watermark();
+                if watermark > 0 && !entry.state.is_complete() {
+                    self.transfer_resumes += 1;
+                }
+                return Ok(watermark);
+            }
+            // Same sender identity, different manifest: the sender
+            // restarted with new content or geometry. Drop the stale
+            // partial and start over.
+            let (vsite, path) = (entry.vsite.clone(), entry.path.clone());
+            if let Some(v) = self.vsites.get_mut(&vsite) {
+                let _ = v.vspace.xspace().abort_partial(&path);
+            }
+            self.incoming.remove(&key);
+        }
+        let path = format!("{INCOMING_PREFIX}{}", manifest.dest_name);
+        let vsite = manifest.to_vsite.vsite.clone();
+        self.vsites
+            .get_mut(&vsite)
+            .expect("checked above")
+            .vspace
+            .xspace()
+            .begin_partial(&path, manifest.total_len, login)?;
+        self.log_event(StoreEvent::TransferOpened {
+            origin: manifest.origin.clone(),
+            origin_job: manifest.origin_job,
+            origin_node: manifest.origin_node,
+            manifest_der: manifest.to_der(),
+            login: login.to_owned(),
+            at: self.clock,
+        });
+        self.incoming.insert(
+            key.clone(),
+            IncomingTransfer {
+                state: ReceiverState::new(manifest),
+                login: login.to_owned(),
+                vsite,
+                path,
+            },
+        );
+        // A zero-length file has no chunks to wait for.
+        if self.incoming[&key].state.is_complete() {
+            self.finalize_incoming(&key)?;
+            self.metrics.transfers_received.inc();
+        }
+        self.flush_events();
+        Ok(0)
+    }
+
+    /// Accepts one chunk of an open incoming transfer.
+    ///
+    /// Returns the cumulative ack `(watermark, done)`. Retransmitted
+    /// chunks (drops, duplicates, or a post-crash dedup miss) are acked
+    /// again without touching storage, so the operation is idempotent
+    /// even though the federation layer's response cache does not
+    /// survive a receiver crash.
+    pub fn transfer_chunk(
+        &mut self,
+        origin: &str,
+        origin_job: JobId,
+        origin_node: ActionId,
+        index: u64,
+        data: &[u8],
+    ) -> Result<(u64, bool), NjsError> {
+        let key = TransferKey {
+            origin: origin.to_owned(),
+            origin_job,
+            origin_node,
+        };
+        let entry = self.incoming.get(&key).ok_or(NjsError::UnknownTransfer)?;
+        if entry.state.is_received(index) {
+            return Ok((entry.state.watermark(), entry.state.is_complete()));
+        }
+        let m = entry.state.manifest();
+        if index >= m.num_chunks() || !m.verify_chunk(index, data) {
+            return Err(NjsError::CorruptChunk { index });
+        }
+        let offset = m.chunk_range(index).start as u64;
+        let (vsite, path, login) = (entry.vsite.clone(), entry.path.clone(), entry.login.clone());
+        // Store before marking: a quota failure must leave the chunk
+        // unheld so a later retry (after the user frees space) can land.
+        self.vsites
+            .get_mut(&vsite)
+            .expect("vsite checked at offer")
+            .vspace
+            .xspace()
+            .write_partial(&path, offset, data, &login)?;
+        let entry = self.incoming.get_mut(&key).expect("still present");
+        entry.state.mark_received(index);
+        let (upto, done) = (entry.state.watermark(), entry.state.is_complete());
+        self.metrics.transfer_chunks.inc();
+        self.metrics.transfer_bytes.add(data.len() as u64);
+        // The journal holds the delivered bytes themselves — Xspace
+        // contents are not otherwise durable, so chunk events are the
+        // file's write-ahead copy and are retained through compaction.
+        self.log_event(StoreEvent::TransferChunkStored {
+            origin: key.origin.clone(),
+            origin_job,
+            origin_node,
+            index,
+            data: data.to_vec(),
+            at: self.clock,
+        });
+        if done {
+            self.finalize_incoming(&key)?;
+            self.metrics.transfers_received.inc();
+        }
+        self.flush_events();
+        Ok((upto, done))
+    }
+
+    /// Commits a completed transfer's staged partial, flipping the file
+    /// visible atomically (checksum-gated against the manifest's whole
+    /// file hash). A no-op if the partial was already committed — the
+    /// recovery republish path lands here a second time.
+    fn finalize_incoming(&mut self, key: &TransferKey) -> Result<(), NjsError> {
+        let Some(entry) = self.incoming.get(key) else {
+            return Ok(());
+        };
+        let m = entry.state.manifest();
+        let (sum, world) = (m.file_sum, m.world_readable);
+        let (vsite, path) = (entry.vsite.clone(), entry.path.clone());
+        let Some(v) = self.vsites.get_mut(&vsite) else {
+            return Ok(());
+        };
+        let fs = v.vspace.xspace();
+        if !fs.has_partial(&path) {
+            return Ok(());
+        }
+        fs.commit_partial(&path, Some(sum), world)?;
+        Ok(())
+    }
+
+    /// Sender-side progress note: records streamed bytes on a `Remote`
+    /// transfer node so JMC status polls show the data plane moving
+    /// before the task completes.
+    pub fn note_transfer_progress(&mut self, job: JobId, node: ActionId, bytes: u64, total: u64) {
+        let Some(rt) = self.jobs.get_mut(&job) else {
+            return;
+        };
+        if rt.states.get(&node) != Some(&NodeState::Remote) {
+            return;
+        }
+        rt.set_task_outcome(
+            node,
+            TaskOutcome {
+                status: ActionStatus::Running,
+                bytes_staged: bytes,
+                message: format!("streaming {bytes}/{total} bytes"),
+                ..Default::default()
+            },
+        );
+    }
+
+    /// Times an incoming offer resumed from a non-zero journaled
+    /// watermark instead of restarting at chunk zero.
+    pub fn transfer_resumes(&self) -> u64 {
+        self.transfer_resumes
+    }
+
+    /// Progress of an incoming transfer: `(bytes_received, total_len)`.
+    pub fn incoming_progress(
+        &self,
+        origin: &str,
+        origin_job: JobId,
+        origin_node: ActionId,
+    ) -> Option<(u64, u64)> {
+        let key = TransferKey {
+            origin: origin.to_owned(),
+            origin_job,
+            origin_node,
+        };
+        self.incoming
+            .get(&key)
+            .map(|e| (e.state.bytes_received(), e.state.manifest().total_len))
     }
 
     /// The DN of the user who consigned `job`.
@@ -2172,7 +2488,7 @@ enum FileTaskResult {
 /// subtree out of `portfolio` into `carried`.
 fn collect_workstation_imports(
     job: &AbstractJob,
-    portfolio: &HashMap<String, Vec<u8>>,
+    portfolio: &HashMap<String, Arc<[u8]>>,
     carried: &mut Vec<(String, Vec<u8>)>,
 ) {
     for (_, node) in &job.nodes {
@@ -2185,7 +2501,7 @@ fn collect_workstation_imports(
                 {
                     if carried.iter().all(|(n, _)| n != path) {
                         if let Some(data) = portfolio.get(path) {
-                            carried.push((path.clone(), data.clone()));
+                            carried.push((path.clone(), data.to_vec()));
                         }
                     }
                 }

@@ -147,7 +147,7 @@ fn compile_link_execute_pipeline() {
     let mut job = AbstractJob::new("cle", VsiteAddress::new("FZJ", "T3E"), attrs());
     job.portfolio.push(PortfolioFile {
         name: "main.f90".into(),
-        data: b"program main\nend program\n".to_vec(),
+        data: b"program main\nend program\n".to_vec().into(),
     });
     job.nodes.push((
         ActionId(1),
@@ -547,4 +547,41 @@ fn queued_status_visible_when_machine_busy() {
         qb.child(ActionId(1)).unwrap().status(),
         ActionStatus::Queued
     );
+}
+
+#[test]
+fn consign_shares_portfolio_payloads_without_copying() {
+    // The staged-file map built at consign must share the AJO's payload
+    // allocations (a refcount bump per file), not copy them: the same
+    // `Arc<[u8]>` backs the portfolio entry before and after admission.
+    let data: std::sync::Arc<[u8]> = vec![0xA5u8; 1 << 20].into();
+    let mut njs = fzj();
+    let mut job = AbstractJob::new("bigstage", VsiteAddress::new("FZJ", "T3E"), attrs());
+    job.portfolio.push(PortfolioFile {
+        name: "input.bin".into(),
+        data: data.clone(),
+    });
+    job.nodes.push((
+        ActionId(1),
+        GraphNode::Task(AbstractTask {
+            name: "import input.bin".into(),
+            resources: ResourceRequest::minimal(),
+            kind: TaskKind::File(FileKind::Import {
+                source: DataLocation::Workstation {
+                    path: "input.bin".into(),
+                },
+                uspace_name: "input.bin".into(),
+            }),
+        }),
+    ));
+    let before = std::sync::Arc::strong_count(&data);
+    let id = njs.consign(job, user(), 0).unwrap();
+    assert!(
+        std::sync::Arc::strong_count(&data) > before,
+        "consign must stage the payload by reference, not by copy"
+    );
+    // And the bytes that land in the Uspace are the same bytes.
+    run_until_done(&mut njs, id, HOUR);
+    let fetched = njs.fetch_uspace_file(id, "input.bin", DN).unwrap();
+    assert_eq!(fetched.as_slice(), &data[..], "byte identity lost");
 }

@@ -190,10 +190,49 @@ pub enum StoreEvent {
         /// Simulation timestamp.
         at: u64,
     },
+    /// An inbound streamed transfer (data plane) was accepted by this
+    /// receiving NJS: the full manifest and the local login it maps to.
+    /// Replay re-opens the receiver state, so a rebooted Usite answers a
+    /// re-offer with its resume point instead of starting over.
+    TransferOpened {
+        /// The sending Usite.
+        origin: String,
+        /// The sending job.
+        origin_job: JobId,
+        /// The sending Transfer task node.
+        origin_node: ActionId,
+        /// Canonical DER of the `TransferManifest`.
+        manifest_der: Vec<u8>,
+        /// Local login the sender's DN mapped to at offer time.
+        login: String,
+        /// Simulation timestamp.
+        at: u64,
+    },
+    /// A verified chunk of an open transfer was durably stored. These
+    /// events double as the delivered file's durability: Xspace contents
+    /// are not otherwise journaled, so replay republishes the file.
+    TransferChunkStored {
+        /// The sending Usite.
+        origin: String,
+        /// The sending job.
+        origin_job: JobId,
+        /// The sending Transfer task node.
+        origin_node: ActionId,
+        /// Chunk index within the manifest.
+        index: u64,
+        /// The chunk's bytes (already checksum-verified).
+        data: Vec<u8>,
+        /// Simulation timestamp.
+        at: u64,
+    },
 }
 
 impl StoreEvent {
-    /// The job this event belongs to.
+    /// The job this event belongs to. Transfer events are site-scoped,
+    /// not job-scoped: they report the sentinel `JobId(0)` (real job ids
+    /// start at 1), which compaction never classifies as done or purged —
+    /// exactly right, since chunk events are the delivered file's only
+    /// durable copy.
     pub fn job(&self) -> JobId {
         match self {
             StoreEvent::JobConsigned { job, .. }
@@ -201,6 +240,7 @@ impl StoreEvent {
             | StoreEvent::TaskStateChanged { job, .. }
             | StoreEvent::OutcomeStored { job, .. }
             | StoreEvent::JobPurged { job, .. } => *job,
+            StoreEvent::TransferOpened { .. } | StoreEvent::TransferChunkStored { .. } => JobId(0),
         }
     }
 }
@@ -210,6 +250,8 @@ const TAG_INCARNATED: u8 = 1;
 const TAG_TASK_STATE: u8 = 2;
 const TAG_OUTCOME: u8 = 3;
 const TAG_PURGED: u8 = 4;
+const TAG_TRANSFER_OPENED: u8 = 5;
+const TAG_TRANSFER_CHUNK: u8 = 6;
 
 impl DerCodec for StoreEvent {
     fn to_value(&self) -> Value {
@@ -294,6 +336,42 @@ impl DerCodec for StoreEvent {
                 TAG_PURGED,
                 Value::Sequence(vec![
                     Value::Integer(job.0 as i64),
+                    Value::Integer(*at as i64),
+                ]),
+            ),
+            StoreEvent::TransferOpened {
+                origin,
+                origin_job,
+                origin_node,
+                manifest_der,
+                login,
+                at,
+            } => Value::tagged(
+                TAG_TRANSFER_OPENED,
+                Value::Sequence(vec![
+                    Value::string(origin),
+                    Value::Integer(origin_job.0 as i64),
+                    Value::Integer(origin_node.0 as i64),
+                    Value::bytes(manifest_der.clone()),
+                    Value::string(login),
+                    Value::Integer(*at as i64),
+                ]),
+            ),
+            StoreEvent::TransferChunkStored {
+                origin,
+                origin_job,
+                origin_node,
+                index,
+                data,
+                at,
+            } => Value::tagged(
+                TAG_TRANSFER_CHUNK,
+                Value::Sequence(vec![
+                    Value::string(origin),
+                    Value::Integer(origin_job.0 as i64),
+                    Value::Integer(origin_node.0 as i64),
+                    Value::Integer(*index as i64),
+                    Value::bytes(data.clone()),
                     Value::Integer(*at as i64),
                 ]),
             ),
@@ -389,6 +467,32 @@ impl DerCodec for StoreEvent {
                 f.finish()?;
                 Ok(ev)
             }
+            TAG_TRANSFER_OPENED => {
+                let mut f = Fields::open(inner, "TransferOpened")?;
+                let ev = StoreEvent::TransferOpened {
+                    origin: f.next_string()?,
+                    origin_job: JobId(f.next_u64()?),
+                    origin_node: ActionId(f.next_u64()?),
+                    manifest_der: f.next_bytes()?.to_vec(),
+                    login: f.next_string()?,
+                    at: f.next_u64()?,
+                };
+                f.finish()?;
+                Ok(ev)
+            }
+            TAG_TRANSFER_CHUNK => {
+                let mut f = Fields::open(inner, "TransferChunkStored")?;
+                let ev = StoreEvent::TransferChunkStored {
+                    origin: f.next_string()?,
+                    origin_job: JobId(f.next_u64()?),
+                    origin_node: ActionId(f.next_u64()?),
+                    index: f.next_u64()?,
+                    data: f.next_bytes()?.to_vec(),
+                    at: f.next_u64()?,
+                };
+                f.finish()?;
+                Ok(ev)
+            }
             _ => Err(CodecError::BadValue("store event: unknown tag")),
         }
     }
@@ -456,6 +560,22 @@ mod tests {
             StoreEvent::JobPurged {
                 job: JobId(7),
                 at: 6,
+            },
+            StoreEvent::TransferOpened {
+                origin: "FZJ".into(),
+                origin_job: JobId(7),
+                origin_node: ActionId(2),
+                manifest_der: vec![0x30, 0x00],
+                login: "alice1".into(),
+                at: 7,
+            },
+            StoreEvent::TransferChunkStored {
+                origin: "FZJ".into(),
+                origin_job: JobId(7),
+                origin_node: ActionId(2),
+                index: 3,
+                data: vec![0xcd; 17],
+                at: 8,
             },
         ];
         for ev in events {

@@ -350,6 +350,8 @@ fn fold(events: &[StoreEvent]) -> BTreeMap<u64, Fold> {
             StoreEvent::JobPurged { job, .. } => {
                 map.remove(&job.0);
             }
+            // Transfer events are site-scoped, not part of the job fold.
+            StoreEvent::TransferOpened { .. } | StoreEvent::TransferChunkStored { .. } => {}
         }
     }
     // A finished job is restored wholly from its stored outcome; the

@@ -31,6 +31,25 @@ pub enum SpaceError {
     UspaceExists(JobId),
     /// Path is syntactically invalid (empty or contains NUL).
     BadPath(String),
+    /// A partial write falls outside the declared file length.
+    BadOffset {
+        /// The partial's path.
+        path: String,
+    },
+    /// Commit attempted before every byte of the partial arrived.
+    IncompletePartial {
+        /// The partial's path.
+        path: String,
+        /// Bytes covered so far.
+        covered: u64,
+        /// Declared total length.
+        total: u64,
+    },
+    /// The assembled bytes do not match the expected checksum.
+    ChecksumMismatch {
+        /// The partial's path.
+        path: String,
+    },
 }
 
 impl fmt::Display for SpaceError {
@@ -46,6 +65,20 @@ impl fmt::Display for SpaceError {
             SpaceError::NoSuchUspace(job) => write!(f, "no Uspace for job {job}"),
             SpaceError::UspaceExists(job) => write!(f, "Uspace for job {job} already exists"),
             SpaceError::BadPath(p) => write!(f, "bad path: {p:?}"),
+            SpaceError::BadOffset { path } => {
+                write!(f, "partial write out of range on {path}")
+            }
+            SpaceError::IncompletePartial {
+                path,
+                covered,
+                total,
+            } => write!(
+                f,
+                "partial {path} incomplete: {covered} of {total} bytes covered"
+            ),
+            SpaceError::ChecksumMismatch { path } => {
+                write!(f, "checksum mismatch committing {path}")
+            }
         }
     }
 }

@@ -22,6 +22,62 @@ impl FileEntry {
     }
 }
 
+/// A file being assembled chunk by chunk. Invisible to `read`/`exists`/
+/// `list` until committed, so a crash mid-transfer can never leave a torn
+/// file where a reader would find it.
+#[derive(Debug, Clone)]
+struct PartialFile {
+    data: Vec<u8>,
+    /// Covered byte ranges, keyed by start, non-overlapping and merged.
+    covered: BTreeMap<u64, u64>,
+    covered_bytes: u64,
+    owner: String,
+}
+
+impl PartialFile {
+    /// Merges `[start, end)` into the coverage map, returning how many
+    /// bytes are newly covered.
+    fn cover(&mut self, start: u64, end: u64) -> u64 {
+        let mut new_start = start;
+        let mut new_end = end;
+        let mut absorbed = 0u64;
+        let mut to_remove = Vec::new();
+        for (&s, &e) in self.covered.range(..=end) {
+            if e < start {
+                continue;
+            }
+            // Overlapping or adjacent: merge.
+            new_start = new_start.min(s);
+            new_end = new_end.max(e);
+            absorbed += e - s;
+            to_remove.push(s);
+        }
+        for s in to_remove {
+            self.covered.remove(&s);
+        }
+        self.covered.insert(new_start, new_end);
+        let fresh = (new_end - new_start) - absorbed;
+        self.covered_bytes += fresh;
+        fresh
+    }
+
+    /// Bytes of `[start, end)` not yet covered (what a write would charge).
+    fn fresh_in(&self, start: u64, end: u64) -> u64 {
+        let mut overlap = 0u64;
+        for (&s, &e) in self.covered.range(..end) {
+            if e <= start {
+                continue;
+            }
+            overlap += e.min(end) - s.max(start);
+        }
+        (end - start) - overlap
+    }
+
+    fn complete(&self) -> bool {
+        self.covered_bytes == self.data.len() as u64
+    }
+}
+
 /// A flat-namespace virtual filesystem with per-space quota.
 ///
 /// Paths are plain strings ("/" is conventional, not structural); listing
@@ -29,6 +85,7 @@ impl FileEntry {
 #[derive(Debug, Clone)]
 pub struct VirtualFs {
     files: BTreeMap<String, FileEntry>,
+    partials: BTreeMap<String, PartialFile>,
     used: u64,
     quota: u64,
 }
@@ -38,6 +95,7 @@ impl VirtualFs {
     pub fn with_quota(quota: u64) -> Self {
         VirtualFs {
             files: BTreeMap::new(),
+            partials: BTreeMap::new(),
             used: 0,
             quota,
         }
@@ -80,6 +138,159 @@ impl VirtualFs {
             },
         );
         Ok(())
+    }
+
+    /// Opens (or resumes) a partial file of `total_len` bytes, to be
+    /// filled by [`write_partial`] and made visible by [`commit_partial`].
+    ///
+    /// Nothing is charged against the quota yet: the data plane pays for
+    /// bytes chunk by chunk as they land, not at admission. Reopening an
+    /// existing partial with the same length and owner is a no-op (a
+    /// resuming transfer keeps its progress); a different length discards
+    /// the old partial and starts over.
+    ///
+    /// [`write_partial`]: VirtualFs::write_partial
+    /// [`commit_partial`]: VirtualFs::commit_partial
+    pub fn begin_partial(
+        &mut self,
+        path: &str,
+        total_len: u64,
+        owner: &str,
+    ) -> Result<(), SpaceError> {
+        Self::check_path(path)?;
+        if let Some(p) = self.partials.get(path) {
+            if p.data.len() as u64 == total_len && p.owner == owner {
+                return Ok(());
+            }
+            self.abort_partial(path)?;
+        }
+        self.partials.insert(
+            path.to_owned(),
+            PartialFile {
+                data: vec![0; total_len as usize],
+                covered: BTreeMap::new(),
+                covered_bytes: 0,
+                owner: owner.to_owned(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Writes a chunk into a partial at `offset`, charging the quota for
+    /// newly covered bytes only (duplicates and overlaps are free).
+    /// Returns the bytes newly charged.
+    pub fn write_partial(
+        &mut self,
+        path: &str,
+        offset: u64,
+        data: &[u8],
+        owner: &str,
+    ) -> Result<u64, SpaceError> {
+        let partial = self
+            .partials
+            .get_mut(path)
+            .ok_or_else(|| SpaceError::FileNotFound {
+                path: path.to_owned(),
+            })?;
+        if partial.owner != owner {
+            return Err(SpaceError::PermissionDenied {
+                path: path.to_owned(),
+                login: owner.to_owned(),
+            });
+        }
+        let end = offset + data.len() as u64;
+        if end > partial.data.len() as u64 {
+            return Err(SpaceError::BadOffset {
+                path: path.to_owned(),
+            });
+        }
+        if data.is_empty() {
+            return Ok(0);
+        }
+        // Chunk-granular quota: this write is charged for the bytes it
+        // newly covers, so an over-quota transfer fails at the chunk that
+        // crosses the line — not at admission, and not after filling the
+        // space with invisible data.
+        let fresh = partial.fresh_in(offset, end);
+        if self.used + fresh > self.quota {
+            return Err(SpaceError::QuotaExceeded {
+                needed: self.used + fresh,
+                quota: self.quota,
+            });
+        }
+        let covered = partial.cover(offset, end);
+        debug_assert_eq!(covered, fresh);
+        partial.data[offset as usize..end as usize].copy_from_slice(data);
+        self.used += fresh;
+        Ok(fresh)
+    }
+
+    /// Commits a fully covered partial, making it visible atomically. If
+    /// `expected_sum` is given, the assembled bytes must hash to it.
+    pub fn commit_partial(
+        &mut self,
+        path: &str,
+        expected_sum: Option<[u8; 32]>,
+        world_readable: bool,
+    ) -> Result<(), SpaceError> {
+        let partial = self
+            .partials
+            .get(path)
+            .ok_or_else(|| SpaceError::FileNotFound {
+                path: path.to_owned(),
+            })?;
+        if !partial.complete() {
+            return Err(SpaceError::IncompletePartial {
+                path: path.to_owned(),
+                covered: partial.covered_bytes,
+                total: partial.data.len() as u64,
+            });
+        }
+        if let Some(sum) = expected_sum {
+            if sha256(&partial.data) != sum {
+                return Err(SpaceError::ChecksumMismatch {
+                    path: path.to_owned(),
+                });
+            }
+        }
+        let partial = self.partials.remove(path).expect("checked above");
+        // Replacing a visible file reclaims its bytes; the partial's own
+        // bytes were already charged chunk by chunk.
+        if let Some(old) = self.files.get(path) {
+            self.used -= old.data.len() as u64;
+        }
+        self.files.insert(
+            path.to_owned(),
+            FileEntry {
+                data: partial.data,
+                owner: partial.owner,
+                world_readable,
+            },
+        );
+        Ok(())
+    }
+
+    /// Discards a partial, refunding its charged bytes. Returns the bytes
+    /// refunded.
+    pub fn abort_partial(&mut self, path: &str) -> Result<u64, SpaceError> {
+        let partial = self
+            .partials
+            .remove(path)
+            .ok_or_else(|| SpaceError::FileNotFound {
+                path: path.to_owned(),
+            })?;
+        self.used -= partial.covered_bytes;
+        Ok(partial.covered_bytes)
+    }
+
+    /// Whether a partial is open at `path`.
+    pub fn has_partial(&self, path: &str) -> bool {
+        self.partials.contains_key(path)
+    }
+
+    /// Bytes covered so far in the partial at `path`.
+    pub fn partial_covered(&self, path: &str) -> Option<u64> {
+        self.partials.get(path).map(|p| p.covered_bytes)
     }
 
     /// Marks a file world-readable.
@@ -261,6 +472,121 @@ mod tests {
         assert!(matches!(
             fs.write("a\0b", vec![], "u"),
             Err(SpaceError::BadPath(_))
+        ));
+    }
+
+    #[test]
+    fn partial_is_invisible_until_committed() {
+        let mut fs = VirtualFs::unlimited();
+        fs.begin_partial("/staged", 10, "u").unwrap();
+        fs.write_partial("/staged", 0, &[1; 5], "u").unwrap();
+        // A crash here (dropping the fs) can only ever lose the partial:
+        // no reader path sees it.
+        assert!(!fs.exists("/staged"));
+        assert!(fs.read("/staged", "u").is_err());
+        assert!(fs.list("").is_empty());
+        assert!(fs.has_partial("/staged"));
+        // Commit before full coverage is refused — never a torn file.
+        assert!(matches!(
+            fs.commit_partial("/staged", None, false),
+            Err(SpaceError::IncompletePartial {
+                covered: 5,
+                total: 10,
+                ..
+            })
+        ));
+        fs.write_partial("/staged", 5, &[2; 5], "u").unwrap();
+        fs.commit_partial("/staged", None, false).unwrap();
+        assert_eq!(fs.read("/staged", "u").unwrap().data, {
+            let mut v = vec![1; 5];
+            v.extend_from_slice(&[2; 5]);
+            v
+        });
+        assert!(!fs.has_partial("/staged"));
+    }
+
+    #[test]
+    fn partial_quota_charged_per_chunk_not_admission() {
+        let mut fs = VirtualFs::with_quota(8);
+        // Admission of a 100-byte partial succeeds: nothing charged yet.
+        fs.begin_partial("/big", 100, "u").unwrap();
+        assert_eq!(fs.used_bytes(), 0);
+        fs.write_partial("/big", 0, &[0; 6], "u").unwrap();
+        assert_eq!(fs.used_bytes(), 6);
+        // The chunk that crosses the quota line is the one refused.
+        assert!(matches!(
+            fs.write_partial("/big", 6, &[0; 6], "u"),
+            Err(SpaceError::QuotaExceeded {
+                needed: 12,
+                quota: 8
+            })
+        ));
+        // Rewriting covered bytes is free.
+        fs.write_partial("/big", 2, &[9; 4], "u").unwrap();
+        assert_eq!(fs.used_bytes(), 6);
+        // Abort refunds exactly what was charged.
+        assert_eq!(fs.abort_partial("/big").unwrap(), 6);
+        assert_eq!(fs.used_bytes(), 0);
+    }
+
+    #[test]
+    fn partial_checksum_gate() {
+        let mut fs = VirtualFs::unlimited();
+        fs.begin_partial("/f", 5, "u").unwrap();
+        fs.write_partial("/f", 0, b"hello", "u").unwrap();
+        assert!(matches!(
+            fs.commit_partial("/f", Some([0; 32]), false),
+            Err(SpaceError::ChecksumMismatch { .. })
+        ));
+        // The failed commit keeps the partial for retry.
+        assert!(fs.has_partial("/f"));
+        fs.commit_partial("/f", Some(sha256(b"hello")), false)
+            .unwrap();
+        assert_eq!(fs.read("/f", "u").unwrap().data, b"hello");
+    }
+
+    #[test]
+    fn world_readability_survives_resume() {
+        let mut fs = VirtualFs::unlimited();
+        fs.begin_partial("/pub", 4, "u").unwrap();
+        fs.write_partial("/pub", 0, &[1, 2], "u").unwrap();
+        // Resume: reopening with the same geometry keeps progress.
+        fs.begin_partial("/pub", 4, "u").unwrap();
+        assert_eq!(fs.partial_covered("/pub"), Some(2));
+        fs.write_partial("/pub", 2, &[3, 4], "u").unwrap();
+        fs.commit_partial("/pub", None, true).unwrap();
+        // The flag set at commit is intact for a foreign reader.
+        assert!(fs.read("/pub", "someone-else").is_ok());
+    }
+
+    #[test]
+    fn partial_overwrite_of_visible_file_reclaims_quota() {
+        let mut fs = VirtualFs::with_quota(16);
+        fs.write("/f", vec![0; 8], "u").unwrap();
+        fs.begin_partial("/f", 8, "u").unwrap();
+        fs.write_partial("/f", 0, &[1; 8], "u").unwrap();
+        assert_eq!(fs.used_bytes(), 16);
+        fs.commit_partial("/f", None, false).unwrap();
+        // Old visible bytes reclaimed at the atomic swap.
+        assert_eq!(fs.used_bytes(), 8);
+        assert_eq!(fs.read("/f", "u").unwrap().data, vec![1; 8]);
+    }
+
+    #[test]
+    fn partial_bounds_and_ownership() {
+        let mut fs = VirtualFs::unlimited();
+        fs.begin_partial("/f", 10, "alice").unwrap();
+        assert!(matches!(
+            fs.write_partial("/f", 8, &[0; 4], "alice"),
+            Err(SpaceError::BadOffset { .. })
+        ));
+        assert!(matches!(
+            fs.write_partial("/f", 0, &[0; 2], "bob"),
+            Err(SpaceError::PermissionDenied { .. })
+        ));
+        assert!(matches!(
+            fs.write_partial("/nope", 0, &[0; 2], "alice"),
+            Err(SpaceError::FileNotFound { .. })
         ));
     }
 

@@ -135,6 +135,18 @@ impl Vspace {
         Ok(self.uspace(job)?.read(uspace_name, login)?.data.clone())
     }
 
+    /// Takes a copy of a Uspace file plus its world-readability flag, for
+    /// a streamed cross-site transfer that must preserve the flag.
+    pub fn read_entry_for_transfer(
+        &self,
+        job: JobId,
+        uspace_name: &str,
+        login: &str,
+    ) -> Result<(Vec<u8>, bool), SpaceError> {
+        let entry = self.uspace(job)?.read(uspace_name, login)?;
+        Ok((entry.data.clone(), entry.world_readable))
+    }
+
     /// Writes a file into a job's Uspace (task output, received transfer).
     pub fn write_uspace_file(
         &mut self,

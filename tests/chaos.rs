@@ -319,3 +319,214 @@ fn seeded(seed: u64) -> FederationConfig {
         ..FederationConfig::default()
     }
 }
+
+// --------------------------------------------------------------------
+// E15: the chunked data plane under chaos. A multi-chunk file streams
+// FZJ → DWD while faults hit the stream itself; the delivered bytes
+// must be identical to the fault-free run, and recovery must *resume*
+// from the receiver's journaled watermark, not restart from chunk zero.
+
+/// Multi-chunk payload: 64 chunks at the default 64 KiB chunk size.
+const TRANSFER_BYTES: u64 = 64 * unicore_dataplane::DEFAULT_CHUNK_SIZE as u64;
+
+/// Produce a big file at FZJ, then stream it to DWD's incoming area.
+fn transfer_job() -> AbstractJob {
+    let mut job = AbstractJob::new("streamer", VsiteAddress::new("FZJ", "T3E"), attrs());
+    let script = format!("sleep 10\nproduce big.dat {TRANSFER_BYTES}\n");
+    job.nodes.push(script_node(1, "make", &script));
+    job.nodes.push((
+        ActionId(2),
+        GraphNode::Task(AbstractTask {
+            name: "ship".into(),
+            resources: ResourceRequest::minimal(),
+            kind: TaskKind::File(FileKind::Transfer {
+                uspace_name: "big.dat".into(),
+                to_vsite: VsiteAddress::new("DWD", "SX4"),
+                dest_name: "big.dat".into(),
+            }),
+        }),
+    ));
+    job.dependencies.push(Dependency {
+        from: ActionId(1),
+        to: ActionId(2),
+        files: vec!["big.dat".into()],
+    });
+    job
+}
+
+/// Runs the streaming workload under `plan` (fault-free when `None`),
+/// asserts terminal success, and returns the bytes that landed at DWD
+/// plus the finished federation for counter assertions.
+fn run_transfer(seed: u64, plan: Option<&FaultPlan>) -> (Vec<u8>, Federation) {
+    let mut fed = Federation::german_deployment(FederationConfig {
+        seed,
+        ..FederationConfig::default()
+    });
+    fed.enable_telemetry(seed);
+    fed.register_user(DN, "alice");
+    fed.attach_stores();
+    if let Some(plan) = plan {
+        fed.apply_fault_plan(plan);
+    }
+    let corr = fed.client_submit("FZJ", transfer_job(), DN);
+    let deadline = 4 * HOUR;
+    let id = loop {
+        fed.run_until(fed.now() + 5 * SEC);
+        match fed.take_client_response(corr) {
+            Some(Response::Consigned { job }) => break job,
+            Some(other) => panic!("consign failed: {other:?}"),
+            None => {}
+        }
+        assert!(fed.now() < deadline, "consign ack never arrived");
+    };
+    let outcome = loop {
+        let poll = fed.client_poll("FZJ", DN, id, DetailLevel::Tasks);
+        fed.run_until(fed.now() + 10 * SEC);
+        if let Some(resp) = fed.take_client_response(poll) {
+            if let Some(o) = outcome_of(&resp) {
+                if o.status.is_terminal() {
+                    break o.clone();
+                }
+            }
+        }
+        assert!(fed.now() < deadline, "transfer job never terminated");
+    };
+    assert!(outcome.status.is_success(), "transfer failed: {outcome:?}");
+    let delivered = fed
+        .server("DWD")
+        .expect("DWD alive at the end")
+        .njs()
+        .vsite("SX4")
+        .unwrap()
+        .vspace
+        .xspace_ref()
+        .read_raw(&format!("{}big.dat", unicore_njs::INCOMING_PREFIX))
+        .expect("file at destination")
+        .data
+        .clone();
+    (delivered, fed)
+}
+
+/// First instant (on a fault-free run) at which DWD has the incoming
+/// transfer open — the anchor for injecting faults mid-stream. The run
+/// up to this point is deterministic per seed, so the faulted replay
+/// reaches the same moment in the same state.
+fn probe_stream_start(seed: u64) -> SimTime {
+    let mut fed = Federation::german_deployment(FederationConfig {
+        seed,
+        ..FederationConfig::default()
+    });
+    fed.register_user(DN, "alice");
+    fed.attach_stores();
+    let corr = fed.client_submit("FZJ", transfer_job(), DN);
+    let mut id = None;
+    loop {
+        fed.run_until(fed.now() + SEC / 10);
+        if id.is_none() {
+            if let Some(Response::Consigned { job }) = fed.take_client_response(corr) {
+                id = Some(job);
+            }
+        }
+        if let Some(job) = id {
+            let dwd = fed.server("DWD").expect("DWD never crashes here");
+            if dwd
+                .njs()
+                .incoming_progress("FZJ", job, ActionId(2))
+                .is_some()
+            {
+                return fed.now();
+            }
+        }
+        assert!(fed.now() < HOUR, "stream never started");
+    }
+}
+
+#[test]
+fn dataplane_drop_delivers_byte_identical() {
+    for seed in SEEDS {
+        let (baseline, _) = run_transfer(seed, None);
+        assert_eq!(baseline.len() as u64, TRANSFER_BYTES);
+        let plan = FaultPlan::new(seed ^ 0xE5).drop_everywhere(0.25, 0, SimTime::MAX);
+        let (faulted, fed) = run_transfer(seed, Some(&plan));
+        assert_eq!(
+            unicore_crypto::sha256(&baseline),
+            unicore_crypto::sha256(&faulted),
+            "drop: checksum diverged at seed {seed}"
+        );
+        assert_eq!(baseline, faulted, "drop: bytes diverged at seed {seed}");
+        assert!(fed.retries > 0, "drops must force retries");
+    }
+}
+
+#[test]
+fn dataplane_partition_mid_stream_resumes_byte_identical() {
+    for seed in SEEDS {
+        let t0 = probe_stream_start(seed);
+        let (baseline, _) = run_transfer(seed, None);
+        // DWD vanishes 200 ms into the stream (a 4 MiB file needs >1 s
+        // of link time, so chunks are mid-flight) and stays gone for a
+        // minute — well inside the per-chunk retry budget.
+        let from = t0 + SEC / 5;
+        let plan = FaultPlan::new(seed ^ 0xE6).partition("DWD", from, from + MINUTE);
+        let (faulted, _) = run_transfer(seed, Some(&plan));
+        assert_eq!(
+            baseline, faulted,
+            "partition: bytes diverged at seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn dataplane_receiver_crash_restart_resumes_byte_identical() {
+    for seed in SEEDS {
+        let t0 = probe_stream_start(seed);
+        let (baseline, _) = run_transfer(seed, None);
+        // The receiver dies half a second into the stream and reboots
+        // from its journal 90 s later.
+        let crash_at = t0 + SEC / 2;
+        let plan = FaultPlan::new(seed ^ 0xE7).crash_restart("DWD", crash_at, crash_at + 90 * SEC);
+        let (faulted, fed) = run_transfer(seed, Some(&plan));
+        assert_eq!(
+            baseline, faulted,
+            "receiver crash: bytes diverged at seed {seed}"
+        );
+        // Resume, not restart: the sender never re-pushed the whole
+        // file. A from-scratch restart would need at least 2× the chunk
+        // count; a watermark resume re-pushes only the unacked tail.
+        let sent = fed
+            .server("FZJ")
+            .unwrap()
+            .telemetry()
+            .metrics_snapshot()
+            .counter("dataplane.chunks.sent");
+        let chunks = TRANSFER_BYTES / unicore_dataplane::DEFAULT_CHUNK_SIZE as u64;
+        assert!(
+            sent >= chunks && sent < 2 * chunks,
+            "seed {seed}: {sent} chunks sent for a {chunks}-chunk file"
+        );
+    }
+}
+
+#[test]
+fn dataplane_sender_crash_restart_resumes_from_watermark() {
+    for seed in SEEDS {
+        let t0 = probe_stream_start(seed);
+        let (baseline, _) = run_transfer(seed, None);
+        // The *sender* dies mid-stream. Its in-memory sender state is
+        // gone; recovery re-dispatches the transfer node, the fresh
+        // offer reaches DWD, and DWD answers with its journaled
+        // watermark — so the stream continues instead of starting over.
+        let crash_at = t0 + SEC / 2;
+        let plan = FaultPlan::new(seed ^ 0xE8).crash_restart("FZJ", crash_at, crash_at + 90 * SEC);
+        let (faulted, fed) = run_transfer(seed, Some(&plan));
+        assert_eq!(
+            baseline, faulted,
+            "sender crash: bytes diverged at seed {seed}"
+        );
+        let resumes = fed.server("DWD").unwrap().njs().transfer_resumes();
+        assert!(
+            resumes > 0,
+            "seed {seed}: receiver never answered a resume offer"
+        );
+    }
+}

@@ -37,7 +37,7 @@ fn abstract_job(usite: &str, vsite: &str) -> AbstractJob {
     );
     job.portfolio.push(unicore_ajo::PortfolioFile {
         name: "solver.f90".into(),
-        data: b"program solver\nend\n".to_vec(),
+        data: b"program solver\nend\n".to_vec().into(),
     });
     job.nodes.push((
         ActionId(1),
