@@ -45,6 +45,14 @@ echo "==> retry-counter gate (telemetry must account for every retry)"
 cargo test -q --offline -p unicore --test federation_tests backoff_bounds_time_to_unreachable_verdict
 cargo test -q --offline -p unicore --test federation_tests dead_peer_is_quarantined_then_probed_back_in
 
+echo "==> broker: unit + property suites"
+cargo test -q --offline -p unicore-broker
+cargo test -q --offline -p unicore-broker --test prop_broker
+cargo test -q --offline -p unicore-resources --test prop_page
+
+echo "==> broker: chaos retarget soak (seeds 1, 7, 23 x quarantined/dark)"
+cargo test -q --offline -p unicore-integration-tests --test broker
+
 echo "==> benches compile"
 cargo bench --offline --no-run
 

@@ -74,6 +74,14 @@ pub struct AbstractJob {
     pub dependencies: Vec<Dependency>,
     /// Workstation files travelling with the job (top level only).
     pub portfolio: Vec<PortfolioFile>,
+    /// The abstract resource request a *brokered* job was placed by: the
+    /// user asked for capability, not a machine, and the broker turned
+    /// it into `vsite`. Carried so a retargeting broker can re-match the
+    /// original request instead of reverse-engineering the task graph.
+    /// Rides the wire as a trailing tagged field; absent on jobs the
+    /// user targeted by hand, whose encoding is byte-identical to the
+    /// pre-broker format.
+    pub abstract_request: Option<crate::ResourceRequest>,
 }
 
 impl AbstractJob {
@@ -86,7 +94,14 @@ impl AbstractJob {
             nodes: Vec::new(),
             dependencies: Vec::new(),
             portfolio: Vec::new(),
+            abstract_request: None,
         }
+    }
+
+    /// Stamps the abstract request the broker placed this job by.
+    pub fn with_abstract_request(mut self, request: crate::ResourceRequest) -> Self {
+        self.abstract_request = Some(request);
+        self
     }
 
     /// Looks up a node by id.
@@ -402,7 +417,7 @@ impl DerCodec for GraphNode {
 
 impl DerCodec for AbstractJob {
     fn to_value(&self) -> Value {
-        Value::Sequence(vec![
+        let mut items = vec![
             Value::string(&self.name),
             self.vsite.to_value(),
             self.user.to_value(),
@@ -423,7 +438,13 @@ impl DerCodec for AbstractJob {
                     })
                     .collect(),
             ),
-        ])
+        ];
+        // Trailing tagged optional: absent on hand-targeted jobs, so
+        // their encoding matches the pre-broker format byte for byte.
+        if let Some(req) = &self.abstract_request {
+            items.push(Value::tagged(0, req.to_value()));
+        }
+        Value::Sequence(items)
     }
 
     fn from_value(value: &Value) -> Result<Self, CodecError> {
@@ -454,6 +475,10 @@ impl DerCodec for AbstractJob {
             pf.finish()?;
             portfolio.push(PortfolioFile { name, data });
         }
+        let abstract_request = match f.optional_tagged(0) {
+            Some(v) => Some(crate::ResourceRequest::from_value(v)?),
+            None => None,
+        };
         f.finish()?;
         Ok(AbstractJob {
             name,
@@ -462,6 +487,7 @@ impl DerCodec for AbstractJob {
             nodes,
             dependencies,
             portfolio,
+            abstract_request,
         })
     }
 }
@@ -722,6 +748,35 @@ mod tests {
         });
         let back = AbstractJob::from_der(&top.to_der()).unwrap();
         assert_eq!(back, top);
+    }
+
+    #[test]
+    fn abstract_request_round_trips() {
+        let mut job = chain_job();
+        job.abstract_request = Some(
+            ResourceRequest::minimal()
+                .with_processors(64)
+                .with_run_time(7_200),
+        );
+        let back = AbstractJob::from_der(&job.to_der()).unwrap();
+        assert_eq!(back, job);
+        assert_eq!(back.abstract_request.unwrap().processors, 64);
+    }
+
+    #[test]
+    fn hand_targeted_job_bytes_unchanged() {
+        // A job without an abstract request must encode exactly as the
+        // pre-broker six-field sequence — and those bytes still decode.
+        let job = chain_job();
+        assert!(job.abstract_request.is_none());
+        let der = job.to_der();
+        let old = Value::Sequence(match job.to_value() {
+            Value::Sequence(items) => items.into_iter().take(6).collect(),
+            _ => unreachable!(),
+        });
+        assert_eq!(der, unicore_codec::encode(&old));
+        let back = AbstractJob::from_der(&der).unwrap();
+        assert_eq!(back, job);
     }
 
     #[test]

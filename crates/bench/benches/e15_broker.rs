@@ -1,0 +1,342 @@
+//! E16 — the resource broker: placement cost, fair-share fairness, and
+//! retarget latency under quarantine.
+//!
+//! Three questions, one bench:
+//!
+//! 1. What does a ranked placement cost? Criterion times the broker's
+//!    `rank` over the full six-site grid directory (p50/p99 wall-clock),
+//!    and the sim reports the grid-time of a client `Broker` round-trip.
+//! 2. Is admission fair? Eight bursty tenants push equal bursts through
+//!    one Usite; the Jain index over their completed node-seconds must
+//!    stay ≥ 0.9. A ninth hog then bursts far past its share and the
+//!    fair-share quota must start denying it.
+//! 3. How fast does a campaign recover a dead site? With RUS dark, the
+//!    first sub-consign burns the retry budget before retargeting; once
+//!    the circuit is open, the next placement is answered from
+//!    quarantine and retargets almost instantly. Both latencies come
+//!    from the WAL placement journal, not from wall clocks.
+
+use criterion::Criterion;
+use std::hint::black_box;
+use unicore::ajo::*;
+use unicore::protocol::{broker_offers_of, outcome_of, Response};
+use unicore::{Federation, FederationConfig};
+use unicore_bench::BenchReport;
+use unicore_broker::jain_index;
+use unicore_sim::{SimTime, HOUR, MINUTE, SEC};
+use unicore_simnet::FaultPlan;
+use unicore_store::StoreEvent;
+
+fn seeded(seed: u64) -> FederationConfig {
+    FederationConfig {
+        seed,
+        ..FederationConfig::default()
+    }
+}
+
+fn attrs(dn: &str) -> UserAttributes {
+    UserAttributes::new(dn, "users")
+}
+
+fn script_job(name: &str, dn: &str, procs: u32, secs: u64) -> AbstractJob {
+    let mut job = AbstractJob::new(name, VsiteAddress::new("FZJ", "T3E"), attrs(dn));
+    job.nodes.push((
+        ActionId(1),
+        GraphNode::Task(AbstractTask {
+            name: "work".into(),
+            resources: ResourceRequest::minimal()
+                .with_processors(procs)
+                .with_run_time(secs),
+            kind: TaskKind::Execute(ExecuteKind::Script {
+                script: "sleep 5\n".into(),
+            }),
+        }),
+    ));
+    job
+}
+
+// ------------------------------------------------------------------
+// 1. Placement cost.
+
+/// Grid-time of one client Broker round-trip, plus the offer count.
+fn placement_round_trip() -> (SimTime, usize) {
+    let mut fed = Federation::german_deployment(seeded(1));
+    let dn = "C=DE, O=Bench, CN=placer";
+    fed.register_user(dn, "bench");
+    let request = ResourceRequest::minimal()
+        .with_processors(16)
+        .with_run_time(3_600);
+    let t0 = fed.now();
+    let corr = fed.client_broker("FZJ", dn, request);
+    let offers = loop {
+        fed.run_until(fed.now() + SEC / 10);
+        if let Some(resp) = fed.take_client_response(corr) {
+            break broker_offers_of(&resp).expect("a BrokerOffer").len();
+        }
+        assert!(fed.now() < MINUTE, "broker never answered");
+    };
+    (fed.now() - t0, offers)
+}
+
+// ------------------------------------------------------------------
+// 2. Fairness across bursty tenants.
+
+const TENANTS: usize = 8;
+const JOBS_PER_TENANT: usize = 6;
+/// Node-seconds of one fairness job (16 PEs × 600 s).
+const JOB_COST: f64 = 16.0 * 600.0;
+
+fn tenant_dn(i: usize) -> String {
+    format!("C=DE, O=Bench, OU=Tenants, CN=t{i}")
+}
+
+/// Interleaved equal bursts from eight tenants through FZJ, then a hog
+/// burst that must trip the quota. Returns (jain over completed
+/// node-seconds, hog submissions denied, hog submissions admitted).
+fn fairness_run() -> (f64, u64, u64) {
+    let mut fed = Federation::german_deployment(seeded(2));
+    fed.enable_telemetry(2);
+    for i in 0..TENANTS {
+        fed.register_user(&tenant_dn(i), &format!("t{i}"));
+    }
+    let hog_dn = "C=DE, O=Bench, OU=Tenants, CN=hog";
+    fed.register_user(hog_dn, "hog");
+
+    // Round-robin submission: burst j of every tenant lands before
+    // burst j+1 of any — the contention pattern quotas exist for.
+    let mut corrs = Vec::new();
+    for round in 0..JOBS_PER_TENANT {
+        for i in 0..TENANTS {
+            let dn = tenant_dn(i);
+            let job = script_job(&format!("t{i}r{round}"), &dn, 16, 600);
+            corrs.push((i, fed.client_submit("FZJ", job, &dn)));
+        }
+    }
+    let deadline = 4 * HOUR;
+    let mut ids: Vec<(usize, JobId)> = Vec::new();
+    let mut pending = corrs.len();
+    while pending > 0 {
+        fed.run_until(fed.now() + 5 * SEC);
+        for (i, corr) in &corrs {
+            if let Some(resp) = fed.take_client_response(*corr) {
+                match resp {
+                    Response::Consigned { job } => ids.push((*i, job)),
+                    other => panic!("tenant {i} consign failed: {other:?}"),
+                }
+                pending -= 1;
+            }
+        }
+        assert!(fed.now() < deadline, "consign acks never arrived");
+    }
+
+    let mut allocations = vec![0.0f64; TENANTS];
+    for (i, id) in ids {
+        let outcome = loop {
+            let poll = fed.client_poll("FZJ", &tenant_dn(i), id, DetailLevel::JobOnly);
+            fed.run_until(fed.now() + 10 * SEC);
+            if let Some(resp) = fed.take_client_response(poll) {
+                if let Some(o) = outcome_of(&resp) {
+                    if o.status.is_terminal() {
+                        break o.clone();
+                    }
+                }
+            }
+            assert!(fed.now() < deadline, "tenant {i} job never terminated");
+        };
+        if outcome.status.is_success() {
+            allocations[i] += JOB_COST;
+        }
+    }
+    let jain = jain_index(&allocations);
+
+    // The hog: a rapid burst of 64-PE hours. The first few fit inside
+    // the burst headroom; the rest must be denied at admission.
+    let mut denied = 0u64;
+    let mut admitted = 0u64;
+    let mut hog_corrs = Vec::new();
+    for k in 0..12 {
+        let job = script_job(&format!("hog{k}"), hog_dn, 64, 3_600);
+        hog_corrs.push(fed.client_submit("FZJ", job, hog_dn));
+    }
+    let mut pending = hog_corrs.len();
+    while pending > 0 {
+        fed.run_until(fed.now() + 5 * SEC);
+        for corr in &hog_corrs {
+            match fed.take_client_response(*corr) {
+                Some(Response::Consigned { .. }) => {
+                    admitted += 1;
+                    pending -= 1;
+                }
+                Some(Response::Error(msg)) => {
+                    assert!(msg.contains("fair-share"), "unexpected refusal: {msg}");
+                    denied += 1;
+                    pending -= 1;
+                }
+                Some(other) => panic!("hog consign: {other:?}"),
+                None => {}
+            }
+        }
+        assert!(fed.now() < deadline, "hog acks never arrived");
+    }
+    let counter = fed
+        .server("FZJ")
+        .unwrap()
+        .telemetry()
+        .metrics_snapshot()
+        .counter("broker.quota.denied");
+    assert_eq!(counter, denied, "denial counter disagrees with responses");
+    (jain, denied, admitted)
+}
+
+// ------------------------------------------------------------------
+// 3. Retarget latency.
+
+/// With RUS permanently dark, two consecutive campaigns measure the
+/// journal-derived retarget latency before and after the circuit opens.
+fn retarget_latencies() -> (f64, f64) {
+    let mut fed = Federation::german_deployment(seeded(3));
+    let dn = "C=DE, O=Bench, CN=campaign";
+    fed.register_user(dn, "bench");
+    fed.attach_stores();
+    fed.apply_fault_plan(&FaultPlan::new(3).partition("RUS", 0, SimTime::MAX));
+
+    let submit = |fed: &mut Federation, name: &str| -> JobId {
+        let mut sub = AbstractJob::new("remote", VsiteAddress::new("RUS", "VPP"), attrs(dn));
+        sub.nodes.push((
+            ActionId(1),
+            GraphNode::Task(AbstractTask {
+                name: "r".into(),
+                resources: ResourceRequest::minimal().with_run_time(3_600),
+                kind: TaskKind::Execute(ExecuteKind::Script {
+                    script: "sleep 5\n".into(),
+                }),
+            }),
+        ));
+        let mut job = AbstractJob::new(name, VsiteAddress::new("FZJ", "T3E"), attrs(dn));
+        job.nodes.push((ActionId(1), GraphNode::SubJob(sub)));
+        let (id, outcome, _) = fed
+            .submit_and_wait("FZJ", job, dn, 5 * SEC, HOUR)
+            .expect("campaign job terminates");
+        assert!(outcome.status.is_success(), "{outcome:?}");
+        id
+    };
+    // One retry exhaustion is a datapoint, two open the circuit: the
+    // first two campaigns each burn the full retry budget; the third is
+    // answered straight from quarantine.
+    let first = submit(&mut fed, "cold");
+    let _second = submit(&mut fed, "opening");
+    let third = submit(&mut fed, "quarantined");
+
+    // Journal-derived latency: first placement → first retarget.
+    let events = fed
+        .server_mut("FZJ")
+        .unwrap()
+        .njs_mut()
+        .store_mut()
+        .expect("store attached")
+        .replay()
+        .expect("journal replays")
+        .events;
+    let latency_of = |job: JobId| -> f64 {
+        let mut placed = None;
+        let mut retargeted = None;
+        for ev in &events {
+            if let StoreEvent::PlacementDecided {
+                job: j,
+                attempt,
+                at,
+                ..
+            } = ev
+            {
+                if *j == job && *attempt == 0 && placed.is_none() {
+                    placed = Some(*at);
+                }
+                if *j == job && *attempt == 1 && retargeted.is_none() {
+                    retargeted = Some(*at);
+                }
+            }
+        }
+        let (p, r) = (placed.expect("placed"), retargeted.expect("retargeted"));
+        r.saturating_sub(p) as f64 / SEC as f64
+    };
+    (latency_of(first), latency_of(third))
+}
+
+fn print_tables() -> BenchReport {
+    println!("\n=== E16: resource broker ===\n");
+    let mut report = BenchReport::new("e15_broker");
+    report.note(
+        "workload",
+        "six-site grid; 8 bursty tenants + 1 hog through FZJ; RUS dark for the retarget campaign",
+    );
+
+    let (grid_time, offers) = placement_round_trip();
+    println!(
+        "placement round-trip: {:.2} s grid-time, {offers} offers",
+        grid_time as f64 / SEC as f64
+    );
+    report
+        .metric("placement.grid_time_s", grid_time as f64 / SEC as f64)
+        .metric("placement.offers", offers as f64);
+
+    let (jain, denied, admitted) = fairness_run();
+    println!(
+        "fairness: Jain {jain:.4} over {TENANTS} tenants; hog {admitted} admitted / {denied} denied"
+    );
+    assert!(
+        jain >= 0.9,
+        "fairness gate: Jain {jain:.4} < 0.9 across bursty tenants"
+    );
+    assert!(denied > 0, "the hog burst must trip the quota");
+    report
+        .metric("fairness.jain_index", jain)
+        .metric("fairness.tenants", TENANTS as f64)
+        .metric("fairness.hog_admitted", admitted as f64)
+        .metric("fairness.hog_denied", denied as f64);
+
+    let (cold_s, warm_s) = retarget_latencies();
+    println!("retarget latency: {cold_s:.1} s cold (retry budget), {warm_s:.1} s once quarantined");
+    assert!(
+        warm_s < cold_s,
+        "quarantine must shortcut the retry budget ({warm_s} vs {cold_s})"
+    );
+    report
+        .metric("retarget.cold_latency_s", cold_s)
+        .metric("retarget.quarantined_latency_s", warm_s);
+    println!();
+    report
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e15_broker");
+    group.sample_size(30);
+    // Wall-clock cost of one ranked placement over the live grid
+    // directory, straight against the server's broker entry point.
+    let mut fed = Federation::german_deployment(seeded(7));
+    let request = ResourceRequest::minimal()
+        .with_processors(16)
+        .with_run_time(3_600);
+    group.bench_function("placement", |b| {
+        let server = fed.server_mut("FZJ").unwrap();
+        b.iter(|| black_box(server.broker_rank(black_box(&request), 0)));
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut report = print_tables();
+    let mut c = Criterion::default().configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+    for s in criterion::take_recorded() {
+        let key = s.name.replace('/', ".");
+        report
+            .metric(&format!("{key}.min_us"), s.min * 1e6)
+            .metric(&format!("{key}.p50_us"), s.p50 * 1e6)
+            .metric(&format!("{key}.p99_us"), s.p99 * 1e6);
+    }
+    match report.write() {
+        Ok(path) => println!("machine-readable results: {}", path.display()),
+        Err(e) => eprintln!("could not write bench report: {e}"),
+    }
+}

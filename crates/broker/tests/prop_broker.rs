@@ -1,0 +1,135 @@
+//! Property tests for the broker: a ranking is a pure function of
+//! (directory, loads, policy) — identical across runs and independent of
+//! candidate order for the same seed — scores come back sorted,
+//! exclusions are honoured, and fair-share usage only ever decays.
+
+use proptest::prelude::*;
+use unicore_ajo::ResourceRequest;
+use unicore_broker::{rank, BrokerPolicy, Candidate, FairShare, FairShareConfig, LoadSnapshot};
+use unicore_resources::{deployment_page, Architecture};
+
+/// The six-site German deployment the paper names (§2), as the candidate
+/// pool: real pages with generated load, price, and staging figures.
+const SITES: [(&str, &str, Architecture); 6] = [
+    ("FZJ", "T3E", Architecture::CrayT3e),
+    ("RUS", "VPP", Architecture::FujitsuVpp700),
+    ("RUKA", "SP2", Architecture::IbmSp2),
+    ("LRZ", "SP2", Architecture::IbmSp2),
+    ("ZIB", "T3E", Architecture::CrayT3e),
+    ("DWD", "SX4", Architecture::NecSx4),
+];
+
+fn candidate(site: usize) -> impl Strategy<Value = Candidate> {
+    (
+        0u32..1024,
+        0usize..40,
+        0u64..=1000,
+        0u64..100_000,
+        0u32..=100,
+        0u64..10_000,
+    )
+        .prop_map(
+            move |(free, queue, util_milli, price, load_pct, staging_mb)| {
+                let (usite, vsite, arch) = SITES[site];
+                let page = deployment_page(usite, vsite, arch)
+                    .with_price(price)
+                    .with_advertised_load(load_pct);
+                let total = page.performance.nodes;
+                Candidate {
+                    load: LoadSnapshot {
+                        vsite: page.vsite.clone(),
+                        total_nodes: total,
+                        free_nodes: free.min(total),
+                        queue_length: queue,
+                        running: 0,
+                        utilization: util_milli as f64 / 1000.0,
+                    },
+                    page,
+                    staging_mb,
+                }
+            },
+        )
+}
+
+fn candidates() -> impl Strategy<Value = Vec<Candidate>> {
+    (
+        candidate(0),
+        candidate(1),
+        candidate(2),
+        candidate(3),
+        candidate(4),
+        candidate(5),
+    )
+        .prop_map(|(a, b, c, d, e, f)| vec![a, b, c, d, e, f])
+}
+
+fn request() -> impl Strategy<Value = ResourceRequest> {
+    (1u32..600, 60u64..50_000).prop_map(|(procs, secs)| {
+        ResourceRequest::minimal()
+            .with_processors(procs)
+            .with_run_time(secs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn ranking_is_deterministic_and_order_independent(
+        cands in candidates(),
+        req in request(),
+        seed in 0u64..(1 << 32),
+        rot in 0usize..6,
+    ) {
+        let policy = BrokerPolicy::seeded(seed);
+        let baseline = rank(&policy, &req, &cands, &[]);
+        // Same inputs, same ranking — byte for byte.
+        prop_assert_eq!(&rank(&policy, &req, &cands, &[]), &baseline);
+        // Any rotation or reversal of the candidate list ranks the same.
+        let mut rotated = cands.clone();
+        rotated.rotate_left(rot);
+        prop_assert_eq!(&rank(&policy, &req, &rotated, &[]), &baseline);
+        rotated.reverse();
+        prop_assert_eq!(&rank(&policy, &req, &rotated, &[]), &baseline);
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_honours_exclusions(
+        cands in candidates(),
+        req in request(),
+        seed in 0u64..(1 << 32),
+        excluded in 0usize..6,
+    ) {
+        let policy = BrokerPolicy::seeded(seed);
+        let offers = rank(&policy, &req, &cands, &[]);
+        // Best first: scores never decrease down the list.
+        prop_assert!(offers.windows(2).all(|w| w[0].score <= w[1].score));
+        // Excluding one Usite removes exactly its offers, nothing else.
+        let skip = SITES[excluded].0.to_owned();
+        let filtered = rank(&policy, &req, &cands, std::slice::from_ref(&skip));
+        prop_assert!(filtered.iter().all(|o| o.vsite.usite != skip));
+        let expect: Vec<_> = offers
+            .iter()
+            .filter(|o| o.vsite.usite != skip)
+            .cloned()
+            .collect();
+        prop_assert_eq!(filtered, expect);
+    }
+
+    #[test]
+    fn fair_share_usage_only_decays(
+        charges in proptest::collection::vec((0u64..100_000, 0u64..3_600_000_000u64), 1..8),
+        probe_gap in 0u64..100_000_000_000u64,
+    ) {
+        let mut shares = FairShare::new(FairShareConfig::default());
+        let mut now = 0u64;
+        for (cost, gap) in charges {
+            now += gap;
+            shares.charge("CN=alice", cost, now);
+        }
+        let at_last = shares.usage("CN=alice", now);
+        let later = shares.usage("CN=alice", now + probe_gap);
+        // Decay is monotone: waiting never increases the charged usage.
+        prop_assert!(later <= at_last);
+    }
+}

@@ -115,6 +115,34 @@ pub fn render(rows: &[StatusRow]) -> String {
     out
 }
 
+/// Renders the broker's ranked placement offers as the panel the JPA
+/// shows before a brokered submission: one line per candidate site, best
+/// first, with the load/price figures the score was derived from so the
+/// user can see *why* the broker ranked them this way.
+pub fn render_offers(offers: &[crate::jpa::PlacementView]) -> String {
+    if offers.is_empty() {
+        return "no admissible site for this request\n".into();
+    }
+    let mut out = String::new();
+    for (rank, o) in offers.iter().enumerate() {
+        let start = if o.immediate {
+            "starts now".into()
+        } else {
+            format!("{} queued ahead", o.queue_length)
+        };
+        out.push_str(&format!(
+            "#{} {}  score {}  util {:.1}%  {}  {} mc/node-h\n",
+            rank + 1,
+            o.vsite,
+            o.score,
+            o.utilization_milli as f64 / 10.0,
+            start,
+            o.price_per_node_hour_milli,
+        ));
+    }
+    out
+}
+
 /// Counts of actions by display colour — the at-a-glance summary a JMC
 /// header shows ("3 running, 1 failed...").
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -489,5 +517,35 @@ mod summary_tests {
         let s = summarize(&job, &outcome);
         assert_eq!(s.total(), 0);
         assert!(s.settled());
+    }
+
+    #[test]
+    fn offers_render_ranked_with_load_and_price() {
+        use crate::jpa::PlacementView;
+        let text = render_offers(&[
+            PlacementView {
+                vsite: VsiteAddress::new("ZIB", "T3E"),
+                score: 120,
+                immediate: true,
+                queue_length: 0,
+                utilization_milli: 250,
+                price_per_node_hour_milli: 900,
+            },
+            PlacementView {
+                vsite: VsiteAddress::new("FZJ", "T3E"),
+                score: 340,
+                immediate: false,
+                queue_length: 4,
+                utilization_milli: 805,
+                price_per_node_hour_milli: 700,
+            },
+        ]);
+        assert!(text.contains("#1 ZIB/T3E"));
+        assert!(text.contains("starts now"));
+        assert!(text.contains("util 25.0%"));
+        assert!(text.contains("#2 FZJ/T3E"));
+        assert!(text.contains("4 queued ahead"));
+        assert!(text.contains("700 mc/node-h"));
+        assert_eq!(render_offers(&[]), "no admissible site for this request\n");
     }
 }

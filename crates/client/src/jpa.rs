@@ -30,6 +30,8 @@ pub enum JpaError {
     },
     /// The destination Vsite has no published resource page.
     UnknownVsite(String),
+    /// The broker returned no admissible placement for the request.
+    NoPlacement,
 }
 
 impl core::fmt::Display for JpaError {
@@ -48,8 +50,30 @@ impl core::fmt::Display for JpaError {
                 Ok(())
             }
             JpaError::UnknownVsite(v) => write!(f, "no resource page for Vsite {v}"),
+            JpaError::NoPlacement => write!(f, "broker returned no admissible placement"),
         }
     }
+}
+
+/// A broker placement offer as the client sees it — the JPA's view of one
+/// entry of the server's ranked `BrokerOffer` response. The wire type
+/// lives in the server crate; callers map it field-for-field into this
+/// mirror so the JPA and JMC stay protocol-agnostic, the same way the
+/// applets consumed resource pages delivered alongside them (§5.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementView {
+    /// The offered Vsite.
+    pub vsite: VsiteAddress,
+    /// Composite score in millipoints (lower is better).
+    pub score: u64,
+    /// Whether the site could start the request immediately.
+    pub immediate: bool,
+    /// Jobs queued ahead of the request.
+    pub queue_length: u64,
+    /// Observed utilisation in milli-units (0..=1000).
+    pub utilization_milli: u64,
+    /// The page's advertised price (millicredits per node-hour).
+    pub price_per_node_hour_milli: u64,
 }
 
 impl std::error::Error for JpaError {}
@@ -84,6 +108,21 @@ impl JobPreparationAgent {
             job: AbstractJob::new(name, vsite, self.user.clone()),
             next_id: 1,
         }
+    }
+
+    /// Starts a new job destined for the best site the broker offered:
+    /// the brokered submission path. The offers arrive ranked (lowest
+    /// score first); the JPA takes the head rather than re-scoring, so
+    /// the server's placement decision — not a client heuristic — picks
+    /// the site. Errors with [`JpaError::NoPlacement`] when the broker
+    /// found no admissible site.
+    pub fn new_brokered_job(
+        &self,
+        name: impl Into<String>,
+        offers: &[PlacementView],
+    ) -> Result<JobBuilder, JpaError> {
+        let best = offers.first().ok_or(JpaError::NoPlacement)?;
+        Ok(self.new_job(name, best.vsite.clone()))
     }
 
     /// Loads an existing job for modification and resubmission ("loading
@@ -469,6 +508,42 @@ mod tests {
         let mut outer = jpa.new_job("outer", VsiteAddress::new("FZJ", "T3E"));
         outer.sub_job(inner);
         outer.build_checked(&jpa).unwrap();
+    }
+
+    #[test]
+    fn brokered_job_targets_best_offer() {
+        let jpa = jpa();
+        let offers = vec![
+            PlacementView {
+                vsite: VsiteAddress::new("ZIB", "T3E"),
+                score: 120,
+                immediate: true,
+                queue_length: 0,
+                utilization_milli: 250,
+                price_per_node_hour_milli: 900,
+            },
+            PlacementView {
+                vsite: VsiteAddress::new("FZJ", "T3E"),
+                score: 340,
+                immediate: false,
+                queue_length: 4,
+                utilization_milli: 800,
+                price_per_node_hour_milli: 700,
+            },
+        ];
+        let mut b = jpa.new_brokered_job("sim", &offers).unwrap();
+        b.script_task("run", "x", ResourceRequest::minimal());
+        let job = b.build().unwrap();
+        assert_eq!(job.vsite, VsiteAddress::new("ZIB", "T3E"));
+    }
+
+    #[test]
+    fn brokered_job_with_no_offers_is_an_error() {
+        let jpa = jpa();
+        assert!(matches!(
+            jpa.new_brokered_job("sim", &[]),
+            Err(JpaError::NoPlacement)
+        ));
     }
 
     #[test]

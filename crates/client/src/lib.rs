@@ -20,8 +20,8 @@ pub mod jpa;
 pub mod monitor;
 
 pub use jmc::{
-    collect_outputs, color_icon, first_failure, render, status_rows, summarize, StatusRow,
-    StatusSummary, TaskOutput,
+    collect_outputs, color_icon, first_failure, render, render_offers, status_rows, summarize,
+    StatusRow, StatusSummary, TaskOutput,
 };
-pub use jpa::{JobBuilder, JobPreparationAgent, JpaError};
+pub use jpa::{JobBuilder, JobPreparationAgent, JpaError, PlacementView};
 pub use monitor::{monitor_rows, render_flight, render_monitor, MonitorRow};

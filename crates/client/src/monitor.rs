@@ -38,13 +38,24 @@ pub fn monitor_rows(sites: &[MonitorReport]) -> Vec<MonitorRow> {
             depth: 0,
             text: format!("Usite {}", site.usite),
         });
-        // A quarantined peer arrives as a tombstone row: no Vsites, no
-        // real metrics, just the federation's dead-site flag. Surface it
-        // as the red UNREACHABLE banner instead of an empty block.
+        // An unreachable peer arrives as a tombstone row: no Vsites, no
+        // real metrics, just the federation's dead-site flag plus a
+        // reason counter. Surface it as the red UNREACHABLE banner with
+        // *why* — a crashed server, a network partition, or circuit-
+        // breaker quarantine — instead of an empty block. Reports from
+        // older federations carry only the bare flag; those keep the
+        // quarantine wording they always had.
         if site.metrics.counter("federation.site.dead") > 0 {
+            let why = if site.metrics.counter("federation.site.dead.crash") > 0 {
+                "server crashed"
+            } else if site.metrics.counter("federation.site.dead.partition") > 0 {
+                "network partition"
+            } else {
+                "quarantined by the federation"
+            };
             rows.push(MonitorRow {
                 depth: 1,
-                text: "UNREACHABLE (quarantined by the federation)".into(),
+                text: format!("UNREACHABLE ({why})"),
             });
             continue;
         }
@@ -165,21 +176,42 @@ mod tests {
         assert!(!text.contains("obscure.counter"));
     }
 
-    #[test]
-    fn dead_site_renders_unreachable_banner() {
+    fn tombstone(usite: &str, reason: Option<&str>) -> MonitorReport {
         let mut metrics = MetricsSnapshot::default();
         metrics.counters.insert("federation.site.dead".into(), 1);
-        let dead = MonitorReport {
-            usite: "RUS".into(),
+        if let Some(r) = reason {
+            metrics
+                .counters
+                .insert(format!("federation.site.dead.{r}"), 1);
+        }
+        MonitorReport {
+            usite: usite.into(),
             metrics,
             spans: vec![],
             vsites: vec![],
-        };
-        let text = render_monitor(&[report("FZJ"), dead]);
+        }
+    }
+
+    #[test]
+    fn dead_site_renders_unreachable_banner() {
+        let text = render_monitor(&[report("FZJ"), tombstone("RUS", None)]);
         assert!(text.contains("Usite RUS"));
-        assert!(text.contains("UNREACHABLE"));
+        // Bare flag (no reason counter) keeps the historical wording.
+        assert!(text.contains("UNREACHABLE (quarantined by the federation)"));
         // The live site renders normally alongside the tombstone.
         assert!(text.contains("vsite T3E"));
+    }
+
+    #[test]
+    fn dead_site_banner_explains_why() {
+        let text = render_monitor(&[
+            tombstone("ZIB", Some("crash")),
+            tombstone("LRZ", Some("partition")),
+            tombstone("RUS", Some("quarantine")),
+        ]);
+        assert!(text.contains("UNREACHABLE (server crashed)"));
+        assert!(text.contains("UNREACHABLE (network partition)"));
+        assert!(text.contains("UNREACHABLE (quarantined by the federation)"));
     }
 
     #[test]

@@ -1,201 +1,20 @@
-//! A resource-broker seed — the paper's §6 outlook, implemented as an
-//! extension feature.
+//! The resource broker — the paper's §6 outlook, grown from a seed into
+//! the `unicore-broker` subsystem crate.
 //!
 //! "A resource broker which supports the users in a way that they can
 //! specify the needed resources on a more abstract level and the broker
-//! finds the appropriate execution server for it. Together with accounting
-//! functions and load information the resource broker can find the best
-//! system for an application with given time constraints."
+//! finds the appropriate execution server for it. Together with
+//! accounting functions and load information the resource broker can
+//! find the best system for an application with given time constraints."
 //!
-//! This module provides exactly that seed: servers publish
-//! [`LoadSnapshot`]s (free nodes, queue length, utilisation) alongside
-//! their resource pages, and [`choose_vsite`] picks the admissible Vsite
-//! that will start the request soonest.
+//! This module re-exports the subsystem so existing callers keep their
+//! paths: servers publish [`LoadSnapshot`]s alongside their resource
+//! pages, [`choose_vsite`] keeps the original seed policy, and the full
+//! load/price-aware ranking, fair-share quotas and retarget scoring live
+//! in [`unicore_broker`].
 
-use unicore_ajo::{ResourceRequest, VsiteAddress};
-use unicore_resources::{admissible, ResourcePage};
-
-/// A point-in-time load report for one Vsite.
-#[derive(Debug, Clone, PartialEq)]
-pub struct LoadSnapshot {
-    /// The Vsite.
-    pub vsite: VsiteAddress,
-    /// Machine size in processor elements.
-    pub total_nodes: u32,
-    /// Idle processor elements right now.
-    pub free_nodes: u32,
-    /// Jobs waiting in the queue.
-    pub queue_length: usize,
-    /// Jobs currently executing.
-    pub running: usize,
-    /// Historical utilisation over the observation window (0..1).
-    pub utilization: f64,
-}
-
-/// One brokering candidate: the published page plus current load.
-#[derive(Debug, Clone)]
-pub struct Candidate {
-    /// The Vsite's resource page.
-    pub page: ResourcePage,
-    /// Its load.
-    pub load: LoadSnapshot,
-}
-
-/// Why the broker rejected a candidate (for user-facing explanations).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum BrokerRejection {
-    /// The request violates the page's limits.
-    Inadmissible,
-}
-
-/// The broker's scored pick.
-#[derive(Debug, Clone)]
-pub struct BrokerChoice {
-    /// The chosen Vsite.
-    pub vsite: VsiteAddress,
-    /// True when the machine can start the request immediately.
-    pub immediate: bool,
-    /// The candidates considered, in preference order (chosen first).
-    pub ranking: Vec<VsiteAddress>,
-}
-
-/// Picks the best Vsite for `request` among `candidates`.
-///
-/// Policy (deliberately simple, as befits a seed): admissible pages only;
-/// prefer machines that can start *now* (free nodes ≥ request); then
-/// shorter queues; then lower utilisation; then bigger machines. Ties
-/// break on the Vsite name for determinism.
-pub fn choose_vsite(request: &ResourceRequest, candidates: &[Candidate]) -> Option<BrokerChoice> {
-    let mut ranked: Vec<&Candidate> = candidates
-        .iter()
-        .filter(|c| admissible(request, &c.page))
-        .collect();
-    if ranked.is_empty() {
-        return None;
-    }
-    ranked.sort_by(|a, b| {
-        let a_now = a.load.free_nodes >= request.processors;
-        let b_now = b.load.free_nodes >= request.processors;
-        b_now
-            .cmp(&a_now)
-            .then(a.load.queue_length.cmp(&b.load.queue_length))
-            .then(
-                a.load
-                    .utilization
-                    .partial_cmp(&b.load.utilization)
-                    .unwrap_or(core::cmp::Ordering::Equal),
-            )
-            .then(b.load.total_nodes.cmp(&a.load.total_nodes))
-            .then(a.load.vsite.to_string().cmp(&b.load.vsite.to_string()))
-    });
-    let best = ranked[0];
-    Some(BrokerChoice {
-        vsite: best.load.vsite.clone(),
-        immediate: best.load.free_nodes >= request.processors,
-        ranking: ranked.iter().map(|c| c.load.vsite.clone()).collect(),
-    })
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use unicore_resources::{deployment_page, Architecture};
-
-    fn candidate(
-        usite: &str,
-        vsite: &str,
-        arch: Architecture,
-        free: u32,
-        queue: usize,
-        util: f64,
-    ) -> Candidate {
-        let page = deployment_page(usite, vsite, arch);
-        let total = page.performance.nodes;
-        Candidate {
-            load: LoadSnapshot {
-                vsite: page.vsite.clone(),
-                total_nodes: total,
-                free_nodes: free,
-                queue_length: queue,
-                running: 0,
-                utilization: util,
-            },
-            page,
-        }
-    }
-
-    fn req(procs: u32) -> ResourceRequest {
-        ResourceRequest::minimal()
-            .with_processors(procs)
-            .with_run_time(3_600)
-    }
-
-    #[test]
-    fn empty_candidates_yield_none() {
-        assert!(choose_vsite(&req(4), &[]).is_none());
-    }
-
-    #[test]
-    fn inadmissible_candidates_filtered() {
-        // SX-4 has 32 PEs: a 100-PE request can only go to the T3E.
-        let cands = [
-            candidate("DWD", "SX4", Architecture::NecSx4, 32, 0, 0.0),
-            candidate("FZJ", "T3E", Architecture::CrayT3e, 0, 50, 0.99),
-        ];
-        let choice = choose_vsite(&req(100), &cands).unwrap();
-        assert_eq!(choice.vsite.to_string(), "FZJ/T3E");
-        assert!(!choice.immediate);
-    }
-
-    #[test]
-    fn all_inadmissible_yields_none() {
-        let cands = [candidate("DWD", "SX4", Architecture::NecSx4, 32, 0, 0.0)];
-        assert!(choose_vsite(&req(10_000), &cands).is_none());
-    }
-
-    #[test]
-    fn prefers_immediate_start() {
-        let cands = [
-            // Busy big machine with a queue...
-            candidate("FZJ", "T3E", Architecture::CrayT3e, 0, 3, 0.9),
-            // ...vs a small idle one that fits.
-            candidate("DWD", "SX4", Architecture::NecSx4, 32, 0, 0.1),
-        ];
-        let choice = choose_vsite(&req(16), &cands).unwrap();
-        assert_eq!(choice.vsite.to_string(), "DWD/SX4");
-        assert!(choice.immediate);
-        assert_eq!(choice.ranking.len(), 2);
-    }
-
-    #[test]
-    fn prefers_shorter_queue_when_nobody_free() {
-        let cands = [
-            candidate("FZJ", "T3E", Architecture::CrayT3e, 0, 10, 0.5),
-            candidate("ZIB", "T3E", Architecture::CrayT3e, 0, 2, 0.5),
-        ];
-        let choice = choose_vsite(&req(64), &cands).unwrap();
-        assert_eq!(choice.vsite.to_string(), "ZIB/T3E");
-    }
-
-    #[test]
-    fn prefers_lower_utilization_on_queue_tie() {
-        let cands = [
-            candidate("FZJ", "T3E", Architecture::CrayT3e, 0, 2, 0.9),
-            candidate("ZIB", "T3E", Architecture::CrayT3e, 0, 2, 0.2),
-        ];
-        let choice = choose_vsite(&req(64), &cands).unwrap();
-        assert_eq!(choice.vsite.to_string(), "ZIB/T3E");
-    }
-
-    #[test]
-    fn deterministic_tie_break() {
-        let cands = [
-            candidate("ZIB", "T3E", Architecture::CrayT3e, 512, 0, 0.0),
-            candidate("FZJ", "T3E", Architecture::CrayT3e, 512, 0, 0.0),
-        ];
-        let a = choose_vsite(&req(8), &cands).unwrap();
-        let b = choose_vsite(&req(8), &cands).unwrap();
-        assert_eq!(a.vsite, b.vsite);
-        assert_eq!(a.vsite.to_string(), "FZJ/T3E"); // name order
-    }
-}
+pub use unicore_broker::{
+    aggregate_request, choose_vsite, jain_index, job_cost, rank, staging_mb, BrokerChoice,
+    BrokerPolicy, BrokerRejection, Candidate, FairShare, FairShareConfig, LoadSnapshot,
+    QuotaDenial, RankedOffer,
+};

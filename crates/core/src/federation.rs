@@ -28,7 +28,7 @@ use unicore_ajo::{
 use unicore_codec::DerCodec;
 use unicore_gateway::{Gateway, UserEntry, Uudb};
 use unicore_njs::{Njs, TranslationTable};
-use unicore_resources::{deployment_page, Architecture};
+use unicore_resources::{deployment_page, Architecture, ResourcePage};
 use unicore_sim::{SimTime, MINUTE, SEC};
 use unicore_simnet::{FaultPlan, Firewall, LinkParams, Network, NodeId};
 use unicore_store::{EventStore, MemoryBackend};
@@ -276,6 +276,8 @@ pub struct Federation {
     backends: HashMap<String, MemoryBackend>,
     /// Sites currently down (crashed, awaiting restart).
     crashed: HashSet<String>,
+    /// Sites currently cut off by a network partition.
+    partitioned: HashSet<String>,
     /// Site build specs, kept to rebuild a crashed server.
     specs: HashMap<String, SiteSpec>,
     /// User registrations, replayed into a rebuilt server's UUDB.
@@ -361,6 +363,22 @@ impl Federation {
             }
         }
 
+        // Every server gets the whole deployment's pages — the broker's
+        // grid view — plus the deployment seed for tie-breaks, so every
+        // site ranks a request identically.
+        let all_pages: Vec<ResourcePage> = specs
+            .iter()
+            .flat_map(|spec| {
+                spec.vsites
+                    .iter()
+                    .map(|(vsite, arch)| deployment_page(&spec.name, vsite, *arch))
+            })
+            .collect();
+        for server in servers.values_mut() {
+            server.install_grid_directory(all_pages.clone());
+            server.set_broker_seed(config.seed);
+        }
+
         let node_sites: HashMap<NodeId, String> = sites
             .iter()
             .map(|(name, nodes)| (nodes.gateway, name.clone()))
@@ -404,6 +422,7 @@ impl Federation {
             fault_events: Vec::new(),
             backends: HashMap::new(),
             crashed: HashSet::new(),
+            partitioned: HashSet::new(),
             specs: specs_by_name,
             registered_users: Vec::new(),
             telemetry_seed: None,
@@ -516,6 +535,11 @@ impl Federation {
     /// Severs (or heals, with `severed = false`) every WAN link touching a
     /// site's gateway — a full partition of that Usite.
     pub fn set_partitioned(&mut self, usite: &str, severed: bool) {
+        if severed {
+            self.partitioned.insert(usite.to_owned());
+        } else {
+            self.partitioned.remove(usite);
+        }
         let loss = if severed { 1.0 } else { 0.0 };
         let gw = self.sites[usite].gateway;
         let peers: Vec<NodeId> = self
@@ -652,9 +676,25 @@ impl Federation {
                 .expect("known site") as u64;
             server.set_telemetry(Telemetry::collecting(seed.wrapping_add(i + 1)));
         }
+        server.install_grid_directory(self.deployment_pages());
+        server.set_broker_seed(self.seed);
         server.recover(self.now).expect("journal recovery");
         self.servers.insert(usite.to_owned(), server);
         self.telemetry.counter("federation.site.restart").inc();
+    }
+
+    /// The pages of every Vsite in the deployment, in site order — the
+    /// grid directory each server's broker ranks over.
+    fn deployment_pages(&self) -> Vec<ResourcePage> {
+        self.site_order
+            .iter()
+            .filter_map(|s| self.specs.get(s))
+            .flat_map(|spec| {
+                spec.vsites
+                    .iter()
+                    .map(|(vsite, arch)| deployment_page(&spec.name, vsite, *arch))
+            })
+            .collect()
     }
 
     /// Whether a site's server is currently down (crashed, not restarted).
@@ -898,6 +938,19 @@ impl Federation {
         // No inflight entry: the synchronous variant never retries.
         self.send_with_handshake(self.workstation, dst, payload);
         corr
+    }
+
+    /// Asks `via`'s broker for a ranked placement of an abstract
+    /// resource request across the grid (§6). The response is a
+    /// [`Response::BrokerOffer`]; rewrite the AJO's Vsite to the first
+    /// offer and consign as usual.
+    pub fn client_broker(
+        &mut self,
+        via: &str,
+        dn: &str,
+        request: unicore_ajo::ResourceRequest,
+    ) -> u64 {
+        self.client_request(via, dn, Request::Broker { request })
     }
 
     /// Polls a job's status.
@@ -1171,8 +1224,9 @@ impl Federation {
                         .get(&dest_site)
                         .is_some_and(|h| matches!(h.state, PeerState::Open { .. }))
                     {
+                        let report = self.dead_site_report(&dest_site);
                         if let Some(w) = self.monitor_watches.get_mut(&watch_id) {
-                            w.reports.push(Self::dead_site_report(&dest_site));
+                            w.reports.push(report);
                             self.telemetry.counter("federation.site.dead").inc();
                         }
                     }
@@ -1197,12 +1251,24 @@ impl Federation {
         }
     }
 
-    /// A synthetic monitor row for a quarantined peer: no metrics, no
-    /// Vsites, just the `federation.site.dead` flag so the grid view
-    /// shows *why* the site is missing instead of silently omitting it.
-    fn dead_site_report(usite: &str) -> MonitorReport {
+    /// A synthetic monitor row for an unreachable peer: no metrics, no
+    /// Vsites, just the `federation.site.dead` flag — plus a reason
+    /// counter (`.crash`, `.partition`, or `.quarantine`) telling the
+    /// grid view *why* the site is missing. A crash outranks a
+    /// partition (the process is gone either way), and quarantine is
+    /// the fallback: the circuit opened but the federation cannot see a
+    /// configured fault behind it.
+    fn dead_site_report(&self, usite: &str) -> MonitorReport {
         let mut metrics = MetricsSnapshot::default();
         metrics.counters.insert("federation.site.dead".into(), 1);
+        let reason = if self.crashed.contains(usite) {
+            "federation.site.dead.crash"
+        } else if self.partitioned.contains(usite) {
+            "federation.site.dead.partition"
+        } else {
+            "federation.site.dead.quarantine"
+        };
+        metrics.counters.insert(reason.into(), 1);
         MonitorReport {
             usite: usite.to_owned(),
             metrics,
@@ -1328,7 +1394,7 @@ impl Federation {
                 // Quarantined peer: don't wait a retry budget for a site
                 // known dead — report it as such and move on. The next
                 // probe window will let a real query through again.
-                watch.reports.push(Self::dead_site_report(&peer));
+                watch.reports.push(self.dead_site_report(&peer));
                 self.telemetry.counter("federation.site.dead").inc();
                 continue;
             }

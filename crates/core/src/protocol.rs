@@ -13,7 +13,7 @@
 
 use unicore_ajo::{
     AbstractJob, ActionId, ControlOp, DetailLevel, JobId, JobOutcome, JobSummary, MonitorReport,
-    OutcomeNode, ServiceOutcome, VsiteAddress,
+    OutcomeNode, ResourceRequest, ServiceOutcome, VsiteAddress,
 };
 use unicore_codec::{CodecError, DerCodec, Fields, Value};
 use unicore_dataplane::TransferManifest;
@@ -137,6 +137,92 @@ pub enum Request {
         /// The chunk's bytes.
         data: Vec<u8>,
     },
+    /// JPA → server: ask the resource broker for a ranked placement of
+    /// an abstract request. Answered with [`Response::BrokerOffer`].
+    Broker {
+        /// The abstract resource request to place.
+        request: ResourceRequest,
+    },
+    /// Peer NJS → origin NJS: every forwarded job group that finished
+    /// this tick, delivered in one envelope instead of one per outcome
+    /// (the last per-envelope leftover of the E13 fast path). Applied
+    /// per-entry idempotently, exactly like single deliveries.
+    DeliverOutcomes {
+        /// The finished sub-jobs bound for this origin.
+        deliveries: Vec<OutcomeDelivery>,
+    },
+}
+
+/// One entry of a batched [`Request::DeliverOutcomes`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutcomeDelivery {
+    /// Parent job at the origin.
+    pub parent: JobId,
+    /// The node that finished.
+    pub node: ActionId,
+    /// Its outcome subtree.
+    pub outcome: OutcomeNode,
+    /// Edge files produced by the job group, flowing back to the
+    /// parent's Uspace.
+    pub files: Vec<(String, Vec<u8>)>,
+}
+
+/// One ranked entry of a [`Response::BrokerOffer`] — the broker's
+/// [`unicore_broker::RankedOffer`] in wire form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementOffer {
+    /// The offered Vsite.
+    pub vsite: VsiteAddress,
+    /// Composite score in millipoints (lower is better).
+    pub score: u64,
+    /// Whether the site could start the request immediately.
+    pub immediate: bool,
+    /// Jobs queued ahead of the request.
+    pub queue_length: u64,
+    /// Observed utilisation in milli-units (0..=1000).
+    pub utilization_milli: u64,
+    /// The page's advertised price (millicredits per node-hour).
+    pub price_per_node_hour_milli: u64,
+}
+
+impl From<&unicore_broker::RankedOffer> for PlacementOffer {
+    fn from(o: &unicore_broker::RankedOffer) -> Self {
+        PlacementOffer {
+            vsite: o.vsite.clone(),
+            score: o.score,
+            immediate: o.immediate,
+            queue_length: o.queue_length as u64,
+            utilization_milli: o.utilization_milli,
+            price_per_node_hour_milli: o.price_per_node_hour_milli,
+        }
+    }
+}
+
+impl DerCodec for PlacementOffer {
+    fn to_value(&self) -> Value {
+        Value::Sequence(vec![
+            self.vsite.to_value(),
+            Value::Integer(self.score as i64),
+            Value::Boolean(self.immediate),
+            Value::Integer(self.queue_length as i64),
+            Value::Integer(self.utilization_milli as i64),
+            Value::Integer(self.price_per_node_hour_milli as i64),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<Self, CodecError> {
+        let mut f = Fields::open(value, "PlacementOffer")?;
+        let offer = PlacementOffer {
+            vsite: VsiteAddress::from_value(f.next_value()?)?,
+            score: f.next_u64()?,
+            immediate: f.next_bool()?,
+            queue_length: f.next_u64()?,
+            utilization_milli: f.next_u64()?,
+            price_per_node_hour_milli: f.next_u64()?,
+        };
+        f.finish()?;
+        Ok(offer)
+    }
 }
 
 /// A response body.
@@ -176,6 +262,13 @@ pub enum Response {
         upto: u64,
         /// Whether the file is complete and committed at the destination.
         done: bool,
+    },
+    /// The broker's ranked placement for a [`Request::Broker`]: best
+    /// offer first, admissible fallbacks after it. Empty when no site
+    /// admits the request.
+    BrokerOffer {
+        /// Ranked offers, best first.
+        offers: Vec<PlacementOffer>,
     },
 }
 
@@ -327,6 +420,33 @@ impl DerCodec for Request {
                     Value::bytes(data.clone()),
                 ]),
             ),
+            Request::Broker { request } => Value::tagged(14, request.to_value()),
+            Request::DeliverOutcomes { deliveries } => Value::tagged(
+                15,
+                Value::Sequence(
+                    deliveries
+                        .iter()
+                        .map(|d| {
+                            Value::Sequence(vec![
+                                Value::Integer(d.parent.0 as i64),
+                                Value::Integer(d.node.0 as i64),
+                                d.outcome.to_value(),
+                                Value::Sequence(
+                                    d.files
+                                        .iter()
+                                        .map(|(n, bytes)| {
+                                            Value::Sequence(vec![
+                                                Value::string(n),
+                                                Value::bytes(bytes.clone()),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         }
     }
 
@@ -462,6 +582,35 @@ impl DerCodec for Request {
                     data,
                 })
             }
+            14 => Ok(Request::Broker {
+                request: ResourceRequest::from_value(inner)?,
+            }),
+            15 => {
+                let mut deliveries = Vec::new();
+                for item in inner
+                    .as_sequence()
+                    .ok_or(CodecError::BadValue("DeliverOutcomes"))?
+                {
+                    let mut df = Fields::open(item, "OutcomeDelivery")?;
+                    let parent = JobId(df.next_u64()?);
+                    let node = ActionId(df.next_u64()?);
+                    let outcome = OutcomeNode::from_value(df.next_value()?)?;
+                    let mut files = Vec::new();
+                    for entry in df.next_sequence()? {
+                        let mut ff = Fields::open(entry, "returned file")?;
+                        files.push((ff.next_string()?, ff.next_bytes()?.to_vec()));
+                        ff.finish()?;
+                    }
+                    df.finish()?;
+                    deliveries.push(OutcomeDelivery {
+                        parent,
+                        node,
+                        outcome,
+                        files,
+                    });
+                }
+                Ok(Request::DeliverOutcomes { deliveries })
+            }
             _ => Err(CodecError::BadValue("Request variant")),
         }
     }
@@ -487,6 +636,10 @@ impl DerCodec for Response {
             Response::ChunkAck { upto, done } => Value::tagged(
                 9,
                 Value::Sequence(vec![Value::Integer(*upto as i64), Value::Boolean(*done)]),
+            ),
+            Response::BrokerOffer { offers } => Value::tagged(
+                10,
+                Value::Sequence(offers.iter().map(|o| o.to_value()).collect()),
             ),
         }
     }
@@ -539,6 +692,15 @@ impl DerCodec for Response {
                 let done = f.next_bool()?;
                 f.finish()?;
                 Ok(Response::ChunkAck { upto, done })
+            }
+            10 => {
+                let offers = inner
+                    .as_sequence()
+                    .ok_or(CodecError::BadValue("broker offers"))?
+                    .iter()
+                    .map(PlacementOffer::from_value)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Response::BrokerOffer { offers })
             }
             _ => Err(CodecError::BadValue("Response variant")),
         }
@@ -665,6 +827,14 @@ pub fn monitor_reports_of(response: &Response) -> Option<&[MonitorReport]> {
     }
 }
 
+/// Convenience: the ranked offers inside a BrokerOffer response.
+pub fn broker_offers_of(response: &Response) -> Option<&[PlacementOffer]> {
+    match response {
+        Response::BrokerOffer { offers } => Some(offers),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -753,6 +923,28 @@ mod tests {
             index: 2,
             data: vec![7u8; 256],
         });
+        round_trip_req(Request::Broker {
+            request: ResourceRequest::minimal()
+                .with_processors(64)
+                .with_run_time(7_200),
+        });
+        round_trip_req(Request::DeliverOutcomes {
+            deliveries: vec![
+                OutcomeDelivery {
+                    parent: JobId(9),
+                    node: ActionId(2),
+                    outcome: OutcomeNode::Job(JobOutcome::default()),
+                    files: vec![("grid.dat".into(), vec![1, 2, 3])],
+                },
+                OutcomeDelivery {
+                    parent: JobId(9),
+                    node: ActionId(3),
+                    outcome: OutcomeNode::Job(JobOutcome::default()),
+                    files: vec![],
+                },
+            ],
+        });
+        round_trip_req(Request::DeliverOutcomes { deliveries: vec![] });
     }
 
     #[test]
@@ -785,6 +977,17 @@ mod tests {
             Response::ChunkAck {
                 upto: 43,
                 done: true,
+            },
+            Response::BrokerOffer { offers: vec![] },
+            Response::BrokerOffer {
+                offers: vec![PlacementOffer {
+                    vsite: VsiteAddress::new("FZJ", "T3E"),
+                    score: 1_234,
+                    immediate: true,
+                    queue_length: 0,
+                    utilization_milli: 450,
+                    price_per_node_hour_milli: 900,
+                }],
             },
         ] {
             let env = Envelope {

@@ -6,18 +6,22 @@
 //! *server* towards JPA/JMC and a *client* towards the peer NJS it
 //! forwards job groups to.
 
-use crate::protocol::{Request, Response};
-use std::collections::{HashMap, HashSet};
+use crate::protocol::{OutcomeDelivery, PlacementOffer, Request, Response};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use unicore_ajo::{
-    ActionId, ActionStatus, DetailLevel, JobId, JobOutcome, MonitorReport, OutcomeNode,
-    ServiceOutcome, TaskOutcome,
+    AbstractJob, ActionId, ActionStatus, DetailLevel, JobId, JobOutcome, MonitorReport,
+    OutcomeNode, ServiceOutcome, TaskOutcome,
+};
+use unicore_broker::{
+    aggregate_request, job_cost, rank, staging_mb, BrokerPolicy, Candidate, FairShare,
+    LoadSnapshot, RankedOffer,
 };
 use unicore_codec::DerCodec;
 use unicore_crypto::sha256;
 use unicore_dataplane::{SenderState, TransferManifest, DEFAULT_CHUNK_SIZE, DEFAULT_WINDOW};
 use unicore_gateway::{AuthDecision, Gateway};
 use unicore_njs::{ConsignMeta, Njs, NjsError, OutgoingItem, RecoveryReport};
-use unicore_resources::ResourceDirectory;
+use unicore_resources::{ResourceDirectory, ResourcePage};
 use unicore_sim::{SimTime, SEC};
 use unicore_store::ForeignOrigin;
 use unicore_telemetry::{ActiveSpan, Counter, SpanContext, Telemetry};
@@ -41,6 +45,12 @@ enum Pending {
     SubJobConsign {
         parent: JobId,
         node: ActionId,
+        /// The forwarded AJO, kept so a dead-peer error can retarget it
+        /// to the next admissible site instead of failing the node.
+        ajo: Box<AbstractJob>,
+        return_files: Vec<String>,
+        /// Usites already tried for this node, original target first.
+        tried: Vec<String>,
     },
     /// A chunked-transfer offer awaiting the receiver's resume point.
     TransferOffer {
@@ -64,6 +74,23 @@ const TRANSFER_RETRY: SimTime = 30 * SEC;
 /// Re-offer attempts before a transfer gives up and fails its node.
 const MAX_TRANSFER_ATTEMPTS: u32 = 10;
 
+/// Sites a sub-job may be placed on before its node fails outright —
+/// the original target plus up to three broker retargets. Bounded so a
+/// grid-wide outage converges to a NotSuccessful outcome instead of
+/// walking the directory forever.
+const MAX_PLACEMENT_ATTEMPTS: usize = 4;
+
+/// Whether a synthesized federation error means the peer cannot be
+/// reached at all — quarantined by the circuit breaker or dark past the
+/// retry budget. These are the cases retargeting to another site can
+/// still save. An unknown Usite is an addressing error, and an
+/// application-level refusal (failed authorization, bad AJO) would only
+/// repeat at the next site; both fail the node cleanly instead.
+fn is_dead_peer(msg: &str) -> bool {
+    msg.contains("quarantined (circuit open)")
+        || msg.contains("peer unreachable (retries exhausted)")
+}
+
 enum TransferPhase {
     /// Offer sent, waiting for the receiver's `TransferGo`.
     Offering,
@@ -83,6 +110,23 @@ struct OutboundTransfer {
     attempts: u32,
     /// Open `dataplane.transfer` span, ended at completion or failure.
     span: ActiveSpan,
+}
+
+/// Broker counters.
+struct BrokerMetrics {
+    requests: Counter,
+    retargets: Counter,
+    quota_denied: Counter,
+}
+
+impl Default for BrokerMetrics {
+    fn default() -> Self {
+        BrokerMetrics {
+            requests: Counter::detached(),
+            retargets: Counter::detached(),
+            quota_denied: Counter::detached(),
+        }
+    }
 }
 
 /// Sender-side data-plane counters.
@@ -143,6 +187,15 @@ pub struct UnicoreServer {
     /// from response handling (which carries no clock of its own).
     clock: SimTime,
     dp: DataplaneMetrics,
+    /// Pages of peer Usites' Vsites, installed by the federation so the
+    /// broker ranks the whole grid (static per deployment, load covered
+    /// by each page's advertised hint).
+    grid_pages: Vec<ResourcePage>,
+    /// Broker scoring policy; the federation seeds its tie-breaks.
+    broker_policy: BrokerPolicy,
+    /// Fair-share usage ledger, charged and enforced at consign.
+    shares: FairShare,
+    broker_metrics: BrokerMetrics,
 }
 
 /// Span label for a request (low-cardinality attribute).
@@ -162,6 +215,8 @@ fn request_kind(request: &Request) -> &'static str {
         Request::PushFile { .. } => "push_file",
         Request::TransferOffer { .. } => "transfer_offer",
         Request::TransferChunk { .. } => "transfer_chunk",
+        Request::Broker { .. } => "broker",
+        Request::DeliverOutcomes { .. } => "deliver_outcomes",
     }
 }
 
@@ -221,6 +276,10 @@ impl UnicoreServer {
             outq: Vec::new(),
             clock: 0,
             dp: DataplaneMetrics::default(),
+            grid_pages: Vec::new(),
+            broker_policy: BrokerPolicy::default(),
+            shares: FairShare::default(),
+            broker_metrics: BrokerMetrics::default(),
         }
     }
 
@@ -238,7 +297,68 @@ impl UnicoreServer {
             transfers_resumed: telemetry.counter("dataplane.transfers.resumed"),
             transfers_failed: telemetry.counter("dataplane.transfers.failed"),
         };
+        self.broker_metrics = BrokerMetrics {
+            requests: telemetry.counter("broker.requests"),
+            retargets: telemetry.counter("broker.retargets"),
+            quota_denied: telemetry.counter("broker.quota.denied"),
+        };
         self.telemetry = telemetry;
+    }
+
+    /// Installs the pages of the *other* Usites' Vsites (federation
+    /// wiring at deployment time): the broker ranks these alongside the
+    /// live local snapshots when answering [`Request::Broker`] and when
+    /// retargeting around a dead site.
+    pub fn install_grid_directory(&mut self, pages: Vec<ResourcePage>) {
+        self.grid_pages = pages;
+    }
+
+    /// Seeds the broker's tie-break policy (one seed per deployment, so
+    /// replays of the same seed re-derive identical placements).
+    pub fn set_broker_seed(&mut self, seed: u64) {
+        self.broker_policy = BrokerPolicy::seeded(seed);
+    }
+
+    /// The fair-share ledger (inspection, experiment setup).
+    pub fn shares(&self) -> &FairShare {
+        &self.shares
+    }
+
+    /// Every brokering candidate this server knows: live snapshots of
+    /// its own Vsites plus the static pages of its peers, whose load is
+    /// whatever hint the page advertises. Remote candidates are charged
+    /// `staging` megabytes of data movement.
+    fn grid_candidates(&self, now: SimTime, staging: u64) -> Vec<Candidate> {
+        let mut cands = self.load_snapshots(now);
+        for page in &self.grid_pages {
+            if page.vsite.usite == self.usite {
+                continue;
+            }
+            cands.push(Candidate {
+                load: LoadSnapshot {
+                    vsite: page.vsite.clone(),
+                    total_nodes: page.performance.nodes,
+                    free_nodes: page.performance.nodes,
+                    queue_length: 0,
+                    running: 0,
+                    utilization: 0.0,
+                },
+                page: page.clone(),
+                staging_mb: staging,
+            });
+        }
+        cands
+    }
+
+    /// Ranked placement for `request` across the whole known grid.
+    pub fn broker_rank(
+        &mut self,
+        request: &unicore_ajo::ResourceRequest,
+        now: SimTime,
+    ) -> Vec<RankedOffer> {
+        self.broker_metrics.requests.inc();
+        let cands = self.grid_candidates(now, 0);
+        rank(&self.broker_policy, request, &cands, &[])
     }
 
     /// The telemetry handle this server reports into.
@@ -388,6 +508,14 @@ impl UnicoreServer {
                         return Response::Consigned { job: existing };
                     }
                 }
+                // Fair-share admission (after dedup, so the retry of an
+                // already-accepted job is never denied): a tenant holding
+                // more than its share of the site's decayed usage queues
+                // behind its own backlog instead of starving everyone.
+                if let Err(denial) = self.shares.admit(from_dn, now) {
+                    self.broker_metrics.quota_denied.inc();
+                    return Response::Error(denial.to_string());
+                }
                 // Figure 2: "the user [may] contact any UNICORE server".
                 // A job destined for another Usite is wrapped in a local
                 // routing job whose single node is the remote job group;
@@ -437,9 +565,11 @@ impl UnicoreServer {
                     foreign: None,
                     trace: parent,
                 };
+                let cost = job_cost(&ajo);
                 match self.njs.consign_with_meta(ajo, mapped, now, meta) {
                     Ok(job) => {
                         self.idem.insert(idem_key, job);
+                        self.shares.charge(from_dn, cost, now);
                         Response::Consigned { job }
                     }
                     Err(e) => Response::Error(e.to_string()),
@@ -629,6 +759,29 @@ impl UnicoreServer {
                     Err(e) => Response::Error(e.to_string()),
                 }
             }
+            // The §6 broker: an abstract request comes in, the ranked
+            // placement across the whole known grid goes out. Quotas are
+            // enforced at consign, not here — asking is free.
+            Request::Broker { request } => {
+                let offers = self.broker_rank(&request, now);
+                Response::BrokerOffer {
+                    offers: offers.iter().map(PlacementOffer::from).collect(),
+                }
+            }
+            Request::DeliverOutcomes { deliveries } => {
+                if !self.peer_servers.contains(from_dn) {
+                    return Response::Error(format!("{from_dn} is not a trusted peer server"));
+                }
+                // The batched form of DeliverOutcome: every sub-job the
+                // peer finished for us this tick, applied in order. Each
+                // application is idempotent, so a re-delivered batch
+                // (lost Ack, peer crash-restart) is harmless.
+                for d in deliveries {
+                    self.njs
+                        .complete_remote_node_with_files(d.parent, d.node, d.outcome, d.files);
+                }
+                Response::Ack
+            }
         }
     }
 
@@ -638,21 +791,38 @@ impl UnicoreServer {
             return;
         };
         match pending {
-            Pending::SubJobConsign { parent, node } => {
-                if let Response::Error(msg) = response {
-                    // The peer refused: the node fails.
-                    self.njs.complete_remote_node(
-                        parent,
-                        node,
-                        OutcomeNode::Job(JobOutcome {
-                            status: ActionStatus::NotSuccessful,
-                            children: Vec::new(),
-                        }),
-                    );
-                    let _ = msg;
+            Pending::SubJobConsign {
+                parent,
+                node,
+                ajo,
+                return_files,
+                tried,
+            } => {
+                match response {
+                    // The target site is unreachable (quarantined or
+                    // dark): ask the broker for the next admissible site
+                    // instead of failing the node.
+                    Response::Error(msg)
+                        if is_dead_peer(&msg) && tried.len() < MAX_PLACEMENT_ATTEMPTS =>
+                    {
+                        self.retarget_subjob(parent, node, *ajo, return_files, tried);
+                    }
+                    Response::Error(_) => {
+                        // The peer refused outright, or every admissible
+                        // site has been tried: the node fails.
+                        self.njs.complete_remote_node(
+                            parent,
+                            node,
+                            OutcomeNode::Job(JobOutcome {
+                                status: ActionStatus::NotSuccessful,
+                                children: Vec::new(),
+                            }),
+                        );
+                    }
+                    // On Consigned{..} the node stays in Remote state
+                    // until the outcome is delivered back.
+                    _ => {}
                 }
-                // On Consigned{..} the node stays in Remote state until a
-                // DeliverOutcome arrives.
             }
             Pending::TransferOffer { job, node } => match response {
                 Response::TransferGo { resume_from } => {
@@ -703,6 +873,79 @@ impl UnicoreServer {
         }
     }
 
+    /// Retargets a sub-job whose site went dark: re-rank the grid with
+    /// the tried sites excluded, journal the new placement *before* the
+    /// forward leaves (so a crash-restart replay of the same seed shows
+    /// the identical trail), and re-forward the rewritten AJO.
+    fn retarget_subjob(
+        &mut self,
+        parent: JobId,
+        node: ActionId,
+        mut ajo: AbstractJob,
+        return_files: Vec<String>,
+        mut tried: Vec<String>,
+    ) {
+        let request = aggregate_request(&ajo);
+        let staging = staging_mb(&ajo);
+        let cands = self.grid_candidates(self.clock, staging);
+        let offers = rank(&self.broker_policy, &request, &cands, &tried);
+        // Never retarget back to ourselves: the NJS decided this node
+        // runs remotely, and a loop through the local queue would dodge
+        // that decision.
+        let Some(next) = offers.iter().find(|o| o.vsite.usite != self.usite) else {
+            self.njs.complete_remote_node(
+                parent,
+                node,
+                OutcomeNode::Job(JobOutcome {
+                    status: ActionStatus::NotSuccessful,
+                    children: Vec::new(),
+                }),
+            );
+            return;
+        };
+        self.broker_metrics.retargets.inc();
+        let attempt = tried.len() as u32;
+        let from = ajo.vsite.to_string();
+        ajo.vsite = next.vsite.clone();
+        self.njs
+            .journal_placement(parent, node, &ajo.vsite.to_string(), &tried, attempt);
+        if self.telemetry.is_enabled() {
+            let mut span =
+                self.telemetry
+                    .span("broker.retarget", self.njs.trace_of(parent), self.clock);
+            span.attr("from", &from);
+            span.attr("to", &ajo.vsite.usite);
+            self.telemetry.end(span, self.clock);
+        }
+        let dest = next.vsite.usite.clone();
+        tried.push(dest.clone());
+        let corr = self.next_corr;
+        self.next_corr += 1;
+        self.pending.insert(
+            corr,
+            Pending::SubJobConsign {
+                parent,
+                node,
+                ajo: Box::new(ajo.clone()),
+                return_files: return_files.clone(),
+                tried,
+            },
+        );
+        let trace = self.njs.trace_of(parent);
+        self.outq.push(OutboundRequest {
+            dest,
+            corr,
+            request: Request::ConsignSubJob {
+                ajo,
+                origin: self.usite.clone(),
+                parent,
+                node,
+                return_files,
+            },
+            trace,
+        });
+    }
+
     /// Earliest pending local event.
     pub fn next_event_time(&self) -> Option<SimTime> {
         self.njs.next_event_time()
@@ -742,10 +985,23 @@ impl UnicoreServer {
                     return_files,
                 } => {
                     let dest = ajo.vsite.usite.clone();
+                    // Attempt 0: the AJO's own target. Journaled so the
+                    // placement trail starts where the retargets (if
+                    // any) continue.
+                    self.njs
+                        .journal_placement(parent, node, &ajo.vsite.to_string(), &[], 0);
                     let corr = self.next_corr;
                     self.next_corr += 1;
-                    self.pending
-                        .insert(corr, Pending::SubJobConsign { parent, node });
+                    self.pending.insert(
+                        corr,
+                        Pending::SubJobConsign {
+                            parent,
+                            node,
+                            ajo: Box::new(ajo.clone()),
+                            return_files: return_files.clone(),
+                            tried: vec![dest.clone()],
+                        },
+                    );
                     out.push(OutboundRequest {
                         dest,
                         corr,
@@ -804,34 +1060,52 @@ impl UnicoreServer {
             }
         }
 
-        // Report finished foreign jobs back to their origins.
-        let finished: Vec<JobId> = self
+        // Report finished foreign jobs back to their origins — batched:
+        // every outcome bound for the same origin this tick rides one
+        // DeliverOutcomes envelope, one wire round-trip per peer per
+        // tick instead of one per job. Jobs sort by id and origins by
+        // name, so the batch contents are deterministic regardless of
+        // map iteration order.
+        let mut finished: Vec<JobId> = self
             .foreign
             .iter()
             .filter(|(job, f)| !f.delivered && self.njs.is_done(**job))
             .map(|(job, _)| *job)
             .collect();
+        finished.sort();
+        let mut batches: BTreeMap<String, (Vec<OutcomeDelivery>, Option<SpanContext>)> =
+            BTreeMap::new();
         for job in finished {
             let outcome = self.njs.outcome(job).cloned().unwrap_or_default();
             let return_files = {
                 let f = self.foreign.get(&job).expect("checked above");
                 self.njs.collect_return_files(job, &f.return_files)
             };
+            let trace = self.njs.trace_of(job);
             let f = self.foreign.get_mut(&job).expect("checked above");
             f.delivered = true;
+            let entry = batches.entry(f.origin.clone()).or_default();
+            entry.0.push(OutcomeDelivery {
+                parent: f.parent,
+                node: f.node,
+                outcome: OutcomeNode::Job(outcome),
+                files: return_files,
+            });
+            // The batch rides the trace of its first job (head-style
+            // sampling; per-job spans already live at both ends).
+            if entry.1.is_none() {
+                entry.1 = trace;
+            }
+        }
+        for (dest, (deliveries, trace)) in batches {
             let corr = self.next_corr;
             self.next_corr += 1;
             self.pending.insert(corr, Pending::OutcomeDelivery);
             out.push(OutboundRequest {
-                dest: f.origin.clone(),
+                dest,
                 corr,
-                request: Request::DeliverOutcome {
-                    parent: f.parent,
-                    node: f.node,
-                    outcome: OutcomeNode::Job(outcome),
-                    files: return_files,
-                },
-                trace: self.njs.trace_of(job),
+                request: Request::DeliverOutcomes { deliveries },
+                trace,
             });
         }
         // Offers queued while draining the outbox above.
@@ -955,6 +1229,7 @@ impl UnicoreServer {
                         running: v.batch.running_count(),
                         utilization: v.batch.utilization(now.max(1)),
                     },
+                    staging_mb: 0,
                 })
             })
             .collect()

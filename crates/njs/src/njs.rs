@@ -465,6 +465,29 @@ impl Njs {
         self.pending.clear();
     }
 
+    /// Journals a broker placement decision for a sub-job node and
+    /// commits it at once: the decision must be durable *before* the
+    /// forward leaves, so two runs of the same seed leave byte-identical
+    /// placement trails even when one of them crashes mid-campaign.
+    pub fn journal_placement(
+        &mut self,
+        job: JobId,
+        node: ActionId,
+        chosen: &str,
+        excluded: &[String],
+        attempt: u32,
+    ) {
+        self.log_event(StoreEvent::PlacementDecided {
+            job,
+            node,
+            chosen: chosen.to_owned(),
+            excluded: excluded.to_vec(),
+            attempt,
+            at: self.clock,
+        });
+        self.flush_events();
+    }
+
     /// Journals a node's terminal outcome plus the files it deposited.
     fn log_terminal(&mut self, job: JobId, node: ActionId, files: Vec<(String, Vec<u8>)>) {
         if self.recovering || self.store.is_none() {
@@ -942,6 +965,10 @@ impl Njs {
                     // Incarnations are informational: in-flight batch work
                     // died with the machine and is re-dispatched fresh.
                     StoreEvent::JobIncarnated { .. } => {}
+                    // Placements likewise: a restarted server re-derives
+                    // them from the same seed; the journal is the audit
+                    // trail the determinism tests compare.
+                    StoreEvent::PlacementDecided { .. } => {}
                     StoreEvent::TaskStateChanged {
                         job,
                         node,

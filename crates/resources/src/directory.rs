@@ -62,6 +62,8 @@ impl ResourcePageEditor {
                     max_disk_temporary_mb: 4_096,
                 },
                 software: Vec::new(),
+                price_per_node_hour_milli: 0,
+                advertised_load_pct: 0,
             },
         }
     }
@@ -75,6 +77,18 @@ impl ResourcePageEditor {
     /// Sets the performance block.
     pub fn performance(mut self, perf: PerformanceInfo) -> Self {
         self.page.performance = perf;
+        self
+    }
+
+    /// Sets the advertised price (millicredits per node-hour).
+    pub fn price(mut self, milli_per_node_hour: u64) -> Self {
+        self.page.price_per_node_hour_milli = milli_per_node_hour;
+        self
+    }
+
+    /// Sets the advertised load hint (percent).
+    pub fn advertised_load(mut self, pct: u32) -> Self {
+        self.page.advertised_load_pct = pct.min(100);
         self
     }
 

@@ -86,6 +86,16 @@ pub struct ResourcePage {
     pub limits: ResourceLimits,
     /// Advertised software.
     pub software: Vec<SoftwareEntry>,
+    /// Price per node-hour in millicredits (site accounting currency).
+    /// `0` means the site publishes no price; the broker then treats it
+    /// as free. Rides the wire as a trailing tagged field, absent when
+    /// zero, so pre-broker pages decode — and encode — unchanged.
+    pub price_per_node_hour_milli: u64,
+    /// The load the site last advertised with its page, in percent
+    /// (0–100). A coarse, slowly-refreshed hint for brokers that cannot
+    /// reach the live monitor; `0` means "not advertised". Trailing
+    /// tagged field like the price.
+    pub advertised_load_pct: u32,
 }
 
 impl ResourcePage {
@@ -94,6 +104,18 @@ impl ResourcePage {
         self.software
             .iter()
             .any(|s| s.kind == kind && s.name == name)
+    }
+
+    /// Sets the advertised price (millicredits per node-hour).
+    pub fn with_price(mut self, milli_per_node_hour: u64) -> Self {
+        self.price_per_node_hour_milli = milli_per_node_hour;
+        self
+    }
+
+    /// Sets the advertised load hint (percent, clamped to 100).
+    pub fn with_advertised_load(mut self, pct: u32) -> Self {
+        self.advertised_load_pct = pct.min(100);
+        self
     }
 }
 
@@ -118,7 +140,7 @@ impl SoftwareKind {
 
 impl DerCodec for ResourcePage {
     fn to_value(&self) -> Value {
-        Value::Sequence(vec![
+        let mut items = vec![
             self.vsite.to_value(),
             self.architecture.to_value(),
             Value::string(&self.operating_system),
@@ -149,7 +171,23 @@ impl DerCodec for ResourcePage {
                     })
                     .collect(),
             ),
-        ])
+        ];
+        // Broker fields ride as trailing tagged optionals in ascending
+        // tag order; a page that advertises neither encodes
+        // byte-identically to the pre-broker format.
+        if self.price_per_node_hour_milli != 0 {
+            items.push(Value::tagged(
+                0,
+                Value::Integer(self.price_per_node_hour_milli as i64),
+            ));
+        }
+        if self.advertised_load_pct != 0 {
+            items.push(Value::tagged(
+                1,
+                Value::Integer(self.advertised_load_pct as i64),
+            ));
+        }
+        Value::Sequence(items)
     }
 
     fn from_value(value: &Value) -> Result<Self, CodecError> {
@@ -189,6 +227,19 @@ impl DerCodec for ResourcePage {
             });
             sf.finish()?;
         }
+        let price_per_node_hour_milli = match f.optional_tagged(0) {
+            Some(v) => v
+                .as_u64()
+                .ok_or(CodecError::BadValue("ResourcePage price"))?,
+            None => 0,
+        };
+        let advertised_load_pct = match f.optional_tagged(1) {
+            Some(v) => v
+                .as_u64()
+                .ok_or(CodecError::BadValue("ResourcePage load"))?
+                .min(100) as u32,
+            None => 0,
+        };
         f.finish()?;
         Ok(ResourcePage {
             vsite,
@@ -197,6 +248,8 @@ impl DerCodec for ResourcePage {
             performance,
             limits,
             software,
+            price_per_node_hour_milli,
+            advertised_load_pct,
         })
     }
 }
@@ -206,12 +259,15 @@ impl DerCodec for ResourcePage {
 /// Figures are period-plausible rather than archival: a 512-PE T3E at FZJ,
 /// a 52-PE VPP/700 at RUS, an SP-2 at RUKA/LRZ, an SX-4 at DWD.
 pub fn deployment_page(usite: &str, vsite: &str, architecture: Architecture) -> ResourcePage {
-    let (nodes, mem_per_node, gflops, max_time) = match architecture {
-        Architecture::CrayT3e => (512, 128, 460.0, 43_200),
-        Architecture::FujitsuVpp700 => (52, 2048, 114.0, 86_400),
-        Architecture::IbmSp2 => (77, 256, 20.0, 43_200),
-        Architecture::NecSx4 => (32, 4096, 64.0, 86_400),
-        Architecture::Generic => (8, 512, 2.0, 21_600),
+    // Price per node-hour in millicredits, roughly tracking per-node
+    // peak performance, so the broker has a real cost axis to trade
+    // against load.
+    let (nodes, mem_per_node, gflops, max_time, price) = match architecture {
+        Architecture::CrayT3e => (512, 128, 460.0, 43_200, 900),
+        Architecture::FujitsuVpp700 => (52, 2048, 114.0, 86_400, 2_200),
+        Architecture::IbmSp2 => (77, 256, 20.0, 43_200, 260),
+        Architecture::NecSx4 => (32, 4096, 64.0, 86_400, 2_000),
+        Architecture::Generic => (8, 512, 2.0, 21_600, 250),
     };
     ResourcePage {
         vsite: VsiteAddress::new(usite, vsite),
@@ -254,6 +310,8 @@ pub fn deployment_page(usite: &str, vsite: &str, architecture: Architecture) -> 
                 version: "3".into(),
             },
         ],
+        price_per_node_hour_milli: price,
+        advertised_load_pct: 0,
     }
 }
 
@@ -284,6 +342,38 @@ mod tests {
         assert!(page.has_software(SoftwareKind::Library, "mpi"));
         assert!(!page.has_software(SoftwareKind::Package, "gaussian94"));
         assert!(!page.has_software(SoftwareKind::Package, "mpi")); // kind matters
+    }
+
+    #[test]
+    fn broker_fields_round_trip() {
+        let page = deployment_page("FZJ", "T3E", Architecture::CrayT3e)
+            .with_price(1234)
+            .with_advertised_load(63);
+        let back = ResourcePage::from_der(&page.to_der()).unwrap();
+        assert_eq!(back.price_per_node_hour_milli, 1234);
+        assert_eq!(back.advertised_load_pct, 63);
+        assert_eq!(back, page);
+    }
+
+    #[test]
+    fn pre_broker_page_bytes_unchanged() {
+        // A page advertising neither price nor load must encode exactly
+        // as the pre-broker format did: the old positional sequence with
+        // no trailing fields — and those old bytes must still decode.
+        let mut page = deployment_page("FZJ", "T3E", Architecture::CrayT3e);
+        page.price_per_node_hour_milli = 0;
+        page.advertised_load_pct = 0;
+        let der = page.to_der();
+        // Re-encode the old six-field shape by hand and compare bytes.
+        let old = Value::Sequence(match page.to_value() {
+            Value::Sequence(items) => items.into_iter().take(6).collect(),
+            _ => unreachable!(),
+        });
+        assert_eq!(der, unicore_codec::encode(&old));
+        let back = ResourcePage::from_der(&der).unwrap();
+        assert_eq!(back.price_per_node_hour_milli, 0);
+        assert_eq!(back.advertised_load_pct, 0);
+        assert_eq!(back, page);
     }
 
     #[test]

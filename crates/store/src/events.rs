@@ -208,6 +208,25 @@ pub enum StoreEvent {
         /// Simulation timestamp.
         at: u64,
     },
+    /// The broker (re)targeted a sub-job node: the Vsite it chose and
+    /// the Usites excluded at decision time (already tried, quarantined,
+    /// or dark). Journaled *before* the forward leaves, so a replay of
+    /// the same seed must produce a byte-identical sequence of these
+    /// events — the E16 determinism contract.
+    PlacementDecided {
+        /// The parent job at this origin.
+        job: JobId,
+        /// The sub-job node being placed.
+        node: ActionId,
+        /// The chosen Vsite, as "USITE/VSITE".
+        chosen: String,
+        /// Usites excluded from this decision, in ranking-input order.
+        excluded: Vec<String>,
+        /// Retarget attempt: 0 for the initial placement, 1.. after.
+        attempt: u32,
+        /// Simulation timestamp.
+        at: u64,
+    },
     /// A verified chunk of an open transfer was durably stored. These
     /// events double as the delivered file's durability: Xspace contents
     /// are not otherwise journaled, so replay republishes the file.
@@ -239,6 +258,7 @@ impl StoreEvent {
             | StoreEvent::JobIncarnated { job, .. }
             | StoreEvent::TaskStateChanged { job, .. }
             | StoreEvent::OutcomeStored { job, .. }
+            | StoreEvent::PlacementDecided { job, .. }
             | StoreEvent::JobPurged { job, .. } => *job,
             StoreEvent::TransferOpened { .. } | StoreEvent::TransferChunkStored { .. } => JobId(0),
         }
@@ -252,6 +272,7 @@ const TAG_OUTCOME: u8 = 3;
 const TAG_PURGED: u8 = 4;
 const TAG_TRANSFER_OPENED: u8 = 5;
 const TAG_TRANSFER_CHUNK: u8 = 6;
+const TAG_PLACEMENT: u8 = 7;
 
 impl DerCodec for StoreEvent {
     fn to_value(&self) -> Value {
@@ -354,6 +375,24 @@ impl DerCodec for StoreEvent {
                     Value::Integer(origin_node.0 as i64),
                     Value::bytes(manifest_der.clone()),
                     Value::string(login),
+                    Value::Integer(*at as i64),
+                ]),
+            ),
+            StoreEvent::PlacementDecided {
+                job,
+                node,
+                chosen,
+                excluded,
+                attempt,
+                at,
+            } => Value::tagged(
+                TAG_PLACEMENT,
+                Value::Sequence(vec![
+                    Value::Integer(job.0 as i64),
+                    Value::Integer(node.0 as i64),
+                    Value::string(chosen),
+                    Value::Sequence(excluded.iter().map(Value::string).collect()),
+                    Value::Integer(*attempt as i64),
                     Value::Integer(*at as i64),
                 ]),
             ),
@@ -480,6 +519,32 @@ impl DerCodec for StoreEvent {
                 f.finish()?;
                 Ok(ev)
             }
+            TAG_PLACEMENT => {
+                let mut f = Fields::open(inner, "PlacementDecided")?;
+                let job = JobId(f.next_u64()?);
+                let node = ActionId(f.next_u64()?);
+                let chosen = f.next_string()?;
+                let excluded = f
+                    .next_sequence()?
+                    .iter()
+                    .map(|v| {
+                        v.as_str()
+                            .map(str::to_owned)
+                            .ok_or(CodecError::BadValue("excluded Usite name"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let attempt = f.next_u32()?;
+                let at = f.next_u64()?;
+                f.finish()?;
+                Ok(StoreEvent::PlacementDecided {
+                    job,
+                    node,
+                    chosen,
+                    excluded,
+                    attempt,
+                    at,
+                })
+            }
             TAG_TRANSFER_CHUNK => {
                 let mut f = Fields::open(inner, "TransferChunkStored")?;
                 let ev = StoreEvent::TransferChunkStored {
@@ -560,6 +625,14 @@ mod tests {
             StoreEvent::JobPurged {
                 job: JobId(7),
                 at: 6,
+            },
+            StoreEvent::PlacementDecided {
+                job: JobId(7),
+                node: ActionId(4),
+                chosen: "ZIB/T3E".into(),
+                excluded: vec!["FZJ".into(), "RUS".into()],
+                attempt: 1,
+                at: 9,
             },
             StoreEvent::TransferOpened {
                 origin: "FZJ".into(),

@@ -323,7 +323,8 @@ fn fold(events: &[StoreEvent]) -> BTreeMap<u64, Fold> {
             StoreEvent::JobConsigned { job, ajo_der, .. } => {
                 map.entry(job.0).or_default().ajo = Some(ajo_der.clone());
             }
-            StoreEvent::JobIncarnated { .. } => {}
+            // Incarnations and placements are informational at replay.
+            StoreEvent::JobIncarnated { .. } | StoreEvent::PlacementDecided { .. } => {}
             StoreEvent::TaskStateChanged {
                 job,
                 node,
