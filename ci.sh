@@ -26,6 +26,18 @@ cargo test -q --offline -p unicore-integration-tests --test monitor_grid
 cargo test -q --offline -p unicore-client monitor
 cargo test -q --offline -p unicore --test prop_protocol
 
+echo "==> grid aggregation plane: tree/delta/push unit suites"
+cargo test -q --offline -p unicore --lib grid
+
+echo "==> snapshot algebra proptests (merge/delta laws)"
+cargo test -q --offline -p unicore-telemetry --test prop_aggregate
+
+echo "==> grid scale: 100-Usite aggregation plane"
+cargo test -q --offline -p unicore-integration-tests --test gridscale
+
+echo "==> SLO alert log: chaos replays byte-identical (seeds 1, 7, 23)"
+cargo test -q --offline -p unicore-integration-tests --test chaos chaos_replays_alert_log_byte_identical
+
 echo "==> codec single-pass/recursive DER equivalence"
 cargo test -q --offline -p unicore-codec --test prop_encode_equiv
 
@@ -55,6 +67,10 @@ cargo test -q --offline -p unicore-integration-tests --test broker
 
 echo "==> benches compile"
 cargo bench --offline --no-run
+
+echo "==> e12 telemetry-overhead budget (< 5% with the aggregation plane on)"
+cargo bench -q --offline -p unicore-bench --bench e12_throughput -- skip_micro_benches
+grep -q '"verdict_telemetry": "PASS"' BENCH_e12_throughput.json
 
 echo "==> rustdoc (workspace, warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace

@@ -33,8 +33,9 @@ pub use error::AjoError;
 pub use ids::{ActionId, JobId, UserAttributes, VsiteAddress};
 pub use job::{AbstractJob, Dependency, DependencyIndex, GraphNode, PortfolioFile};
 pub use outcome::{
-    ActionStatus, JobOutcome, JobSummary, MonitorReport, OutcomeNode, ServiceOutcome, StatusColor,
-    TaskOutcome, VsiteHealth,
+    ActionStatus, GridView, JobOutcome, JobSummary, MonitorReport, OutcomeNode, ServiceOutcome,
+    SiteHealth, SiteStatus, StatusColor, TaskOutcome, UnreachableReason, VsiteHealth,
+    HEADLINE_COUNTERS,
 };
 pub use resources::ResourceRequest;
 pub use service::{AbstractService, ControlOp, DetailLevel};

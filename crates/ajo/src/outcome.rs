@@ -6,7 +6,7 @@
 
 use crate::ids::{ActionId, JobId};
 use unicore_codec::{CodecError, DerCodec, Fields, Value};
-use unicore_telemetry::{FlightEvent, MetricsSnapshot, SpanSummary};
+use unicore_telemetry::{ActiveAlert, FlightEvent, MetricsSnapshot, SpanSummary};
 
 /// Status of an action, colour-coded by the JMC ("the icons are colored to
 /// reflect the job status in a seamless way", §5.7).
@@ -260,6 +260,115 @@ pub struct MonitorReport {
     pub spans: Vec<SpanSummary>,
     /// Health gauges for each Vsite the NJS fronts.
     pub vsites: Vec<VsiteHealth>,
+    /// Aggregation-plane snapshot epoch this report corresponds to,
+    /// when the site participates in the E17 tree. Encoded as a
+    /// trailing-optional DER field so pre-E17 peers decode (and
+    /// re-encode) reports byte-identically.
+    pub epoch: Option<u64>,
+}
+
+/// Counters every JMC monitor view leads with — the "is the grid doing
+/// work" headline a site ships in its compact [`SiteStatus`] row.
+pub const HEADLINE_COUNTERS: [&str; 5] = [
+    "njs.consigned",
+    "njs.incarnations",
+    "njs.jobs.completed",
+    "store.wal.repairs",
+    "gateway.audit.dropped",
+];
+
+/// Why a site is unreachable, mirroring the federation's fault model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnreachableReason {
+    /// The site's server crashed and has not restarted.
+    Crash,
+    /// The network path to the site is severed.
+    Partition,
+    /// The federation's circuit breaker has the site quarantined.
+    Quarantine,
+}
+
+/// Freshness/reachability of one site's row in a grid view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteHealth {
+    /// Row content is within the staleness budget.
+    Live,
+    /// The site is presumed up but its row content is stale (no recent
+    /// aggregation push, or a subtree edge went silent).
+    Stale,
+    /// The site is known dark; the row is a tombstone.
+    Unreachable(UnreachableReason),
+}
+
+impl SiteHealth {
+    /// True for either unreachable tombstone flavour.
+    pub fn is_unreachable(&self) -> bool {
+        matches!(self, SiteHealth::Unreachable(_))
+    }
+}
+
+/// One site's compact row in the hierarchical grid view: health,
+/// per-Vsite gauges and headline counters — deliberately *not* the full
+/// `MetricsSnapshot`, which stays on the per-site deep-dive path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteStatus {
+    /// The reported Usite.
+    pub usite: String,
+    /// Origin-owned snapshot epoch (0 = never heard from).
+    pub epoch: u64,
+    /// Sim time at which the row content was produced.
+    pub updated_at: u64,
+    /// Freshness/reachability of this row.
+    pub health: SiteHealth,
+    /// Health gauges for each Vsite the site's NJS fronts.
+    pub vsites: Vec<VsiteHealth>,
+    /// `(counter, value)` for each [`HEADLINE_COUNTERS`] entry.
+    pub headline: Vec<(String, u64)>,
+}
+
+impl SiteStatus {
+    /// Headline counter value by name (0 when absent).
+    pub fn headline(&self, name: &str) -> u64 {
+        self.headline
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+}
+
+/// The assembled hierarchical grid view: one row per known site, the
+/// tree-merged metrics snapshot and the currently-firing SLO alerts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridView {
+    /// Site that assembled the view (the tree root, or a subtree node
+    /// answering degraded when its uplink is dark).
+    pub root: String,
+    /// Sim time of assembly.
+    pub at: u64,
+    /// One row per site, ascending by Usite name. Always complete: a
+    /// site the assembler has never heard from still gets a row,
+    /// marked [`SiteHealth::Stale`] or unreachable.
+    pub sites: Vec<SiteStatus>,
+    /// Commutative/associative merge of every reachable site's metrics.
+    pub merged: MetricsSnapshot,
+    /// SLO alerts firing at assembly time.
+    pub alerts: Vec<ActiveAlert>,
+}
+
+impl GridView {
+    /// Row for a site, if present.
+    pub fn site(&self, usite: &str) -> Option<&SiteStatus> {
+        self.sites.iter().find(|s| s.usite == usite)
+    }
+
+    /// Number of rows currently marked unreachable.
+    pub fn unreachable_count(&self) -> usize {
+        self.sites
+            .iter()
+            .filter(|s| s.health.is_unreachable())
+            .count()
+    }
 }
 
 /// Results of the service requests.
@@ -282,11 +391,17 @@ pub enum ServiceOutcome {
         /// The job outcome at the requested detail.
         outcome: JobOutcome,
     },
-    /// A monitoring query's merged grid view: one report per reachable
-    /// Usite (a single-element list for a local, non-grid query).
+    /// A monitoring query's per-site deep dive: one full report per
+    /// queried Usite (a single-element list for a local query).
     Monitor {
         /// Reports sorted by Usite name.
         sites: Vec<MonitorReport>,
+    },
+    /// A grid monitoring query's hierarchical view, assembled at the
+    /// aggregation-tree root from pre-merged subtree pushes.
+    Grid {
+        /// The assembled view.
+        view: GridView,
     },
 }
 
@@ -433,12 +548,16 @@ impl DerCodec for VsiteHealth {
 
 impl DerCodec for MonitorReport {
     fn to_value(&self) -> Value {
-        Value::Sequence(vec![
+        let mut fields = vec![
             Value::string(&self.usite),
             self.metrics.to_value(),
             Value::Sequence(self.spans.iter().map(|s| s.to_value()).collect()),
             Value::Sequence(self.vsites.iter().map(|v| v.to_value()).collect()),
-        ])
+        ];
+        if let Some(epoch) = self.epoch {
+            fields.push(Value::tagged(0, Value::Integer(epoch as i64)));
+        }
+        Value::Sequence(fields)
     }
 
     fn from_value(value: &Value) -> Result<Self, CodecError> {
@@ -455,12 +574,128 @@ impl DerCodec for MonitorReport {
             .iter()
             .map(VsiteHealth::from_value)
             .collect::<Result<Vec<_>, _>>()?;
+        let epoch = match f.optional_tagged(0) {
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or(CodecError::BadValue("monitor report epoch"))?,
+            ),
+            None => None,
+        };
         f.finish()?;
         Ok(MonitorReport {
             usite,
             metrics,
             spans,
             vsites,
+            epoch,
+        })
+    }
+}
+
+impl SiteHealth {
+    fn to_enum(self) -> u32 {
+        match self {
+            SiteHealth::Live => 0,
+            SiteHealth::Stale => 1,
+            SiteHealth::Unreachable(UnreachableReason::Crash) => 2,
+            SiteHealth::Unreachable(UnreachableReason::Partition) => 3,
+            SiteHealth::Unreachable(UnreachableReason::Quarantine) => 4,
+        }
+    }
+
+    fn from_enum(v: u32) -> Result<Self, CodecError> {
+        Ok(match v {
+            0 => SiteHealth::Live,
+            1 => SiteHealth::Stale,
+            2 => SiteHealth::Unreachable(UnreachableReason::Crash),
+            3 => SiteHealth::Unreachable(UnreachableReason::Partition),
+            4 => SiteHealth::Unreachable(UnreachableReason::Quarantine),
+            _ => return Err(CodecError::BadValue("SiteHealth")),
+        })
+    }
+}
+
+impl DerCodec for SiteStatus {
+    fn to_value(&self) -> Value {
+        Value::Sequence(vec![
+            Value::string(&self.usite),
+            Value::Integer(self.epoch as i64),
+            Value::Integer(self.updated_at as i64),
+            Value::Enumerated(self.health.to_enum()),
+            Value::Sequence(self.vsites.iter().map(|v| v.to_value()).collect()),
+            Value::Sequence(
+                self.headline
+                    .iter()
+                    .map(|(k, v)| {
+                        Value::Sequence(vec![Value::string(k), Value::Integer(*v as i64)])
+                    })
+                    .collect(),
+            ),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<Self, CodecError> {
+        let mut f = Fields::open(value, "SiteStatus")?;
+        let usite = f.next_string()?;
+        let epoch = f.next_u64()?;
+        let updated_at = f.next_u64()?;
+        let health = SiteHealth::from_enum(f.next_enum()?)?;
+        let vsites = f
+            .next_sequence()?
+            .iter()
+            .map(VsiteHealth::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut headline = Vec::new();
+        for item in f.next_sequence()? {
+            let mut hf = Fields::open(item, "headline counter")?;
+            headline.push((hf.next_string()?, hf.next_u64()?));
+            hf.finish()?;
+        }
+        f.finish()?;
+        Ok(SiteStatus {
+            usite,
+            epoch,
+            updated_at,
+            health,
+            vsites,
+            headline,
+        })
+    }
+}
+
+impl DerCodec for GridView {
+    fn to_value(&self) -> Value {
+        Value::Sequence(vec![
+            Value::string(&self.root),
+            Value::Integer(self.at as i64),
+            Value::Sequence(self.sites.iter().map(|s| s.to_value()).collect()),
+            self.merged.to_value(),
+            Value::Sequence(self.alerts.iter().map(|a| a.to_value()).collect()),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<Self, CodecError> {
+        let mut f = Fields::open(value, "GridView")?;
+        let root = f.next_string()?;
+        let at = f.next_u64()?;
+        let sites = f
+            .next_sequence()?
+            .iter()
+            .map(SiteStatus::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        let merged = MetricsSnapshot::from_value(f.next_value()?)?;
+        let alerts = f
+            .next_sequence()?
+            .iter()
+            .map(ActiveAlert::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        f.finish()?;
+        Ok(GridView {
+            root,
+            at,
+            sites,
+            merged,
+            alerts,
         })
     }
 }
@@ -491,6 +726,7 @@ impl DerCodec for ServiceOutcome {
                 3,
                 Value::Sequence(sites.iter().map(|s| s.to_value()).collect()),
             ),
+            ServiceOutcome::Grid { view } => Value::tagged(4, view.to_value()),
         }
     }
 
@@ -535,6 +771,9 @@ impl DerCodec for ServiceOutcome {
                     .collect::<Result<Vec<_>, _>>()?;
                 Ok(ServiceOutcome::Monitor { sites })
             }
+            4 => Ok(ServiceOutcome::Grid {
+                view: GridView::from_value(inner)?,
+            }),
             _ => Err(CodecError::BadValue("ServiceOutcome variant")),
         }
     }
@@ -661,11 +900,96 @@ mod tests {
                         running: 1,
                         stuck_jobs: 0,
                     }],
+                    epoch: None,
                 }],
             },
         ] {
             assert_eq!(ServiceOutcome::from_der(&so.to_der()).unwrap(), so);
         }
+    }
+
+    #[test]
+    fn grid_view_outcome_round_trips() {
+        let view = GridView {
+            root: "FZJ".into(),
+            at: 120_000_000,
+            sites: vec![
+                SiteStatus {
+                    usite: "FZJ".into(),
+                    epoch: 7,
+                    updated_at: 119_000_000,
+                    health: SiteHealth::Live,
+                    vsites: vec![VsiteHealth {
+                        vsite: "T3E".into(),
+                        free_nodes: 512,
+                        queue_length: 2,
+                        running: 1,
+                        stuck_jobs: 0,
+                    }],
+                    headline: vec![("njs.consigned".into(), 4)],
+                },
+                SiteStatus {
+                    usite: "RUS".into(),
+                    epoch: 0,
+                    updated_at: 0,
+                    health: SiteHealth::Unreachable(UnreachableReason::Partition),
+                    vsites: vec![],
+                    headline: vec![],
+                },
+                SiteStatus {
+                    usite: "ZIB".into(),
+                    epoch: 3,
+                    updated_at: 60_000_000,
+                    health: SiteHealth::Stale,
+                    vsites: vec![],
+                    headline: vec![("store.wal.repairs".into(), 1)],
+                },
+            ],
+            merged: {
+                let mut m = MetricsSnapshot::default();
+                m.counters.insert("njs.consigned".into(), 9);
+                m
+            },
+            alerts: vec![ActiveAlert {
+                rule: "slo.sites.unreachable".into(),
+                since: 90_000_000,
+                value_milli: 333,
+            }],
+        };
+        let so = ServiceOutcome::Grid { view: view.clone() };
+        assert_eq!(ServiceOutcome::from_der(&so.to_der()).unwrap(), so);
+        assert_eq!(view.site("ZIB").unwrap().headline("store.wal.repairs"), 1);
+        assert_eq!(view.unreachable_count(), 1);
+    }
+
+    /// The trailing-optional epoch must leave epoch-free reports
+    /// byte-identical to the pre-E17 four-field encoding, so old peers
+    /// interoperate unchanged.
+    #[test]
+    fn monitor_report_epoch_is_byte_compatible() {
+        let report = MonitorReport {
+            usite: "FZJ".into(),
+            metrics: MetricsSnapshot::default(),
+            spans: vec![],
+            vsites: vec![],
+            epoch: None,
+        };
+        // The historical wire form, constructed field by field.
+        let legacy = unicore_codec::encode(&Value::Sequence(vec![
+            Value::string("FZJ"),
+            MetricsSnapshot::default().to_value(),
+            Value::Sequence(vec![]),
+            Value::Sequence(vec![]),
+        ]));
+        assert_eq!(report.to_der(), legacy);
+        // Old bytes decode with epoch: None...
+        assert_eq!(MonitorReport::from_der(&legacy).unwrap(), report);
+        // ...and a stamped report round-trips with the epoch intact.
+        let stamped = MonitorReport {
+            epoch: Some(12),
+            ..report
+        };
+        assert_eq!(MonitorReport::from_der(&stamped.to_der()).unwrap(), stamped);
     }
 
     #[test]

@@ -64,9 +64,10 @@ fn run_workload(monitored: bool, seed: u64) -> Duration {
         assert!(outcome.status.is_success());
     }
     for corr in monitor_corrs {
-        // Every monitor poll must have been answered along the way.
+        // Every monitor poll must have been answered along the way with
+        // an aggregated grid view.
         let resp = fed.take_client_response(corr).expect("monitor answered");
-        assert!(unicore::protocol::monitor_reports_of(&resp).is_some());
+        assert!(unicore::protocol::grid_view_of(&resp).is_some());
     }
     t.elapsed()
 }
@@ -105,7 +106,7 @@ fn per_poll_cost(fed: &mut Federation) -> Duration {
     (with_poll.saturating_sub(idle)) / POLLS
 }
 
-fn print_tables() {
+fn print_tables() -> BenchReport {
     println!("\n=== E11: monitoring-plane overhead ===\n");
 
     // Correctness under load: every poll fired during a live workload is
@@ -160,10 +161,7 @@ fn print_tables() {
             "workload",
             "two-site federation; grid Monitor polled while submissions flow",
         );
-    match report.write() {
-        Ok(path) => println!("machine-readable results: {}", path.display()),
-        Err(e) => eprintln!("could not write bench report: {e}"),
-    }
+    report
 }
 
 fn benches(c: &mut Criterion) {
@@ -226,8 +224,21 @@ fn benches(c: &mut Criterion) {
 }
 
 fn main() {
-    print_tables();
+    let mut report = print_tables();
     let mut c = Criterion::default().configure_from_args();
     benches(&mut c);
     c.final_summary();
+    // Tail latency of the building blocks, from the shim's per-sample
+    // records.
+    for s in criterion::take_recorded() {
+        let key = s.name.replace('/', ".");
+        report
+            .metric(&format!("{key}.min_us"), s.min * 1e6)
+            .metric(&format!("{key}.p50_us"), s.p50 * 1e6)
+            .metric(&format!("{key}.p99_us"), s.p99 * 1e6);
+    }
+    match report.write() {
+        Ok(path) => println!("machine-readable results: {}", path.display()),
+        Err(e) => eprintln!("could not write bench report: {e}"),
+    }
 }

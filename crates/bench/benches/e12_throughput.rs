@@ -39,7 +39,7 @@ const ROUNDS: u64 = 6;
 const BASELINE_PER_JOB_US: f64 = 1366.6;
 const BASELINE_JOBS_PER_SEC: f64 = 732.0;
 
-fn build_fed(seed: u64) -> Federation {
+fn build_fed(seed: u64, telemetry: bool) -> Federation {
     let specs = [
         SiteSpec::simple("S0", "V", Architecture::Generic),
         SiteSpec::simple("S1", "V", Architecture::Generic),
@@ -51,6 +51,11 @@ fn build_fed(seed: u64) -> Federation {
         },
         &specs,
     );
+    if telemetry {
+        // Full observability: span/metric collection plus the E17
+        // aggregation plane's heartbeat pushes.
+        fed.enable_telemetry(seed);
+    }
     fed.register_user(BENCH_DN, "bench");
     // Production configuration: every NJS journals to its write-ahead
     // spool, so the burst pays the real consign durability cost.
@@ -68,8 +73,8 @@ fn build_fed(seed: u64) -> Federation {
 /// Fires all `JOBS` consigns up front, then drives the federation until
 /// every job reaches a terminal state — a sustained burst rather than a
 /// serial submit/wait loop. Returns real CPU time for the burst.
-fn run_burst(seed: u64) -> Duration {
-    let mut fed = build_fed(seed);
+fn run_burst(seed: u64, telemetry: bool) -> Duration {
+    let mut fed = build_fed(seed, telemetry);
     let t = Instant::now();
     let deadline = fed.now() + 4 * HOUR;
 
@@ -126,25 +131,34 @@ fn run_burst(seed: u64) -> Duration {
 
 /// Minimum of three timed runs — the robust estimator for CPU cost on a
 /// shared machine (noise only ever adds time).
-fn min_of_3(seed: u64) -> Duration {
-    (0..3).map(|_| run_burst(seed)).min().unwrap()
+fn min_of_3(seed: u64, telemetry: bool) -> Duration {
+    (0..3).map(|_| run_burst(seed, telemetry)).min().unwrap()
 }
 
 fn print_tables() -> BenchReport {
     println!("\n=== E12: consign fast-path throughput ===\n");
 
     let mut total = Duration::ZERO;
+    let mut total_tel = Duration::ZERO;
     for i in 0..ROUNDS {
-        total += min_of_3(i);
+        total += min_of_3(i, false);
+        total_tel += min_of_3(i, true);
     }
     let round = total.as_secs_f64() / ROUNDS as f64;
     let per_job_us = round * 1e6 / JOBS as f64;
     let jobs_per_sec = JOBS as f64 / round;
+    let round_tel = total_tel.as_secs_f64() / ROUNDS as f64;
+    let tel_overhead = (round_tel - round) / round * 100.0;
+    let tel_verdict = if tel_overhead < 5.0 { "PASS" } else { "FAIL" };
 
     println!("two-site federated burst, {JOBS} jobs per round, {ROUNDS} rounds (min of 3 each):");
     println!("  burst round: {:?}", Duration::from_secs_f64(round));
     println!("  per job:     {per_job_us:.1} µs");
     println!("  throughput:  {jobs_per_sec:.0} jobs/sec");
+    println!(
+        "  with telemetry + aggregation plane: {:?}  (overhead {tel_overhead:+.2}%, target < 5%: {tel_verdict})",
+        Duration::from_secs_f64(round_tel)
+    );
 
     let mut report = BenchReport::new("e12_throughput");
     report
@@ -153,6 +167,10 @@ fn print_tables() -> BenchReport {
         .metric("round_us", round * 1e6)
         .metric("per_job_us", per_job_us)
         .metric("jobs_per_sec", jobs_per_sec)
+        .metric("telemetry_round_us", round_tel * 1e6)
+        .metric("telemetry_overhead_pct", tel_overhead)
+        .metric("telemetry_target_pct", 5.0)
+        .note("verdict_telemetry", tel_verdict)
         .note(
             "workload",
             "two-site federation, WAL attached; 32-job burst consigned up front then polled to completion",

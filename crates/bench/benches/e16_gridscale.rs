@@ -1,0 +1,288 @@
+//! E16 — the observability plane at grid scale.
+//!
+//! A 100-Usite synthetic deployment (the six German sites plus 94
+//! generated peers on hashed WAN latencies) running the E17 hierarchical
+//! aggregation plane. The acceptance criteria of the experiment, each
+//! emitted as a PASS/FAIL verdict in the JSON report:
+//!
+//! - a grid query from the deepest leaf reaches the root in O(log n)
+//!   relay hops (≤ tree depth, never a fan-out);
+//! - steady-state heartbeats ship deltas whose byte volume stays ≤20%
+//!   of what full snapshots every round would cost;
+//! - partitioning an interior site leaves the view complete — every
+//!   Usite still has a row, the dark subtree marked stale;
+//! - a three-seed chaos soak (drops + a healing partition) replays to
+//!   byte-identical SLO alert logs.
+//!
+//! The criterion group times the operator-facing moves: one grid query
+//! answered from the root's cache, one from the deepest leaf, and one
+//! full heartbeat round across all 100 sites.
+
+use criterion::Criterion;
+use std::hint::black_box;
+use std::time::Instant;
+use unicore::protocol::grid_view_of;
+use unicore::{Federation, FederationConfig};
+use unicore_ajo::{GridView, SiteHealth};
+use unicore_bench::{BenchReport, BENCH_DN};
+use unicore_sim::{SimTime, MINUTE, SEC};
+use unicore_simnet::FaultPlan;
+
+/// Grid size: two orders of magnitude past the paper's deployment.
+const N: usize = 100;
+/// Chaos soak seeds.
+const SEEDS: [u64; 3] = [1, 7, 23];
+
+fn build_grid(seed: u64) -> Federation {
+    let mut fed = Federation::grid_deployment(
+        FederationConfig {
+            seed,
+            ..FederationConfig::default()
+        },
+        N,
+    );
+    fed.enable_telemetry(seed);
+    fed.register_user(BENCH_DN, "bench");
+    fed
+}
+
+/// One grid query driven to its answer.
+fn grid_view(fed: &mut Federation, usite: &str) -> GridView {
+    let corr = fed.client_monitor(usite, BENCH_DN, true);
+    let deadline = fed.now() + 10 * MINUTE;
+    loop {
+        fed.run_until(fed.now() + 5 * SEC);
+        if let Some(resp) = fed.take_client_response(corr) {
+            return grid_view_of(&resp).expect("grid view").clone();
+        }
+        assert!(fed.now() < deadline, "no grid view from {usite}");
+    }
+}
+
+/// Convergence plus the hop-count and view-completeness checks.
+/// Returns (hops per deep query, depth, wall time to convergence).
+fn check_query_hops(report: &mut BenchReport) -> bool {
+    let mut fed = build_grid(0xE16);
+    let depth = fed.grid_tree().depth();
+    let t = Instant::now();
+    fed.run_until(6 * MINUTE);
+    let converge_wall = t.elapsed();
+
+    let deepest = fed.grid_tree().sites().last().unwrap().clone();
+    let hops_before = fed.grid_query_hops;
+    let view = grid_view(&mut fed, &deepest);
+    let hops = fed.grid_query_hops - hops_before;
+    let live = view
+        .sites
+        .iter()
+        .filter(|r| matches!(r.health, SiteHealth::Live))
+        .count();
+    let ok = view.sites.len() == N && live == N && hops as usize <= depth;
+
+    println!("query path ({N} sites, fanout 4):");
+    println!("  tree depth: {depth} edges (log4 bound)");
+    println!("  deep-leaf query: {hops} relay hops (must be <= depth)");
+    println!("  converged view: {live}/{N} live rows");
+    println!("  wall time to convergence (6 sim-min): {converge_wall:?}\n");
+    report
+        .metric("sites", N as f64)
+        .metric("tree_depth", depth as f64)
+        .metric("deep_query_hops", hops as f64)
+        .metric("converged_live_rows", live as f64)
+        .metric("converge_wall_ms", converge_wall.as_secs_f64() * 1e3);
+    ok
+}
+
+/// Steady-state delta-vs-full byte ratio over a ten-minute idle window.
+fn check_delta_ratio(report: &mut BenchReport) -> bool {
+    let mut fed = build_grid(0xDE17A);
+    fed.run_until(6 * MINUTE);
+    let full0 = fed.grid_push_bytes_full;
+    let delta0 = fed.grid_push_bytes_delta;
+    fed.run_until(fed.now() + 10 * MINUTE);
+    let delta_window = fed.grid_push_bytes_delta - delta0;
+    let full_window = fed.grid_push_bytes_full - full0;
+    // What shipping full snapshots every round would have cost: the
+    // initial resync volume times the ~20 heartbeat rounds in the window.
+    let rounds = 20u64;
+    let full_rate_budget = full0 * rounds;
+    let ratio = delta_window as f64 / full_rate_budget as f64 * 100.0;
+    let ok = full_window == 0 && ratio <= 20.0;
+
+    println!("steady-state heartbeat traffic (10 idle minutes, ~{rounds} rounds):");
+    println!("  initial full-resync volume: {full0} bytes");
+    println!("  window delta volume: {delta_window} bytes");
+    println!("  window full volume: {full_window} bytes (resyncs — want 0)");
+    println!("  delta bytes vs full-rate budget: {ratio:.2}% (target <= 20%)\n");
+    report
+        .metric("full_resync_bytes", full0 as f64)
+        .metric("steady_delta_bytes", delta_window as f64)
+        .metric("steady_full_bytes", full_window as f64)
+        .metric("delta_vs_full_pct", ratio)
+        .metric("delta_target_pct", 20.0);
+    ok
+}
+
+/// A partitioned interior site must degrade its subtree to stale rows
+/// without shrinking or stalling the root's view.
+fn check_partition_completeness(report: &mut BenchReport) -> bool {
+    let mut fed = build_grid(0xE16);
+    fed.run_until(6 * MINUTE);
+    let victim = fed.grid_tree().sites()[1].clone();
+    let subtree = fed.grid_tree().subtree(&victim).len();
+    fed.set_partitioned(&victim, true);
+    fed.run_until(fed.now() + 3 * MINUTE);
+
+    let root = fed.grid_tree().root().to_owned();
+    let t = Instant::now();
+    let view = grid_view(&mut fed, &root);
+    let answer_wall = t.elapsed();
+    let stale = view
+        .sites
+        .iter()
+        .filter(|r| matches!(r.health, SiteHealth::Stale))
+        .count();
+    let ok = view.sites.len() == N
+        && view.site(&victim).unwrap().health.is_unreachable()
+        && stale == subtree - 1;
+
+    println!("partitioned interior site ({victim}, subtree of {subtree}):");
+    println!("  view rows: {}/{N}", view.sites.len());
+    println!(
+        "  stale rows behind the partition: {stale} (want {})",
+        subtree - 1
+    );
+    println!("  root answered the query in {answer_wall:?} wall — no stall\n");
+    report
+        .metric("partition_subtree", subtree as f64)
+        .metric("partition_view_rows", view.sites.len() as f64)
+        .metric("partition_stale_rows", stale as f64);
+    ok
+}
+
+/// Chaos soak: drops plus a healing partition of a quarter of the grid;
+/// the DER-encoded alert log must replay byte-identically per seed, and
+/// the unreachable-ratio SLO must both fire and clear.
+fn check_alert_replay(report: &mut BenchReport) -> bool {
+    fn soak(seed: u64) -> (Vec<u8>, usize) {
+        let mut fed = build_grid(seed);
+        // Dropping a direct child of the root takes its whole subtree
+        // (~a quarter of the grid) dark — past the 25% burn-rate
+        // threshold whichever site roots the tree.
+        let victim = fed.grid_tree().sites()[1].clone();
+        let plan = FaultPlan::new(seed ^ 0xE16)
+            .drop_everywhere(0.10, 0, SimTime::MAX)
+            .partition(&victim, 4 * MINUTE, 14 * MINUTE);
+        fed.apply_fault_plan(&plan);
+        fed.run_until(22 * MINUTE);
+        (fed.alert_log_der(), fed.alert_log().len())
+    }
+    let mut ok = true;
+    let mut events = 0usize;
+    let t = Instant::now();
+    for seed in SEEDS {
+        let (a, fired) = soak(seed);
+        let (b, _) = soak(seed);
+        if a != b {
+            println!("  seed {seed}: alert log DIVERGED on replay");
+            ok = false;
+        }
+        if fired < 2 {
+            println!("  seed {seed}: expected a fire and a clear, saw {fired} events");
+            ok = false;
+        }
+        events += fired;
+    }
+    let wall = t.elapsed();
+    println!(
+        "chaos alert-log replay ({} seeds, 2 runs each):",
+        SEEDS.len()
+    );
+    println!("  byte-identical: {}", if ok { "yes" } else { "NO" });
+    println!("  alert events across seeds: {events}");
+    println!("  wall time: {wall:?}\n");
+    report
+        .metric("soak_seeds", SEEDS.len() as f64)
+        .metric("soak_alert_events", events as f64)
+        .metric("soak_wall_ms", wall.as_secs_f64() * 1e3);
+    ok
+}
+
+fn print_tables() -> BenchReport {
+    println!("\n=== E16: grid-scale observability plane ===\n");
+    let mut report = BenchReport::new("e16_gridscale");
+    let hops_ok = check_query_hops(&mut report);
+    let delta_ok = check_delta_ratio(&mut report);
+    let part_ok = check_partition_completeness(&mut report);
+    let replay_ok = check_alert_replay(&mut report);
+    let verdict = if hops_ok && delta_ok && part_ok && replay_ok {
+        "PASS"
+    } else {
+        "FAIL"
+    };
+    println!("overall: {verdict}  (hops {hops_ok}, delta {delta_ok}, partition {part_ok}, replay {replay_ok})");
+    report
+        .note("verdict", verdict)
+        .note("verdict_hops", if hops_ok { "PASS" } else { "FAIL" })
+        .note("verdict_delta", if delta_ok { "PASS" } else { "FAIL" })
+        .note("verdict_partition", if part_ok { "PASS" } else { "FAIL" })
+        .note("verdict_replay", if replay_ok { "PASS" } else { "FAIL" })
+        .note(
+            "workload",
+            "100-Usite synthetic grid, fanout-4 aggregation tree, 30s heartbeats",
+        );
+    report
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e16_gridscale");
+    group.sample_size(10);
+
+    // One grid query answered straight from the root's pre-merged cache.
+    group.bench_function("grid_query_at_root", |b| {
+        let mut fed = build_grid(0xB16);
+        fed.run_until(6 * MINUTE);
+        let root = fed.grid_tree().root().to_owned();
+        b.iter(|| black_box(grid_view(&mut fed, &root)));
+    });
+
+    // The same query from the deepest leaf — the O(log n) climb.
+    group.bench_function("grid_query_at_deep_leaf", |b| {
+        let mut fed = build_grid(0xB16);
+        fed.run_until(6 * MINUTE);
+        let leaf = fed.grid_tree().sites().last().unwrap().clone();
+        b.iter(|| black_box(grid_view(&mut fed, &leaf)));
+    });
+
+    // One full heartbeat round: every site refreshes, pushes and acks.
+    group.bench_function("heartbeat_round_100_sites", |b| {
+        let mut fed = build_grid(0xB17);
+        fed.run_until(6 * MINUTE);
+        let interval = 30 * SEC;
+        b.iter(|| {
+            let target = fed.now() + interval;
+            fed.run_until(target);
+            black_box(fed.grid_push_bytes_delta)
+        });
+    });
+
+    group.finish();
+}
+
+fn main() {
+    let mut report = print_tables();
+    let mut c = Criterion::default().configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+    for s in criterion::take_recorded() {
+        let key = s.name.replace('/', ".");
+        report
+            .metric(&format!("{key}.min_us"), s.min * 1e6)
+            .metric(&format!("{key}.p50_us"), s.p50 * 1e6)
+            .metric(&format!("{key}.p99_us"), s.p99 * 1e6);
+    }
+    match report.write() {
+        Ok(path) => println!("machine-readable results: {}", path.display()),
+        Err(e) => eprintln!("could not write bench report: {e}"),
+    }
+}

@@ -24,4 +24,7 @@ pub use jmc::{
     StatusRow, StatusSummary, TaskOutput,
 };
 pub use jpa::{JobBuilder, JobPreparationAgent, JpaError, PlacementView};
-pub use monitor::{monitor_rows, render_flight, render_monitor, MonitorRow};
+pub use monitor::{
+    grid_rows, monitor_rows, render_active_alerts, render_alerts, render_flight, render_grid,
+    render_monitor, MonitorRow,
+};

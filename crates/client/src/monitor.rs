@@ -1,12 +1,15 @@
-//! The JMC's grid monitoring view (§ E12).
+//! The JMC's grid monitoring view (§ E12 / E17).
 //!
-//! A single `Monitor { grid: true }` query returns one [`MonitorReport`]
-//! per reachable Usite; this module renders them the way the applet's
-//! monitoring panel would — a namespaced tree of Vsite health gauges,
-//! headline counters, and span timings — plus the flight-recorder trace a
-//! failed task carries home in its `Outcome`.
+//! A `Monitor { grid: false }` query returns one [`MonitorReport`] for
+//! the entry Usite; a grid-wide query climbs the aggregation tree and
+//! comes back as one pre-merged [`GridView`]. This module renders both
+//! the way the applet's monitoring panel would — a namespaced tree of
+//! Vsite health gauges, headline counters, and span timings, with
+//! UNREACHABLE/STALE banners and firing SLO alerts — plus the
+//! flight-recorder trace a failed task carries home in its `Outcome`.
 
-use unicore_ajo::{MonitorReport, TaskOutcome};
+use unicore_ajo::{GridView, MonitorReport, SiteHealth, TaskOutcome, UnreachableReason};
+use unicore_telemetry::{ActiveAlert, AlertEvent};
 
 /// One rendered row of the grid monitor panel.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -17,16 +20,12 @@ pub struct MonitorRow {
     pub text: String,
 }
 
-/// Headline counters the panel surfaces by name when present. Everything
-/// else stays available under the full snapshot; these are the ones an
-/// operator scans first.
-const HEADLINE_COUNTERS: &[&str] = &[
-    "njs.consigned",
-    "njs.incarnations",
-    "njs.jobs.completed",
-    "store.wal.repairs",
-    "gateway.audit.dropped",
-];
+/// Headline counters the panel surfaces by name when present — the
+/// shared AJO-layer list, so the JMC and the aggregation plane's
+/// [`SiteStatus`](unicore_ajo::SiteStatus) rows always agree on what an
+/// operator scans first. Everything else stays available under the full
+/// snapshot.
+use unicore_ajo::HEADLINE_COUNTERS;
 
 /// Builds the namespaced grid view: one block per Usite (already sorted
 /// by the federation), Vsite health first, then headline counters, then
@@ -69,7 +68,7 @@ pub fn monitor_rows(sites: &[MonitorReport]) -> Vec<MonitorRow> {
             });
         }
         for name in HEADLINE_COUNTERS {
-            if let Some(v) = site.metrics.counters.get(*name) {
+            if let Some(v) = site.metrics.counters.get(name) {
                 rows.push(MonitorRow {
                     depth: 1,
                     text: format!("{name} = {v}"),
@@ -95,13 +94,142 @@ pub fn monitor_rows(sites: &[MonitorReport]) -> Vec<MonitorRow> {
 
 /// Renders the grid view as an indented text panel.
 pub fn render_monitor(sites: &[MonitorReport]) -> String {
+    indent(monitor_rows(sites))
+}
+
+fn indent(rows: Vec<MonitorRow>) -> String {
     let mut out = String::new();
-    for row in monitor_rows(sites) {
+    for row in rows {
         for _ in 0..row.depth {
             out.push_str("  ");
         }
         out.push_str(&row.text);
         out.push('\n');
+    }
+    out
+}
+
+fn unreachable_banner(reason: &UnreachableReason) -> &'static str {
+    match reason {
+        UnreachableReason::Crash => "UNREACHABLE (server crashed)",
+        UnreachableReason::Partition => "UNREACHABLE (network partition)",
+        UnreachableReason::Quarantine => "UNREACHABLE (quarantined by the federation)",
+    }
+}
+
+/// Builds the rows of an aggregated [`GridView`] (E17): a summary
+/// header, one block per Usite with health banners, Vsite gauges and
+/// headline counters, then the grid-merged totals and any firing SLO
+/// alerts.
+pub fn grid_rows(view: &GridView) -> Vec<MonitorRow> {
+    let mut rows = vec![MonitorRow {
+        depth: 0,
+        text: format!(
+            "grid view from {} at t={:.0}s — {} sites, {} unreachable",
+            view.root,
+            view.at as f64 / 1e6,
+            view.sites.len(),
+            view.unreachable_count()
+        ),
+    }];
+    for site in &view.sites {
+        rows.push(MonitorRow {
+            depth: 0,
+            text: format!("Usite {}", site.usite),
+        });
+        match &site.health {
+            SiteHealth::Unreachable(reason) => {
+                rows.push(MonitorRow {
+                    depth: 1,
+                    text: unreachable_banner(reason).to_owned(),
+                });
+                continue;
+            }
+            SiteHealth::Stale => {
+                rows.push(MonitorRow {
+                    depth: 1,
+                    text: format!(
+                        "STALE (last heard t={:.0}s, epoch {})",
+                        site.updated_at as f64 / 1e6,
+                        site.epoch
+                    ),
+                });
+            }
+            SiteHealth::Live => {}
+        }
+        for v in &site.vsites {
+            rows.push(MonitorRow {
+                depth: 1,
+                text: format!(
+                    "vsite {}: {} free, {} queued, {} running, {} stuck",
+                    v.vsite, v.free_nodes, v.queue_length, v.running, v.stuck_jobs
+                ),
+            });
+        }
+        for (name, value) in &site.headline {
+            rows.push(MonitorRow {
+                depth: 1,
+                text: format!("{name} = {value}"),
+            });
+        }
+    }
+    rows.push(MonitorRow {
+        depth: 0,
+        text: "grid totals".to_owned(),
+    });
+    for name in HEADLINE_COUNTERS {
+        if let Some(v) = view.merged.counters.get(name) {
+            rows.push(MonitorRow {
+                depth: 1,
+                text: format!("{name} = {v}"),
+            });
+        }
+    }
+    for alert in &view.alerts {
+        rows.push(MonitorRow {
+            depth: 1,
+            text: format!(
+                "ALERT {} firing since t={:.0}s (value {})",
+                alert.rule,
+                alert.since as f64 / 1e6,
+                alert.value_milli
+            ),
+        });
+    }
+    rows
+}
+
+/// Renders an aggregated grid view as an indented text panel.
+pub fn render_grid(view: &GridView) -> String {
+    indent(grid_rows(view))
+}
+
+/// Renders the SLO alert log the way the JMC's alert drawer would: one
+/// line per fire/clear edge, in evaluation order.
+pub fn render_alerts(log: &[AlertEvent]) -> String {
+    let mut out = String::new();
+    for ev in log {
+        out.push_str(&format!(
+            "[t={:>10.3}s] {} {} (value {})\n",
+            ev.at as f64 / 1e6,
+            if ev.firing { "FIRE " } else { "CLEAR" },
+            ev.rule,
+            ev.value_milli
+        ));
+    }
+    out
+}
+
+/// Renders the currently-firing alerts as a compact banner list.
+pub fn render_active_alerts(alerts: &[ActiveAlert]) -> String {
+    let mut out = String::new();
+    for a in alerts {
+        out.push_str(&format!(
+            "ALERT {} since t={:.0}s (value {})\n",
+            a.rule,
+            a.since as f64 / 1e6,
+            a.value_milli
+        ));
     }
     out
 }
@@ -161,6 +289,7 @@ mod tests {
                 running: 2,
                 stuck_jobs: 1,
             }],
+            epoch: None,
         }
     }
 
@@ -189,6 +318,7 @@ mod tests {
             metrics,
             spans: vec![],
             vsites: vec![],
+            epoch: None,
         }
     }
 

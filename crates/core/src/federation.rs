@@ -19,11 +19,13 @@
 //! with no retries — the strawman the paper argues against, measured in
 //! experiment E8.
 
+use crate::grid::{AggregationTree, PlaneNode};
 use crate::protocol::{Body, Envelope, Request, Response};
 use crate::server::UnicoreServer;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use unicore_ajo::{
-    AbstractJob, ControlOp, DetailLevel, JobId, JobOutcome, MonitorReport, ServiceOutcome,
+    AbstractJob, ControlOp, DetailLevel, GridView, JobId, JobOutcome, ServiceOutcome, SiteHealth,
+    SiteStatus, UnreachableReason,
 };
 use unicore_codec::DerCodec;
 use unicore_gateway::{Gateway, UserEntry, Uudb};
@@ -32,7 +34,9 @@ use unicore_resources::{deployment_page, Architecture, ResourcePage};
 use unicore_sim::{SimTime, MINUTE, SEC};
 use unicore_simnet::{FaultPlan, Firewall, LinkParams, Network, NodeId};
 use unicore_store::{EventStore, MemoryBackend};
-use unicore_telemetry::{ActiveSpan, MetricsSnapshot, Telemetry};
+use unicore_telemetry::{
+    standard_slo_rules, ActiveAlert, ActiveSpan, AlertEngine, AlertEvent, Telemetry,
+};
 
 /// The UNICORE gateway port.
 pub const GATEWAY_PORT: u16 = 4433;
@@ -94,6 +98,17 @@ pub struct FederationConfig {
     /// request through. Any envelope received from the peer closes the
     /// circuit again.
     pub probe_interval: SimTime,
+    /// Heartbeat period of the aggregation plane (E17): how often each
+    /// site refreshes its own status row and pushes its subtree
+    /// snapshot one hop up the spanning tree. Only active once
+    /// [`Federation::enable_telemetry`] has been called.
+    pub push_interval: SimTime,
+    /// How long an aggregation edge may go unheard before the whole
+    /// cached subtree behind it is marked stale in grid views.
+    pub stale_after: SimTime,
+    /// Fanout of the aggregation spanning tree (clamped to ≥ 2): every
+    /// grid-view query climbs at most `log_fanout(sites)` NJS→NJS hops.
+    pub tree_fanout: usize,
     /// WAN link profile.
     pub wan: LinkParams,
 }
@@ -109,6 +124,9 @@ impl Default for FederationConfig {
             backoff_cap: 16 * SEC,
             quarantine_after: 2,
             probe_interval: MINUTE,
+            push_interval: 30 * SEC,
+            stale_after: 90 * SEC,
+            tree_fanout: 4,
             wan: LinkParams::wan_1999(),
         }
     }
@@ -210,22 +228,21 @@ struct SyncWatch {
     owner_dn: String,
 }
 
-/// An open grid-wide `Monitor` query: the entry site has answered locally
-/// and is waiting for the peer sites it fanned the query out to. Peers
-/// that stay unreachable past the retry budget are skipped, so a dead
-/// site delays but never wedges the grid view.
-struct MonitorWatch {
-    entry: String,
-    client_node: NodeId,
-    client_corr: u64,
-    client_dn: String,
-    reports: Vec<MonitorReport>,
-    awaiting: HashSet<u64>,
+/// One hop of a grid-view query climbing the aggregation tree: the site
+/// that received it remembers who asked, so the root's answer — or a
+/// degraded subtree view when the uplink is dead — flows back down the
+/// same path.
+struct GridRelay {
+    origin_node: NodeId,
+    origin_corr: u64,
+    origin_dn: String,
 }
 
-/// Fan-out correlation ids live far above any server-assigned id so the
-/// two never collide in the shared `(site, corr)` inflight namespace.
-const MONITOR_CORR_BASE: u64 = 1 << 48;
+/// Relay and push correlation ids live far above any server-assigned id
+/// so the three spaces never collide in the shared `(site, corr)`
+/// inflight namespace.
+const RELAY_CORR_BASE: u64 = 1 << 48;
+const PUSH_CORR_BASE: u64 = 1 << 49;
 
 /// The running federation.
 pub struct Federation {
@@ -249,10 +266,29 @@ pub struct Federation {
     next_client_corr: u64,
     sync_corrs: HashSet<u64>,
     sync_watches: Vec<SyncWatch>,
-    monitor_watches: HashMap<u64, MonitorWatch>,
-    monitor_corrs: HashMap<CorrKey, u64>,
-    next_monitor_corr: u64,
-    next_monitor_watch: u64,
+    /// The deterministic aggregation spanning tree over the Usites (E17).
+    tree: AggregationTree,
+    /// Per-site aggregation-plane state; removed while a site is down.
+    plane: HashMap<String, PlaneNode>,
+    push_interval: SimTime,
+    stale_after: SimTime,
+    /// In-flight aggregation pushes, so acks and retry exhaustion find
+    /// the owning plane node.
+    push_corrs: HashSet<CorrKey>,
+    next_push_corr: u64,
+    /// Open grid-view relays, keyed by the upward hop's correlation id.
+    grid_relays: HashMap<CorrKey, GridRelay>,
+    next_relay_corr: u64,
+    /// The root-scope SLO rules engine over the merged grid view.
+    alert_engine: AlertEngine,
+    next_alert_eval: SimTime,
+    /// Wire bytes spent on full-snapshot aggregation pushes.
+    pub grid_push_bytes_full: u64,
+    /// Wire bytes spent on delta aggregation pushes.
+    pub grid_push_bytes_delta: u64,
+    /// NJS→NJS hops taken by grid-view queries (the client hop and the
+    /// responses' return path are excluded).
+    pub grid_query_hops: u64,
     now: SimTime,
     /// Total protocol messages sent (metrics).
     pub messages_sent: u64,
@@ -385,6 +421,20 @@ impl Federation {
             .collect();
         let specs_by_name = specs.iter().map(|s| (s.name.clone(), s.clone())).collect();
 
+        // The aggregation plane (E17): every peer derives the identical
+        // spanning tree from the shared seed; heartbeats are staggered a
+        // quarter second apart so the plane never synchronises into a
+        // thundering herd.
+        let tree = AggregationTree::build(site_order.clone(), config.seed, config.tree_fanout);
+        let plane: HashMap<String, PlaneNode> = site_order
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let first = config.push_interval + (i as SimTime + 1) * (SEC / 4);
+                (s.clone(), PlaneNode::new(s.clone(), first))
+            })
+            .collect();
+
         Federation {
             net,
             sites,
@@ -406,10 +456,19 @@ impl Federation {
             next_client_corr: 1,
             sync_corrs: HashSet::new(),
             sync_watches: Vec::new(),
-            monitor_watches: HashMap::new(),
-            monitor_corrs: HashMap::new(),
-            next_monitor_corr: MONITOR_CORR_BASE,
-            next_monitor_watch: 0,
+            tree,
+            plane,
+            push_interval: config.push_interval,
+            stale_after: config.stale_after,
+            push_corrs: HashSet::new(),
+            next_push_corr: PUSH_CORR_BASE,
+            grid_relays: HashMap::new(),
+            next_relay_corr: RELAY_CORR_BASE,
+            alert_engine: AlertEngine::new(standard_slo_rules()),
+            next_alert_eval: 2 * config.push_interval,
+            grid_push_bytes_full: 0,
+            grid_push_bytes_delta: 0,
+            grid_query_hops: 0,
             now: 0,
             messages_sent: 0,
             retries: 0,
@@ -446,6 +505,15 @@ impl Federation {
                 .expect("known site")
                 .set_telemetry(tel);
         }
+        // Telemetry arms the aggregation plane: re-stagger the first
+        // heartbeats relative to now so a late enable does not release
+        // every site's backlogged push in the same instant.
+        for (i, site) in self.site_order.clone().into_iter().enumerate() {
+            if let Some(node) = self.plane.get_mut(&site) {
+                node.next_push_at = self.now + self.push_interval + (i as SimTime + 1) * (SEC / 4);
+            }
+        }
+        self.next_alert_eval = self.now + 2 * self.push_interval;
     }
 
     /// The client-tier telemetry handle (span source for JPA/JMC work).
@@ -629,8 +697,12 @@ impl Federation {
         // the federation-side response cache must not replay answers the
         // rebooted server will re-derive from its journal.
         self.inflight.retain(|(owner, _), _| owner != usite);
-        self.monitor_corrs.retain(|(owner, _), _| owner != usite);
-        self.monitor_watches.retain(|_, w| w.entry != usite);
+        self.push_corrs.retain(|(owner, _)| owner != usite);
+        self.grid_relays.retain(|(owner, _), _| owner != usite);
+        // The plane node dies with the process: its edge caches and
+        // epochs are RAM. Its parent's cache simply goes stale, and the
+        // rebuilt node's epoch-0 state forces fulls on every edge.
+        self.plane.remove(usite);
         self.handled.retain(|(site, _, _), _| site != usite);
         self.sync_watches.retain(|w| w.usite != usite);
         self.telemetry.counter("federation.site.crash").inc();
@@ -680,6 +752,11 @@ impl Federation {
         server.set_broker_seed(self.seed);
         server.recover(self.now).expect("journal recovery");
         self.servers.insert(usite.to_owned(), server);
+        // A fresh plane node re-announces the site quickly; epoch 0 on
+        // the uplink means its first push is a full snapshot, and its
+        // children's deltas are refused once (resync) then resent full.
+        self.plane
+            .insert(usite.to_owned(), PlaneNode::new(usite, self.now + SEC));
         self.telemetry.counter("federation.site.restart").inc();
     }
 
@@ -964,9 +1041,10 @@ impl Federation {
     }
 
     /// Queries the monitoring plane via `usite`. With `grid = false` the
-    /// entry site answers for itself alone; with `grid = true` it fans the
-    /// query out to every peer Usite and replies with the merged,
-    /// site-namespaced grid view (§ E12).
+    /// entry site answers for itself alone; with `grid = true` (and
+    /// telemetry enabled) the query climbs the aggregation tree to the
+    /// root, which answers with the pre-merged [`GridView`] — O(log
+    /// sites) hops, bounded payloads (E17).
     pub fn client_monitor(&mut self, via: &str, dn: &str, grid: bool) -> u64 {
         self.client_request(via, dn, Request::Monitor { grid })
     }
@@ -989,8 +1067,11 @@ impl Federation {
     }
 
     /// Earliest future event across network, servers, retry deadlines
-    /// and scheduled site-level faults.
-    fn next_event(&mut self) -> Option<SimTime> {
+    /// and scheduled site-level faults. Aggregation-plane heartbeats are
+    /// periodic forever, so they count as events only when the caller
+    /// asks (`run_until` does, `run_until_idle` must not — an armed
+    /// plane would otherwise keep the federation "busy" for eternity).
+    fn next_event(&mut self, include_plane: bool) -> Option<SimTime> {
         let mut next = self.net.next_delivery_time();
         for server in self.servers.values() {
             next = min_opt(next, server.next_event_time());
@@ -1001,12 +1082,20 @@ impl Federation {
         if let Some((t, _)) = self.fault_events.first() {
             next = min_opt(next, Some(*t));
         }
+        if include_plane && self.telemetry_seed.is_some() {
+            for node in self.plane.values() {
+                if self.servers.contains_key(&node.usite) {
+                    next = min_opt(next, Some(node.next_push_at));
+                }
+            }
+            next = min_opt(next, Some(self.next_alert_eval));
+        }
         next
     }
 
     /// Runs the federation until `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(t) = self.next_event().filter(|&t| t <= deadline) {
+        while let Some(t) = self.next_event(true).filter(|&t| t <= deadline) {
             let t = t.max(self.now);
             self.advance(t);
         }
@@ -1018,7 +1107,7 @@ impl Federation {
     /// Runs until no work remains (jobs done, queues empty, no retries).
     /// Returns the final time. `limit` bounds runaway simulations.
     pub fn run_until_idle(&mut self, limit: SimTime) -> SimTime {
-        while let Some(t) = self.next_event() {
+        while let Some(t) = self.next_event(false) {
             if t > limit {
                 break;
             }
@@ -1144,6 +1233,17 @@ impl Federation {
             }
         }
 
+        // Aggregation-plane heartbeats and root-scope SLO evaluation
+        // (E17), gated on telemetry so deployments that never enabled it
+        // see zero background traffic.
+        if self.telemetry_seed.is_some() {
+            self.run_plane(t);
+            if t >= self.next_alert_eval {
+                self.next_alert_eval = t + self.push_interval;
+                self.eval_alerts(t);
+            }
+        }
+
         // Synchronous watches: push the final outcome when a job ends.
         let mut fired = Vec::new();
         for (i, w) in self.sync_watches.iter().enumerate() {
@@ -1182,16 +1282,17 @@ impl Federation {
             .collect();
         due.sort();
         for key in due {
-            // A client whose grid monitor query is still being fanned out
-            // by the entry site is *in contact* — the deferred reply is
+            // A client whose grid-view query is still climbing the
+            // aggregation tree is *in contact* — the relayed reply is
             // pending, not lost. Refresh its budget instead of erroring;
-            // the fan-out itself has bounded retries, so this terminates.
+            // every relay hop has its own bounded budget (falling back
+            // to a degraded subtree view), so this terminates.
             if key.0.is_empty()
                 && self.inflight[&key].retries_left == 0
                 && self
-                    .monitor_watches
+                    .grid_relays
                     .values()
-                    .any(|w| w.client_corr == key.1)
+                    .any(|r| r.origin_node == self.workstation && r.origin_corr == key.1)
             {
                 let f = self.inflight.get_mut(&key).expect("just collected");
                 f.retries_left = self.max_retries;
@@ -1205,6 +1306,17 @@ impl Federation {
                 // (a dead site must not wedge a multi-site job forever).
                 let dest_site = f.dest_site.clone();
                 self.inflight.remove(&key);
+                if self.push_corrs.remove(&key) {
+                    // An aggregation push died on the wire. The plane is
+                    // deliberately silent about it: no circuit-breaker
+                    // feedback (a partitioned child must not quarantine
+                    // its healthy parent) — the pending edge state is
+                    // dropped and the next heartbeat rebuilds the push.
+                    if let Some(node) = self.plane.get_mut(&key.0) {
+                        node.abandon_pending();
+                    }
+                    continue;
+                }
                 self.retry_exhaustions += 1;
                 self.telemetry.counter("federation.retry.exhausted").inc();
                 self.note_peer_failure(&dest_site, t);
@@ -1215,22 +1327,12 @@ impl Federation {
                         self.telemetry.end(span, t);
                     }
                     self.client_responses.insert(corr, err);
-                } else if let Some(watch_id) = self.monitor_corrs.remove(&(owner.clone(), corr)) {
-                    // Grid monitor fan-out to a dead peer: skip that site
-                    // and let the merged view cover the reachable grid —
-                    // flagging the site as dead once it is quarantined.
-                    if self
-                        .peer_health
-                        .get(&dest_site)
-                        .is_some_and(|h| matches!(h.state, PeerState::Open { .. }))
-                    {
-                        let report = self.dead_site_report(&dest_site);
-                        if let Some(w) = self.monitor_watches.get_mut(&watch_id) {
-                            w.reports.push(report);
-                            self.telemetry.counter("federation.site.dead").inc();
-                        }
-                    }
-                    self.monitor_response(watch_id, corr, err, t);
+                } else if let Some(relay) = self.grid_relays.remove(&(owner.clone(), corr)) {
+                    // The uplink hop of a grid-view query is dead: answer
+                    // with the view this site can vouch for — its own
+                    // subtree — rather than wedging the query.
+                    self.telemetry.counter("federation.grid.degraded").inc();
+                    self.answer_grid_relay(&owner, relay, t);
                 } else if let Some(server) = self.servers.get_mut(&owner) {
                     server.handle_response(corr, err);
                 }
@@ -1251,30 +1353,200 @@ impl Federation {
         }
     }
 
-    /// A synthetic monitor row for an unreachable peer: no metrics, no
-    /// Vsites, just the `federation.site.dead` flag — plus a reason
-    /// counter (`.crash`, `.partition`, or `.quarantine`) telling the
-    /// grid view *why* the site is missing. A crash outranks a
-    /// partition (the process is gone either way), and quarantine is
-    /// the fallback: the circuit opened but the federation cannot see a
-    /// configured fault behind it.
-    fn dead_site_report(&self, usite: &str) -> MonitorReport {
-        let mut metrics = MetricsSnapshot::default();
-        metrics.counters.insert("federation.site.dead".into(), 1);
-        let reason = if self.crashed.contains(usite) {
-            "federation.site.dead.crash"
-        } else if self.partitioned.contains(usite) {
-            "federation.site.dead.partition"
-        } else {
-            "federation.site.dead.quarantine"
-        };
-        metrics.counters.insert(reason.into(), 1);
-        MonitorReport {
-            usite: usite.to_owned(),
-            metrics,
-            spans: Vec::new(),
-            vsites: Vec::new(),
+    /// Drives every due aggregation heartbeat: the site refreshes its
+    /// own row from a live monitor report, and — unless it is the tree
+    /// root, or its previous push is still in flight — builds the next
+    /// delta (or full, on an unacked edge) push toward its tree parent.
+    /// Pushes deliberately bypass the circuit breaker in both
+    /// directions: the plane is the thing that must keep probing a dark
+    /// edge, and one bounded push per heartbeat cannot storm.
+    fn run_plane(&mut self, t: SimTime) {
+        // Called on every advance: bail before allocating when no
+        // heartbeat is due yet.
+        if self.plane.values().all(|n| t < n.next_push_at) {
+            return;
         }
+        for site in self.site_order.clone() {
+            if !self.servers.contains_key(&site) {
+                continue; // crashed: no process, no heartbeat
+            }
+            if self.plane.get(&site).is_none_or(|n| t < n.next_push_at) {
+                continue;
+            }
+            let report = self.servers[&site].monitor_report(t);
+            let node = self.plane.get_mut(&site).expect("plane node");
+            node.next_push_at = t + self.push_interval;
+            node.refresh_own(t, report.metrics, report.vsites);
+            let Some(parent) = self.tree.parent(&site).map(str::to_owned) else {
+                continue; // the root aggregates; it has no uplink
+            };
+            if node.up.pending.is_some() {
+                continue; // at most one push in flight per edge
+            }
+            let corr = self.next_push_corr;
+            self.next_push_corr += 1;
+            let push = node.build_push(t, self.stale_after, corr);
+            let is_full = push.merged.is_full();
+            let mut env = Envelope {
+                corr,
+                from_dn: self.server_dns[&site].clone(),
+                body: Body::Request(Request::MonitorPush { push }),
+                trace: None,
+                seq: None,
+                ack: None,
+            };
+            let src = self.sites[&site].gateway;
+            let dst = self.sites[&parent].gateway;
+            self.stamp(src, dst, &mut env);
+            let payload = Self::frame(src, &env);
+            if is_full {
+                self.grid_push_bytes_full += payload.len() as u64;
+            } else {
+                self.grid_push_bytes_delta += payload.len() as u64;
+            }
+            self.inflight.insert(
+                (site.clone(), corr),
+                Inflight {
+                    src,
+                    dst,
+                    dest_site: parent,
+                    payload: payload.clone(),
+                    deadline: t + self.retry_timeout,
+                    retries_left: self.max_retries,
+                    attempt: 0,
+                },
+            );
+            self.push_corrs.insert((site.clone(), corr));
+            self.send_with_handshake(src, dst, payload);
+        }
+    }
+
+    /// Evaluates the SLO rules over the root's merged subtree view.
+    /// Firing and clearing are pure functions of simulated time and the
+    /// snapshot, so a replayed chaos run produces a byte-identical
+    /// alert log. Events land in the root NJS's flight recorder (ring 0,
+    /// the grid ring) and in the federation counters.
+    fn eval_alerts(&mut self, t: SimTime) {
+        let root = self.tree.root().to_owned();
+        if !self.servers.contains_key(&root) {
+            return; // the root is down; evaluation resumes on restart
+        }
+        let Some(node) = self.plane.get(&root) else {
+            return;
+        };
+        let merged = node.subtree_merged();
+        let silent = node.silent_sites(t, self.stale_after);
+        let total = self.site_order.len();
+        let unreachable = self
+            .site_order
+            .iter()
+            .filter(|s| {
+                s.as_str() != root
+                    && (self.crashed.contains(*s)
+                        || self.partitioned.contains(*s)
+                        || silent.contains(*s)
+                        || self
+                            .peer_health
+                            .get(*s)
+                            .is_some_and(|h| matches!(h.state, PeerState::Open { .. })))
+            })
+            .count();
+        let events = self.alert_engine.evaluate(t, &merged, unreachable, total);
+        for ev in &events {
+            let what = if ev.firing { "slo.fire" } else { "slo.clear" };
+            self.telemetry.counter("federation.slo.events").inc();
+            if let Some(server) = self.servers.get(&root) {
+                server.njs().flight().record(0, t, what, ev.rule.clone());
+            }
+        }
+    }
+
+    /// One row per deployment site, as seen from `site`'s plane node:
+    /// pushed rows from its subtree, synthesized epoch-0 rows for sites
+    /// it has never heard of, and a health overlay from the federation's
+    /// live fault knowledge — crash outranks partition outranks
+    /// quarantine (all `Unreachable`); otherwise a silent edge or a
+    /// never-heard site shows `Stale`, and fresh rows show `Live`.
+    fn assemble(&self, site: &str, t: SimTime) -> GridView {
+        let node = &self.plane[site];
+        let rows = node.subtree_rows();
+        let silent = node.silent_sites(t, self.stale_after);
+        let merged = node.subtree_merged();
+        let mut names: Vec<&String> = self.site_order.iter().collect();
+        names.sort();
+        let mut status_rows = Vec::new();
+        for name in names {
+            let mut row = match rows.get(name) {
+                Some(row) => (*row).clone(),
+                None => SiteStatus {
+                    usite: name.clone(),
+                    epoch: 0,
+                    updated_at: 0,
+                    health: SiteHealth::Stale,
+                    vsites: Vec::new(),
+                    headline: Vec::new(),
+                },
+            };
+            let quarantined = self
+                .peer_health
+                .get(name)
+                .is_some_and(|h| matches!(h.state, PeerState::Open { .. }));
+            row.health = if name == site {
+                SiteHealth::Live
+            } else if self.crashed.contains(name) {
+                SiteHealth::Unreachable(UnreachableReason::Crash)
+            } else if self.partitioned.contains(name) {
+                SiteHealth::Unreachable(UnreachableReason::Partition)
+            } else if quarantined {
+                SiteHealth::Unreachable(UnreachableReason::Quarantine)
+            } else if silent.contains(name) || !rows.contains_key(name) {
+                SiteHealth::Stale
+            } else {
+                SiteHealth::Live
+            };
+            status_rows.push(row);
+        }
+        let alerts = if site == self.tree.root() {
+            self.alert_engine.active()
+        } else {
+            Vec::new()
+        };
+        GridView {
+            root: site.to_owned(),
+            at: t,
+            sites: status_rows,
+            merged,
+            alerts,
+        }
+    }
+
+    /// Answers a relayed grid-view query from `site`'s own subtree (the
+    /// degraded path: the uplink toward the root is dead or quarantined)
+    /// and caches the answer for client retries.
+    fn answer_grid_relay(&mut self, site: &str, relay: GridRelay, t: SimTime) {
+        let view = self.assemble(site, t);
+        let response = Response::Service(ServiceOutcome::Grid { view });
+        self.handled.insert(
+            (site.to_owned(), relay.origin_dn.clone(), relay.origin_corr),
+            response.clone(),
+        );
+        self.reply_from(site, relay.origin_node, relay.origin_corr, response);
+    }
+
+    /// Stamps, frames and sends a response from `site`'s gateway.
+    fn reply_from(&mut self, site: &str, to: NodeId, corr: u64, response: Response) {
+        let mut reply = Envelope {
+            corr,
+            from_dn: self.server_dns[site].clone(),
+            body: Body::Response(response),
+            trace: None,
+            seq: None,
+            ack: None,
+        };
+        let src = self.sites[site].gateway;
+        self.stamp(src, to, &mut reply);
+        let payload = Self::frame(src, &reply);
+        self.send_with_handshake(src, to, payload);
     }
 
     fn deliver_to_server(&mut self, site: &str, payload: &[u8], t: SimTime) {
@@ -1292,21 +1564,38 @@ impl Federation {
         match env.body {
             Body::Request(request) => {
                 let dedupe_key = (site.to_owned(), env.from_dn.clone(), env.corr);
-                // Grid-wide monitor queries are orchestrated here, not in
-                // the server: the entry site answers locally, then the
-                // federation reuses the NJS–NJS forwarding fabric to reach
-                // every peer. The reply is deferred until all peers have
-                // answered (or exhausted their retry budget).
-                if origin == self.workstation
-                    && matches!(request, Request::Monitor { grid: true })
+                // Aggregation pushes terminate at the plane node, which
+                // dedupes retransmits by correlation id and answers with
+                // the epoch ack the delta protocol rides on.
+                if let Request::MonitorPush { push } = &request {
+                    if self.plane.contains_key(site) {
+                        let result = self
+                            .plane
+                            .get_mut(site)
+                            .expect("plane node")
+                            .apply_push(t, env.corr, push);
+                        self.reply_from(
+                            site,
+                            origin,
+                            env.corr,
+                            Response::GridAck {
+                                epoch: result.epoch,
+                                resync: result.resync,
+                            },
+                        );
+                        return;
+                    }
+                    // No plane node: fall through to the server's refusal.
+                }
+                // Grid-view queries climb the aggregation tree instead of
+                // fanning out: the root answers from its pre-merged
+                // caches, every other site relays the query one hop up
+                // (degrading to its own subtree if the uplink is dead).
+                if matches!(request, Request::Monitor { grid: true })
+                    && self.telemetry_seed.is_some()
                     && !self.handled.contains_key(&dedupe_key)
                 {
-                    let already_open = self.monitor_watches.values().any(|w| {
-                        w.entry == site && w.client_corr == env.corr && w.client_dn == env.from_dn
-                    });
-                    if !already_open {
-                        self.start_grid_monitor(site, origin, env.corr, &env.from_dn, t);
-                    }
+                    self.handle_grid_query(site, origin, env.corr, &env.from_dn, t);
                     return;
                 }
                 let response = if let Some(cached) = self.handled.get(&dedupe_key) {
@@ -1353,8 +1642,33 @@ impl Federation {
             Body::Response(response) => {
                 let key = (site.to_owned(), env.corr);
                 self.inflight.remove(&key);
-                if let Some(watch_id) = self.monitor_corrs.remove(&key) {
-                    self.monitor_response(watch_id, env.corr, response, t);
+                if self.push_corrs.remove(&key) {
+                    if let Response::GridAck { resync, .. } = &response {
+                        if let Some(node) = self.plane.get_mut(site) {
+                            node.on_ack(env.corr, *resync);
+                        }
+                    }
+                    return;
+                }
+                if let Some(relay) = self.grid_relays.remove(&key) {
+                    // The answer to a relayed grid-view query: forward it
+                    // back down the path it climbed. Anything that is not
+                    // a view (the parent refused for some reason) degrades
+                    // to this site's own subtree.
+                    let response = match response {
+                        Response::Service(ServiceOutcome::Grid { .. }) => response,
+                        _ => {
+                            self.telemetry.counter("federation.grid.degraded").inc();
+                            Response::Service(ServiceOutcome::Grid {
+                                view: self.assemble(site, t),
+                            })
+                        }
+                    };
+                    self.handled.insert(
+                        (site.to_owned(), relay.origin_dn.clone(), relay.origin_corr),
+                        response.clone(),
+                    );
+                    self.reply_from(site, relay.origin_node, relay.origin_corr, response);
                     return;
                 }
                 self.servers
@@ -1365,125 +1679,130 @@ impl Federation {
         }
     }
 
-    /// Opens a grid-wide monitor fan-out on behalf of the workstation's
-    /// `Monitor { grid: true }` request that entered at `entry`.
-    fn start_grid_monitor(
-        &mut self,
-        entry: &str,
-        client_node: NodeId,
-        client_corr: u64,
-        client_dn: &str,
-        t: SimTime,
-    ) {
-        let local = self.servers[entry].monitor_report(t);
-        let mut watch = MonitorWatch {
-            entry: entry.to_owned(),
-            client_node,
-            client_corr,
-            client_dn: client_dn.to_owned(),
-            reports: vec![local],
-            awaiting: HashSet::new(),
-        };
-        let watch_id = self.next_monitor_watch;
-        self.next_monitor_watch += 1;
-        for peer in self.site_order.clone() {
-            if peer == entry {
-                continue;
-            }
-            if self.quarantine_blocks(&peer, t) {
-                // Quarantined peer: don't wait a retry budget for a site
-                // known dead — report it as such and move on. The next
-                // probe window will let a real query through again.
-                watch.reports.push(self.dead_site_report(&peer));
-                self.telemetry.counter("federation.site.dead").inc();
-                continue;
-            }
-            let corr = self.next_monitor_corr;
-            self.next_monitor_corr += 1;
-            let mut env = Envelope {
-                corr,
-                from_dn: self.server_dns[entry].clone(),
-                body: Body::Request(Request::Monitor { grid: false }),
-                trace: None,
-                seq: None,
-                ack: None,
-            };
-            let src = self.sites[entry].gateway;
-            let dst = self.sites[&peer].gateway;
-            self.stamp(src, dst, &mut env);
-            let payload = Self::frame(src, &env);
-            self.inflight.insert(
-                (entry.to_owned(), corr),
-                Inflight {
-                    src,
-                    dst,
-                    dest_site: peer.clone(),
-                    payload: payload.clone(),
-                    deadline: t + self.retry_timeout,
-                    retries_left: self.max_retries,
-                    attempt: 0,
-                },
-            );
-            self.send_with_handshake(src, dst, payload);
-            watch.awaiting.insert(corr);
-            self.monitor_corrs
-                .insert((entry.to_owned(), corr), watch_id);
-        }
-        if watch.awaiting.is_empty() {
-            // Single-site grid: the local report is the whole view.
-            self.finish_monitor_watch(watch);
-        } else {
-            self.monitor_watches.insert(watch_id, watch);
-        }
-    }
-
-    /// Folds one peer's answer (or its retries-exhausted error) into the
-    /// watch; replies to the client once every peer is accounted for.
-    fn monitor_response(&mut self, watch_id: u64, corr: u64, response: Response, _t: SimTime) {
-        let Some(watch) = self.monitor_watches.get_mut(&watch_id) else {
+    /// Routes a `Monitor { grid: true }` query arriving at `site`. The
+    /// tree root assembles and answers from its pre-merged caches (O(1)
+    /// on query, the aggregation already happened on push traffic);
+    /// every other site relays the query one hop toward the root —
+    /// O(depth) = O(log sites) hops in total — unless its uplink is
+    /// quarantined, in which case it answers immediately with the
+    /// degraded view of its own subtree.
+    fn handle_grid_query(&mut self, site: &str, origin: NodeId, corr: u64, dn: &str, t: SimTime) {
+        if site == self.tree.root() {
+            let view = self.assemble(site, t);
+            let response = Response::Service(ServiceOutcome::Grid { view });
+            self.handled
+                .insert((site.to_owned(), dn.to_owned(), corr), response.clone());
+            self.reply_from(site, origin, corr, response);
             return;
+        }
+        // A retransmit while the relay is still climbing: the open relay
+        // will answer; don't open a second one.
+        let open = self
+            .grid_relays
+            .iter()
+            .any(|((owner, _), r)| owner == site && r.origin_corr == corr && r.origin_dn == dn);
+        if open {
+            return;
+        }
+        let parent = self.tree.parent(site).expect("non-root site").to_owned();
+        let relay = GridRelay {
+            origin_node: origin,
+            origin_corr: corr,
+            origin_dn: dn.to_owned(),
         };
-        watch.awaiting.remove(&corr);
-        if let Response::Service(ServiceOutcome::Monitor { sites }) = response {
-            watch.reports.extend(sites);
+        if self.quarantine_blocks(&parent, t) {
+            self.fast_failures += 1;
+            self.telemetry.counter("federation.fast_fail").inc();
+            self.telemetry.counter("federation.grid.degraded").inc();
+            self.answer_grid_relay(site, relay, t);
+            return;
         }
-        if watch.awaiting.is_empty() {
-            let watch = self
-                .monitor_watches
-                .remove(&watch_id)
-                .expect("watch present");
-            self.finish_monitor_watch(watch);
-        }
-    }
-
-    /// Merges the collected reports into one namespaced grid view and
-    /// replies to the waiting client; the merged response is cached in
-    /// `handled` so client retries replay it instead of re-fanning.
-    fn finish_monitor_watch(&mut self, mut watch: MonitorWatch) {
-        watch.reports.sort_by(|a, b| a.usite.cmp(&b.usite));
-        let response = Response::Service(ServiceOutcome::Monitor {
-            sites: watch.reports,
-        });
-        self.handled.insert(
-            (
-                watch.entry.clone(),
-                watch.client_dn.clone(),
-                watch.client_corr,
-            ),
-            response.clone(),
-        );
-        let mut reply = Envelope {
-            corr: watch.client_corr,
-            from_dn: self.server_dns[&watch.entry].clone(),
-            body: Body::Response(response),
+        let relay_corr = self.next_relay_corr;
+        self.next_relay_corr += 1;
+        self.grid_query_hops += 1;
+        let mut env = Envelope {
+            corr: relay_corr,
+            from_dn: self.server_dns[site].clone(),
+            body: Body::Request(Request::Monitor { grid: true }),
             trace: None,
             seq: None,
             ack: None,
         };
-        let src = self.sites[&watch.entry].gateway;
-        self.stamp(src, watch.client_node, &mut reply);
-        let payload = Self::frame(src, &reply);
-        self.send_with_handshake(src, watch.client_node, payload);
+        let src = self.sites[site].gateway;
+        let dst = self.sites[&parent].gateway;
+        self.stamp(src, dst, &mut env);
+        let payload = Self::frame(src, &env);
+        self.inflight.insert(
+            (site.to_owned(), relay_corr),
+            Inflight {
+                src,
+                dst,
+                dest_site: parent,
+                payload: payload.clone(),
+                deadline: t + self.retry_timeout,
+                retries_left: self.max_retries,
+                attempt: 0,
+            },
+        );
+        self.grid_relays
+            .insert((site.to_owned(), relay_corr), relay);
+        self.send_with_handshake(src, dst, payload);
+    }
+
+    /// The aggregation spanning tree the plane runs over (E17).
+    pub fn grid_tree(&self) -> &AggregationTree {
+        &self.tree
+    }
+
+    /// The SLO alerts currently firing at the tree root.
+    pub fn active_alerts(&self) -> Vec<ActiveAlert> {
+        self.alert_engine.active()
+    }
+
+    /// Every alert fire/clear event so far, in evaluation order.
+    pub fn alert_log(&self) -> &[AlertEvent] {
+        self.alert_engine.log()
+    }
+
+    /// The alert log DER-encoded — byte-identical across replays of the
+    /// same seeded scenario, which the chaos suite asserts.
+    pub fn alert_log_der(&self) -> Vec<u8> {
+        self.alert_engine.log_der()
+    }
+
+    /// A synthetic `n`-site deployment for the grid-scale experiments
+    /// (E16): names and pairwise WAN latencies come from
+    /// `unicore_simnet`'s deterministic generator, so 100-site planes
+    /// build in one call and replay byte-for-byte.
+    pub fn grid_deployment(config: FederationConfig, n: usize) -> Self {
+        let wan = config.wan.with_loss(config.wan_loss);
+        let names = unicore_simnet::synthetic_site_names(n);
+        let archs = [
+            Architecture::CrayT3e,
+            Architecture::IbmSp2,
+            Architecture::FujitsuVpp700,
+            Architecture::NecSx4,
+        ];
+        let specs: Vec<SiteSpec> = names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| SiteSpec::simple(name, "V", archs[i % archs.len()]))
+            .collect();
+        let mut fed = Federation::new(config, &specs);
+        for (i, a) in fed.site_order.clone().iter().enumerate() {
+            for (j, b) in fed.site_order.clone().iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let params = LinkParams {
+                    latency: unicore_simnet::synthetic_latency(i, j),
+                    ..wan
+                };
+                let (ga, gb) = (fed.sites[a].gateway, fed.sites[b].gateway);
+                fed.net.set_link_params(ga, gb, params);
+            }
+        }
+        fed
     }
 
     /// High-level helper: submit, then poll until the job reaches a

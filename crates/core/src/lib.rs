@@ -27,12 +27,14 @@
 pub mod broker;
 pub mod config;
 pub mod federation;
+pub mod grid;
 pub mod protocol;
 pub mod server;
 
 pub use broker::{choose_vsite, BrokerChoice, Candidate, LoadSnapshot};
 pub use config::{SiteConfig, VsiteConfig};
 pub use federation::{Federation, FederationConfig, SiteSpec, GATEWAY_PORT};
+pub use grid::{AggregationTree, GridPush, PlaneNode};
 pub use protocol::{list_jobs_of, outcome_of, Body, Envelope, Request, Response};
 pub use server::{OutboundRequest, UnicoreServer};
 

@@ -11,9 +11,10 @@
 //! returns immediately with a job id; results are fetched by later
 //! poll/fetch requests — the asynchrony the paper credits with robustness.
 
+use crate::grid::GridPush;
 use unicore_ajo::{
-    AbstractJob, ActionId, ControlOp, DetailLevel, JobId, JobOutcome, JobSummary, MonitorReport,
-    OutcomeNode, ResourceRequest, ServiceOutcome, VsiteAddress,
+    AbstractJob, ActionId, ControlOp, DetailLevel, GridView, JobId, JobOutcome, JobSummary,
+    MonitorReport, OutcomeNode, ResourceRequest, ServiceOutcome, VsiteAddress,
 };
 use unicore_codec::{CodecError, DerCodec, Fields, Value};
 use unicore_dataplane::TransferManifest;
@@ -151,6 +152,13 @@ pub enum Request {
         /// The finished sub-jobs bound for this origin.
         deliveries: Vec<OutcomeDelivery>,
     },
+    /// Child site → tree parent: an E17 aggregation-plane push carrying
+    /// the subtree's changed rows and merged-metrics delta. Answered
+    /// with [`Response::GridAck`].
+    MonitorPush {
+        /// The push payload.
+        push: GridPush,
+    },
 }
 
 /// One entry of a batched [`Request::DeliverOutcomes`].
@@ -269,6 +277,15 @@ pub enum Response {
     BrokerOffer {
         /// Ranked offers, best first.
         offers: Vec<PlacementOffer>,
+    },
+    /// Ack for a [`Request::MonitorPush`]: the epoch the parent's edge
+    /// cache now sits at, and whether the child must fall back to a
+    /// full-snapshot resync.
+    GridAck {
+        /// Parent-side edge epoch after processing the push.
+        epoch: u64,
+        /// True when the child's next push must be a full snapshot.
+        resync: bool,
     },
 }
 
@@ -447,6 +464,7 @@ impl DerCodec for Request {
                         .collect(),
                 ),
             ),
+            Request::MonitorPush { push } => Value::tagged(16, push.to_value()),
         }
     }
 
@@ -611,6 +629,9 @@ impl DerCodec for Request {
                 }
                 Ok(Request::DeliverOutcomes { deliveries })
             }
+            16 => Ok(Request::MonitorPush {
+                push: GridPush::from_value(inner)?,
+            }),
             _ => Err(CodecError::BadValue("Request variant")),
         }
     }
@@ -640,6 +661,10 @@ impl DerCodec for Response {
             Response::BrokerOffer { offers } => Value::tagged(
                 10,
                 Value::Sequence(offers.iter().map(|o| o.to_value()).collect()),
+            ),
+            Response::GridAck { epoch, resync } => Value::tagged(
+                11,
+                Value::Sequence(vec![Value::Integer(*epoch as i64), Value::Boolean(*resync)]),
             ),
         }
     }
@@ -701,6 +726,13 @@ impl DerCodec for Response {
                     .map(PlacementOffer::from_value)
                     .collect::<Result<Vec<_>, _>>()?;
                 Ok(Response::BrokerOffer { offers })
+            }
+            11 => {
+                let mut f = Fields::open(inner, "GridAck")?;
+                let epoch = f.next_u64()?;
+                let resync = f.next_bool()?;
+                f.finish()?;
+                Ok(Response::GridAck { epoch, resync })
             }
             _ => Err(CodecError::BadValue("Response variant")),
         }
@@ -827,6 +859,14 @@ pub fn monitor_reports_of(response: &Response) -> Option<&[MonitorReport]> {
     }
 }
 
+/// Convenience: the hierarchical view inside a Grid response.
+pub fn grid_view_of(response: &Response) -> Option<&GridView> {
+    match response {
+        Response::Service(ServiceOutcome::Grid { view }) => Some(view),
+        _ => None,
+    }
+}
+
 /// Convenience: the ranked offers inside a BrokerOffer response.
 pub fn broker_offers_of(response: &Response) -> Option<&[PlacementOffer]> {
     match response {
@@ -948,6 +988,42 @@ mod tests {
     }
 
     #[test]
+    fn monitor_push_round_trips() {
+        use unicore_telemetry::aggregate::{SnapshotDelta, SnapshotPayload};
+        use unicore_telemetry::MetricsSnapshot;
+
+        let mut full = MetricsSnapshot::default();
+        full.counters.insert("njs.consigned".into(), 4);
+        round_trip_req(Request::MonitorPush {
+            push: GridPush {
+                origin: "RUS".into(),
+                base_epoch: 0,
+                to_epoch: 1,
+                rows: vec![unicore_ajo::SiteStatus {
+                    usite: "RUS".into(),
+                    epoch: 1,
+                    updated_at: 30_000_000,
+                    health: unicore_ajo::SiteHealth::Live,
+                    vsites: vec![],
+                    headline: vec![("njs.consigned".into(), 4)],
+                }],
+                merged: SnapshotPayload::Full(full.clone()),
+                stale: vec![],
+            },
+        });
+        round_trip_req(Request::MonitorPush {
+            push: GridPush {
+                origin: "RUS".into(),
+                base_epoch: 1,
+                to_epoch: 2,
+                rows: vec![],
+                merged: SnapshotPayload::Delta(SnapshotDelta::between(&full, &full)),
+                stale: vec!["ZIB".into()],
+            },
+        });
+    }
+
+    #[test]
     fn response_round_trips() {
         for r in [
             Response::Consigned { job: JobId(7) },
@@ -977,6 +1053,14 @@ mod tests {
             Response::ChunkAck {
                 upto: 43,
                 done: true,
+            },
+            Response::GridAck {
+                epoch: 9,
+                resync: false,
+            },
+            Response::GridAck {
+                epoch: 0,
+                resync: true,
             },
             Response::BrokerOffer { offers: vec![] },
             Response::BrokerOffer {

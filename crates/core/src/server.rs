@@ -217,6 +217,7 @@ fn request_kind(request: &Request) -> &'static str {
         Request::TransferChunk { .. } => "transfer_chunk",
         Request::Broker { .. } => "broker",
         Request::DeliverOutcomes { .. } => "deliver_outcomes",
+        Request::MonitorPush { .. } => "monitor_push",
     }
 }
 
@@ -616,6 +617,12 @@ impl UnicoreServer {
             Request::Monitor { grid: _ } => Response::Service(ServiceOutcome::Monitor {
                 sites: vec![self.monitor_report(now)],
             }),
+            // Aggregation-plane pushes are consumed by the federation's
+            // plane node before the server is reached; a push arriving
+            // here means the plane is not running on this site.
+            Request::MonitorPush { .. } => {
+                Response::Error("aggregation plane not active at this site".into())
+            }
             Request::ConsignSubJob {
                 ajo,
                 origin,

@@ -488,69 +488,82 @@ fn backoff_bounds_time_to_unreachable_verdict() {
 
 #[test]
 fn dead_peer_is_quarantined_then_probed_back_in() {
+    // The probe interval is deliberately huge: what must bring RUS back
+    // is the aggregation plane's own heartbeat traffic (its pushes keep
+    // flowing regardless of the circuit), not the half-open probe.
     let mut fed = Federation::german_deployment(FederationConfig {
         probe_interval: 30 * MINUTE,
         ..FederationConfig::default()
     });
     fed.register_user(DN, "alice");
+    fed.enable_telemetry(9);
     fed.set_partitioned("RUS", true);
 
-    // Two consecutive retry exhaustions open RUS's circuit.
     let grid_view = |fed: &mut Federation| {
+        let before = fed.now();
         let corr = fed.client_monitor("FZJ", DN, true);
-        fed.run_until(fed.now() + 10 * MINUTE);
-        let resp = fed.take_client_response(corr).expect("grid view arrives");
-        let Response::Service(ServiceOutcome::Monitor { sites }) = resp else {
-            panic!("not a monitor response");
-        };
-        sites
+        loop {
+            fed.run_until(fed.now() + 5 * SEC);
+            if let Some(resp) = fed.take_client_response(corr) {
+                let Response::Service(ServiceOutcome::Grid { view }) = resp else {
+                    panic!("not a grid view response");
+                };
+                break view;
+            }
+            // The root answers from its pre-merged caches: the dead site
+            // must never cost the query a retry budget.
+            assert!(fed.now() - before < 2 * MINUTE, "grid view too slow");
+        }
     };
-    // First exhaustion: one strike — RUS is simply missing from the view.
-    let sites = grid_view(&mut fed);
-    assert!(sites.iter().all(|r| r.usite != "RUS"));
-    assert!(fed.quarantined_sites().is_empty());
-    // Second exhaustion crosses the threshold: the circuit opens and the
-    // very same grid view already carries the dead-site flag.
-    let sites = grid_view(&mut fed);
-    let rus = sites.iter().find(|r| r.usite == "RUS").expect("dead row");
-    assert_eq!(rus.metrics.counter("federation.site.dead"), 1);
+
+    // Two consecutive retry exhaustions against RUS open its circuit.
+    for strikes in 1..=2u32 {
+        let corr = fed.client_poll("RUS", DN, JobId(1), DetailLevel::JobOnly);
+        fed.run_until(fed.now() + 5 * MINUTE);
+        let resp = fed.take_client_response(corr).expect("verdict in bound");
+        assert!(matches!(resp, Response::Error(ref m) if m.contains("unreachable")));
+        if strikes == 1 {
+            assert!(fed.quarantined_sites().is_empty());
+        }
+    }
     assert_eq!(fed.quarantined_sites(), vec!["RUS".to_string()]);
 
-    // The next grid query doesn't wait out a retry budget for the dead
-    // site: it reports RUS with the dead-site flag, fast.
-    let before = fed.now();
-    let corr = fed.client_monitor("FZJ", DN, true);
-    let sites = loop {
-        fed.run_until(fed.now() + 5 * SEC);
-        if let Some(resp) = fed.take_client_response(corr) {
-            let Response::Service(ServiceOutcome::Monitor { sites }) = resp else {
-                panic!("not a monitor response");
-            };
-            break sites;
-        }
-        // Answer must come from cached local state + live peers, well
-        // under the retry budget a probe of the dead site would burn.
-        assert!(fed.now() - before < 2 * MINUTE, "grid view too slow");
-    };
-    let rus = sites.iter().find(|r| r.usite == "RUS").expect("dead row");
-    assert_eq!(rus.metrics.counter("federation.site.dead"), 1);
-    assert_eq!(sites.len(), 6, "all six sites accounted for");
+    // The grid view stays complete — six rows — with RUS marked
+    // unreachable, and arrives fast from the root's cache.
+    let view = grid_view(&mut fed);
+    assert_eq!(view.sites.len(), 6, "all six sites accounted for");
+    let rus = view.site("RUS").expect("RUS row present");
+    assert!(
+        rus.health.is_unreachable(),
+        "RUS must be flagged: {:?}",
+        rus.health
+    );
+    assert!(view.unreachable_count() >= 1);
 
-    // Heal the partition; after the probe interval a half-open probe
-    // goes through, the response closes the circuit, and RUS serves
-    // real reports again.
+    // Heal the partition. No probe fires for another ~25 minutes, yet
+    // RUS's next heartbeat push reaches its tree parent, proves the
+    // site alive, and closes the circuit passively. The very next
+    // snapshot drops the UNREACHABLE row (the E17 stale-tombstone fix).
     fed.set_partitioned("RUS", false);
-    fed.run_until(fed.now() + 31 * MINUTE);
-    let corr = fed.client_monitor("FZJ", DN, true);
-    fed.run_until(fed.now() + 10 * MINUTE);
-    let Some(Response::Service(ServiceOutcome::Monitor { sites })) = fed.take_client_response(corr)
-    else {
-        panic!("no healed grid view");
-    };
-    let rus = sites.iter().find(|r| r.usite == "RUS").expect("live row");
-    assert_eq!(rus.metrics.counter("federation.site.dead"), 0);
+    fed.run_until(fed.now() + 3 * MINUTE);
+    assert!(
+        fed.quarantined_sites().is_empty(),
+        "heartbeats must close the circuit without waiting for a probe"
+    );
+    let view = grid_view(&mut fed);
+    let rus = view.site("RUS").expect("RUS row present");
+    assert!(
+        !rus.health.is_unreachable(),
+        "rejoined site must shed its tombstone immediately: {:?}",
+        rus.health
+    );
+    // Give the plane one more push round: the row turns fully live with
+    // real Vsite content, not a synthesized placeholder.
+    fed.run_until(fed.now() + 2 * MINUTE);
+    let view = grid_view(&mut fed);
+    let rus = view.site("RUS").expect("RUS row present");
+    assert_eq!(rus.health, SiteHealth::Live);
     assert!(!rus.vsites.is_empty(), "real report, not a tombstone");
-    assert!(fed.quarantined_sites().is_empty());
 }
 
 #[test]

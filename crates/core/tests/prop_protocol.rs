@@ -139,6 +139,7 @@ fn monitor_report_strategy() -> impl Strategy<Value = MonitorReport> {
             metrics,
             spans,
             vsites,
+            epoch: None,
         })
 }
 

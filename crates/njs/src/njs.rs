@@ -399,6 +399,7 @@ impl Njs {
             metrics,
             spans: self.telemetry.breakdown(),
             vsites,
+            epoch: None,
         }
     }
 

@@ -1,0 +1,79 @@
+//! Synthetic grid-scale deployments (E16): deterministic site names and
+//! pairwise WAN latencies for federations far larger than the paper's
+//! six-site German grid, so the aggregation plane can be exercised at
+//! the hundred-Usite scale the E17 experiments target.
+//!
+//! The first six names are the real [`SITE_NAMES`]; the rest follow the
+//! `U006`, `U007`, … pattern. Latencies are a pure hash of the site
+//! index pair — symmetric, in the 1999 WAN band (6–30 ms one way) — so
+//! every run over the same deployment replays byte-for-byte without
+//! storing an n×n matrix anywhere.
+
+use crate::germany::{inter_site_latency, SITE_NAMES};
+use unicore_sim::SimTime;
+
+/// Deterministic names for an `n`-site deployment: the six German sites
+/// first, then `U006`, `U007`, …
+pub fn synthetic_site_names(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| match SITE_NAMES.get(i) {
+            Some(name) => (*name).to_string(),
+            None => format!("U{i:03}"),
+        })
+        .collect()
+}
+
+/// One-way WAN latency between two synthetic sites (by index), in
+/// ticks. Pairs inside the real German grid keep their geographic
+/// latency; every other pair gets a symmetric hashed value in the
+/// 6–30 ms band.
+pub fn synthetic_latency(from: usize, to: usize) -> SimTime {
+    if from == to {
+        return 0;
+    }
+    if from < SITE_NAMES.len() && to < SITE_NAMES.len() {
+        return inter_site_latency(from, to);
+    }
+    let (a, b) = (from.min(to) as u64, from.max(to) as u64);
+    let mut h = a.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ b.wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
+    h ^= h >> 29;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 32;
+    (6 + h % 25) * 1_000
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable_and_unique() {
+        let names = synthetic_site_names(100);
+        assert_eq!(names.len(), 100);
+        assert_eq!(names[0], "FZJ");
+        assert_eq!(names[6], "U006");
+        assert_eq!(names[99], "U099");
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 100, "names must be unique");
+        assert_eq!(names, synthetic_site_names(100));
+    }
+
+    #[test]
+    fn latencies_are_symmetric_and_in_band() {
+        for i in 0..40 {
+            for j in 0..40 {
+                let l = synthetic_latency(i, j);
+                assert_eq!(l, synthetic_latency(j, i));
+                if i == j {
+                    assert_eq!(l, 0);
+                } else {
+                    assert!((6_000..=30_000).contains(&l), "latency {l} out of band");
+                }
+            }
+        }
+        // The German corner keeps its geography.
+        assert_eq!(synthetic_latency(0, 1), inter_site_latency(0, 1));
+    }
+}

@@ -22,6 +22,7 @@
 pub mod error;
 pub mod faults;
 pub mod germany;
+pub mod gridgen;
 pub mod topology;
 pub mod wire;
 
@@ -30,5 +31,6 @@ pub use faults::{CrashWindow, FaultKind, FaultPlan, LinkFault, PartitionWindow};
 pub use germany::{
     build_german_grid, inter_site_latency, GermanGrid, SiteNodes, GATEWAY_PORT, SITE_NAMES,
 };
+pub use gridgen::{synthetic_latency, synthetic_site_names};
 pub use topology::{Firewall, LinkParams, LinkStats, Message, Network, NodeId};
 pub use wire::{wire_pair, WireEnd, WireFaultPlan, MAX_WIRE_MESSAGE};

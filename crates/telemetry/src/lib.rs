@@ -27,12 +27,16 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod aggregate;
+pub mod alerts;
 pub mod flight;
 pub mod metrics;
 pub mod span;
 pub mod telemetry;
 pub mod wire;
 
+pub use aggregate::{HistogramDelta, SnapshotDelta, SnapshotPayload};
+pub use alerts::{standard_slo_rules, ActiveAlert, AlertEngine, AlertEvent, AlertKind, AlertRule};
 pub use flight::{FlightEvent, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use span::{ActiveSpan, SpanContext, SpanId, SpanRecord, TraceId};

@@ -379,4 +379,33 @@ mod tests {
         assert!(text.contains("batch_wait_us_sum 10"));
         assert!(text.contains("batch_wait_us_count 3"));
     }
+
+    /// Locks the exposition byte-for-byte to the Prometheus text
+    /// conventions: cumulative `_bucket` series ending in an explicit
+    /// `+Inf` bucket equal to `_count`, followed by `_sum` and
+    /// `_count`. Any formatting drift fails this test.
+    #[test]
+    fn exposition_format_locked() {
+        let reg = MetricsRegistry::new();
+        reg.counter("njs.consigned").add(4);
+        reg.gauge("njs.jobs.active").set(-1);
+        let h = reg.histogram("consign.us");
+        h.record(0);
+        h.record(5);
+        h.record(5);
+
+        let expected = "\
+# TYPE njs_consigned counter
+njs_consigned 4
+# TYPE njs_jobs_active gauge
+njs_jobs_active -1
+# TYPE consign_us histogram
+consign_us_bucket{le=\"1\"} 1
+consign_us_bucket{le=\"8\"} 3
+consign_us_bucket{le=\"+Inf\"} 3
+consign_us_sum 10
+consign_us_count 3
+";
+        assert_eq!(reg.render_text(), expected);
+    }
 }

@@ -1,0 +1,140 @@
+//! Property suite for the E17 snapshot algebra: `merge` must be
+//! commutative and associative (so the aggregation tree's fold order
+//! never matters), and `apply(full, delta)` must reconstruct the
+//! sender's current snapshot exactly for arbitrary counter, gauge and
+//! histogram mutations.
+//!
+//! Snapshots are built through a real `MetricsRegistry` rather than by
+//! synthesizing struct fields, so every generated snapshot satisfies
+//! the cumulative-bucket and non-empty-bucket invariants the production
+//! path guarantees.
+
+use proptest::prelude::*;
+use unicore_codec::DerCodec;
+use unicore_telemetry::aggregate::SnapshotDelta;
+use unicore_telemetry::{MetricsRegistry, MetricsSnapshot};
+
+/// Small fixed name pools force collisions across generated snapshots,
+/// which is where merge/delta logic actually has to work.
+const COUNTERS: [&str; 4] = [
+    "njs.consigned",
+    "federation.retries",
+    "store.wal.repairs",
+    "c.x",
+];
+const GAUGES: [&str; 3] = ["njs.jobs.active", "batch.free", "g.x"];
+const HISTOGRAMS: [&str; 3] = ["njs.job.duration.us", "consign.us", "h.x"];
+
+/// One mutation against a live registry.
+#[derive(Debug, Clone)]
+enum Op {
+    Counter(usize, u64),
+    Gauge(usize, i64),
+    Observe(usize, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..COUNTERS.len(), 0u64..50).prop_map(|(i, n)| Op::Counter(i, n)),
+        (0..GAUGES.len(), -20i64..20).prop_map(|(i, n)| Op::Gauge(i, n)),
+        (0..HISTOGRAMS.len(), 0u64..100_000).prop_map(|(i, v)| Op::Observe(i, v)),
+    ]
+}
+
+fn apply_ops(reg: &MetricsRegistry, ops: &[Op]) {
+    for op in ops {
+        match op {
+            Op::Counter(i, n) => reg.counter(COUNTERS[*i]).add(*n),
+            Op::Gauge(i, n) => reg.gauge(GAUGES[*i]).add(*n),
+            Op::Observe(i, v) => reg.histogram(HISTOGRAMS[*i]).record(*v),
+        }
+    }
+}
+
+fn snapshot_of(ops: &[Op]) -> MetricsSnapshot {
+    let reg = MetricsRegistry::new();
+    apply_ops(&reg, ops);
+    reg.snapshot()
+}
+
+proptest! {
+    /// merge(a, b) == merge(b, a).
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(op_strategy(), 0..40),
+        b in proptest::collection::vec(op_strategy(), 0..40),
+    ) {
+        let (a, b) = (snapshot_of(&a), snapshot_of(&b));
+        prop_assert_eq!(a.merged(&b), b.merged(&a));
+    }
+
+    /// merge(merge(a, b), c) == merge(a, merge(b, c)).
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(op_strategy(), 0..30),
+        b in proptest::collection::vec(op_strategy(), 0..30),
+        c in proptest::collection::vec(op_strategy(), 0..30),
+    ) {
+        let (a, b, c) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        prop_assert_eq!(a.merged(&b).merged(&c), a.merged(&b.merged(&c)));
+    }
+
+    /// A merged snapshot equals one registry that absorbed both
+    /// operation streams — merging snapshots is the same as merging
+    /// the underlying workloads.
+    #[test]
+    fn merge_matches_a_single_combined_registry(
+        a in proptest::collection::vec(op_strategy(), 0..40),
+        b in proptest::collection::vec(op_strategy(), 0..40),
+    ) {
+        let combined = MetricsRegistry::new();
+        apply_ops(&combined, &a);
+        apply_ops(&combined, &b);
+        prop_assert_eq!(snapshot_of(&a).merged(&snapshot_of(&b)), combined.snapshot());
+    }
+
+    /// apply(prev, delta(prev → next)) reconstructs next exactly,
+    /// for any sequence of further mutations between the two epochs —
+    /// and the delta survives a DER round trip on the way.
+    #[test]
+    fn delta_reconstructs_the_senders_snapshot(
+        base in proptest::collection::vec(op_strategy(), 0..40),
+        more in proptest::collection::vec(op_strategy(), 0..40),
+    ) {
+        let reg = MetricsRegistry::new();
+        apply_ops(&reg, &base);
+        let prev = reg.snapshot();
+        apply_ops(&reg, &more);
+        let next = reg.snapshot();
+
+        let delta = SnapshotDelta::between(&prev, &next);
+        let delta = SnapshotDelta::from_der(&delta.to_der()).unwrap();
+        let mut patched = prev.clone();
+        delta.apply(&mut patched);
+        prop_assert_eq!(patched, next);
+        if more.is_empty() {
+            prop_assert!(delta.is_empty());
+        }
+    }
+
+    /// Applying the same delta twice is idempotent — a retransmitted
+    /// delta under the seq/ack machinery cannot double-count.
+    #[test]
+    fn delta_application_is_idempotent(
+        base in proptest::collection::vec(op_strategy(), 0..30),
+        more in proptest::collection::vec(op_strategy(), 1..30),
+    ) {
+        let reg = MetricsRegistry::new();
+        apply_ops(&reg, &base);
+        let prev = reg.snapshot();
+        apply_ops(&reg, &more);
+        let next = reg.snapshot();
+
+        let delta = SnapshotDelta::between(&prev, &next);
+        let mut once = prev.clone();
+        delta.apply(&mut once);
+        let mut twice = once.clone();
+        delta.apply(&mut twice);
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -1,14 +1,15 @@
-//! The federated monitoring plane (DESIGN.md E12): a two-Usite grid, real
-//! work flowing, then one `Monitor { grid: true }` query at FZJ that comes
-//! back with a merged, site-namespaced view of the whole grid — plus the
+//! The federated monitoring plane (DESIGN.md E12/E17): a two-Usite grid,
+//! real work flowing, then one `Monitor { grid: true }` query at FZJ that
+//! climbs the aggregation tree and comes back as one pre-merged
+//! [`GridView`](unicore_ajo::GridView) of the whole grid — plus the
 //! flight-recorder trace a failed task carries home in its `Outcome`.
 //!
 //! Run with: `cargo run -p unicore-examples --bin monitor_grid --release`
 
-use unicore::protocol::monitor_reports_of;
+use unicore::protocol::grid_view_of;
 use unicore::{Federation, FederationConfig, SiteSpec};
 use unicore_ajo::{ResourceRequest, UserAttributes, VsiteAddress};
-use unicore_client::{first_failure, render_flight, render_monitor, JobPreparationAgent};
+use unicore_client::{first_failure, render_flight, render_grid, JobPreparationAgent};
 use unicore_resources::{Architecture, ResourceDirectory};
 use unicore_sim::{format_time, HOUR, MINUTE, SEC};
 
@@ -62,6 +63,9 @@ fn main() {
         }
     }
 
+    // ---- Let the aggregation plane heartbeat a couple of rounds --------
+    fed.run_until(fed.now() + 2 * MINUTE);
+
     // ---- One query at one Usite covers the whole grid -------------------
     let corr = fed.client_monitor("FZJ", DN, true);
     let deadline = fed.now() + 10 * MINUTE;
@@ -72,10 +76,10 @@ fn main() {
         }
         assert!(fed.now() < deadline, "no monitor response");
     };
-    let sites = monitor_reports_of(&resp).expect("monitor outcome");
+    let view = grid_view_of(&resp).expect("grid view");
     println!(
         "grid view at [{}], one Monitor query via FZJ:\n",
         format_time(fed.now())
     );
-    print!("{}", render_monitor(sites));
+    print!("{}", render_grid(view));
 }

@@ -11,9 +11,9 @@
 //! pending peer work from the write-ahead journal after restart.
 
 use unicore::ajo::*;
-use unicore::protocol::{outcome_of, Response};
+use unicore::protocol::{grid_view_of, outcome_of, Response};
 use unicore::{Federation, FederationConfig};
-use unicore_client::monitor_rows;
+use unicore_client::render_grid;
 use unicore_codec::DerCodec;
 use unicore_sim::{SimTime, HOUR, MINUTE, SEC};
 use unicore_simnet::FaultPlan;
@@ -232,6 +232,7 @@ fn soak_replays_are_deterministic() {
 fn permanent_partition_retargets_bounded_and_flags_dead_site() {
     let mut fed = Federation::german_deployment(seeded(3));
     fed.register_user(DN, "alice");
+    fed.enable_telemetry(3);
     fed.apply_fault_plan(&FaultPlan::new(3).partition("RUS", 0, SimTime::MAX));
 
     // A job whose sub-AJO targets the dead site reaches a terminal
@@ -251,21 +252,65 @@ fn permanent_partition_retargets_bounded_and_flags_dead_site() {
     assert!(outcome.child(ActionId(2)).unwrap().status().is_success());
     assert!(done_at < HOUR, "the verdict must be bounded");
 
-    // Drive a second retry exhaustion to open the circuit, then confirm
-    // the grid view carries the dead-site flag and the JMC renders it.
-    let _ = fed.client_monitor("FZJ", DN, true);
-    fed.run_until(fed.now() + 10 * MINUTE);
+    // Drive further retry exhaustions to open the circuit, then confirm
+    // the aggregated grid view stays complete — every Usite present —
+    // with the dead site as a flagged row the JMC renders as a banner.
+    for _ in 0..2 {
+        let poll = fed.client_poll("RUS", DN, JobId(1), DetailLevel::JobOnly);
+        fed.run_until(fed.now() + 10 * MINUTE);
+        assert!(matches!(
+            fed.take_client_response(poll),
+            Some(Response::Error(ref m)) if m.contains("unreachable")
+        ));
+    }
+    assert_eq!(fed.quarantined_sites(), vec!["RUS".to_string()]);
+
     let corr = fed.client_monitor("FZJ", DN, true);
     fed.run_until(fed.now() + 10 * MINUTE);
-    let Some(Response::Service(ServiceOutcome::Monitor { sites })) = fed.take_client_response(corr)
-    else {
-        panic!("no grid view");
-    };
-    let rus = sites.iter().find(|r| r.usite == "RUS").expect("RUS row");
-    assert_eq!(rus.metrics.counter("federation.site.dead"), 1);
-    assert_eq!(fed.quarantined_sites(), vec!["RUS".to_string()]);
-    let rendered = monitor_rows(&sites);
-    assert!(rendered.iter().any(|row| row.text.contains("UNREACHABLE")));
+    let resp = fed.take_client_response(corr).expect("grid view answered");
+    let view = grid_view_of(&resp).expect("grid view").clone();
+    assert_eq!(view.sites.len(), 6, "dead site must not shrink the view");
+    let rus = view.site("RUS").expect("RUS row");
+    assert!(rus.health.is_unreachable(), "{:?}", rus.health);
+    assert!(render_grid(&view).contains("UNREACHABLE"));
+}
+
+#[test]
+fn chaos_replays_alert_log_byte_identical() {
+    // The SLO engine is a pure function of sim time and the merged
+    // snapshot: replaying the same seed and fault plan must reproduce
+    // the alert log byte for byte, fires and clears included.
+    fn run(seed: u64) -> (Vec<u8>, usize) {
+        let mut fed = Federation::german_deployment(seeded(seed));
+        fed.register_user(DN, "alice");
+        fed.attach_stores();
+        fed.enable_telemetry(seed);
+        // Half the grid goes dark mid-run (>25% unreachable fires the
+        // burn-rate rule whichever site is the tree root), with message
+        // drops layered on top, then heals so the alert clears too.
+        let plan = FaultPlan::new(seed ^ 0xA1)
+            .drop_everywhere(0.15, 0, SimTime::MAX)
+            .partition("RUS", 2 * MINUTE, 25 * MINUTE)
+            .partition("DWD", 2 * MINUTE, 25 * MINUTE)
+            .partition("ZIB", 2 * MINUTE, 25 * MINUTE);
+        fed.apply_fault_plan(&plan);
+
+        let mut job = AbstractJob::new("soak", VsiteAddress::new("FZJ", "T3E"), attrs());
+        job.nodes.push(script_node(1, "t", "sleep 30\n"));
+        let corr = fed.client_submit("FZJ", job, DN);
+        fed.run_until(45 * MINUTE);
+        let _ = fed.take_client_response(corr);
+        (fed.alert_log_der(), fed.alert_log().len())
+    }
+    for seed in SEEDS {
+        let (a, fired) = run(seed);
+        let (b, _) = run(seed);
+        assert_eq!(a, b, "alert log diverged on replay at seed {seed}");
+        assert!(
+            fired >= 2,
+            "seed {seed}: expected at least a fire and a clear, got {fired}"
+        );
+    }
 }
 
 #[test]

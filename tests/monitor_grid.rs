@@ -1,13 +1,15 @@
-//! The federated monitoring plane (§ E12): one `Monitor { grid: true }`
-//! query at any Usite returns a merged, site-namespaced view of the whole
-//! grid — metrics snapshots, span breakdowns, and per-Vsite health — and
-//! a failed task's `Outcome` carries the NJS flight-recorder trace home
-//! for the JMC to render next to the red icon.
+//! The federated monitoring plane (§ E12 / E17): one `Monitor { grid:
+//! true }` query at any Usite climbs the aggregation tree and returns
+//! one pre-merged [`GridView`] of the whole grid — per-site status rows
+//! with health banners, the grid-merged metrics, and any firing SLO
+//! alerts — and a failed task's `Outcome` carries the NJS
+//! flight-recorder trace home for the JMC to render next to the red
+//! icon.
 
-use unicore::protocol::monitor_reports_of;
+use unicore::protocol::{grid_view_of, monitor_reports_of};
 use unicore::{Federation, FederationConfig, Response, SiteSpec};
-use unicore_ajo::{ResourceRequest, UserAttributes, VsiteAddress};
-use unicore_client::{first_failure, render_flight, render_monitor, JobPreparationAgent};
+use unicore_ajo::{GridView, ResourceRequest, SiteHealth, UserAttributes, VsiteAddress};
+use unicore_client::{first_failure, render_flight, render_grid, JobPreparationAgent};
 use unicore_resources::{Architecture, ResourceDirectory};
 use unicore_sim::{HOUR, MINUTE, SEC};
 
@@ -51,6 +53,15 @@ fn await_response(fed: &mut Federation, corr: u64, limit: u64) -> Response {
     }
 }
 
+/// One grid query, answered as a [`GridView`].
+fn grid_view(fed: &mut Federation, usite: &str, limit: u64) -> GridView {
+    let corr = fed.client_monitor(usite, DN, true);
+    let resp = await_response(fed, corr, limit);
+    grid_view_of(&resp)
+        .unwrap_or_else(|| panic!("expected a grid view, got {resp:?}"))
+        .clone()
+}
+
 #[test]
 fn grid_monitor_merges_reports_from_all_sites() {
     let mut fed = two_site_federation();
@@ -77,51 +88,97 @@ fn grid_monitor_merges_reports_from_all_sites() {
         .expect("RUS job completes");
     assert!(o2.status.is_success());
 
-    // One query at one Usite covers the whole grid.
-    let corr = fed.client_monitor("FZJ", DN, true);
-    let resp = await_response(&mut fed, corr, 10 * MINUTE);
-    let sites = monitor_reports_of(&resp).expect("monitor outcome").to_vec();
+    // A couple of heartbeat rounds so both rows reach the tree root.
+    fed.run_until(fed.now() + 2 * MINUTE);
 
-    assert_eq!(sites.len(), 2, "expected both Usites: {resp:?}");
+    // One query at one Usite covers the whole grid.
+    let view = grid_view(&mut fed, "FZJ", 10 * MINUTE);
+
+    assert_eq!(view.sites.len(), 2, "expected both Usites: {view:?}");
     // Namespaced per site, merged in sorted order.
-    assert_eq!(sites[0].usite, "FZJ");
-    assert_eq!(sites[1].usite, "RUS");
-    for site in &sites {
+    assert_eq!(view.sites[0].usite, "FZJ");
+    assert_eq!(view.sites[1].usite, "RUS");
+    assert_eq!(view.unreachable_count(), 0);
+    for site in &view.sites {
         assert!(
-            site.metrics.counter("njs.consigned") >= 1,
+            matches!(site.health, SiteHealth::Live),
+            "{} not live: {:?}",
+            site.usite,
+            site.health
+        );
+        assert!(
+            site.headline("njs.consigned") >= 1,
             "{} consigned nothing: {:?}",
             site.usite,
-            site.metrics.counters
+            site.headline
         );
-        assert!(!site.spans.is_empty(), "{} reported no spans", site.usite);
         assert_eq!(site.vsites.len(), 1);
         assert!(site.vsites[0].free_nodes > 0);
         assert_eq!(site.vsites[0].stuck_jobs, 0);
-        // The gateway overlay rides along even when nothing was dropped.
-        assert!(site.metrics.counters.contains_key("gateway.audit.dropped"));
-        assert!(site.metrics.counters.contains_key("store.wal.repairs"));
     }
+    // The merged snapshot sums the whole grid.
+    assert!(view.merged.counter("njs.consigned") >= 2, "{view:?}");
+    assert!(view.merged.counters.contains_key("gateway.audit.dropped"));
+    assert!(view.merged.counters.contains_key("store.wal.repairs"));
 
-    // The JMC renders the merged view as one namespaced panel.
-    let panel = render_monitor(&sites);
+    // The JMC renders the aggregated view as one namespaced panel.
+    let panel = render_grid(&view);
     assert!(panel.contains("Usite FZJ"));
     assert!(panel.contains("Usite RUS"));
     assert!(panel.contains("njs.consigned = "));
+    assert!(panel.contains("grid totals"));
 }
 
 #[test]
-fn grid_monitor_skips_unreachable_site() {
+fn grid_monitor_marks_unreachable_site() {
     let mut fed = two_site_federation();
     fed.set_partitioned("RUS", true);
 
-    let corr = fed.client_monitor("FZJ", DN, true);
-    // The fan-out must exhaust the retry budget toward RUS before the
-    // merged (partial) view comes back; give it room.
-    let resp = await_response(&mut fed, corr, 30 * MINUTE);
-    let sites = monitor_reports_of(&resp).expect("monitor outcome");
+    // The dark site never stalls the view: the answer still covers the
+    // whole grid, with the partitioned Usite as a marked row instead of
+    // a hole.
+    let view = grid_view(&mut fed, "FZJ", 10 * MINUTE);
 
-    assert_eq!(sites.len(), 1, "dead site must be skipped: {resp:?}");
-    assert_eq!(sites[0].usite, "FZJ");
+    assert_eq!(view.sites.len(), 2, "view must stay complete: {view:?}");
+    assert_eq!(view.sites[0].usite, "FZJ");
+    assert_eq!(view.sites[1].usite, "RUS");
+    assert!(
+        view.sites[1].health.is_unreachable(),
+        "partitioned site must be flagged: {:?}",
+        view.sites[1].health
+    );
+    assert!(!view.sites[0].health.is_unreachable());
+    assert_eq!(view.unreachable_count(), 1);
+    assert!(render_grid(&view).contains("UNREACHABLE (network partition)"));
+}
+
+#[test]
+fn rejoined_site_sheds_unreachable_row() {
+    let mut fed = two_site_federation();
+    fed.set_partitioned("RUS", true);
+    fed.run_until(fed.now() + 5 * MINUTE);
+    let view = grid_view(&mut fed, "FZJ", 10 * MINUTE);
+    assert!(view.site("RUS").expect("row").health.is_unreachable());
+
+    // Healing the partition lets RUS's own heartbeats through again; the
+    // stale tombstone must drop out of the very next settled view rather
+    // than lingering (the E17 regression: a rejoined site stayed
+    // UNREACHABLE until an operator poked it).
+    fed.set_partitioned("RUS", false);
+    fed.run_until(fed.now() + 3 * MINUTE);
+    let view = grid_view(&mut fed, "FZJ", 10 * MINUTE);
+    let row = view.site("RUS").expect("row");
+    assert!(
+        !row.health.is_unreachable(),
+        "rejoined site still tombstoned: {:?}",
+        row.health
+    );
+    assert!(
+        matches!(row.health, SiteHealth::Live),
+        "rejoined site should be live again: {:?}",
+        row.health
+    );
+    assert!(!row.vsites.is_empty(), "live row carries Vsite gauges");
 }
 
 #[test]
