@@ -65,11 +65,16 @@ cargo test -q --offline -p unicore-resources --test prop_page
 echo "==> broker: chaos retarget soak (seeds 1, 7, 23 x quarantined/dark)"
 cargo test -q --offline -p unicore-integration-tests --test broker
 
+echo "==> sharded NJS: determinism suite (byte-identity across shard/worker counts, WAL replay, crash mid-step, chaos seeds)"
+cargo test -q --offline -p unicore-integration-tests --test sharded
+
 echo "==> benches compile"
 cargo bench --offline --no-run
 
-echo "==> e12 telemetry-overhead budget (< 5% with the aggregation plane on)"
+echo "==> e12 gates: sharded throughput >= 10k jobs/sec, no federated regression, telemetry overhead < 5% under sharding"
 cargo bench -q --offline -p unicore-bench --bench e12_throughput -- skip_micro_benches
+grep -q '"verdict_sharded": "PASS"' BENCH_e12_throughput.json
+grep -q '"verdict_federated": "PASS"' BENCH_e12_throughput.json
 grep -q '"verdict_telemetry": "PASS"' BENCH_e12_throughput.json
 
 echo "==> rustdoc (workspace, warnings are errors)"

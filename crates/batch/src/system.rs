@@ -570,11 +570,21 @@ impl BatchSystem {
     }
 
     /// Machine utilisation over `[0, now]`: busy node-ticks / total.
+    ///
+    /// Counts the not-yet-accumulated span since the last `advance_to`
+    /// at the current occupancy, so a next-event-driven caller (which
+    /// only advances this machine when something completes) reads the
+    /// same value as one that advances every tick.
     pub fn utilization(&self, now: SimTime) -> f64 {
         if now == 0 {
             return 0.0;
         }
-        self.busy_node_ticks as f64 / (self.total_nodes as u128 * now as u128) as f64
+        let mut ticks = self.busy_node_ticks;
+        if now > self.last_advance {
+            let busy = (self.total_nodes - self.free_nodes) as u128;
+            ticks += busy * (now - self.last_advance) as u128;
+        }
+        ticks as f64 / (self.total_nodes as u128 * now as u128) as f64
     }
 }
 

@@ -29,7 +29,7 @@ use unicore_ajo::{
 };
 use unicore_codec::DerCodec;
 use unicore_gateway::{Gateway, UserEntry, Uudb};
-use unicore_njs::{Njs, TranslationTable};
+use unicore_njs::{ShardedNjs, TranslationTable};
 use unicore_resources::{deployment_page, Architecture, ResourcePage};
 use unicore_sim::{SimTime, MINUTE, SEC};
 use unicore_simnet::{FaultPlan, Firewall, LinkParams, Network, NodeId};
@@ -109,6 +109,11 @@ pub struct FederationConfig {
     /// Fanout of the aggregation spanning tree (clamped to ≥ 2): every
     /// grid-view query climbs at most `log_fanout(sites)` NJS→NJS hops.
     pub tree_fanout: usize,
+    /// NJS shards per site (E18): >1 splits each server's job state by
+    /// Vsite into independent shards with per-shard WAL segments.
+    pub njs_shards: usize,
+    /// Work-stealing step workers per site's sharded NJS.
+    pub njs_workers: usize,
     /// WAN link profile.
     pub wan: LinkParams,
 }
@@ -127,6 +132,8 @@ impl Default for FederationConfig {
             push_interval: 30 * SEC,
             stale_after: 90 * SEC,
             tree_fanout: 4,
+            njs_shards: 1,
+            njs_workers: 1,
             wan: LinkParams::wan_1999(),
         }
     }
@@ -255,6 +262,8 @@ pub struct Federation {
     established: HashSet<(NodeId, NodeId)>,
     handshake_bytes: usize,
     seed: u64,
+    njs_shards: usize,
+    njs_workers: usize,
     retry_timeout: SimTime,
     max_retries: u32,
     backoff_cap: SimTime,
@@ -308,8 +317,9 @@ pub struct Federation {
     node_sites: HashMap<NodeId, String>,
     /// Scheduled site-level faults, ascending by time.
     fault_events: Vec<(SimTime, FaultEvent)>,
-    /// Per-site journal backends, once [`Federation::attach_stores`] ran.
-    backends: HashMap<String, MemoryBackend>,
+    /// Per-site journal backends (one per NJS shard), once
+    /// [`Federation::attach_stores`] ran.
+    backends: HashMap<String, Vec<MemoryBackend>>,
     /// Sites currently down (crashed, awaiting restart).
     crashed: HashSet<String>,
     /// Sites currently cut off by a network partition.
@@ -351,7 +361,11 @@ impl Federation {
             );
             site_order.push(spec.name.clone());
 
-            let mut njs = Njs::new(spec.name.clone());
+            let mut njs = ShardedNjs::new(
+                spec.name.clone(),
+                config.njs_shards.max(1),
+                config.njs_workers.max(1),
+            );
             for (vsite, arch) in &spec.vsites {
                 njs.add_vsite(
                     deployment_page(&spec.name, vsite, *arch),
@@ -445,6 +459,8 @@ impl Federation {
             established: HashSet::new(),
             handshake_bytes: config.handshake_bytes,
             seed: config.seed,
+            njs_shards: config.njs_shards.max(1),
+            njs_workers: config.njs_workers.max(1),
             retry_timeout: config.retry_timeout,
             max_retries: config.max_retries,
             backoff_cap: config.backoff_cap,
@@ -666,14 +682,15 @@ impl Federation {
     /// kill a server and bring it back with only its journal surviving.
     pub fn attach_stores(&mut self) {
         for site in self.site_order.clone() {
-            let mem = MemoryBackend::new();
-            let store = EventStore::open(Box::new(mem.clone())).expect("open journal");
-            self.servers
-                .get_mut(&site)
-                .expect("known site")
-                .njs_mut()
-                .attach_store(store);
-            self.backends.insert(site, mem);
+            let server = self.servers.get_mut(&site).expect("known site");
+            let shards = server.njs().shard_count();
+            let mems: Vec<MemoryBackend> = (0..shards).map(|_| MemoryBackend::new()).collect();
+            let stores = mems
+                .iter()
+                .map(|m| EventStore::open(Box::new(m.clone())).expect("open journal"))
+                .collect();
+            server.njs_mut().attach_stores(stores);
+            self.backends.insert(site, mems);
         }
     }
 
@@ -715,17 +732,23 @@ impl Federation {
         if !self.crashed.remove(usite) {
             return;
         }
-        let mem = self.backends.get(usite).expect("crashed site has journal");
-        mem.reboot();
+        let mems = self.backends.get(usite).expect("crashed site has journal");
+        for mem in mems {
+            mem.reboot();
+        }
         let spec = self.specs.get(usite).expect("known site").clone();
-        let mut njs = Njs::new(spec.name.clone());
+        let mut njs = ShardedNjs::new(spec.name.clone(), self.njs_shards, self.njs_workers);
         for (vsite, arch) in &spec.vsites {
             njs.add_vsite(
                 deployment_page(&spec.name, vsite, *arch),
                 TranslationTable::for_architecture(*arch),
             );
         }
-        njs.attach_store(EventStore::open(Box::new(mem.clone())).expect("reopen journal"));
+        njs.attach_stores(
+            mems.iter()
+                .map(|m| EventStore::open(Box::new(m.clone())).expect("reopen journal"))
+                .collect(),
+        );
         let mut uudb = Uudb::new();
         for dn in self.server_dns.values() {
             uudb.add(dn.clone(), UserEntry::new("unicored", "system"));

@@ -20,7 +20,7 @@ use unicore_codec::DerCodec;
 use unicore_crypto::sha256;
 use unicore_dataplane::{SenderState, TransferManifest, DEFAULT_CHUNK_SIZE, DEFAULT_WINDOW};
 use unicore_gateway::{AuthDecision, Gateway};
-use unicore_njs::{ConsignMeta, Njs, NjsError, OutgoingItem, RecoveryReport};
+use unicore_njs::{ConsignMeta, NjsError, OutgoingItem, RecoveryReport, ShardedNjs};
 use unicore_resources::{ResourceDirectory, ResourcePage};
 use unicore_sim::{SimTime, SEC};
 use unicore_store::ForeignOrigin;
@@ -164,7 +164,7 @@ struct ForeignJob {
 pub struct UnicoreServer {
     usite: String,
     gateway: Gateway,
-    njs: Njs,
+    njs: ShardedNjs,
     resources: ResourceDirectory,
     /// DNs of peer UNICORE servers allowed to use the NJS–NJS requests.
     peer_servers: HashSet<String>,
@@ -254,7 +254,8 @@ impl UnicoreServer {
     ///
     /// # Panics
     /// Panics when the gateway and NJS disagree about the Usite.
-    pub fn new(gateway: Gateway, njs: Njs) -> Self {
+    pub fn new(gateway: Gateway, njs: impl Into<ShardedNjs>) -> Self {
+        let njs = njs.into();
         assert_eq!(gateway.usite(), njs.usite(), "gateway/NJS Usite mismatch");
         let mut resources = ResourceDirectory::new();
         for name in njs.vsite_names().to_vec() {
@@ -368,7 +369,7 @@ impl UnicoreServer {
     }
 
     /// Rebuilds this server's state from the NJS's journal after a
-    /// restart: the job table (via [`Njs::recover`]), the idempotency
+    /// restart: the job table (via [`ShardedNjs::recover`]), the idempotency
     /// index, and the ledger of jobs owed to remote parents. Outcomes of
     /// foreign jobs that finished are re-delivered on the next
     /// [`UnicoreServer::step`] (delivery is at-least-once; the origin
@@ -416,12 +417,12 @@ impl UnicoreServer {
     }
 
     /// Direct access to the NJS (deployment configuration, tests).
-    pub fn njs_mut(&mut self) -> &mut Njs {
+    pub fn njs_mut(&mut self) -> &mut ShardedNjs {
         &mut self.njs
     }
 
     /// Read access to the NJS.
-    pub fn njs(&self) -> &Njs {
+    pub fn njs(&self) -> &ShardedNjs {
         &self.njs
     }
 

@@ -11,6 +11,8 @@
 //! - [`oracle`] — the deterministic work model that stands in for real
 //!   computation in the simulated batch systems
 //! - [`njs`] — the engine itself
+//! - [`shard`] — the multi-core facade: N independent shards stepped by
+//!   work-stealing workers with a deterministic cross-shard merge phase
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -19,10 +21,12 @@ pub mod accounting;
 pub mod error;
 pub mod njs;
 pub mod oracle;
+pub mod shard;
 pub mod translation;
 
 pub use accounting::{usage_report, UsageReport, UsageRow};
 pub use error::NjsError;
 pub use njs::{ConsignMeta, Njs, OutgoingItem, RecoveryReport, VsiteRuntime, INCOMING_PREFIX};
 pub use oracle::{synthetic_content, AmdahlOracle, DeterministicOracle, WorkOracle};
+pub use shard::ShardedNjs;
 pub use translation::{incarnate_execute, incarnate_execute_in_queue, TranslationTable};

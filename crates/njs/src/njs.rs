@@ -14,8 +14,11 @@
 
 use crate::error::NjsError;
 use crate::oracle::{DeterministicOracle, WorkOracle};
+use crate::shard::CrossShardItem;
 use crate::translation::TranslationTable;
-use std::collections::HashMap;
+use crossbeam::channel::Sender;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 use unicore_ajo::{
     AbstractJob, ActionId, ActionStatus, ControlOp, DataLocation, DependencyIndex, DetailLevel,
@@ -235,6 +238,29 @@ pub struct Njs {
     /// Times an incoming offer resumed from a non-zero journaled
     /// watermark instead of restarting at chunk zero.
     transfer_resumes: u64,
+    /// Job-id allocation stride. A standalone NJS allocates 1, 2, 3…;
+    /// shard k of an N-shard [`crate::ShardedNjs`] allocates k+1,
+    /// k+1+N, k+1+2N… so ids never collide and `(id-1) % N` names the
+    /// owning shard.
+    job_stride: u64,
+    /// Vsites owned by *sibling shards* of the same sharded NJS, mapped
+    /// to the owning shard index. Work addressed to one of these is not
+    /// remote (same Usite) but must cross a shard boundary, so it is
+    /// emitted on `cross_tx` instead of being applied in place.
+    siblings: HashMap<String, usize>,
+    /// Channel to the sharded facade's merge phase. `None` when this
+    /// NJS runs standalone.
+    cross_tx: Option<Sender<CrossShardItem>>,
+    /// Next-event heap over Vsite batch systems: `(next event time,
+    /// vsite index, generation)`. `step` only advances Vsites whose
+    /// next event is due, so idle Vsites cost nothing per tick.
+    batch_heap: BinaryHeap<Reverse<(SimTime, usize, u64)>>,
+    /// Per-Vsite heap-entry generation; stale heap entries (older
+    /// generation) are skipped on pop.
+    batch_gen: Vec<u64>,
+    /// Vsite indices whose batch state changed outside the heap's view
+    /// (submit, cancel, external mutation) and need re-keying.
+    batch_dirty: Vec<usize>,
 }
 
 /// Default slow-dispatch watchdog threshold: a healthy NJS dispatches a
@@ -297,7 +323,49 @@ impl Njs {
             watchdog_threshold: DEFAULT_WATCHDOG_THRESHOLD,
             incoming: HashMap::new(),
             transfer_resumes: 0,
+            job_stride: 1,
+            siblings: HashMap::new(),
+            cross_tx: None,
+            batch_heap: BinaryHeap::new(),
+            batch_gen: Vec::new(),
+            batch_dirty: Vec::new(),
         }
+    }
+
+    /// Configures strided job-id allocation: this NJS hands out
+    /// `base, base+stride, base+2·stride, …`. Used by the sharded facade
+    /// so shards allocate from disjoint id classes; a standalone NJS
+    /// keeps the default `(1, 1)`.
+    pub(crate) fn set_id_allocation(&mut self, base: u64, stride: u64) {
+        debug_assert!(stride >= 1 && base >= 1 && base <= stride);
+        self.next_job = base;
+        self.job_stride = stride;
+    }
+
+    /// Registers a Vsite owned by a sibling shard, so work addressed to
+    /// it is routed over the cross-shard channel instead of failing as
+    /// an unknown Vsite.
+    pub(crate) fn register_sibling(&mut self, vsite: impl Into<String>, shard: usize) {
+        self.siblings.insert(vsite.into(), shard);
+    }
+
+    /// Wires the cross-shard effect channel to the sharded facade.
+    pub(crate) fn set_cross_shard(&mut self, tx: Sender<CrossShardItem>) {
+        self.cross_tx = Some(tx);
+    }
+
+    /// Emits a cross-shard effect for the facade's merge phase.
+    fn cross_send(&self, item: CrossShardItem) {
+        if let Some(tx) = &self.cross_tx {
+            let _ = tx.send(item);
+        }
+    }
+
+    /// Replaces the flight recorder. The sharded facade points every
+    /// shard at one shared recorder so cross-shard job traces land in a
+    /// single ring.
+    pub(crate) fn set_flight(&mut self, flight: FlightRecorder) {
+        self.flight = flight;
     }
 
     /// Wires this NJS (and its attached store and batch systems) to a
@@ -607,6 +675,8 @@ impl Njs {
                 page,
             },
         );
+        self.batch_gen.push(0);
+        self.batch_dirty.push(self.vsite_order.len());
         self.vsite_order.push(name);
     }
 
@@ -617,7 +687,20 @@ impl Njs {
 
     /// Access to a Vsite's runtime (tests, site administration).
     pub fn vsite_mut(&mut self, name: &str) -> Option<&mut VsiteRuntime> {
+        // External mutation can change the batch timeline; re-key this
+        // Vsite in the next-event heap on the next step.
+        if let Some(idx) = self.vsite_order.iter().position(|n| n == name) {
+            self.batch_dirty.push(idx);
+        }
         self.vsites.get_mut(name)
+    }
+
+    /// Marks a Vsite's next-event heap entry stale after its batch
+    /// state changed (submit, cancel).
+    fn mark_batch_dirty(&mut self, name: &str) {
+        if let Some(idx) = self.vsite_order.iter().position(|n| n == name) {
+            self.batch_dirty.push(idx);
+        }
     }
 
     /// Read access to a Vsite's runtime.
@@ -701,7 +784,7 @@ impl Njs {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn consign_internal(
+    pub(crate) fn consign_internal(
         &mut self,
         job: AbstractJob,
         user: MappedUser,
@@ -742,7 +825,7 @@ impl Njs {
         }
 
         let id = JobId(self.next_job);
-        self.next_job += 1;
+        self.next_job += self.job_stride;
 
         // Job directory with a quota covering declared disk + payloads.
         let disk_mb: u64 = job
@@ -795,7 +878,7 @@ impl Njs {
                 if let Some(v) = self.vsites.get_mut(&job.vsite.vsite) {
                     let _ = v.vspace.destroy_uspace(id);
                 }
-                self.next_job -= 1;
+                self.next_job -= self.job_stride;
                 return Err(NjsError::Store(e));
             }
         }
@@ -1121,7 +1204,13 @@ impl Njs {
                 }
             }
         }
-        self.next_job = orig_next.max(max_job + 1);
+        // Resume allocation after the highest replayed id, staying in
+        // this NJS's id class (replayed ids share its base and stride).
+        self.next_job = if max_job == 0 {
+            orig_next
+        } else {
+            orig_next.max(max_job + self.job_stride)
+        };
         self.recovering = false;
         result?;
         Ok(report)
@@ -1136,16 +1225,44 @@ impl Njs {
             .min()
     }
 
+    /// Re-keys dirty Vsites in the next-event heap, then advances every
+    /// Vsite whose next batch event is due at `now`. Idle Vsites (no
+    /// queued or running work, no pending recovery) have no heap entry
+    /// and cost nothing — the point of the heap at 100-site scale.
+    fn advance_batches(&mut self, now: SimTime) {
+        // Re-key Vsites whose batch state changed since the last step.
+        while let Some(idx) = self.batch_dirty.pop() {
+            let name = &self.vsite_order[idx];
+            let batch = &self.vsites[name].batch;
+            self.batch_gen[idx] += 1;
+            if let Some(t) = batch.next_event_time() {
+                self.batch_heap.push(Reverse((t, idx, self.batch_gen[idx])));
+            }
+        }
+        // Pop due events; each advance can schedule the next one.
+        while let Some(&Reverse((t, idx, gen))) = self.batch_heap.peek() {
+            if t > now {
+                break;
+            }
+            self.batch_heap.pop();
+            if gen != self.batch_gen[idx] {
+                continue; // stale entry, superseded by a re-key
+            }
+            let name = &self.vsite_order[idx];
+            let batch = &mut self.vsites.get_mut(name).expect("known vsite").batch;
+            batch.advance_to(now);
+            self.batch_gen[idx] += 1;
+            if let Some(next) = batch.next_event_time() {
+                self.batch_heap
+                    .push(Reverse((next, idx, self.batch_gen[idx])));
+            }
+        }
+    }
+
     /// Drives all jobs forward to `now`. Call repeatedly as time advances.
     pub fn step(&mut self, now: SimTime) {
         self.clock = self.clock.max(now);
-        for name in &self.vsite_order {
-            self.vsites
-                .get_mut(name)
-                .expect("known vsite")
-                .batch
-                .advance_to(now);
-        }
+        self.advance_batches(now);
         // Instantaneous operations (staging, dispatch of freed nodes) can
         // cascade; iterate to a fixpoint. Each pass covers the jobs that
         // existed when it started (children consigned mid-pass are picked
@@ -1560,6 +1677,7 @@ impl Njs {
                     let mut ispan = tel.span("njs.incarnate", trace, now);
                     ispan.attr("task", &task.name);
                     ispan.attr("vsite", &vsite_name);
+                    let vsite_idx = self.vsite_order.iter().position(|n| n == &vsite_name);
                     let v = self.vsites.get_mut(&vsite_name).expect("known vsite");
                     let time_limit = unicore_sim::secs(task.resources.run_time_secs);
                     // Standard site policy: short jobs go express — unless
@@ -1630,6 +1748,11 @@ impl Njs {
                             rt.states.insert(node, NodeState::Terminal);
                             self.log_terminal(job, node, Vec::new());
                         }
+                    }
+                    // The submit changed this Vsite's batch timeline;
+                    // re-key it in the next-event heap.
+                    if let Some(idx) = vsite_idx {
+                        self.batch_dirty.push(idx);
                     }
                     // Incarnation is instantaneous in simulated time; the
                     // span's wall-clock side still measures translation
@@ -1703,6 +1826,34 @@ impl Njs {
         let _ = parent_vsite;
 
         if sub.vsite.usite == self.usite {
+            if let Some(&shard) = self.siblings.get(&sub.vsite.vsite) {
+                // A sibling shard of the same Usite owns the target
+                // Vsite: hand the child over on the cross-shard channel;
+                // the facade's merge phase consigns it there and wires
+                // the parent link back deterministically.
+                self.flight.record(
+                    job.0,
+                    now,
+                    "njs.forward",
+                    format!("node {} -> shard {shard}", node.0),
+                );
+                self.cross_send(CrossShardItem::ConsignChild {
+                    parent: job,
+                    node,
+                    shard,
+                    ajo: Box::new(sub),
+                    staged,
+                    user,
+                    portfolio,
+                    trace: parent_trace,
+                });
+                let rt = self.jobs.get_mut(&job).expect("job exists");
+                if let Some(OutcomeNode::Job(j)) = rt.outcome.child_mut(node) {
+                    j.status = ActionStatus::Consigned;
+                }
+                rt.states.insert(node, NodeState::Remote);
+                return;
+            }
             // Local child at (possibly) another Vsite of this Usite.
             match self.consign_internal(
                 sub,
@@ -1828,6 +1979,20 @@ impl Njs {
                                 .expect("known vsite")
                                 .vspace
                                 .import_from_xspace(job, path, uspace_name, &login)
+                        } else if let Some(&shard) = self.siblings.get(&vsite.vsite) {
+                            // The source Vsite lives on a sibling shard;
+                            // the facade's merge phase reads it there and
+                            // finishes this node.
+                            self.cross_send(CrossShardItem::ImportXspace {
+                                job,
+                                node,
+                                shard,
+                                src_vsite: vsite.vsite.clone(),
+                                path: path.clone(),
+                                uspace_name: uspace_name.clone(),
+                                login: login.clone(),
+                            });
+                            return FileTaskResult::Remote;
                         } else {
                             // Cross-Vsite (same Usite): read there, write here.
                             let data = match self.vsites.get(&vsite.vsite) {
@@ -1907,6 +2072,22 @@ impl Njs {
                     match data {
                         Ok(d) => {
                             let len = d.len() as u64;
+                            if let Some(&shard) = self.siblings.get(&vsite.vsite) {
+                                // Destination Vsite is on a sibling shard:
+                                // ship the bytes over the channel; the
+                                // merge phase lands them in that Xspace.
+                                self.cross_send(CrossShardItem::DeliverXspace {
+                                    job,
+                                    node,
+                                    shard,
+                                    to_vsite: vsite.vsite.clone(),
+                                    path: path.clone(),
+                                    data: d,
+                                    bytes: len,
+                                    login: login.clone(),
+                                });
+                                return FileTaskResult::Remote;
+                            }
                             match self.vsites.get_mut(&vsite.vsite) {
                                 Some(v) => match v.vspace.xspace().write(path, d, &login) {
                                     Ok(()) => FileTaskResult::Done(TaskOutcome {
@@ -1945,6 +2126,21 @@ impl Njs {
                 if to_vsite.usite == self.usite {
                     // Local delivery into the destination Vsite's incoming area.
                     let len = data.len() as u64;
+                    if let Some(&shard) = self.siblings.get(&to_vsite.vsite) {
+                        // The destination Vsite lives on a sibling shard;
+                        // the merge phase delivers into its incoming area.
+                        self.cross_send(CrossShardItem::DeliverIncoming {
+                            job,
+                            node,
+                            shard,
+                            to_vsite: to_vsite.vsite.clone(),
+                            dest_name: dest_name.clone(),
+                            data,
+                            bytes: len,
+                            login: login.clone(),
+                        });
+                        return FileTaskResult::Remote;
+                    }
                     match self.vsites.get_mut(&to_vsite.vsite) {
                         Some(v) => {
                             let path = format!("{INCOMING_PREFIX}{dest_name}");
@@ -1998,6 +2194,12 @@ impl Njs {
         let Some(rt) = self.jobs.get_mut(&job) else {
             return;
         };
+        // A node can only terminate once: a late delivery for a node
+        // already completed (aborted locally, or a duplicate/replayed
+        // completion) must not overwrite its recorded outcome.
+        if rt.states.get(&node) == Some(&NodeState::Terminal) {
+            return;
+        }
         if let Some(slot) = rt.outcome.child_mut(node) {
             *slot = outcome;
         }
@@ -2036,6 +2238,209 @@ impl Njs {
             })
             .collect()
     }
+
+    // ---- Cross-shard merge-phase helpers (crate-internal) -------------
+    //
+    // The sharded facade applies queued [`CrossShardItem`]s between
+    // parallel step rounds using these entry points. They mirror the
+    // corresponding in-shard code paths exactly so terminal outcomes are
+    // byte-identical whether a job's neighbours live on the same shard
+    // or not.
+
+    /// Whether this shard currently owns `job`.
+    pub(crate) fn has_job(&self, job: JobId) -> bool {
+        self.jobs.contains_key(&job)
+    }
+
+    /// Whether `node` of `job` has already reached a terminal state.
+    /// Unknown jobs count as terminal (nothing left to do).
+    pub(crate) fn node_is_terminal(&self, job: JobId, node: ActionId) -> bool {
+        self.jobs
+            .get(&job)
+            .map(|rt| rt.states.get(&node) == Some(&NodeState::Terminal))
+            .unwrap_or(true)
+    }
+
+    /// Re-marks a non-terminal node as awaiting an external completion
+    /// (used when recovery rebuilds cross-shard parent links).
+    pub(crate) fn mark_node_remote(&mut self, job: JobId, node: ActionId) {
+        let Some(rt) = self.jobs.get_mut(&job) else {
+            return;
+        };
+        if rt.states.get(&node) == Some(&NodeState::Terminal) {
+            return;
+        }
+        if let Some(OutcomeNode::Job(j)) = rt.outcome.child_mut(node) {
+            if j.status == ActionStatus::Pending {
+                j.status = ActionStatus::Consigned;
+            }
+        }
+        rt.states.insert(node, NodeState::Remote);
+    }
+
+    /// `(child, parent job, parent node)` for every job consigned on
+    /// behalf of a parent, in consign order. The facade uses this to
+    /// rebuild its cross-shard link registry after recovery.
+    pub(crate) fn parent_links(&self) -> Vec<(JobId, JobId, ActionId)> {
+        self.job_order
+            .iter()
+            .filter_map(|id| {
+                let rt = self.jobs.get(id)?;
+                rt.parent.map(|(pjob, pnode)| (*id, pjob, pnode))
+            })
+            .collect()
+    }
+
+    /// The files named on `node`'s outgoing dependency edges — what a
+    /// finished child must hand back to the parent's Uspace. Mirrors the
+    /// in-shard `poll_child_node` pull set, deduplicated in edge order.
+    pub(crate) fn edge_return_files(&self, job: JobId, node: ActionId) -> Vec<String> {
+        let Some(rt) = self.jobs.get(&job) else {
+            return Vec::new();
+        };
+        let mut files: Vec<String> = Vec::new();
+        for dep in &rt.job.dependencies {
+            if dep.from == node {
+                for f in &dep.files {
+                    if !files.contains(f) {
+                        files.push(f.clone());
+                    }
+                }
+            }
+        }
+        files
+    }
+
+    /// Terminates a file-task node with `outcome`, exactly as the
+    /// in-shard `dispatch_node` Done arm would have: failed outcomes get
+    /// a flight annotation and trace, the outcome is recorded, deposits
+    /// are journalled, and the group commit flushes.
+    pub(crate) fn finish_file_node(
+        &mut self,
+        job: JobId,
+        node: ActionId,
+        mut outcome: TaskOutcome,
+        now: SimTime,
+    ) {
+        self.clock = self.clock.max(now);
+        if !self.jobs.contains_key(&job) || self.node_is_terminal(job, node) {
+            return;
+        }
+        if !outcome.status.is_success() {
+            self.flight.record(
+                job.0,
+                now,
+                "njs.file.error",
+                format!("node {}: {}", node.0, outcome.message),
+            );
+            outcome.flight = self.flight.trace(job.0);
+        }
+        let rt = self.jobs.get_mut(&job).expect("checked above");
+        rt.set_task_outcome(node, outcome);
+        rt.states.insert(node, NodeState::Terminal);
+        // Eager re-aggregation, like `complete_remote_node_with_files`:
+        // this runs between steps, so clients polling before the next
+        // step must already see the folded status.
+        rt.outcome.aggregate_status();
+        let deposited = self.deposited_by_file_task(job, node);
+        self.log_terminal(job, node, deposited);
+        self.flush_events();
+    }
+
+    /// Fails a sub-job node whose cross-shard consign was rejected,
+    /// mirroring the in-shard consign-error arm of `dispatch_subjob`.
+    pub(crate) fn fail_subjob_node(&mut self, job: JobId, node: ActionId) {
+        let Some(rt) = self.jobs.get_mut(&job) else {
+            return;
+        };
+        if rt.states.get(&node) == Some(&NodeState::Terminal) {
+            return;
+        }
+        if let Some(OutcomeNode::Job(j)) = rt.outcome.child_mut(node) {
+            j.status = ActionStatus::NotSuccessful;
+        }
+        rt.states.insert(node, NodeState::Terminal);
+        rt.outcome.aggregate_status();
+        self.log_terminal(job, node, Vec::new());
+        self.flush_events();
+    }
+
+    /// Completes a cross-shard Import by staging the fetched bytes into
+    /// the job's Uspace (or failing the node with the read error).
+    pub(crate) fn finish_import(
+        &mut self,
+        job: JobId,
+        node: ActionId,
+        uspace_name: &str,
+        data: Result<Vec<u8>, String>,
+        now: SimTime,
+    ) {
+        let outcome = match data {
+            Ok(d) => {
+                let Some((vsite, login)) = self
+                    .jobs
+                    .get(&job)
+                    .map(|rt| (rt.job.vsite.vsite.clone(), rt.user.login.clone()))
+                else {
+                    return;
+                };
+                let result = self
+                    .vsites
+                    .get_mut(&vsite)
+                    .expect("job's vsite exists")
+                    .vspace
+                    .import_bytes(job, uspace_name, d, &login);
+                match result {
+                    Ok(n) => TaskOutcome {
+                        status: ActionStatus::Successful,
+                        bytes_staged: n,
+                        ..Default::default()
+                    },
+                    Err(e) => TaskOutcome::failure(e.to_string()),
+                }
+            }
+            Err(e) => TaskOutcome::failure(e),
+        };
+        self.finish_file_node(job, node, outcome, now);
+    }
+
+    /// Reads a file from a Vsite's Xspace (cross-shard Import source).
+    pub(crate) fn xspace_read(
+        &self,
+        vsite: &str,
+        path: &str,
+        login: &str,
+    ) -> Result<Vec<u8>, String> {
+        match self.vsites.get(vsite) {
+            Some(v) => v
+                .vspace
+                .xspace_ref()
+                .read(path, login)
+                .map(|f| f.data.clone())
+                .map_err(|e| e.to_string()),
+            None => Err(format!("unknown Vsite {vsite}")),
+        }
+    }
+
+    /// Writes a file into a Vsite's Xspace (cross-shard Export landing).
+    pub(crate) fn xspace_write(
+        &mut self,
+        vsite: &str,
+        path: &str,
+        data: Vec<u8>,
+        login: &str,
+    ) -> Result<(), String> {
+        match self.vsites.get_mut(vsite) {
+            Some(v) => v
+                .vspace
+                .xspace()
+                .write(path, data, login)
+                .map_err(|e| e.to_string()),
+            None => Err(format!("unknown Vsite {vsite}")),
+        }
+    }
+
+    // -------------------------------------------------------------------
 
     /// Receives a file pushed from a peer Usite into `vsite`'s incoming
     /// Xspace area.
@@ -2196,6 +2601,21 @@ impl Njs {
         Ok((upto, done))
     }
 
+    /// Whether this shard holds the receiver state for an incoming
+    /// transfer (the sharded facade probes shards to route chunks).
+    pub(crate) fn has_incoming(
+        &self,
+        origin: &str,
+        origin_job: JobId,
+        origin_node: ActionId,
+    ) -> bool {
+        self.incoming.contains_key(&TransferKey {
+            origin: origin.to_owned(),
+            origin_job,
+            origin_node,
+        })
+    }
+
     /// Commits a completed transfer's staged partial, flipping the file
     /// visible atomically (checksum-gated against the manifest's whole
     /// file hash). A no-op if the partial was already committed — the
@@ -2337,6 +2757,7 @@ impl Njs {
                         .expect("known vsite")
                         .batch
                         .cancel(batch_id, now);
+                    self.mark_batch_dirty(vsite.as_ref());
                     let rt = self.jobs.get_mut(&job).expect("job exists");
                     rt.set_task_outcome(
                         nid,

@@ -25,7 +25,6 @@ use unicore::protocol::{outcome_of, Request, Response};
 use unicore::{Federation, FederationConfig};
 use unicore_ajo::{ControlOp, DetailLevel, ResourceRequest, UserAttributes, VsiteAddress};
 use unicore_client::JobPreparationAgent;
-use unicore_njs::usage_report;
 use unicore_resources::ResourceDirectory;
 use unicore_sim::{format_time, secs, MINUTE};
 
@@ -203,7 +202,7 @@ fn main() {
                 }
             }
             ["report", site] => match fed.server(site) {
-                Some(server) => print!("{}", usage_report(server.njs()).render()),
+                Some(server) => print!("{}", server.njs().usage_report().render()),
                 None => println!("unknown site"),
             },
             other => println!("unknown command {other:?} — try 'help'"),

@@ -10,7 +10,7 @@ use unicore_ajo::{ResourceRequest, UserAttributes, VsiteAddress};
 use unicore_client::JobPreparationAgent;
 use unicore_codec::DerCodec;
 use unicore_gateway::{Gateway, UserEntry, Uudb};
-use unicore_njs::{usage_report, Njs, TranslationTable};
+use unicore_njs::{Njs, TranslationTable};
 use unicore_resources::{
     Architecture, PerformanceInfo, ResourceDirectory, ResourceLimits, ResourcePageEditor,
     SoftwareKind,
@@ -112,7 +112,7 @@ fn main() {
 
     // ---- 4. Accounting report (§6's "accounting functions") --------------
     println!("== 4. usage report ==");
-    print!("{}", usage_report(server.njs()).render());
+    print!("{}", server.njs().usage_report().render());
 
     // ---- 5. The gateway audit trail ---------------------------------------
     println!("\n== 5. gateway audit trail ==");

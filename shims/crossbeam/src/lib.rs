@@ -1,5 +1,7 @@
 //! Offline stand-in for the `crossbeam` crate, covering the `channel`
-//! subset this workspace uses. Backed by `std::sync::mpsc`.
+//! and `deque` subsets this workspace uses. Backed by `std::sync::mpsc`
+//! and `Mutex<VecDeque>` — API-compatible with the real crate for the
+//! operations exercised here, without any external dependency.
 
 /// Multi-producer channels with timeout-aware receivers.
 pub mod channel {
@@ -48,6 +50,253 @@ pub mod channel {
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
         (Sender(tx), Receiver(rx))
+    }
+}
+
+/// Work-stealing deques, mirroring `crossbeam-deque`'s `Worker` /
+/// `Stealer` / `Injector` API. The shim trades the real crate's lock-free
+/// Chase–Lev algorithm for a mutexed ring buffer: identical semantics
+/// (single owner pushes/pops, any number of stealers take from the other
+/// end, a shared injector feeds idle workers), same types, no atomics
+/// black magic — good enough for the worker counts the simulator runs.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The operation lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if the attempt succeeded.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// Whether the attempt found the queue empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    enum Flavor {
+        Fifo,
+        Lifo,
+    }
+
+    /// The owner's end of a work-stealing deque.
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+        flavor: Flavor,
+    }
+
+    impl<T> Worker<T> {
+        /// A FIFO worker: `pop` takes from the front, the same end
+        /// stealers take from.
+        pub fn new_fifo() -> Self {
+            Worker {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+                flavor: Flavor::Fifo,
+            }
+        }
+
+        /// A LIFO worker: `pop` takes the most recently pushed task;
+        /// stealers still take the oldest.
+        pub fn new_lifo() -> Self {
+            Worker {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+                flavor: Flavor::Lifo,
+            }
+        }
+
+        /// Adds a task to the owner's end.
+        pub fn push(&self, task: T) {
+            self.inner.lock().unwrap().push_back(task);
+        }
+
+        /// Takes the owner's next task.
+        pub fn pop(&self) -> Option<T> {
+            let mut q = self.inner.lock().unwrap();
+            match self.flavor {
+                Flavor::Fifo => q.pop_front(),
+                Flavor::Lifo => q.pop_back(),
+            }
+        }
+
+        /// Whether the deque currently holds no tasks.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().unwrap().is_empty()
+        }
+
+        /// Number of tasks currently queued.
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap().len()
+        }
+
+        /// A handle other threads use to steal from this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    /// A thief's handle onto some worker's deque.
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals the oldest task from the victim's deque.
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().unwrap().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the victim's deque is empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().unwrap().is_empty()
+        }
+    }
+
+    /// A shared FIFO injector feeding a pool of workers.
+    pub struct Injector<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// An empty injector queue.
+        pub fn new() -> Self {
+            Injector {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Adds a task to the back of the queue.
+        pub fn push(&self, task: T) {
+            self.inner.lock().unwrap().push_back(task);
+        }
+
+        /// Steals the task at the front of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().unwrap().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().unwrap().is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap().len()
+        }
+    }
+}
+
+#[cfg(test)]
+mod deque_tests {
+    use super::deque::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fifo_pop_order_matches_push() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn lifo_pops_newest_stealer_takes_oldest() {
+        let w = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        let s = w.stealer();
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal().success(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_feeds_in_order() {
+        let inj = Injector::new();
+        inj.push("a");
+        inj.push("b");
+        assert_eq!(inj.len(), 2);
+        assert_eq!(inj.steal().success(), Some("a"));
+        assert_eq!(inj.steal().success(), Some("b"));
+        assert!(inj.steal().is_empty());
+        assert!(inj.is_empty());
+    }
+
+    #[test]
+    fn cross_thread_stealing_loses_no_task() {
+        // 4 threads drain 1000 injected tasks plus each other's local
+        // deques; every task must be executed exactly once.
+        const TASKS: usize = 1000;
+        let inj = Injector::new();
+        for i in 0..TASKS {
+            inj.push(i);
+        }
+        let workers: Vec<Worker<usize>> = (0..4).map(|_| Worker::new_fifo()).collect();
+        let stealers: Vec<Stealer<usize>> = workers.iter().map(|w| w.stealer()).collect();
+        let done = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for w in &workers {
+                let (inj, stealers, done) = (&inj, &stealers, &done);
+                scope.spawn(move || loop {
+                    let task = w
+                        .pop()
+                        .or_else(|| inj.steal().success())
+                        .or_else(|| stealers.iter().find_map(|s| s.steal().success()));
+                    match task {
+                        Some(_) => {
+                            done.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => break,
+                    }
+                });
+            }
+        });
+        assert_eq!(done.load(Ordering::Relaxed), TASKS);
     }
 }
 
