@@ -68,6 +68,17 @@ cargo test -q --offline -p unicore-integration-tests --test broker
 echo "==> sharded NJS: determinism suite (byte-identity across shard/worker counts, WAL replay, crash mid-step, chaos seeds)"
 cargo test -q --offline -p unicore-integration-tests --test sharded
 
+echo "==> transport resumption: handshake + ticket/cache property suites"
+cargo test -q --offline -p unicore-transport
+cargo test -q --offline -p unicore-transport --test prop_resumption
+
+echo "==> gateway front door: resumption, rate limiting, revocation, mux"
+cargo test -q --offline -p unicore-gateway
+cargo test -q --offline -p unicore-gateway --test front_door_tests
+
+echo "==> churn/abuse soak (seeds 1, 7, 23: reconnect storms, expiry, revocation, rate limits)"
+cargo test -q --offline -p unicore-integration-tests --test churn
+
 echo "==> benches compile"
 cargo bench --offline --no-run
 
@@ -76,6 +87,10 @@ cargo bench -q --offline -p unicore-bench --bench e12_throughput -- skip_micro_b
 grep -q '"verdict_sharded": "PASS"' BENCH_e12_throughput.json
 grep -q '"verdict_federated": "PASS"' BENCH_e12_throughput.json
 grep -q '"verdict_telemetry": "PASS"' BENCH_e12_throughput.json
+
+echo "==> e17 gate: resumed handshake >= 5x faster than full at p50 (bench exits nonzero on FAIL)"
+cargo bench -q --offline -p unicore-bench --bench e17_churn -- skip_micro_benches
+grep -q '"verdict_resumption": "PASS"' BENCH_e17_churn.json
 
 echo "==> rustdoc (workspace, warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace

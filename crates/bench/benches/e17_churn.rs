@@ -1,0 +1,299 @@
+//! E17 — gateway front door at connection scale.
+//!
+//! Thousands of connect→authn→poll→disconnect cycles over a bounded
+//! identity set, driven through the [`FrontDoor`] with real crypto: the
+//! first connection per identity pays the full RSA/DH handshake, every
+//! later one rides the resumption ticket. The bench reports full vs
+//! resumed handshake latency (p50/p99) and gates on the paper-level
+//! claim that makes poll-heavy JMC traffic viable at scale: the
+//! abbreviated handshake must be at least 5× faster at p50. The verdict
+//! lands in `BENCH_e17_churn.json`, and a FAIL exits nonzero so CI
+//! cannot miss it.
+
+use criterion::Criterion;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use unicore_bench::BenchReport;
+use unicore_certs::{
+    CertificateAuthority, DistinguishedName, Identity, KeyUsage, TrustStore, Validity,
+};
+use unicore_crypto::CryptoRng;
+use unicore_gateway::{
+    decode_frames, encode_frames, FrontDoor, Gateway, MuxFrame, UserEntry, Uudb,
+};
+use unicore_simnet::wire_pair;
+use unicore_telemetry::Telemetry;
+use unicore_transport::{client_handshake, Endpoint, SessionCache};
+
+/// Distinct client identities (the bounded set the cache must hold).
+const IDENTITIES: usize = 8;
+/// Connect/disconnect cycles per identity through the front door.
+const CYCLES: usize = 250;
+/// Dedicated full-handshake samples for the p50/p99 distribution.
+const FULL_SAMPLES: usize = 40;
+/// Poll flows multiplexed per connection.
+const FLOWS: u64 = 5;
+/// The gate: resumed must be at least this much faster at p50.
+const SPEEDUP_GATE: f64 = 5.0;
+
+struct Fixture {
+    door: FrontDoor,
+    gateway: Gateway,
+    trust: Arc<TrustStore>,
+    users: Vec<Arc<Identity>>,
+    caches: Vec<SessionCache>,
+}
+
+fn fixture() -> Fixture {
+    let mut rng = CryptoRng::from_u64(17);
+    let mut ca = CertificateAuthority::new_root(
+        DistinguishedName::new("DE", "DFN", "PCA", "Root"),
+        Validity::starting_at(0, 1_000_000),
+        512,
+        &mut rng,
+    );
+    let mut trust = TrustStore::new();
+    trust.add_anchor(ca.certificate().clone()).unwrap();
+    let trust = Arc::new(trust);
+    let gw_id = ca
+        .issue_identity(
+            DistinguishedName::new("DE", "FZJ", "ZAM", "gw"),
+            KeyUsage::server(),
+            Validity::starting_at(0, 500_000),
+            &mut rng,
+        )
+        .unwrap();
+    let mut uudb = Uudb::new();
+    let users: Vec<Arc<Identity>> = (0..IDENTITIES)
+        .map(|i| {
+            let id = ca
+                .issue_identity(
+                    DistinguishedName::new("DE", "FZJ", "ZAM", format!("user-{i}")),
+                    KeyUsage::user(),
+                    Validity::starting_at(0, 500_000),
+                    &mut rng,
+                )
+                .unwrap();
+            uudb.add(
+                id.cert.tbs.subject.to_string(),
+                UserEntry::new(format!("u{i}"), "users"),
+            );
+            Arc::new(id)
+        })
+        .collect();
+    let caches = (0..IDENTITIES).map(|_| SessionCache::new(4)).collect();
+    let mut door = FrontDoor::new(gw_id, trust.clone(), IDENTITIES * 2);
+    door.set_telemetry(Telemetry::collecting(17));
+    Fixture {
+        door,
+        gateway: Gateway::new("FZJ", uudb),
+        trust,
+        users,
+        caches,
+    }
+}
+
+fn client_endpoint(fx: &Fixture, u: usize, now: u64) -> Endpoint {
+    Endpoint {
+        identity: fx.users[u].clone(),
+        intermediates: Vec::new(),
+        trust: fx.trust.clone(),
+        now,
+        timeout: Duration::from_secs(5),
+        ticket_ttl: unicore_transport::DEFAULT_TICKET_TTL,
+        telemetry: Telemetry::disabled(),
+    }
+}
+
+/// One full client cycle: handshake through the door, UUDB authn, one
+/// multiplexed poll sweep, disconnect. Returns (handshake wall time,
+/// whether it resumed).
+fn one_cycle(fx: &mut Fixture, u: usize, now: u64, seed: u64) -> (Duration, bool) {
+    let (cw, sw) = wire_pair();
+    let cep = client_endpoint(fx, u, now);
+    let cache = &fx.caches[u];
+    let door = &mut fx.door;
+    let t = Instant::now();
+    let (client, server) = std::thread::scope(|s| {
+        let h = s.spawn(|| {
+            let mut rng = CryptoRng::from_u64(seed).fork("server");
+            door.accept(sw, now, &mut rng)
+        });
+        let mut rng = CryptoRng::from_u64(seed).fork("client");
+        (
+            client_handshake(cw, &cep, "FZJ", cache, &mut rng),
+            h.join().unwrap(),
+        )
+    });
+    let handshake_time = t.elapsed();
+    let mut chan = client.expect("client handshake");
+    let mut conn = server.expect("door accept");
+    let resumed = conn.resumed();
+
+    // Authn: certificate DN → local login via the UUDB.
+    let decision = fx
+        .gateway
+        .authorize_dn(conn.dn(), "T3E", Some("users"), now);
+    assert!(decision.is_accepted());
+
+    // One poll sweep, FLOWS jobs multiplexed over the sealed connection.
+    let sweep: Vec<MuxFrame> = (0..FLOWS)
+        .map(|f| MuxFrame::new(f, format!("poll {f}").into_bytes()))
+        .collect();
+    let frames = encode_frames(&sweep);
+    let refs: Vec<&[u8]> = frames.iter().map(|f| f.as_slice()).collect();
+    chan.send_frames(&refs).unwrap();
+    let raw = conn.chan.recv_frames(Duration::from_secs(1)).unwrap();
+    let polls = decode_frames(&raw).unwrap();
+    let replies: Vec<MuxFrame> = polls
+        .iter()
+        .map(|p| MuxFrame::new(p.flow, b"Running".to_vec()))
+        .collect();
+    let frames = encode_frames(&replies);
+    let refs: Vec<&[u8]> = frames.iter().map(|f| f.as_slice()).collect();
+    conn.chan.send_frames(&refs).unwrap();
+    let raw = chan.recv_frames(Duration::from_secs(1)).unwrap();
+    assert_eq!(decode_frames(&raw).unwrap().len(), FLOWS as usize);
+
+    fx.door.disconnect(conn);
+    chan.close();
+    (handshake_time, resumed)
+}
+
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn print_tables() -> (BenchReport, bool) {
+    println!("\n=== E17: front door at connection scale (measured, real crypto) ===\n");
+
+    // Full-handshake distribution: fresh caches every time.
+    let mut full = Vec::with_capacity(FULL_SAMPLES);
+    for i in 0..FULL_SAMPLES {
+        let mut fx = fixture();
+        let (d, resumed) = one_cycle(&mut fx, 0, 100, 1_000 + i as u64);
+        assert!(!resumed);
+        full.push(d);
+    }
+    full.sort();
+
+    // The churn: IDENTITIES users × CYCLES reconnects through one door.
+    let mut fx = fixture();
+    let mut resumed_times = Vec::with_capacity(IDENTITIES * CYCLES);
+    let mut fulls = 0u64;
+    let mut resumes = 0u64;
+    let t0 = Instant::now();
+    for cycle in 0..CYCLES {
+        for u in 0..IDENTITIES {
+            let seed = 10_000 + (cycle * IDENTITIES + u) as u64;
+            let now = 100 + cycle as u64;
+            let (d, resumed) = one_cycle(&mut fx, u, now, seed);
+            if resumed {
+                resumes += 1;
+                resumed_times.push(d);
+            } else {
+                fulls += 1;
+            }
+        }
+    }
+    let churn_wall = t0.elapsed();
+    resumed_times.sort();
+    let connections = (IDENTITIES * CYCLES) as u64;
+    assert_eq!(
+        fulls, IDENTITIES as u64,
+        "every identity resumes after its first"
+    );
+    assert_eq!(resumes, connections - IDENTITIES as u64);
+
+    let full_p50 = percentile(&full, 0.50);
+    let full_p99 = percentile(&full, 0.99);
+    let res_p50 = percentile(&resumed_times, 0.50);
+    let res_p99 = percentile(&resumed_times, 0.99);
+    let speedup = full_p50.as_secs_f64() / res_p50.as_secs_f64().max(1e-9);
+    let verdict = if speedup >= SPEEDUP_GATE {
+        "PASS"
+    } else {
+        "FAIL"
+    };
+
+    println!("{connections} connections, {IDENTITIES} identities, {CYCLES} cycles each; churn wall time {churn_wall:?}");
+    println!("{:>22} {:>12} {:>12}", "handshake", "p50", "p99");
+    println!(
+        "{:>22} {:>12?} {:>12?}",
+        "full (RSA/DH)", full_p50, full_p99
+    );
+    println!(
+        "{:>22} {:>12?} {:>12?}",
+        "resumed (ticket)", res_p50, res_p99
+    );
+    println!("resumed speedup at p50: {speedup:.1}x  (gate >= {SPEEDUP_GATE:.0}x: {verdict})\n");
+
+    let mut report = BenchReport::new("e17_churn");
+    report
+        .metric("connections", connections as f64)
+        .metric("identities", IDENTITIES as f64)
+        .metric("full_handshakes", fulls as f64)
+        .metric("resumed_handshakes", resumes as f64)
+        .metric("full_p50_us", full_p50.as_secs_f64() * 1e6)
+        .metric("full_p99_us", full_p99.as_secs_f64() * 1e6)
+        .metric("resumed_p50_us", res_p50.as_secs_f64() * 1e6)
+        .metric("resumed_p99_us", res_p99.as_secs_f64() * 1e6)
+        .metric("speedup_p50", speedup)
+        .metric("speedup_gate", SPEEDUP_GATE)
+        .metric("churn_wall_ms", churn_wall.as_secs_f64() * 1e3)
+        .note("verdict_resumption", verdict)
+        .note(
+            "workload",
+            "connect -> UUDB authn -> multiplexed 5-flow poll sweep -> disconnect, \
+             2000 connections over 8 identities through one FrontDoor",
+        );
+    (report, verdict == "PASS")
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e17_churn");
+    group.sample_size(20);
+    group.bench_function("resumed_cycle", |b| {
+        let mut fx = fixture();
+        let mut seed = 50_000u64;
+        one_cycle(&mut fx, 0, 100, seed); // prime: full handshake + ticket
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                seed += 1;
+                let t = Instant::now();
+                let (_, resumed) = one_cycle(&mut fx, 0, 101, seed);
+                total += t.elapsed();
+                assert!(resumed);
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    let (mut report, pass) = print_tables();
+    let mut c = Criterion::default().configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+    for s in criterion::take_recorded() {
+        let key = s.name.replace('/', ".");
+        report
+            .metric(&format!("{key}.min_us"), s.min * 1e6)
+            .metric(&format!("{key}.p50_us"), s.p50 * 1e6)
+            .metric(&format!("{key}.p99_us"), s.p99 * 1e6);
+    }
+    match report.write() {
+        Ok(path) => println!("machine-readable results: {}", path.display()),
+        Err(e) => eprintln!("could not write bench report: {e}"),
+    }
+    if !pass {
+        eprintln!("E17 FAIL: resumed handshake is not {SPEEDUP_GATE:.0}x faster than full at p50");
+        std::process::exit(1);
+    }
+}

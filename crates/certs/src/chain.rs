@@ -25,7 +25,10 @@ pub enum RequiredUsage {
 }
 
 /// A set of trust anchors plus CRLs, shared by gateways and clients.
-#[derive(Default)]
+///
+/// `Clone` supports live CRL refresh: clone the store, install the new
+/// CRL, and swap the clone in atomically behind an `Arc`.
+#[derive(Default, Clone)]
 pub struct TrustStore {
     anchors: Vec<Certificate>,
     crls: HashMap<String, CertificateRevocationList>,
@@ -412,6 +415,112 @@ mod tests {
             fx.store.validate(&[id.cert], 20, RequiredUsage::ClientAuth),
             Err(CertError::Revoked { .. })
         ));
+    }
+
+    #[test]
+    fn revocation_effective_at_exact_publication_instant() {
+        // A CRL published at the very second a handshake happens already
+        // revokes: there is no grace window between publication and
+        // enforcement, even at `now == issued_at` (or earlier — a CRL is
+        // a set of bad serials, not a time-scoped statement).
+        let mut fx = fixture(41);
+        let id = fx
+            .ca
+            .issue_identity(
+                dn("alice"),
+                KeyUsage::user(),
+                Validity::starting_at(0, 100),
+                &mut fx.rng,
+            )
+            .unwrap();
+        fx.ca.revoke(id.cert.tbs.serial);
+        let crl = fx.ca.publish_crl(60);
+        assert_eq!(crl.issued_at, 60);
+        fx.store.install_crl(crl).unwrap();
+        assert!(matches!(
+            fx.store.validate(
+                std::slice::from_ref(&id.cert),
+                60,
+                RequiredUsage::ClientAuth
+            ),
+            Err(CertError::Revoked { .. })
+        ));
+        // And one second before publication time, too.
+        assert!(matches!(
+            fx.store.validate(&[id.cert], 59, RequiredUsage::ClientAuth),
+            Err(CertError::Revoked { .. })
+        ));
+    }
+
+    #[test]
+    fn crl_refresh_supersedes_by_sequence() {
+        // Live refresh: a later CRL (higher sequence) replaces the
+        // installed one wholesale — serials it adds become revoked,
+        // and the freshest snapshot is always the one consulted.
+        let mut fx = fixture(42);
+        let alice = fx
+            .ca
+            .issue_identity(
+                dn("alice"),
+                KeyUsage::user(),
+                Validity::starting_at(0, 100),
+                &mut fx.rng,
+            )
+            .unwrap();
+        let bob = fx
+            .ca
+            .issue_identity(
+                dn("bob"),
+                KeyUsage::user(),
+                Validity::starting_at(0, 100),
+                &mut fx.rng,
+            )
+            .unwrap();
+        fx.ca.revoke(alice.cert.tbs.serial);
+        fx.store.install_crl(fx.ca.publish_crl(10)).unwrap();
+        fx.store
+            .validate(
+                std::slice::from_ref(&bob.cert),
+                20,
+                RequiredUsage::ClientAuth,
+            )
+            .unwrap();
+        // Refresh adds bob.
+        fx.ca.revoke(bob.cert.tbs.serial);
+        fx.store.install_crl(fx.ca.publish_crl(30)).unwrap();
+        assert!(matches!(
+            fx.store
+                .validate(&[bob.cert], 40, RequiredUsage::ClientAuth),
+            Err(CertError::Revoked { .. })
+        ));
+        assert!(matches!(
+            fx.store
+                .validate(&[alice.cert], 40, RequiredUsage::ClientAuth),
+            Err(CertError::Revoked { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_crl_fast_path_accepts_everything() {
+        // An installed-but-empty CRL must not slow down or reject
+        // anything: validation takes the is_revoked fast path (binary
+        // search over zero serials) and succeeds.
+        let mut fx = fixture(43);
+        let id = fx
+            .ca
+            .issue_identity(
+                dn("alice"),
+                KeyUsage::user(),
+                Validity::starting_at(0, 100),
+                &mut fx.rng,
+            )
+            .unwrap();
+        let crl = fx.ca.publish_crl(5);
+        assert!(crl.revoked_serials.is_empty());
+        fx.store.install_crl(crl).unwrap();
+        fx.store
+            .validate(&[id.cert], 10, RequiredUsage::ClientAuth)
+            .unwrap();
     }
 
     #[test]

@@ -9,8 +9,9 @@
 //! This module renders outcome trees with the colour model and extracts
 //! task outputs — everything the applet GUI displayed, as plain data.
 
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use unicore_ajo::{
-    AbstractJob, ActionId, GraphNode, JobOutcome, OutcomeNode, StatusColor, TaskOutcome,
+    AbstractJob, ActionId, GraphNode, JobId, JobOutcome, OutcomeNode, StatusColor, TaskOutcome,
 };
 
 /// The icon glyph for each status colour (terminal-friendly stand-ins for
@@ -254,6 +255,101 @@ pub fn first_failure<'a>(
     None
 }
 
+/// Flow-id bookkeeping for multiplexed polling.
+///
+/// The applet-era JMC opened one connection per job poll; at connection
+/// scale the JMC instead keeps *one* sealed connection to the gateway and
+/// sweeps all watched jobs in a single batched record, each poll tagged
+/// with a flow id. The `PollBook` owns the flow-id ↔ [`JobId`] mapping on
+/// the client side: enroll a job to watch it, start a sweep to get the
+/// `(flow, job)` pairs to frame, and settle each answered flow as reply
+/// frames fan back in. Stray or duplicate flow ids (a reply racing a
+/// retire, a corrupt peer) settle to `None` instead of panicking.
+#[derive(Debug, Default)]
+pub struct PollBook {
+    next_flow: u64,
+    flows: BTreeMap<u64, JobId>,
+    jobs: HashMap<JobId, u64>,
+    outstanding: BTreeSet<u64>,
+}
+
+impl PollBook {
+    /// An empty book.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enrolls a job for polling, returning its flow id. Idempotent: a
+    /// job already enrolled keeps its flow id.
+    pub fn enroll(&mut self, job: JobId) -> u64 {
+        if let Some(&flow) = self.jobs.get(&job) {
+            return flow;
+        }
+        let flow = self.next_flow;
+        self.next_flow += 1;
+        self.flows.insert(flow, job);
+        self.jobs.insert(job, flow);
+        flow
+    }
+
+    /// Stops watching a job (it settled, or the user closed its panel).
+    /// Its flow id is never reused; a late reply on it settles to `None`.
+    pub fn retire(&mut self, job: JobId) -> Option<u64> {
+        let flow = self.jobs.remove(&job)?;
+        self.flows.remove(&flow);
+        self.outstanding.remove(&flow);
+        Some(flow)
+    }
+
+    /// The job behind a flow id, if still enrolled.
+    pub fn job_for(&self, flow: u64) -> Option<JobId> {
+        self.flows.get(&flow).copied()
+    }
+
+    /// The flow id a job polls on, if enrolled.
+    pub fn flow_for(&self, job: JobId) -> Option<u64> {
+        self.jobs.get(&job).copied()
+    }
+
+    /// Starts a poll sweep: every enrolled flow becomes outstanding and
+    /// the `(flow, job)` pairs are returned in flow order, ready to be
+    /// framed into one batched record.
+    pub fn begin_sweep(&mut self) -> Vec<(u64, JobId)> {
+        self.outstanding = self.flows.keys().copied().collect();
+        self.flows.iter().map(|(&f, &j)| (f, j)).collect()
+    }
+
+    /// Settles one reply frame: marks the flow answered and returns its
+    /// job. `None` for flows that are unknown, retired, or already
+    /// settled this sweep — the caller drops such frames.
+    pub fn settle(&mut self, flow: u64) -> Option<JobId> {
+        if !self.outstanding.remove(&flow) {
+            return None;
+        }
+        self.flows.get(&flow).copied()
+    }
+
+    /// Flows still awaiting a reply in the current sweep.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// True when every poll in the current sweep has been answered.
+    pub fn sweep_complete(&self) -> bool {
+        self.outstanding.is_empty()
+    }
+
+    /// Number of jobs currently enrolled.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True when no jobs are enrolled.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -391,6 +487,53 @@ mod tests {
         let empty = JobOutcome::default();
         let rows = status_rows(&job, &empty);
         assert!(rows[1..].iter().all(|r| r.status == "Pending"));
+    }
+
+    #[test]
+    fn poll_book_enroll_is_idempotent_and_flows_are_stable() {
+        let mut book = PollBook::new();
+        let f1 = book.enroll(JobId(10));
+        let f2 = book.enroll(JobId(20));
+        assert_ne!(f1, f2);
+        assert_eq!(book.enroll(JobId(10)), f1, "re-enroll keeps the flow");
+        assert_eq!(book.len(), 2);
+        assert_eq!(book.job_for(f2), Some(JobId(20)));
+        assert_eq!(book.flow_for(JobId(10)), Some(f1));
+    }
+
+    #[test]
+    fn poll_book_sweep_settles_each_flow_exactly_once() {
+        let mut book = PollBook::new();
+        let f1 = book.enroll(JobId(1));
+        let f2 = book.enroll(JobId(2));
+        let sweep = book.begin_sweep();
+        assert_eq!(sweep, vec![(f1, JobId(1)), (f2, JobId(2))]);
+        assert_eq!(book.outstanding(), 2);
+        assert_eq!(book.settle(f2), Some(JobId(2)));
+        assert_eq!(book.settle(f2), None, "duplicate reply dropped");
+        assert!(!book.sweep_complete());
+        assert_eq!(book.settle(f1), Some(JobId(1)));
+        assert!(book.sweep_complete());
+        assert_eq!(book.settle(999), None, "stray flow dropped");
+    }
+
+    #[test]
+    fn poll_book_retire_drops_late_replies_and_never_reuses_flows() {
+        let mut book = PollBook::new();
+        let f1 = book.enroll(JobId(1));
+        book.enroll(JobId(2));
+        book.begin_sweep();
+        assert_eq!(book.retire(JobId(1)), Some(f1));
+        assert_eq!(book.retire(JobId(1)), None);
+        assert_eq!(book.settle(f1), None, "reply racing a retire is dropped");
+        assert_eq!(book.outstanding(), 1, "retire sheds its outstanding slot");
+        let f3 = book.enroll(JobId(3));
+        assert_ne!(f3, f1, "flow ids are never reused");
+        // The next sweep covers only live enrollments.
+        let sweep = book.begin_sweep();
+        assert_eq!(sweep.len(), 2);
+        assert!(sweep.iter().all(|&(f, _)| f != f1));
+        assert!(!book.is_empty());
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub mod monitor;
 
 pub use jmc::{
     collect_outputs, color_icon, first_failure, render, render_offers, status_rows, summarize,
-    StatusRow, StatusSummary, TaskOutput,
+    PollBook, StatusRow, StatusSummary, TaskOutput,
 };
 pub use jpa::{JobBuilder, JobPreparationAgent, JpaError, PlacementView};
 pub use monitor::{

@@ -581,6 +581,31 @@ impl Federation {
         }
     }
 
+    /// Installs the same per-DN request rate limit at every site's
+    /// gateway. Each site's token buckets are independent — a user who
+    /// exhausts one site's budget can still talk to the others, which is
+    /// exactly the paper's site-autonomy stance applied to abuse control.
+    pub fn set_rate_limit(&mut self, cfg: unicore_gateway::RateLimitConfig) {
+        for server in self.servers.values_mut() {
+            server.gateway_mut().set_rate_limit(cfg.clone());
+        }
+    }
+
+    /// Revokes a user DN grid-wide: every site's gateway refuses (and
+    /// audits) their requests until [`Federation::reinstate_user`].
+    pub fn revoke_user(&mut self, dn: &str) {
+        for server in self.servers.values_mut() {
+            server.gateway_mut().revoke_dn(dn);
+        }
+    }
+
+    /// Lifts a grid-wide DN revocation.
+    pub fn reinstate_user(&mut self, dn: &str) {
+        for server in self.servers.values_mut() {
+            server.gateway_mut().reinstate_dn(dn);
+        }
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now

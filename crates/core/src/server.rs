@@ -221,6 +221,26 @@ fn request_kind(request: &Request) -> &'static str {
     }
 }
 
+/// Whether a request is user-class: subject to the gateway's front-door
+/// admission (rate limit, DN revocation). NJS–NJS traffic between
+/// trusted peer servers is exempt — the admission budget protects the
+/// gateway from client storms, not the grid from itself.
+fn is_user_request(request: &Request) -> bool {
+    matches!(
+        request,
+        Request::Consign { .. }
+            | Request::Poll { .. }
+            | Request::Control { .. }
+            | Request::List
+            | Request::FetchFile { .. }
+            | Request::Purge { .. }
+            | Request::ListFiles { .. }
+            | Request::GetResources
+            | Request::Monitor { .. }
+            | Request::Broker { .. }
+    )
+}
+
 /// Span label for an authorization outcome.
 fn decision_label(decision: &AuthDecision) -> &'static str {
     match decision {
@@ -493,6 +513,19 @@ impl UnicoreServer {
         parent: Option<SpanContext>,
     ) -> Response {
         let now_secs = now / SEC;
+        // Front-door admission before any dispatch: revoked DNs and
+        // rate-limit overruns are refused (and audited by the gateway)
+        // without touching the NJS. Open by default — no limiter
+        // installed, no DNs revoked — so existing deployments see no
+        // behavior change until an operator opts in.
+        if !self.peer_servers.contains(from_dn) && is_user_request(&request) {
+            if let Some(reason) = self
+                .gateway
+                .admit(from_dn, request_kind(&request), now_secs)
+            {
+                return Response::Error(reason);
+            }
+        }
         match request {
             Request::Consign { ajo } => {
                 if ajo.user.dn != from_dn {

@@ -2,8 +2,9 @@
 //! authentication, DN → login mapping, optional site-specific checks, and
 //! an audit trail.
 
+use crate::ratelimit::{RateLimitConfig, RateLimiter};
 use crate::uudb::{MappedUser, MappingError, Uudb};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use unicore_certs::Certificate;
 use unicore_telemetry::{Counter, Telemetry};
 
@@ -64,6 +65,9 @@ struct GatewayMetrics {
     accepted: Counter,
     refused: Counter,
     audit_dropped: Counter,
+    ratelimit_allowed: Counter,
+    ratelimit_rejected: Counter,
+    revoked_rejected: Counter,
 }
 
 impl Default for GatewayMetrics {
@@ -72,6 +76,9 @@ impl Default for GatewayMetrics {
             accepted: Counter::detached(),
             refused: Counter::detached(),
             audit_dropped: Counter::detached(),
+            ratelimit_allowed: Counter::detached(),
+            ratelimit_rejected: Counter::detached(),
+            revoked_rejected: Counter::detached(),
         }
     }
 }
@@ -82,6 +89,9 @@ impl GatewayMetrics {
             accepted: telemetry.counter("gateway.authn.accepted"),
             refused: telemetry.counter("gateway.authn.refused"),
             audit_dropped: telemetry.counter("gateway.audit.dropped"),
+            ratelimit_allowed: telemetry.counter("gateway.ratelimit.allowed"),
+            ratelimit_rejected: telemetry.counter("gateway.ratelimit.rejected"),
+            revoked_rejected: telemetry.counter("gateway.sessions.revoked_rejects"),
         }
     }
 }
@@ -112,6 +122,13 @@ pub struct Gateway {
     /// memo in O(1) without tracking individual edits.
     map_cache: HashMap<String, Vec<CachedMapping>>,
     map_epoch: u64,
+    /// Per-DN request rate limiter; `None` means unlimited (the default,
+    /// so existing deployments are unaffected until opted in).
+    limiter: Option<RateLimiter>,
+    /// DNs refused outright: the request-level mirror of a CRL, kept by
+    /// DN because gateway admission happens after the transport already
+    /// authenticated the certificate.
+    revoked_dns: HashSet<String>,
 }
 
 impl Gateway {
@@ -127,6 +144,8 @@ impl Gateway {
             metrics: GatewayMetrics::default(),
             map_cache: HashMap::new(),
             map_epoch: 0,
+            limiter: None,
+            revoked_dns: HashSet::new(),
         }
     }
 
@@ -307,6 +326,61 @@ impl Gateway {
                 self.refuse(now, dn, vsite, &msg)
             }
         }
+    }
+
+    /// Installs (or replaces) the per-DN request rate limit.
+    pub fn set_rate_limit(&mut self, cfg: RateLimitConfig) {
+        self.limiter = Some(RateLimiter::new(cfg));
+    }
+
+    /// Removes the request rate limit.
+    pub fn clear_rate_limit(&mut self) {
+        self.limiter = None;
+    }
+
+    /// Marks `dn` as revoked: every subsequent user request is refused
+    /// (and audited) until [`reinstate_dn`](Gateway::reinstate_dn).
+    pub fn revoke_dn(&mut self, dn: impl Into<String>) {
+        self.revoked_dns.insert(dn.into());
+    }
+
+    /// Lifts a [`revoke_dn`](Gateway::revoke_dn).
+    pub fn reinstate_dn(&mut self, dn: &str) {
+        self.revoked_dns.remove(dn);
+    }
+
+    /// Whether `dn` is currently revoked at the request level.
+    pub fn is_dn_revoked(&self, dn: &str) -> bool {
+        self.revoked_dns.contains(dn)
+    }
+
+    /// Admission control in front of request dispatch: revocation first,
+    /// then the rate limit. Returns `Some(reason)` when the request must
+    /// be refused — each refusal is audited exactly once here, so the
+    /// caller must not audit again.
+    pub fn admit(&mut self, dn: &str, scope: &str, now: u64) -> Option<String> {
+        if self.revoked_dns.contains(dn) {
+            self.metrics.revoked_rejected.inc();
+            let AuthDecision::Refused(reason) = self.refuse(now, dn, scope, "certificate revoked")
+            else {
+                unreachable!("refuse always refuses")
+            };
+            return Some(reason);
+        }
+        if let Some(limiter) = &mut self.limiter {
+            if limiter.check(dn, now) {
+                self.metrics.ratelimit_allowed.inc();
+            } else {
+                self.metrics.ratelimit_rejected.inc();
+                let AuthDecision::Refused(reason) =
+                    self.refuse(now, dn, scope, "rate limit exceeded")
+                else {
+                    unreachable!("refuse always refuses")
+                };
+                return Some(reason);
+            }
+        }
+        None
     }
 
     fn refuse(&mut self, now: u64, dn: &str, vsite: &str, reason: &str) -> AuthDecision {
@@ -577,6 +651,69 @@ mod tests {
         let b2 = fx.gw.authorize_dn(&mb.dn, "SP2", None, 4);
         assert!(matches!(a2, AuthDecision::Accepted(m) if m.login == "alice1"));
         assert!(matches!(b2, AuthDecision::Accepted(m) if m.login == "ali"));
+    }
+
+    #[test]
+    fn admission_open_by_default() {
+        let mut fx = fixture();
+        let dn = fx.alice.cert.tbs.subject.to_string();
+        for t in 0..100 {
+            assert!(fx.gw.admit(&dn, "gateway", t).is_none());
+        }
+        assert!(fx.gw.audit().is_empty(), "admissions are not audited");
+    }
+
+    #[test]
+    fn rate_limit_refusals_audited_exactly_once() {
+        let mut fx = fixture();
+        let telemetry = Telemetry::disabled();
+        fx.gw.set_telemetry(&telemetry);
+        fx.gw
+            .set_rate_limit(crate::ratelimit::RateLimitConfig::new(1, 3));
+        let dn = fx.alice.cert.tbs.subject.to_string();
+        let mut refused = 0;
+        for _ in 0..10 {
+            if fx.gw.admit(&dn, "gateway", 50).is_some() {
+                refused += 1;
+            }
+        }
+        assert_eq!(refused, 7, "burst of 3, then refusals");
+        let audited = fx
+            .gw
+            .audit()
+            .iter()
+            .filter(|r| !r.accepted && r.detail == "rate limit exceeded")
+            .count();
+        assert_eq!(audited, refused, "every refusal audited exactly once");
+        let snap = telemetry.metrics_snapshot();
+        assert_eq!(snap.counter("gateway.ratelimit.rejected"), 7);
+        assert_eq!(snap.counter("gateway.ratelimit.allowed"), 3);
+
+        // Recovery: a second later one token has refilled.
+        assert!(fx.gw.admit(&dn, "gateway", 51).is_none());
+    }
+
+    #[test]
+    fn revoked_dn_refused_until_reinstated() {
+        let mut fx = fixture();
+        let telemetry = Telemetry::disabled();
+        fx.gw.set_telemetry(&telemetry);
+        let dn = fx.alice.cert.tbs.subject.to_string();
+        fx.gw.revoke_dn(dn.clone());
+        assert!(fx.gw.is_dn_revoked(&dn));
+        let reason = fx.gw.admit(&dn, "gateway", 10).unwrap();
+        assert!(reason.contains("revoked"));
+        let rec = fx.gw.audit().back().unwrap();
+        assert!(!rec.accepted);
+        assert_eq!(rec.detail, "certificate revoked");
+        assert_eq!(
+            telemetry
+                .metrics_snapshot()
+                .counter("gateway.sessions.revoked_rejects"),
+            1
+        );
+        fx.gw.reinstate_dn(&dn);
+        assert!(fx.gw.admit(&dn, "gateway", 11).is_none());
     }
 
     #[test]

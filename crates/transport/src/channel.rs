@@ -86,6 +86,44 @@ impl SecureChannel {
         Ok(())
     }
 
+    /// Sends many application frames in one batched record — one
+    /// sequence number, one ChaCha20 pass, one HMAC for the whole batch.
+    /// The receiver gets them back intact from
+    /// [`recv_frames`](Self::recv_frames).
+    pub fn send_frames(&mut self, frames: &[&[u8]]) -> Result<(), TransportError> {
+        if self.closed {
+            return Err(TransportError::Closed);
+        }
+        self.tx.seal_frames_into(frames, &mut self.seal_buf);
+        self.sealed.inc();
+        self.wire.send(&self.seal_buf)?;
+        Ok(())
+    }
+
+    /// Receives one record's worth of application frames: a batched
+    /// record yields every frame it carries; a plain data record yields
+    /// a single frame. Peer alerts close the channel as in
+    /// [`recv`](Self::recv).
+    pub fn recv_frames(&mut self, timeout: Duration) -> Result<Vec<Vec<u8>>, TransportError> {
+        if self.closed {
+            return Err(TransportError::Closed);
+        }
+        let raw = self.wire.recv_timeout(timeout)?;
+        let (rtype, payload) = self.rx.open(&raw)?;
+        self.opened.inc();
+        match rtype {
+            RecordType::Batch => RecordKeys::split_frames(&payload),
+            RecordType::Data => Ok(vec![payload]),
+            RecordType::Alert => {
+                self.closed = true;
+                Err(TransportError::PeerAlert(
+                    String::from_utf8_lossy(&payload).into_owned(),
+                ))
+            }
+            RecordType::Handshake => Err(TransportError::Protocol("handshake after establishment")),
+        }
+    }
+
     /// Receives an application message, waiting up to `timeout`.
     pub fn recv(&mut self, timeout: Duration) -> Result<Vec<u8>, TransportError> {
         let mut buf = Vec::new();
@@ -108,6 +146,9 @@ impl SecureChannel {
         self.opened.inc();
         match rtype {
             RecordType::Data => Ok(()),
+            RecordType::Batch => Err(TransportError::Protocol(
+                "batched record on plain recv (use recv_frames)",
+            )),
             RecordType::Alert => {
                 self.closed = true;
                 Err(TransportError::PeerAlert(

@@ -3,7 +3,7 @@
 //! Full flow (paper §4.1: server authenticates first, then the user):
 //!
 //! ```text
-//! C -> S  ClientHello  { c_random, session_id? }
+//! C -> S  ClientHello  { c_random, session_id?, ticket? }
 //! S -> C  ServerHello  { s_random, session_id, chain, dh_s, sig_s }
 //!         sig_s = Sign_S(c_random || s_random || dh_s)
 //! C -> S  ClientAuth   { chain, dh_c, sig_c }
@@ -11,21 +11,32 @@
 //!         both: master = HKDF-Extract(c_random || s_random, DH shared)
 //! C -> S  Finished     (under record keys)
 //! S -> C  Finished     (under record keys)
+//! S -> C  NewTicket    (under record keys)
 //! ```
 //!
-//! Abbreviated flow: when the server accepts the offered `session_id`, it
-//! replies `resumed = true` with no chain/DH, both sides re-derive record
-//! keys from the cached master and the fresh randoms, and exchange
-//! Finished in the S → C, C → S order.
+//! Abbreviated flow: resumption requires a [`ResumptionTicket`] offer that
+//! validates against the server's `SessionCache` hit — binder HMAC under
+//! the cached master, matching cert fingerprint, inside the TTL window,
+//! current cache epoch — *and* a live trust-store check on the cached
+//! peer certificate (so a revoked cert cannot resume). The server then
+//! replies `resumed = true` with no chain/DH, both sides derive a fresh
+//! per-connection master (`HKDF-Extract(c_random || s_random, cached
+//! master)`) so resumed connections never reuse record nonces, and
+//! exchange Finished in the S → C, C → S order. A fresh ticket is minted
+//! on every connection — full or resumed — so tickets rotate per
+//! reconnect. Any ticket that fails validation silently falls back to
+//! the full handshake.
 
 use crate::channel::SecureChannel;
 use crate::error::TransportError;
 use crate::messages::{HandshakeMessage, RANDOM_LEN};
 use crate::record::RecordKeys;
 use crate::session::{CachedSession, SessionCache};
+use crate::ticket::ResumptionTicket;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use unicore_certs::{Certificate, Identity, RequiredUsage, TrustStore};
+use unicore_codec::DerCodec;
 use unicore_crypto::bignum::BigUint;
 use unicore_crypto::dh::{DhEphemeral, DhGroup};
 use unicore_crypto::hmac::hmac_sha256;
@@ -33,6 +44,9 @@ use unicore_crypto::rng::CryptoRng;
 use unicore_crypto::sha256::Sha256;
 use unicore_simnet::WireEnd;
 use unicore_telemetry::Telemetry;
+
+/// Default resumption-ticket lifetime (simulation seconds).
+pub const DEFAULT_TICKET_TTL: u64 = 3_600;
 
 /// Configuration for one endpoint of the secure transport.
 pub struct Endpoint {
@@ -46,6 +60,8 @@ pub struct Endpoint {
     pub now: u64,
     /// Receive timeout for handshake messages.
     pub timeout: Duration,
+    /// Lifetime of resumption tickets this endpoint mints (server side).
+    pub ticket_ttl: u64,
     /// Telemetry sink for handshake and record-layer metrics; disabled
     /// by default.
     pub telemetry: Telemetry,
@@ -60,6 +76,7 @@ impl Endpoint {
             trust,
             now,
             timeout: Duration::from_secs(5),
+            ticket_ttl: DEFAULT_TICKET_TTL,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -69,6 +86,12 @@ impl Endpoint {
     /// count records under `transport.records.*`.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Overrides the minted-ticket lifetime.
+    pub fn with_ticket_ttl(mut self, ttl: u64) -> Self {
+        self.ticket_ttl = ttl;
         self
     }
 
@@ -141,6 +164,17 @@ fn connection_keys(master: &[u8], c_random: &[u8], s_random: &[u8]) -> (RecordKe
     )
 }
 
+/// Fresh per-connection master for a resumed session. Mixing the new
+/// randoms through HKDF means every reconnect gets distinct record keys
+/// and nonce bases even though the cached master is reused — record
+/// nonces are never repeated across connections.
+fn resumed_master(cached_master: &[u8], c_random: &[u8], s_random: &[u8]) -> Vec<u8> {
+    let mut salt = Vec::with_capacity(c_random.len() + s_random.len());
+    salt.extend_from_slice(c_random);
+    salt.extend_from_slice(s_random);
+    unicore_crypto::hkdf_extract(&salt, cached_master).to_vec()
+}
+
 fn finished_value(master: &[u8], transcript: &Sha256, label: &str) -> Vec<u8> {
     let digest = transcript.clone().finalize();
     let mut data = digest.to_vec();
@@ -163,11 +197,64 @@ fn client_signed_content(
     dh_public: &[u8],
     cert: &Certificate,
 ) -> Vec<u8> {
-    use unicore_codec::DerCodec;
     let mut v = hello_transcript.clone().finalize().to_vec();
     v.extend_from_slice(dh_public);
     v.extend_from_slice(&cert.to_der());
     v
+}
+
+/// Validates a resumption offer against the cache + live trust store.
+/// `None` means fall back to the full handshake.
+fn validate_resumption(
+    ep: &Endpoint,
+    cache: &SessionCache,
+    offered_id: Option<&Vec<u8>>,
+    ticket: Option<&ResumptionTicket>,
+) -> Option<CachedSession> {
+    let ticket = ticket?;
+    let id = offered_id?;
+    if *id != ticket.session_id {
+        ep.telemetry
+            .counter("transport.handshake.resume_rejected")
+            .inc();
+        return None;
+    }
+    let Some(session) = cache.lookup_id(id) else {
+        // Plain cache miss (e.g. evicted): not an abuse signal.
+        return None;
+    };
+    if ticket
+        .verify(
+            &session.master,
+            &session.peer.fingerprint(),
+            ep.now,
+            cache.epoch(),
+        )
+        .is_err()
+    {
+        ep.telemetry
+            .counter("transport.handshake.resume_rejected")
+            .inc();
+        return None;
+    }
+    // Live revocation check: the cert was valid when cached, but a CRL
+    // may have landed since. A revoked cert must not skip the front door.
+    if ep
+        .trust
+        .validate(
+            std::slice::from_ref(&session.peer),
+            ep.now,
+            RequiredUsage::Any,
+        )
+        .is_err()
+    {
+        cache.invalidate(&session.session_id);
+        ep.telemetry
+            .counter("transport.handshake.resume_rejected")
+            .inc();
+        return None;
+    }
+    Some(session)
 }
 
 /// Runs the client side of the handshake over `wire`.
@@ -184,13 +271,20 @@ pub fn client_handshake(
     let mut transcript = Sha256::new();
     let c_random = rng.bytes(RANDOM_LEN);
 
-    let offered = cache.lookup_peer(server_name);
+    // Offer resumption only with a ticket that is still inside its
+    // window — an expired offer would just burn a round of validation.
+    let offered = cache.lookup_peer(server_name).filter(|s| {
+        s.ticket
+            .as_ref()
+            .is_some_and(|t| t.usable_at(ep.now) && t.session_id == s.session_id)
+    });
     send_msg(
         &mut wire,
         &mut transcript,
         &HandshakeMessage::ClientHello {
             random: c_random.clone(),
             session_id: offered.as_ref().map(|s| s.session_id.clone()),
+            ticket: offered.as_ref().and_then(|s| s.ticket.clone()),
         },
     )?;
 
@@ -217,17 +311,39 @@ pub fn client_handshake(
             abort(&mut wire, "session id mismatch");
             return Err(TransportError::Protocol("resumed wrong session"));
         }
-        let (c2s, s2c) = connection_keys(&session.master, &c_random, &s_random);
-        let mut chan =
-            SecureChannel::new(wire, c2s, s2c, session.peer.clone(), true, session_id, true);
+        let rmaster = resumed_master(&session.master, &c_random, &s_random);
+        let (c2s, s2c) = connection_keys(&rmaster, &c_random, &s_random);
+        let mut chan = SecureChannel::new(
+            wire,
+            c2s,
+            s2c,
+            session.peer.clone(),
+            true,
+            session_id.clone(),
+            true,
+        );
         // Server finishes first in the abbreviated flow.
         let their = chan.recv_handshake(ep.timeout)?;
-        let expect = finished_value(&session.master, &transcript, "server finished");
+        let expect = finished_value(&rmaster, &transcript, "server finished");
         if !unicore_crypto::ct_eq(&their, &expect) {
             return Err(TransportError::Protocol("bad server Finished"));
         }
-        let mine = finished_value(&session.master, &transcript, "client finished");
+        let mine = finished_value(&rmaster, &transcript, "client finished");
         chan.send_handshake(&mine)?;
+        // Rotated ticket for the next reconnect.
+        let ticket = ResumptionTicket::from_der(&chan.recv_handshake(ep.timeout)?)
+            .map_err(|_| TransportError::BadMessage("resumption ticket"))?;
+        cache.store_validated(
+            server_name,
+            CachedSession {
+                session_id,
+                master: session.master,
+                peer: session.peer,
+                ticket: Some(ticket),
+            },
+            &ep.trust,
+            ep.now,
+        );
         record_handshake(ep, true, started, &mut chan);
         return Ok(chan);
     }
@@ -299,14 +415,19 @@ pub fn client_handshake(
     if !unicore_crypto::ct_eq(&their, &expect) {
         return Err(TransportError::Protocol("bad server Finished"));
     }
+    let ticket = ResumptionTicket::from_der(&chan.recv_handshake(ep.timeout)?)
+        .map_err(|_| TransportError::BadMessage("resumption ticket"))?;
 
-    cache.store(
+    cache.store_validated(
         server_name,
         CachedSession {
             session_id,
             master,
             peer: server_cert,
+            ticket: Some(ticket),
         },
+        &ep.trust,
+        ep.now,
     );
     record_handshake(ep, false, started, &mut chan);
     Ok(chan)
@@ -325,6 +446,7 @@ pub fn server_handshake(
     let HandshakeMessage::ClientHello {
         random: c_random,
         session_id: offered,
+        ticket,
     } = hello
     else {
         abort(&mut wire, "expected ClientHello");
@@ -332,8 +454,9 @@ pub fn server_handshake(
     };
     let s_random = rng.bytes(RANDOM_LEN);
 
-    // Try resumption.
-    if let Some(session) = offered.as_ref().and_then(|id| cache.lookup_id(id)) {
+    // Abbreviated flow: only for offers whose ticket validates against
+    // the cached session *and* whose cert is still trusted right now.
+    if let Some(session) = validate_resumption(ep, cache, offered.as_ref(), ticket.as_ref()) {
         send_msg(
             &mut wire,
             &mut transcript,
@@ -346,7 +469,8 @@ pub fn server_handshake(
                 signature: vec![],
             },
         )?;
-        let (c2s, s2c) = connection_keys(&session.master, &c_random, &s_random);
+        let rmaster = resumed_master(&session.master, &c_random, &s_random);
+        let (c2s, s2c) = connection_keys(&rmaster, &c_random, &s_random);
         let mut chan = SecureChannel::new(
             wire,
             c2s,
@@ -356,13 +480,23 @@ pub fn server_handshake(
             session.session_id.clone(),
             false,
         );
-        let mine = finished_value(&session.master, &transcript, "server finished");
+        let mine = finished_value(&rmaster, &transcript, "server finished");
         chan.send_handshake(&mine)?;
         let their = chan.recv_handshake(ep.timeout)?;
-        let expect = finished_value(&session.master, &transcript, "client finished");
+        let expect = finished_value(&rmaster, &transcript, "client finished");
         if !unicore_crypto::ct_eq(&their, &expect) {
             return Err(TransportError::Protocol("bad client Finished"));
         }
+        // Rotate the ticket so the next reconnect carries a fresh window.
+        let next = ResumptionTicket::mint(
+            &session.master,
+            &session.session_id,
+            &session.peer.fingerprint(),
+            ep.now,
+            ep.ticket_ttl,
+            cache.epoch(),
+        );
+        chan.send_handshake(&next.to_der())?;
         record_handshake(ep, true, started, &mut chan);
         return Ok(chan);
     }
@@ -446,13 +580,28 @@ pub fn server_handshake(
     let mine = finished_value(&master, &transcript, "server finished");
     chan.send_handshake(&mine)?;
 
-    cache.store(
+    let next = ResumptionTicket::mint(
+        &master,
+        &session_id,
+        &client_cert.fingerprint(),
+        ep.now,
+        ep.ticket_ttl,
+        cache.epoch(),
+    );
+    chan.send_handshake(&next.to_der())?;
+
+    // Store-time validation matters: if a CRL landed between the chain
+    // check above and here, the session must not become resumable.
+    cache.store_validated(
         &client_cert.tbs.subject.to_string(),
         CachedSession {
             session_id,
             master,
             peer: client_cert,
+            ticket: None,
         },
+        &ep.trust,
+        ep.now,
     );
     record_handshake(ep, false, started, &mut chan);
     Ok(chan)

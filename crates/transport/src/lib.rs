@@ -15,7 +15,8 @@
 //!
 //! - [`messages`] — DER-encoded handshake messages
 //! - [`handshake`] — full and abbreviated (resumed) flows
-//! - [`record`] — MAC-then-encrypt record protection
+//! - [`ticket`] — HMAC-bound resumption tickets (TTL + epoch)
+//! - [`record`] — MAC-then-encrypt record protection, with batched frames
 //! - [`session`] — session cache for resumption
 //! - [`channel`] — the established [`SecureChannel`]
 
@@ -29,11 +30,13 @@ pub mod messages;
 pub mod record;
 pub mod session;
 pub mod stream;
+pub mod ticket;
 
 pub use channel::SecureChannel;
 pub use error::TransportError;
-pub use handshake::{client_handshake, server_handshake, Endpoint};
+pub use handshake::{client_handshake, server_handshake, Endpoint, DEFAULT_TICKET_TTL};
 pub use messages::HandshakeMessage;
 pub use record::{RecordKeys, RecordType};
 pub use session::{CachedSession, SessionCache};
 pub use stream::{recv_stream, send_stream, STREAM_CHUNK};
+pub use ticket::{ResumptionTicket, TicketReject};

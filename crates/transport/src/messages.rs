@@ -1,6 +1,7 @@
 //! Handshake message encoding (DER, via `unicore-codec`).
 
 use crate::error::TransportError;
+use crate::ticket::ResumptionTicket;
 use unicore_certs::Certificate;
 use unicore_codec::{CodecError, DerCodec, Fields, Value};
 
@@ -22,6 +23,10 @@ pub enum HandshakeMessage {
         random: Vec<u8>,
         /// Session id to resume, if any.
         session_id: Option<Vec<u8>>,
+        /// Resumption ticket proving the right to resume `session_id`.
+        /// A session-id offer without a valid ticket gets a full
+        /// handshake.
+        ticket: Option<ResumptionTicket>,
     },
     /// Server replies with identity and key-agreement material.
     ServerHello {
@@ -85,10 +90,17 @@ fn chain_from(value: &Value) -> Result<Vec<Certificate>, CodecError> {
 impl DerCodec for HandshakeMessage {
     fn to_value(&self) -> Value {
         match self {
-            HandshakeMessage::ClientHello { random, session_id } => {
+            HandshakeMessage::ClientHello {
+                random,
+                session_id,
+                ticket,
+            } => {
                 let mut fields = vec![Value::Enumerated(1), Value::bytes(random.clone())];
                 if let Some(sid) = session_id {
                     fields.push(Value::tagged(0, Value::bytes(sid.clone())));
+                }
+                if let Some(t) = ticket {
+                    fields.push(Value::tagged(1, t.to_value()));
                 }
                 Value::Sequence(fields)
             }
@@ -142,7 +154,15 @@ impl DerCodec for HandshakeMessage {
                     ),
                     None => None,
                 };
-                HandshakeMessage::ClientHello { random, session_id }
+                let ticket = match f.optional_tagged(1) {
+                    Some(v) => Some(ResumptionTicket::from_value(v)?),
+                    None => None,
+                };
+                HandshakeMessage::ClientHello {
+                    random,
+                    session_id,
+                    ticket,
+                }
             }
             2 => HandshakeMessage::ServerHello {
                 random: f.next_bytes()?.to_vec(),
@@ -200,9 +220,21 @@ mod tests {
             let m = HandshakeMessage::ClientHello {
                 random: vec![7u8; RANDOM_LEN],
                 session_id,
+                ticket: None,
             };
             assert_eq!(HandshakeMessage::decode(&m.encode()).unwrap(), m);
         }
+    }
+
+    #[test]
+    fn client_hello_with_ticket_round_trip() {
+        let ticket = ResumptionTicket::mint(b"master", &[1, 2, 3], "ab12cd34ef56ab78", 5, 600, 1);
+        let m = HandshakeMessage::ClientHello {
+            random: vec![7u8; RANDOM_LEN],
+            session_id: Some(vec![1, 2, 3]),
+            ticket: Some(ticket),
+        };
+        assert_eq!(HandshakeMessage::decode(&m.encode()).unwrap(), m);
     }
 
     #[test]

@@ -23,6 +23,9 @@ pub enum RecordType {
     Handshake,
     /// Application data.
     Data,
+    /// A batch of length-prefixed application frames in one record —
+    /// one ChaCha20 pass and one HMAC protect the whole batch.
+    Batch,
     /// Fatal alert carrying a reason string.
     Alert,
 }
@@ -32,6 +35,7 @@ impl RecordType {
         match self {
             RecordType::Handshake => 22,
             RecordType::Data => 23,
+            RecordType::Batch => 24,
             RecordType::Alert => 21,
         }
     }
@@ -40,6 +44,7 @@ impl RecordType {
         match b {
             22 => Ok(RecordType::Handshake),
             23 => Ok(RecordType::Data),
+            24 => Ok(RecordType::Batch),
             21 => Ok(RecordType::Alert),
             _ => Err(TransportError::Protocol("unknown record type")),
         }
@@ -124,6 +129,54 @@ impl RecordKeys {
         mac.update(&out[..HEADER_LEN + plaintext.len()]);
         let tag = mac.finalize();
         out.extend_from_slice(&tag);
+    }
+
+    /// Seals many frames into one [`RecordType::Batch`] record: the
+    /// plaintext is `(u32 BE length || frame)*`, so a poll batch pays a
+    /// single sequence number, ChaCha20 keystream and HMAC instead of
+    /// one of each per message.
+    pub fn seal_frames_into(&mut self, frames: &[&[u8]], out: &mut Vec<u8>) {
+        let seq = self.seq;
+        self.seq += 1;
+        let body_len: usize = frames.iter().map(|f| 4 + f.len()).sum();
+        out.clear();
+        out.reserve(HEADER_LEN + body_len + MAC_LEN);
+        out.push(RecordType::Batch.to_byte());
+        out.extend_from_slice(&seq.to_be_bytes());
+        for frame in frames {
+            out.extend_from_slice(&(frame.len() as u32).to_be_bytes());
+            out.extend_from_slice(frame);
+        }
+
+        let nonce = self.nonce_for(seq);
+        let mut cipher = ChaCha20::new(&self.enc_key, &nonce, 0);
+        cipher.apply(&mut out[HEADER_LEN..]);
+
+        let mut mac = self.mac_state.clone();
+        mac.update(&out[..HEADER_LEN + body_len]);
+        let tag = mac.finalize();
+        out.extend_from_slice(&tag);
+    }
+
+    /// Splits an opened [`RecordType::Batch`] payload back into frames.
+    pub fn split_frames(payload: &[u8]) -> Result<Vec<Vec<u8>>, TransportError> {
+        let mut frames = Vec::new();
+        let mut at = 0usize;
+        while at < payload.len() {
+            if payload.len() - at < 4 {
+                return Err(TransportError::Protocol("truncated batch frame header"));
+            }
+            let mut len_bytes = [0u8; 4];
+            len_bytes.copy_from_slice(&payload[at..at + 4]);
+            let len = u32::from_be_bytes(len_bytes) as usize;
+            at += 4;
+            if payload.len() - at < len {
+                return Err(TransportError::Protocol("truncated batch frame"));
+            }
+            frames.push(payload[at..at + len].to_vec());
+            at += len;
+        }
+        Ok(frames)
     }
 
     /// Opens a wire record, enforcing sequence continuity and the MAC.
@@ -269,6 +322,50 @@ mod tests {
             assert_eq!(rtype, RecordType::Data);
             assert_eq!(opened, msg);
         }
+    }
+
+    #[test]
+    fn batch_frames_round_trip() {
+        let (mut tx, mut rx) = pair();
+        let frames: Vec<&[u8]> = vec![b"poll job 1", b"", b"poll job 2 with longer body"];
+        let mut rec = Vec::new();
+        tx.seal_frames_into(&frames, &mut rec);
+        let (rtype, payload) = rx.open(&rec).unwrap();
+        assert_eq!(rtype, RecordType::Batch);
+        let back = RecordKeys::split_frames(&payload).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[0], b"poll job 1");
+        assert!(back[1].is_empty());
+        assert_eq!(back[2], b"poll job 2 with longer body");
+    }
+
+    #[test]
+    fn batch_consumes_one_sequence_number() {
+        let (mut tx, mut rx) = pair();
+        let mut rec = Vec::new();
+        tx.seal_frames_into(&[b"a", b"b", b"c"], &mut rec);
+        rx.open(&rec).unwrap();
+        // The next single record still lines up: the batch took one seq.
+        let r = tx.seal(RecordType::Data, b"after");
+        let (_, plain) = rx.open(&r).unwrap();
+        assert_eq!(plain, b"after");
+    }
+
+    #[test]
+    fn tampered_batch_rejected() {
+        let (mut tx, mut rx) = pair();
+        let mut rec = Vec::new();
+        tx.seal_frames_into(&[b"frame one", b"frame two"], &mut rec);
+        rec[HEADER_LEN + 2] ^= 0x40;
+        assert!(matches!(rx.open(&rec), Err(TransportError::RecordMac)));
+    }
+
+    #[test]
+    fn malformed_batch_payload_rejected() {
+        // Lengths that overrun the payload are errors, not panics.
+        assert!(RecordKeys::split_frames(&[0, 0, 0, 9, 1, 2]).is_err());
+        assert!(RecordKeys::split_frames(&[0, 0, 0]).is_err());
+        assert!(RecordKeys::split_frames(&[]).unwrap().is_empty());
     }
 
     #[test]

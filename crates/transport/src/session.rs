@@ -1,8 +1,10 @@
 //! Session caching for abbreviated (resumed) handshakes.
 
+use crate::ticket::ResumptionTicket;
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
-use unicore_certs::Certificate;
+use std::sync::atomic::{AtomicU64, Ordering};
+use unicore_certs::{Certificate, RequiredUsage, TrustStore};
 
 /// A cached session: master secret plus the authenticated peer.
 #[derive(Clone)]
@@ -13,15 +15,24 @@ pub struct CachedSession {
     pub master: Vec<u8>,
     /// The peer's validated end-entity certificate.
     pub peer: Certificate,
+    /// The resumption ticket covering this session (client side; servers
+    /// cache sessions without one and validate the client's offer).
+    pub ticket: Option<ResumptionTicket>,
 }
 
 /// A bounded, thread-safe session cache.
 ///
 /// Servers key sessions by session id; clients additionally key by peer
 /// name so they can find a resumable session for a given gateway.
+///
+/// The cache carries an *epoch*: every outstanding resumption ticket is
+/// minted under the epoch current at handshake time, and bumping it
+/// (revocation event, administrative flush) invalidates them all at once
+/// without touching individual entries.
 pub struct SessionCache {
     inner: Mutex<Inner>,
     capacity: usize,
+    epoch: AtomicU64,
 }
 
 struct Inner {
@@ -58,6 +69,19 @@ impl Inner {
             self.order.retain(|id| by_id.contains_key(id));
         }
     }
+
+    fn remove(&mut self, session_id: &[u8]) {
+        self.by_id.remove(session_id);
+        if let Some(peer) = self.peer_of.remove(session_id) {
+            if self
+                .by_peer
+                .get(&peer)
+                .is_some_and(|id| id.as_slice() == session_id)
+            {
+                self.by_peer.remove(&peer);
+            }
+        }
+    }
 }
 
 impl SessionCache {
@@ -71,10 +95,27 @@ impl SessionCache {
                 order: VecDeque::new(),
             }),
             capacity: capacity.max(1),
+            epoch: AtomicU64::new(0),
         }
     }
 
+    /// The current cache epoch (stamped into minted tickets).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Bumps the epoch, invalidating every outstanding ticket at once.
+    pub fn bump_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
     /// Stores a session, associating it with `peer_name` for client lookup.
+    ///
+    /// Production callers should prefer [`store_validated`], which refuses
+    /// entries whose certificate no longer validates (e.g. landed on a CRL
+    /// between authentication and caching).
+    ///
+    /// [`store_validated`]: SessionCache::store_validated
     pub fn store(&self, peer_name: &str, session: CachedSession) {
         let mut inner = self.inner.lock();
         if inner.by_id.len() >= self.capacity && !inner.by_id.contains_key(&session.session_id) {
@@ -94,6 +135,26 @@ impl SessionCache {
         inner.compact();
     }
 
+    /// Stores a session only if its peer certificate still validates
+    /// against `trust` at `now` — in particular, a certificate already on
+    /// the CRL never enters the cache. Returns whether it was stored.
+    pub fn store_validated(
+        &self,
+        peer_name: &str,
+        session: CachedSession,
+        trust: &TrustStore,
+        now: u64,
+    ) -> bool {
+        if trust
+            .validate(std::slice::from_ref(&session.peer), now, RequiredUsage::Any)
+            .is_err()
+        {
+            return false;
+        }
+        self.store(peer_name, session);
+        true
+    }
+
     /// Server-side lookup by session id.
     pub fn lookup_id(&self, session_id: &[u8]) -> Option<CachedSession> {
         self.inner.lock().by_id.get(session_id).cloned()
@@ -110,17 +171,37 @@ impl SessionCache {
     /// is reclaimed lazily by eviction or `compact`.
     pub fn invalidate(&self, session_id: &[u8]) {
         let mut inner = self.inner.lock();
-        inner.by_id.remove(session_id);
-        if let Some(peer) = inner.peer_of.remove(session_id) {
-            if inner
-                .by_peer
-                .get(&peer)
-                .is_some_and(|id| id.as_slice() == session_id)
-            {
-                inner.by_peer.remove(&peer);
-            }
+        inner.remove(session_id);
+        inner.compact();
+    }
+
+    /// Removes every session whose entry matches `pred` (e.g. all sessions
+    /// authenticated by a newly revoked certificate). Returns how many
+    /// were dropped.
+    pub fn invalidate_matching(&self, pred: impl Fn(&CachedSession) -> bool) -> usize {
+        let mut inner = self.inner.lock();
+        let doomed: Vec<Vec<u8>> = inner
+            .by_id
+            .values()
+            .filter(|s| pred(s))
+            .map(|s| s.session_id.clone())
+            .collect();
+        for id in &doomed {
+            inner.remove(id);
         }
         inner.compact();
+        doomed.len()
+    }
+
+    /// Drops every session whose certificate no longer validates against
+    /// `trust` at `now` — the CRL-refresh sweep. Returns how many were
+    /// dropped.
+    pub fn retain_valid(&self, trust: &TrustStore, now: u64) -> usize {
+        self.invalidate_matching(|s| {
+            trust
+                .validate(std::slice::from_ref(&s.peer), now, RequiredUsage::Any)
+                .is_err()
+        })
     }
 
     /// Number of cached sessions.
@@ -163,6 +244,7 @@ mod tests {
             session_id: vec![id],
             master: vec![id; 32],
             peer: cert("peer"),
+            ticket: None,
         }
     }
 
@@ -233,5 +315,38 @@ mod tests {
         cache.invalidate(&[1]);
         assert!(cache.is_empty());
         assert!(cache.lookup_peer("FZJ").is_none());
+    }
+
+    #[test]
+    fn epoch_bumps_monotonically() {
+        let cache = SessionCache::new(4);
+        assert_eq!(cache.epoch(), 0);
+        assert_eq!(cache.bump_epoch(), 1);
+        assert_eq!(cache.bump_epoch(), 2);
+        assert_eq!(cache.epoch(), 2);
+    }
+
+    #[test]
+    fn invalidate_matching_drops_by_predicate() {
+        let cache = SessionCache::new(8);
+        cache.store("a", session(1));
+        cache.store("b", session(2));
+        cache.store("c", session(3));
+        let dropped = cache.invalidate_matching(|s| s.session_id[0] % 2 == 1);
+        assert_eq!(dropped, 2);
+        assert!(cache.lookup_id(&[1]).is_none());
+        assert!(cache.lookup_id(&[2]).is_some());
+        assert!(cache.lookup_id(&[3]).is_none());
+        assert!(cache.lookup_peer("a").is_none());
+        assert!(cache.lookup_peer("b").is_some());
+    }
+
+    #[test]
+    fn store_validated_refuses_untrusted_cert() {
+        // Empty trust store: nothing validates, so nothing is cached.
+        let trust = TrustStore::new();
+        let cache = SessionCache::new(4);
+        assert!(!cache.store_validated("FZJ", session(1), &trust, 10));
+        assert!(cache.is_empty());
     }
 }

@@ -311,13 +311,24 @@ fn unknown_session_offer_falls_back_to_full_handshake() {
     let (cep, sep) = endpoints(&mut w);
     let cc = SessionCache::new(8);
     let sc = SessionCache::new(8);
-    // Prime only the CLIENT cache with a fabricated session for "FZJ".
+    // Prime only the CLIENT cache with a fabricated session for "FZJ",
+    // complete with a ticket that looks fine from the client's side.
+    let fake_master = vec![7u8; 32];
+    let ticket = unicore_transport::ResumptionTicket::mint(
+        &fake_master,
+        &[0xde, 0xad],
+        &cep.identity.cert.fingerprint(),
+        100,
+        1_000,
+        0,
+    );
     cc.store(
         "FZJ",
         unicore_transport::CachedSession {
             session_id: vec![0xde, 0xad],
-            master: vec![7u8; 32],
+            master: fake_master,
             peer: sep.identity.cert.clone(),
+            ticket: Some(ticket),
         },
     );
     let (client, server) = run_handshake(&cep, &sep, &cc, &sc, 30);
@@ -335,4 +346,135 @@ fn unknown_session_offer_falls_back_to_full_handshake() {
         cc.lookup_peer("FZJ").unwrap().session_id,
         client.session_id()
     );
+}
+
+#[test]
+fn tampered_ticket_falls_back_to_full_handshake() {
+    let mut w = world(13);
+    let (cep, sep) = endpoints(&mut w);
+    let cc = SessionCache::new(8);
+    let sc = SessionCache::new(8);
+    let (c1, s1) = run_handshake(&cep, &sep, &cc, &sc, 40);
+    c1.unwrap();
+    s1.unwrap();
+
+    // Corrupt the client's stored ticket binder: the server must reject
+    // the offer and run the full flow — no panic, no failure.
+    let mut session = cc.lookup_peer("FZJ").unwrap();
+    let mut ticket = session.ticket.take().unwrap();
+    ticket.binder[0] ^= 0xff;
+    session.ticket = Some(ticket);
+    cc.store("FZJ", session);
+
+    let (c2, s2) = run_handshake(&cep, &sep, &cc, &sc, 41);
+    let c2 = c2.unwrap();
+    let s2 = s2.unwrap();
+    assert!(!c2.resumed(), "tampered ticket must not resume");
+    assert!(!s2.resumed());
+}
+
+#[test]
+fn expired_ticket_falls_back_to_full_handshake() {
+    let mut w = world(14);
+    let (mut cep, mut sep) = endpoints(&mut w);
+    sep.ticket_ttl = 50;
+    let cc = SessionCache::new(8);
+    let sc = SessionCache::new(8);
+    let (c1, s1) = run_handshake(&cep, &sep, &cc, &sc, 42);
+    c1.unwrap();
+    s1.unwrap();
+
+    // Just inside the window: resumes.
+    cep.now = 149;
+    sep.now = 149;
+    let (c2, s2) = run_handshake(&cep, &sep, &cc, &sc, 43);
+    assert!(c2.unwrap().resumed());
+    assert!(s2.unwrap().resumed());
+
+    // Exactly at expiry (issued_at 149 + ttl 50 = 199): full handshake.
+    cep.now = 199;
+    sep.now = 199;
+    let (c3, s3) = run_handshake(&cep, &sep, &cc, &sc, 44);
+    assert!(!c3.unwrap().resumed());
+    assert!(!s3.unwrap().resumed());
+}
+
+#[test]
+fn epoch_bump_invalidates_outstanding_tickets() {
+    let mut w = world(15);
+    let (cep, sep) = endpoints(&mut w);
+    let cc = SessionCache::new(8);
+    let sc = SessionCache::new(8);
+    let (c1, s1) = run_handshake(&cep, &sep, &cc, &sc, 45);
+    c1.unwrap();
+    s1.unwrap();
+
+    sc.bump_epoch();
+    let (c2, s2) = run_handshake(&cep, &sep, &cc, &sc, 46);
+    assert!(!c2.unwrap().resumed(), "stale-epoch ticket must not resume");
+    assert!(!s2.unwrap().resumed());
+
+    // The fresh full handshake minted a current-epoch ticket: resumable.
+    let (c3, s3) = run_handshake(&cep, &sep, &cc, &sc, 47);
+    assert!(c3.unwrap().resumed());
+    assert!(s3.unwrap().resumed());
+}
+
+#[test]
+fn store_rejects_certificate_already_on_crl() {
+    // Regression: a session whose cert is already revoked must not enter
+    // the cache through the validated store path.
+    let mut w = world(16);
+    let user = identity(&mut w, "alice", KeyUsage::user());
+    let user_cert = user.cert.clone();
+    w.ca.revoke(user_cert.tbs.serial);
+    let crl = w.ca.publish_crl(60);
+    let mut trust = TrustStore::new();
+    trust.add_anchor(w.ca.certificate().clone()).unwrap();
+    trust.install_crl(crl).unwrap();
+
+    let sc = SessionCache::new(8);
+    let stored = sc.store_validated(
+        "alice",
+        unicore_transport::CachedSession {
+            session_id: vec![1, 2, 3],
+            master: vec![9u8; 32],
+            peer: user_cert,
+            ticket: None,
+        },
+        &trust,
+        100,
+    );
+    assert!(!stored, "revoked cert must be refused at store time");
+    assert!(sc.is_empty());
+}
+
+#[test]
+fn revocation_kills_resumption_of_cached_session() {
+    let mut w = world(17);
+    let (cep, mut sep) = endpoints(&mut w);
+    let cc = SessionCache::new(8);
+    let sc = SessionCache::new(8);
+    let (c1, s1) = run_handshake(&cep, &sep, &cc, &sc, 48);
+    c1.unwrap();
+    s1.unwrap();
+    assert_eq!(sc.len(), 1);
+
+    // The client's cert lands on a CRL after the session was cached.
+    let revoked_serial = cep.identity.cert.tbs.serial;
+    w.ca.revoke(revoked_serial);
+    let crl = w.ca.publish_crl(110);
+    let mut trust = TrustStore::new();
+    trust.add_anchor(w.ca.certificate().clone()).unwrap();
+    trust.install_crl(crl).unwrap();
+    sep.trust = Arc::new(trust);
+    sep.now = 120;
+
+    // The resumption offer must be refused by the live CRL check, and the
+    // full-handshake fallback then rejects the revoked chain outright.
+    let (client, server) = run_handshake(&cep, &sep, &cc, &sc, 49);
+    assert!(matches!(server, Err(TransportError::Cert(_))));
+    assert!(client.is_err());
+    // The poisoned session is gone from the server cache.
+    assert!(sc.is_empty());
 }

@@ -1,0 +1,462 @@
+//! Churn/abuse soak suite for the gateway front door (E19): deterministic
+//! federated workloads replayed while the front door is hammered —
+//! reconnect storms over resumable sessions, ticket-expiry boundaries,
+//! revocation mid-poll, and rate-limit bursts — asserting the terminal
+//! job outcomes are *byte-for-byte identical* to the churn-free run and
+//! that every rejected request is audited exactly once. Abuse may slow
+//! the grid down or turn abusers away; it must never change what the
+//! grid computes for everyone else.
+
+use std::sync::Arc;
+use std::time::Duration;
+use unicore::ajo::*;
+use unicore::protocol::{outcome_of, Request, Response};
+use unicore::{Federation, FederationConfig};
+use unicore_certs::{
+    CertificateAuthority, DistinguishedName, Identity, KeyUsage, TrustStore, Validity,
+};
+use unicore_codec::DerCodec;
+use unicore_crypto::CryptoRng;
+use unicore_gateway::{FrontDoor, FrontDoorError, RateLimitConfig};
+use unicore_sim::{HOUR, SEC};
+use unicore_simnet::wire_pair;
+use unicore_telemetry::Telemetry;
+use unicore_transport::{client_handshake, SecureChannel, SessionCache, TransportError};
+
+const DN: &str = "C=DE, O=FZJ, OU=ZAM, CN=churn";
+const ABUSER: &str = "C=DE, O=FZJ, OU=ZAM, CN=abuser";
+
+/// The soak seeds: every churn shape must hold for all of them.
+const SEEDS: [u64; 3] = [1, 7, 23];
+
+fn attrs() -> UserAttributes {
+    UserAttributes::new(DN, "users")
+}
+
+fn script_node(id: u64, name: &str, script: &str) -> (ActionId, GraphNode) {
+    (
+        ActionId(id),
+        GraphNode::Task(AbstractTask {
+            name: name.into(),
+            resources: ResourceRequest::minimal().with_run_time(3_600),
+            kind: TaskKind::Execute(ExecuteKind::Script {
+                script: script.into(),
+            }),
+        }),
+    )
+}
+
+/// The workload whose outcomes must be churn-immune: a two-task pipeline
+/// at FZJ and an independent job at ZIB.
+fn workload() -> Vec<(&'static str, AbstractJob)> {
+    let mut pipeline = AbstractJob::new("pipeline", VsiteAddress::new("FZJ", "T3E"), attrs());
+    pipeline
+        .nodes
+        .push(script_node(1, "make", "sleep 30\nproduce out.bin 2048\n"));
+    pipeline.nodes.push(script_node(2, "check", "sleep 10\n"));
+    pipeline.dependencies.push(Dependency {
+        from: ActionId(1),
+        to: ActionId(2),
+        files: vec!["out.bin".into()],
+    });
+    let mut solo = AbstractJob::new("solo", VsiteAddress::new("ZIB", "T3E"), attrs());
+    solo.nodes.push(script_node(1, "t", "sleep 20\n"));
+    vec![("FZJ", pipeline), ("ZIB", solo)]
+}
+
+/// Runs the workload to terminal outcomes, invoking `churn` once per
+/// poll round so abuse traffic interleaves with real polling. Returns
+/// the outcome DERs in submission order plus the finished federation.
+fn run_workload(
+    seed: u64,
+    mut churn: impl FnMut(&mut Federation, usize),
+) -> (Vec<Vec<u8>>, Federation) {
+    let mut fed = Federation::german_deployment(FederationConfig {
+        seed,
+        ..FederationConfig::default()
+    });
+    fed.register_user(DN, "alice");
+    fed.register_user(ABUSER, "mallory");
+    fed.attach_stores();
+
+    let submissions = workload();
+    let corrs: Vec<(String, u64)> = submissions
+        .into_iter()
+        .map(|(via, job)| (via.to_string(), fed.client_submit(via, job, DN)))
+        .collect();
+
+    let deadline = 4 * HOUR;
+    let mut ids: Vec<Option<JobId>> = vec![None; corrs.len()];
+    while ids.iter().any(Option::is_none) {
+        fed.run_until(fed.now() + 5 * SEC);
+        for (i, (_, corr)) in corrs.iter().enumerate() {
+            if ids[i].is_none() {
+                match fed.take_client_response(*corr) {
+                    Some(Response::Consigned { job }) => ids[i] = Some(job),
+                    Some(other) => panic!("consign {i} failed: {other:?}"),
+                    None => {}
+                }
+            }
+        }
+        assert!(fed.now() < deadline, "consign acks never arrived");
+    }
+
+    let mut outcomes = Vec::new();
+    let mut round = 0usize;
+    for (i, (via, _)) in corrs.iter().enumerate() {
+        let id = ids[i].expect("consigned");
+        let outcome = loop {
+            churn(&mut fed, round);
+            round += 1;
+            let poll = fed.client_poll(via, DN, id, DetailLevel::Tasks);
+            fed.run_until(fed.now() + 10 * SEC);
+            if let Some(resp) = fed.take_client_response(poll) {
+                if let Some(o) = outcome_of(&resp) {
+                    if o.status.is_terminal() {
+                        break o.clone();
+                    }
+                }
+            }
+            assert!(fed.now() < deadline, "job {i} never terminated");
+        };
+        assert!(outcome.status.is_success(), "job {i} failed: {outcome:?}");
+        outcomes.push(outcome.to_der());
+    }
+    (outcomes, fed)
+}
+
+/// Drains `corrs` to responses, counting refused (Error) vs served.
+fn drain(fed: &mut Federation, corrs: &[u64], reason: &str) -> (usize, usize) {
+    let mut refused = 0;
+    let mut served = 0;
+    let deadline = fed.now() + HOUR;
+    let mut open: Vec<u64> = corrs.to_vec();
+    while !open.is_empty() {
+        fed.run_until(fed.now() + 5 * SEC);
+        open.retain(|&corr| match fed.take_client_response(corr) {
+            Some(Response::Error(m)) => {
+                assert!(m.contains(reason), "unexpected refusal: {m}");
+                refused += 1;
+                false
+            }
+            Some(_) => {
+                served += 1;
+                false
+            }
+            None => true,
+        });
+        assert!(fed.now() < deadline, "abuse responses never drained");
+    }
+    (refused, served)
+}
+
+/// Audit lines for `dn` at `usite` that record a refusal with `reason`.
+fn audit_refusals(fed: &Federation, usite: &str, dn: &str, reason: &str) -> usize {
+    fed.server(usite)
+        .unwrap()
+        .gateway()
+        .audit()
+        .iter()
+        .filter(|r| r.dn == dn && !r.accepted && r.detail.contains(reason))
+        .count()
+}
+
+// --------------------------------------------------------------------
+// Transport-level churn rig: a FrontDoor hammered with real handshakes.
+
+struct Rig {
+    door: FrontDoor,
+    trust: Arc<TrustStore>,
+    users: Vec<Arc<Identity>>,
+    caches: Vec<SessionCache>,
+    telemetry: Telemetry,
+}
+
+fn rig(seed: u64, users: usize, ticket_ttl: u64) -> Rig {
+    let mut rng = CryptoRng::from_u64(seed ^ 0xF00D);
+    let mut ca = CertificateAuthority::new_root(
+        DistinguishedName::new("DE", "FZJ", "ZAM", "UNICORE CA"),
+        Validity::starting_at(0, 1_000_000),
+        512,
+        &mut rng,
+    );
+    let mut trust = TrustStore::new();
+    trust.add_anchor(ca.certificate().clone()).unwrap();
+    let trust = Arc::new(trust);
+    let mk = |ca: &mut CertificateAuthority, rng: &mut CryptoRng, cn: &str, usage: KeyUsage| {
+        ca.issue_identity(
+            DistinguishedName::new("DE", "FZJ", "ZAM", cn),
+            usage,
+            Validity::starting_at(0, 500_000),
+            rng,
+        )
+        .unwrap()
+    };
+    let gw = mk(&mut ca, &mut rng, "fzj-gw", KeyUsage::server());
+    let users: Vec<Arc<Identity>> = (0..users)
+        .map(|i| {
+            Arc::new(mk(
+                &mut ca,
+                &mut rng,
+                &format!("user-{i}"),
+                KeyUsage::user(),
+            ))
+        })
+        .collect();
+    let caches = (0..users.len()).map(|_| SessionCache::new(8)).collect();
+    let mut door = FrontDoor::new(gw, trust.clone(), 64);
+    door.set_ticket_ttl(ticket_ttl);
+    let telemetry = Telemetry::collecting(seed);
+    door.set_telemetry(telemetry.clone());
+    Rig {
+        door,
+        trust,
+        users,
+        caches,
+        telemetry,
+    }
+}
+
+impl Rig {
+    /// One connect/disconnect cycle for user `u` at sim-second `now`.
+    fn connect(
+        &mut self,
+        u: usize,
+        now: u64,
+        seed: u64,
+    ) -> (
+        Result<SecureChannel, TransportError>,
+        Result<unicore_gateway::FrontDoorConn, FrontDoorError>,
+    ) {
+        let (cw, sw) = wire_pair();
+        let cep = unicore_transport::Endpoint {
+            identity: self.users[u].clone(),
+            intermediates: Vec::new(),
+            trust: self.trust.clone(),
+            now,
+            timeout: Duration::from_secs(5),
+            ticket_ttl: unicore_transport::DEFAULT_TICKET_TTL,
+            telemetry: Telemetry::disabled(),
+        };
+        let door = &mut self.door;
+        let cache = &self.caches[u];
+        std::thread::scope(|s| {
+            let server = s.spawn(|| {
+                let mut rng = CryptoRng::from_u64(seed).fork("server");
+                door.accept(sw, now, &mut rng)
+            });
+            let mut rng = CryptoRng::from_u64(seed).fork("client");
+            let client = client_handshake(cw, &cep, "FZJ", cache, &mut rng);
+            (client, server.join().unwrap())
+        })
+    }
+
+    fn counter(&self, name: &str) -> u64 {
+        self.telemetry.metrics_snapshot().counter(name)
+    }
+}
+
+// --------------------------------------------------------------------
+// Shape 1: reconnect storm.
+
+#[test]
+fn soak_reconnect_storm_outcomes_byte_identical() {
+    for seed in SEEDS {
+        let (baseline, _) = run_workload(seed, |_, _| {});
+
+        // The storm: 4 identities, 40 connect/disconnect cycles, while
+        // an abuser floods the federation with List requests each round.
+        let mut r = rig(seed, 4, 3_600);
+        let mut storm_seed = seed * 1000;
+        let mut cycles = 0u64;
+        let mut abuse = Vec::new();
+        let (churned, mut fed) = run_workload(seed, |fed, round| {
+            for _ in 0..3 {
+                abuse.push(fed.client_request("FZJ", ABUSER, Request::List));
+            }
+            for u in 0..4 {
+                storm_seed += 1;
+                cycles += 1;
+                let now = 100 + round as u64;
+                let (c, s) = r.connect(u, now, storm_seed);
+                let conn = s.expect("storm handshake refused");
+                assert!(c.is_ok());
+                r.door.disconnect(conn);
+            }
+        });
+        assert_eq!(
+            baseline, churned,
+            "reconnect storm: outcomes diverged at seed {seed}"
+        );
+
+        // The storm ran mostly on the abbreviated path: one full
+        // handshake per identity, everything else resumed.
+        let full = r.counter("gateway.sessions.full");
+        let resumed = r.counter("gateway.sessions.resumed");
+        assert!(cycles >= 16, "storm too short to prove anything: {cycles}");
+        assert_eq!(full, 4, "seed {seed}: one full handshake per identity");
+        assert_eq!(
+            resumed,
+            cycles - 4,
+            "seed {seed}: every reconnect after the first must resume"
+        );
+        assert_eq!(r.counter("gateway.sessions.failed"), 0);
+
+        // The abuser was served (no limiter installed), never refused.
+        let (refused, served) = drain(&mut fed, &abuse, "");
+        assert_eq!(refused, 0);
+        assert_eq!(served, abuse.len());
+    }
+}
+
+// --------------------------------------------------------------------
+// Shape 2: ticket-expiry boundary.
+
+#[test]
+fn soak_ticket_expiry_boundary_falls_back_then_recovers() {
+    for seed in SEEDS {
+        let (baseline, _) = run_workload(seed, |_, _| {});
+
+        // Tickets live 50 sim-seconds. Reconnects ride the resumed path
+        // up to (exclusive) the boundary, fall back to full exactly at
+        // it, and resume again on the rotated ticket.
+        let mut r = rig(seed, 1, 50);
+        let (c, s) = r.connect(0, 100, seed * 7 + 1); // full; ticket@100
+        assert!(!c.unwrap().resumed());
+        r.door.disconnect(s.unwrap());
+        let (c, s) = r.connect(0, 149, seed * 7 + 2); // last valid instant
+        assert!(c.unwrap().resumed(), "seed {seed}: in-window resume");
+        r.door.disconnect(s.unwrap());
+        let (c, s) = r.connect(0, 199, seed * 7 + 3); // 149+50: expired
+        assert!(
+            !c.unwrap().resumed(),
+            "seed {seed}: boundary must fall back to full"
+        );
+        r.door.disconnect(s.unwrap());
+        let (c, s) = r.connect(0, 200, seed * 7 + 4); // rotated ticket
+        assert!(c.unwrap().resumed(), "seed {seed}: recovery after fallback");
+        r.door.disconnect(s.unwrap());
+        assert_eq!(r.counter("gateway.sessions.full"), 2);
+        assert_eq!(r.counter("gateway.sessions.resumed"), 2);
+
+        // The boundary dance changes nothing for the workload.
+        let (churned, _) = run_workload(seed, |_, _| {});
+        assert_eq!(
+            baseline, churned,
+            "ticket expiry: outcomes diverged at seed {seed}"
+        );
+    }
+}
+
+// --------------------------------------------------------------------
+// Shape 3: revocation mid-poll.
+
+#[test]
+fn soak_revocation_mid_poll_outcomes_byte_identical_and_audited() {
+    for seed in SEEDS {
+        let (baseline, _) = run_workload(seed, |_, _| {});
+
+        let mut abuse = Vec::new();
+        let (churned, mut fed) = run_workload(seed, |fed, round| {
+            if round == 2 {
+                // The CA pulls the abuser's credential while their
+                // polls are in flight.
+                fed.revoke_user(ABUSER);
+            }
+            for _ in 0..2 {
+                abuse.push(fed.client_request("FZJ", ABUSER, Request::List));
+            }
+        });
+        assert_eq!(
+            baseline, churned,
+            "revocation: outcomes diverged at seed {seed}"
+        );
+
+        // Requests sent before the revocation were served; everything
+        // after is refused — and each refusal is audited exactly once.
+        let (refused, served) = drain(&mut fed, &abuse, "certificate revoked");
+        assert!(served >= 2, "pre-revocation polls must have been served");
+        assert!(refused > 0, "post-revocation polls must be refused");
+        assert_eq!(
+            audit_refusals(&fed, "FZJ", ABUSER, "certificate revoked"),
+            refused,
+            "seed {seed}: every refused request audited exactly once"
+        );
+
+        // Reinstatement restores service.
+        fed.reinstate_user(ABUSER);
+        let corr = fed.client_request("FZJ", ABUSER, Request::List);
+        let (refused, served) = drain(&mut fed, &[corr], "certificate revoked");
+        assert_eq!((refused, served), (0, 1), "seed {seed}: reinstated");
+    }
+}
+
+// --------------------------------------------------------------------
+// Shape 4: rate-limit burst, then recovery.
+
+#[test]
+fn soak_rate_limit_burst_then_recovery() {
+    for seed in SEEDS {
+        let (baseline, _) = run_workload(seed, |_, _| {});
+
+        let mut abuse = Vec::new();
+        let (churned, mut fed) = run_workload(seed, |fed, round| {
+            if round == 0 {
+                // Generous default so the real user never notices;
+                // the abuser's tenant budget is 3 requests.
+                fed.set_rate_limit(RateLimitConfig::new(1, 100_000).with_tenant_burst(ABUSER, 3));
+            }
+            if round == 1 {
+                // The burst: 20 requests in one round.
+                for _ in 0..20 {
+                    abuse.push(fed.client_request("FZJ", ABUSER, Request::List));
+                }
+            }
+        });
+        assert_eq!(
+            baseline, churned,
+            "rate limit: outcomes diverged at seed {seed}"
+        );
+
+        let (refused, served) = drain(&mut fed, &abuse, "rate limit exceeded");
+        assert!(served >= 3, "the burst budget must be honoured");
+        assert!(
+            refused >= 10,
+            "the burst must overrun, got {refused} refusals"
+        );
+        assert_eq!(refused + served, 20);
+        assert_eq!(
+            audit_refusals(&fed, "FZJ", ABUSER, "rate limit exceeded"),
+            refused,
+            "seed {seed}: every refused request audited exactly once"
+        );
+
+        // Recovery: the bucket refills while the grid idles.
+        fed.run_until(fed.now() + 30 * SEC);
+        let corr = fed.client_request("FZJ", ABUSER, Request::List);
+        let (refused, served) = drain(&mut fed, &[corr], "rate limit exceeded");
+        assert_eq!((refused, served), (0, 1), "seed {seed}: recovered");
+    }
+}
+
+// --------------------------------------------------------------------
+// Determinism anchor: the same seed replays the same abuse decisions.
+
+#[test]
+fn soak_abuse_replays_are_deterministic() {
+    fn run(seed: u64) -> (Vec<Vec<u8>>, usize) {
+        let mut abuse = Vec::new();
+        let (outcomes, mut fed) = run_workload(seed, |fed, round| {
+            if round == 0 {
+                fed.set_rate_limit(RateLimitConfig::new(1, 100_000).with_tenant_burst(ABUSER, 2));
+            }
+            abuse.push(fed.client_request("FZJ", ABUSER, Request::List));
+        });
+        let (refused, _) = drain(&mut fed, &abuse, "rate limit exceeded");
+        (outcomes, refused)
+    }
+    let (a, ra) = run(5);
+    let (b, rb) = run(5);
+    assert_eq!(a, b, "outcomes diverged on replay");
+    assert_eq!(ra, rb, "rate-limit decisions diverged on replay");
+}
